@@ -1,0 +1,323 @@
+//! Algorithm 2 — AeroDrome with the read-clock optimization (§4.3).
+//!
+//! Algorithm 1 keeps a clock `R_{t,x}` per (thread, variable) pair —
+//! `O(|Thr|·V)` clocks. This variant keeps exactly two per variable:
+//!
+//! * `R_x`, maintaining `⊔_u R_{u,x}` (used to *update* the writer's
+//!   clock), and
+//! * `chR_x` ("check-read"), maintaining `⊔_u R_{u,x}[0/u]` (used to
+//!   *check* for violations: zeroing each reader's own component makes a
+//!   thread's begin never "see" its own reads, so
+//!   `C⊲_t ⊑ chR_x ⟺ ∃u≠t. C⊲_t ⊑ R_{u,x}` under the algorithm's
+//!   invariant, Appendix C.1).
+//!
+//! ### Deviation note
+//!
+//! The appendix pseudocode writes `R_x := C_t` / `chR_x := C_t[0/t]` at a
+//! read event (plain assignment). Concurrent reads of the same variable by
+//! different threads are unordered, so assignment would drop the earlier
+//! reader's timestamp and break the stated invariant `R_x = ⊔_u R_{u,x}`;
+//! we implement the join (`R_x := R_x ⊔ C_t`), which the invariant
+//! requires. The differential test suite checks this variant against
+//! Algorithm 1 event-for-event.
+
+use tracelog::{Event, EventId, LockId, Op, ThreadId, VarId};
+use vc::VectorClock;
+
+use crate::util::{ensure_with, TxnTracker};
+use crate::violation::{Violation, ViolationKind};
+use crate::Checker;
+
+/// `checkAndGet(clk1, clk2, t)` (Algorithm 2): check against `clk1`,
+/// join `clk2`. Returns `true` on violation.
+#[inline]
+fn check_and_get2(
+    ct: &mut VectorClock,
+    cbegin: &VectorClock,
+    active: bool,
+    clk_check: &VectorClock,
+    clk_join: &VectorClock,
+) -> bool {
+    if active && cbegin.leq(clk_check) {
+        return true;
+    }
+    ct.join_from(clk_join);
+    false
+}
+
+/// AeroDrome with `O(V)` read clocks (Algorithm 2).
+///
+/// # Examples
+///
+/// ```
+/// use aerodrome::{readopt::ReadOptChecker, run_checker};
+///
+/// let outcome = run_checker(&mut ReadOptChecker::new(), &tracelog::paper_traces::rho3());
+/// assert_eq!(outcome.violation().unwrap().event.index(), 6); // e7
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ReadOptChecker {
+    ct: Vec<VectorClock>,
+    cbegin: Vec<VectorClock>,
+    lrel: Vec<VectorClock>,
+    last_rel_thr: Vec<Option<ThreadId>>,
+    wx: Vec<VectorClock>,
+    last_w_thr: Vec<Option<ThreadId>>,
+    /// `R_x = ⊔_u R_{u,x}`.
+    rx: Vec<VectorClock>,
+    /// `chR_x = ⊔_u R_{u,x}[0/u]`.
+    chrx: Vec<VectorClock>,
+    /// Threads that performed at least one event (join-check guard; see
+    /// `basic.rs`).
+    seen: Vec<bool>,
+    txns: TxnTracker,
+    events: u64,
+    stopped: Option<Violation>,
+}
+
+impl ReadOptChecker {
+    /// Creates a checker with empty state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_thread(&mut self, t: ThreadId) {
+        let i = t.index();
+        ensure_with(&mut self.ct, i, |u| {
+            VectorClock::bottom().with_component(u, 1)
+        });
+        ensure_with(&mut self.cbegin, i, |_| VectorClock::bottom());
+        ensure_with(&mut self.seen, i, |_| false);
+        self.txns.ensure(i);
+    }
+
+    fn ensure_lock(&mut self, l: LockId) {
+        let i = l.index();
+        ensure_with(&mut self.lrel, i, |_| VectorClock::bottom());
+        ensure_with(&mut self.last_rel_thr, i, |_| None);
+    }
+
+    fn ensure_var(&mut self, x: VarId) {
+        let i = x.index();
+        ensure_with(&mut self.wx, i, |_| VectorClock::bottom());
+        ensure_with(&mut self.last_w_thr, i, |_| None);
+        ensure_with(&mut self.rx, i, |_| VectorClock::bottom());
+        ensure_with(&mut self.chrx, i, |_| VectorClock::bottom());
+    }
+
+    fn violation(&mut self, event: EventId, thread: ThreadId, kind: ViolationKind) -> Violation {
+        let v = Violation { event, thread, kind };
+        self.stopped = Some(v.clone());
+        v
+    }
+
+    fn handle(&mut self, event: Event, eid: EventId) -> Result<(), Violation> {
+        let t = event.thread;
+        let ti = t.index();
+        self.ensure_thread(t);
+        self.seen[ti] = true;
+        match event.op {
+            Op::Acquire(l) => {
+                self.ensure_lock(l);
+                if self.last_rel_thr[l.index()] != Some(t) {
+                    let active = self.txns.active(t);
+                    let lrel = &self.lrel[l.index()];
+                    if check_and_get2(&mut self.ct[ti], &self.cbegin[ti], active, lrel, lrel) {
+                        return Err(self.violation(eid, t, ViolationKind::AtAcquire(l)));
+                    }
+                }
+            }
+            Op::Release(l) => {
+                self.ensure_lock(l);
+                self.lrel[l.index()] = self.ct[ti].clone();
+                self.last_rel_thr[l.index()] = Some(t);
+            }
+            Op::Fork(u) => {
+                self.ensure_thread(u);
+                let ct_t = self.ct[ti].clone();
+                self.ct[u.index()].join_from(&ct_t);
+            }
+            Op::Join(u) => {
+                self.ensure_thread(u);
+                let cu = self.ct[u.index()].clone();
+                let active = self.txns.active(t) && self.seen[u.index()];
+                if check_and_get2(&mut self.ct[ti], &self.cbegin[ti], active, &cu, &cu) {
+                    return Err(self.violation(eid, t, ViolationKind::AtJoin(u)));
+                }
+            }
+            Op::Read(x) => {
+                self.ensure_var(x);
+                let xi = x.index();
+                if self.last_w_thr[xi] != Some(t) {
+                    let active = self.txns.active(t);
+                    let wx = &self.wx[xi];
+                    if check_and_get2(&mut self.ct[ti], &self.cbegin[ti], active, wx, wx) {
+                        return Err(self.violation(eid, t, ViolationKind::AtRead(x)));
+                    }
+                }
+                // See the module-level deviation note: joins, not stores.
+                let ct_t = self.ct[ti].clone();
+                self.rx[xi].join_from(&ct_t);
+                self.chrx[xi].join_from_zeroed(&ct_t, ti);
+            }
+            Op::Write(x) => {
+                self.ensure_var(x);
+                let xi = x.index();
+                let active = self.txns.active(t);
+                if self.last_w_thr[xi] != Some(t) {
+                    let wx = &self.wx[xi];
+                    if check_and_get2(&mut self.ct[ti], &self.cbegin[ti], active, wx, wx) {
+                        return Err(self.violation(eid, t, ViolationKind::AtWriteVsWrite(x)));
+                    }
+                }
+                // The chR_x check is the single-component (epoch) test
+                // `C⊲_t(t) ≤ chR_x(t)`: §4.3 derives it from
+                // `∃u≠t. C⊲_t ⊑ R_{u,x}` through the invariant of
+                // Appendix C.1, and a full `⊑` against the *aggregated*
+                // clock would be strictly stronger (it can miss cycles
+                // whose witness read absorbed other threads' components).
+                if active && self.chrx[xi].contains_epoch(self.cbegin[ti].epoch(ti)) {
+                    return Err(self.violation(eid, t, ViolationKind::AtWriteVsRead(x)));
+                }
+                let rx = self.rx[xi].clone();
+                self.ct[ti].join_from(&rx);
+                self.wx[xi] = self.ct[ti].clone();
+                self.last_w_thr[xi] = Some(t);
+            }
+            Op::Begin => {
+                if self.txns.on_begin(t) {
+                    self.ct[ti].increment(ti);
+                    self.cbegin[ti] = self.ct[ti].clone();
+                }
+            }
+            Op::End => {
+                if self.txns.on_end(t) {
+                    let ct_t = self.ct[ti].clone();
+                    let cb = self.cbegin[ti].clone();
+                    for u in 0..self.ct.len() {
+                        if u == ti || !cb.leq(&self.ct[u]) {
+                            continue;
+                        }
+                        let u_id = ThreadId::from_index(u);
+                        let active_u = self.txns.active(u_id);
+                        if check_and_get2(&mut self.ct[u], &self.cbegin[u], active_u, &ct_t, &ct_t)
+                        {
+                            return Err(self.violation(
+                                eid,
+                                u_id,
+                                ViolationKind::AtEnd { ending: t },
+                            ));
+                        }
+                    }
+                    for lrel in &mut self.lrel {
+                        if cb.leq(lrel) {
+                            lrel.join_from(&ct_t);
+                        }
+                    }
+                    for wx in &mut self.wx {
+                        if cb.leq(wx) {
+                            wx.join_from(&ct_t);
+                        }
+                    }
+                    // Push condition on the aggregated read clock is also
+                    // the epoch test (`∃u. C⊲_t ⊑ R_{u,x}`), see above.
+                    let cb_epoch = cb.epoch(ti);
+                    for (rx, chrx) in self.rx.iter_mut().zip(&mut self.chrx) {
+                        if rx.contains_epoch(cb_epoch) {
+                            rx.join_from(&ct_t);
+                            chrx.join_from_zeroed(&ct_t, ti);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Checker for ReadOptChecker {
+    fn process(&mut self, event: Event) -> Result<(), Violation> {
+        if let Some(v) = &self.stopped {
+            return Err(v.clone());
+        }
+        let eid = EventId(self.events);
+        self.events += 1;
+        self.handle(event, eid)
+    }
+
+    fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    fn name(&self) -> &'static str {
+        "aerodrome-readopt"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_checker, Outcome};
+    use tracelog::paper_traces::{rho1, rho2, rho3, rho4};
+    use tracelog::TraceBuilder;
+
+    fn check(trace: &tracelog::Trace) -> Outcome {
+        run_checker(&mut ReadOptChecker::new(), trace)
+    }
+
+    #[test]
+    fn paper_traces_match_figures() {
+        assert_eq!(check(&rho1()), Outcome::Serializable);
+        assert_eq!(check(&rho2()).violation().unwrap().event.index(), 5);
+        assert_eq!(check(&rho3()).violation().unwrap().event.index(), 6);
+        assert_eq!(check(&rho4()).violation().unwrap().event.index(), 10);
+    }
+
+    #[test]
+    fn concurrent_readers_are_both_remembered() {
+        // Two threads read x inside transactions; a third writes x after
+        // observing the second reader's transaction through y — the check
+        // clock must still contain the FIRST reader (a plain store at the
+        // read event would have dropped it).
+        let mut tb = TraceBuilder::new();
+        let (t1, t2, t3) = (tb.thread("t1"), tb.thread("t2"), tb.thread("t3"));
+        let (x, y) = (tb.var("x"), tb.var("y"));
+        tb.begin(t3).write(t3, y);
+        tb.begin(t1).read(t1, x); // first reader …
+        tb.read(t1, y); // … ordered after t3's begin via y
+        tb.end(t1);
+        tb.begin(t2).read(t2, x).end(t2); // second reader (independent)
+        tb.write(t3, x); // rw conflict with BOTH readers
+        tb.end(t3);
+        // Cycle: T3 ⋖ T1 (via y) and T1 ⋖ T3 (via x) ⇒ violation at the
+        // write, discoverable only through reader t1's clock.
+        let v = check(&tb.finish()).violation().cloned().unwrap();
+        assert!(matches!(v.kind, ViolationKind::AtWriteVsRead(_)));
+        assert_eq!(v.thread, t3);
+    }
+
+    #[test]
+    fn own_reads_never_trigger_own_write_check() {
+        let mut tb = TraceBuilder::new();
+        let t1 = tb.thread("t1");
+        let x = tb.var("x");
+        tb.begin(t1).read(t1, x).write(t1, x).end(t1);
+        assert_eq!(check(&tb.finish()), Outcome::Serializable);
+    }
+
+    #[test]
+    fn same_thread_write_after_other_read_still_checked() {
+        // t1 wrote x last, but t2 read x in between; t1's second write
+        // conflicts with t2's read even though lastWThr == t1.
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let (x, y) = (tb.var("x"), tb.var("y"));
+        tb.begin(t1).write(t1, x).write(t1, y);
+        tb.begin(t2).read(t2, y).read(t2, x).end(t2);
+        tb.write(t1, x).end(t1); // lastWThr_x == t1, but t2's read intervened
+        let v = check(&tb.finish()).violation().cloned().unwrap();
+        assert!(matches!(v.kind, ViolationKind::AtWriteVsRead(_)));
+        assert_eq!(v.thread, t1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Internal helpers shared by the three checker variants.
+
+use tracelog::ThreadId;
+
+/// Grows `v` so index `n` is valid, filling with `f(index)`.
+pub(crate) fn ensure_with<T>(v: &mut Vec<T>, n: usize, f: impl Fn(usize) -> T) {
+    while v.len() <= n {
+        v.push(f(v.len()));
+    }
+}
+
+/// Tracks transaction nesting per thread (§4.1.4).
+///
+/// Only the outermost begin/end of nested atomic blocks constitute a
+/// transaction; inner boundary events are ignored. Events at depth zero
+/// are unary transactions: never *active*, so `checkAndGet` never declares
+/// a violation for them.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct TxnTracker {
+    depth: Vec<usize>,
+    /// Count of outermost begins per thread; identifies "the current
+    /// transaction of t" for the GC parent-liveness test.
+    seq: Vec<u64>,
+}
+
+impl TxnTracker {
+    pub(crate) fn ensure(&mut self, t: usize) {
+        ensure_with(&mut self.depth, t, |_| 0);
+        ensure_with(&mut self.seq, t, |_| 0);
+    }
+
+    /// Registers a begin event; returns `true` iff it is outermost.
+    pub(crate) fn on_begin(&mut self, t: ThreadId) -> bool {
+        let i = t.index();
+        self.ensure(i);
+        self.depth[i] += 1;
+        if self.depth[i] == 1 {
+            self.seq[i] += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Registers an end event; returns `true` iff it closes the outermost
+    /// block. Unmatched ends (ill-formed traces) return `false`.
+    pub(crate) fn on_end(&mut self, t: ThreadId) -> bool {
+        let i = t.index();
+        self.ensure(i);
+        if self.depth[i] == 0 {
+            return false;
+        }
+        self.depth[i] -= 1;
+        self.depth[i] == 0
+    }
+
+    /// Whether thread `t` has an active transaction.
+    pub(crate) fn active(&self, t: ThreadId) -> bool {
+        self.depth.get(t.index()).copied().unwrap_or(0) > 0
+    }
+
+    /// The sequence number of the transaction `t` is currently inside
+    /// (meaningful only when [`TxnTracker::active`]); used by tests to
+    /// pin the begin-counting behaviour.
+    #[cfg(test)]
+    pub(crate) fn current_seq(&self, t: ThreadId) -> u64 {
+        self.seq.get(t.index()).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> ThreadId {
+        ThreadId::from_index(i)
+    }
+
+    #[test]
+    fn outermost_detection() {
+        let mut tr = TxnTracker::default();
+        assert!(tr.on_begin(t(0)));
+        assert!(!tr.on_begin(t(0))); // nested
+        assert!(tr.active(t(0)));
+        assert!(!tr.on_end(t(0))); // closes inner
+        assert!(tr.on_end(t(0))); // closes outermost
+        assert!(!tr.active(t(0)));
+    }
+
+    #[test]
+    fn unmatched_end_is_not_outermost() {
+        let mut tr = TxnTracker::default();
+        assert!(!tr.on_end(t(0)));
+    }
+
+    #[test]
+    fn sequence_numbers_identify_transactions() {
+        let mut tr = TxnTracker::default();
+        tr.on_begin(t(1));
+        assert_eq!(tr.current_seq(t(1)), 1);
+        tr.on_end(t(1));
+        tr.on_begin(t(1));
+        assert_eq!(tr.current_seq(t(1)), 2);
+        assert_eq!(tr.current_seq(t(0)), 0);
+    }
+
+    #[test]
+    fn threads_are_independent() {
+        let mut tr = TxnTracker::default();
+        tr.on_begin(t(2));
+        assert!(tr.active(t(2)));
+        assert!(!tr.active(t(0)));
+    }
+
+    #[test]
+    fn ensure_with_fills_gaps() {
+        let mut v: Vec<usize> = Vec::new();
+        ensure_with(&mut v, 3, |i| i * 10);
+        assert_eq!(v, vec![0, 10, 20, 30]);
+        ensure_with(&mut v, 1, |_| 99); // no-op
+        assert_eq!(v.len(), 4);
+    }
+}

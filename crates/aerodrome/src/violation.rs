@@ -1,0 +1,121 @@
+//! Violation reports.
+
+use std::fmt;
+
+use tracelog::{EventId, LockId, ThreadId, Trace, VarId};
+
+/// Where in the event handlers a violation was declared (the two check
+/// categories of §4.1.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ViolationKind {
+    /// Declared at `⟨t, acq(ℓ)⟩` against the last-release clock `L_ℓ`.
+    AtAcquire(LockId),
+    /// Declared at `⟨t, r(x)⟩` against the last-write clock `W_x`.
+    AtRead(VarId),
+    /// Declared at `⟨t, w(x)⟩` against `W_x` (write/write conflict).
+    AtWriteVsWrite(VarId),
+    /// Declared at `⟨t, w(x)⟩` against a read clock (read/write conflict).
+    AtWriteVsRead(VarId),
+    /// Declared at `⟨t, join(u)⟩` against the child's clock `C_u`.
+    AtJoin(ThreadId),
+    /// Declared while processing `⟨ending, ⊳⟩`: the *other* thread's
+    /// active transaction closes the cycle (second check category).
+    AtEnd {
+        /// The thread whose transaction just ended.
+        ending: ThreadId,
+    },
+}
+
+/// A detected violation of conflict serializability.
+///
+/// Per Theorem 2, a violation means there is a transaction `T` (the active
+/// transaction of [`Violation::thread`]) and events `e ∉ T`, `f ∈ T` with
+/// `T⊲ ⋖_E e` and `e ⋖_E f` — i.e. a cycle in the transaction order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// The event being processed when the violation was declared
+    /// (zero-based offset into the trace).
+    pub event: EventId,
+    /// The thread whose **active** transaction participates in the cycle —
+    /// the `t` of the failed `C⊲_t ⊑ clk` check in `checkAndGet`.
+    pub thread: ThreadId,
+    /// Which handler declared the violation.
+    pub kind: ViolationKind,
+}
+
+impl Violation {
+    /// Renders the violation with original thread/lock/variable names.
+    #[must_use]
+    pub fn display_with(&self, trace: &Trace) -> String {
+        let what = match self.kind {
+            ViolationKind::AtAcquire(l) => {
+                format!("acquire of lock `{}`", trace.lock_name(l))
+            }
+            ViolationKind::AtRead(x) => format!("read of `{}`", trace.var_name(x)),
+            ViolationKind::AtWriteVsWrite(x) => {
+                format!("write of `{}` (conflicting write)", trace.var_name(x))
+            }
+            ViolationKind::AtWriteVsRead(x) => {
+                format!("write of `{}` (conflicting read)", trace.var_name(x))
+            }
+            ViolationKind::AtJoin(u) => format!("join of thread `{}`", trace.thread_name(u)),
+            ViolationKind::AtEnd { ending } => format!(
+                "end of transaction in thread `{}`",
+                trace.thread_name(ending)
+            ),
+        };
+        format!(
+            "conflict serializability violation at {}: {} closes a cycle through the active transaction of thread `{}`",
+            self.event,
+            what,
+            trace.thread_name(self.thread)
+        )
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conflict serializability violation at {} (active transaction of {}, {:?})",
+            self.event, self.thread, self.kind
+        )
+    }
+}
+
+impl std::error::Error for Violation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_event_and_thread() {
+        let v = Violation {
+            event: EventId(5),
+            thread: ThreadId::from_index(0),
+            kind: ViolationKind::AtRead(VarId::from_index(1)),
+        };
+        let s = v.to_string();
+        assert!(s.contains("e6"));
+        assert!(s.contains("t0"));
+    }
+
+    #[test]
+    fn display_with_uses_names() {
+        let mut tb = tracelog::TraceBuilder::new();
+        let t = tb.thread("worker");
+        let x = tb.var("balance");
+        tb.begin(t).read(t, x).end(t);
+        let trace = tb.finish();
+        let v = Violation {
+            event: EventId(1),
+            thread: t,
+            kind: ViolationKind::AtRead(x),
+        };
+        let s = v.display_with(&trace);
+        assert!(s.contains("balance"));
+        assert!(s.contains("worker"));
+        assert!(s.contains("e2"));
+    }
+}

@@ -1,0 +1,318 @@
+//! Differential testing of the three AeroDrome variants.
+//!
+//! On *closed* traces (every transaction completed, every lock released)
+//! Theorem 3 pins down the verdict exactly: a violation is reported iff
+//! the trace is not conflict serializable. All three variants must
+//! therefore agree on the verdict for every closed trace. Algorithms 1
+//! and 2 must also agree on the *detection event*; Algorithm 3 may detect
+//! strictly earlier (its lazy clocks surface `∗→` paths through still-
+//! open transactions) but never later and never spuriously.
+
+use aerodrome::basic::BasicChecker;
+use aerodrome::optimized::OptimizedChecker;
+use aerodrome::readopt::ReadOptChecker;
+use aerodrome::{run_checker, Outcome};
+use proptest::prelude::*;
+use tracelog::{validate, Trace, TraceBuilder};
+use workloads::{generate, GenConfig};
+
+/// A random action in the constrained trace language.
+#[derive(Clone, Copy, Debug)]
+enum Action {
+    Read(u8),
+    Write(u8),
+    Acquire(u8),
+    #[allow(dead_code)] // payload only feeds proptest's shrink display
+    Release(u8),
+    Begin,
+    End,
+}
+
+/// Builds a well-formed **closed** trace from arbitrary per-step choices:
+/// illegal choices are repaired (release of unheld lock → acquire, end
+/// without begin → begin, ...), and a drain phase closes everything.
+fn build_trace(steps: &[(u8, Action)], threads: usize) -> Trace {
+    let mut tb = TraceBuilder::new();
+    let tids: Vec<_> = (0..threads).map(|i| tb.thread(&format!("t{i}"))).collect();
+    let vars: Vec<_> = (0..4).map(|i| tb.var(&format!("x{i}"))).collect();
+    let locks: Vec<_> = (0..2).map(|i| tb.lock(&format!("l{i}"))).collect();
+    let mut held: Vec<Vec<usize>> = vec![Vec::new(); threads]; // lock stack per thread
+    let mut holder: Vec<Option<usize>> = vec![None; locks.len()];
+    let mut depth = vec![0usize; threads];
+
+    for &(who, action) in steps {
+        let ti = (who as usize) % threads;
+        let t = tids[ti];
+        match action {
+            Action::Read(v) => {
+                tb.read(t, vars[(v as usize) % vars.len()]);
+            }
+            Action::Write(v) => {
+                tb.write(t, vars[(v as usize) % vars.len()]);
+            }
+            Action::Acquire(l) => {
+                let li = (l as usize) % locks.len();
+                match holder[li] {
+                    None => {
+                        holder[li] = Some(ti);
+                        held[ti].push(li);
+                        tb.acquire(t, locks[li]);
+                    }
+                    Some(h) if h == ti => {
+                        // Re-entrant acquire is legal.
+                        held[ti].push(li);
+                        tb.acquire(t, locks[li]);
+                    }
+                    Some(_) => { /* contended: skip (models blocking) */ }
+                }
+            }
+            Action::Release(_) => {
+                if let Some(li) = held[ti].pop() {
+                    tb.release(t, locks[li]);
+                    if !held[ti].contains(&li) {
+                        holder[li] = None;
+                    }
+                } else if depth[ti] == 0 {
+                    tb.begin(t);
+                    depth[ti] += 1;
+                }
+            }
+            Action::Begin => {
+                if depth[ti] < 2 {
+                    tb.begin(t);
+                    depth[ti] += 1;
+                }
+            }
+            Action::End => {
+                if depth[ti] > 0 {
+                    tb.end(t);
+                    depth[ti] -= 1;
+                } else {
+                    tb.begin(t);
+                    depth[ti] += 1;
+                }
+            }
+        }
+    }
+    // Drain: release held locks, close transactions.
+    for ti in 0..threads {
+        while let Some(li) = held[ti].pop() {
+            tb.release(tids[ti], locks[li]);
+            if !held[ti].contains(&li) {
+                holder[li] = None;
+            }
+        }
+        while depth[ti] > 0 {
+            tb.end(tids[ti]);
+            depth[ti] -= 1;
+        }
+    }
+    tb.finish()
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        3 => (0u8..4).prop_map(Action::Read),
+        3 => (0u8..4).prop_map(Action::Write),
+        2 => (0u8..2).prop_map(Action::Acquire),
+        2 => (0u8..2).prop_map(Action::Release),
+        2 => Just(Action::Begin),
+        2 => Just(Action::End),
+    ]
+}
+
+fn outcomes(trace: &Trace) -> (Outcome, Outcome, Outcome) {
+    (
+        run_checker(&mut BasicChecker::new(), trace),
+        run_checker(&mut ReadOptChecker::new(), trace),
+        run_checker(&mut OptimizedChecker::new(), trace),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn variants_agree_on_random_closed_traces(
+        steps in prop::collection::vec(((0u8..3), action_strategy()), 0..120),
+        threads in 2usize..4,
+    ) {
+        let trace = build_trace(&steps, threads);
+        prop_assert!(validate(&trace).unwrap().is_closed());
+        let (basic, readopt, optimized) = outcomes(&trace);
+
+        // Verdicts must match everywhere.
+        prop_assert_eq!(basic.is_violation(), readopt.is_violation(),
+            "basic vs readopt verdict mismatch");
+        prop_assert_eq!(basic.is_violation(), optimized.is_violation(),
+            "basic vs optimized verdict mismatch");
+
+        // Algorithms 1 and 2 detect at the same event with the same
+        // offending thread.
+        if let (Outcome::Violation(b), Outcome::Violation(r)) = (&basic, &readopt) {
+            prop_assert_eq!(b.event, r.event, "basic vs readopt event mismatch");
+            prop_assert_eq!(b.thread, r.thread, "basic vs readopt thread mismatch");
+        }
+
+        // Algorithm 3 may only detect EARLIER, never later.
+        if let (Outcome::Violation(b), Outcome::Violation(o)) = (&basic, &optimized) {
+            prop_assert!(o.event <= b.event,
+                "optimized detected later ({:?}) than basic ({:?})", o.event, b.event);
+        }
+    }
+}
+
+#[test]
+fn variants_agree_on_generated_workloads() {
+    for seed in 0..8u64 {
+        for violation_at in [None, Some(0.3), Some(0.8)] {
+            for retention in [false, true] {
+                let cfg = GenConfig {
+                    seed,
+                    threads: 6,
+                    events: 4_000,
+                    vars: 64,
+                    locks: 3,
+                    retention,
+                    probe_period: 40,
+                    violation_at,
+                    ..GenConfig::default()
+                };
+                let trace = generate(&cfg);
+                let (basic, readopt, optimized) = outcomes(&trace);
+                assert_eq!(
+                    basic.is_violation(),
+                    violation_at.is_some(),
+                    "seed={seed} retention={retention} violation_at={violation_at:?}: unexpected basic verdict"
+                );
+                assert_eq!(basic.is_violation(), readopt.is_violation(), "seed={seed}");
+                assert_eq!(basic.is_violation(), optimized.is_violation(), "seed={seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn variants_agree_on_paper_and_scenario_traces() {
+    use tracelog::paper_traces::{rho1, rho2, rho3, rho4};
+    use workloads::scenarios::{bank, producer_consumer};
+
+    let traces: Vec<(String, Trace)> = vec![
+        ("rho1".into(), rho1()),
+        ("rho2".into(), rho2()),
+        ("rho3".into(), rho3()),
+        ("rho4".into(), rho4()),
+        ("bank-safe".into(), bank(5, 12, false)),
+        ("bank-audit".into(), bank(5, 12, true)),
+        ("pc-safe".into(), producer_consumer(10, false)),
+        ("pc-racy".into(), producer_consumer(10, true)),
+    ];
+    for (name, trace) in traces {
+        let (basic, readopt, optimized) = outcomes(&trace);
+        assert_eq!(basic.is_violation(), readopt.is_violation(), "{name}");
+        assert_eq!(basic.is_violation(), optimized.is_violation(), "{name}");
+    }
+}
+
+/// Regression: readopt's aggregated `chR_x` check must be the epoch test.
+/// Shrunk by proptest — the unary reader absorbs the writer's component,
+/// so a full `⊑` against `chR_x` fails on the reader's own component and
+/// the `T1 → U3 → T1` cycle (through the unary read) goes unreported.
+#[test]
+fn regression_chrx_check_is_epoch_based() {
+    let mut tb = TraceBuilder::new();
+    let (t0, t1) = (tb.thread("t0"), tb.thread("t1"));
+    let (x1, x2) = (tb.var("x1"), tb.var("x2"));
+    tb.write(t0, x1);
+    tb.read(t1, x1); // unary reader absorbs t0's component
+    tb.begin(t1);
+    tb.write(t1, x2);
+    tb.read(t0, x2); // unary transaction inside the cycle
+    tb.write(t1, x2);
+    tb.end(t1);
+    let trace = tb.finish();
+    let (basic, readopt, optimized) = outcomes(&trace);
+    assert!(basic.is_violation());
+    assert!(readopt.is_violation());
+    assert!(optimized.is_violation());
+}
+
+/// Regression: GC must respect program-order edges out of *unary*
+/// transactions. Shrunk by proptest — t0's unary `w(x2)` absorbs t1's
+/// read, the following transaction `w(x0)` absorbs nothing itself, yet
+/// it sits on the cycle `T1 → U(w x2) → T0b → T1` and must not be
+/// garbage collected.
+#[test]
+fn regression_gc_sees_unary_program_order_edges() {
+    let mut tb = TraceBuilder::new();
+    let (t0, t1) = (tb.thread("t0"), tb.thread("t1"));
+    let (x0, x2) = (tb.var("x0"), tb.var("x2"));
+    tb.begin(t0).end(t0); // empty, garbage-collected transaction
+    tb.begin(t1);
+    tb.read(t1, x2);
+    tb.write(t0, x2); // unary: absorbs t1, gains an incoming edge
+    tb.begin(t0).write(t0, x0).end(t0); // on the cycle via program order
+    tb.read(t1, x0);
+    tb.end(t1);
+    let trace = tb.finish();
+    let (basic, readopt, optimized) = outcomes(&trace);
+    assert!(basic.is_violation());
+    assert!(readopt.is_violation());
+    assert!(optimized.is_violation());
+}
+
+/// Regression (found by the Definition-1 oracle): forking and joining a
+/// child that never executes any event is serializable — the child's
+/// clock is just the inherited fork-time clock, not an event timestamp,
+/// so the join check must not fire.
+#[test]
+fn regression_join_of_eventless_child_is_not_a_cycle() {
+    let mut tb = TraceBuilder::new();
+    let (t0, t1) = (tb.thread("t0"), tb.thread("t1"));
+    tb.begin(t0).fork(t0, t1).join(t0, t1).end(t0);
+    let trace = tb.finish();
+    let (basic, readopt, optimized) = outcomes(&trace);
+    assert!(!basic.is_violation());
+    assert!(!readopt.is_violation());
+    assert!(!optimized.is_violation());
+
+    // …but the moment the child performs ANY event (even just an empty
+    // transaction), the fork+join spanning transaction is a real cycle.
+    let mut tb = TraceBuilder::new();
+    let (t0, t1) = (tb.thread("t0"), tb.thread("t1"));
+    tb.begin(t0).fork(t0, t1);
+    tb.begin(t1).end(t1);
+    tb.join(t0, t1).end(t0);
+    let trace = tb.finish();
+    let (basic, readopt, optimized) = outcomes(&trace);
+    assert!(basic.is_violation());
+    assert!(readopt.is_violation());
+    assert!(optimized.is_violation());
+}
+
+#[test]
+fn scenario_verdicts_match_domain_expectations() {
+    use workloads::scenarios::{bank, barrier_phases, double_checked_init, producer_consumer};
+    let check = |t: &Trace| run_checker(&mut OptimizedChecker::new(), t).is_violation();
+    assert!(!check(&bank(4, 10, false)), "2PL transfers are serializable");
+    assert!(check(&bank(4, 10, true)), "lock-free audit tears");
+    assert!(!check(&producer_consumer(8, false)));
+    assert!(check(&producer_consumer(8, true)), "check-then-act bug");
+    assert!(!check(&double_checked_init(false)));
+    assert!(check(&double_checked_init(true)), "early publication");
+    assert!(!check(&barrier_phases(4, false)), "per-phase transactions");
+    assert!(check(&barrier_phases(4, true)), "fused phases cycle");
+
+    // The Definition-1 verdicts are pinned by the oracle crate's
+    // differential tests; here the three variants must agree pairwise.
+    for trace in [
+        double_checked_init(false),
+        double_checked_init(true),
+        barrier_phases(3, false),
+        barrier_phases(3, true),
+    ] {
+        let (basic, readopt, optimized) = outcomes(&trace);
+        assert_eq!(basic.is_violation(), readopt.is_violation());
+        assert_eq!(basic.is_violation(), optimized.is_violation());
+    }
+}

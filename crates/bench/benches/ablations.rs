@@ -1,0 +1,130 @@
+//! Ablation benches for the design choices called out in DESIGN.md §5:
+//!
+//! * the three AeroDrome variants (Algorithm 1 vs 2 vs 3),
+//! * Velodrome with and without garbage collection,
+//! * DFS vs Pearce–Kelly cycle detection,
+//! * raw vector-clock operation costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use aerodrome::basic::BasicChecker;
+use aerodrome::optimized::OptimizedChecker;
+use aerodrome::readopt::ReadOptChecker;
+use aerodrome::{run_checker, Checker};
+use vc::VectorClock;
+use velodrome::{Config, Strategy, VelodromeChecker};
+use workloads::{generate, GenConfig};
+
+fn ablation_trace() -> tracelog::Trace {
+    generate(&GenConfig {
+        seed: 11,
+        threads: 8,
+        locks: 4,
+        vars: 256,
+        events: 20_000,
+        violation_at: None,
+        ..GenConfig::default()
+    })
+}
+
+fn run_to_end(mut checker: impl Checker, trace: &tracelog::Trace) {
+    let outcome = run_checker(&mut checker, trace);
+    assert!(!outcome.is_violation());
+}
+
+fn bench_aerodrome_variants(c: &mut Criterion) {
+    let trace = ablation_trace();
+    let mut g = c.benchmark_group("ablation_aerodrome_variants");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    g.bench_function("algorithm1_basic", |b| {
+        b.iter(|| run_to_end(BasicChecker::new(), &trace));
+    });
+    g.bench_function("algorithm2_readopt", |b| {
+        b.iter(|| run_to_end(ReadOptChecker::new(), &trace));
+    });
+    g.bench_function("algorithm3_optimized", |b| {
+        b.iter(|| run_to_end(OptimizedChecker::new(), &trace));
+    });
+    g.finish();
+}
+
+fn bench_velodrome_gc(c: &mut Criterion) {
+    let trace = ablation_trace();
+    let mut g = c.benchmark_group("ablation_velodrome_gc");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    for gc in [true, false] {
+        g.bench_with_input(BenchmarkId::from_parameter(gc), &gc, |b, &gc| {
+            b.iter(|| {
+                run_to_end(
+                    VelodromeChecker::with_config(Config {
+                        gc,
+                        strategy: Strategy::Dfs,
+                    }),
+                    &trace,
+                );
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cycle_detection(c: &mut Criterion) {
+    // Retention keeps the graph large so the strategy choice matters.
+    let trace = generate(&GenConfig {
+        seed: 13,
+        threads: 8,
+        locks: 4,
+        vars: 256,
+        events: 15_000,
+        retention: true,
+        probe_period: 100,
+        violation_at: None,
+        ..GenConfig::default()
+    });
+    let mut g = c.benchmark_group("ablation_cycle_detection");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    for (name, strategy) in [("dfs", Strategy::Dfs), ("pearce_kelly", Strategy::PearceKelly)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                run_to_end(
+                    VelodromeChecker::with_config(Config { gc: true, strategy }),
+                    &trace,
+                );
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_vector_clock_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vc_ops");
+    for dim in [4usize, 16, 64] {
+        let a: VectorClock = (0..dim as u32).map(|i| i * 3 % 17).collect();
+        let b: VectorClock = (0..dim as u32).map(|i| i * 5 % 13).collect();
+        g.bench_with_input(BenchmarkId::new("join", dim), &dim, |bench, _| {
+            bench.iter(|| {
+                let mut x = black_box(&a).clone();
+                x.join_from(black_box(&b));
+                x
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("leq", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(&a).leq(black_box(&b)));
+        });
+        g.bench_with_input(BenchmarkId::new("epoch_check", dim), &dim, |bench, _| {
+            bench.iter(|| black_box(&b).contains_epoch(black_box(&a).epoch(dim / 2)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aerodrome_variants,
+    bench_velodrome_gc,
+    bench_cycle_detection,
+    bench_vector_clock_ops
+);
+criterion_main!(benches);

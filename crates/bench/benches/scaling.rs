@@ -1,0 +1,87 @@
+//! Scaling benches: AeroDrome's per-event cost is flat (linear total
+//! time), Velodrome's grows with the live transaction graph.
+//!
+//! This is the measurement backing the paper's headline claim — the
+//! published tables only show endpoints (2.4B events in 1.5 s vs a
+//! 10-hour timeout); here the trend is measured directly on 2×-spaced
+//! trace sizes. Throughput mode makes Criterion report events/second,
+//! which should be constant for AeroDrome and degrade for Velodrome on
+//! retention workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use aerodrome::optimized::OptimizedChecker;
+use aerodrome::run_checker;
+use velodrome::VelodromeChecker;
+use workloads::{generate, GenConfig};
+
+fn trace_of(events: usize, retention: bool) -> tracelog::Trace {
+    generate(&GenConfig {
+        seed: 7,
+        threads: 8,
+        locks: 4,
+        vars: 512,
+        events,
+        retention,
+        probe_period: 150,
+        violation_at: None, // full-trace processing
+        ..GenConfig::default()
+    })
+}
+
+fn bench_aerodrome_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aerodrome_scaling");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for events in [20_000usize, 40_000, 80_000, 160_000] {
+        let trace = trace_of(events, true);
+        g.throughput(Throughput::Elements(trace.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(events), &trace, |b, trace| {
+            b.iter(|| {
+                let outcome = run_checker(&mut OptimizedChecker::new(), trace);
+                assert!(!outcome.is_violation());
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_velodrome_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("velodrome_scaling_retention");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    for events in [5_000usize, 10_000, 20_000, 40_000] {
+        let trace = trace_of(events, true);
+        g.throughput(Throughput::Elements(trace.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(events), &trace, |b, trace| {
+            b.iter(|| {
+                let outcome = run_checker(&mut VelodromeChecker::new(), trace);
+                assert!(!outcome.is_violation());
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_velodrome_no_retention(c: &mut Criterion) {
+    let mut g = c.benchmark_group("velodrome_scaling_gc_effective");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for events in [20_000usize, 40_000, 80_000] {
+        let trace = trace_of(events, false);
+        g.throughput(Throughput::Elements(trace.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(events), &trace, |b, trace| {
+            b.iter(|| {
+                let outcome = run_checker(&mut VelodromeChecker::new(), trace);
+                assert!(!outcome.is_violation());
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aerodrome_scaling,
+    bench_velodrome_scaling,
+    bench_velodrome_no_retention
+);
+criterion_main!(benches);

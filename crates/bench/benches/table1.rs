@@ -1,0 +1,46 @@
+//! Regenerates **Table 1** (realistic, DoubleChecker-derived atomicity
+//! specifications): AeroDrome vs Velodrome wall time per benchmark.
+//!
+//! Usage: `cargo bench -p bench --bench table1`
+//! Budget per checker run: `AERODROME_BENCH_BUDGET_SECS` (default 5 —
+//! standing in for the paper's 10-hour timeout on the full traces).
+
+use std::time::Duration;
+
+fn main() {
+    let budget = std::env::var("AERODROME_BENCH_BUDGET_SECS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(5);
+    let budget = Duration::from_secs(budget);
+
+    let mut rows = Vec::new();
+    for profile in workloads::table1() {
+        eprintln!("table1: running {} ...", profile.name);
+        rows.push(bench::run_profile(&profile, budget));
+    }
+    println!(
+        "{}",
+        bench::format_table(
+            "Table 1 — benchmarks with atomicity specifications from DoubleChecker (scaled traces)",
+            &rows
+        )
+    );
+    println!("Velodrome graph sizes (peak live nodes, §5.3):");
+    for r in &rows {
+        println!(
+            "  {:<14} peak={:>8} created={:>9} cycle-checks={:>9}",
+            r.name, r.graph.peak_live_nodes, r.graph.nodes_created, r.graph.cycle_checks
+        );
+    }
+    let problems = bench::check_shape(&rows);
+    if problems.is_empty() {
+        println!("shape check: all qualitative claims hold ✓");
+    } else {
+        println!("shape check: {} problem(s)", problems.len());
+        for p in &problems {
+            println!("  ✗ {p}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates **Table 2** (naive atomicity specifications: all methods
+//! except `main`/`run` atomic): with early violations and tiny
+//! garbage-collected graphs, Velodrome is competitive with AeroDrome.
+//!
+//! Usage: `cargo bench -p bench --bench table2`
+
+use std::time::Duration;
+
+fn main() {
+    let budget = std::env::var("AERODROME_BENCH_BUDGET_SECS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(5);
+    let budget = Duration::from_secs(budget);
+
+    let mut rows = Vec::new();
+    for profile in workloads::table2() {
+        eprintln!("table2: running {} ...", profile.name);
+        rows.push(bench::run_profile(&profile, budget));
+    }
+    println!(
+        "{}",
+        bench::format_table(
+            "Table 2 — benchmarks with naive atomicity specifications (scaled traces)",
+            &rows
+        )
+    );
+    println!("Velodrome graph sizes (peak live nodes — paper: ≤ 4, tomcat 21):");
+    for r in &rows {
+        println!("  {:<14} peak={:>8}", r.name, r.graph.peak_live_nodes);
+    }
+    let problems = bench::check_shape(&rows);
+    if problems.is_empty() {
+        println!("shape check: all qualitative claims hold ✓");
+    } else {
+        println!("shape check: {} problem(s)", problems.len());
+        for p in &problems {
+            println!("  ✗ {p}");
+        }
+        std::process::exit(1);
+    }
+}

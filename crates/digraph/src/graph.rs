@@ -1,0 +1,367 @@
+//! Slot-map directed graph.
+
+use std::collections::HashSet;
+use std::fmt;
+
+/// A stable node handle into a [`DiGraph`].
+///
+/// Handles remain valid until their node is removed; removed slots are
+/// recycled, so holding a handle across a removal of *that* node is a
+/// logic error (checked in debug builds via generation-free slot checks:
+/// operations on vacant slots panic).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The slot index backing this handle.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A directed graph with node payloads `N`, optimised for the Velodrome
+/// access pattern: frequent node insertion, edge insertion with duplicate
+/// suppression, and garbage collection of source nodes.
+///
+/// # Examples
+///
+/// ```
+/// let mut g = digraph::DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// assert!(g.add_edge(a, b));
+/// assert!(!g.add_edge(a, b)); // duplicate suppressed
+/// assert_eq!(g.num_edges(), 1);
+/// g.remove_node(a);
+/// assert_eq!(g.num_edges(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DiGraph<N> {
+    slots: Vec<Option<N>>,
+    succs: Vec<Vec<NodeId>>,
+    preds: Vec<Vec<NodeId>>,
+    edges: HashSet<(NodeId, NodeId)>,
+    free: Vec<u32>,
+    num_nodes: usize,
+    /// Monotone counters for instrumentation (never decremented).
+    total_nodes_added: u64,
+    total_edges_added: u64,
+    /// High-water mark of live node count.
+    peak_nodes: usize,
+}
+
+impl<N> Default for DiGraph<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N> DiGraph<N> {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+            edges: HashSet::new(),
+            free: Vec::new(),
+            num_nodes: 0,
+            total_nodes_added: 0,
+            total_edges_added: 0,
+            peak_nodes: 0,
+        }
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of live edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no live nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.num_nodes == 0
+    }
+
+    /// Total nodes ever added (GC does not decrement) — the paper's
+    /// "number of nodes in the graph analyzed by Velodrome" metric.
+    #[must_use]
+    pub fn total_nodes_added(&self) -> u64 {
+        self.total_nodes_added
+    }
+
+    /// Total edges ever added (duplicates excluded).
+    #[must_use]
+    pub fn total_edges_added(&self) -> u64 {
+        self.total_edges_added
+    }
+
+    /// Maximum number of simultaneously live nodes observed.
+    #[must_use]
+    pub fn peak_nodes(&self) -> usize {
+        self.peak_nodes
+    }
+
+    /// Upper bound (exclusive) on slot indices currently in use; for
+    /// callers that index per-node side tables by [`NodeId::index`].
+    #[must_use]
+    pub fn slot_bound(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Inserts a node with payload `weight`, recycling a vacant slot if
+    /// available.
+    pub fn add_node(&mut self, weight: N) -> NodeId {
+        self.num_nodes += 1;
+        self.total_nodes_added += 1;
+        self.peak_nodes = self.peak_nodes.max(self.num_nodes);
+        if let Some(slot) = self.free.pop() {
+            let i = slot as usize;
+            debug_assert!(self.slots[i].is_none());
+            self.slots[i] = Some(weight);
+            self.succs[i].clear();
+            self.preds[i].clear();
+            NodeId(slot)
+        } else {
+            self.slots.push(Some(weight));
+            self.succs.push(Vec::new());
+            self.preds.push(Vec::new());
+            NodeId((self.slots.len() - 1) as u32)
+        }
+    }
+
+    /// Whether `n` refers to a live node.
+    #[must_use]
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.slots.get(n.index()).is_some_and(Option::is_some)
+    }
+
+    /// Payload of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not live.
+    #[must_use]
+    pub fn weight(&self, n: NodeId) -> &N {
+        self.slots[n.index()].as_ref().expect("vacant node slot")
+    }
+
+    /// Mutable payload of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not live.
+    pub fn weight_mut(&mut self, n: NodeId) -> &mut N {
+        self.slots[n.index()].as_mut().expect("vacant node slot")
+    }
+
+    /// Adds edge `from → to`, returning `false` if it was already present.
+    ///
+    /// Self-loops are permitted (Velodrome never creates them because a
+    /// transaction is not its own `⋖_Txn` successor, but the substrate
+    /// stays general).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is not live.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> bool {
+        assert!(self.contains(from), "edge source is vacant");
+        assert!(self.contains(to), "edge target is vacant");
+        if !self.edges.insert((from, to)) {
+            return false;
+        }
+        self.total_edges_added += 1;
+        self.succs[from.index()].push(to);
+        self.preds[to.index()].push(from);
+        true
+    }
+
+    /// Whether edge `from → to` is present.
+    #[must_use]
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.edges.contains(&(from, to))
+    }
+
+    /// Successors of `n` (out-neighbours), unordered.
+    #[must_use]
+    pub fn successors(&self, n: NodeId) -> &[NodeId] {
+        &self.succs[n.index()]
+    }
+
+    /// Predecessors of `n` (in-neighbours), unordered.
+    #[must_use]
+    pub fn predecessors(&self, n: NodeId) -> &[NodeId] {
+        &self.preds[n.index()]
+    }
+
+    /// In-degree of `n`.
+    #[must_use]
+    pub fn in_degree(&self, n: NodeId) -> usize {
+        self.preds[n.index()].len()
+    }
+
+    /// Out-degree of `n`.
+    #[must_use]
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.succs[n.index()].len()
+    }
+
+    /// Removes node `n` and all incident edges, returning its payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not live.
+    pub fn remove_node(&mut self, n: NodeId) -> N {
+        let weight = self.slots[n.index()].take().expect("vacant node slot");
+        let succs = std::mem::take(&mut self.succs[n.index()]);
+        for s in succs {
+            self.edges.remove(&(n, s));
+            self.preds[s.index()].retain(|&p| p != n);
+        }
+        let preds = std::mem::take(&mut self.preds[n.index()]);
+        for p in preds {
+            self.edges.remove(&(p, n));
+            self.succs[p.index()].retain(|&s| s != n);
+        }
+        // A self-loop appears in both lists; the first pass removed it.
+        self.free.push(n.0);
+        self.num_nodes -= 1;
+        weight
+    }
+
+    /// Iterates over live node handles.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| NodeId(i as u32)))
+    }
+
+    /// Iterates over live `(handle, payload)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &N)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|w| (NodeId(i as u32), w)))
+    }
+
+    /// Iterates over live edges as `(from, to)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.edges.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query_nodes() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        assert_eq!(g.num_nodes(), 2);
+        assert!(g.contains(a) && g.contains(b));
+        assert_eq!(*g.weight(a), "a");
+        *g.weight_mut(b) = "b2";
+        assert_eq!(*g.weight(b), "b2");
+        assert_eq!(g.nodes().count(), 2);
+    }
+
+    #[test]
+    fn edges_deduplicate() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        assert!(g.add_edge(a, b));
+        assert!(!g.add_edge(a, b));
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.total_edges_added(), 1);
+        assert!(g.has_edge(a, b));
+        assert!(!g.has_edge(b, a));
+        assert_eq!(g.successors(a), &[b]);
+        assert_eq!(g.predecessors(b), &[a]);
+        assert_eq!(g.out_degree(a), 1);
+        assert_eq!(g.in_degree(b), 1);
+        assert_eq!(g.in_degree(a), 0);
+    }
+
+    #[test]
+    fn remove_node_cleans_incident_edges() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(1);
+        let b = g.add_node(2);
+        let c = g.add_node(3);
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(c, a);
+        assert_eq!(g.remove_node(b), 2);
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.has_edge(c, a));
+        assert!(!g.has_edge(a, b));
+        assert_eq!(g.successors(a), &[] as &[NodeId]);
+        assert_eq!(g.predecessors(c).len(), 0);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        g.remove_node(a);
+        let b = g.add_node(());
+        assert_eq!(a, b); // slot reuse
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.total_nodes_added(), 2);
+        assert_eq!(g.peak_nodes(), 1);
+    }
+
+    #[test]
+    fn self_loop_roundtrip() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        assert!(g.add_edge(a, a));
+        assert!(g.has_edge(a, a));
+        g.remove_node(a);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "vacant")]
+    fn weight_of_removed_node_panics() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        let _b = g.add_node(());
+        g.remove_node(a);
+        let _ = g.weight(a);
+    }
+
+    #[test]
+    fn iterators_skip_vacant_slots() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let _b = g.add_node("b");
+        let c = g.add_node("c");
+        g.remove_node(a);
+        let live: Vec<_> = g.iter().map(|(_, w)| *w).collect();
+        assert_eq!(live.len(), 2);
+        assert!(live.contains(&"b") && live.contains(&"c"));
+        g.add_edge(c, c);
+        assert_eq!(g.edges().count(), 1);
+    }
+}

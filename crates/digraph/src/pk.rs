@@ -1,0 +1,273 @@
+//! Pearce–Kelly incremental topological ordering.
+//!
+//! Maintains a topological order of a growing DAG and detects, at edge
+//! insertion time, whether the new edge would close a cycle. Compared to
+//! the plain DFS check ([`crate::dfs::creates_cycle`]) this only explores
+//! the *affected region* — nodes whose order lies between the endpoints —
+//! which is much cheaper on sparse, already-ordered graphs.
+//!
+//! This is an **ablation** for the reproduction: the paper argues that all
+//! known graph-based serializability checkers pay a per-event cost that
+//! grows with the transaction graph. Pearce–Kelly improves the constants
+//! but its worst case is still Ω(edges) per insertion, so AeroDrome's
+//! linear bound is not matched (see `bench/ablation_cycle_detection`).
+//!
+//! Reference: D. Pearce and P. Kelly, *A Dynamic Topological Sort
+//! Algorithm for Directed Acyclic Graphs*, JEA 2006.
+
+use crate::graph::{DiGraph, NodeId};
+
+/// Error returned when an edge insertion would create a cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CycleError {
+    /// Source of the offending edge.
+    pub from: NodeId,
+    /// Target of the offending edge.
+    pub to: NodeId,
+}
+
+impl std::fmt::Display for CycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "edge {} → {} would create a cycle", self.from, self.to)
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// Incremental topological order over the nodes of a [`DiGraph`].
+///
+/// The maintainer is kept *outside* the graph so Velodrome can choose its
+/// cycle-detection strategy; it must be informed of node insertions via
+/// [`PearceKelly::on_add_node`] and edges must be inserted through
+/// [`PearceKelly::try_add_edge`].
+///
+/// # Examples
+///
+/// ```
+/// use digraph::{pk::PearceKelly, DiGraph};
+///
+/// let mut g = DiGraph::new();
+/// let mut pk = PearceKelly::new();
+/// let a = g.add_node(());
+/// pk.on_add_node(a);
+/// let b = g.add_node(());
+/// pk.on_add_node(b);
+/// assert!(pk.try_add_edge(&mut g, b, a).is_ok()); // b before a: reorders
+/// assert!(pk.try_add_edge(&mut g, a, b).is_err()); // closes a cycle
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PearceKelly {
+    /// Topological index per slot; larger = later. Vacant slots keep stale
+    /// values that are never consulted.
+    ord: Vec<u64>,
+    next: u64,
+    /// Visit stamps for the two DFS passes (avoids clearing).
+    stamp: Vec<u64>,
+    current_stamp: u64,
+}
+
+impl PearceKelly {
+    /// Creates a maintainer for an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a freshly inserted node (it goes to the end of the
+    /// order, which is trivially consistent because it has no edges yet).
+    pub fn on_add_node(&mut self, n: NodeId) {
+        let i = n.index();
+        if i >= self.ord.len() {
+            self.ord.resize(i + 1, 0);
+            self.stamp.resize(i + 1, 0);
+        }
+        self.next += 1;
+        self.ord[i] = self.next;
+    }
+
+    /// The current topological index of `n` (for tests/inspection).
+    #[must_use]
+    pub fn order_of(&self, n: NodeId) -> u64 {
+        self.ord[n.index()]
+    }
+
+    /// Inserts edge `from → to` into `g`, restoring topological order.
+    ///
+    /// Returns `Ok(false)` if the edge already existed (graph unchanged).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] — and leaves `g` unchanged — if the edge
+    /// would close a cycle.
+    pub fn try_add_edge<N>(
+        &mut self,
+        g: &mut DiGraph<N>,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<bool, CycleError> {
+        if g.has_edge(from, to) {
+            return Ok(false);
+        }
+        if from == to {
+            return Err(CycleError { from, to });
+        }
+        let lb = self.ord[to.index()];
+        let ub = self.ord[from.index()];
+        if lb > ub {
+            // Already consistent.
+            g.add_edge(from, to);
+            return Ok(true);
+        }
+
+        // Affected region: discover δ_F (forward from `to`, ord ≤ ub) and
+        // δ_B (backward from `from`, ord ≥ lb).
+        self.current_stamp += 1;
+        let fwd_stamp = self.current_stamp;
+        let mut delta_f = Vec::new();
+        let mut stack = vec![to];
+        self.stamp[to.index()] = fwd_stamp;
+        while let Some(n) = stack.pop() {
+            delta_f.push(n);
+            for &s in g.successors(n) {
+                if s == from {
+                    return Err(CycleError { from, to });
+                }
+                if self.ord[s.index()] <= ub && self.stamp[s.index()] != fwd_stamp {
+                    self.stamp[s.index()] = fwd_stamp;
+                    stack.push(s);
+                }
+            }
+        }
+
+        self.current_stamp += 1;
+        let bwd_stamp = self.current_stamp;
+        let mut delta_b = Vec::new();
+        let mut stack = vec![from];
+        self.stamp[from.index()] = bwd_stamp;
+        while let Some(n) = stack.pop() {
+            delta_b.push(n);
+            for &p in g.predecessors(n) {
+                if self.ord[p.index()] >= lb && self.stamp[p.index()] != bwd_stamp {
+                    self.stamp[p.index()] = bwd_stamp;
+                    stack.push(p);
+                }
+            }
+        }
+
+        // Reassign: the backward region keeps its relative order and moves
+        // before the forward region, reusing the union of their indices.
+        delta_b.sort_by_key(|n| self.ord[n.index()]);
+        delta_f.sort_by_key(|n| self.ord[n.index()]);
+        let mut pool: Vec<u64> = delta_b
+            .iter()
+            .chain(delta_f.iter())
+            .map(|n| self.ord[n.index()])
+            .collect();
+        pool.sort_unstable();
+        for (n, &o) in delta_b.iter().chain(delta_f.iter()).zip(pool.iter()) {
+            self.ord[n.index()] = o;
+        }
+
+        g.add_edge(from, to);
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfs;
+
+    fn setup(n: usize) -> (DiGraph<usize>, PearceKelly, Vec<NodeId>) {
+        let mut g = DiGraph::new();
+        let mut pk = PearceKelly::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                let id = g.add_node(i);
+                pk.on_add_node(id);
+                id
+            })
+            .collect();
+        (g, pk, ids)
+    }
+
+    fn assert_consistent(g: &DiGraph<usize>, pk: &PearceKelly) {
+        for (u, v) in g.edges() {
+            assert!(
+                pk.order_of(u) < pk.order_of(v),
+                "edge {u}→{v} violates maintained order"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_edges_need_no_reorder() {
+        let (mut g, mut pk, n) = setup(3);
+        assert_eq!(pk.try_add_edge(&mut g, n[0], n[1]), Ok(true));
+        assert_eq!(pk.try_add_edge(&mut g, n[1], n[2]), Ok(true));
+        assert_consistent(&g, &pk);
+    }
+
+    #[test]
+    fn duplicate_edge_is_reported() {
+        let (mut g, mut pk, n) = setup(2);
+        assert_eq!(pk.try_add_edge(&mut g, n[0], n[1]), Ok(true));
+        assert_eq!(pk.try_add_edge(&mut g, n[0], n[1]), Ok(false));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn back_edge_triggers_reorder() {
+        let (mut g, mut pk, n) = setup(3);
+        // Insert edges against the initial order: 2→1, 1→0.
+        assert!(pk.try_add_edge(&mut g, n[2], n[1]).is_ok());
+        assert!(pk.try_add_edge(&mut g, n[1], n[0]).is_ok());
+        assert_consistent(&g, &pk);
+        assert!(dfs::reaches(&g, n[2], n[0]));
+    }
+
+    #[test]
+    fn cycle_is_rejected_and_graph_unchanged() {
+        let (mut g, mut pk, n) = setup(3);
+        pk.try_add_edge(&mut g, n[0], n[1]).unwrap();
+        pk.try_add_edge(&mut g, n[1], n[2]).unwrap();
+        let edges_before = g.num_edges();
+        assert_eq!(
+            pk.try_add_edge(&mut g, n[2], n[0]),
+            Err(CycleError { from: n[2], to: n[0] })
+        );
+        assert_eq!(g.num_edges(), edges_before);
+        assert_consistent(&g, &pk);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let (mut g, mut pk, n) = setup(1);
+        assert!(pk.try_add_edge(&mut g, n[0], n[0]).is_err());
+    }
+
+    #[test]
+    fn randomized_against_dfs_oracle() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xA3);
+        for _ in 0..30 {
+            let (mut g, mut pk, n) = setup(12);
+            for _ in 0..60 {
+                let a = n[rng.gen_range(0..n.len())];
+                let b = n[rng.gen_range(0..n.len())];
+                let oracle_cycle = dfs::creates_cycle(&g, a, b) && !g.has_edge(a, b);
+                match pk.try_add_edge(&mut g, a, b) {
+                    Ok(_) => assert!(!oracle_cycle, "PK accepted a cycle-closing edge {a}→{b}"),
+                    Err(_) => {
+                        assert!(
+                            dfs::creates_cycle(&g, a, b),
+                            "PK rejected a safe edge {a}→{b}"
+                        );
+                    }
+                }
+                assert_consistent(&g, &pk);
+            }
+            assert!(dfs::topological_sort(&g).is_some());
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Causal atomicity (Farzan & Madhusudan, CAV 2006) — the weaker,
+//! per-transaction criterion the paper's conclusion lists as future work.
+//!
+//! A transaction `T` is *causally atomic* in a trace if there is an
+//! equivalent trace in which `T` alone runs serially — equivalently, no
+//! `⋖_Txn` cycle passes through `T`. Conflict serializability asks this
+//! of *all* transactions at once, so a trace is conflict serializable iff
+//! every transaction is causally atomic **and** the global graph is
+//! acyclic; the interesting gap is that a trace can violate global
+//! serializability while most individual transactions remain causally
+//! atomic, which is useful for blame assignment.
+
+use tracelog::{Trace, TransactionId, Transactions};
+
+use crate::{txn_order, BitSet, ChbClosure};
+
+/// Per-transaction causal-atomicity report.
+#[derive(Clone, Debug)]
+pub struct CausalReport {
+    /// The transaction decomposition the verdicts refer to.
+    pub transactions: Transactions,
+    /// Transactions that lie on a `⋖_Txn` cycle, in start order — the
+    /// non-causally-atomic ones.
+    pub on_cycle: Vec<TransactionId>,
+}
+
+impl CausalReport {
+    /// Whether every transaction is causally atomic (equivalent to
+    /// conflict serializability of the trace).
+    #[must_use]
+    pub fn all_atomic(&self) -> bool {
+        self.on_cycle.is_empty()
+    }
+
+    /// Whether a specific transaction is causally atomic.
+    #[must_use]
+    pub fn is_causally_atomic(&self, t: TransactionId) -> bool {
+        !self.on_cycle.contains(&t)
+    }
+}
+
+/// Computes causal atomicity for every transaction of `trace`.
+///
+/// A transaction lies on a cycle iff it belongs to a strongly connected
+/// component of the `⋖_Txn` graph with more than one node (self-loops
+/// cannot occur: `⋖_Txn` relates distinct transactions only).
+///
+/// # Examples
+///
+/// ```
+/// use tracelog::paper_traces::{rho1, rho2};
+///
+/// assert!(oracle::causal::analyze(&rho1()).all_atomic());
+/// let report = oracle::causal::analyze(&rho2());
+/// assert_eq!(report.on_cycle.len(), 2); // both T1 and T2 are to blame
+/// ```
+#[must_use]
+pub fn analyze(trace: &Trace) -> CausalReport {
+    let chb = ChbClosure::compute(trace);
+    let (transactions, edges) = txn_order(trace, &chb);
+    let k = transactions.len();
+
+    // Transitive closure over the transaction adjacency matrix (k is the
+    // number of transactions; the oracle is allowed to be quadratic).
+    let mut reach: Vec<BitSet> = edges.clone();
+    // Repeated squaring-style propagation in topological-ish sweeps;
+    // simple fixpoint iteration suffices at oracle scale.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..k {
+            let targets: Vec<usize> = reach[i].iter().collect();
+            for j in targets {
+                // reach[i] ∪= reach[j]
+                let (left, right) = if i < j {
+                    let (a, b) = reach.split_at_mut(j);
+                    (&mut a[i], &b[0])
+                } else if j < i {
+                    let (a, b) = reach.split_at_mut(i);
+                    (&mut b[0], &a[j])
+                } else {
+                    continue;
+                };
+                let before = left.len();
+                left.union_with(right);
+                if left.len() != before {
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    let on_cycle = (0..k)
+        .filter(|&i| reach[i].contains(i))
+        .map(|i| TransactionId(i as u32))
+        .collect();
+    CausalReport { transactions, on_cycle }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_conflict_serializable;
+    use tracelog::paper_traces::{rho1, rho2, rho3, rho4};
+    use tracelog::TraceBuilder;
+
+    #[test]
+    fn paper_traces_blame_the_right_transactions() {
+        assert!(analyze(&rho1()).all_atomic());
+        for trace in [rho2(), rho3()] {
+            let r = analyze(&trace);
+            assert_eq!(r.on_cycle.len(), 2, "both transactions in the cycle");
+        }
+        // ρ4: all three transactions participate (T1 ⋖ T2 ⋖ T3 ⋖ T1).
+        let r = analyze(&rho4());
+        assert_eq!(r.on_cycle.len(), 3);
+    }
+
+    #[test]
+    fn causal_atomicity_agrees_with_serializability_globally() {
+        for trace in [rho1(), rho2(), rho3(), rho4()] {
+            assert_eq!(
+                analyze(&trace).all_atomic(),
+                is_conflict_serializable(&trace)
+            );
+        }
+    }
+
+    #[test]
+    fn bystander_transactions_stay_causally_atomic() {
+        // T1 and T2 form a cycle; T3 (another thread, disjoint variable)
+        // is a bystander and remains causally atomic.
+        let mut tb = TraceBuilder::new();
+        let (t1, t2, t3) = (tb.thread("t1"), tb.thread("t2"), tb.thread("t3"));
+        let (x, y, z) = (tb.var("x"), tb.var("y"), tb.var("z"));
+        tb.begin(t3).write(t3, z).end(t3);
+        tb.begin(t1).begin(t2);
+        tb.write(t1, x);
+        tb.read(t2, x);
+        tb.write(t2, y);
+        tb.read(t1, y);
+        tb.end(t1).end(t2);
+        let trace = tb.finish();
+        let r = analyze(&trace);
+        assert!(!r.all_atomic());
+        assert_eq!(r.on_cycle.len(), 2);
+        // T3 is the first transaction (start order) and stays atomic.
+        assert!(r.is_causally_atomic(TransactionId(0)));
+    }
+
+    #[test]
+    fn downstream_transactions_of_a_cycle_are_not_blamed() {
+        // A cycle between T1/T2, then a later T4 that merely reads the
+        // aftermath: ordered after the cycle, not on it.
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let (x, y) = (tb.var("x"), tb.var("y"));
+        tb.begin(t1).begin(t2);
+        tb.write(t1, x);
+        tb.read(t2, x);
+        tb.write(t2, y);
+        tb.read(t1, y);
+        tb.end(t1).end(t2);
+        tb.begin(t1).read(t1, x).end(t1);
+        let trace = tb.finish();
+        let r = analyze(&trace);
+        assert_eq!(r.on_cycle.len(), 2);
+        assert!(r.is_causally_atomic(TransactionId(2)));
+    }
+}

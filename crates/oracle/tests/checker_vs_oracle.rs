@@ -1,0 +1,221 @@
+//! The master differential test: every checker against the Definition-1
+//! oracle on random closed traces.
+//!
+//! * **Completeness** (Theorem 3 / cycle detection): on a closed trace,
+//!   a checker reports a violation iff the oracle says the trace is not
+//!   conflict serializable.
+//! * **Soundness of the detection point**: when a checker stops at event
+//!   `k`, the prefix `e_1 … e_{k+1}` is already non-serializable — no
+//!   checker ever fires early.
+//! * **Tightness for Velodrome**: Velodrome detects at the *first*
+//!   non-serializable prefix (it checks every `⋖_Txn` edge as it forms).
+
+use aerodrome::basic::BasicChecker;
+use aerodrome::optimized::OptimizedChecker;
+use aerodrome::readopt::ReadOptChecker;
+use aerodrome::{run_checker, Outcome};
+use proptest::prelude::*;
+use tracelog::{validate, Trace, TraceBuilder};
+use velodrome::VelodromeChecker;
+
+#[derive(Clone, Copy, Debug)]
+enum Action {
+    #[allow(dead_code)] // payload is read via Debug in proptest shrink output
+    Read(u8),
+    Write(u8),
+    Acquire(u8),
+    #[allow(dead_code)] // payload only feeds proptest's shrink display
+    Release(u8),
+    Begin,
+    End,
+    Fork,
+    Join,
+}
+
+/// Builds a well-formed closed trace, now also exercising fork/join: the
+/// first thread may fork/join the last one when legal.
+fn build_trace(steps: &[(u8, Action)], threads: usize) -> Trace {
+    let mut tb = TraceBuilder::new();
+    let tids: Vec<_> = (0..threads).map(|i| tb.thread(&format!("t{i}"))).collect();
+    let vars: Vec<_> = (0..3).map(|i| tb.var(&format!("x{i}"))).collect();
+    let locks: Vec<_> = (0..2).map(|i| tb.lock(&format!("l{i}"))).collect();
+    let mut held: Vec<Vec<usize>> = vec![Vec::new(); threads];
+    let mut holder: Vec<Option<usize>> = vec![None; locks.len()];
+    let mut depth = vec![0usize; threads];
+    // Child-thread lifecycle for fork/join: the child is the LAST thread,
+    // which only runs between fork and join.
+    let child = threads - 1;
+    let mut child_state = 0u8; // 0 = unforked, 1 = running, 2 = joined
+
+    for &(who, action) in steps {
+        let mut ti = (who as usize) % threads;
+        // The child thread only acts while running.
+        if ti == child && child_state != 1 {
+            ti = 0;
+        }
+        let t = tids[ti];
+        match action {
+            Action::Fork => {
+                if ti == 0 && child_state == 0 {
+                    tb.fork(tids[0], tids[child]);
+                    child_state = 1;
+                }
+            }
+            Action::Join => {
+                if ti == 0
+                    && child_state == 1
+                    && depth[child] == 0
+                    && held[child].is_empty()
+                {
+                    tb.join(tids[0], tids[child]);
+                    child_state = 2;
+                }
+            }
+            Action::Read(v) => {
+                tb.read(t, vars[(v as usize) % vars.len()]);
+            }
+            Action::Write(v) => {
+                tb.write(t, vars[(v as usize) % vars.len()]);
+            }
+            Action::Acquire(l) => {
+                let li = (l as usize) % locks.len();
+                match holder[li] {
+                    None => {
+                        holder[li] = Some(ti);
+                        held[ti].push(li);
+                        tb.acquire(t, locks[li]);
+                    }
+                    Some(h) if h == ti => {
+                        held[ti].push(li);
+                        tb.acquire(t, locks[li]);
+                    }
+                    Some(_) => {}
+                }
+            }
+            Action::Release(_) => {
+                if let Some(li) = held[ti].pop() {
+                    tb.release(t, locks[li]);
+                    if !held[ti].contains(&li) {
+                        holder[li] = None;
+                    }
+                }
+            }
+            Action::Begin => {
+                if depth[ti] < 2 {
+                    tb.begin(t);
+                    depth[ti] += 1;
+                }
+            }
+            Action::End => {
+                if depth[ti] > 0 {
+                    tb.end(t);
+                    depth[ti] -= 1;
+                }
+            }
+        }
+    }
+    for ti in 0..threads {
+        while let Some(li) = held[ti].pop() {
+            tb.release(tids[ti], locks[li]);
+            if !held[ti].contains(&li) {
+                holder[li] = None;
+            }
+        }
+        while depth[ti] > 0 {
+            tb.end(tids[ti]);
+            depth[ti] -= 1;
+        }
+    }
+    if child_state == 1 {
+        tb.join(tids[0], tids[child]);
+    }
+    tb.finish()
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        4 => (0u8..3).prop_map(Action::Read),
+        4 => (0u8..3).prop_map(Action::Write),
+        2 => (0u8..2).prop_map(Action::Acquire),
+        2 => (0u8..2).prop_map(Action::Release),
+        3 => Just(Action::Begin),
+        3 => Just(Action::End),
+        1 => Just(Action::Fork),
+        1 => Just(Action::Join),
+    ]
+}
+
+fn detection_index(outcome: &Outcome) -> Option<usize> {
+    outcome.violation().map(|v| v.event.index())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn all_checkers_match_the_oracle(
+        steps in prop::collection::vec(((0u8..4), action_strategy()), 0..90),
+        threads in 2usize..5,
+    ) {
+        let trace = build_trace(&steps, threads);
+        prop_assert!(validate(&trace).unwrap().is_closed());
+        let truth = !oracle::is_conflict_serializable(&trace);
+
+        let outcomes = [
+            ("basic", run_checker(&mut BasicChecker::new(), &trace)),
+            ("readopt", run_checker(&mut ReadOptChecker::new(), &trace)),
+            ("optimized", run_checker(&mut OptimizedChecker::new(), &trace)),
+            ("velodrome", run_checker(&mut VelodromeChecker::new(), &trace)),
+        ];
+        for (name, outcome) in &outcomes {
+            prop_assert_eq!(
+                outcome.is_violation(), truth,
+                "{} disagrees with the Definition-1 oracle", name
+            );
+            // Soundness of the detection point: the reported prefix is
+            // already non-serializable.
+            if let Some(k) = detection_index(outcome) {
+                prop_assert!(
+                    !oracle::prefix_is_conflict_serializable(&trace, k + 1),
+                    "{} fired early at event {}", name, k
+                );
+            }
+        }
+
+        // Velodrome is tight: it stops at the FIRST non-serializable
+        // prefix.
+        if let Some(k) = detection_index(&outcomes[3].1) {
+            prop_assert!(
+                oracle::prefix_is_conflict_serializable(&trace, k),
+                "velodrome detected later than the first bad prefix"
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_agrees_on_scenarios() {
+    use workloads_smoke::*;
+    for (name, trace, violating) in scenario_suite() {
+        assert_eq!(
+            !oracle::is_conflict_serializable(&trace),
+            violating,
+            "{name}"
+        );
+    }
+}
+
+/// Tiny local copies to avoid a circular dev-dependency on `workloads`.
+mod workloads_smoke {
+    use tracelog::paper_traces::{rho1, rho2, rho3, rho4};
+    use tracelog::Trace;
+
+    pub fn scenario_suite() -> Vec<(&'static str, Trace, bool)> {
+        vec![
+            ("rho1", rho1(), false),
+            ("rho2", rho2(), true),
+            ("rho3", rho3(), true),
+            ("rho4", rho4(), true),
+        ]
+    }
+}

@@ -1,0 +1,661 @@
+//! Library backing the `rapid` binary — the command-line front end of
+//! this reproduction, mirroring the workflow of the paper's Rapid
+//! artifact (Appendix D): `metainfo`, `aerodrome` and `velodrome`
+//! analyses over `.std` trace logs, plus workload generation and the
+//! one-command reproduction of Tables 1 and 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use aerodrome::basic::BasicChecker;
+use aerodrome::optimized::OptimizedChecker;
+use aerodrome::readopt::ReadOptChecker;
+use aerodrome::{run_checker, Checker, Outcome};
+use tracelog::{parse_trace, MetaInfo, Trace};
+use velodrome::{Config, Strategy, VelodromeChecker};
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `rapid metainfo <trace.std>` — trace statistics (Tables 1–2
+    /// columns 2–6).
+    MetaInfo {
+        /// Path of the trace log.
+        path: String,
+    },
+    /// `rapid aerodrome <trace.std> [--algorithm basic|readopt|optimized]`.
+    Aerodrome {
+        /// Path of the trace log.
+        path: String,
+        /// Which AeroDrome variant to run.
+        algorithm: Algorithm,
+    },
+    /// `rapid velodrome <trace.std> [--no-gc] [--pearce-kelly]`.
+    Velodrome {
+        /// Path of the trace log.
+        path: String,
+        /// Baseline configuration.
+        config: Config,
+    },
+    /// `rapid generate <out.std> [--events N] [--threads N] [--seed N]
+    /// [--violation-at F] [--retention] [--profile NAME]`.
+    Generate {
+        /// Output path.
+        path: String,
+        /// Generator configuration.
+        cfg: Box<workloads::GenConfig>,
+        /// Profile name override (uses the profile's config).
+        profile: Option<String>,
+    },
+    /// `rapid table1 [--budget SECS]` / `rapid table2 [--budget SECS]`.
+    Table {
+        /// 1 or 2.
+        which: u8,
+        /// Per-run wall-clock budget.
+        budget: Duration,
+    },
+    /// `rapid twophase <trace.std> [--batch N]` — the DoubleChecker-style
+    /// imprecise-then-precise analysis.
+    TwoPhase {
+        /// Path of the trace log.
+        path: String,
+        /// Phase-1 cycle-check batch size.
+        batch: usize,
+    },
+    /// `rapid causal <trace.std>` — per-transaction causal atomicity
+    /// (oracle-based; quadratic, for small traces).
+    Causal {
+        /// Path of the trace log.
+        path: String,
+    },
+    /// `rapid help`.
+    Help,
+}
+
+/// AeroDrome variant selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// Algorithm 1.
+    Basic,
+    /// Algorithm 2.
+    ReadOpt,
+    /// Algorithm 3 (default; the variant the paper evaluates).
+    #[default]
+    Optimized,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+rapid — atomicity checking on trace logs (AeroDrome reproduction)
+
+USAGE:
+    rapid metainfo  <trace.std>
+    rapid aerodrome <trace.std> [--algorithm basic|readopt|optimized]
+    rapid velodrome <trace.std> [--no-gc] [--pearce-kelly]
+    rapid generate  <out.std> [--profile NAME] [--events N] [--threads N]
+                    [--vars N] [--locks N] [--seed N] [--violation-at F]
+                    [--retention]
+    rapid table1    [--budget SECS]
+    rapid table2    [--budget SECS]
+    rapid twophase  <trace.std> [--batch N]
+    rapid causal    <trace.std>
+    rapid help
+
+Trace logs use the RAPID .std format: `<thread>|<op>|<loc>` per line with
+op ∈ r(x) w(x) acq(l) rel(l) fork(t) join(t) begin end.";
+
+/// Errors from command-line parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+fn flag_value<'a>(
+    args: &'a [String],
+    i: &mut usize,
+    name: &str,
+) -> Result<&'a str, UsageError> {
+    *i += 1;
+    args.get(*i)
+        .map(String::as_str)
+        .ok_or_else(|| UsageError(format!("{name} requires a value")))
+}
+
+/// Parses `args` (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "metainfo" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| UsageError("metainfo requires a trace path".into()))?;
+            Ok(Command::MetaInfo { path: path.clone() })
+        }
+        "aerodrome" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| UsageError("aerodrome requires a trace path".into()))?
+                .clone();
+            let mut algorithm = Algorithm::default();
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--algorithm" => {
+                        algorithm = match flag_value(args, &mut i, "--algorithm")? {
+                            "basic" => Algorithm::Basic,
+                            "readopt" => Algorithm::ReadOpt,
+                            "optimized" => Algorithm::Optimized,
+                            other => {
+                                return Err(UsageError(format!("unknown algorithm `{other}`")))
+                            }
+                        };
+                    }
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Aerodrome { path, algorithm })
+        }
+        "velodrome" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| UsageError("velodrome requires a trace path".into()))?
+                .clone();
+            let mut config = Config::default();
+            for arg in &args[2..] {
+                match arg.as_str() {
+                    "--no-gc" => config.gc = false,
+                    "--pearce-kelly" => config.strategy = Strategy::PearceKelly,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Velodrome { path, config })
+        }
+        "generate" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| UsageError("generate requires an output path".into()))?
+                .clone();
+            let mut cfg = workloads::GenConfig::default();
+            let mut profile = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--profile" => profile = Some(flag_value(args, &mut i, "--profile")?.to_owned()),
+                    "--events" => {
+                        cfg.events = flag_value(args, &mut i, "--events")?
+                            .parse()
+                            .map_err(|e| UsageError(format!("--events: {e}")))?;
+                    }
+                    "--threads" => {
+                        cfg.threads = flag_value(args, &mut i, "--threads")?
+                            .parse()
+                            .map_err(|e| UsageError(format!("--threads: {e}")))?;
+                    }
+                    "--vars" => {
+                        cfg.vars = flag_value(args, &mut i, "--vars")?
+                            .parse()
+                            .map_err(|e| UsageError(format!("--vars: {e}")))?;
+                    }
+                    "--locks" => {
+                        cfg.locks = flag_value(args, &mut i, "--locks")?
+                            .parse()
+                            .map_err(|e| UsageError(format!("--locks: {e}")))?;
+                    }
+                    "--seed" => {
+                        cfg.seed = flag_value(args, &mut i, "--seed")?
+                            .parse()
+                            .map_err(|e| UsageError(format!("--seed: {e}")))?;
+                    }
+                    "--violation-at" => {
+                        cfg.violation_at = Some(
+                            flag_value(args, &mut i, "--violation-at")?
+                                .parse()
+                                .map_err(|e| UsageError(format!("--violation-at: {e}")))?,
+                        );
+                    }
+                    "--retention" => cfg.retention = true,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Generate {
+                path,
+                cfg: Box::new(cfg),
+                profile,
+            })
+        }
+        "table1" | "table2" => {
+            let which = if cmd == "table1" { 1 } else { 2 };
+            let mut budget = Duration::from_secs(5);
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--budget" => {
+                        budget = Duration::from_secs(
+                            flag_value(args, &mut i, "--budget")?
+                                .parse()
+                                .map_err(|e| UsageError(format!("--budget: {e}")))?,
+                        );
+                    }
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Table { which, budget })
+        }
+        "twophase" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| UsageError("twophase requires a trace path".into()))?
+                .clone();
+            let mut batch = 1024usize;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--batch" => {
+                        batch = flag_value(args, &mut i, "--batch")?
+                            .parse()
+                            .map_err(|e| UsageError(format!("--batch: {e}")))?;
+                    }
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::TwoPhase { path, batch })
+        }
+        "causal" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| UsageError("causal requires a trace path".into()))?
+                .clone();
+            Ok(Command::Causal { path })
+        }
+        other => Err(UsageError(format!(
+            "unknown command `{other}` (try `rapid help`)"
+        ))),
+    }
+}
+
+/// Loads and parses a `.std` trace log.
+pub fn load_trace(path: &str) -> Result<Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_trace(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Renders a checker outcome the way the artifact's scripts do.
+#[must_use]
+pub fn report_outcome(name: &str, outcome: &Outcome, trace: &Trace, events: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "analysis: {name}");
+    let _ = writeln!(out, "events processed: {events}");
+    match outcome {
+        Outcome::Serializable => {
+            let _ = writeln!(
+                out,
+                "verdict: ✓ no conflict-serializability violation detected"
+            );
+        }
+        Outcome::Violation(v) => {
+            let _ = writeln!(out, "verdict: ✗ {}", v.display_with(trace));
+        }
+    }
+    out
+}
+
+/// Executes a parsed command, returning the text to print.
+pub fn run(command: Command) -> Result<String, String> {
+    match command {
+        Command::Help => Ok(USAGE.to_owned()),
+        Command::MetaInfo { path } => {
+            let trace = load_trace(&path)?;
+            Ok(MetaInfo::of(&trace).to_string())
+        }
+        Command::Aerodrome { path, algorithm } => {
+            let trace = load_trace(&path)?;
+            let (name, outcome, events) = match algorithm {
+                Algorithm::Basic => {
+                    let mut c = BasicChecker::new();
+                    let o = run_checker(&mut c, &trace);
+                    ("aerodrome (Algorithm 1)", o, c.events_processed())
+                }
+                Algorithm::ReadOpt => {
+                    let mut c = ReadOptChecker::new();
+                    let o = run_checker(&mut c, &trace);
+                    ("aerodrome (Algorithm 2)", o, c.events_processed())
+                }
+                Algorithm::Optimized => {
+                    let mut c = OptimizedChecker::new();
+                    let o = run_checker(&mut c, &trace);
+                    ("aerodrome (Algorithm 3)", o, c.events_processed())
+                }
+            };
+            Ok(report_outcome(name, &outcome, &trace, events))
+        }
+        Command::Velodrome { path, config } => {
+            let trace = load_trace(&path)?;
+            let mut c = VelodromeChecker::with_config(config);
+            let outcome = run_checker(&mut c, &trace);
+            let events = c.events_processed();
+            let mut out = report_outcome("velodrome", &outcome, &trace, events);
+            let s = c.stats();
+            let _ = writeln!(
+                out,
+                "graph: nodes_created={} peak_live={} cycle_checks={}",
+                s.nodes_created, s.peak_live_nodes, s.cycle_checks
+            );
+            if let Some(w) = c.witness() {
+                let _ = writeln!(out, "witness cycle: {} transactions", w.len());
+            }
+            Ok(out)
+        }
+        Command::Generate { path, cfg, profile } => {
+            let cfg = match profile {
+                Some(name) => workloads::table1()
+                    .into_iter()
+                    .chain(workloads::table2())
+                    .find(|p| p.name == name)
+                    .map(|p| p.cfg)
+                    .ok_or_else(|| format!("unknown profile `{name}`"))?,
+                None => *cfg,
+            };
+            let trace = workloads::generate(&cfg);
+            std::fs::write(&path, tracelog::write_trace(&trace))
+                .map_err(|e| format!("{path}: {e}"))?;
+            Ok(format!(
+                "wrote {} events ({} threads, {} vars, {} locks) to {path}",
+                trace.len(),
+                trace.num_threads(),
+                trace.num_vars(),
+                trace.num_locks()
+            ))
+        }
+        Command::TwoPhase { path, batch } => {
+            let trace = load_trace(&path)?;
+            let report = velodrome::twophase::check(&trace, batch);
+            let mut out = report_outcome(
+                "two-phase (imprecise + precise)",
+                &report.outcome,
+                &trace,
+                report.phase1_events,
+            );
+            let _ = writeln!(
+                out,
+                "phase 1 scanned {} events; phase 2 re-scanned {}",
+                report.phase1_events, report.phase2_events
+            );
+            Ok(out)
+        }
+        Command::Causal { path } => {
+            let trace = load_trace(&path)?;
+            if trace.len() > 20_000 {
+                return Err(format!(
+                    "causal analysis is quadratic; {} events is too large (limit 20000)",
+                    trace.len()
+                ));
+            }
+            let report = oracle::causal::analyze(&trace);
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "transactions: {} ({} unary)",
+                report.transactions.len(),
+                report.transactions.len() - report.transactions.non_unary_count()
+            );
+            if report.all_atomic() {
+                let _ = writeln!(out, "verdict: ✓ every transaction is causally atomic");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "verdict: ✗ {} transaction(s) lie on a ⋖-cycle:",
+                    report.on_cycle.len()
+                );
+                for t in &report.on_cycle {
+                    let txn = &report.transactions[*t];
+                    let _ = writeln!(
+                        out,
+                        "  {} of thread {} ({} events{})",
+                        t,
+                        trace.thread_name(txn.thread),
+                        txn.num_events,
+                        if txn.is_unary() { ", unary" } else { "" }
+                    );
+                }
+            }
+            Ok(out)
+        }
+        Command::Table { which, budget } => {
+            let profiles = if which == 1 {
+                workloads::table1()
+            } else {
+                workloads::table2()
+            };
+            let rows: Vec<_> = profiles
+                .iter()
+                .map(|p| bench::run_profile(p, budget))
+                .collect();
+            let mut out = bench::format_table(
+                &format!("Table {which} (scaled traces; budget {budget:?})"),
+                &rows,
+            );
+            let problems = bench::check_shape(&rows);
+            if problems.is_empty() {
+                let _ = writeln!(out, "shape check: all qualitative claims hold ✓");
+            } else {
+                for p in &problems {
+                    let _ = writeln!(out, "shape check ✗ {p}");
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_help_and_empty() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_metainfo() {
+        assert_eq!(
+            parse_args(&args(&["metainfo", "t.std"])).unwrap(),
+            Command::MetaInfo { path: "t.std".into() }
+        );
+        assert!(parse_args(&args(&["metainfo"])).is_err());
+    }
+
+    #[test]
+    fn parses_aerodrome_algorithms() {
+        let cmd = parse_args(&args(&["aerodrome", "t.std", "--algorithm", "basic"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Aerodrome { path: "t.std".into(), algorithm: Algorithm::Basic }
+        );
+        assert!(parse_args(&args(&["aerodrome", "t.std", "--algorithm", "bogus"])).is_err());
+        let cmd = parse_args(&args(&["aerodrome", "t.std"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Aerodrome { path: "t.std".into(), algorithm: Algorithm::Optimized }
+        );
+    }
+
+    #[test]
+    fn parses_velodrome_flags() {
+        let cmd =
+            parse_args(&args(&["velodrome", "t.std", "--no-gc", "--pearce-kelly"])).unwrap();
+        match cmd {
+            Command::Velodrome { config, .. } => {
+                assert!(!config.gc);
+                assert_eq!(config.strategy, Strategy::PearceKelly);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_generate_options() {
+        let cmd = parse_args(&args(&[
+            "generate", "o.std", "--events", "500", "--threads", "3", "--seed", "9",
+            "--violation-at", "0.5", "--retention",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Generate { cfg, path, profile } => {
+                assert_eq!(path, "o.std");
+                assert_eq!(profile, None);
+                assert_eq!(cfg.events, 500);
+                assert_eq!(cfg.threads, 3);
+                assert_eq!(cfg.seed, 9);
+                assert_eq!(cfg.violation_at, Some(0.5));
+                assert!(cfg.retention);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_table_budget() {
+        let cmd = parse_args(&args(&["table1", "--budget", "3"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Table { which: 1, budget: Duration::from_secs(3) }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_commands_and_flags() {
+        assert!(parse_args(&args(&["frobnicate"])).is_err());
+        assert!(parse_args(&args(&["table1", "--bogus"])).is_err());
+        assert!(parse_args(&args(&["generate", "o", "--events"])).is_err());
+    }
+
+    #[test]
+    fn end_to_end_generate_metainfo_analyze() {
+        let dir = std::env::temp_dir().join("rapid-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.std").to_string_lossy().into_owned();
+        let out = run(Command::Generate {
+            path: path.clone(),
+            cfg: Box::new(workloads::GenConfig {
+                events: 800,
+                violation_at: Some(0.5),
+                ..workloads::GenConfig::default()
+            }),
+            profile: None,
+        })
+        .unwrap();
+        assert!(out.contains("wrote"));
+
+        let info = run(Command::MetaInfo { path: path.clone() }).unwrap();
+        assert!(info.contains("events:"));
+
+        for algorithm in [Algorithm::Basic, Algorithm::ReadOpt, Algorithm::Optimized] {
+            let report = run(Command::Aerodrome { path: path.clone(), algorithm }).unwrap();
+            assert!(report.contains('✗'), "expected violation: {report}");
+        }
+        let report = run(Command::Velodrome {
+            path: path.clone(),
+            config: Config::default(),
+        })
+        .unwrap();
+        assert!(report.contains('✗'));
+        assert!(report.contains("graph:"));
+    }
+
+    #[test]
+    fn generate_with_profile_name() {
+        let dir = std::env::temp_dir().join("rapid-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hedc.std").to_string_lossy().into_owned();
+        let out = run(Command::Generate {
+            path,
+            cfg: Box::new(workloads::GenConfig::default()),
+            profile: Some("hedc".into()),
+        })
+        .unwrap();
+        assert!(out.contains("wrote"));
+        assert!(run(Command::Generate {
+            path: "x".into(),
+            cfg: Box::new(workloads::GenConfig::default()),
+            profile: Some("nonexistent".into()),
+        })
+        .is_err());
+    }
+}
+
+#[cfg(test)]
+mod twophase_causal_tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("rapid-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn parses_twophase_and_causal() {
+        let cmd = parse_args(&["twophase".into(), "t.std".into(), "--batch".into(), "64".into()])
+            .unwrap();
+        assert_eq!(cmd, Command::TwoPhase { path: "t.std".into(), batch: 64 });
+        let cmd = parse_args(&["causal".into(), "t.std".into()]).unwrap();
+        assert_eq!(cmd, Command::Causal { path: "t.std".into() });
+        assert!(parse_args(&["twophase".into()]).is_err());
+    }
+
+    #[test]
+    fn twophase_and_causal_run_end_to_end() {
+        let path = tmp("tp.std");
+        let rho2 = tracelog::paper_traces::rho2();
+        std::fs::write(&path, tracelog::write_trace(&rho2)).unwrap();
+
+        let out = run(Command::TwoPhase { path: path.clone(), batch: 4 }).unwrap();
+        assert!(out.contains('✗'), "{out}");
+        assert!(out.contains("phase 1"));
+
+        let out = run(Command::Causal { path: path.clone() }).unwrap();
+        assert!(out.contains("⋖-cycle"), "{out}");
+
+        // Serializable trace: both report clean.
+        let path = tmp("tp_ok.std");
+        std::fs::write(&path, tracelog::write_trace(&tracelog::paper_traces::rho1())).unwrap();
+        let out = run(Command::TwoPhase { path: path.clone(), batch: 4 }).unwrap();
+        assert!(out.contains('✓'));
+        let out = run(Command::Causal { path }).unwrap();
+        assert!(out.contains("causally atomic"));
+    }
+
+    #[test]
+    fn causal_rejects_oversized_traces() {
+        let path = tmp("big.std");
+        let trace = workloads::generate(&workloads::GenConfig {
+            events: 25_000,
+            ..workloads::GenConfig::default()
+        });
+        std::fs::write(&path, tracelog::write_trace(&trace)).unwrap();
+        assert!(run(Command::Causal { path }).is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! `rapid` — command-line atomicity checking on trace logs.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match rapid_cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", rapid_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match rapid_cli::run(command) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! End-to-end tests of the `rapid` binary itself (spawned as a process),
+//! mirroring the artifact workflow of Appendix D: generate a trace log,
+//! compute metainfo, run both analyses, compare verdicts.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn rapid() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rapid"))
+}
+
+fn tmpfile(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("rapid-bin-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = rapid().args(args).output().expect("spawn rapid");
+    assert!(
+        out.status.success(),
+        "rapid {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn help_prints_usage() {
+    let text = run_ok(&["help"]);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("metainfo"));
+    // No arguments behaves like help.
+    let text = run_ok(&[]);
+    assert!(text.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_exits_nonzero_with_usage() {
+    let out = rapid().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn artifact_workflow_generate_metainfo_analyze() {
+    let path = tmpfile("wf.std");
+    let path_s = path.to_str().unwrap();
+
+    let text = run_ok(&[
+        "generate", path_s, "--events", "2000", "--threads", "5", "--seed", "7",
+        "--violation-at", "0.5",
+    ]);
+    assert!(text.contains("wrote"));
+    assert!(path.exists());
+
+    let info = run_ok(&["metainfo", path_s]);
+    assert!(info.contains("events:"));
+    assert!(info.contains("threads:      5"));
+
+    let aero = run_ok(&["aerodrome", path_s]);
+    assert!(aero.contains('✗'), "{aero}");
+    let aero_basic = run_ok(&["aerodrome", path_s, "--algorithm", "basic"]);
+    assert!(aero_basic.contains('✗'));
+
+    let velo = run_ok(&["velodrome", path_s]);
+    assert!(velo.contains('✗'));
+    assert!(velo.contains("graph:"));
+    let velo_pk = run_ok(&["velodrome", path_s, "--pearce-kelly", "--no-gc"]);
+    assert!(velo_pk.contains('✗'));
+
+    let tp = run_ok(&["twophase", path_s, "--batch", "256"]);
+    assert!(tp.contains('✗'));
+}
+
+#[test]
+fn serializable_trace_reports_clean_everywhere() {
+    let path = tmpfile("clean.std");
+    let path_s = path.to_str().unwrap();
+    run_ok(&["generate", path_s, "--events", "1500", "--seed", "3"]);
+    for args in [
+        vec!["aerodrome", path_s],
+        vec!["velodrome", path_s],
+        vec!["twophase", path_s],
+        vec!["causal", path_s],
+    ] {
+        let text = run_ok(&args);
+        assert!(text.contains('✓'), "{args:?}: {text}");
+    }
+}
+
+#[test]
+fn analyze_missing_file_fails_cleanly() {
+    let out = rapid().args(["aerodrome", "/nonexistent/x.std"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn generate_with_profile() {
+    let path = tmpfile("philo.std");
+    let path_s = path.to_str().unwrap();
+    let text = run_ok(&["generate", path_s, "--profile", "philo"]);
+    assert!(text.contains("wrote"));
+    let info = run_ok(&["metainfo", path_s]);
+    assert!(info.contains("transactions: 0"), "{info}");
+}

@@ -1,0 +1,167 @@
+//! Dense, interned identifiers for threads, locks and variables.
+//!
+//! The analyses index their per-thread / per-lock / per-variable state by
+//! dense `u32` indices; the original names from a logged trace are kept in
+//! an [`Interner`] so reports remain human-readable.
+
+use std::collections::HashMap;
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an identifier from a dense index.
+            #[must_use]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect(concat!(
+                    stringify!($name),
+                    " index exceeds u32"
+                )))
+            }
+
+            /// The dense index backing this identifier.
+            #[must_use]
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A dense thread identifier (`t` in the paper's `⟨t, op⟩`).
+    ThreadId,
+    "t"
+);
+define_id!(
+    /// A dense lock identifier (`ℓ` in `acq(ℓ)` / `rel(ℓ)`).
+    LockId,
+    "l"
+);
+define_id!(
+    /// A dense memory-location identifier (`x` in `r(x)` / `w(x)`).
+    VarId,
+    "x"
+);
+
+/// An order-preserving string interner mapping names to dense indices.
+///
+/// # Examples
+///
+/// ```
+/// let mut i = tracelog::Interner::new();
+/// let a = i.intern("main");
+/// let b = i.intern("worker");
+/// assert_eq!(i.intern("main"), a);
+/// assert_eq!(i.name(b), "worker");
+/// assert_eq!(i.len(), 2);
+/// ```
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its dense index (stable across calls).
+    pub fn intern(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.names.len();
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), i);
+        i
+    }
+
+    /// Looks up an already-interned name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// The name behind dense index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` was never returned by [`Interner::intern`].
+    #[must_use]
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Number of distinct interned names.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no name has been interned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over names in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_indices() {
+        let t = ThreadId::from_index(3);
+        assert_eq!(t.index(), 3);
+        assert_eq!(t.to_string(), "t3");
+        assert_eq!(usize::from(t), 3);
+        assert_eq!(LockId::from_index(0).to_string(), "l0");
+        assert_eq!(VarId::from_index(9).to_string(), "x9");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ThreadId::from_index(1) < ThreadId::from_index(2));
+    }
+
+    #[test]
+    fn interner_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        assert!(i.is_empty());
+        let a = i.intern("x");
+        let b = i.intern("y");
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(i.intern("x"), 0);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.get("y"), Some(1));
+        assert_eq!(i.get("z"), None);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec!["x", "y"]);
+    }
+}

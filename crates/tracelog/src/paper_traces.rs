@@ -1,0 +1,158 @@
+//! The paper's running-example traces ρ1–ρ4 (Figures 1–4).
+//!
+//! These traces are used throughout Sections 2–4 to motivate the `⋖_E`
+//! relation and to illustrate AeroDrome's clock updates (Figures 5–7).
+//! They double as golden tests: ρ1 is conflict serializable, ρ2–ρ4 are
+//! not, with violations detected at e6, e7 and e11 respectively
+//! (one-based event positions).
+
+use crate::trace::{Trace, TraceBuilder};
+
+/// Figure 1 — trace ρ1: three transactions with `T3 ⋖ T1 ⋖ T2`;
+/// conflict **serializable** (equivalent serial order `T3 T1 T2`).
+///
+/// ```text
+/// e1  t1 ⊲        e6  t3 ⊲
+/// e2  t1 w(x)     e7  t3 w(z)
+/// e3  t2 ⊲        e8  t3 ⊳
+/// e4  t2 r(x)     e9  t1 r(z)
+/// e5  t2 ⊳        e10 t1 ⊳
+/// ```
+#[must_use]
+pub fn rho1() -> Trace {
+    let mut tb = TraceBuilder::new();
+    let (t1, t2, t3) = (tb.thread("t1"), tb.thread("t2"), tb.thread("t3"));
+    let (x, z) = (tb.var("x"), tb.var("z"));
+    tb.begin(t1).write(t1, x);
+    tb.begin(t2).read(t2, x).end(t2);
+    tb.begin(t3).write(t3, z).end(t3);
+    tb.read(t1, z).end(t1);
+    tb.finish()
+}
+
+/// Figure 2 — trace ρ2: the violation is witnessed by a `≤CHB` path that
+/// starts and ends in transaction `T1`. AeroDrome reports at **e6**
+/// (`C⊲_{t1} ⊑ W_y`, Figure 5).
+///
+/// ```text
+/// e1 t1 ⊲       e5 t2 w(y)
+/// e2 t2 ⊲       e6 t1 r(y)   ← violation
+/// e3 t1 w(x)    e7 t1 ⊳
+/// e4 t2 r(x)    e8 t2 ⊳
+/// ```
+#[must_use]
+pub fn rho2() -> Trace {
+    let mut tb = TraceBuilder::new();
+    let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+    let (x, y) = (tb.var("x"), tb.var("y"));
+    tb.begin(t1);
+    tb.begin(t2);
+    tb.write(t1, x);
+    tb.read(t2, x);
+    tb.write(t2, y);
+    tb.read(t1, y);
+    tb.end(t1);
+    tb.end(t2);
+    tb.finish()
+}
+
+/// Figure 3 — trace ρ3: a violation with **no** `≤CHB` path returning to
+/// the same transaction; detecting it needs the `⋖_E` relation. AeroDrome
+/// reports at **e7**, the end event of `t1` (`C⊲_{t2} ⊑ C_{t1}`,
+/// Figure 6).
+///
+/// ```text
+/// e1 t1 ⊲       e5 t1 r(y)
+/// e2 t2 ⊲       e6 t2 r(x)
+/// e3 t1 w(x)    e7 t1 ⊳      ← violation
+/// e4 t2 w(y)    e8 t2 ⊳
+/// ```
+#[must_use]
+pub fn rho3() -> Trace {
+    let mut tb = TraceBuilder::new();
+    let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+    let (x, y) = (tb.var("x"), tb.var("y"));
+    tb.begin(t1);
+    tb.begin(t2);
+    tb.write(t1, x);
+    tb.write(t2, y);
+    tb.read(t1, y);
+    tb.read(t2, x);
+    tb.end(t1);
+    tb.end(t2);
+    tb.finish()
+}
+
+/// Figure 4 — trace ρ4: ρ1 modified so each transaction is a `⋖_Txn`
+/// predecessor of the other; the dependency `T1 ⋖ T2` is discovered by a
+/// *future* event. AeroDrome reports at **e11** (`C⊲_{t1} ⊑ W_z`,
+/// Figure 7).
+///
+/// ```text
+/// e1  t1 ⊲        e7  t3 ⊲
+/// e2  t1 w(x)     e8  t3 r(y)
+/// e3  t2 ⊲        e9  t3 w(z)
+/// e4  t2 w(y)     e10 t3 ⊳
+/// e5  t2 r(x)     e11 t1 r(z)   ← violation
+/// e6  t2 ⊳        e12 t1 ⊳
+/// ```
+#[must_use]
+pub fn rho4() -> Trace {
+    let mut tb = TraceBuilder::new();
+    let (t1, t2, t3) = (tb.thread("t1"), tb.thread("t2"), tb.thread("t3"));
+    let (x, y, z) = (tb.var("x"), tb.var("y"), tb.var("z"));
+    tb.begin(t1).write(t1, x);
+    tb.begin(t2).write(t2, y).read(t2, x).end(t2);
+    tb.begin(t3).read(t3, y).write(t3, z).end(t3);
+    tb.read(t1, z).end(t1);
+    tb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::MetaInfo;
+    use crate::txn::Transactions;
+    use crate::validate::validate;
+
+    #[test]
+    fn all_paper_traces_are_well_formed_and_closed() {
+        for (name, tr) in [("ρ1", rho1()), ("ρ2", rho2()), ("ρ3", rho3()), ("ρ4", rho4())] {
+            let summary = validate(&tr).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(summary.is_closed(), "{name} left open state");
+        }
+    }
+
+    #[test]
+    fn rho1_shape_matches_figure_1() {
+        let tr = rho1();
+        assert_eq!(tr.len(), 10);
+        assert_eq!(tr.num_threads(), 3);
+        let txns = Transactions::segment(&tr);
+        assert_eq!(txns.non_unary_count(), 3);
+        // T1 spans e1..e10, i.e. offsets 0..=9.
+        assert_eq!(txns[0].begin.unwrap().index(), 0);
+        assert_eq!(txns[0].end.unwrap().index(), 9);
+    }
+
+    #[test]
+    fn rho2_rho3_have_two_transactions() {
+        for tr in [rho2(), rho3()] {
+            assert_eq!(tr.len(), 8);
+            let info = MetaInfo::of(&tr);
+            assert_eq!(info.transactions, 2);
+            assert_eq!(info.vars, 2);
+            assert_eq!(info.threads, 2);
+        }
+    }
+
+    #[test]
+    fn rho4_shape_matches_figure_4() {
+        let tr = rho4();
+        assert_eq!(tr.len(), 12);
+        let info = MetaInfo::of(&tr);
+        assert_eq!(info.transactions, 3);
+        assert_eq!(info.vars, 3);
+        assert_eq!((info.reads, info.writes), (3, 3));
+    }
+}

@@ -1,0 +1,298 @@
+//! Text format for trace logs (the RAPID `.std` standard format).
+//!
+//! The Rapid artifact analyses traces logged by RoadRunner in a line-based
+//! format; we implement the same shape:
+//!
+//! ```text
+//! <thread>|<op>|<loc>
+//! ```
+//!
+//! where `<op>` is one of `r(x)`, `w(x)`, `acq(l)`, `rel(l)`, `fork(t)`,
+//! `join(t)`, `begin`, `end` (operand names are arbitrary identifiers) and
+//! `<loc>` is an optional program-location token that the analyses ignore.
+//! Blank lines and lines starting with `#` are skipped.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = "t1|begin|0\nt1|w(x)|1\nt2|r(x)|2\nt1|end|3\n";
+//! let trace = tracelog::parse_trace(src)?;
+//! assert_eq!(trace.len(), 4);
+//! assert_eq!(tracelog::write_trace(&trace), src);
+//! # Ok::<(), tracelog::ParseTraceError>(())
+//! ```
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::trace::{Op, Trace, TraceBuilder};
+
+/// An error while parsing the `.std` trace format.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseTraceError {
+    /// One-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The category of a [`ParseTraceError`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseErrorKind {
+    /// The line does not have the `<thread>|<op>[|<loc>]` shape.
+    MalformedLine,
+    /// The thread field is empty.
+    EmptyThread,
+    /// The operation field is not one of the known operations.
+    UnknownOp(String),
+    /// The operation is missing its `(operand)` or it is empty.
+    MissingOperand(String),
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::MalformedLine => {
+                write!(f, "line {}: expected `<thread>|<op>[|<loc>]`", self.line)
+            }
+            ParseErrorKind::EmptyThread => write!(f, "line {}: empty thread name", self.line),
+            ParseErrorKind::UnknownOp(op) => {
+                write!(f, "line {}: unknown operation `{op}`", self.line)
+            }
+            ParseErrorKind::MissingOperand(op) => {
+                write!(f, "line {}: operation `{op}` is missing its operand", self.line)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn operand<'a>(
+    body: &'a str,
+    head: &str,
+    line: usize,
+) -> Result<&'a str, ParseTraceError> {
+    let inner = body
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .map(str::trim)
+        .filter(|s| !s.is_empty());
+    inner.ok_or_else(|| ParseTraceError {
+        line,
+        kind: ParseErrorKind::MissingOperand(head.to_owned()),
+    })
+}
+
+/// Parses a trace in the `.std` text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseTraceError`] identifying the first malformed line.
+pub fn parse_trace(src: &str) -> Result<Trace, ParseTraceError> {
+    let mut tb = TraceBuilder::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.splitn(3, '|');
+        let thread = fields.next().unwrap_or("").trim();
+        let op = fields
+            .next()
+            .ok_or(ParseTraceError {
+                line: line_no,
+                kind: ParseErrorKind::MalformedLine,
+            })?
+            .trim();
+        if thread.is_empty() {
+            return Err(ParseTraceError {
+                line: line_no,
+                kind: ParseErrorKind::EmptyThread,
+            });
+        }
+        let t = tb.thread(thread);
+        let (head, body) = match op.find('(') {
+            Some(p) => op.split_at(p),
+            None => (op, ""),
+        };
+        match head {
+            "r" => {
+                let x = tb.var(operand(body, head, line_no)?);
+                tb.read(t, x);
+            }
+            "w" => {
+                let x = tb.var(operand(body, head, line_no)?);
+                tb.write(t, x);
+            }
+            "acq" => {
+                let l = tb.lock(operand(body, head, line_no)?);
+                tb.acquire(t, l);
+            }
+            "rel" => {
+                let l = tb.lock(operand(body, head, line_no)?);
+                tb.release(t, l);
+            }
+            "fork" => {
+                let u = tb.thread(operand(body, head, line_no)?);
+                tb.fork(t, u);
+            }
+            "join" => {
+                let u = tb.thread(operand(body, head, line_no)?);
+                tb.join(t, u);
+            }
+            "begin" if body.is_empty() => {
+                tb.begin(t);
+            }
+            "end" if body.is_empty() => {
+                tb.end(t);
+            }
+            other => {
+                return Err(ParseTraceError {
+                    line: line_no,
+                    kind: ParseErrorKind::UnknownOp(other.to_owned()),
+                })
+            }
+        }
+    }
+    Ok(tb.finish())
+}
+
+/// Serialises a trace to the `.std` text format, one event per line, with
+/// the event's trace offset as the `<loc>` field.
+///
+/// Round-trips with [`parse_trace`]: parsing the output reproduces an
+/// event-identical trace (name tables may be re-ordered only if the trace
+/// was built with interning order different from first-occurrence order,
+/// which [`TraceBuilder`] never does for events it has seen).
+#[must_use]
+pub fn write_trace(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.len() * 16);
+    for (i, e) in trace.iter().enumerate() {
+        let t = trace.thread_name(e.thread);
+        match e.op {
+            Op::Read(x) => {
+                let _ = writeln!(out, "{t}|r({})|{i}", trace.var_name(x));
+            }
+            Op::Write(x) => {
+                let _ = writeln!(out, "{t}|w({})|{i}", trace.var_name(x));
+            }
+            Op::Acquire(l) => {
+                let _ = writeln!(out, "{t}|acq({})|{i}", trace.lock_name(l));
+            }
+            Op::Release(l) => {
+                let _ = writeln!(out, "{t}|rel({})|{i}", trace.lock_name(l));
+            }
+            Op::Fork(u) => {
+                let _ = writeln!(out, "{t}|fork({})|{i}", trace.thread_name(u));
+            }
+            Op::Join(u) => {
+                let _ = writeln!(out, "{t}|join({})|{i}", trace.thread_name(u));
+            }
+            Op::Begin => {
+                let _ = writeln!(out, "{t}|begin|{i}");
+            }
+            Op::End => {
+                let _ = writeln!(out, "{t}|end|{i}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    #[test]
+    fn parses_all_operations() {
+        let src = "\
+main|fork(w)|0
+main|begin|1
+main|acq(mu)|2
+main|w(x)|3
+main|r(x)|4
+main|rel(mu)|5
+main|end|6
+w|begin|7
+w|end|8
+main|join(w)|9
+";
+        let tr = parse_trace(src).unwrap();
+        assert_eq!(tr.len(), 10);
+        assert_eq!(tr.num_threads(), 2);
+        assert_eq!(tr.num_locks(), 1);
+        assert_eq!(tr.num_vars(), 1);
+        assert!(matches!(tr[0].op, Op::Fork(_)));
+        assert!(matches!(tr[9].op, Op::Join(_)));
+    }
+
+    #[test]
+    fn skips_blank_lines_and_comments() {
+        let src = "# a comment\n\n t1 | begin | 0 \n\nt1|end\n";
+        let tr = parse_trace(src).unwrap();
+        assert_eq!(tr.len(), 2);
+    }
+
+    #[test]
+    fn loc_field_is_optional() {
+        let tr = parse_trace("t1|w(x)").unwrap();
+        assert_eq!(tr.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert_eq!(
+            parse_trace("justonefield").unwrap_err().kind,
+            ParseErrorKind::MalformedLine
+        );
+        assert_eq!(
+            parse_trace("|begin|0").unwrap_err().kind,
+            ParseErrorKind::EmptyThread
+        );
+        assert!(matches!(
+            parse_trace("t1|frobnicate(x)|0").unwrap_err().kind,
+            ParseErrorKind::UnknownOp(_)
+        ));
+        assert!(matches!(
+            parse_trace("t1|r()|0").unwrap_err().kind,
+            ParseErrorKind::MissingOperand(_)
+        ));
+        assert!(matches!(
+            parse_trace("t1|r|0").unwrap_err().kind,
+            ParseErrorKind::MissingOperand(_)
+        ));
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let err = parse_trace("t1|begin|0\nt1|bogus|1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_events() {
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let l = tb.lock("m");
+        let x = tb.var("x");
+        tb.fork(t1, t2)
+            .begin(t1)
+            .acquire(t1, l)
+            .write(t1, x)
+            .release(t1, l)
+            .end(t1)
+            .begin(t2)
+            .read(t2, x)
+            .end(t2)
+            .join(t1, t2);
+        let tr = tb.finish();
+        let text = write_trace(&tr);
+        let back = parse_trace(&text).unwrap();
+        assert_eq!(back.events(), tr.events());
+        assert_eq!(back.num_threads(), tr.num_threads());
+    }
+}

@@ -1,0 +1,163 @@
+//! Trace statistics — the `MetaInfo` analysis of the Rapid artifact.
+//!
+//! Computes columns 2–6 of Tables 1 and 2 of the paper: number of events,
+//! threads, locks, variables and transactions, plus a per-operation
+//! breakdown used by the workload generators to match benchmark shapes.
+
+use std::fmt;
+
+use crate::trace::{Op, Trace};
+use crate::txn::Transactions;
+
+/// Aggregate statistics of a trace.
+///
+/// # Examples
+///
+/// ```
+/// use tracelog::{MetaInfo, TraceBuilder};
+///
+/// let mut tb = TraceBuilder::new();
+/// let t = tb.thread("t1");
+/// let x = tb.var("x");
+/// tb.begin(t).write(t, x).read(t, x).end(t);
+/// let info = MetaInfo::of(&tb.finish());
+/// assert_eq!(info.events, 4);
+/// assert_eq!(info.transactions, 1);
+/// assert_eq!(info.writes, 1);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct MetaInfo {
+    /// Total number of events (column 2).
+    pub events: usize,
+    /// Distinct threads (column 3).
+    pub threads: usize,
+    /// Distinct locks (column 4).
+    pub locks: usize,
+    /// Distinct memory locations (column 5).
+    pub vars: usize,
+    /// Non-unary transactions (column 6).
+    pub transactions: usize,
+    /// `r(x)` events.
+    pub reads: usize,
+    /// `w(x)` events.
+    pub writes: usize,
+    /// `acq(ℓ)` events.
+    pub acquires: usize,
+    /// `rel(ℓ)` events.
+    pub releases: usize,
+    /// `fork(u)` events.
+    pub forks: usize,
+    /// `join(u)` events.
+    pub joins: usize,
+    /// `⊲` events (inner ones of nested blocks included).
+    pub begins: usize,
+    /// `⊳` events (inner ones of nested blocks included).
+    pub ends: usize,
+}
+
+impl MetaInfo {
+    /// Computes the statistics of `trace` in one pass (plus transaction
+    /// segmentation).
+    #[must_use]
+    pub fn of(trace: &Trace) -> Self {
+        let mut info = Self {
+            events: trace.len(),
+            threads: trace.num_threads(),
+            locks: trace.num_locks(),
+            vars: trace.num_vars(),
+            transactions: Transactions::segment(trace).non_unary_count(),
+            ..Self::default()
+        };
+        for e in trace {
+            match e.op {
+                Op::Read(_) => info.reads += 1,
+                Op::Write(_) => info.writes += 1,
+                Op::Acquire(_) => info.acquires += 1,
+                Op::Release(_) => info.releases += 1,
+                Op::Fork(_) => info.forks += 1,
+                Op::Join(_) => info.joins += 1,
+                Op::Begin => info.begins += 1,
+                Op::End => info.ends += 1,
+            }
+        }
+        info
+    }
+
+    /// Memory accesses (`reads + writes`).
+    #[must_use]
+    pub fn accesses(&self) -> usize {
+        self.reads + self.writes
+    }
+}
+
+impl fmt::Display for MetaInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "events:       {}", self.events)?;
+        writeln!(f, "threads:      {}", self.threads)?;
+        writeln!(f, "locks:        {}", self.locks)?;
+        writeln!(f, "variables:    {}", self.vars)?;
+        writeln!(f, "transactions: {}", self.transactions)?;
+        writeln!(
+            f,
+            "ops:          r={} w={} acq={} rel={} fork={} join={} begin={} end={}",
+            self.reads,
+            self.writes,
+            self.acquires,
+            self.releases,
+            self.forks,
+            self.joins,
+            self.begins,
+            self.ends
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    #[test]
+    fn counts_every_operation_kind() {
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let l = tb.lock("m");
+        let x = tb.var("x");
+        tb.fork(t1, t2);
+        tb.begin(t1)
+            .acquire(t1, l)
+            .write(t1, x)
+            .read(t1, x)
+            .release(t1, l)
+            .end(t1);
+        tb.begin(t2).end(t2);
+        tb.join(t1, t2);
+        let info = MetaInfo::of(&tb.finish());
+        assert_eq!(info.events, 10);
+        assert_eq!(info.threads, 2);
+        assert_eq!(info.locks, 1);
+        assert_eq!(info.vars, 1);
+        assert_eq!(info.transactions, 2);
+        assert_eq!((info.reads, info.writes), (1, 1));
+        assert_eq!((info.acquires, info.releases), (1, 1));
+        assert_eq!((info.forks, info.joins), (1, 1));
+        assert_eq!((info.begins, info.ends), (2, 2));
+        assert_eq!(info.accesses(), 2);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let info = MetaInfo::of(&TraceBuilder::new().finish());
+        assert_eq!(info, MetaInfo::default());
+    }
+
+    #[test]
+    fn display_mentions_every_count() {
+        let mut tb = TraceBuilder::new();
+        let t = tb.thread("t1");
+        tb.begin(t).end(t);
+        let s = MetaInfo::of(&tb.finish()).to_string();
+        assert!(s.contains("events:       2"));
+        assert!(s.contains("transactions: 1"));
+    }
+}

@@ -1,0 +1,412 @@
+//! Trace containers: events, operations and the trace builder.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::ids::{Interner, LockId, ThreadId, VarId};
+
+/// The operation `op` of an event `⟨t, op⟩` (Section 2 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Op {
+    /// `r(x)` — read of memory location `x`.
+    Read(VarId),
+    /// `w(x)` — write of memory location `x`.
+    Write(VarId),
+    /// `acq(ℓ)` — acquire of lock `ℓ`.
+    Acquire(LockId),
+    /// `rel(ℓ)` — release of lock `ℓ`.
+    Release(LockId),
+    /// `fork(u)` — creation of child thread `u`.
+    Fork(ThreadId),
+    /// `join(u)` — join on child thread `u`.
+    Join(ThreadId),
+    /// `⊲` — begin of an atomic block (transaction).
+    Begin,
+    /// `⊳` — end of an atomic block (transaction).
+    End,
+}
+
+impl Op {
+    /// Whether this operation is a transaction boundary (`⊲` or `⊳`).
+    #[must_use]
+    pub fn is_boundary(self) -> bool {
+        matches!(self, Op::Begin | Op::End)
+    }
+
+    /// Whether this operation is a memory access (`r(x)` or `w(x)`).
+    #[must_use]
+    pub fn is_access(self) -> bool {
+        matches!(self, Op::Read(_) | Op::Write(_))
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Read(x) => write!(f, "r({x})"),
+            Op::Write(x) => write!(f, "w({x})"),
+            Op::Acquire(l) => write!(f, "acq({l})"),
+            Op::Release(l) => write!(f, "rel({l})"),
+            Op::Fork(t) => write!(f, "fork({t})"),
+            Op::Join(t) => write!(f, "join({t})"),
+            Op::Begin => write!(f, "▷"),
+            Op::End => write!(f, "◁"),
+        }
+    }
+}
+
+/// The position of an event within its trace (`e_i` in the paper's
+/// examples, zero-based here).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EventId(pub u64);
+
+impl EventId {
+    /// The zero-based trace offset.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::try_from(self.0).expect("event index exceeds usize")
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Paper examples are 1-based (`e1` is the first event).
+        write!(f, "e{}", self.0 + 1)
+    }
+}
+
+/// A single event `⟨t, op⟩`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Event {
+    /// The thread `thr(e)` performing the event.
+    pub thread: ThreadId,
+    /// The operation `op(e)` performed.
+    pub op: Op,
+}
+
+impl Event {
+    /// Creates the event `⟨thread, op⟩`.
+    #[must_use]
+    pub fn new(thread: ThreadId, op: Op) -> Self {
+        Self { thread, op }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {}⟩", self.thread, self.op)
+    }
+}
+
+/// An execution trace: a finite sequence of events plus the name tables
+/// for its threads, locks and variables.
+///
+/// Construct traces through [`TraceBuilder`] (or [`crate::parse_trace`]);
+/// the builder keeps identifier allocation dense, which the analyses rely
+/// on for O(1) state lookup.
+#[derive(Clone, Default, Debug)]
+pub struct Trace {
+    pub(crate) events: Vec<Event>,
+    pub(crate) threads: Interner,
+    pub(crate) locks: Interner,
+    pub(crate) vars: Interner,
+}
+
+impl Trace {
+    /// The number of events `n = |σ|`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace has no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The number of distinct threads `|Thr|`.
+    #[must_use]
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The number of distinct locks `L`.
+    #[must_use]
+    pub fn num_locks(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// The number of distinct memory locations `V`.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Iterates over the events in trace order (`≤tr`).
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// The events as a slice.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The thread name table.
+    #[must_use]
+    pub fn thread_names(&self) -> &Interner {
+        &self.threads
+    }
+
+    /// The lock name table.
+    #[must_use]
+    pub fn lock_names(&self) -> &Interner {
+        &self.locks
+    }
+
+    /// The variable name table.
+    #[must_use]
+    pub fn var_names(&self) -> &Interner {
+        &self.vars
+    }
+
+    /// Human-readable name of a thread.
+    #[must_use]
+    pub fn thread_name(&self, t: ThreadId) -> &str {
+        self.threads.name(t.index())
+    }
+
+    /// Human-readable name of a lock.
+    #[must_use]
+    pub fn lock_name(&self, l: LockId) -> &str {
+        self.locks.name(l.index())
+    }
+
+    /// Human-readable name of a variable.
+    #[must_use]
+    pub fn var_name(&self, x: VarId) -> &str {
+        self.vars.name(x.index())
+    }
+
+    /// Renders an event with original names, e.g. `⟨t1, w(x)⟩`.
+    #[must_use]
+    pub fn display_event(&self, e: &Event) -> String {
+        let op = match e.op {
+            Op::Read(x) => format!("r({})", self.var_name(x)),
+            Op::Write(x) => format!("w({})", self.var_name(x)),
+            Op::Acquire(l) => format!("acq({})", self.lock_name(l)),
+            Op::Release(l) => format!("rel({})", self.lock_name(l)),
+            Op::Fork(t) => format!("fork({})", self.thread_name(t)),
+            Op::Join(t) => format!("join({})", self.thread_name(t)),
+            Op::Begin => "▷".to_owned(),
+            Op::End => "◁".to_owned(),
+        };
+        format!("⟨{}, {}⟩", self.thread_name(e.thread), op)
+    }
+}
+
+impl Index<usize> for Trace {
+    type Output = Event;
+
+    fn index(&self, i: usize) -> &Event {
+        &self.events[i]
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+/// Incremental constructor for [`Trace`].
+///
+/// Thread, lock and variable identifiers are interned on first use; events
+/// are appended in trace order.
+///
+/// # Examples
+///
+/// ```
+/// use tracelog::TraceBuilder;
+///
+/// let mut tb = TraceBuilder::new();
+/// let t = tb.thread("main");
+/// let l = tb.lock("mu");
+/// tb.begin(t);
+/// tb.acquire(t, l);
+/// tb.release(t, l);
+/// tb.end(t);
+/// assert_eq!(tb.finish().len(), 4);
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct TraceBuilder {
+    trace: Trace,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a thread name.
+    pub fn thread(&mut self, name: &str) -> ThreadId {
+        ThreadId::from_index(self.trace.threads.intern(name))
+    }
+
+    /// Interns a lock name.
+    pub fn lock(&mut self, name: &str) -> LockId {
+        LockId::from_index(self.trace.locks.intern(name))
+    }
+
+    /// Interns a variable name.
+    pub fn var(&mut self, name: &str) -> VarId {
+        VarId::from_index(self.trace.vars.intern(name))
+    }
+
+    /// Appends an arbitrary event.
+    pub fn push(&mut self, event: Event) -> &mut Self {
+        self.trace.events.push(event);
+        self
+    }
+
+    /// Appends `⟨t, r(x)⟩`.
+    pub fn read(&mut self, t: ThreadId, x: VarId) -> &mut Self {
+        self.push(Event::new(t, Op::Read(x)))
+    }
+
+    /// Appends `⟨t, w(x)⟩`.
+    pub fn write(&mut self, t: ThreadId, x: VarId) -> &mut Self {
+        self.push(Event::new(t, Op::Write(x)))
+    }
+
+    /// Appends `⟨t, acq(l)⟩`.
+    pub fn acquire(&mut self, t: ThreadId, l: LockId) -> &mut Self {
+        self.push(Event::new(t, Op::Acquire(l)))
+    }
+
+    /// Appends `⟨t, rel(l)⟩`.
+    pub fn release(&mut self, t: ThreadId, l: LockId) -> &mut Self {
+        self.push(Event::new(t, Op::Release(l)))
+    }
+
+    /// Appends `⟨t, fork(u)⟩`.
+    pub fn fork(&mut self, t: ThreadId, u: ThreadId) -> &mut Self {
+        self.push(Event::new(t, Op::Fork(u)))
+    }
+
+    /// Appends `⟨t, join(u)⟩`.
+    pub fn join(&mut self, t: ThreadId, u: ThreadId) -> &mut Self {
+        self.push(Event::new(t, Op::Join(u)))
+    }
+
+    /// Appends `⟨t, ⊲⟩`.
+    pub fn begin(&mut self, t: ThreadId) -> &mut Self {
+        self.push(Event::new(t, Op::Begin))
+    }
+
+    /// Appends `⟨t, ⊳⟩`.
+    pub fn end(&mut self, t: ThreadId) -> &mut Self {
+        self.push(Event::new(t, Op::End))
+    }
+
+    /// Number of events appended so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Whether no event has been appended yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+
+    /// Finalises the trace.
+    #[must_use]
+    pub fn finish(self) -> Trace {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_interns_densely() {
+        let mut tb = TraceBuilder::new();
+        let t1 = tb.thread("t1");
+        let t2 = tb.thread("t2");
+        assert_eq!((t1.index(), t2.index()), (0, 1));
+        assert_eq!(tb.thread("t1"), t1);
+        let x = tb.var("x");
+        let y = tb.var("y");
+        assert_eq!((x.index(), y.index()), (0, 1));
+    }
+
+    #[test]
+    fn events_preserve_order() {
+        let mut tb = TraceBuilder::new();
+        let t = tb.thread("t1");
+        let x = tb.var("x");
+        tb.begin(t).write(t, x).end(t);
+        let tr = tb.finish();
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr[0].op, Op::Begin);
+        assert_eq!(tr[1].op, Op::Write(x));
+        assert_eq!(tr[2].op, Op::End);
+        assert!(tr.iter().all(|e| e.thread == t));
+    }
+
+    #[test]
+    fn display_event_uses_names() {
+        let mut tb = TraceBuilder::new();
+        let t = tb.thread("main");
+        let x = tb.var("balance");
+        tb.write(t, x);
+        let tr = tb.finish();
+        assert_eq!(tr.display_event(&tr[0]), "⟨main, w(balance)⟩");
+    }
+
+    #[test]
+    fn op_predicates() {
+        assert!(Op::Begin.is_boundary());
+        assert!(Op::End.is_boundary());
+        assert!(!Op::Read(VarId::from_index(0)).is_boundary());
+        assert!(Op::Read(VarId::from_index(0)).is_access());
+        assert!(Op::Write(VarId::from_index(0)).is_access());
+        assert!(!Op::Acquire(LockId::from_index(0)).is_access());
+    }
+
+    #[test]
+    fn event_id_displays_one_based() {
+        assert_eq!(EventId(0).to_string(), "e1");
+        assert_eq!(EventId(9).to_string(), "e10");
+        assert_eq!(EventId(3).index(), 3);
+    }
+
+    #[test]
+    fn counts_reflect_interners() {
+        let mut tb = TraceBuilder::new();
+        let t = tb.thread("a");
+        let _ = tb.thread("b");
+        let l = tb.lock("m");
+        let x = tb.var("x");
+        tb.acquire(t, l).write(t, x).release(t, l);
+        let tr = tb.finish();
+        assert_eq!(tr.num_threads(), 2);
+        assert_eq!(tr.num_locks(), 1);
+        assert_eq!(tr.num_vars(), 1);
+        assert!(!tr.is_empty());
+    }
+}

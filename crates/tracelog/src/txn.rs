@@ -1,0 +1,311 @@
+//! Transaction segmentation.
+//!
+//! A transaction of thread `t` is a maximal subsequence of events of `t`
+//! beginning at an *outermost* `⟨t,⊲⟩` and ending at the matching `⟨t,⊳⟩`
+//! (Section 2). Nested begin/end pairs are absorbed into the outermost
+//! transaction (Section 4.1.4), and events outside any transaction each
+//! form their own *unary* transaction (the singleton atomic blocks of
+//! Velodrome).
+//!
+//! The online checkers segment transactions on the fly; this module gives
+//! the offline view used by statistics, tests and the Velodrome graph.
+
+use std::fmt;
+
+use crate::ids::ThreadId;
+use crate::trace::{EventId, Op, Trace};
+
+/// A dense transaction identifier, in order of transaction *start*.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TransactionId(pub u32);
+
+impl TransactionId {
+    /// The dense index backing this identifier.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TransactionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// One transaction: its thread, its boundary events and its extent.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Transaction {
+    /// The identifier of this transaction.
+    pub id: TransactionId,
+    /// The thread executing the transaction.
+    pub thread: ThreadId,
+    /// The outermost `⊲` event, or `None` for a unary transaction.
+    pub begin: Option<EventId>,
+    /// The matching outermost `⊳` event; `None` for unary transactions and
+    /// for transactions still active at the end of the trace.
+    pub end: Option<EventId>,
+    /// Number of events belonging to the transaction (boundaries included).
+    pub num_events: usize,
+}
+
+impl Transaction {
+    /// Whether this is a unary (single-event, implicit) transaction.
+    #[must_use]
+    pub fn is_unary(&self) -> bool {
+        self.begin.is_none()
+    }
+
+    /// Whether the transaction completed (`⊳` observed) within the trace.
+    /// Unary transactions are complete by definition.
+    #[must_use]
+    pub fn is_completed(&self) -> bool {
+        self.is_unary() || self.end.is_some()
+    }
+}
+
+/// The transaction decomposition of a trace.
+///
+/// # Examples
+///
+/// ```
+/// use tracelog::{Transactions, TraceBuilder};
+///
+/// let mut tb = TraceBuilder::new();
+/// let t = tb.thread("t1");
+/// let x = tb.var("x");
+/// tb.write(t, x);          // unary transaction
+/// tb.begin(t);
+/// tb.write(t, x);
+/// tb.end(t);
+/// let txns = Transactions::segment(&tb.finish());
+/// assert_eq!(txns.len(), 2);
+/// assert!(txns[0].is_unary());
+/// assert_eq!(txns.non_unary_count(), 1);
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct Transactions {
+    txns: Vec<Transaction>,
+    /// Transaction of each event, indexed by event offset.
+    event_txn: Vec<TransactionId>,
+}
+
+impl Transactions {
+    /// Segments `trace` into transactions.
+    ///
+    /// Unmatched `⊳` events (ill-formed traces) are treated as unary
+    /// transactions rather than panicking; run [`crate::validate()`] first to
+    /// reject such traces.
+    #[must_use]
+    pub fn segment(trace: &Trace) -> Self {
+        let mut txns: Vec<Transaction> = Vec::new();
+        let mut event_txn: Vec<TransactionId> = Vec::with_capacity(trace.len());
+        // Per-thread (current outermost txn, nesting depth).
+        let mut current: Vec<Option<TransactionId>> = vec![None; trace.num_threads()];
+        let mut depth: Vec<usize> = vec![0; trace.num_threads()];
+
+        for (i, e) in trace.iter().enumerate() {
+            let ti = e.thread.index();
+            let eid = EventId(i as u64);
+            match e.op {
+                Op::Begin => {
+                    if depth[ti] == 0 {
+                        let id = TransactionId(txns.len() as u32);
+                        txns.push(Transaction {
+                            id,
+                            thread: e.thread,
+                            begin: Some(eid),
+                            end: None,
+                            num_events: 1,
+                        });
+                        current[ti] = Some(id);
+                        event_txn.push(id);
+                    } else {
+                        let id = current[ti].expect("depth > 0 implies current txn");
+                        txns[id.index()].num_events += 1;
+                        event_txn.push(id);
+                    }
+                    depth[ti] += 1;
+                }
+                Op::End => {
+                    if depth[ti] == 0 {
+                        // Ill-formed: treat as unary.
+                        let id = TransactionId(txns.len() as u32);
+                        txns.push(Transaction {
+                            id,
+                            thread: e.thread,
+                            begin: None,
+                            end: None,
+                            num_events: 1,
+                        });
+                        event_txn.push(id);
+                    } else {
+                        let id = current[ti].expect("depth > 0 implies current txn");
+                        txns[id.index()].num_events += 1;
+                        event_txn.push(id);
+                        depth[ti] -= 1;
+                        if depth[ti] == 0 {
+                            txns[id.index()].end = Some(eid);
+                            current[ti] = None;
+                        }
+                    }
+                }
+                _ => {
+                    if let Some(id) = current[ti] {
+                        txns[id.index()].num_events += 1;
+                        event_txn.push(id);
+                    } else {
+                        let id = TransactionId(txns.len() as u32);
+                        txns.push(Transaction {
+                            id,
+                            thread: e.thread,
+                            begin: None,
+                            end: None,
+                            num_events: 1,
+                        });
+                        event_txn.push(id);
+                    }
+                }
+            }
+        }
+
+        Self { txns, event_txn }
+    }
+
+    /// Number of transactions (unary included).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Whether the trace had no events at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+
+    /// Number of non-unary (explicit `⊲…⊳`) transactions — the
+    /// "Transactions" column of Tables 1 and 2.
+    #[must_use]
+    pub fn non_unary_count(&self) -> usize {
+        self.txns.iter().filter(|t| !t.is_unary()).count()
+    }
+
+    /// The transaction containing event `e` (`txn(e)` in the paper).
+    #[must_use]
+    pub fn txn_of(&self, e: EventId) -> TransactionId {
+        self.event_txn[e.index()]
+    }
+
+    /// Iterates over all transactions in start order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Transaction> {
+        self.txns.iter()
+    }
+}
+
+impl std::ops::Index<usize> for Transactions {
+    type Output = Transaction;
+
+    fn index(&self, i: usize) -> &Transaction {
+        &self.txns[i]
+    }
+}
+
+impl std::ops::Index<TransactionId> for Transactions {
+    type Output = Transaction;
+
+    fn index(&self, id: TransactionId) -> &Transaction {
+        &self.txns[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    #[test]
+    fn segments_simple_transactions() {
+        // ρ1-like: three transactions in three threads.
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let x = tb.var("x");
+        tb.begin(t1).write(t1, x);
+        tb.begin(t2).read(t2, x).end(t2);
+        tb.end(t1);
+        let txns = Transactions::segment(&tb.finish());
+        assert_eq!(txns.len(), 2);
+        assert_eq!(txns[0].thread, t1);
+        assert_eq!(txns[0].begin, Some(EventId(0)));
+        assert_eq!(txns[0].end, Some(EventId(5)));
+        assert_eq!(txns[0].num_events, 3);
+        assert_eq!(txns[1].thread, t2);
+        assert_eq!(txns[1].num_events, 3);
+        // txn(e) mapping: events 0,1,5 in T0; 2,3,4 in T1.
+        assert_eq!(txns.txn_of(EventId(1)), TransactionId(0));
+        assert_eq!(txns.txn_of(EventId(3)), TransactionId(1));
+        assert_eq!(txns.txn_of(EventId(5)), TransactionId(0));
+    }
+
+    #[test]
+    fn nested_blocks_fold_into_outermost() {
+        let mut tb = TraceBuilder::new();
+        let t = tb.thread("t1");
+        let x = tb.var("x");
+        tb.begin(t).begin(t).write(t, x).end(t).end(t);
+        let txns = Transactions::segment(&tb.finish());
+        assert_eq!(txns.len(), 1);
+        assert_eq!(txns[0].num_events, 5);
+        assert_eq!(txns[0].begin, Some(EventId(0)));
+        assert_eq!(txns[0].end, Some(EventId(4)));
+        assert_eq!(txns.non_unary_count(), 1);
+    }
+
+    #[test]
+    fn events_outside_transactions_are_unary() {
+        let mut tb = TraceBuilder::new();
+        let t = tb.thread("t1");
+        let x = tb.var("x");
+        tb.write(t, x).read(t, x);
+        let txns = Transactions::segment(&tb.finish());
+        assert_eq!(txns.len(), 2);
+        assert!(txns[0].is_unary() && txns[1].is_unary());
+        assert!(txns[0].is_completed());
+        assert_eq!(txns.non_unary_count(), 0);
+        assert_ne!(txns.txn_of(EventId(0)), txns.txn_of(EventId(1)));
+    }
+
+    #[test]
+    fn active_transaction_has_no_end() {
+        let mut tb = TraceBuilder::new();
+        let t = tb.thread("t1");
+        let x = tb.var("x");
+        tb.begin(t).write(t, x);
+        let txns = Transactions::segment(&tb.finish());
+        assert_eq!(txns.len(), 1);
+        assert!(!txns[0].is_completed());
+        assert!(!txns[0].is_unary());
+    }
+
+    #[test]
+    fn interleaved_threads_get_distinct_transactions() {
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let x = tb.var("x");
+        tb.begin(t1).begin(t2).write(t1, x).write(t2, x).end(t2).end(t1);
+        let txns = Transactions::segment(&tb.finish());
+        assert_eq!(txns.len(), 2);
+        assert_eq!(txns[txns.txn_of(EventId(2))].thread, t1);
+        assert_eq!(txns[txns.txn_of(EventId(3))].thread, t2);
+    }
+
+    #[test]
+    fn unmatched_end_becomes_unary() {
+        let mut tb = TraceBuilder::new();
+        let t = tb.thread("t1");
+        tb.end(t);
+        let txns = Transactions::segment(&tb.finish());
+        assert_eq!(txns.len(), 1);
+        assert!(txns[0].is_unary());
+    }
+}

@@ -1,0 +1,381 @@
+//! Well-formedness validation for traces.
+//!
+//! Section 2 of the paper assumes traces are *well-formed*: lock acquires
+//! and releases are well matched, a lock is held by at most one thread at a
+//! time, begin/end events are well matched, fork events occur before the
+//! first event of the child thread, and join events occur after the last
+//! event of the child thread. [`validate`] checks these assumptions in a
+//! single pass and reports the first violation.
+//!
+//! Trace *prefixes* are themselves traces, so a valid trace may end with
+//! transactions still active and locks still held; [`ValiditySummary`]
+//! exposes both so callers can require full closure when they need it
+//! (e.g. the differential tests, which rely on every transaction having
+//! completed).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ids::{LockId, ThreadId};
+use crate::trace::{EventId, Op, Trace};
+
+/// A violation of the paper's well-formedness assumptions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WellFormedError {
+    /// `rel(ℓ)` of a lock that is not currently held.
+    ReleaseOfUnheldLock {
+        /// Offending event.
+        event: EventId,
+        /// The released lock.
+        lock: LockId,
+    },
+    /// `rel(ℓ)` by a thread other than the holder.
+    ReleaseByNonOwner {
+        /// Offending event.
+        event: EventId,
+        /// The released lock.
+        lock: LockId,
+        /// The thread actually holding the lock.
+        holder: ThreadId,
+    },
+    /// `acq(ℓ)` of a lock held by a different thread (re-entrant acquires
+    /// by the holder are permitted, as in Java).
+    AcquireOfHeldLock {
+        /// Offending event.
+        event: EventId,
+        /// The acquired lock.
+        lock: LockId,
+        /// The thread holding the lock.
+        holder: ThreadId,
+    },
+    /// `⊳` with no matching `⊲` in the same thread.
+    EndWithoutBegin {
+        /// Offending event.
+        event: EventId,
+        /// The thread performing the unmatched end.
+        thread: ThreadId,
+    },
+    /// `fork(u)` after thread `u` already performed an event (or was
+    /// already forked).
+    ForkAfterChildStarted {
+        /// Offending event.
+        event: EventId,
+        /// The child thread.
+        child: ThreadId,
+    },
+    /// `fork(t)` or `join(t)` performed by thread `t` itself.
+    SelfForkOrJoin {
+        /// Offending event.
+        event: EventId,
+    },
+    /// An event of thread `u` after some thread performed `join(u)`.
+    EventAfterJoin {
+        /// Offending event.
+        event: EventId,
+        /// The thread that was already joined.
+        thread: ThreadId,
+    },
+}
+
+impl fmt::Display for WellFormedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ReleaseOfUnheldLock { event, lock } => {
+                write!(f, "{event}: release of lock {lock} that is not held")
+            }
+            Self::ReleaseByNonOwner { event, lock, holder } => {
+                write!(f, "{event}: release of lock {lock} held by {holder}")
+            }
+            Self::AcquireOfHeldLock { event, lock, holder } => {
+                write!(f, "{event}: acquire of lock {lock} held by {holder}")
+            }
+            Self::EndWithoutBegin { event, thread } => {
+                write!(f, "{event}: end of transaction without begin in {thread}")
+            }
+            Self::ForkAfterChildStarted { event, child } => {
+                write!(f, "{event}: fork of thread {child} that already started")
+            }
+            Self::SelfForkOrJoin { event } => {
+                write!(f, "{event}: thread forks or joins itself")
+            }
+            Self::EventAfterJoin { event, thread } => {
+                write!(f, "{event}: event of thread {thread} after it was joined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WellFormedError {}
+
+/// The residual state of a well-formed trace: what is still open at the
+/// end. A trace is *closed* when both collections are empty.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct ValiditySummary {
+    /// Threads with at least one active (unclosed) transaction and the
+    /// current nesting depth of each.
+    pub open_transactions: HashMap<ThreadId, usize>,
+    /// Locks still held at the end of the trace and their holders.
+    pub held_locks: HashMap<LockId, ThreadId>,
+}
+
+impl ValiditySummary {
+    /// Whether every transaction completed and every lock was released.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.open_transactions.is_empty() && self.held_locks.is_empty()
+    }
+}
+
+/// Checks the well-formedness assumptions of Section 2 in one pass.
+///
+/// # Errors
+///
+/// Returns the first [`WellFormedError`] encountered in trace order.
+///
+/// # Examples
+///
+/// ```
+/// use tracelog::{validate, TraceBuilder};
+///
+/// let mut tb = TraceBuilder::new();
+/// let t = tb.thread("t1");
+/// let l = tb.lock("m");
+/// tb.acquire(t, l).release(t, l);
+/// let summary = validate(&tb.finish())?;
+/// assert!(summary.is_closed());
+/// # Ok::<(), tracelog::WellFormedError>(())
+/// ```
+pub fn validate(trace: &Trace) -> Result<ValiditySummary, WellFormedError> {
+    // (holder, re-entrancy depth) per lock.
+    let mut lock_state: HashMap<LockId, (ThreadId, usize)> = HashMap::new();
+    let mut txn_depth: HashMap<ThreadId, usize> = HashMap::new();
+    let mut started: Vec<bool> = vec![false; trace.num_threads()];
+    let mut forked: Vec<bool> = vec![false; trace.num_threads()];
+    let mut joined: Vec<bool> = vec![false; trace.num_threads()];
+
+    for (i, e) in trace.iter().enumerate() {
+        let event = EventId(i as u64);
+        let t = e.thread;
+        if joined[t.index()] {
+            return Err(WellFormedError::EventAfterJoin { event, thread: t });
+        }
+        started[t.index()] = true;
+        match e.op {
+            Op::Acquire(l) => match lock_state.get_mut(&l) {
+                Some((holder, depth)) if *holder == t => *depth += 1,
+                Some((holder, _)) => {
+                    return Err(WellFormedError::AcquireOfHeldLock {
+                        event,
+                        lock: l,
+                        holder: *holder,
+                    })
+                }
+                None => {
+                    lock_state.insert(l, (t, 1));
+                }
+            },
+            Op::Release(l) => match lock_state.get_mut(&l) {
+                Some((holder, depth)) if *holder == t => {
+                    *depth -= 1;
+                    if *depth == 0 {
+                        lock_state.remove(&l);
+                    }
+                }
+                Some((holder, _)) => {
+                    return Err(WellFormedError::ReleaseByNonOwner {
+                        event,
+                        lock: l,
+                        holder: *holder,
+                    })
+                }
+                None => return Err(WellFormedError::ReleaseOfUnheldLock { event, lock: l }),
+            },
+            Op::Begin => *txn_depth.entry(t).or_insert(0) += 1,
+            Op::End => {
+                let depth = txn_depth.entry(t).or_insert(0);
+                if *depth == 0 {
+                    return Err(WellFormedError::EndWithoutBegin { event, thread: t });
+                }
+                *depth -= 1;
+                if *depth == 0 {
+                    txn_depth.remove(&t);
+                }
+            }
+            Op::Fork(u) => {
+                if u == t {
+                    return Err(WellFormedError::SelfForkOrJoin { event });
+                }
+                if started[u.index()] || forked[u.index()] {
+                    return Err(WellFormedError::ForkAfterChildStarted { event, child: u });
+                }
+                forked[u.index()] = true;
+            }
+            Op::Join(u) => {
+                if u == t {
+                    return Err(WellFormedError::SelfForkOrJoin { event });
+                }
+                joined[u.index()] = true;
+            }
+            Op::Read(_) | Op::Write(_) => {}
+        }
+    }
+
+    Ok(ValiditySummary {
+        open_transactions: txn_depth,
+        held_locks: lock_state
+            .into_iter()
+            .map(|(l, (holder, _))| (l, holder))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    #[test]
+    fn accepts_closed_trace() {
+        let mut tb = TraceBuilder::new();
+        let t = tb.thread("t1");
+        let l = tb.lock("m");
+        let x = tb.var("x");
+        tb.begin(t).acquire(t, l).write(t, x).release(t, l).end(t);
+        let s = validate(&tb.finish()).unwrap();
+        assert!(s.is_closed());
+    }
+
+    #[test]
+    fn reports_open_state_for_prefix() {
+        let mut tb = TraceBuilder::new();
+        let t = tb.thread("t1");
+        let l = tb.lock("m");
+        tb.begin(t).begin(t).acquire(t, l);
+        let s = validate(&tb.finish()).unwrap();
+        assert!(!s.is_closed());
+        assert_eq!(s.open_transactions[&t], 2);
+        assert_eq!(s.held_locks[&l], t);
+    }
+
+    #[test]
+    fn rejects_release_of_unheld_lock() {
+        let mut tb = TraceBuilder::new();
+        let t = tb.thread("t1");
+        let l = tb.lock("m");
+        tb.release(t, l);
+        assert_eq!(
+            validate(&tb.finish()),
+            Err(WellFormedError::ReleaseOfUnheldLock {
+                event: EventId(0),
+                lock: l
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_release_by_non_owner() {
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let l = tb.lock("m");
+        tb.acquire(t1, l).release(t2, l);
+        assert!(matches!(
+            validate(&tb.finish()),
+            Err(WellFormedError::ReleaseByNonOwner { holder, .. }) if holder == t1
+        ));
+    }
+
+    #[test]
+    fn rejects_cross_thread_acquire_of_held_lock() {
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let l = tb.lock("m");
+        tb.acquire(t1, l).acquire(t2, l);
+        assert!(matches!(
+            validate(&tb.finish()),
+            Err(WellFormedError::AcquireOfHeldLock { holder, .. }) if holder == t1
+        ));
+    }
+
+    #[test]
+    fn allows_reentrant_acquire() {
+        let mut tb = TraceBuilder::new();
+        let t = tb.thread("t1");
+        let l = tb.lock("m");
+        tb.acquire(t, l).acquire(t, l).release(t, l).release(t, l);
+        assert!(validate(&tb.finish()).unwrap().is_closed());
+    }
+
+    #[test]
+    fn rejects_unmatched_end() {
+        let mut tb = TraceBuilder::new();
+        let t = tb.thread("t1");
+        tb.begin(t).end(t).end(t);
+        assert!(matches!(
+            validate(&tb.finish()),
+            Err(WellFormedError::EndWithoutBegin { event, .. }) if event == EventId(2)
+        ));
+    }
+
+    #[test]
+    fn rejects_fork_after_child_started() {
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let x = tb.var("x");
+        tb.write(t2, x).fork(t1, t2);
+        assert!(matches!(
+            validate(&tb.finish()),
+            Err(WellFormedError::ForkAfterChildStarted { child, .. }) if child == t2
+        ));
+    }
+
+    #[test]
+    fn rejects_double_fork() {
+        let mut tb = TraceBuilder::new();
+        let (t1, t2, t3) = (tb.thread("t1"), tb.thread("t2"), tb.thread("t3"));
+        tb.fork(t1, t3).fork(t2, t3);
+        assert!(matches!(
+            validate(&tb.finish()),
+            Err(WellFormedError::ForkAfterChildStarted { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_event_after_join() {
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let x = tb.var("x");
+        tb.write(t2, x).join(t1, t2).write(t2, x);
+        assert!(matches!(
+            validate(&tb.finish()),
+            Err(WellFormedError::EventAfterJoin { thread, .. }) if thread == t2
+        ));
+    }
+
+    #[test]
+    fn rejects_self_fork_and_self_join() {
+        let mut tb = TraceBuilder::new();
+        let t = tb.thread("t1");
+        tb.fork(t, t);
+        assert!(matches!(
+            validate(&tb.finish()),
+            Err(WellFormedError::SelfForkOrJoin { .. })
+        ));
+
+        let mut tb = TraceBuilder::new();
+        let t = tb.thread("t1");
+        tb.join(t, t);
+        assert!(matches!(
+            validate(&tb.finish()),
+            Err(WellFormedError::SelfForkOrJoin { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = WellFormedError::ReleaseOfUnheldLock {
+            event: EventId(4),
+            lock: LockId::from_index(1),
+        };
+        assert_eq!(err.to_string(), "e5: release of lock l1 that is not held");
+    }
+}

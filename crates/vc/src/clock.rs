@@ -1,0 +1,406 @@
+//! Dense vector clocks with on-demand growth.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::epoch::Epoch;
+use crate::Time;
+
+/// A vector time over thread indices, per Section 4 of the paper.
+///
+/// Components are indexed by dense thread indices (`0..|Thr|`). Reading a
+/// component beyond the stored dimension yields `0`, so every clock is
+/// conceptually infinite-dimensional with finitely many non-zero entries —
+/// exactly the minimum time `⊥` extended pointwise.
+///
+/// The partial order [`VectorClock::leq`] is the paper's `⊑` and
+/// [`VectorClock::join_from`] is `⊔`. [`PartialOrd`] is implemented
+/// consistently with `⊑` (incomparable clocks return `None`).
+///
+/// # Examples
+///
+/// ```
+/// use vc::VectorClock;
+///
+/// let a = VectorClock::from_components([2, 0, 1]);
+/// let b = VectorClock::from_components([2, 3, 1]);
+/// assert!(a.leq(&b));
+/// assert_eq!(a.join(&b), b);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct VectorClock {
+    /// Invariant: no trailing zero is required; absent entries read as zero.
+    components: Vec<Time>,
+}
+
+impl VectorClock {
+    /// Creates the minimum vector time `⊥ = λt.0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let bot = vc::VectorClock::bottom();
+    /// assert_eq!(bot.component(7), 0);
+    /// ```
+    #[must_use]
+    pub fn bottom() -> Self {
+        Self::default()
+    }
+
+    /// Creates `⊥` with capacity for `dim` threads pre-allocated.
+    ///
+    /// Semantically identical to [`VectorClock::bottom`]; this constructor
+    /// only avoids re-allocation in the hot analysis loop.
+    #[must_use]
+    pub fn with_dim(dim: usize) -> Self {
+        Self {
+            components: vec![0; dim],
+        }
+    }
+
+    /// Creates a clock from explicit components (index = thread index).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let c = vc::VectorClock::from_components([1, 0, 2]);
+    /// assert_eq!(c.component(2), 2);
+    /// ```
+    #[must_use]
+    pub fn from_components<I: IntoIterator<Item = Time>>(components: I) -> Self {
+        Self {
+            components: components.into_iter().collect(),
+        }
+    }
+
+    /// The number of explicitly stored components.
+    ///
+    /// This is an upper bound on the highest thread index with a non-zero
+    /// entry, not the trace's thread count.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Returns `true` if every component is zero (the clock equals `⊥`).
+    #[must_use]
+    pub fn is_bottom(&self) -> bool {
+        self.components.iter().all(|&c| c == 0)
+    }
+
+    /// Reads component `t`, i.e. `V(t)`. Out-of-range components are `0`.
+    #[must_use]
+    #[inline]
+    pub fn component(&self, t: usize) -> Time {
+        self.components.get(t).copied().unwrap_or(0)
+    }
+
+    /// Writes component `t`, growing the clock if needed.
+    #[inline]
+    pub fn set_component(&mut self, t: usize, value: Time) {
+        if t >= self.components.len() {
+            if value == 0 {
+                return;
+            }
+            self.components.resize(t + 1, 0);
+        }
+        self.components[t] = value;
+    }
+
+    /// Returns `V[c/t]`: this clock with component `t` replaced by `value`
+    /// (builder form used when initialising `C_t := ⊥[1/t]`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let c = vc::VectorClock::bottom().with_component(2, 5);
+    /// assert_eq!(c.component(2), 5);
+    /// assert_eq!(c.component(0), 0);
+    /// ```
+    #[must_use]
+    pub fn with_component(mut self, t: usize, value: Time) -> Self {
+        self.set_component(t, value);
+        self
+    }
+
+    /// Increments component `t` by one: `C_t(t) := C_t(t) + 1` (line 35 of
+    /// Algorithm 1, executed at every begin event).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the component would overflow [`Time`].
+    #[inline]
+    pub fn increment(&mut self, t: usize) {
+        if t >= self.components.len() {
+            self.components.resize(t + 1, 0);
+        }
+        debug_assert!(
+            self.components[t] < Time::MAX,
+            "vector clock component overflow at thread {t}"
+        );
+        self.components[t] = self.components[t].wrapping_add(1);
+    }
+
+    /// The pointwise partial order `⊑`: `self ⊑ other` iff
+    /// `∀t. self(t) ≤ other(t)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vc::VectorClock;
+    /// let a = VectorClock::from_components([1, 2]);
+    /// let b = VectorClock::from_components([1, 3]);
+    /// let c = VectorClock::from_components([0, 9]);
+    /// assert!(a.leq(&b));
+    /// assert!(!a.leq(&c) && !c.leq(&a)); // incomparable
+    /// ```
+    #[must_use]
+    #[inline]
+    pub fn leq(&self, other: &Self) -> bool {
+        if self.components.len() <= other.components.len() {
+            self.components
+                .iter()
+                .zip(&other.components)
+                .all(|(a, b)| a <= b)
+        } else {
+            let (head, tail) = self.components.split_at(other.components.len());
+            head.iter().zip(&other.components).all(|(a, b)| a <= b)
+                && tail.iter().all(|&a| a == 0)
+        }
+    }
+
+    /// Pointwise join `⊔` in place: `self := self ⊔ other`.
+    #[inline]
+    pub fn join_from(&mut self, other: &Self) {
+        if other.components.len() > self.components.len() {
+            self.components.resize(other.components.len(), 0);
+        }
+        for (a, b) in self.components.iter_mut().zip(&other.components) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Pointwise join returning a fresh clock: `self ⊔ other`.
+    #[must_use]
+    pub fn join(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.join_from(other);
+        out
+    }
+
+    /// Joins `other[0/zeroed]` into `self` without materialising the
+    /// substituted clock.
+    ///
+    /// This is the update `hRx := hRx ⊔ C_u[0/u]` from Algorithm 2/3 (the
+    /// read-clock optimization of Section 4.3).
+    #[inline]
+    pub fn join_from_zeroed(&mut self, other: &Self, zeroed: usize) {
+        if other.components.len() > self.components.len() {
+            self.components.resize(other.components.len(), 0);
+        }
+        for (t, (a, b)) in self
+            .components
+            .iter_mut()
+            .zip(&other.components)
+            .enumerate()
+        {
+            if t != zeroed {
+                *a = (*a).max(*b);
+            }
+        }
+    }
+
+    /// Returns a copy of this clock with component `zeroed` set to `0`,
+    /// i.e. `V[0/t]`.
+    #[must_use]
+    pub fn zeroed(&self, zeroed: usize) -> Self {
+        let mut out = self.clone();
+        out.set_component(zeroed, 0);
+        out
+    }
+
+    /// Views component `t` of this clock as an [`Epoch`] `c@t`.
+    ///
+    /// Under the algorithm's invariant (Appendix C.1) the timestamp of an
+    /// event of thread `t` is `⊑`-below a later clock iff its `t`-component
+    /// is, so an epoch suffices for many ordering checks.
+    #[must_use]
+    pub fn epoch(&self, t: usize) -> Epoch {
+        Epoch::new(t, self.component(t))
+    }
+
+    /// Whether the epoch `e` (time `c` of thread `t`) is below this clock:
+    /// `c ≤ self(t)`.
+    #[must_use]
+    #[inline]
+    pub fn contains_epoch(&self, e: Epoch) -> bool {
+        e.time() <= self.component(e.thread())
+    }
+
+    /// Iterates over `(thread_index, component)` pairs with non-zero value.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, Time)> + '_ {
+        self.components
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, c)| c != 0)
+    }
+}
+
+impl PartialOrd for VectorClock {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        let le = self.leq(other);
+        let ge = other.leq(self);
+        match (le, ge) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VectorClock{self}")
+    }
+}
+
+impl fmt::Display for VectorClock {
+    /// Renders the clock in the paper's `〈a,b,c〉` notation.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl FromIterator<Time> for VectorClock {
+    fn from_iter<I: IntoIterator<Item = Time>>(iter: I) -> Self {
+        Self::from_components(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(v: &[Time]) -> VectorClock {
+        VectorClock::from_components(v.iter().copied())
+    }
+
+    #[test]
+    fn bottom_is_least() {
+        let bot = VectorClock::bottom();
+        assert!(bot.leq(&c(&[0])));
+        assert!(bot.leq(&c(&[3, 1, 4])));
+        assert!(bot.is_bottom());
+        assert!(c(&[0, 0, 0]).is_bottom());
+    }
+
+    #[test]
+    fn component_out_of_range_reads_zero() {
+        let a = c(&[1, 2]);
+        assert_eq!(a.component(0), 1);
+        assert_eq!(a.component(99), 0);
+    }
+
+    #[test]
+    fn set_component_grows() {
+        let mut a = VectorClock::bottom();
+        a.set_component(3, 7);
+        assert_eq!(a.component(3), 7);
+        assert_eq!(a.dim(), 4);
+        // Setting zero out of range must not grow.
+        let mut b = VectorClock::bottom();
+        b.set_component(5, 0);
+        assert_eq!(b.dim(), 0);
+    }
+
+    #[test]
+    fn leq_handles_mixed_dims() {
+        assert!(c(&[1, 0, 0]).leq(&c(&[1])));
+        assert!(c(&[1]).leq(&c(&[1, 0, 0])));
+        assert!(!c(&[1, 0, 2]).leq(&c(&[1])));
+        assert!(c(&[1]).leq(&c(&[2, 5])));
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let a = c(&[1, 5, 0]);
+        let b = c(&[2, 3]);
+        assert_eq!(a.join(&b), c(&[2, 5, 0]));
+        let mut m = a.clone();
+        m.join_from(&b);
+        assert_eq!(m, c(&[2, 5, 0]));
+    }
+
+    #[test]
+    fn join_zeroed_skips_component() {
+        let mut a = c(&[1, 1, 1]);
+        a.join_from_zeroed(&c(&[9, 9, 9]), 1);
+        assert_eq!(a, c(&[9, 1, 9]));
+    }
+
+    #[test]
+    fn zeroed_substitution() {
+        assert_eq!(c(&[4, 5, 6]).zeroed(1), c(&[4, 0, 6]));
+    }
+
+    #[test]
+    fn increment_bumps_single_component() {
+        let mut a = c(&[1, 1]);
+        a.increment(1);
+        assert_eq!(a, c(&[1, 2]));
+        let mut b = VectorClock::bottom();
+        b.increment(2);
+        assert_eq!(b, c(&[0, 0, 1]));
+    }
+
+    #[test]
+    fn partial_ord_matches_leq() {
+        use std::cmp::Ordering::*;
+        assert_eq!(c(&[1, 2]).partial_cmp(&c(&[1, 2])), Some(Equal));
+        assert_eq!(c(&[1, 2]).partial_cmp(&c(&[2, 2])), Some(Less));
+        assert_eq!(c(&[3, 2]).partial_cmp(&c(&[2, 2])), Some(Greater));
+        assert_eq!(c(&[1, 2]).partial_cmp(&c(&[2, 1])), None);
+    }
+
+    #[test]
+    fn equal_modulo_trailing_zeros() {
+        assert_eq!(
+            c(&[1, 2]).partial_cmp(&c(&[1, 2, 0])),
+            Some(std::cmp::Ordering::Equal)
+        );
+        // Note: Eq is structural, PartialOrd is semantic; the checkers only
+        // rely on leq/join so structural inequality is harmless, but we pin
+        // the behaviour here so a change is deliberate.
+        assert_ne!(c(&[1, 2]), c(&[1, 2, 0]));
+    }
+
+    #[test]
+    fn epoch_containment() {
+        let a = c(&[3, 1]);
+        assert!(a.contains_epoch(a.epoch(0)));
+        assert!(a.contains_epoch(Epoch::new(0, 2)));
+        assert!(!a.contains_epoch(Epoch::new(1, 2)));
+        assert!(a.contains_epoch(Epoch::new(7, 0))); // absent component = 0
+    }
+
+    #[test]
+    fn display_uses_angle_brackets() {
+        assert_eq!(c(&[2, 0]).to_string(), "⟨2,0⟩");
+        assert_eq!(VectorClock::bottom().to_string(), "⟨⟩");
+    }
+
+    #[test]
+    fn iter_nonzero_skips_zeros() {
+        let pairs: Vec<_> = c(&[0, 3, 0, 1]).iter_nonzero().collect();
+        assert_eq!(pairs, vec![(1, 3), (3, 1)]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the vector-clock lattice laws.
+
+use proptest::prelude::*;
+use vc::VectorClock;
+
+fn clock_strategy() -> impl Strategy<Value = VectorClock> {
+    prop::collection::vec(0u32..50, 0..8).prop_map(VectorClock::from_components)
+}
+
+proptest! {
+    #[test]
+    fn leq_is_reflexive(a in clock_strategy()) {
+        prop_assert!(a.leq(&a));
+    }
+
+    #[test]
+    fn leq_is_antisymmetric_up_to_components(a in clock_strategy(), b in clock_strategy()) {
+        if a.leq(&b) && b.leq(&a) {
+            let dim = a.dim().max(b.dim());
+            for t in 0..dim {
+                prop_assert_eq!(a.component(t), b.component(t));
+            }
+        }
+    }
+
+    #[test]
+    fn leq_is_transitive(a in clock_strategy(), b in clock_strategy(), c in clock_strategy()) {
+        if a.leq(&b) && b.leq(&c) {
+            prop_assert!(a.leq(&c));
+        }
+    }
+
+    #[test]
+    fn join_is_least_upper_bound(a in clock_strategy(), b in clock_strategy(), c in clock_strategy()) {
+        let j = a.join(&b);
+        prop_assert!(a.leq(&j));
+        prop_assert!(b.leq(&j));
+        if a.leq(&c) && b.leq(&c) {
+            prop_assert!(j.leq(&c));
+        }
+    }
+
+    #[test]
+    fn join_is_commutative_and_idempotent(a in clock_strategy(), b in clock_strategy()) {
+        let ab = a.join(&b);
+        let ba = b.join(&a);
+        let dim = ab.dim().max(ba.dim());
+        for t in 0..dim {
+            prop_assert_eq!(ab.component(t), ba.component(t));
+        }
+        let aa = a.join(&a);
+        for t in 0..aa.dim().max(a.dim()) {
+            prop_assert_eq!(aa.component(t), a.component(t));
+        }
+    }
+
+    #[test]
+    fn join_is_associative(a in clock_strategy(), b in clock_strategy(), c in clock_strategy()) {
+        let left = a.join(&b).join(&c);
+        let right = a.join(&b.join(&c));
+        for t in 0..left.dim().max(right.dim()) {
+            prop_assert_eq!(left.component(t), right.component(t));
+        }
+    }
+
+    #[test]
+    fn bottom_is_identity_for_join(a in clock_strategy()) {
+        let j = a.join(&VectorClock::bottom());
+        for t in 0..j.dim().max(a.dim()) {
+            prop_assert_eq!(j.component(t), a.component(t));
+        }
+    }
+
+    #[test]
+    fn zeroed_join_matches_materialised_substitution(
+        a in clock_strategy(),
+        b in clock_strategy(),
+        t in 0usize..8,
+    ) {
+        let mut lazy = a.clone();
+        lazy.join_from_zeroed(&b, t);
+        let eager = a.join(&b.zeroed(t));
+        for u in 0..lazy.dim().max(eager.dim()) {
+            prop_assert_eq!(lazy.component(u), eager.component(u));
+        }
+    }
+
+    #[test]
+    fn epoch_containment_matches_component(a in clock_strategy(), b in clock_strategy(), t in 0usize..8) {
+        let e = a.epoch(t);
+        prop_assert_eq!(b.contains_epoch(e), a.component(t) <= b.component(t));
+    }
+
+    #[test]
+    fn partial_ord_agrees_with_leq(a in clock_strategy(), b in clock_strategy()) {
+        use std::cmp::Ordering::*;
+        match a.partial_cmp(&b) {
+            Some(Less) => prop_assert!(a.leq(&b) && !b.leq(&a)),
+            Some(Greater) => prop_assert!(!a.leq(&b) && b.leq(&a)),
+            Some(Equal) => prop_assert!(a.leq(&b) && b.leq(&a)),
+            None => prop_assert!(!a.leq(&b) && !b.leq(&a)),
+        }
+    }
+}

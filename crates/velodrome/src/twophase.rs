@@ -1,0 +1,264 @@
+//! A simplified DoubleChecker-style two-phase analysis.
+//!
+//! DoubleChecker (Biswas et al., PLDI 2014) splits serializability
+//! checking into a *fast imprecise* first pass and a *precise* second
+//! pass over the suspicious region. The paper declines a numeric
+//! comparison (the real tool's first phase must run inside the JVM); this
+//! module documents the design point on logged traces:
+//!
+//! * **Phase 1** runs Velodrome but only performs cycle *checks* every
+//!   `batch` edge insertions (edges are inserted unchecked in between).
+//!   It answers "is there a cycle anywhere in this prefix?" cheaply but
+//!   cannot pinpoint the first violating event.
+//! * **Phase 2** replays the prefix up to the suspicious batch with the
+//!   precise checker to locate the first violation exactly.
+//!
+//! The result is identical to running [`crate::VelodromeChecker`]
+//! directly (asserted by tests); only the work distribution differs.
+
+use aerodrome::{run_checker, Checker, Outcome};
+use digraph::{dfs, DiGraph, NodeId};
+use std::collections::HashMap;
+use tracelog::{Op, Trace};
+
+use crate::VelodromeChecker;
+
+/// Result of the two-phase analysis.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TwoPhaseReport {
+    /// The precise outcome (identical to single-pass Velodrome).
+    pub outcome: Outcome,
+    /// Events scanned by the imprecise phase.
+    pub phase1_events: u64,
+    /// Events re-scanned by the precise phase (0 when phase 1 finds no
+    /// candidate cycle).
+    pub phase2_events: u64,
+}
+
+/// Imprecise phase: builds the transaction graph with batched cycle
+/// checks; returns the event index (exclusive) of the first batch whose
+/// check found a cycle, if any.
+fn phase1(trace: &Trace, batch: usize) -> (Option<usize>, u64) {
+    let mut graph: DiGraph<u64> = DiGraph::new();
+    let mut live: HashMap<u64, NodeId> = HashMap::new();
+    let mut next = 0u64;
+    let mut current: Vec<Option<u64>> = Vec::new();
+    let mut prev: Vec<Option<u64>> = Vec::new();
+    let mut depth: Vec<usize> = Vec::new();
+    let mut fork_src: Vec<Option<u64>> = Vec::new();
+    let mut last_writer: Vec<Option<u64>> = Vec::new();
+    let mut last_readers: Vec<Vec<(usize, u64)>> = Vec::new();
+    let mut last_rel: Vec<Option<u64>> = Vec::new();
+    let mut since_check = 0usize;
+    let mut processed = 0u64;
+
+    fn ensure<T: Clone>(v: &mut Vec<T>, i: usize, d: T) {
+        if v.len() <= i {
+            v.resize(i + 1, d);
+        }
+    }
+
+    let new_txn = |graph: &mut DiGraph<u64>,
+                       live: &mut HashMap<u64, NodeId>,
+                       next: &mut u64,
+                       prev: &mut Vec<Option<u64>>,
+                       fork_src: &mut Vec<Option<u64>>,
+                       ti: usize|
+     -> u64 {
+        let txn = *next;
+        *next += 1;
+        let node = graph.add_node(txn);
+        live.insert(txn, node);
+        for src in [prev[ti], fork_src[ti].take()].into_iter().flatten() {
+            if let Some(&from) = live.get(&src) {
+                graph.add_edge(from, node);
+            }
+        }
+        prev[ti] = Some(txn);
+        txn
+    };
+
+    for (i, e) in trace.iter().enumerate() {
+        processed += 1;
+        let ti = e.thread.index();
+        ensure(&mut current, ti, None);
+        ensure(&mut prev, ti, None);
+        ensure(&mut depth, ti, 0);
+        ensure(&mut fork_src, ti, None);
+        let add_edge = |graph: &mut DiGraph<u64>,
+                        live: &HashMap<u64, NodeId>,
+                        from: u64,
+                        to: u64| {
+            if from != to {
+                if let (Some(&f), Some(&t)) = (live.get(&from), live.get(&to)) {
+                    graph.add_edge(f, t);
+                }
+            }
+        };
+        match e.op {
+            Op::Begin => {
+                depth[ti] += 1;
+                if depth[ti] == 1 {
+                    current[ti] = Some(new_txn(
+                        &mut graph,
+                        &mut live,
+                        &mut next,
+                        &mut prev,
+                        &mut fork_src,
+                        ti,
+                    ));
+                }
+            }
+            Op::End => {
+                if depth[ti] > 0 {
+                    depth[ti] -= 1;
+                    if depth[ti] == 0 {
+                        current[ti] = None;
+                    }
+                }
+            }
+            _ => {
+                let txn = current[ti].unwrap_or_else(|| {
+                    new_txn(&mut graph, &mut live, &mut next, &mut prev, &mut fork_src, ti)
+                });
+                match e.op {
+                    Op::Read(x) => {
+                        let xi = x.index();
+                        ensure(&mut last_writer, xi, None);
+                        ensure(&mut last_readers, xi, Vec::new());
+                        if let Some(w) = last_writer[xi] {
+                            add_edge(&mut graph, &live, w, txn);
+                        }
+                        match last_readers[xi].iter_mut().find(|(u, _)| *u == ti) {
+                            Some(entry) => entry.1 = txn,
+                            None => last_readers[xi].push((ti, txn)),
+                        }
+                    }
+                    Op::Write(x) => {
+                        let xi = x.index();
+                        ensure(&mut last_writer, xi, None);
+                        ensure(&mut last_readers, xi, Vec::new());
+                        if let Some(w) = last_writer[xi] {
+                            add_edge(&mut graph, &live, w, txn);
+                        }
+                        for (_, r) in std::mem::take(&mut last_readers[xi]) {
+                            add_edge(&mut graph, &live, r, txn);
+                        }
+                        last_writer[xi] = Some(txn);
+                    }
+                    Op::Acquire(l) => {
+                        ensure(&mut last_rel, l.index(), None);
+                        if let Some(r) = last_rel[l.index()] {
+                            add_edge(&mut graph, &live, r, txn);
+                        }
+                    }
+                    Op::Release(l) => {
+                        ensure(&mut last_rel, l.index(), None);
+                        last_rel[l.index()] = Some(txn);
+                    }
+                    Op::Fork(u) => {
+                        ensure(&mut fork_src, u.index(), None);
+                        fork_src[u.index()] = Some(txn);
+                    }
+                    Op::Join(u) => {
+                        ensure(&mut prev, u.index(), None);
+                        if let Some(last) = prev[u.index()] {
+                            add_edge(&mut graph, &live, last, txn);
+                        }
+                    }
+                    Op::Begin | Op::End => unreachable!(),
+                }
+            }
+        }
+        since_check += 1;
+        if since_check >= batch || i + 1 == trace.len() {
+            since_check = 0;
+            if dfs::topological_sort(&graph).is_none() {
+                return (Some(i + 1), processed);
+            }
+        }
+    }
+    (None, processed)
+}
+
+/// Runs the two-phase analysis with the given phase-1 batch size.
+///
+/// # Examples
+///
+/// ```
+/// let report = velodrome::twophase::check(&tracelog::paper_traces::rho2(), 16);
+/// assert!(report.outcome.is_violation());
+/// ```
+#[must_use]
+pub fn check(trace: &Trace, batch: usize) -> TwoPhaseReport {
+    let (suspicious_end, phase1_events) = phase1(trace, batch.max(1));
+    match suspicious_end {
+        None => TwoPhaseReport {
+            outcome: Outcome::Serializable,
+            phase1_events,
+            phase2_events: 0,
+        },
+        Some(end) => {
+            // Precise phase over the suspicious prefix.
+            let mut checker = VelodromeChecker::new();
+            let mut outcome = Outcome::Serializable;
+            for &e in trace.events().iter().take(end) {
+                if let Err(v) = checker.process(e) {
+                    outcome = Outcome::Violation(v);
+                    break;
+                }
+            }
+            TwoPhaseReport {
+                outcome,
+                phase1_events,
+                phase2_events: checker.events_processed(),
+            }
+        }
+    }
+}
+
+/// Convenience: single-pass Velodrome outcome for comparison.
+#[must_use]
+pub fn single_pass(trace: &Trace) -> Outcome {
+    run_checker(&mut VelodromeChecker::new(), trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelog::paper_traces::{rho1, rho2, rho3, rho4};
+
+    #[test]
+    fn matches_single_pass_on_paper_traces() {
+        for (trace, batch) in [
+            (rho1(), 4),
+            (rho2(), 3),
+            (rho3(), 16),
+            (rho4(), 5),
+        ] {
+            let report = check(&trace, batch);
+            assert_eq!(
+                report.outcome.is_violation(),
+                single_pass(&trace).is_violation()
+            );
+            if report.outcome.is_violation() {
+                assert_eq!(report.outcome, single_pass(&trace));
+            }
+        }
+    }
+
+    #[test]
+    fn serializable_trace_skips_phase2() {
+        let report = check(&rho1(), 4);
+        assert_eq!(report.outcome, Outcome::Serializable);
+        assert_eq!(report.phase2_events, 0);
+        assert_eq!(report.phase1_events, 10);
+    }
+
+    #[test]
+    fn phase2_stops_at_the_violation() {
+        let report = check(&rho2(), 100);
+        assert!(report.outcome.is_violation());
+        assert!(report.phase2_events <= 8);
+    }
+}

@@ -1,0 +1,606 @@
+//! Deterministic synthetic trace generator.
+//!
+//! The generator interleaves per-thread state machines under a seeded
+//! scheduler. Every produced trace is well-formed (validated in tests) and
+//! *closed*: all critical sections released, all transactions ended, all
+//! workers joined — the precondition under which Theorem 3 makes the
+//! verdicts of all checkers comparable.
+//!
+//! Two knobs shape the relative cost of graph-based checking:
+//!
+//! * **Retention** (`retention = true`) reproduces the Table 1 regime
+//!   where realistic atomicity specs leave transactions live and
+//!   Velodrome's graph grows without bound (sunflow ≈ 9 000 nodes,
+//!   avrora > 393 K). Getting there against a *correct* garbage collector
+//!   requires a specific shape — a completed transaction with no incoming
+//!   edges is always collectable, so naive "publish once, read forever"
+//!   hubs don't work. The generator uses two long-lived active
+//!   transactions and two disjoint worker groups:
+//!
+//!   - the **main thread** (retainer) publishes `hot` inside a
+//!     transaction that spans the trace; every *report-writer*
+//!     transaction reads `hot` first and is therefore retained;
+//!   - the **subscriber** worker publishes `hot2` inside its own
+//!     trace-long transaction; every *normal* transaction reads `hot2`
+//!     first and is therefore retained (the subscriber's successor set
+//!     grows linearly);
+//!   - each report-writer transaction finishes by writing a fresh
+//!     write-once `report` variable; every [`GenConfig::probe_period`]
+//!     steps the subscriber reads the latest report. That edge points
+//!     *into* the subscriber, whose successor set is the whole normal
+//!     group, so Velodrome's cycle check walks an ever-growing graph —
+//!     quadratic work overall — while the groups stay acyclic (reports
+//!     and `hot`/`hot2` flow in one direction only).
+//!
+//! * **Violation injection** (`violation_at = Some(p)`): at fraction `p`
+//!   of the trace two workers execute the ρ2 pattern (Figure 2) on two
+//!   dedicated variables, making the trace non-serializable from that
+//!   point on. `None` produces a serializable trace.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tracelog::{LockId, ThreadId, Trace, TraceBuilder, VarId};
+
+/// Configuration for [`generate`].
+///
+/// # Examples
+///
+/// ```
+/// let cfg = workloads::GenConfig {
+///     events: 2_000,
+///     violation_at: Some(0.5),
+///     ..workloads::GenConfig::default()
+/// };
+/// let trace = workloads::generate(&cfg);
+/// assert!(tracelog::validate(&trace).unwrap().is_closed());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenConfig {
+    /// PRNG seed; identical configs generate identical traces.
+    pub seed: u64,
+    /// Total threads including the forking main thread (≥ 1).
+    pub threads: usize,
+    /// Distinct locks (≥ 1). Lock 0 guards the shared pool; the rest are
+    /// assigned to shared variables round-robin.
+    pub locks: usize,
+    /// Distinct memory locations (a few are reserved for the hot/probe/
+    /// injection variables; the rest split into shared and local pools).
+    pub vars: usize,
+    /// Approximate number of events to generate (the drain phase that
+    /// closes transactions may add a few per thread).
+    pub events: usize,
+    /// Mean number of *atoms* (an atom is one local access or one guarded
+    /// group of 3–5 events) per transaction.
+    pub avg_txn_len: usize,
+    /// Probability that an idle worker starts a transaction instead of
+    /// performing a unary access; controls transaction density.
+    pub txn_fraction: f64,
+    /// Probability that an atom inside a transaction is a lock-guarded
+    /// shared-pool group rather than a local access.
+    pub shared_fraction: f64,
+    /// Probability that a memory access is a write.
+    pub write_fraction: f64,
+    /// Enable the Velodrome-GC-defeating retention pattern (needs ≥ 3
+    /// worker threads; silently disabled otherwise).
+    pub retention: bool,
+    /// Retained transaction reads the probe variable every this many of
+    /// its scheduler steps.
+    pub probe_period: usize,
+    /// Inject a ρ2-shaped violation at this fraction of the trace.
+    pub violation_at: Option<f64>,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xAE20_2020,
+            threads: 8,
+            locks: 4,
+            vars: 256,
+            events: 10_000,
+            avg_txn_len: 6,
+            txn_fraction: 0.9,
+            shared_fraction: 0.3,
+            write_fraction: 0.4,
+            retention: false,
+            probe_period: 200,
+            violation_at: None,
+        }
+    }
+}
+
+/// Worker roles under the retention pattern (the main thread plays the
+/// fourth role, *retainer*, publishing `hot`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Role {
+    /// Ordinary worker: short transactions / unary accesses; reads `hot2`
+    /// at transaction start under retention.
+    Normal,
+    /// Holds one transaction open for the whole trace, publishes `hot2`
+    /// and periodically reads the latest `report` variable.
+    Subscriber,
+    /// Short transactions that read `hot` first and finish by writing a
+    /// fresh write-once `report` variable.
+    ReportWriter,
+}
+
+/// Per-worker state machine.
+struct Worker {
+    id: ThreadId,
+    role: Role,
+    /// Remaining atoms in the current transaction (0 = idle).
+    remaining: usize,
+    in_txn: bool,
+    /// Whether the current transaction already used its (single) guarded
+    /// group. A transaction with two critical sections of the same lock is
+    /// not two-phase and would make the background non-serializable.
+    used_shared: bool,
+    steps: usize,
+    locals: Vec<VarId>,
+}
+
+/// Variable/lock layout shared by all workers.
+struct Layout {
+    /// Published once by the main thread's retained transaction.
+    hot: VarId,
+    /// Published once by the subscriber's retained transaction.
+    hot2: VarId,
+    /// Rotating report variables: each is written exactly once by a
+    /// report-writer transaction and read afterwards by the subscriber.
+    /// Re-using one variable would let the long-lived subscriber read
+    /// before *and* after a writer transaction — a genuine cycle, not the
+    /// serializable-but-expensive pattern we want.
+    reports: Vec<VarId>,
+    inj_a: VarId,
+    inj_b: VarId,
+    shared: Vec<(VarId, LockId)>,
+}
+
+/// Generates a well-formed, closed trace per `cfg`.
+///
+/// # Panics
+///
+/// Panics if `cfg.threads == 0`, `cfg.locks == 0` or `cfg.events == 0`.
+#[must_use]
+pub fn generate(cfg: &GenConfig) -> Trace {
+    assert!(cfg.threads > 0, "need at least one thread");
+    assert!(cfg.locks > 0, "need at least one lock");
+    assert!(cfg.events > 0, "need a positive event budget");
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut tb = TraceBuilder::new();
+
+    let main = tb.thread("main");
+    let worker_count = cfg.threads.saturating_sub(1);
+
+    // Reserved + shared + local variable pools.
+    let layout = {
+        let hot = tb.var("hot");
+        let hot2 = tb.var("hot2");
+        let inj_a = tb.var("inj_a");
+        let inj_b = tb.var("inj_b");
+        let report_budget = if cfg.retention {
+            (cfg.events / 4 + 8).min(cfg.events)
+        } else {
+            0
+        };
+        let reports = (0..report_budget)
+            .map(|i| tb.var(&format!("report{i}")))
+            .collect();
+        let shared_count = (cfg.vars / 8).clamp(1, 4096);
+        let shared = (0..shared_count)
+            .map(|i| {
+                let v = tb.var(&format!("s{i}"));
+                // Lock 0 is reserved as the generic guard; spread the rest.
+                let l = tb.lock(&format!("l{}", i % cfg.locks));
+                (v, l)
+            })
+            .collect();
+        Layout { hot, hot2, reports, inj_a, inj_b, shared }
+    };
+
+    let retention = cfg.retention && worker_count >= 3;
+    let locals_per_worker = if worker_count > 0 {
+        (cfg.vars.saturating_sub(4 + layout.shared.len()) / worker_count.max(1)).max(1)
+    } else {
+        1
+    };
+
+    let mut workers: Vec<Worker> = (0..worker_count)
+        .map(|w| {
+            let id = tb.thread(&format!("w{w}"));
+            let role = match w {
+                0 if retention => Role::Subscriber,
+                1 if retention => Role::ReportWriter,
+                _ => Role::Normal,
+            };
+            let locals = (0..locals_per_worker)
+                .map(|i| tb.var(&format!("w{w}_v{i}")))
+                .collect();
+            Worker {
+                id,
+                role,
+                remaining: 0,
+                in_txn: false,
+                used_shared: false,
+                steps: 0,
+                locals,
+            }
+        })
+        .collect();
+
+    // Single-threaded degenerate case: main does everything.
+    if workers.is_empty() {
+        let locals: Vec<VarId> = (0..cfg.vars.max(1))
+            .map(|i| tb.var(&format!("m_v{i}")))
+            .collect();
+        while tb.len() < cfg.events {
+            tb.begin(main);
+            let len = rng.gen_range(1..=cfg.avg_txn_len.max(1) * 2);
+            for _ in 0..len {
+                let v = locals[rng.gen_range(0..locals.len())];
+                if rng.gen_bool(cfg.write_fraction) {
+                    tb.write(main, v);
+                } else {
+                    tb.read(main, v);
+                }
+            }
+            tb.end(main);
+        }
+        return tb.finish();
+    }
+
+    for w in &workers {
+        tb.fork(main, w.id);
+    }
+
+    // Injection bookkeeping: pick two Normal workers.
+    let inj_threshold = cfg
+        .violation_at
+        .map(|p| ((cfg.events as f64) * p.clamp(0.0, 1.0)) as usize);
+    let normals: Vec<usize> = workers
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| w.role == Role::Normal)
+        .map(|(i, _)| i)
+        .collect();
+    let inj_pair = match normals.as_slice() {
+        [] => None,
+        [only] => (workers.len() >= 2).then(|| {
+            // Pair the lone normal worker with the report-writer.
+            let other = workers
+                .iter()
+                .position(|w| w.role == Role::ReportWriter)
+                .unwrap_or(0);
+            (*only, other)
+        }),
+        [a, .., b] => Some((*a, *b)),
+    };
+    let mut injected = false;
+    let mut probe_written = 0usize;
+
+    // The retained transactions must publish `hot`/`hot2` before any
+    // worker can read them: a read *before* the write is a conflict edge
+    // pointing INTO a still-running retained transaction, which would
+    // make the background genuinely non-serializable.
+    if retention {
+        // Main thread: one transaction spanning the whole trace.
+        tb.begin(main);
+        tb.write(main, layout.hot);
+        // Subscriber: its own trace-long transaction.
+        step_worker(
+            &mut tb,
+            &mut rng,
+            cfg,
+            &layout,
+            retention,
+            &mut probe_written,
+            &mut workers[0],
+        );
+    }
+
+    while tb.len() < cfg.events {
+        // Violation injection takes priority once the threshold passes.
+        if !injected {
+            if let (Some(th), Some((ia, ib))) = (inj_threshold, inj_pair) {
+                if tb.len() >= th {
+                    inject_rho2(&mut tb, &mut workers, ia, ib, &layout);
+                    injected = true;
+                    continue;
+                }
+            }
+        }
+        let wi = rng.gen_range(0..workers.len());
+        step_worker(
+            &mut tb,
+            &mut rng,
+            cfg,
+            &layout,
+            retention,
+            &mut probe_written,
+            &mut workers[wi],
+        );
+    }
+
+    // Drain: close critical work, end transactions, join workers.
+    for w in &mut workers {
+        if w.in_txn {
+            tb.end(w.id);
+            w.in_txn = false;
+        }
+    }
+    if retention {
+        tb.end(main);
+    }
+    for w in &workers {
+        tb.join(main, w.id);
+    }
+    tb.finish()
+}
+
+/// Advances one worker by one scheduler step, emitting 1–7 events.
+fn step_worker(
+    tb: &mut TraceBuilder,
+    rng: &mut StdRng,
+    cfg: &GenConfig,
+    layout: &Layout,
+    retention: bool,
+    probe_written: &mut usize,
+    w: &mut Worker,
+) {
+    w.steps += 1;
+    match w.role {
+        Role::Subscriber => {
+            if !w.in_txn {
+                // One transaction for (nearly) the whole trace; publish
+                // hot2 so every normal transaction is retained below it.
+                tb.begin(w.id);
+                tb.write(w.id, layout.hot2);
+                w.in_txn = true;
+                return;
+            }
+            if w.steps.is_multiple_of(cfg.probe_period.max(1)) && *probe_written > 0 {
+                // Report read of the freshest (write-once) report
+                // variable: an edge *into* this node, whose successor set
+                // is every normal transaction so far — the expensive
+                // cycle check Velodrome cannot avoid.
+                tb.read(w.id, layout.reports[*probe_written - 1]);
+            } else {
+                local_access(tb, rng, cfg, w);
+            }
+        }
+        Role::ReportWriter => {
+            if !w.in_txn {
+                tb.begin(w.id);
+                // Reading `hot` retains this transaction (incoming edge
+                // from the live main-thread transaction), so Velodrome
+                // cannot collect it and must honour the report edge.
+                tb.read(w.id, layout.hot);
+                w.in_txn = true;
+                w.remaining = txn_len(rng, cfg);
+                return;
+            }
+            w.remaining = w.remaining.saturating_sub(1);
+            if w.remaining == 0 {
+                // Close the transaction with (at most) one fresh report
+                // write: each report variable is written exactly once, so
+                // the subscriber's later read adds an edge *into* the
+                // subscriber without ever creating a cycle.
+                if *probe_written < layout.reports.len() {
+                    tb.write(w.id, layout.reports[*probe_written]);
+                    *probe_written += 1;
+                }
+                tb.end(w.id);
+                w.in_txn = false;
+            } else {
+                local_access(tb, rng, cfg, w);
+            }
+        }
+        Role::Normal => {
+            if !w.in_txn {
+                if rng.gen_bool(cfg.txn_fraction.clamp(0.0, 1.0)) {
+                    tb.begin(w.id);
+                    w.in_txn = true;
+                    w.used_shared = false;
+                    w.remaining = txn_len(rng, cfg);
+                    if retention {
+                        // First action: observe the subscriber's
+                        // publication — the retention edge.
+                        tb.read(w.id, layout.hot2);
+                    }
+                } else {
+                    local_access(tb, rng, cfg, w); // unary transaction
+                }
+                return;
+            }
+            if !w.used_shared
+                && rng.gen_bool(cfg.shared_fraction.clamp(0.0, 1.0))
+                && !layout.shared.is_empty()
+            {
+                // At most one critical section per transaction keeps the
+                // background two-phase locked, hence serializable.
+                w.used_shared = true;
+                guarded_group(tb, rng, cfg, layout, w);
+            } else {
+                local_access(tb, rng, cfg, w);
+            }
+            finish_atom(tb, w);
+        }
+    }
+}
+
+fn finish_atom(tb: &mut TraceBuilder, w: &mut Worker) {
+    w.remaining = w.remaining.saturating_sub(1);
+    if w.remaining == 0 && w.in_txn {
+        tb.end(w.id);
+        w.in_txn = false;
+    }
+}
+
+fn txn_len(rng: &mut StdRng, cfg: &GenConfig) -> usize {
+    rng.gen_range(1..=cfg.avg_txn_len.max(1) * 2 - 1)
+}
+
+fn local_access(tb: &mut TraceBuilder, rng: &mut StdRng, cfg: &GenConfig, w: &Worker) {
+    let v = w.locals[rng.gen_range(0..w.locals.len())];
+    if rng.gen_bool(cfg.write_fraction.clamp(0.0, 1.0)) {
+        tb.write(w.id, v);
+    } else {
+        tb.read(w.id, v);
+    }
+}
+
+/// A two-phase-locked access group on the shared pool: serializable by
+/// construction.
+fn guarded_group(
+    tb: &mut TraceBuilder,
+    rng: &mut StdRng,
+    cfg: &GenConfig,
+    layout: &Layout,
+    w: &Worker,
+) {
+    let (v, l) = layout.shared[rng.gen_range(0..layout.shared.len())];
+    tb.acquire(w.id, l);
+    for _ in 0..rng.gen_range(1..=3) {
+        if rng.gen_bool(cfg.write_fraction.clamp(0.0, 1.0)) {
+            tb.write(w.id, v);
+        } else {
+            tb.read(w.id, v);
+        }
+    }
+    tb.release(w.id, l);
+}
+
+/// Emits the ρ2 pattern (Figure 2) across workers `ia` and `ib`:
+/// `a:w(va)  b:r(va)  b:w(vb)  a:r(vb)` inside both workers' transactions.
+fn inject_rho2(
+    tb: &mut TraceBuilder,
+    workers: &mut [Worker],
+    ia: usize,
+    ib: usize,
+    layout: &Layout,
+) {
+    debug_assert_ne!(ia, ib);
+    for wi in [ia, ib] {
+        let w = &mut workers[wi];
+        if !w.in_txn {
+            tb.begin(w.id);
+            w.in_txn = true;
+            w.remaining = w.remaining.max(2);
+        }
+    }
+    let (a, b) = (workers[ia].id, workers[ib].id);
+    tb.write(a, layout.inj_a);
+    tb.read(b, layout.inj_a);
+    tb.write(b, layout.inj_b);
+    tb.read(a, layout.inj_b);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelog::{validate, MetaInfo};
+
+    #[test]
+    fn default_config_generates_closed_well_formed_trace() {
+        let trace = generate(&GenConfig::default());
+        let summary = validate(&trace).expect("well-formed");
+        assert!(summary.is_closed());
+        assert!(trace.len() >= 10_000);
+        let info = MetaInfo::of(&trace);
+        assert_eq!(info.threads, 8);
+        assert!(info.transactions > 100);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig { events: 3_000, ..GenConfig::default() };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = GenConfig { events: 3_000, ..GenConfig::default() };
+        let a = generate(&cfg);
+        let b = generate(&GenConfig { seed: 99, ..cfg });
+        assert_ne!(a.events(), b.events());
+    }
+
+    #[test]
+    fn retention_trace_is_well_formed() {
+        let cfg = GenConfig {
+            events: 5_000,
+            retention: true,
+            probe_period: 50,
+            ..GenConfig::default()
+        };
+        let trace = generate(&cfg);
+        assert!(validate(&trace).unwrap().is_closed());
+        // hot/hot2/report variables must actually be used.
+        let text = tracelog::write_trace(&trace);
+        assert!(text.contains("w(hot)"));
+        assert!(text.contains("r(hot)"));
+        assert!(text.contains("w(hot2)"));
+        assert!(text.contains("r(hot2)"));
+        assert!(text.contains("r(report"));
+        assert!(text.contains("w(report"));
+    }
+
+    #[test]
+    fn injection_emits_rho2_pattern() {
+        let cfg = GenConfig {
+            events: 2_000,
+            violation_at: Some(0.5),
+            ..GenConfig::default()
+        };
+        let trace = generate(&cfg);
+        assert!(validate(&trace).unwrap().is_closed());
+        let text = tracelog::write_trace(&trace);
+        assert!(text.contains("w(inj_a)"));
+        assert!(text.contains("r(inj_b)"));
+    }
+
+    #[test]
+    fn single_thread_config_works() {
+        let cfg = GenConfig {
+            threads: 1,
+            events: 500,
+            ..GenConfig::default()
+        };
+        let trace = generate(&cfg);
+        assert!(validate(&trace).unwrap().is_closed());
+        assert_eq!(MetaInfo::of(&trace).threads, 1);
+    }
+
+    #[test]
+    fn two_thread_config_works() {
+        let cfg = GenConfig {
+            threads: 2,
+            events: 500,
+            violation_at: Some(0.2),
+            ..GenConfig::default()
+        };
+        let trace = generate(&cfg);
+        assert!(validate(&trace).unwrap().is_closed());
+    }
+
+    #[test]
+    fn zero_txn_fraction_gives_mostly_unary_events() {
+        let cfg = GenConfig {
+            txn_fraction: 0.0,
+            events: 2_000,
+            violation_at: None,
+            ..GenConfig::default()
+        };
+        let info = MetaInfo::of(&generate(&cfg));
+        assert_eq!(info.transactions, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = generate(&GenConfig { threads: 0, ..GenConfig::default() });
+    }
+}

@@ -1,0 +1,29 @@
+//! Synthetic trace workloads for the AeroDrome reproduction.
+//!
+//! The paper evaluates on traces logged by RoadRunner from DaCapo / Java
+//! Grande benchmarks — up to 2.4 billion events, unavailable here (see
+//! DESIGN.md §3). The algorithms consume only the event sequence, so this
+//! crate generates traces with the same *structural* characteristics:
+//!
+//! * [`gen`] — a deterministic, seedable generator producing well-formed,
+//!   fully-closed traces with configurable thread/lock/variable counts,
+//!   transaction density, lock-guarded sharing, an optional injected
+//!   conflict-serializability violation at a chosen position, and an
+//!   optional *retention* pattern (one long-lived active transaction plus
+//!   periodic probe reads) that defeats Velodrome's garbage collection
+//!   exactly the way the paper's realistic atomicity specs do;
+//! * [`profiles`] — one [`profiles::Profile`] per row of Tables 1 and 2,
+//!   pairing the published trace characteristics with a scaled-down
+//!   generator configuration;
+//! * [`scenarios`] — hand-crafted application-shaped traces (bank
+//!   transfers, producer/consumer) used by the examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod profiles;
+pub mod scenarios;
+
+pub use gen::{generate, GenConfig};
+pub use profiles::{table1, table2, PaperRow, Profile};

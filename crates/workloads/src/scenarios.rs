@@ -1,0 +1,315 @@
+//! Hand-crafted application-shaped scenario traces.
+//!
+//! These model the concurrency-bug folklore the paper's introduction
+//! motivates (atomicity violations as the root cause of real-world bugs)
+//! and drive the runnable examples.
+
+use tracelog::{Trace, TraceBuilder};
+
+/// A bank with per-account locks and two-phase-locked transfers.
+///
+/// Each transfer transaction acquires both account locks (in account-id
+/// order, so the trace is well-formed), moves money, and releases — a
+/// textbook conflict-serializable schedule.
+///
+/// With `unsafe_audit = true`, a final auditor thread sums all balances
+/// **without taking locks**, interleaved with one in-flight transfer: the
+/// audit reads one account before the transfer updates it and another
+/// after, which is exactly a conflict-serializability violation (the
+/// audit observes a state no serial order can produce).
+///
+/// # Examples
+///
+/// ```
+/// let safe = workloads::scenarios::bank(4, 6, false);
+/// let racy = workloads::scenarios::bank(4, 6, true);
+/// assert!(tracelog::validate(&safe).unwrap().is_closed());
+/// assert!(racy.len() > safe.len());
+/// ```
+#[must_use]
+pub fn bank(accounts: usize, transfers: usize, unsafe_audit: bool) -> Trace {
+    assert!(accounts >= 2, "need at least two accounts");
+    let mut tb = TraceBuilder::new();
+    let teller_a = tb.thread("teller_a");
+    let teller_b = tb.thread("teller_b");
+    let balances: Vec<_> = (0..accounts)
+        .map(|i| tb.var(&format!("acct{i}")))
+        .collect();
+    let locks: Vec<_> = (0..accounts)
+        .map(|i| tb.lock(&format!("acct{i}_lock")))
+        .collect();
+
+    // Interleave transfers from two tellers; account pairs rotate.
+    for k in 0..transfers {
+        let teller = if k % 2 == 0 { teller_a } else { teller_b };
+        let from = k % accounts;
+        let to = (k + 1) % accounts;
+        let (lo, hi) = (from.min(to), from.max(to));
+        tb.begin(teller);
+        tb.acquire(teller, locks[lo]);
+        tb.acquire(teller, locks[hi]);
+        tb.read(teller, balances[from]);
+        tb.write(teller, balances[from]);
+        tb.read(teller, balances[to]);
+        tb.write(teller, balances[to]);
+        tb.release(teller, locks[hi]);
+        tb.release(teller, locks[lo]);
+        tb.end(teller);
+    }
+
+    if unsafe_audit {
+        // Auditor reads acct0, then a transfer acct0 → acct1 commits, then
+        // the auditor reads the remaining accounts: the sum is torn.
+        let auditor = tb.thread("auditor");
+        tb.begin(auditor);
+        tb.read(auditor, balances[0]);
+        tb.begin(teller_a);
+        tb.acquire(teller_a, locks[0]);
+        tb.acquire(teller_a, locks[1]);
+        tb.read(teller_a, balances[0]);
+        tb.write(teller_a, balances[0]);
+        tb.read(teller_a, balances[1]);
+        tb.write(teller_a, balances[1]);
+        tb.release(teller_a, locks[1]);
+        tb.release(teller_a, locks[0]);
+        tb.end(teller_a);
+        for &b in &balances[1..] {
+            tb.read(auditor, b);
+        }
+        tb.end(auditor);
+    }
+    tb.finish()
+}
+
+/// A bounded-buffer producer/consumer pipeline guarded by one lock.
+///
+/// Producers and consumers update `head`/`tail`/`slots` inside lock-
+/// protected transactions — serializable. With `racy_size_check = true`
+/// the consumer reads `head` and `tail` in two *separate* critical
+/// sections of the same transaction (a check-then-act bug): a producer
+/// slips in between, and the consumer's transaction can no longer be
+/// serialized.
+#[must_use]
+pub fn producer_consumer(rounds: usize, racy_size_check: bool) -> Trace {
+    let mut tb = TraceBuilder::new();
+    let producer = tb.thread("producer");
+    let consumer = tb.thread("consumer");
+    let l = tb.lock("queue_lock");
+    let head = tb.var("head");
+    let tail = tb.var("tail");
+    let slot = tb.var("slot");
+
+    let produce = |tb: &mut TraceBuilder| {
+        tb.begin(producer);
+        tb.acquire(producer, l);
+        tb.read(producer, tail);
+        tb.write(producer, slot);
+        tb.write(producer, tail);
+        tb.release(producer, l);
+        tb.end(producer);
+    };
+    let consume = |tb: &mut TraceBuilder| {
+        tb.begin(consumer);
+        tb.acquire(consumer, l);
+        tb.read(consumer, head);
+        tb.read(consumer, tail);
+        tb.read(consumer, slot);
+        tb.write(consumer, head);
+        tb.release(consumer, l);
+        tb.end(consumer);
+    };
+
+    for _ in 0..rounds {
+        produce(&mut tb);
+        consume(&mut tb);
+    }
+
+    if racy_size_check {
+        // Consumer: size check in one critical section…
+        tb.begin(consumer);
+        tb.acquire(consumer, l);
+        tb.read(consumer, head);
+        tb.read(consumer, tail);
+        tb.release(consumer, l);
+        // …producer slips in…
+        produce(&mut tb);
+        // …then the dequeue in a second critical section of the SAME
+        // transaction: check-then-act atomicity bug.
+        tb.acquire(consumer, l);
+        tb.read(consumer, slot);
+        tb.write(consumer, head);
+        tb.release(consumer, l);
+        tb.end(consumer);
+    }
+    tb.finish()
+}
+
+/// A double-checked-lazy-initialization pattern.
+///
+/// The correct variant checks the `initialized` flag, takes the lock,
+/// re-checks, initializes, publishes — all inside one transaction whose
+/// shared accesses are lock-protected after the (benign, read-only) fast
+/// path. The `broken` variant publishes the flag **before** the lock is
+/// taken for the payload write, so a reader transaction observes the flag
+/// and reads an uninitialized payload: the two transactions cannot be
+/// serialized.
+#[must_use]
+pub fn double_checked_init(broken: bool) -> Trace {
+    let mut tb = TraceBuilder::new();
+    let initer = tb.thread("initer");
+    let reader = tb.thread("reader");
+    let l = tb.lock("init_lock");
+    let flag = tb.var("initialized");
+    let payload = tb.var("payload");
+
+    if broken {
+        // Initializer: sets the flag first, then writes the payload.
+        tb.begin(initer);
+        tb.write(initer, flag); // published too early
+        // Reader races in: sees the flag, consumes the payload.
+        tb.begin(reader);
+        tb.read(reader, flag);
+        tb.read(reader, payload); // uninitialized read
+        tb.end(reader);
+        tb.acquire(initer, l);
+        tb.write(initer, payload); // after the reader already looked
+        tb.release(initer, l);
+        tb.read(initer, flag); // re-check closes the cycle
+        tb.end(initer);
+    } else {
+        // Initializer completes before any reader observes the flag.
+        tb.begin(initer);
+        tb.acquire(initer, l);
+        tb.read(initer, flag);
+        tb.write(initer, payload);
+        tb.write(initer, flag);
+        tb.release(initer, l);
+        tb.end(initer);
+        tb.begin(reader);
+        tb.read(reader, flag);
+        tb.read(reader, payload);
+        tb.end(reader);
+    }
+    tb.finish()
+}
+
+/// A barrier-style phased computation.
+///
+/// `workers` threads each write their slice in phase 1, synchronize
+/// through a barrier (modelled as a lock-protected counter, which is how
+/// barriers appear in traces), and read every slice in phase 2. With one
+/// transaction per phase the trace is serializable; with a single
+/// transaction spanning both phases (`fused = true`) each worker both
+/// writes before and reads after every other worker — pairwise cycles.
+#[must_use]
+pub fn barrier_phases(workers: usize, fused: bool) -> Trace {
+    assert!(workers >= 2, "need at least two workers");
+    let mut tb = TraceBuilder::new();
+    let main = tb.thread("main");
+    let ids: Vec<_> = (0..workers).map(|i| tb.thread(&format!("w{i}"))).collect();
+    let slices: Vec<_> = (0..workers).map(|i| tb.var(&format!("slice{i}"))).collect();
+    let l = tb.lock("barrier_lock");
+    let count = tb.var("barrier_count");
+
+    for &w in &ids {
+        tb.fork(main, w);
+    }
+    // Phase 1: each worker writes its own slice (+ barrier arrive).
+    for (i, &w) in ids.iter().enumerate() {
+        tb.begin(w);
+        tb.write(w, slices[i]);
+        if fused {
+            // stay in the same transaction across the barrier
+        } else {
+            tb.end(w);
+        }
+        tb.acquire(w, l);
+        tb.read(w, count);
+        tb.write(w, count);
+        tb.release(w, l);
+    }
+    // Phase 2: each worker reads every slice.
+    for (i, &w) in ids.iter().enumerate() {
+        if !fused {
+            tb.begin(w);
+        }
+        for (j, &s) in slices.iter().enumerate() {
+            if j != i {
+                tb.read(w, s);
+            }
+        }
+        tb.end(w);
+    }
+    for &w in &ids {
+        tb.join(main, w);
+    }
+    tb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelog::{validate, MetaInfo};
+
+    #[test]
+    fn bank_traces_are_well_formed() {
+        for unsafe_audit in [false, true] {
+            let t = bank(4, 8, unsafe_audit);
+            assert!(validate(&t).unwrap().is_closed());
+        }
+    }
+
+    #[test]
+    fn bank_counts_scale_with_inputs() {
+        let info = MetaInfo::of(&bank(3, 5, false));
+        assert_eq!(info.threads, 2);
+        assert_eq!(info.locks, 3);
+        assert_eq!(info.vars, 3);
+        assert_eq!(info.transactions, 5);
+    }
+
+    #[test]
+    fn audit_adds_a_thread_and_transaction() {
+        let info = MetaInfo::of(&bank(3, 5, true));
+        assert_eq!(info.threads, 3);
+        assert_eq!(info.transactions, 7); // 5 transfers + 1 extra + audit
+    }
+
+    #[test]
+    fn producer_consumer_is_well_formed() {
+        for racy in [false, true] {
+            let t = producer_consumer(5, racy);
+            assert!(validate(&t).unwrap().is_closed());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two accounts")]
+    fn bank_rejects_single_account() {
+        let _ = bank(1, 1, false);
+    }
+
+    #[test]
+    fn double_checked_init_traces_are_well_formed() {
+        for broken in [false, true] {
+            let t = double_checked_init(broken);
+            assert!(validate(&t).unwrap().is_closed());
+        }
+    }
+
+    #[test]
+    fn barrier_traces_are_well_formed() {
+        for fused in [false, true] {
+            for workers in [2, 4] {
+                let t = barrier_phases(workers, fused);
+                assert!(validate(&t).unwrap().is_closed(), "workers={workers} fused={fused}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two workers")]
+    fn barrier_rejects_single_worker() {
+        let _ = barrier_phases(1, false);
+    }
+}

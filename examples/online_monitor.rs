@@ -1,0 +1,69 @@
+//! Online monitoring: AeroDrome as it would run in production — events
+//! stream in, state stays O(threads · (vars + locks)) clocks, and the
+//! first violation stops the world.
+//!
+//! The workload is a scaled `sunflow`-style run (realistic atomicity
+//! spec, long-lived transactions, violation late in the trace), checked
+//! by AeroDrome and Velodrome side by side with per-chunk timings.
+//!
+//! Run with: `cargo run --release --example online_monitor`
+
+use std::time::Instant;
+
+use aerodrome_suite::prelude::*;
+use velodrome::VelodromeChecker;
+
+fn main() {
+    let cfg = GenConfig {
+        seed: 2024,
+        threads: 8,
+        locks: 8,
+        vars: 1024,
+        events: 120_000,
+        retention: true,
+        probe_period: 10,
+        violation_at: Some(0.85),
+        ..GenConfig::default()
+    };
+    println!("generating workload: {cfg:?}\n");
+    let trace = generate(&cfg);
+    let info = MetaInfo::of(&trace);
+    println!("{info}");
+
+    let chunk = trace.len() / 10;
+    for (name, mut checker) in [
+        ("aerodrome", Box::new(OptimizedChecker::new()) as Box<dyn Checker>),
+        ("velodrome", Box::new(VelodromeChecker::new()) as Box<dyn Checker>),
+    ] {
+        println!("── {name} ──");
+        let start = Instant::now();
+        let mut stopped = None;
+        'outer: for (c, events) in trace.events().chunks(chunk).enumerate() {
+            let chunk_start = Instant::now();
+            for &e in events {
+                if let Err(v) = checker.process(e) {
+                    stopped = Some(v);
+                    break 'outer;
+                }
+            }
+            println!(
+                "  {:>3}% processed, chunk took {:>9.3?}",
+                (c + 1) * 10,
+                chunk_start.elapsed()
+            );
+        }
+        match stopped {
+            Some(v) => println!(
+                "  ⚡ {} (after {} events, {:.3?} total)\n",
+                v.display_with(&trace),
+                checker.events_processed(),
+                start.elapsed()
+            ),
+            None => println!("  no violation ({:.3?} total)\n", start.elapsed()),
+        }
+    }
+    println!(
+        "note: Velodrome's chunks get slower as its transaction graph grows;\n\
+         AeroDrome's stay flat — the linear-time claim of the paper."
+    );
+}

@@ -1,0 +1,71 @@
+//! Quickstart: build a trace, check it, read the report.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use aerodrome_suite::prelude::*;
+
+fn main() {
+    // 1. Record an execution trace. In a real deployment this comes from
+    //    an instrumentation front end (the paper uses RoadRunner); here we
+    //    script the classic non-atomic read-modify-write.
+    let mut tb = TraceBuilder::new();
+    let (t1, t2) = (tb.thread("worker-1"), tb.thread("worker-2"));
+    let lock = tb.lock("account_lock");
+    let balance = tb.var("balance");
+
+    // worker-1's "atomic" withdraw releases the lock between the check
+    // and the update…
+    tb.begin(t1);
+    tb.acquire(t1, lock);
+    tb.read(t1, balance);
+    tb.release(t1, lock);
+    // …so worker-2's deposit slips in between…
+    tb.begin(t2);
+    tb.acquire(t2, lock);
+    tb.read(t2, balance);
+    tb.write(t2, balance);
+    tb.release(t2, lock);
+    tb.end(t2);
+    // …and worker-1 commits a stale balance.
+    tb.acquire(t1, lock);
+    tb.write(t1, balance);
+    tb.release(t1, lock);
+    tb.end(t1);
+    let trace = tb.finish();
+
+    // 2. Sanity-check well-formedness (matched locks/begins, fork/join
+    //    ordering).
+    let summary = validate(&trace).expect("trace is well-formed");
+    assert!(summary.is_closed());
+
+    // 3. Stream the trace through the linear-time checker.
+    let mut checker = OptimizedChecker::new();
+    match run_checker(&mut checker, &trace) {
+        Outcome::Violation(v) => {
+            println!("{}", v.display_with(&trace));
+            println!(
+                "(detected after {} of {} events, online)",
+                checker.events_processed(),
+                trace.len()
+            );
+        }
+        Outcome::Serializable => println!("trace is conflict serializable ✓"),
+    }
+
+    // 4. The graph-based baseline agrees — and can name the cycle.
+    let mut velodrome = VelodromeChecker::new();
+    let outcome = run_checker(&mut velodrome, &trace);
+    assert!(outcome.is_violation());
+    if let Some(cycle) = velodrome.witness() {
+        println!(
+            "velodrome witness: a cycle through {} transactions",
+            cycle.len()
+        );
+    }
+
+    // 5. Traces round-trip through the RAPID .std text format.
+    let text = write_trace(&trace);
+    print!("\ntrace log ({} lines):\n{text}", trace.len());
+    let reparsed = parse_trace(&text).expect("roundtrip");
+    assert_eq!(reparsed.events(), trace.events());
+}

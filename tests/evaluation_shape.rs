@@ -1,0 +1,139 @@
+//! Small-scale checks of the evaluation's qualitative claims (§5.3),
+//! using algorithmic metrics rather than brittle wall-clock thresholds
+//! wherever possible.
+
+use aerodrome_suite::prelude::*;
+use velodrome::VelodromeChecker;
+
+fn retention_cfg(events: usize) -> GenConfig {
+    GenConfig {
+        seed: 99,
+        threads: 8,
+        locks: 4,
+        vars: 256,
+        events,
+        retention: true,
+        probe_period: 4,
+        violation_at: None,
+        ..GenConfig::default()
+    }
+}
+
+/// §5.3: with realistic specs, the number of live transactions in
+/// Velodrome's graph grows with the trace; with naive/local workloads GC
+/// keeps it constant.
+#[test]
+fn velodrome_graph_growth_depends_on_spec_style() {
+    let mut peaks = Vec::new();
+    for events in [5_000usize, 10_000, 20_000] {
+        let trace = generate(&retention_cfg(events));
+        let mut c = VelodromeChecker::new();
+        assert!(!run_checker(&mut c, &trace).is_violation());
+        peaks.push(c.stats().peak_live_nodes);
+    }
+    assert!(
+        peaks[2] > peaks[0] * 2,
+        "graph must grow ~linearly under retention: {peaks:?}"
+    );
+
+    let quiet = generate(&GenConfig {
+        retention: false,
+        ..retention_cfg(20_000)
+    });
+    let mut c = VelodromeChecker::new();
+    assert!(!run_checker(&mut c, &quiet).is_violation());
+    assert!(
+        c.stats().peak_live_nodes < 100,
+        "GC keeps the graph tiny without retention: {:?}",
+        c.stats()
+    );
+}
+
+/// The cubic-vs-linear work claim, measured in DFS node visits (the
+/// dominant cost in Velodrome): doubling the trace should more than
+/// double the visit count under retention.
+#[test]
+fn velodrome_cycle_check_work_grows_superlinearly() {
+    let mut visits = Vec::new();
+    for events in [10_000usize, 20_000, 40_000] {
+        let trace = generate(&retention_cfg(events));
+        let mut c = VelodromeChecker::new();
+        assert!(!run_checker(&mut c, &trace).is_violation());
+        visits.push(c.stats().dfs_visits);
+    }
+    // Linear growth would give visits[2] ≈ 4 × visits[0]; quadratic ≈ 16×.
+    assert!(
+        visits[2] > visits[0] * 8,
+        "cycle-check work must grow super-linearly: {visits:?}"
+    );
+}
+
+/// AeroDrome's work metric (clock joins, each O(|Thr|)) is bounded per
+/// event — the linear-time theorem measured directly, with no wall-clock
+/// noise.
+#[test]
+fn aerodrome_clock_joins_grow_linearly() {
+    let mut per_event = Vec::new();
+    for events in [10_000usize, 20_000, 40_000] {
+        let trace = generate(&retention_cfg(events));
+        let mut c = OptimizedChecker::new();
+        assert!(!run_checker(&mut c, &trace).is_violation());
+        per_event.push(c.clock_joins() as f64 / trace.len() as f64);
+    }
+    // The per-event join rate must be flat (within 20%) across a 4×
+    // increase in trace length.
+    let (min, max) = (
+        per_event.iter().cloned().fold(f64::MAX, f64::min),
+        per_event.iter().cloned().fold(0.0, f64::max),
+    );
+    assert!(
+        max / min < 1.2,
+        "per-event clock joins must stay flat: {per_event:?}"
+    );
+}
+
+/// AeroDrome processes the identical traces with flat per-event cost:
+/// its state never exceeds O(threads · (vars + locks)) clocks, so we
+/// check the end-to-end wall time stays within a generous linear factor.
+#[test]
+fn aerodrome_total_time_stays_near_linear() {
+    let small = generate(&retention_cfg(10_000));
+    let large = generate(&retention_cfg(40_000));
+    // Warm up (allocator, caches).
+    let _ = run_checker(&mut OptimizedChecker::new(), &small);
+
+    let t0 = std::time::Instant::now();
+    let _ = run_checker(&mut OptimizedChecker::new(), &small);
+    let small_t = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let _ = run_checker(&mut OptimizedChecker::new(), &large);
+    let large_t = t0.elapsed();
+
+    // 4× the events should cost well under 16× the time even in debug
+    // builds with timing noise.
+    assert!(
+        large_t < small_t * 16 + std::time::Duration::from_millis(50),
+        "aerodrome scaling looks super-linear: {small_t:?} → {large_t:?}"
+    );
+}
+
+/// End-to-end: on a retention workload both checkers find the same
+/// violation, and AeroDrome needs far fewer "work units" (clock ops are
+/// bounded per event, so events processed is its work measure).
+#[test]
+fn detection_points_are_consistent_under_retention() {
+    let cfg = GenConfig {
+        violation_at: Some(0.7),
+        ..retention_cfg(20_000)
+    };
+    let trace = generate(&cfg);
+    let mut aero = OptimizedChecker::new();
+    let mut velo = VelodromeChecker::new();
+    let a = run_checker(&mut aero, &trace);
+    let v = run_checker(&mut velo, &trace);
+    assert!(a.is_violation() && v.is_violation());
+    // Both stop in the injection neighbourhood (±2% of the trace).
+    let a_at = a.violation().unwrap().event.index() as f64 / trace.len() as f64;
+    let v_at = v.violation().unwrap().event.index() as f64 / trace.len() as f64;
+    assert!((a_at - v_at).abs() < 0.02, "a={a_at:.3} v={v_at:.3}");
+}

@@ -1,0 +1,112 @@
+//! Cross-crate pipeline tests: generate → serialize → parse → analyze,
+//! plus end-to-end checks of every benchmark profile (at reduced scale).
+
+use aerodrome_suite::prelude::*;
+
+#[test]
+fn generated_traces_roundtrip_through_std_format() {
+    for seed in [1u64, 2, 3] {
+        let cfg = GenConfig {
+            seed,
+            events: 2_000,
+            violation_at: (seed % 2 == 0).then_some(0.5),
+            ..GenConfig::default()
+        };
+        let trace = generate(&cfg);
+        let text = write_trace(&trace);
+        let back = parse_trace(&text).expect("reparse");
+        // Identifier *indices* may be re-interned in first-occurrence
+        // order, but names — and therefore the serialized form — are a
+        // fixpoint.
+        assert_eq!(write_trace(&back), text);
+        assert_eq!(back.len(), trace.len());
+        // Verdicts survive the roundtrip.
+        let before = run_checker(&mut OptimizedChecker::new(), &trace);
+        let after = run_checker(&mut OptimizedChecker::new(), &back);
+        assert_eq!(before.is_violation(), after.is_violation());
+    }
+}
+
+#[test]
+fn every_profile_generates_a_wellformed_trace_with_expected_verdict() {
+    for mut profile in workloads::table1().into_iter().chain(workloads::table2()) {
+        // Reduced scale keeps the debug-build test fast; the bench harness
+        // exercises full scale.
+        profile.cfg.events = profile.cfg.events.min(6_000);
+        let trace = generate(&profile.cfg);
+        let summary = validate(&trace).unwrap_or_else(|e| panic!("{}: {e}", profile.name));
+        assert!(summary.is_closed(), "{}", profile.name);
+
+        let info = MetaInfo::of(&trace);
+        assert_eq!(info.threads, profile.cfg.threads, "{}", profile.name);
+        assert!(info.locks <= profile.cfg.locks.max(1), "{}", profile.name);
+
+        let aero = run_checker(&mut OptimizedChecker::new(), &trace);
+        let velo = run_checker(&mut VelodromeChecker::new(), &trace);
+        assert_eq!(
+            aero.is_violation(),
+            !profile.row.atomic,
+            "{}: aerodrome verdict vs Atomic? column",
+            profile.name
+        );
+        assert_eq!(
+            velo.is_violation(),
+            aero.is_violation(),
+            "{}: baseline disagrees",
+            profile.name
+        );
+    }
+}
+
+#[test]
+fn scenario_traces_roundtrip_and_agree() {
+    use workloads::scenarios::{bank, producer_consumer};
+    for (name, trace, violating) in [
+        ("bank-safe", bank(5, 10, false), false),
+        ("bank-audit", bank(5, 10, true), true),
+        ("pc-safe", producer_consumer(6, false), false),
+        ("pc-racy", producer_consumer(6, true), true),
+    ] {
+        let text = write_trace(&trace);
+        let back = parse_trace(&text).unwrap();
+        for outcome in [
+            run_checker(&mut BasicChecker::new(), &back),
+            run_checker(&mut OptimizedChecker::new(), &back),
+            run_checker(&mut VelodromeChecker::new(), &back),
+        ] {
+            assert_eq!(outcome.is_violation(), violating, "{name}");
+        }
+    }
+}
+
+#[test]
+fn checkers_are_incremental_not_batch() {
+    // Feeding a trace in two halves through the same checker must equal
+    // feeding it at once (the online-analysis claim).
+    let cfg = GenConfig {
+        events: 3_000,
+        violation_at: Some(0.9),
+        ..GenConfig::default()
+    };
+    let trace = generate(&cfg);
+    let whole = run_checker(&mut OptimizedChecker::new(), &trace);
+
+    let mut split = OptimizedChecker::new();
+    let mid = trace.len() / 2;
+    let mut outcome = Outcome::Serializable;
+    for &e in &trace.events()[..mid] {
+        if let Err(v) = split.process(e) {
+            outcome = Outcome::Violation(v);
+            break;
+        }
+    }
+    if !outcome.is_violation() {
+        for &e in &trace.events()[mid..] {
+            if let Err(v) = split.process(e) {
+                outcome = Outcome::Violation(v);
+                break;
+            }
+        }
+    }
+    assert_eq!(whole, outcome);
+}
