@@ -113,9 +113,7 @@ impl OptimizedChecker {
 
     fn ensure_thread(&mut self, t: ThreadId) {
         let i = t.index();
-        ensure_with(&mut self.ct, i, |u| {
-            VectorClock::bottom().with_component(u, 1)
-        });
+        ensure_with(&mut self.ct, i, |u| VectorClock::bottom().with_component(u, 1));
         ensure_with(&mut self.cbegin, i, |_| VectorClock::bottom());
         ensure_with(&mut self.update_r, i, |_| Vec::new());
         ensure_with(&mut self.update_w, i, |_| Vec::new());

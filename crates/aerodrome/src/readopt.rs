@@ -84,9 +84,7 @@ impl ReadOptChecker {
 
     fn ensure_thread(&mut self, t: ThreadId) {
         let i = t.index();
-        ensure_with(&mut self.ct, i, |u| {
-            VectorClock::bottom().with_component(u, 1)
-        });
+        ensure_with(&mut self.ct, i, |u| VectorClock::bottom().with_component(u, 1));
         ensure_with(&mut self.cbegin, i, |_| VectorClock::bottom());
         ensure_with(&mut self.seen, i, |_| false);
         self.txns.ensure(i);

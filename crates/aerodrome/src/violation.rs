@@ -59,10 +59,9 @@ impl Violation {
                 format!("write of `{}` (conflicting read)", trace.var_name(x))
             }
             ViolationKind::AtJoin(u) => format!("join of thread `{}`", trace.thread_name(u)),
-            ViolationKind::AtEnd { ending } => format!(
-                "end of transaction in thread `{}`",
-                trace.thread_name(ending)
-            ),
+            ViolationKind::AtEnd { ending } => {
+                format!("end of transaction in thread `{}`", trace.thread_name(ending))
+            }
         };
         format!(
             "conflict serializability violation at {}: {} closes a cycle through the active transaction of thread `{}`",
@@ -108,11 +107,7 @@ mod tests {
         let x = tb.var("balance");
         tb.begin(t).read(t, x).end(t);
         let trace = tb.finish();
-        let v = Violation {
-            event: EventId(1),
-            thread: t,
-            kind: ViolationKind::AtRead(x),
-        };
+        let v = Violation { event: EventId(1), thread: t, kind: ViolationKind::AtRead(x) };
         let s = v.display_with(&trace);
         assert!(s.contains("balance"));
         assert!(s.contains("worker"));

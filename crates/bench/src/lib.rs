@@ -47,11 +47,7 @@ impl RunResult {
 
 /// Runs `checker` over `trace`, aborting once `budget` is exhausted
 /// (checked every 4096 events so the overhead is negligible).
-pub fn run_with_budget(
-    checker: &mut dyn Checker,
-    trace: &Trace,
-    budget: Duration,
-) -> RunResult {
+pub fn run_with_budget(checker: &mut dyn Checker, trace: &Trace, budget: Duration) -> RunResult {
     let start = Instant::now();
     let mut violation = false;
     let mut timed_out = false;
@@ -120,14 +116,7 @@ pub fn run_profile(profile: &Profile, budget: Duration) -> TableRow {
     let mut aero = OptimizedChecker::new();
     let aerodrome = run_with_budget(&mut aero, &trace, budget);
 
-    TableRow {
-        name: profile.name,
-        info,
-        velodrome,
-        aerodrome,
-        graph,
-        profile: profile.clone(),
-    }
+    TableRow { name: profile.name, info, velodrome, aerodrome, graph, profile: profile.clone() }
 }
 
 /// Renders rows in the layout of Tables 1/2 (columns 1–10), followed by
@@ -154,12 +143,10 @@ pub fn format_table(title: &str, rows: &[TableRow]) -> String {
     );
     for r in rows {
         let paper = &r.profile.row;
-        let paper_v = paper
-            .velodrome_s
-            .map_or("TO".to_owned(), |v| format!("{v:.6}").trim_end_matches('0').trim_end_matches('.').to_owned());
-        let paper_s = paper
-            .speedup()
-            .map_or("> n/a".to_owned(), |s| format!("{s:.2}"));
+        let paper_v = paper.velodrome_s.map_or("TO".to_owned(), |v| {
+            format!("{v:.6}").trim_end_matches('0').trim_end_matches('.').to_owned()
+        });
+        let paper_s = paper.speedup().map_or("> n/a".to_owned(), |s| format!("{s:.2}"));
         let _ = writeln!(
             out,
             "{:<14} {:>9} {:>4} {:>5} {:>7} {:>9} {:>7} {:>12} {:>12} {:>9}   {paper_v}/{}/{paper_s}",
@@ -226,14 +213,8 @@ mod tests {
     use workloads::GenConfig;
 
     fn tiny_profile() -> Profile {
-        let mut p = workloads::table1()
-            .into_iter()
-            .find(|p| p.name == "hedc")
-            .unwrap();
-        p.cfg = GenConfig {
-            events: 2_000,
-            ..p.cfg
-        };
+        let mut p = workloads::table1().into_iter().find(|p| p.name == "hedc").unwrap();
+        p.cfg = GenConfig { events: 2_000, ..p.cfg };
         p
     }
 
@@ -249,11 +230,8 @@ mod tests {
 
     #[test]
     fn budget_zero_times_out_immediately() {
-        let trace = generate(&GenConfig {
-            events: 100_000,
-            violation_at: None,
-            ..GenConfig::default()
-        });
+        let trace =
+            generate(&GenConfig { events: 100_000, violation_at: None, ..GenConfig::default() });
         let mut c = OptimizedChecker::new();
         let r = run_with_budget(&mut c, &trace, Duration::ZERO);
         assert!(r.timed_out);

@@ -246,18 +246,12 @@ impl<N> DiGraph<N> {
 
     /// Iterates over live node handles.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|_| NodeId(i as u32)))
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|_| NodeId(i as u32)))
     }
 
     /// Iterates over live `(handle, payload)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &N)> + '_ {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|w| (NodeId(i as u32), w)))
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|w| (NodeId(i as u32), w)))
     }
 
     /// Iterates over live edges as `(from, to)` pairs.

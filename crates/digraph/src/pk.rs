@@ -158,11 +158,8 @@ impl PearceKelly {
         // before the forward region, reusing the union of their indices.
         delta_b.sort_by_key(|n| self.ord[n.index()]);
         delta_f.sort_by_key(|n| self.ord[n.index()]);
-        let mut pool: Vec<u64> = delta_b
-            .iter()
-            .chain(delta_f.iter())
-            .map(|n| self.ord[n.index()])
-            .collect();
+        let mut pool: Vec<u64> =
+            delta_b.iter().chain(delta_f.iter()).map(|n| self.ord[n.index()]).collect();
         pool.sort_unstable();
         for (n, &o) in delta_b.iter().chain(delta_f.iter()).zip(pool.iter()) {
             self.ord[n.index()] = o;
@@ -193,10 +190,7 @@ mod tests {
 
     fn assert_consistent(g: &DiGraph<usize>, pk: &PearceKelly) {
         for (u, v) in g.edges() {
-            assert!(
-                pk.order_of(u) < pk.order_of(v),
-                "edge {u}→{v} violates maintained order"
-            );
+            assert!(pk.order_of(u) < pk.order_of(v), "edge {u}→{v} violates maintained order");
         }
     }
 
@@ -232,10 +226,7 @@ mod tests {
         pk.try_add_edge(&mut g, n[0], n[1]).unwrap();
         pk.try_add_edge(&mut g, n[1], n[2]).unwrap();
         let edges_before = g.num_edges();
-        assert_eq!(
-            pk.try_add_edge(&mut g, n[2], n[0]),
-            Err(CycleError { from: n[2], to: n[0] })
-        );
+        assert_eq!(pk.try_add_edge(&mut g, n[2], n[0]), Err(CycleError { from: n[2], to: n[0] }));
         assert_eq!(g.num_edges(), edges_before);
         assert_consistent(&g, &pk);
     }
@@ -259,10 +250,7 @@ mod tests {
                 match pk.try_add_edge(&mut g, a, b) {
                     Ok(_) => assert!(!oracle_cycle, "PK accepted a cycle-closing edge {a}→{b}"),
                     Err(_) => {
-                        assert!(
-                            dfs::creates_cycle(&g, a, b),
-                            "PK rejected a safe edge {a}→{b}"
-                        );
+                        assert!(dfs::creates_cycle(&g, a, b), "PK rejected a safe edge {a}→{b}");
                     }
                 }
                 assert_consistent(&g, &pk);

@@ -21,10 +21,7 @@ impl BitSet {
     /// Creates an empty set holding values `0..capacity`.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        Self {
-            words: vec![0; capacity.div_ceil(64)],
-            capacity,
-        }
+        Self { words: vec![0; capacity.div_ceil(64)], capacity }
     }
 
     /// The capacity this set was created with.

@@ -90,10 +90,8 @@ pub fn analyze(trace: &Trace) -> CausalReport {
         }
     }
 
-    let on_cycle = (0..k)
-        .filter(|&i| reach[i].contains(i))
-        .map(|i| TransactionId(i as u32))
-        .collect();
+    let on_cycle =
+        (0..k).filter(|&i| reach[i].contains(i)).map(|i| TransactionId(i as u32)).collect();
     CausalReport { transactions, on_cycle }
 }
 
@@ -119,10 +117,7 @@ mod tests {
     #[test]
     fn causal_atomicity_agrees_with_serializability_globally() {
         for trace in [rho1(), rho2(), rho3(), rho4()] {
-            assert_eq!(
-                analyze(&trace).all_atomic(),
-                is_conflict_serializable(&trace)
-            );
+            assert_eq!(analyze(&trace).all_atomic(), is_conflict_serializable(&trace));
         }
     }
 

@@ -62,9 +62,9 @@ pub fn conflicting(trace: &Trace, i: usize, j: usize) -> bool {
         // (iii) any event of the child before the join.
         (_, Op::Join(u)) if u == e.thread => true,
         // (iv) accesses to a common variable, not both reads.
-        (Op::Write(x), Op::Write(y)) | (Op::Write(x), Op::Read(y)) | (Op::Read(x), Op::Write(y)) => {
-            x == y
-        }
+        (Op::Write(x), Op::Write(y))
+        | (Op::Write(x), Op::Read(y))
+        | (Op::Read(x), Op::Write(y)) => x == y,
         // (v) release before acquire of a common lock.
         (Op::Release(l), Op::Acquire(m)) => l == m,
         _ => false,
@@ -244,6 +244,7 @@ mod tests {
         assert!(chb.ordered(0, 4)); // e1 ≤ e5 (transitive)
         assert!(chb.ordered(3, 3)); // reflexive
         assert!(!chb.ordered(3, 1)); // no inversion
+
         // e3 (⊲ of t2) and e6 (⊲ of t3) are unordered.
         assert!(!chb.ordered(2, 5) && !chb.ordered(5, 2));
     }

@@ -62,11 +62,7 @@ fn build_trace(steps: &[(u8, Action)], threads: usize) -> Trace {
                 }
             }
             Action::Join => {
-                if ti == 0
-                    && child_state == 1
-                    && depth[child] == 0
-                    && held[child].is_empty()
-                {
+                if ti == 0 && child_state == 1 && depth[child] == 0 && held[child].is_empty() {
                     tb.join(tids[0], tids[child]);
                     child_state = 2;
                 }
@@ -197,11 +193,7 @@ proptest! {
 fn oracle_agrees_on_scenarios() {
     use workloads_smoke::*;
     for (name, trace, violating) in scenario_suite() {
-        assert_eq!(
-            !oracle::is_conflict_serializable(&trace),
-            violating,
-            "{name}"
-        );
+        assert_eq!(!oracle::is_conflict_serializable(&trace), violating, "{name}");
     }
 }
 

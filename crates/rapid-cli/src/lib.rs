@@ -119,15 +119,9 @@ impl std::fmt::Display for UsageError {
 
 impl std::error::Error for UsageError {}
 
-fn flag_value<'a>(
-    args: &'a [String],
-    i: &mut usize,
-    name: &str,
-) -> Result<&'a str, UsageError> {
+fn flag_value<'a>(args: &'a [String], i: &mut usize, name: &str) -> Result<&'a str, UsageError> {
     *i += 1;
-    args.get(*i)
-        .map(String::as_str)
-        .ok_or_else(|| UsageError(format!("{name} requires a value")))
+    args.get(*i).map(String::as_str).ok_or_else(|| UsageError(format!("{name} requires a value")))
 }
 
 /// Parses `args` (without the program name).
@@ -138,9 +132,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "metainfo" => {
-            let path = args
-                .get(1)
-                .ok_or_else(|| UsageError("metainfo requires a trace path".into()))?;
+            let path =
+                args.get(1).ok_or_else(|| UsageError("metainfo requires a trace path".into()))?;
             Ok(Command::MetaInfo { path: path.clone() })
         }
         "aerodrome" => {
@@ -193,7 +186,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
-                    "--profile" => profile = Some(flag_value(args, &mut i, "--profile")?.to_owned()),
+                    "--profile" => {
+                        profile = Some(flag_value(args, &mut i, "--profile")?.to_owned())
+                    }
                     "--events" => {
                         cfg.events = flag_value(args, &mut i, "--events")?
                             .parse()
@@ -231,11 +226,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 }
                 i += 1;
             }
-            Ok(Command::Generate {
-                path,
-                cfg: Box::new(cfg),
-                profile,
-            })
+            Ok(Command::Generate { path, cfg: Box::new(cfg), profile })
         }
         "table1" | "table2" => {
             let which = if cmd == "table1" { 1 } else { 2 };
@@ -283,9 +274,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 .clone();
             Ok(Command::Causal { path })
         }
-        other => Err(UsageError(format!(
-            "unknown command `{other}` (try `rapid help`)"
-        ))),
+        other => Err(UsageError(format!("unknown command `{other}` (try `rapid help`)"))),
     }
 }
 
@@ -303,10 +292,7 @@ pub fn report_outcome(name: &str, outcome: &Outcome, trace: &Trace, events: u64)
     let _ = writeln!(out, "events processed: {events}");
     match outcome {
         Outcome::Serializable => {
-            let _ = writeln!(
-                out,
-                "verdict: ✓ no conflict-serializability violation detected"
-            );
+            let _ = writeln!(out, "verdict: ✓ no conflict-serializability violation detected");
         }
         Outcome::Violation(v) => {
             let _ = writeln!(out, "verdict: ✗ {}", v.display_with(trace));
@@ -375,7 +361,7 @@ pub fn run(command: Command) -> Result<String, String> {
             std::fs::write(&path, tracelog::write_trace(&trace))
                 .map_err(|e| format!("{path}: {e}"))?;
             Ok(format!(
-                "wrote {} events ({} threads, {} vars, {} locks) to {path}",
+                "wrote {} events ({} threads, {} vars, {} locks) to {path}\n",
                 trace.len(),
                 trace.num_threads(),
                 trace.num_vars(),
@@ -437,15 +423,8 @@ pub fn run(command: Command) -> Result<String, String> {
             Ok(out)
         }
         Command::Table { which, budget } => {
-            let profiles = if which == 1 {
-                workloads::table1()
-            } else {
-                workloads::table2()
-            };
-            let rows: Vec<_> = profiles
-                .iter()
-                .map(|p| bench::run_profile(p, budget))
-                .collect();
+            let profiles = if which == 1 { workloads::table1() } else { workloads::table2() };
+            let rows: Vec<_> = profiles.iter().map(|p| bench::run_profile(p, budget)).collect();
             let mut out = bench::format_table(
                 &format!("Table {which} (scaled traces; budget {budget:?})"),
                 &rows,
@@ -490,10 +469,7 @@ mod tests {
     #[test]
     fn parses_aerodrome_algorithms() {
         let cmd = parse_args(&args(&["aerodrome", "t.std", "--algorithm", "basic"])).unwrap();
-        assert_eq!(
-            cmd,
-            Command::Aerodrome { path: "t.std".into(), algorithm: Algorithm::Basic }
-        );
+        assert_eq!(cmd, Command::Aerodrome { path: "t.std".into(), algorithm: Algorithm::Basic });
         assert!(parse_args(&args(&["aerodrome", "t.std", "--algorithm", "bogus"])).is_err());
         let cmd = parse_args(&args(&["aerodrome", "t.std"])).unwrap();
         assert_eq!(
@@ -504,8 +480,7 @@ mod tests {
 
     #[test]
     fn parses_velodrome_flags() {
-        let cmd =
-            parse_args(&args(&["velodrome", "t.std", "--no-gc", "--pearce-kelly"])).unwrap();
+        let cmd = parse_args(&args(&["velodrome", "t.std", "--no-gc", "--pearce-kelly"])).unwrap();
         match cmd {
             Command::Velodrome { config, .. } => {
                 assert!(!config.gc);
@@ -518,8 +493,17 @@ mod tests {
     #[test]
     fn parses_generate_options() {
         let cmd = parse_args(&args(&[
-            "generate", "o.std", "--events", "500", "--threads", "3", "--seed", "9",
-            "--violation-at", "0.5", "--retention",
+            "generate",
+            "o.std",
+            "--events",
+            "500",
+            "--threads",
+            "3",
+            "--seed",
+            "9",
+            "--violation-at",
+            "0.5",
+            "--retention",
         ]))
         .unwrap();
         match cmd {
@@ -539,10 +523,7 @@ mod tests {
     #[test]
     fn parses_table_budget() {
         let cmd = parse_args(&args(&["table1", "--budget", "3"])).unwrap();
-        assert_eq!(
-            cmd,
-            Command::Table { which: 1, budget: Duration::from_secs(3) }
-        );
+        assert_eq!(cmd, Command::Table { which: 1, budget: Duration::from_secs(3) });
     }
 
     #[test]
@@ -576,11 +557,8 @@ mod tests {
             let report = run(Command::Aerodrome { path: path.clone(), algorithm }).unwrap();
             assert!(report.contains('✗'), "expected violation: {report}");
         }
-        let report = run(Command::Velodrome {
-            path: path.clone(),
-            config: Config::default(),
-        })
-        .unwrap();
+        let report =
+            run(Command::Velodrome { path: path.clone(), config: Config::default() }).unwrap();
         assert!(report.contains('✗'));
         assert!(report.contains("graph:"));
     }

@@ -48,8 +48,16 @@ fn artifact_workflow_generate_metainfo_analyze() {
     let path_s = path.to_str().unwrap();
 
     let text = run_ok(&[
-        "generate", path_s, "--events", "2000", "--threads", "5", "--seed", "7",
-        "--violation-at", "0.5",
+        "generate",
+        path_s,
+        "--events",
+        "2000",
+        "--threads",
+        "5",
+        "--seed",
+        "7",
+        "--violation-at",
+        "0.5",
     ]);
     assert!(text.contains("wrote"));
     assert!(path.exists());

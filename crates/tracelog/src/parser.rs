@@ -68,11 +68,7 @@ impl fmt::Display for ParseTraceError {
 
 impl std::error::Error for ParseTraceError {}
 
-fn operand<'a>(
-    body: &'a str,
-    head: &str,
-    line: usize,
-) -> Result<&'a str, ParseTraceError> {
+fn operand<'a>(body: &'a str, head: &str, line: usize) -> Result<&'a str, ParseTraceError> {
     let inner = body
         .strip_prefix('(')
         .and_then(|s| s.strip_suffix(')'))
@@ -101,16 +97,10 @@ pub fn parse_trace(src: &str) -> Result<Trace, ParseTraceError> {
         let thread = fields.next().unwrap_or("").trim();
         let op = fields
             .next()
-            .ok_or(ParseTraceError {
-                line: line_no,
-                kind: ParseErrorKind::MalformedLine,
-            })?
+            .ok_or(ParseTraceError { line: line_no, kind: ParseErrorKind::MalformedLine })?
             .trim();
         if thread.is_empty() {
-            return Err(ParseTraceError {
-                line: line_no,
-                kind: ParseErrorKind::EmptyThread,
-            });
+            return Err(ParseTraceError { line: line_no, kind: ParseErrorKind::EmptyThread });
         }
         let t = tb.thread(thread);
         let (head, body) = match op.find('(') {
@@ -244,14 +234,8 @@ main|join(w)|9
 
     #[test]
     fn rejects_malformed_lines() {
-        assert_eq!(
-            parse_trace("justonefield").unwrap_err().kind,
-            ParseErrorKind::MalformedLine
-        );
-        assert_eq!(
-            parse_trace("|begin|0").unwrap_err().kind,
-            ParseErrorKind::EmptyThread
-        );
+        assert_eq!(parse_trace("justonefield").unwrap_err().kind, ParseErrorKind::MalformedLine);
+        assert_eq!(parse_trace("|begin|0").unwrap_err().kind, ParseErrorKind::EmptyThread);
         assert!(matches!(
             parse_trace("t1|frobnicate(x)|0").unwrap_err().kind,
             ParseErrorKind::UnknownOp(_)

@@ -124,12 +124,7 @@ mod tests {
         let l = tb.lock("m");
         let x = tb.var("x");
         tb.fork(t1, t2);
-        tb.begin(t1)
-            .acquire(t1, l)
-            .write(t1, x)
-            .read(t1, x)
-            .release(t1, l)
-            .end(t1);
+        tb.begin(t1).acquire(t1, l).write(t1, x).read(t1, x).release(t1, l).end(t1);
         tb.begin(t2).end(t2);
         tb.join(t1, t2);
         let info = MetaInfo::of(&tb.finish());

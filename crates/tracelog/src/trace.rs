@@ -7,7 +7,6 @@ use crate::ids::{Interner, LockId, ThreadId, VarId};
 
 /// The operation `op` of an event `⟨t, op⟩` (Section 2 of the paper).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Op {
     /// `r(x)` — read of memory location `x`.
     Read(VarId),
@@ -59,7 +58,6 @@ impl fmt::Display for Op {
 /// The position of an event within its trace (`e_i` in the paper's
 /// examples, zero-based here).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct EventId(pub u64);
 
 impl EventId {
@@ -79,7 +77,6 @@ impl fmt::Display for EventId {
 
 /// A single event `⟨t, op⟩`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Event {
     /// The thread `thr(e)` performing the event.
     pub thread: ThreadId,

@@ -222,10 +222,7 @@ pub fn validate(trace: &Trace) -> Result<ValiditySummary, WellFormedError> {
 
     Ok(ValiditySummary {
         open_transactions: txn_depth,
-        held_locks: lock_state
-            .into_iter()
-            .map(|(l, (holder, _))| (l, holder))
-            .collect(),
+        held_locks: lock_state.into_iter().map(|(l, (holder, _))| (l, holder)).collect(),
     })
 }
 
@@ -265,10 +262,7 @@ mod tests {
         tb.release(t, l);
         assert_eq!(
             validate(&tb.finish()),
-            Err(WellFormedError::ReleaseOfUnheldLock {
-                event: EventId(0),
-                lock: l
-            })
+            Err(WellFormedError::ReleaseOfUnheldLock { event: EventId(0), lock: l })
         );
     }
 
@@ -356,26 +350,18 @@ mod tests {
         let mut tb = TraceBuilder::new();
         let t = tb.thread("t1");
         tb.fork(t, t);
-        assert!(matches!(
-            validate(&tb.finish()),
-            Err(WellFormedError::SelfForkOrJoin { .. })
-        ));
+        assert!(matches!(validate(&tb.finish()), Err(WellFormedError::SelfForkOrJoin { .. })));
 
         let mut tb = TraceBuilder::new();
         let t = tb.thread("t1");
         tb.join(t, t);
-        assert!(matches!(
-            validate(&tb.finish()),
-            Err(WellFormedError::SelfForkOrJoin { .. })
-        ));
+        assert!(matches!(validate(&tb.finish()), Err(WellFormedError::SelfForkOrJoin { .. })));
     }
 
     #[test]
     fn error_display_is_informative() {
-        let err = WellFormedError::ReleaseOfUnheldLock {
-            event: EventId(4),
-            lock: LockId::from_index(1),
-        };
+        let err =
+            WellFormedError::ReleaseOfUnheldLock { event: EventId(4), lock: LockId::from_index(1) };
         assert_eq!(err.to_string(), "e5: release of lock l1 that is not held");
     }
 }

@@ -53,9 +53,7 @@ impl VectorClock {
     /// only avoids re-allocation in the hot analysis loop.
     #[must_use]
     pub fn with_dim(dim: usize) -> Self {
-        Self {
-            components: vec![0; dim],
-        }
+        Self { components: vec![0; dim] }
     }
 
     /// Creates a clock from explicit components (index = thread index).
@@ -68,9 +66,7 @@ impl VectorClock {
     /// ```
     #[must_use]
     pub fn from_components<I: IntoIterator<Item = Time>>(components: I) -> Self {
-        Self {
-            components: components.into_iter().collect(),
-        }
+        Self { components: components.into_iter().collect() }
     }
 
     /// The number of explicitly stored components.
@@ -158,14 +154,10 @@ impl VectorClock {
     #[inline]
     pub fn leq(&self, other: &Self) -> bool {
         if self.components.len() <= other.components.len() {
-            self.components
-                .iter()
-                .zip(&other.components)
-                .all(|(a, b)| a <= b)
+            self.components.iter().zip(&other.components).all(|(a, b)| a <= b)
         } else {
             let (head, tail) = self.components.split_at(other.components.len());
-            head.iter().zip(&other.components).all(|(a, b)| a <= b)
-                && tail.iter().all(|&a| a == 0)
+            head.iter().zip(&other.components).all(|(a, b)| a <= b) && tail.iter().all(|&a| a == 0)
         }
     }
 
@@ -198,12 +190,7 @@ impl VectorClock {
         if other.components.len() > self.components.len() {
             self.components.resize(other.components.len(), 0);
         }
-        for (t, (a, b)) in self
-            .components
-            .iter_mut()
-            .zip(&other.components)
-            .enumerate()
-        {
+        for (t, (a, b)) in self.components.iter_mut().zip(&other.components).enumerate() {
             if t != zeroed {
                 *a = (*a).max(*b);
             }
@@ -239,11 +226,7 @@ impl VectorClock {
 
     /// Iterates over `(thread_index, component)` pairs with non-zero value.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, Time)> + '_ {
-        self.components
-            .iter()
-            .copied()
-            .enumerate()
-            .filter(|&(_, c)| c != 0)
+        self.components.iter().copied().enumerate().filter(|&(_, c)| c != 0)
     }
 }
 
@@ -373,10 +356,7 @@ mod tests {
 
     #[test]
     fn equal_modulo_trailing_zeros() {
-        assert_eq!(
-            c(&[1, 2]).partial_cmp(&c(&[1, 2, 0])),
-            Some(std::cmp::Ordering::Equal)
-        );
+        assert_eq!(c(&[1, 2]).partial_cmp(&c(&[1, 2, 0])), Some(std::cmp::Ordering::Equal));
         // Note: Eq is structural, PartialOrd is semantic; the checkers only
         // rely on leq/join so structural inequality is harmless, but we pin
         // the behaviour here so a change is deliberate.

@@ -38,10 +38,7 @@ impl Epoch {
     /// tiny in practice; the paper's largest benchmark has 16 threads).
     #[must_use]
     pub fn new(thread: usize, time: Time) -> Self {
-        Self {
-            thread: u32::try_from(thread).expect("thread index exceeds u32"),
-            time,
-        }
+        Self { thread: u32::try_from(thread).expect("thread index exceeds u32"), time }
     }
 
     /// The thread index `t` of `c@t`.

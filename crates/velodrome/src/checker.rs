@@ -29,10 +29,7 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Self {
-            gc: true,
-            strategy: Strategy::Dfs,
-        }
+        Self { gc: true, strategy: Strategy::Dfs }
     }
 }
 
@@ -126,10 +123,7 @@ impl VelodromeChecker {
     /// Creates a checker with an explicit configuration.
     #[must_use]
     pub fn with_config(config: Config) -> Self {
-        Self {
-            config,
-            ..Self::default()
-        }
+        Self { config, ..Self::default() }
     }
 
     /// Graph statistics accumulated so far.
@@ -443,12 +437,9 @@ mod tests {
         for gc in [false, true] {
             for strategy in [Strategy::Dfs, Strategy::PearceKelly] {
                 let cfg = Config { gc, strategy };
-                for (trace, expect) in [
-                    (rho1(), false),
-                    (rho2(), true),
-                    (rho3(), true),
-                    (rho4(), true),
-                ] {
+                for (trace, expect) in
+                    [(rho1(), false), (rho2(), true), (rho3(), true), (rho4(), true)]
+                {
                     let mut c = VelodromeChecker::with_config(cfg);
                     assert_eq!(
                         run_checker(&mut c, &trace).is_violation(),
@@ -486,10 +477,7 @@ mod tests {
             tb.begin(t1).write(t1, x).end(t1);
         }
         let trace = tb.finish();
-        let mut c = VelodromeChecker::with_config(Config {
-            gc: false,
-            ..Config::default()
-        });
+        let mut c = VelodromeChecker::with_config(Config { gc: false, ..Config::default() });
         assert!(!run_checker(&mut c, &trace).is_violation());
         assert_eq!(c.stats().live_nodes, 50);
     }
@@ -508,11 +496,7 @@ mod tests {
         let trace = tb.finish(); // t1 still active: summary not closed, fine
         let mut c = VelodromeChecker::new();
         assert!(!run_checker(&mut c, &trace).is_violation());
-        assert!(
-            c.stats().live_nodes >= 21,
-            "readers must be retained: {:?}",
-            c.stats()
-        );
+        assert!(c.stats().live_nodes >= 21, "readers must be retained: {:?}", c.stats());
     }
 
     #[test]

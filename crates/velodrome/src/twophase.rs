@@ -59,11 +59,11 @@ fn phase1(trace: &Trace, batch: usize) -> (Option<usize>, u64) {
     }
 
     let new_txn = |graph: &mut DiGraph<u64>,
-                       live: &mut HashMap<u64, NodeId>,
-                       next: &mut u64,
-                       prev: &mut Vec<Option<u64>>,
-                       fork_src: &mut Vec<Option<u64>>,
-                       ti: usize|
+                   live: &mut HashMap<u64, NodeId>,
+                   next: &mut u64,
+                   prev: &mut Vec<Option<u64>>,
+                   fork_src: &mut Vec<Option<u64>>,
+                   ti: usize|
      -> u64 {
         let txn = *next;
         *next += 1;
@@ -85,16 +85,14 @@ fn phase1(trace: &Trace, batch: usize) -> (Option<usize>, u64) {
         ensure(&mut prev, ti, None);
         ensure(&mut depth, ti, 0);
         ensure(&mut fork_src, ti, None);
-        let add_edge = |graph: &mut DiGraph<u64>,
-                        live: &HashMap<u64, NodeId>,
-                        from: u64,
-                        to: u64| {
-            if from != to {
-                if let (Some(&f), Some(&t)) = (live.get(&from), live.get(&to)) {
-                    graph.add_edge(f, t);
+        let add_edge =
+            |graph: &mut DiGraph<u64>, live: &HashMap<u64, NodeId>, from: u64, to: u64| {
+                if from != to {
+                    if let (Some(&f), Some(&t)) = (live.get(&from), live.get(&to)) {
+                        graph.add_edge(f, t);
+                    }
                 }
-            }
-        };
+            };
         match e.op {
             Op::Begin => {
                 depth[ti] += 1;
@@ -193,11 +191,7 @@ fn phase1(trace: &Trace, batch: usize) -> (Option<usize>, u64) {
 pub fn check(trace: &Trace, batch: usize) -> TwoPhaseReport {
     let (suspicious_end, phase1_events) = phase1(trace, batch.max(1));
     match suspicious_end {
-        None => TwoPhaseReport {
-            outcome: Outcome::Serializable,
-            phase1_events,
-            phase2_events: 0,
-        },
+        None => TwoPhaseReport { outcome: Outcome::Serializable, phase1_events, phase2_events: 0 },
         Some(end) => {
             // Precise phase over the suspicious prefix.
             let mut checker = VelodromeChecker::new();
@@ -208,11 +202,7 @@ pub fn check(trace: &Trace, batch: usize) -> TwoPhaseReport {
                     break;
                 }
             }
-            TwoPhaseReport {
-                outcome,
-                phase1_events,
-                phase2_events: checker.events_processed(),
-            }
+            TwoPhaseReport { outcome, phase1_events, phase2_events: checker.events_processed() }
         }
     }
 }
@@ -230,17 +220,9 @@ mod tests {
 
     #[test]
     fn matches_single_pass_on_paper_traces() {
-        for (trace, batch) in [
-            (rho1(), 4),
-            (rho2(), 3),
-            (rho3(), 16),
-            (rho4(), 5),
-        ] {
+        for (trace, batch) in [(rho1(), 4), (rho2(), 3), (rho3(), 16), (rho4(), 5)] {
             let report = check(&trace, batch);
-            assert_eq!(
-                report.outcome.is_violation(),
-                single_pass(&trace).is_violation()
-            );
+            assert_eq!(report.outcome.is_violation(), single_pass(&trace).is_violation());
             if report.outcome.is_violation() {
                 assert_eq!(report.outcome, single_pass(&trace));
             }

@@ -124,10 +124,7 @@ fn all_velodrome_verdicts(trace: &Trace) -> Vec<(String, bool)> {
             ));
         }
     }
-    out.push((
-        "twophase(batch=7)".into(),
-        twophase::check(trace, 7).outcome.is_violation(),
-    ));
+    out.push(("twophase(batch=7)".into(), twophase::check(trace, 7).outcome.is_violation()));
     out
 }
 
@@ -167,8 +164,7 @@ fn agreement_on_generated_workloads() {
                     ..GenConfig::default()
                 };
                 let trace = generate(&cfg);
-                let reference =
-                    run_checker(&mut OptimizedChecker::new(), &trace).is_violation();
+                let reference = run_checker(&mut OptimizedChecker::new(), &trace).is_violation();
                 assert_eq!(reference, violation_at.is_some(), "seed={seed}");
                 for (name, verdict) in all_velodrome_verdicts(&trace) {
                     assert_eq!(

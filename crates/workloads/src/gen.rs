@@ -179,14 +179,8 @@ pub fn generate(cfg: &GenConfig) -> Trace {
         let hot2 = tb.var("hot2");
         let inj_a = tb.var("inj_a");
         let inj_b = tb.var("inj_b");
-        let report_budget = if cfg.retention {
-            (cfg.events / 4 + 8).min(cfg.events)
-        } else {
-            0
-        };
-        let reports = (0..report_budget)
-            .map(|i| tb.var(&format!("report{i}")))
-            .collect();
+        let report_budget = if cfg.retention { (cfg.events / 4 + 8).min(cfg.events) } else { 0 };
+        let reports = (0..report_budget).map(|i| tb.var(&format!("report{i}"))).collect();
         let shared_count = (cfg.vars / 8).clamp(1, 4096);
         let shared = (0..shared_count)
             .map(|i| {
@@ -214,26 +208,14 @@ pub fn generate(cfg: &GenConfig) -> Trace {
                 1 if retention => Role::ReportWriter,
                 _ => Role::Normal,
             };
-            let locals = (0..locals_per_worker)
-                .map(|i| tb.var(&format!("w{w}_v{i}")))
-                .collect();
-            Worker {
-                id,
-                role,
-                remaining: 0,
-                in_txn: false,
-                used_shared: false,
-                steps: 0,
-                locals,
-            }
+            let locals = (0..locals_per_worker).map(|i| tb.var(&format!("w{w}_v{i}"))).collect();
+            Worker { id, role, remaining: 0, in_txn: false, used_shared: false, steps: 0, locals }
         })
         .collect();
 
     // Single-threaded degenerate case: main does everything.
     if workers.is_empty() {
-        let locals: Vec<VarId> = (0..cfg.vars.max(1))
-            .map(|i| tb.var(&format!("m_v{i}")))
-            .collect();
+        let locals: Vec<VarId> = (0..cfg.vars.max(1)).map(|i| tb.var(&format!("m_v{i}"))).collect();
         while tb.len() < cfg.events {
             tb.begin(main);
             let len = rng.gen_range(1..=cfg.avg_txn_len.max(1) * 2);
@@ -255,9 +237,8 @@ pub fn generate(cfg: &GenConfig) -> Trace {
     }
 
     // Injection bookkeeping: pick two Normal workers.
-    let inj_threshold = cfg
-        .violation_at
-        .map(|p| ((cfg.events as f64) * p.clamp(0.0, 1.0)) as usize);
+    let inj_threshold =
+        cfg.violation_at.map(|p| ((cfg.events as f64) * p.clamp(0.0, 1.0)) as usize);
     let normals: Vec<usize> = workers
         .iter()
         .enumerate()
@@ -268,10 +249,7 @@ pub fn generate(cfg: &GenConfig) -> Trace {
         [] => None,
         [only] => (workers.len() >= 2).then(|| {
             // Pair the lone normal worker with the report-writer.
-            let other = workers
-                .iter()
-                .position(|w| w.role == Role::ReportWriter)
-                .unwrap_or(0);
+            let other = workers.iter().position(|w| w.role == Role::ReportWriter).unwrap_or(0);
             (*only, other)
         }),
         [a, .., b] => Some((*a, *b)),
@@ -530,12 +508,8 @@ mod tests {
 
     #[test]
     fn retention_trace_is_well_formed() {
-        let cfg = GenConfig {
-            events: 5_000,
-            retention: true,
-            probe_period: 50,
-            ..GenConfig::default()
-        };
+        let cfg =
+            GenConfig { events: 5_000, retention: true, probe_period: 50, ..GenConfig::default() };
         let trace = generate(&cfg);
         assert!(validate(&trace).unwrap().is_closed());
         // hot/hot2/report variables must actually be used.
@@ -550,11 +524,7 @@ mod tests {
 
     #[test]
     fn injection_emits_rho2_pattern() {
-        let cfg = GenConfig {
-            events: 2_000,
-            violation_at: Some(0.5),
-            ..GenConfig::default()
-        };
+        let cfg = GenConfig { events: 2_000, violation_at: Some(0.5), ..GenConfig::default() };
         let trace = generate(&cfg);
         assert!(validate(&trace).unwrap().is_closed());
         let text = tracelog::write_trace(&trace);
@@ -564,11 +534,7 @@ mod tests {
 
     #[test]
     fn single_thread_config_works() {
-        let cfg = GenConfig {
-            threads: 1,
-            events: 500,
-            ..GenConfig::default()
-        };
+        let cfg = GenConfig { threads: 1, events: 500, ..GenConfig::default() };
         let trace = generate(&cfg);
         assert!(validate(&trace).unwrap().is_closed());
         assert_eq!(MetaInfo::of(&trace).threads, 1);
@@ -576,12 +542,8 @@ mod tests {
 
     #[test]
     fn two_thread_config_works() {
-        let cfg = GenConfig {
-            threads: 2,
-            events: 500,
-            violation_at: Some(0.2),
-            ..GenConfig::default()
-        };
+        let cfg =
+            GenConfig { threads: 2, events: 500, violation_at: Some(0.2), ..GenConfig::default() };
         let trace = generate(&cfg);
         assert!(validate(&trace).unwrap().is_closed());
     }

@@ -62,12 +62,7 @@ const SCALE: f64 = 4000.0;
 
 /// Derives a scaled [`GenConfig`] from published characteristics.
 #[allow(clippy::too_many_arguments)]
-fn scaled(
-    name: &str,
-    row: &PaperRow,
-    retention: bool,
-    violation_at: Option<f64>,
-) -> GenConfig {
+fn scaled(name: &str, row: &PaperRow, retention: bool, violation_at: Option<f64>) -> GenConfig {
     scaled_with_floor(name, row, retention, violation_at, 10_000)
 }
 
@@ -157,7 +152,12 @@ pub fn table1() -> Vec<Profile> {
         ("avrora", row!(2.4 * B, 7, 7, 1079.0 * K, 498.0 * M, false, None, 1.5), true, late),
         ("elevator", row!(280.0 * K, 5, 50, 725.0, 22.6 * K, true, Some(162.0), 1.7), true, None),
         ("hedc", row!(9.8 * K, 7, 13, 1694.0, 84.0, false, Some(0.07), 0.06), true, late),
-        ("luindex", row!(570.0 * M, 3, 65, 2.5 * M, 86.0 * M, false, Some(581.0), 674.0), false, late),
+        (
+            "luindex",
+            row!(570.0 * M, 3, 65, 2.5 * M, 86.0 * M, false, Some(581.0), 674.0),
+            false,
+            late,
+        ),
         ("lusearch", row!(2.0 * B, 14, 772, 38.0 * M, 306.0 * M, false, None, 5.5), true, late),
         ("moldyn", row!(1.7 * B, 4, 1, 121.0 * K, 1.4 * M, false, None, 54.9), true, late),
         ("montecarlo", row!(494.0 * M, 4, 1, 30.5 * M, 812.0 * K, false, None, 0.75), true, late),
@@ -191,9 +191,19 @@ pub fn table2() -> Vec<Profile> {
         ("batik", row!(186.0 * M, 7, 64, 4.9 * M, 15.0 * M, false, Some(52.7), 65.5), false, early),
         ("crypt", row!(126.0 * M, 7, 1, 9.0 * M, 50.0, false, Some(92.1), 104.0), false, early),
         ("fop", row!(96.0 * M, 1, 115, 5.0 * M, 25.0 * M, true, Some(88.3), 92.5), false, None),
-        ("lufact", row!(135.0 * M, 4, 1, 252.0 * K, 642.0 * M, false, Some(2.4), 2.9), false, early),
+        (
+            "lufact",
+            row!(135.0 * M, 4, 1, 252.0 * K, 642.0 * M, false, Some(2.4), 2.9),
+            false,
+            early,
+        ),
         ("series", row!(40.0 * M, 4, 1, 20.0 * K, 20.0 * M, false, Some(61.0), 15.3), true, early),
-        ("sparsematmult", row!(726.0 * M, 4, 1, 1.6 * M, 25.0, false, Some(1210.0), 1197.0), false, early),
+        (
+            "sparsematmult",
+            row!(726.0 * M, 4, 1, 1.6 * M, 25.0, false, Some(1210.0), 1197.0),
+            false,
+            early,
+        ),
         ("tomcat", row!(726.0 * M, 4, 1, 1.6 * M, 25.0, false, Some(3.4), 4.5), false, early),
     ];
     rows.into_iter()

@@ -32,12 +32,8 @@ pub fn bank(accounts: usize, transfers: usize, unsafe_audit: bool) -> Trace {
     let mut tb = TraceBuilder::new();
     let teller_a = tb.thread("teller_a");
     let teller_b = tb.thread("teller_b");
-    let balances: Vec<_> = (0..accounts)
-        .map(|i| tb.var(&format!("acct{i}")))
-        .collect();
-    let locks: Vec<_> = (0..accounts)
-        .map(|i| tb.lock(&format!("acct{i}_lock")))
-        .collect();
+    let balances: Vec<_> = (0..accounts).map(|i| tb.var(&format!("acct{i}"))).collect();
+    let locks: Vec<_> = (0..accounts).map(|i| tb.lock(&format!("acct{i}_lock"))).collect();
 
     // Interleave transfers from two tellers; account pairs rotate.
     for k in 0..transfers {
@@ -166,6 +162,7 @@ pub fn double_checked_init(broken: bool) -> Trace {
         // Initializer: sets the flag first, then writes the payload.
         tb.begin(initer);
         tb.write(initer, flag); // published too early
+
         // Reader races in: sees the flag, consumes the payload.
         tb.begin(reader);
         tb.read(reader, flag);

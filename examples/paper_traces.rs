@@ -38,12 +38,7 @@ fn replay(name: &str, trace: &Trace) {
                 prev_write[x.index()] = now;
             }
         }
-        println!(
-            "e{:<3} {:<18} {}",
-            i + 1,
-            trace.display_event(&event),
-            changes.join("   ")
-        );
+        println!("e{:<3} {:<18} {}", i + 1, trace.display_event(&event), changes.join("   "));
         if let Err(v) = result {
             println!("     ⚡ {}", v.display_with(trace));
             break;
@@ -60,12 +55,9 @@ fn main() {
     replay("ρ4 (Figure 4/7 — future dependency, violation at e11)", &rho4());
 
     // All three AeroDrome variants and Velodrome agree on the verdicts.
-    for (name, trace, violating) in [
-        ("ρ1", rho1(), false),
-        ("ρ2", rho2(), true),
-        ("ρ3", rho3(), true),
-        ("ρ4", rho4(), true),
-    ] {
+    for (name, trace, violating) in
+        [("ρ1", rho1(), false), ("ρ2", rho2(), true), ("ρ3", rho3(), true), ("ρ4", rho4(), true)]
+    {
         for outcome in [
             run_checker(&mut BasicChecker::new(), &trace),
             run_checker(&mut ReadOptChecker::new(), &trace),

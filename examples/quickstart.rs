@@ -57,10 +57,7 @@ fn main() {
     let outcome = run_checker(&mut velodrome, &trace);
     assert!(outcome.is_violation());
     if let Some(cycle) = velodrome.witness() {
-        println!(
-            "velodrome witness: a cycle through {} transactions",
-            cycle.len()
-        );
+        println!("velodrome witness: a cycle through {} transactions", cycle.len());
     }
 
     // 5. Traces round-trip through the RAPID .std text format.

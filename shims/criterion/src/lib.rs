@@ -1,0 +1,269 @@
+//! Offline stand-in for the subset of the Criterion.rs API this workspace
+//! uses: [`Criterion::benchmark_group`], `bench_function` /
+//! `bench_with_input`, [`Throughput`], [`BenchmarkId`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! this minimal implementation instead (see the workspace README). It is a
+//! real (if unsophisticated) harness: each benchmark is warmed up once,
+//! then timed in batches until the configured measurement time (capped by
+//! `CRITERION_SHIM_MAX_SECS`, default 3) or sample budget is exhausted,
+//! and the mean/min per-iteration time — plus throughput when configured —
+//! is printed in a Criterion-like format. There are no statistics, plots,
+//! or saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, one per binary.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Applies command-line configuration. The shim accepts and ignores
+    /// all harness arguments (`--bench`, filters, …).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            measurement_time: Duration::from_secs(3),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Benches a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name);
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing sample/measurement configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    measurement_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the time budget for each benchmark in the group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Reports per-iteration throughput alongside timings.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benches `f` under `id`.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.budget(), self.sample_size);
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Benches `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.budget(), self.sample_size);
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Closes the group (kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn budget(&self) -> Duration {
+        let cap = std::env::var("CRITERION_SHIM_MAX_SECS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(3u64);
+        self.measurement_time.min(Duration::from_secs(cap))
+    }
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let mut line = format!("  {:<32}", id.0);
+        match bencher.samples() {
+            None => line.push_str("no samples recorded (b.iter never called?)"),
+            Some((samples, mean, min)) => {
+                let _ = write!(
+                    line,
+                    "mean {:>12} min {:>12} ({samples} samples)",
+                    fmt_ns(mean),
+                    fmt_ns(min)
+                );
+                if let Some(t) = &self.throughput {
+                    let (count, unit) = match t {
+                        Throughput::Elements(n) => (*n, "elem/s"),
+                        Throughput::Bytes(n) => (*n, "B/s"),
+                    };
+                    let per_sec = count as f64 / (mean / 1e9);
+                    let _ = write!(line, "  {per_sec:>12.0} {unit}");
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    budget: Duration,
+    sample_size: usize,
+    total_ns: f64,
+    min_ns: f64,
+    samples: u64,
+}
+
+impl Bencher {
+    fn new(budget: Duration, sample_size: usize) -> Self {
+        Bencher { budget, sample_size, total_ns: 0.0, min_ns: f64::INFINITY, samples: 0 }
+    }
+
+    /// Runs `f` repeatedly — one warm-up call, then timed samples until
+    /// the sample or time budget runs out.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(f());
+        let started = Instant::now();
+        while self.samples < self.sample_size as u64 && started.elapsed() < self.budget {
+            let t0 = Instant::now();
+            black_box(f());
+            let ns = t0.elapsed().as_secs_f64() * 1e9;
+            self.total_ns += ns;
+            self.min_ns = self.min_ns.min(ns);
+            self.samples += 1;
+        }
+    }
+
+    fn samples(&self) -> Option<(u64, f64, f64)> {
+        (self.samples > 0).then(|| (self.samples, self.total_ns / self.samples as f64, self.min_ns))
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Work performed per iteration, for events/s or bytes/s reporting.
+#[derive(Clone, Debug)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` from one or more [`criterion_group!`] runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().configure_from_args();
+        let mut g = c.benchmark_group("shim_selftest");
+        g.sample_size(3).measurement_time(Duration::from_millis(50));
+        g.throughput(Throughput::Elements(100));
+        let mut calls = 0u32;
+        g.bench_with_input(BenchmarkId::from_parameter(100), &100u64, |b, &n| {
+            b.iter(|| {
+                calls += 1;
+                (0..n).sum::<u64>()
+            });
+        });
+        g.bench_function("plain", |b| b.iter(|| 2 + 2));
+        g.finish();
+        assert!(calls >= 2, "warm-up plus at least one sample");
+    }
+}

@@ -65,8 +65,8 @@ pub mod prelude {
     pub use aerodrome::readopt::ReadOptChecker;
     pub use aerodrome::{run_checker, Checker, Outcome, Violation, ViolationKind};
     pub use tracelog::{
-        parse_trace, validate, write_trace, Event, EventId, LockId, MetaInfo, Op, ThreadId,
-        Trace, TraceBuilder, VarId,
+        parse_trace, validate, write_trace, Event, EventId, LockId, MetaInfo, Op, ThreadId, Trace,
+        TraceBuilder, VarId,
     };
     pub use vc::{Epoch, VectorClock};
     pub use velodrome::VelodromeChecker;

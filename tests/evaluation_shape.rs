@@ -31,15 +31,9 @@ fn velodrome_graph_growth_depends_on_spec_style() {
         assert!(!run_checker(&mut c, &trace).is_violation());
         peaks.push(c.stats().peak_live_nodes);
     }
-    assert!(
-        peaks[2] > peaks[0] * 2,
-        "graph must grow ~linearly under retention: {peaks:?}"
-    );
+    assert!(peaks[2] > peaks[0] * 2, "graph must grow ~linearly under retention: {peaks:?}");
 
-    let quiet = generate(&GenConfig {
-        retention: false,
-        ..retention_cfg(20_000)
-    });
+    let quiet = generate(&GenConfig { retention: false, ..retention_cfg(20_000) });
     let mut c = VelodromeChecker::new();
     assert!(!run_checker(&mut c, &quiet).is_violation());
     assert!(
@@ -62,10 +56,7 @@ fn velodrome_cycle_check_work_grows_superlinearly() {
         visits.push(c.stats().dfs_visits);
     }
     // Linear growth would give visits[2] ≈ 4 × visits[0]; quadratic ≈ 16×.
-    assert!(
-        visits[2] > visits[0] * 8,
-        "cycle-check work must grow super-linearly: {visits:?}"
-    );
+    assert!(visits[2] > visits[0] * 8, "cycle-check work must grow super-linearly: {visits:?}");
 }
 
 /// AeroDrome's work metric (clock joins, each O(|Thr|)) is bounded per
@@ -86,10 +77,7 @@ fn aerodrome_clock_joins_grow_linearly() {
         per_event.iter().cloned().fold(f64::MAX, f64::min),
         per_event.iter().cloned().fold(0.0, f64::max),
     );
-    assert!(
-        max / min < 1.2,
-        "per-event clock joins must stay flat: {per_event:?}"
-    );
+    assert!(max / min < 1.2, "per-event clock joins must stay flat: {per_event:?}");
 }
 
 /// AeroDrome processes the identical traces with flat per-event cost:
@@ -122,10 +110,7 @@ fn aerodrome_total_time_stays_near_linear() {
 /// bounded per event, so events processed is its work measure).
 #[test]
 fn detection_points_are_consistent_under_retention() {
-    let cfg = GenConfig {
-        violation_at: Some(0.7),
-        ..retention_cfg(20_000)
-    };
+    let cfg = GenConfig { violation_at: Some(0.7), ..retention_cfg(20_000) };
     let trace = generate(&cfg);
     let mut aero = OptimizedChecker::new();
     let mut velo = VelodromeChecker::new();

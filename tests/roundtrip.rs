@@ -83,11 +83,7 @@ fn scenario_traces_roundtrip_and_agree() {
 fn checkers_are_incremental_not_batch() {
     // Feeding a trace in two halves through the same checker must equal
     // feeding it at once (the online-analysis claim).
-    let cfg = GenConfig {
-        events: 3_000,
-        violation_at: Some(0.9),
-        ..GenConfig::default()
-    };
+    let cfg = GenConfig { events: 3_000, violation_at: Some(0.9), ..GenConfig::default() };
     let trace = generate(&cfg);
     let whole = run_checker(&mut OptimizedChecker::new(), &trace);
 
