@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use tracelog::stream::SourceNames;
 use tracelog::{EventId, LockId, ThreadId, Trace, VarId};
 
 /// Where in the event handlers a violation was declared (the two check
@@ -47,27 +48,35 @@ impl Violation {
     /// Renders the violation with original thread/lock/variable names.
     #[must_use]
     pub fn display_with(&self, trace: &Trace) -> String {
+        self.display_with_names(&trace.names())
+    }
+
+    /// Renders the violation against a streaming source's name tables
+    /// ([`tracelog::stream::EventSource::names`]) — the counterpart of
+    /// [`Violation::display_with`] when no in-memory trace exists.
+    #[must_use]
+    pub fn display_with_names(&self, names: &SourceNames<'_>) -> String {
         let what = match self.kind {
             ViolationKind::AtAcquire(l) => {
-                format!("acquire of lock `{}`", trace.lock_name(l))
+                format!("acquire of lock `{}`", names.lock_name(l))
             }
-            ViolationKind::AtRead(x) => format!("read of `{}`", trace.var_name(x)),
+            ViolationKind::AtRead(x) => format!("read of `{}`", names.var_name(x)),
             ViolationKind::AtWriteVsWrite(x) => {
-                format!("write of `{}` (conflicting write)", trace.var_name(x))
+                format!("write of `{}` (conflicting write)", names.var_name(x))
             }
             ViolationKind::AtWriteVsRead(x) => {
-                format!("write of `{}` (conflicting read)", trace.var_name(x))
+                format!("write of `{}` (conflicting read)", names.var_name(x))
             }
-            ViolationKind::AtJoin(u) => format!("join of thread `{}`", trace.thread_name(u)),
+            ViolationKind::AtJoin(u) => format!("join of thread `{}`", names.thread_name(u)),
             ViolationKind::AtEnd { ending } => {
-                format!("end of transaction in thread `{}`", trace.thread_name(ending))
+                format!("end of transaction in thread `{}`", names.thread_name(ending))
             }
         };
         format!(
             "conflict serializability violation at {}: {} closes a cycle through the active transaction of thread `{}`",
             self.event,
             what,
-            trace.thread_name(self.thread)
+            names.thread_name(self.thread)
         )
     }
 }

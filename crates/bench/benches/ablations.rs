@@ -58,7 +58,11 @@ fn bench_velodrome_gc(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(gc), &gc, |b, &gc| {
             b.iter(|| {
                 run_to_end(
-                    VelodromeChecker::with_config(Config { gc, strategy: Strategy::Dfs }),
+                    VelodromeChecker::with_config(Config {
+                        gc,
+                        strategy: Strategy::Dfs,
+                        ..Config::default()
+                    }),
                     &trace,
                 );
             });
@@ -85,7 +89,14 @@ fn bench_cycle_detection(c: &mut Criterion) {
     for (name, strategy) in [("dfs", Strategy::Dfs), ("pearce_kelly", Strategy::PearceKelly)] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                run_to_end(VelodromeChecker::with_config(Config { gc: true, strategy }), &trace);
+                run_to_end(
+                    VelodromeChecker::with_config(Config {
+                        gc: true,
+                        strategy,
+                        ..Config::default()
+                    }),
+                    &trace,
+                );
             });
         });
     }

@@ -78,10 +78,63 @@ fn bench_velodrome_no_retention(c: &mut Criterion) {
     g.finish();
 }
 
+/// The extra workload shapes (contended-lock convoy, wide fork/join
+/// fan-out): AeroDrome throughput should stay flat on both — the convoy
+/// stresses the lock clock, the fan-out stresses the thread dimension.
+fn bench_shape_scaling(c: &mut Criterion) {
+    for name in workloads::shapes::SHAPE_NAMES {
+        let mut g = c.benchmark_group(&format!("aerodrome_{name}"));
+        g.sample_size(10).measurement_time(Duration::from_secs(3));
+        for events in [20_000usize, 40_000, 80_000] {
+            let cfg = GenConfig {
+                seed: 7,
+                threads: if name == "fanout" { 33 } else { 8 },
+                events,
+                ..GenConfig::default()
+            };
+            let trace = workloads::shapes::collect(name, &cfg).expect("known shape");
+            g.throughput(Throughput::Elements(trace.len() as u64));
+            g.bench_with_input(BenchmarkId::from_parameter(events), &trace, |b, trace| {
+                b.iter(|| {
+                    let outcome = run_checker(&mut OptimizedChecker::new(), trace);
+                    assert!(!outcome.is_violation());
+                });
+            });
+        }
+        g.finish();
+    }
+}
+
+/// End-to-end streaming ingestion: generator → checker without a
+/// materialised trace, the pipeline the CLI uses for huge logs.
+fn bench_streaming_ingestion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("streaming_gen_to_checker");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for events in [40_000usize, 80_000] {
+        let cfg = GenConfig { seed: 7, events, violation_at: None, ..GenConfig::default() };
+        g.throughput(Throughput::Elements(events as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(events), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut checker = OptimizedChecker::new();
+                let r = bench::run_source_with_budget(
+                    &mut checker,
+                    &mut workloads::GenSource::new(cfg),
+                    Duration::from_secs(3600),
+                )
+                .unwrap();
+                assert!(!r.violation);
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_aerodrome_scaling,
     bench_velodrome_scaling,
-    bench_velodrome_no_retention
+    bench_velodrome_no_retention,
+    bench_shape_scaling,
+    bench_streaming_ingestion
 );
 criterion_main!(benches);

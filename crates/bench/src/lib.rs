@@ -16,7 +16,8 @@ use std::time::{Duration, Instant};
 
 use aerodrome::optimized::OptimizedChecker;
 use aerodrome::Checker;
-use tracelog::{MetaInfo, Trace};
+use tracelog::stream::EventSource;
+use tracelog::{MetaInfo, SourceError, Trace};
 use velodrome::{VelodromeChecker, VelodromeStats};
 use workloads::{generate, Profile};
 
@@ -45,28 +46,46 @@ impl RunResult {
     }
 }
 
-/// Runs `checker` over `trace`, aborting once `budget` is exhausted
-/// (checked every 4096 events so the overhead is negligible).
-pub fn run_with_budget(checker: &mut dyn Checker, trace: &Trace, budget: Duration) -> RunResult {
+/// Runs `checker` over a streaming source, aborting once `budget` is
+/// exhausted (checked every 4096 events so the overhead is negligible).
+/// The one event path of the harness: [`run_with_budget`] delegates here
+/// through a [`tracelog::TraceSource`].
+///
+/// # Errors
+///
+/// Propagates the first source failure.
+pub fn run_source_with_budget<S: EventSource + ?Sized>(
+    checker: &mut dyn Checker,
+    source: &mut S,
+    budget: Duration,
+) -> Result<RunResult, SourceError> {
     let start = Instant::now();
     let mut violation = false;
     let mut timed_out = false;
-    for (i, &e) in trace.iter().enumerate() {
+    let mut i = 0usize;
+    while let Some(e) = source.next_event()? {
         if checker.process(e).is_err() {
             violation = true;
             break;
         }
-        if i % 4096 == 0 && start.elapsed() >= budget {
+        if i.is_multiple_of(4096) && start.elapsed() >= budget {
             timed_out = true;
             break;
         }
+        i += 1;
     }
-    RunResult {
+    Ok(RunResult {
         seconds: start.elapsed().as_secs_f64(),
         timed_out,
         violation,
         events_processed: checker.events_processed(),
-    }
+    })
+}
+
+/// Runs `checker` over an in-memory trace with a wall-clock budget.
+pub fn run_with_budget(checker: &mut dyn Checker, trace: &Trace, budget: Duration) -> RunResult {
+    run_source_with_budget(checker, &mut trace.stream(), budget)
+        .expect("in-memory sources cannot fail")
 }
 
 /// One completed table row: measured numbers plus the published ones.
@@ -238,6 +257,24 @@ mod tests {
         assert!(!r.violation);
         assert!(r.events_processed < 100_000);
         assert_eq!(r.time_cell(), "TO");
+    }
+
+    #[test]
+    fn source_and_trace_drivers_agree() {
+        let cfg = GenConfig { events: 5_000, violation_at: Some(0.5), ..GenConfig::default() };
+        let trace = generate(&cfg);
+        let budget = Duration::from_secs(30);
+        let mut batch_checker = OptimizedChecker::new();
+        let batch = run_with_budget(&mut batch_checker, &trace, budget);
+        let mut stream_checker = OptimizedChecker::new();
+        let streamed = run_source_with_budget(
+            &mut stream_checker,
+            &mut workloads::GenSource::new(&cfg),
+            budget,
+        )
+        .unwrap();
+        assert_eq!(batch.violation, streamed.violation);
+        assert_eq!(batch.events_processed, streamed.events_processed);
     }
 
     #[test]

@@ -3,18 +3,32 @@
 //! artifact (Appendix D): `metainfo`, `aerodrome` and `velodrome`
 //! analyses over `.std` trace logs, plus workload generation and the
 //! one-command reproduction of Tables 1 and 2.
+//!
+//! Every analysis runs on the streaming pipeline (`aerodrome_suite::
+//! pipeline`): trace logs are parsed incrementally and fed through the
+//! online well-formedness validator straight into the checker. The
+//! single-pass analyses (`aerodrome`/`check`, `velodrome`) and
+//! `metainfo`/`validate` run in constant memory even on
+//! multi-million-event logs; `twophase` and `causal` inherently replay
+//! and therefore materialise the trace. Validation is on by default
+//! (ill-formed traces make verdicts meaningless) and can be skipped
+//! with `--no-validate`; `rapid validate` runs the validator alone.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
 use std::time::Duration;
 
 use aerodrome::basic::BasicChecker;
 use aerodrome::optimized::OptimizedChecker;
 use aerodrome::readopt::ReadOptChecker;
-use aerodrome::{run_checker, Checker, Outcome};
-use tracelog::{parse_trace, MetaInfo, Trace};
+use aerodrome::{Checker, Outcome};
+use aerodrome_suite::pipeline::Pipeline;
+use tracelog::stream::{copy_events, EventSource, SourceNames, StdReader};
+use tracelog::{MetaInfo, SourceError, Trace, Validator, ValiditySummary};
 use velodrome::{Config, Strategy, VelodromeChecker};
 
 /// A parsed command line.
@@ -26,29 +40,45 @@ pub enum Command {
         /// Path of the trace log.
         path: String,
     },
-    /// `rapid aerodrome <trace.std> [--algorithm basic|readopt|optimized]`.
+    /// `rapid aerodrome <trace.std> [--algorithm basic|readopt|optimized]
+    /// [--no-validate]` (alias: `rapid check`).
     Aerodrome {
         /// Path of the trace log.
         path: String,
         /// Which AeroDrome variant to run.
         algorithm: Algorithm,
+        /// Run the streaming well-formedness pre-pass (default true).
+        validate: bool,
     },
-    /// `rapid velodrome <trace.std> [--no-gc] [--pearce-kelly]`.
+    /// `rapid velodrome <trace.std> [--no-gc] [--pearce-kelly]
+    /// [--no-validate]`.
     Velodrome {
         /// Path of the trace log.
         path: String,
         /// Baseline configuration.
         config: Config,
+        /// Run the streaming well-formedness pre-pass (default true).
+        validate: bool,
+    },
+    /// `rapid validate <trace.std>` — the streaming well-formedness
+    /// check alone (exit 1 on the first ill-formed event).
+    Validate {
+        /// Path of the trace log.
+        path: String,
     },
     /// `rapid generate <out.std> [--events N] [--threads N] [--seed N]
     /// [--violation-at F] [--retention] [--profile NAME]`.
     Generate {
         /// Output path.
         path: String,
-        /// Generator configuration.
+        /// Generator configuration (defaults merged with the flags).
         cfg: Box<workloads::GenConfig>,
-        /// Profile name override (uses the profile's config).
+        /// Profile name: a Table 1/2 row (its config is the base, with
+        /// explicitly given flags applied on top) or a shape
+        /// (`convoy`/`fanout`, which read `cfg` directly).
         profile: Option<String>,
+        /// Which flags were given explicitly on the command line.
+        overrides: GenOverrides,
     },
     /// `rapid table1 [--budget SECS]` / `rapid table2 [--budget SECS]`.
     Table {
@@ -57,19 +87,24 @@ pub enum Command {
         /// Per-run wall-clock budget.
         budget: Duration,
     },
-    /// `rapid twophase <trace.std> [--batch N]` — the DoubleChecker-style
-    /// imprecise-then-precise analysis.
+    /// `rapid twophase <trace.std> [--batch N] [--no-validate]` — the
+    /// DoubleChecker-style imprecise-then-precise analysis.
     TwoPhase {
         /// Path of the trace log.
         path: String,
-        /// Phase-1 cycle-check batch size.
-        batch: usize,
+        /// Phase-1 cycle-check batch size; `None` uses the documented
+        /// [`Config::DEFAULT_TWOPHASE_BATCH`] default.
+        batch: Option<usize>,
+        /// Run the streaming well-formedness pre-pass (default true).
+        validate: bool,
     },
-    /// `rapid causal <trace.std>` — per-transaction causal atomicity
-    /// (oracle-based; quadratic, for small traces).
+    /// `rapid causal <trace.std> [--no-validate]` — per-transaction
+    /// causal atomicity (oracle-based; quadratic, for small traces).
     Causal {
         /// Path of the trace log.
         path: String,
+        /// Run the streaming well-formedness pre-pass (default true).
+        validate: bool,
     },
     /// `rapid help`.
     Help,
@@ -87,6 +122,57 @@ pub enum Algorithm {
     Optimized,
 }
 
+/// Generator flags given explicitly on the `rapid generate` command
+/// line. When `--profile` names a Table 1/2 row, the profile's config is
+/// the base and these are applied on top, so `--events`/`--seed`/… mean
+/// the same thing with and without a profile.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct GenOverrides {
+    /// `--events N`.
+    pub events: Option<usize>,
+    /// `--threads N`.
+    pub threads: Option<usize>,
+    /// `--vars N`.
+    pub vars: Option<usize>,
+    /// `--locks N`.
+    pub locks: Option<usize>,
+    /// `--seed N`.
+    pub seed: Option<u64>,
+    /// `--violation-at F`.
+    pub violation_at: Option<f64>,
+    /// `--retention`.
+    pub retention: bool,
+}
+
+impl GenOverrides {
+    /// Applies the explicitly given flags on top of `cfg`.
+    #[must_use]
+    pub fn apply(&self, mut cfg: workloads::GenConfig) -> workloads::GenConfig {
+        if let Some(events) = self.events {
+            cfg.events = events;
+        }
+        if let Some(threads) = self.threads {
+            cfg.threads = threads;
+        }
+        if let Some(vars) = self.vars {
+            cfg.vars = vars;
+        }
+        if let Some(locks) = self.locks {
+            cfg.locks = locks;
+        }
+        if let Some(seed) = self.seed {
+            cfg.seed = seed;
+        }
+        if let Some(at) = self.violation_at {
+            cfg.violation_at = Some(at);
+        }
+        if self.retention {
+            cfg.retention = true;
+        }
+        cfg
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 rapid — atomicity checking on trace logs (AeroDrome reproduction)
@@ -94,18 +180,30 @@ rapid — atomicity checking on trace logs (AeroDrome reproduction)
 USAGE:
     rapid metainfo  <trace.std>
     rapid aerodrome <trace.std> [--algorithm basic|readopt|optimized]
-    rapid velodrome <trace.std> [--no-gc] [--pearce-kelly]
-    rapid generate  <out.std> [--profile NAME] [--events N] [--threads N]
-                    [--vars N] [--locks N] [--seed N] [--violation-at F]
-                    [--retention]
+                    [--no-validate]            (alias: rapid check)
+    rapid velodrome <trace.std> [--no-gc] [--pearce-kelly] [--no-validate]
+    rapid validate  <trace.std>
+    rapid generate  <out.std> [--profile NAME|convoy|fanout] [--events N]
+                    [--threads N] [--vars N] [--locks N] [--seed N]
+                    [--violation-at F] [--retention]
     rapid table1    [--budget SECS]
     rapid table2    [--budget SECS]
-    rapid twophase  <trace.std> [--batch N]
-    rapid causal    <trace.std>
+    rapid twophase  <trace.std> [--batch N] [--no-validate]   (default batch: 256)
+    rapid causal    <trace.std> [--no-validate]
     rapid help
 
 Trace logs use the RAPID .std format: `<thread>|<op>|<loc>` per line with
-op ∈ r(x) w(x) acq(l) rel(l) fork(t) join(t) begin end.";
+op ∈ r(x) w(x) acq(l) rel(l) fork(t) join(t) begin end.
+
+Checker analyses (aerodrome/check, velodrome, twophase, causal) stream
+the log through an incremental parser and, by default, the Section 2
+well-formedness validator (`--no-validate` skips it); `metainfo` is pure
+statistics and never validates. aerodrome/check and velodrome run in
+constant memory regardless of trace size; twophase and causal replay and
+so hold the whole trace in memory. `generate` streams events straight to
+the output file and accepts any Table 1/2 profile name plus the extra
+shapes `convoy` and `fanout` (explicit flags override a profile's
+config; the shapes reject the flags they cannot honour).";
 
 /// Errors from command-line parsing.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -136,12 +234,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 args.get(1).ok_or_else(|| UsageError("metainfo requires a trace path".into()))?;
             Ok(Command::MetaInfo { path: path.clone() })
         }
-        "aerodrome" => {
+        "aerodrome" | "check" => {
             let path = args
                 .get(1)
-                .ok_or_else(|| UsageError("aerodrome requires a trace path".into()))?
+                .ok_or_else(|| UsageError(format!("{cmd} requires a trace path")))?
                 .clone();
             let mut algorithm = Algorithm::default();
+            let mut validate = true;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -155,11 +254,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                             }
                         };
                     }
+                    "--no-validate" => validate = false,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
                 i += 1;
             }
-            Ok(Command::Aerodrome { path, algorithm })
+            Ok(Command::Aerodrome { path, algorithm, validate })
         }
         "velodrome" => {
             let path = args
@@ -167,21 +267,31 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 .ok_or_else(|| UsageError("velodrome requires a trace path".into()))?
                 .clone();
             let mut config = Config::default();
+            let mut validate = true;
             for arg in &args[2..] {
                 match arg.as_str() {
                     "--no-gc" => config.gc = false,
                     "--pearce-kelly" => config.strategy = Strategy::PearceKelly,
+                    "--no-validate" => validate = false,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
             }
-            Ok(Command::Velodrome { path, config })
+            Ok(Command::Velodrome { path, config, validate })
+        }
+        "validate" => {
+            let path =
+                args.get(1).ok_or_else(|| UsageError("validate requires a trace path".into()))?;
+            if let Some(extra) = args.get(2) {
+                return Err(UsageError(format!("unknown flag `{extra}`")));
+            }
+            Ok(Command::Validate { path: path.clone() })
         }
         "generate" => {
             let path = args
                 .get(1)
                 .ok_or_else(|| UsageError("generate requires an output path".into()))?
                 .clone();
-            let mut cfg = workloads::GenConfig::default();
+            let mut overrides = GenOverrides::default();
             let mut profile = None;
             let mut i = 2;
             while i < args.len() {
@@ -190,43 +300,54 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                         profile = Some(flag_value(args, &mut i, "--profile")?.to_owned())
                     }
                     "--events" => {
-                        cfg.events = flag_value(args, &mut i, "--events")?
-                            .parse()
-                            .map_err(|e| UsageError(format!("--events: {e}")))?;
+                        overrides.events = Some(
+                            flag_value(args, &mut i, "--events")?
+                                .parse()
+                                .map_err(|e| UsageError(format!("--events: {e}")))?,
+                        );
                     }
                     "--threads" => {
-                        cfg.threads = flag_value(args, &mut i, "--threads")?
-                            .parse()
-                            .map_err(|e| UsageError(format!("--threads: {e}")))?;
+                        overrides.threads = Some(
+                            flag_value(args, &mut i, "--threads")?
+                                .parse()
+                                .map_err(|e| UsageError(format!("--threads: {e}")))?,
+                        );
                     }
                     "--vars" => {
-                        cfg.vars = flag_value(args, &mut i, "--vars")?
-                            .parse()
-                            .map_err(|e| UsageError(format!("--vars: {e}")))?;
+                        overrides.vars = Some(
+                            flag_value(args, &mut i, "--vars")?
+                                .parse()
+                                .map_err(|e| UsageError(format!("--vars: {e}")))?,
+                        );
                     }
                     "--locks" => {
-                        cfg.locks = flag_value(args, &mut i, "--locks")?
-                            .parse()
-                            .map_err(|e| UsageError(format!("--locks: {e}")))?;
+                        overrides.locks = Some(
+                            flag_value(args, &mut i, "--locks")?
+                                .parse()
+                                .map_err(|e| UsageError(format!("--locks: {e}")))?,
+                        );
                     }
                     "--seed" => {
-                        cfg.seed = flag_value(args, &mut i, "--seed")?
-                            .parse()
-                            .map_err(|e| UsageError(format!("--seed: {e}")))?;
+                        overrides.seed = Some(
+                            flag_value(args, &mut i, "--seed")?
+                                .parse()
+                                .map_err(|e| UsageError(format!("--seed: {e}")))?,
+                        );
                     }
                     "--violation-at" => {
-                        cfg.violation_at = Some(
+                        overrides.violation_at = Some(
                             flag_value(args, &mut i, "--violation-at")?
                                 .parse()
                                 .map_err(|e| UsageError(format!("--violation-at: {e}")))?,
                         );
                     }
-                    "--retention" => cfg.retention = true,
+                    "--retention" => overrides.retention = true,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
                 i += 1;
             }
-            Ok(Command::Generate { path, cfg: Box::new(cfg), profile })
+            let cfg = overrides.apply(workloads::GenConfig::default());
+            Ok(Command::Generate { path, cfg: Box::new(cfg), profile, overrides })
         }
         "table1" | "table2" => {
             let which = if cmd == "table1" { 1 } else { 2 };
@@ -252,41 +373,77 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 .get(1)
                 .ok_or_else(|| UsageError("twophase requires a trace path".into()))?
                 .clone();
-            let mut batch = 1024usize;
+            let mut batch = None;
+            let mut validate = true;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
                     "--batch" => {
-                        batch = flag_value(args, &mut i, "--batch")?
-                            .parse()
-                            .map_err(|e| UsageError(format!("--batch: {e}")))?;
+                        batch = Some(
+                            flag_value(args, &mut i, "--batch")?
+                                .parse()
+                                .map_err(|e| UsageError(format!("--batch: {e}")))?,
+                        );
                     }
+                    "--no-validate" => validate = false,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
                 i += 1;
             }
-            Ok(Command::TwoPhase { path, batch })
+            Ok(Command::TwoPhase { path, batch, validate })
         }
         "causal" => {
             let path = args
                 .get(1)
                 .ok_or_else(|| UsageError("causal requires a trace path".into()))?
                 .clone();
-            Ok(Command::Causal { path })
+            let mut validate = true;
+            for arg in &args[2..] {
+                match arg.as_str() {
+                    "--no-validate" => validate = false,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Causal { path, validate })
         }
         other => Err(UsageError(format!("unknown command `{other}` (try `rapid help`)"))),
     }
 }
 
-/// Loads and parses a `.std` trace log.
-pub fn load_trace(path: &str) -> Result<Trace, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    parse_trace(&text).map_err(|e| format!("{path}: {e}"))
+/// Opens a `.std` trace log as a streaming source.
+pub fn open_source(path: &str) -> Result<StdReader<BufReader<File>>, String> {
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    Ok(StdReader::new(BufReader::new(file)))
 }
 
-/// Renders a checker outcome the way the artifact's scripts do.
+/// Loads and parses a `.std` trace log into memory (the analyses that
+/// need random access; everything else streams).
+pub fn load_trace(path: &str) -> Result<Trace, String> {
+    let mut source = open_source(path)?;
+    tracelog::stream::collect_trace(&mut source).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Formats a pipeline error with the offending line of the reader.
+fn source_err(path: &str, reader: &StdReader<BufReader<File>>, e: &SourceError) -> String {
+    match e {
+        SourceError::Malformed(err) => format!(
+            "{path}: line {}: not well-formed: {err} (use --no-validate to analyse anyway)",
+            reader.line()
+        ),
+        other => format!("{path}: {other}"),
+    }
+}
+
+/// Renders a checker outcome the way the artifact's scripts do, plus the
+/// validator's residue when one ran.
 #[must_use]
-pub fn report_outcome(name: &str, outcome: &Outcome, trace: &Trace, events: u64) -> String {
+pub fn report_outcome(
+    name: &str,
+    outcome: &Outcome,
+    names: &SourceNames<'_>,
+    events: u64,
+    summary: Option<&ValiditySummary>,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "analysis: {name}");
     let _ = writeln!(out, "events processed: {events}");
@@ -295,7 +452,17 @@ pub fn report_outcome(name: &str, outcome: &Outcome, trace: &Trace, events: u64)
             let _ = writeln!(out, "verdict: ✓ no conflict-serializability violation detected");
         }
         Outcome::Violation(v) => {
-            let _ = writeln!(out, "verdict: ✗ {}", v.display_with(trace));
+            let _ = writeln!(out, "verdict: ✗ {}", v.display_with_names(names));
+        }
+    }
+    if let Some(s) = summary {
+        if !s.is_closed() && !outcome.is_violation() {
+            let _ = writeln!(
+                out,
+                "note: trace is a prefix ({} open transaction(s), {} held lock(s))",
+                s.open_transactions.len(),
+                s.held_locks.len()
+            );
         }
     }
     out
@@ -306,36 +473,44 @@ pub fn run(command: Command) -> Result<String, String> {
     match command {
         Command::Help => Ok(USAGE.to_owned()),
         Command::MetaInfo { path } => {
-            let trace = load_trace(&path)?;
-            Ok(MetaInfo::of(&trace).to_string())
+            // Pure statistics, computed in one streaming pass.
+            let mut source = open_source(&path)?;
+            let info =
+                MetaInfo::collect(&mut source).map_err(|e| source_err(&path, &source, &e))?;
+            Ok(info.to_string())
         }
-        Command::Aerodrome { path, algorithm } => {
-            let trace = load_trace(&path)?;
-            let (name, outcome, events) = match algorithm {
-                Algorithm::Basic => {
-                    let mut c = BasicChecker::new();
-                    let o = run_checker(&mut c, &trace);
-                    ("aerodrome (Algorithm 1)", o, c.events_processed())
-                }
-                Algorithm::ReadOpt => {
-                    let mut c = ReadOptChecker::new();
-                    let o = run_checker(&mut c, &trace);
-                    ("aerodrome (Algorithm 2)", o, c.events_processed())
-                }
+        Command::Aerodrome { path, algorithm, validate } => {
+            let mut pipeline = Pipeline::new(open_source(&path)?).validate(validate);
+            let (name, mut checker): (_, Box<dyn Checker>) = match algorithm {
+                Algorithm::Basic => ("aerodrome (Algorithm 1)", Box::new(BasicChecker::new())),
+                Algorithm::ReadOpt => ("aerodrome (Algorithm 2)", Box::new(ReadOptChecker::new())),
                 Algorithm::Optimized => {
-                    let mut c = OptimizedChecker::new();
-                    let o = run_checker(&mut c, &trace);
-                    ("aerodrome (Algorithm 3)", o, c.events_processed())
+                    ("aerodrome (Algorithm 3)", Box::new(OptimizedChecker::new()))
                 }
             };
-            Ok(report_outcome(name, &outcome, &trace, events))
+            let report = pipeline
+                .run(checker.as_mut())
+                .map_err(|e| source_err(&path, pipeline.source(), &e))?;
+            Ok(report_outcome(
+                name,
+                &report.outcome,
+                &pipeline.source().names(),
+                checker.events_processed(),
+                report.summary.as_ref(),
+            ))
         }
-        Command::Velodrome { path, config } => {
-            let trace = load_trace(&path)?;
+        Command::Velodrome { path, config, validate } => {
+            let mut pipeline = Pipeline::new(open_source(&path)?).validate(validate);
             let mut c = VelodromeChecker::with_config(config);
-            let outcome = run_checker(&mut c, &trace);
-            let events = c.events_processed();
-            let mut out = report_outcome("velodrome", &outcome, &trace, events);
+            let report =
+                pipeline.run(&mut c).map_err(|e| source_err(&path, pipeline.source(), &e))?;
+            let mut out = report_outcome(
+                "velodrome",
+                &report.outcome,
+                &pipeline.source().names(),
+                c.events_processed(),
+                report.summary.as_ref(),
+            );
             let s = c.stats();
             let _ = writeln!(
                 out,
@@ -347,45 +522,118 @@ pub fn run(command: Command) -> Result<String, String> {
             }
             Ok(out)
         }
-        Command::Generate { path, cfg, profile } => {
-            let cfg = match profile {
-                Some(name) => workloads::table1()
-                    .into_iter()
-                    .chain(workloads::table2())
-                    .find(|p| p.name == name)
-                    .map(|p| p.cfg)
-                    .ok_or_else(|| format!("unknown profile `{name}`"))?,
-                None => *cfg,
+        Command::Validate { path } => {
+            let mut source = open_source(&path)?;
+            let mut validator = Validator::new();
+            loop {
+                match source.next_event() {
+                    Err(e) => return Err(source_err(&path, &source, &e)),
+                    Ok(None) => break,
+                    Ok(Some(event)) => {
+                        if let Err(e) = validator.observe(event) {
+                            return Err(format!(
+                                "{path}: line {}: not well-formed: {e}",
+                                source.line()
+                            ));
+                        }
+                    }
+                }
+            }
+            let events = validator.events_observed();
+            let summary = validator.finish();
+            let mut out = format!("✓ well-formed ({events} events)\n");
+            if summary.is_closed() {
+                let _ = writeln!(out, "closed: every transaction ended, every lock released");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "open at end of trace: {} transaction(s), {} held lock(s)",
+                    summary.open_transactions.len(),
+                    summary.held_locks.len()
+                );
+            }
+            Ok(out)
+        }
+        Command::Generate { path, cfg, profile, overrides } => {
+            // Streamed straight to disk: no Trace is materialised, so
+            // `--events 10000000` works in constant memory.
+            let mut source: Box<dyn EventSource> = match profile {
+                Some(name) => match workloads::shapes::source(&name, &cfg) {
+                    Some(shape) => {
+                        // The shapes are serializable by construction and
+                        // fix their own lock layout; rejecting the flags
+                        // they cannot honour beats silently writing a
+                        // trace the user did not ask for.
+                        for (given, flag) in [
+                            (overrides.violation_at.is_some(), "--violation-at"),
+                            (overrides.retention, "--retention"),
+                            (overrides.locks.is_some(), "--locks"),
+                            // fanout derives one private variable per
+                            // worker; convoy honours --vars (clamped to
+                            // its documented pool of 64).
+                            (name == "fanout" && overrides.vars.is_some(), "--vars"),
+                        ] {
+                            if given {
+                                return Err(format!(
+                                    "{flag} is not supported by the `{name}` shape"
+                                ));
+                            }
+                        }
+                        shape
+                    }
+                    None => workloads::table1()
+                        .into_iter()
+                        .chain(workloads::table2())
+                        .find(|p| p.name == name)
+                        // Explicit flags win over the profile's config,
+                        // same as for the shapes above.
+                        .map(|p| {
+                            Box::new(workloads::GenSource::new(&overrides.apply(p.cfg)))
+                                as Box<dyn EventSource>
+                        })
+                        .ok_or_else(|| format!("unknown profile `{name}`"))?,
+                },
+                None => Box::new(workloads::GenSource::new(&cfg)),
             };
-            let trace = workloads::generate(&cfg);
-            std::fs::write(&path, tracelog::write_trace(&trace))
-                .map_err(|e| format!("{path}: {e}"))?;
+            let file = File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+            let mut out = BufWriter::new(file);
+            let n = copy_events(source.as_mut(), &mut out).map_err(|e| format!("{path}: {e}"))?;
+            let names = source.names();
             Ok(format!(
-                "wrote {} events ({} threads, {} vars, {} locks) to {path}\n",
-                trace.len(),
-                trace.num_threads(),
-                trace.num_vars(),
-                trace.num_locks()
+                "wrote {n} events ({} threads, {} vars, {} locks) to {path}\n",
+                names.threads.len(),
+                names.vars.len(),
+                names.locks.len()
             ))
         }
-        Command::TwoPhase { path, batch } => {
-            let trace = load_trace(&path)?;
-            let report = velodrome::twophase::check(&trace, batch);
+        Command::TwoPhase { path, batch, validate } => {
+            let config = Config {
+                twophase_batch: batch.unwrap_or(Config::DEFAULT_TWOPHASE_BATCH),
+                ..Config::default()
+            };
+            let mut pipeline = Pipeline::new(open_source(&path)?).validate(validate);
+            let run = pipeline
+                .run_twophase(&config)
+                .map_err(|e| source_err(&path, pipeline.source(), &e))?;
+            let report = &run.report;
             let mut out = report_outcome(
                 "two-phase (imprecise + precise)",
                 &report.outcome,
-                &trace,
+                &run.trace.names(),
                 report.phase1_events,
+                run.summary.as_ref(),
             );
             let _ = writeln!(
                 out,
-                "phase 1 scanned {} events; phase 2 re-scanned {}",
-                report.phase1_events, report.phase2_events
+                "phase 1 scanned {} events; phase 2 re-scanned {} (batch {})",
+                report.phase1_events, report.phase2_events, config.twophase_batch
             );
             Ok(out)
         }
-        Command::Causal { path } => {
-            let trace = load_trace(&path)?;
+        Command::Causal { path, validate } => {
+            let mut pipeline = Pipeline::new(open_source(&path)?).validate(validate);
+            let (trace, _summary) =
+                pipeline.collect().map_err(|e| source_err(&path, pipeline.source(), &e))?;
             if trace.len() > 20_000 {
                 return Err(format!(
                     "causal analysis is quadratic; {} events is too large (limit 20000)",
@@ -469,21 +717,53 @@ mod tests {
     #[test]
     fn parses_aerodrome_algorithms() {
         let cmd = parse_args(&args(&["aerodrome", "t.std", "--algorithm", "basic"])).unwrap();
-        assert_eq!(cmd, Command::Aerodrome { path: "t.std".into(), algorithm: Algorithm::Basic });
+        assert_eq!(
+            cmd,
+            Command::Aerodrome {
+                path: "t.std".into(),
+                algorithm: Algorithm::Basic,
+                validate: true
+            }
+        );
         assert!(parse_args(&args(&["aerodrome", "t.std", "--algorithm", "bogus"])).is_err());
         let cmd = parse_args(&args(&["aerodrome", "t.std"])).unwrap();
         assert_eq!(
             cmd,
-            Command::Aerodrome { path: "t.std".into(), algorithm: Algorithm::Optimized }
+            Command::Aerodrome {
+                path: "t.std".into(),
+                algorithm: Algorithm::Optimized,
+                validate: true
+            }
         );
+        // `check` is an alias, and `--no-validate` opts out of the
+        // streaming pre-pass.
+        let cmd = parse_args(&args(&["check", "t.std", "--no-validate"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Aerodrome {
+                path: "t.std".into(),
+                algorithm: Algorithm::Optimized,
+                validate: false
+            }
+        );
+    }
+
+    #[test]
+    fn parses_validate_subcommand() {
+        assert_eq!(
+            parse_args(&args(&["validate", "t.std"])).unwrap(),
+            Command::Validate { path: "t.std".into() }
+        );
+        assert!(parse_args(&args(&["validate"])).is_err());
     }
 
     #[test]
     fn parses_velodrome_flags() {
         let cmd = parse_args(&args(&["velodrome", "t.std", "--no-gc", "--pearce-kelly"])).unwrap();
         match cmd {
-            Command::Velodrome { config, .. } => {
+            Command::Velodrome { config, validate, .. } => {
                 assert!(!config.gc);
+                assert!(validate);
                 assert_eq!(config.strategy, Strategy::PearceKelly);
             }
             other => panic!("unexpected {other:?}"),
@@ -507,7 +787,7 @@ mod tests {
         ]))
         .unwrap();
         match cmd {
-            Command::Generate { cfg, path, profile } => {
+            Command::Generate { cfg, path, profile, overrides } => {
                 assert_eq!(path, "o.std");
                 assert_eq!(profile, None);
                 assert_eq!(cfg.events, 500);
@@ -515,6 +795,8 @@ mod tests {
                 assert_eq!(cfg.seed, 9);
                 assert_eq!(cfg.violation_at, Some(0.5));
                 assert!(cfg.retention);
+                assert_eq!(overrides.events, Some(500));
+                assert_eq!(overrides.vars, None, "flags not given stay unset");
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -546,6 +828,7 @@ mod tests {
                 ..workloads::GenConfig::default()
             }),
             profile: None,
+            overrides: GenOverrides::default(),
         })
         .unwrap();
         assert!(out.contains("wrote"));
@@ -554,13 +837,21 @@ mod tests {
         assert!(info.contains("events:"));
 
         for algorithm in [Algorithm::Basic, Algorithm::ReadOpt, Algorithm::Optimized] {
-            let report = run(Command::Aerodrome { path: path.clone(), algorithm }).unwrap();
+            let report =
+                run(Command::Aerodrome { path: path.clone(), algorithm, validate: true }).unwrap();
             assert!(report.contains('✗'), "expected violation: {report}");
         }
-        let report =
-            run(Command::Velodrome { path: path.clone(), config: Config::default() }).unwrap();
+        let report = run(Command::Velodrome {
+            path: path.clone(),
+            config: Config::default(),
+            validate: true,
+        })
+        .unwrap();
         assert!(report.contains('✗'));
         assert!(report.contains("graph:"));
+
+        let report = run(Command::Validate { path: path.clone() }).unwrap();
+        assert!(report.contains("well-formed"), "{report}");
     }
 
     #[test]
@@ -572,6 +863,7 @@ mod tests {
             path,
             cfg: Box::new(workloads::GenConfig::default()),
             profile: Some("hedc".into()),
+            overrides: GenOverrides::default(),
         })
         .unwrap();
         assert!(out.contains("wrote"));
@@ -579,8 +871,34 @@ mod tests {
             path: "x".into(),
             cfg: Box::new(workloads::GenConfig::default()),
             profile: Some("nonexistent".into()),
+            overrides: GenOverrides::default(),
         })
         .is_err());
+    }
+
+    #[test]
+    fn explicit_flags_override_table_profile_configs() {
+        // hedc's profile generates ~9.8K events; --events must win for
+        // table profiles exactly as it does for the shapes.
+        let dir = std::env::temp_dir().join("rapid-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hedc_small.std").to_string_lossy().into_owned();
+        let cmd = parse_args(&args(&[
+            "generate",
+            &path,
+            "--profile",
+            "hedc",
+            "--events",
+            "700",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let events: usize =
+            out.split_whitespace().nth(1).and_then(|n| n.parse().ok()).expect("wrote <n> events");
+        assert!((700..1_000).contains(&events), "profile size must be overridden: {out}");
     }
 }
 
@@ -598,9 +916,15 @@ mod twophase_causal_tests {
     fn parses_twophase_and_causal() {
         let cmd = parse_args(&["twophase".into(), "t.std".into(), "--batch".into(), "64".into()])
             .unwrap();
-        assert_eq!(cmd, Command::TwoPhase { path: "t.std".into(), batch: 64 });
+        assert_eq!(
+            cmd,
+            Command::TwoPhase { path: "t.std".into(), batch: Some(64), validate: true }
+        );
+        // Without --batch the documented Config default applies.
+        let cmd = parse_args(&["twophase".into(), "t.std".into()]).unwrap();
+        assert_eq!(cmd, Command::TwoPhase { path: "t.std".into(), batch: None, validate: true });
         let cmd = parse_args(&["causal".into(), "t.std".into()]).unwrap();
-        assert_eq!(cmd, Command::Causal { path: "t.std".into() });
+        assert_eq!(cmd, Command::Causal { path: "t.std".into(), validate: true });
         assert!(parse_args(&["twophase".into()]).is_err());
     }
 
@@ -610,19 +934,21 @@ mod twophase_causal_tests {
         let rho2 = tracelog::paper_traces::rho2();
         std::fs::write(&path, tracelog::write_trace(&rho2)).unwrap();
 
-        let out = run(Command::TwoPhase { path: path.clone(), batch: 4 }).unwrap();
+        let out =
+            run(Command::TwoPhase { path: path.clone(), batch: Some(4), validate: true }).unwrap();
         assert!(out.contains('✗'), "{out}");
         assert!(out.contains("phase 1"));
 
-        let out = run(Command::Causal { path: path.clone() }).unwrap();
+        let out = run(Command::Causal { path: path.clone(), validate: true }).unwrap();
         assert!(out.contains("⋖-cycle"), "{out}");
 
         // Serializable trace: both report clean.
         let path = tmp("tp_ok.std");
         std::fs::write(&path, tracelog::write_trace(&tracelog::paper_traces::rho1())).unwrap();
-        let out = run(Command::TwoPhase { path: path.clone(), batch: 4 }).unwrap();
+        let out =
+            run(Command::TwoPhase { path: path.clone(), batch: None, validate: true }).unwrap();
         assert!(out.contains('✓'));
-        let out = run(Command::Causal { path }).unwrap();
+        let out = run(Command::Causal { path, validate: true }).unwrap();
         assert!(out.contains("causally atomic"));
     }
 
@@ -634,6 +960,54 @@ mod twophase_causal_tests {
             ..workloads::GenConfig::default()
         });
         std::fs::write(&path, tracelog::write_trace(&trace)).unwrap();
-        assert!(run(Command::Causal { path }).is_err());
+        assert!(run(Command::Causal { path, validate: true }).is_err());
+    }
+
+    #[test]
+    fn ill_formed_trace_is_rejected_unless_opted_out() {
+        let path = tmp("bad.std");
+        // Release of a lock that was never acquired: syntactically fine,
+        // semantically ill-formed.
+        std::fs::write(&path, "t1|begin|0\nt1|rel(m)|1\nt1|end|2\n").unwrap();
+        let err = run(Command::Aerodrome {
+            path: path.clone(),
+            algorithm: Algorithm::Optimized,
+            validate: true,
+        })
+        .unwrap_err();
+        assert!(err.contains("not well-formed"), "{err}");
+        assert!(err.contains("line 2"), "{err}");
+        assert!(run(Command::Validate { path: path.clone() }).is_err());
+
+        // The opt-out analyses the trace anyway (verdict meaningless but
+        // the paper's algorithms do not crash).
+        let out = run(Command::Aerodrome {
+            path: path.clone(),
+            algorithm: Algorithm::Optimized,
+            validate: false,
+        })
+        .unwrap();
+        assert!(out.contains("analysis:"), "{out}");
+    }
+
+    #[test]
+    fn generates_shapes_streamed_to_disk() {
+        for name in workloads::shapes::SHAPE_NAMES {
+            let path = tmp(&format!("{name}.std"));
+            let out = run(Command::Generate {
+                path: path.clone(),
+                cfg: Box::new(workloads::GenConfig { events: 1_000, ..Default::default() }),
+                profile: Some(name.into()),
+                overrides: GenOverrides::default(),
+            })
+            .unwrap();
+            assert!(out.contains("wrote"), "{out}");
+            let report = run(Command::Validate { path: path.clone() }).unwrap();
+            assert!(report.contains("closed"), "{name}: {report}");
+            let report =
+                run(Command::Aerodrome { path, algorithm: Algorithm::Optimized, validate: true })
+                    .unwrap();
+            assert!(report.contains('✓'), "{name} shapes are serializable: {report}");
+        }
     }
 }

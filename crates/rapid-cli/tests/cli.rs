@@ -79,6 +79,46 @@ fn artifact_workflow_generate_metainfo_analyze() {
 
     let tp = run_ok(&["twophase", path_s, "--batch", "256"]);
     assert!(tp.contains('✗'));
+
+    // `check` is the streaming default path (aerodrome optimized).
+    let check = run_ok(&["check", path_s]);
+    assert!(check.contains('✗'));
+
+    // The log is well-formed and closed.
+    let val = run_ok(&["validate", path_s]);
+    assert!(val.contains("well-formed"), "{val}");
+    assert!(val.contains("closed"), "{val}");
+}
+
+#[test]
+fn ill_formed_log_fails_validation_but_analyzes_with_opt_out() {
+    let path = tmpfile("ill.std");
+    let path_s = path.to_str().unwrap();
+    std::fs::write(&path, "t1|begin|0\nt1|rel(m)|1\nt1|end|2\n").unwrap();
+
+    let out = rapid().args(["validate", path_s]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("not well-formed"), "{err}");
+    assert!(err.contains("line 2"), "{err}");
+
+    // Analyses reject it by default, analyse it with --no-validate.
+    let out = rapid().args(["aerodrome", path_s]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = run_ok(&["aerodrome", path_s, "--no-validate"]);
+    assert!(text.contains("analysis:"), "{text}");
+}
+
+#[test]
+fn generate_shapes_and_check_them() {
+    for name in ["convoy", "fanout"] {
+        let path = tmpfile(&format!("{name}.std"));
+        let path_s = path.to_str().unwrap();
+        let text = run_ok(&["generate", path_s, "--profile", name, "--events", "2000"]);
+        assert!(text.contains("wrote"), "{text}");
+        let check = run_ok(&["check", path_s]);
+        assert!(check.contains('✓'), "{name}: {check}");
+    }
 }
 
 #[test]

@@ -10,11 +10,14 @@
 //!   ([`ids`]),
 //! * a growable [`Trace`] container and ergonomic [`TraceBuilder`]
 //!   ([`trace`]),
-//! * well-formedness validation per the paper's assumptions
-//!   ([`validate::validate`]),
+//! * well-formedness validation per the paper's assumptions, both batch
+//!   ([`validate::validate`]) and as a streaming stage
+//!   ([`validate::Validator`], [`stream::Validated`]),
 //! * transaction segmentation, including nested and unary transactions
 //!   ([`txn`]),
-//! * the RAPID-style `.std` text format ([`parser`]),
+//! * the RAPID-style `.std` text format ([`parser`]), and the streaming
+//!   event-source API it is built on ([`stream`]): constant-memory
+//!   ingestion from readers, in-memory traces or generators,
 //! * the `MetaInfo` statistics of Tables 1–2, columns 2–6 ([`stats`]),
 //! * the paper's example traces ρ1–ρ4 ([`paper_traces`]).
 //!
@@ -44,6 +47,7 @@ pub mod ids;
 pub mod paper_traces;
 pub mod parser;
 pub mod stats;
+pub mod stream;
 pub mod trace;
 pub mod txn;
 pub mod validate;
@@ -51,6 +55,7 @@ pub mod validate;
 pub use ids::{Interner, LockId, ThreadId, VarId};
 pub use parser::{parse_trace, write_trace, ParseTraceError};
 pub use stats::MetaInfo;
+pub use stream::{EventSource, SourceError, SourceNames, StdReader, TraceSource};
 pub use trace::{Event, EventId, Op, Trace, TraceBuilder};
 pub use txn::{Transaction, TransactionId, Transactions};
-pub use validate::{validate, WellFormedError};
+pub use validate::{validate, Validator, ValiditySummary, WellFormedError};

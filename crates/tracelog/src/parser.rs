@@ -23,9 +23,10 @@
 //! ```
 
 use std::fmt;
-use std::fmt::Write as _;
 
-use crate::trace::{Op, Trace, TraceBuilder};
+use crate::ids::{Interner, LockId, ThreadId, VarId};
+use crate::stream::{copy_events, EventSource as _, SourceError, StdReader};
+use crate::trace::{Event, Op, Trace};
 
 /// An error while parsing the `.std` trace format.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -80,115 +81,90 @@ fn operand<'a>(body: &'a str, head: &str, line: usize) -> Result<&'a str, ParseT
     })
 }
 
+/// Parses one pre-trimmed, non-blank, non-comment event line, interning
+/// names into the given tables. Shared by the streaming
+/// [`StdReader`](crate::stream::StdReader) and [`parse_trace`] — the one
+/// place the `.std` grammar is implemented.
+pub(crate) fn parse_event_line(
+    line: &str,
+    line_no: usize,
+    threads: &mut Interner,
+    locks: &mut Interner,
+    vars: &mut Interner,
+) -> Result<Event, ParseTraceError> {
+    let mut fields = line.splitn(3, '|');
+    let thread = fields.next().unwrap_or("").trim();
+    let op = fields
+        .next()
+        .ok_or(ParseTraceError { line: line_no, kind: ParseErrorKind::MalformedLine })?
+        .trim();
+    if thread.is_empty() {
+        return Err(ParseTraceError { line: line_no, kind: ParseErrorKind::EmptyThread });
+    }
+    let t = ThreadId::from_index(threads.intern(thread));
+    let (head, body) = match op.find('(') {
+        Some(p) => op.split_at(p),
+        None => (op, ""),
+    };
+    let op = match head {
+        "r" => Op::Read(VarId::from_index(vars.intern(operand(body, head, line_no)?))),
+        "w" => Op::Write(VarId::from_index(vars.intern(operand(body, head, line_no)?))),
+        "acq" => Op::Acquire(LockId::from_index(locks.intern(operand(body, head, line_no)?))),
+        "rel" => Op::Release(LockId::from_index(locks.intern(operand(body, head, line_no)?))),
+        "fork" => Op::Fork(ThreadId::from_index(threads.intern(operand(body, head, line_no)?))),
+        "join" => Op::Join(ThreadId::from_index(threads.intern(operand(body, head, line_no)?))),
+        "begin" if body.is_empty() => Op::Begin,
+        "end" if body.is_empty() => Op::End,
+        other => {
+            return Err(ParseTraceError {
+                line: line_no,
+                kind: ParseErrorKind::UnknownOp(other.to_owned()),
+            })
+        }
+    };
+    Ok(Event::new(t, op))
+}
+
 /// Parses a trace in the `.std` text format.
+///
+/// Implemented as a collect over the streaming
+/// [`StdReader`], so the incremental and batch
+/// paths cannot diverge.
 ///
 /// # Errors
 ///
 /// Returns a [`ParseTraceError`] identifying the first malformed line.
 pub fn parse_trace(src: &str) -> Result<Trace, ParseTraceError> {
-    let mut tb = TraceBuilder::new();
-    for (i, raw) in src.lines().enumerate() {
-        let line_no = i + 1;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut fields = line.splitn(3, '|');
-        let thread = fields.next().unwrap_or("").trim();
-        let op = fields
-            .next()
-            .ok_or(ParseTraceError { line: line_no, kind: ParseErrorKind::MalformedLine })?
-            .trim();
-        if thread.is_empty() {
-            return Err(ParseTraceError { line: line_no, kind: ParseErrorKind::EmptyThread });
-        }
-        let t = tb.thread(thread);
-        let (head, body) = match op.find('(') {
-            Some(p) => op.split_at(p),
-            None => (op, ""),
-        };
-        match head {
-            "r" => {
-                let x = tb.var(operand(body, head, line_no)?);
-                tb.read(t, x);
-            }
-            "w" => {
-                let x = tb.var(operand(body, head, line_no)?);
-                tb.write(t, x);
-            }
-            "acq" => {
-                let l = tb.lock(operand(body, head, line_no)?);
-                tb.acquire(t, l);
-            }
-            "rel" => {
-                let l = tb.lock(operand(body, head, line_no)?);
-                tb.release(t, l);
-            }
-            "fork" => {
-                let u = tb.thread(operand(body, head, line_no)?);
-                tb.fork(t, u);
-            }
-            "join" => {
-                let u = tb.thread(operand(body, head, line_no)?);
-                tb.join(t, u);
-            }
-            "begin" if body.is_empty() => {
-                tb.begin(t);
-            }
-            "end" if body.is_empty() => {
-                tb.end(t);
-            }
-            other => {
-                return Err(ParseTraceError {
-                    line: line_no,
-                    kind: ParseErrorKind::UnknownOp(other.to_owned()),
-                })
+    let mut reader = StdReader::new(src.as_bytes());
+    let mut events = Vec::new();
+    loop {
+        match reader.next_event() {
+            Ok(Some(event)) => events.push(event),
+            Ok(None) => break,
+            Err(SourceError::Parse(e)) => return Err(e),
+            Err(SourceError::Io(_) | SourceError::Malformed(_)) => {
+                unreachable!("in-memory reads cannot fail and StdReader does not validate")
             }
         }
     }
-    Ok(tb.finish())
+    let (threads, locks, vars) = reader.into_names();
+    Ok(Trace::from_parts(events, threads, locks, vars))
 }
 
 /// Serialises a trace to the `.std` text format, one event per line, with
 /// the event's trace offset as the `<loc>` field.
 ///
-/// Round-trips with [`parse_trace`]: parsing the output reproduces an
-/// event-identical trace (name tables may be re-ordered only if the trace
-/// was built with interning order different from first-occurrence order,
-/// which [`TraceBuilder`] never does for events it has seen).
+/// A thin wrapper over the streaming
+/// [`copy_events`]. Round-trips with
+/// [`parse_trace`]: parsing the output reproduces an event-identical
+/// trace (name tables may be re-ordered only if the trace was built with
+/// interning order different from first-occurrence order, which
+/// [`crate::TraceBuilder`] never does for events it has seen).
 #[must_use]
 pub fn write_trace(trace: &Trace) -> String {
-    let mut out = String::with_capacity(trace.len() * 16);
-    for (i, e) in trace.iter().enumerate() {
-        let t = trace.thread_name(e.thread);
-        match e.op {
-            Op::Read(x) => {
-                let _ = writeln!(out, "{t}|r({})|{i}", trace.var_name(x));
-            }
-            Op::Write(x) => {
-                let _ = writeln!(out, "{t}|w({})|{i}", trace.var_name(x));
-            }
-            Op::Acquire(l) => {
-                let _ = writeln!(out, "{t}|acq({})|{i}", trace.lock_name(l));
-            }
-            Op::Release(l) => {
-                let _ = writeln!(out, "{t}|rel({})|{i}", trace.lock_name(l));
-            }
-            Op::Fork(u) => {
-                let _ = writeln!(out, "{t}|fork({})|{i}", trace.thread_name(u));
-            }
-            Op::Join(u) => {
-                let _ = writeln!(out, "{t}|join({})|{i}", trace.thread_name(u));
-            }
-            Op::Begin => {
-                let _ = writeln!(out, "{t}|begin|{i}");
-            }
-            Op::End => {
-                let _ = writeln!(out, "{t}|end|{i}");
-            }
-        }
-    }
-    out
+    let mut out = Vec::with_capacity(trace.len() * 16);
+    copy_events(&mut trace.stream(), &mut out).expect("in-memory serialisation cannot fail");
+    String::from_utf8(out).expect("the .std format is ASCII-clean over valid UTF-8 names")
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 
 use std::fmt;
 
+use crate::stream::{EventSource, SourceError};
 use crate::trace::{Op, Trace};
 use crate::txn::Transactions;
 
@@ -83,6 +84,52 @@ impl MetaInfo {
         info
     }
 
+    /// Computes the statistics of a streaming source in constant memory
+    /// (name tables aside), without materialising a [`Trace`].
+    ///
+    /// Transactions are counted as outermost `⊲` events, which on
+    /// well-formed traces equals the segmentation-based count of
+    /// [`MetaInfo::of`] (property-tested in `tests/proptests.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error of the source.
+    pub fn collect<S: EventSource + ?Sized>(source: &mut S) -> Result<Self, SourceError> {
+        let mut info = Self::default();
+        let mut depth: Vec<usize> = Vec::new();
+        while let Some(e) = source.next_event()? {
+            let ti = e.thread.index();
+            if depth.len() <= ti {
+                depth.resize(ti + 1, 0);
+            }
+            info.events += 1;
+            match e.op {
+                Op::Read(_) => info.reads += 1,
+                Op::Write(_) => info.writes += 1,
+                Op::Acquire(_) => info.acquires += 1,
+                Op::Release(_) => info.releases += 1,
+                Op::Fork(_) => info.forks += 1,
+                Op::Join(_) => info.joins += 1,
+                Op::Begin => {
+                    info.begins += 1;
+                    if depth[ti] == 0 {
+                        info.transactions += 1;
+                    }
+                    depth[ti] += 1;
+                }
+                Op::End => {
+                    info.ends += 1;
+                    depth[ti] = depth[ti].saturating_sub(1);
+                }
+            }
+        }
+        let names = source.names();
+        info.threads = names.threads.len();
+        info.locks = names.locks.len();
+        info.vars = names.vars.len();
+        Ok(info)
+    }
+
     /// Memory accesses (`reads + writes`).
     #[must_use]
     pub fn accesses(&self) -> usize {
@@ -138,6 +185,23 @@ mod tests {
         assert_eq!((info.forks, info.joins), (1, 1));
         assert_eq!((info.begins, info.ends), (2, 2));
         assert_eq!(info.accesses(), 2);
+    }
+
+    #[test]
+    fn streaming_collect_matches_batch_of() {
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let l = tb.lock("m");
+        let x = tb.var("x");
+        tb.fork(t1, t2);
+        // Nested begin/end: only the outermost pair is a transaction.
+        tb.begin(t1).begin(t1).acquire(t1, l).write(t1, x).release(t1, l).end(t1).end(t1);
+        tb.begin(t2).read(t2, x).end(t2);
+        tb.join(t1, t2);
+        let trace = tb.finish();
+        let streamed = MetaInfo::collect(&mut trace.stream()).unwrap();
+        assert_eq!(streamed, MetaInfo::of(&trace));
+        assert_eq!(streamed.transactions, 2);
     }
 
     #[test]

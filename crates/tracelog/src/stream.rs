@@ -1,0 +1,555 @@
+//! Streaming event sources — the constant-memory ingestion API.
+//!
+//! The paper's headline claim is *online* checking: AeroDrome touches each
+//! event once, in constant per-event work. This module makes the front
+//! half of the tool match: an [`EventSource`] yields events one at a time
+//! without ever materialising the whole trace, so a multi-gigabyte `.std`
+//! log (or an arbitrarily large generated workload) can flow straight
+//! into a checker in constant memory.
+//!
+//! Implementations provided here:
+//!
+//! * [`StdReader`] — an incremental `.std` parser over any
+//!   [`io::BufRead`]; [`crate::parse_trace`] is a thin collect over it,
+//!   so there is exactly one parser.
+//! * [`TraceSource`] — an adapter replaying an in-memory [`Trace`]
+//!   (see [`Trace::stream`]).
+//! * [`Validated`] — the Section 2 well-formedness validator as an online
+//!   filter stage wrapping any inner source.
+//!
+//! Generator-backed sources live in the `workloads` crate; the umbrella
+//! crate's `pipeline` module composes source → validator → checker.
+//!
+//! # Examples
+//!
+//! ```
+//! use tracelog::stream::{EventSource, StdReader};
+//!
+//! let log = "t1|begin|0\nt1|w(x)|1\nt1|end|2\n";
+//! let mut source = StdReader::new(log.as_bytes());
+//! let mut n = 0;
+//! while let Some(event) = source.next_event()? {
+//!     let _ = source.names().display_event(&event);
+//!     n += 1;
+//! }
+//! assert_eq!(n, 3);
+//! # Ok::<(), tracelog::stream::SourceError>(())
+//! ```
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use crate::ids::{Interner, LockId, ThreadId, VarId};
+use crate::parser::{parse_event_line, ParseTraceError};
+use crate::trace::{Event, Op, Trace};
+use crate::validate::{Validator, ValiditySummary, WellFormedError};
+
+/// An error while pulling events out of a source.
+#[derive(Debug)]
+pub enum SourceError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// A line of the `.std` format did not parse.
+    Parse(ParseTraceError),
+    /// A [`Validated`] stage rejected an event as ill-formed.
+    Malformed(WellFormedError),
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "{e}"),
+            Self::Parse(e) => write!(f, "{e}"),
+            Self::Malformed(e) => write!(f, "not well-formed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Parse(e) => Some(e),
+            Self::Malformed(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for SourceError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<ParseTraceError> for SourceError {
+    fn from(e: ParseTraceError) -> Self {
+        Self::Parse(e)
+    }
+}
+
+impl From<WellFormedError> for SourceError {
+    fn from(e: WellFormedError) -> Self {
+        Self::Malformed(e)
+    }
+}
+
+/// Borrowed name tables of a source: everything needed to render ids
+/// (threads, locks, variables) back to the original identifiers.
+///
+/// The tables grow as the source runs — a name is guaranteed present once
+/// an event mentioning it has been yielded.
+#[derive(Clone, Copy, Debug)]
+pub struct SourceNames<'a> {
+    /// Thread name table.
+    pub threads: &'a Interner,
+    /// Lock name table.
+    pub locks: &'a Interner,
+    /// Variable name table.
+    pub vars: &'a Interner,
+}
+
+impl SourceNames<'_> {
+    /// Human-readable name of a thread.
+    #[must_use]
+    pub fn thread_name(&self, t: ThreadId) -> &str {
+        self.threads.name(t.index())
+    }
+
+    /// Human-readable name of a lock.
+    #[must_use]
+    pub fn lock_name(&self, l: LockId) -> &str {
+        self.locks.name(l.index())
+    }
+
+    /// Human-readable name of a variable.
+    #[must_use]
+    pub fn var_name(&self, x: VarId) -> &str {
+        self.vars.name(x.index())
+    }
+
+    /// Renders an event with original names, e.g. `⟨t1, w(x)⟩`.
+    #[must_use]
+    pub fn display_event(&self, e: &Event) -> String {
+        let op = match e.op {
+            Op::Read(x) => format!("r({})", self.var_name(x)),
+            Op::Write(x) => format!("w({})", self.var_name(x)),
+            Op::Acquire(l) => format!("acq({})", self.lock_name(l)),
+            Op::Release(l) => format!("rel({})", self.lock_name(l)),
+            Op::Fork(t) => format!("fork({})", self.thread_name(t)),
+            Op::Join(t) => format!("join({})", self.thread_name(t)),
+            Op::Begin => "▷".to_owned(),
+            Op::End => "◁".to_owned(),
+        };
+        format!("⟨{}, {}⟩", self.thread_name(e.thread), op)
+    }
+}
+
+/// A streaming producer of trace events.
+///
+/// The online counterpart of [`Trace`]: events arrive one at a time in
+/// trace order, identifiers are interned densely on first occurrence, and
+/// the name tables are available at any point through [`names`]
+/// (covering at least every event yielded so far).
+///
+/// [`names`]: EventSource::names
+pub trait EventSource {
+    /// Pulls the next event, or `None` at the end of the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SourceError`] if the underlying reader fails, a line
+    /// does not parse, or a validating stage rejects the event.
+    fn next_event(&mut self) -> Result<Option<Event>, SourceError>;
+
+    /// The name tables accumulated so far.
+    fn names(&self) -> SourceNames<'_>;
+
+    /// Approximate number of events this source expects to yield in
+    /// total, when known — a pre-allocation hint, not a contract.
+    fn size_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl<S: EventSource + ?Sized> EventSource for &mut S {
+    fn next_event(&mut self) -> Result<Option<Event>, SourceError> {
+        (**self).next_event()
+    }
+
+    fn names(&self) -> SourceNames<'_> {
+        (**self).names()
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        (**self).size_hint()
+    }
+}
+
+/// Incremental `.std` parser over any buffered reader.
+///
+/// Reads one line per event, interning names as they first occur; memory
+/// use is bounded by the name tables plus a single line buffer, never by
+/// the trace length. Errors carry the 1-based line number and are
+/// **fatal**: after one, the reader reports end-of-stream rather than
+/// resuming past the malformed line.
+///
+/// # Examples
+///
+/// ```
+/// use tracelog::stream::{EventSource, StdReader};
+///
+/// let mut r = StdReader::new("main|fork(w)|0\nw|begin|1\n".as_bytes());
+/// while let Some(e) = r.next_event()? { let _ = e; }
+/// assert_eq!(r.names().threads.len(), 2);
+/// assert_eq!(r.line(), 2);
+/// # Ok::<(), tracelog::stream::SourceError>(())
+/// ```
+#[derive(Debug)]
+pub struct StdReader<R> {
+    reader: R,
+    threads: Interner,
+    locks: Interner,
+    vars: Interner,
+    line: usize,
+    buf: String,
+    done: bool,
+}
+
+impl<R: BufRead> StdReader<R> {
+    /// Wraps a buffered reader positioned at the start of a `.std` log.
+    #[must_use]
+    pub fn new(reader: R) -> Self {
+        Self {
+            reader,
+            threads: Interner::new(),
+            locks: Interner::new(),
+            vars: Interner::new(),
+            line: 0,
+            buf: String::new(),
+            done: false,
+        }
+    }
+
+    /// One-based number of the last line read (the line of the most
+    /// recently yielded event, once one has been yielded).
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Consumes the reader, yielding its `(threads, locks, vars)` name
+    /// tables by value — the zero-copy alternative to cloning through
+    /// [`EventSource::names`] once the stream is drained (this is how
+    /// [`crate::parse_trace`] avoids duplicating the tables).
+    #[must_use]
+    pub fn into_names(self) -> (Interner, Interner, Interner) {
+        (self.threads, self.locks, self.vars)
+    }
+}
+
+impl<R: BufRead> EventSource for StdReader<R> {
+    fn next_event(&mut self) -> Result<Option<Event>, SourceError> {
+        if self.done {
+            return Ok(None);
+        }
+        loop {
+            self.buf.clear();
+            if self.reader.read_line(&mut self.buf)? == 0 {
+                self.done = true;
+                return Ok(None);
+            }
+            self.line += 1;
+            let line = self.buf.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match parse_event_line(
+                line,
+                self.line,
+                &mut self.threads,
+                &mut self.locks,
+                &mut self.vars,
+            ) {
+                Ok(event) => return Ok(Some(event)),
+                Err(e) => {
+                    // Errors are fatal: the stream has lost alignment, so
+                    // resuming would silently drop the malformed event.
+                    self.done = true;
+                    return Err(e.into());
+                }
+            }
+        }
+    }
+
+    fn names(&self) -> SourceNames<'_> {
+        SourceNames { threads: &self.threads, locks: &self.locks, vars: &self.vars }
+    }
+}
+
+/// Replays an in-memory [`Trace`] as a stream (see [`Trace::stream`]).
+#[derive(Clone, Debug)]
+pub struct TraceSource<'a> {
+    trace: &'a Trace,
+    pos: usize,
+}
+
+impl<'a> TraceSource<'a> {
+    /// Creates a source replaying `trace` from the beginning.
+    #[must_use]
+    pub fn new(trace: &'a Trace) -> Self {
+        Self { trace, pos: 0 }
+    }
+}
+
+impl EventSource for TraceSource<'_> {
+    fn next_event(&mut self) -> Result<Option<Event>, SourceError> {
+        let event = self.trace.events().get(self.pos).copied();
+        self.pos += usize::from(event.is_some());
+        Ok(event)
+    }
+
+    fn names(&self) -> SourceNames<'_> {
+        self.trace.names()
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        Some(self.trace.len() as u64)
+    }
+}
+
+impl Trace {
+    /// Streams this trace's events through the [`EventSource`] interface.
+    #[must_use]
+    pub fn stream(&self) -> TraceSource<'_> {
+        TraceSource::new(self)
+    }
+
+    /// The trace's name tables as [`SourceNames`].
+    #[must_use]
+    pub fn names(&self) -> SourceNames<'_> {
+        SourceNames { threads: &self.threads, locks: &self.locks, vars: &self.vars }
+    }
+}
+
+/// An online well-formedness filter: passes events through unchanged,
+/// failing with [`SourceError::Malformed`] at the first event violating
+/// the Section 2 assumptions (the streaming form of [`crate::validate()`]).
+#[derive(Debug)]
+pub struct Validated<S> {
+    inner: S,
+    validator: Validator,
+}
+
+impl<S: EventSource> Validated<S> {
+    /// Wraps `inner` with a fresh validator.
+    #[must_use]
+    pub fn new(inner: S) -> Self {
+        Self { inner, validator: Validator::new() }
+    }
+
+    /// The residual open-transaction / held-lock state observed so far.
+    #[must_use]
+    pub fn summary(&self) -> ValiditySummary {
+        self.validator.summary()
+    }
+
+    /// The wrapped validator.
+    #[must_use]
+    pub fn validator(&self) -> &Validator {
+        &self.validator
+    }
+
+    /// Unwraps the inner source.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: EventSource> EventSource for Validated<S> {
+    fn next_event(&mut self) -> Result<Option<Event>, SourceError> {
+        match self.inner.next_event()? {
+            Some(event) => {
+                self.validator.observe(event)?;
+                Ok(Some(event))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn names(&self) -> SourceNames<'_> {
+        self.inner.names()
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        self.inner.size_hint()
+    }
+}
+
+/// Drains a source into an in-memory [`Trace`].
+///
+/// This is the bridge from the streaming world back to the batch one.
+/// The name tables are **cloned** out of the source (the trait only
+/// hands out borrows); sources that can be consumed — [`StdReader`] via
+/// [`StdReader::into_names`], the workloads generator — pair a manual
+/// drain with [`Trace::from_parts`] instead to move the tables.
+///
+/// # Errors
+///
+/// Propagates the first [`SourceError`] of the source.
+pub fn collect_trace<S: EventSource + ?Sized>(source: &mut S) -> Result<Trace, SourceError> {
+    let mut events = Vec::new();
+    if let Some(n) = source.size_hint() {
+        events.reserve(usize::try_from(n).unwrap_or(0));
+    }
+    while let Some(event) = source.next_event()? {
+        events.push(event);
+    }
+    let names = source.names();
+    Ok(Trace {
+        events,
+        threads: names.threads.clone(),
+        locks: names.locks.clone(),
+        vars: names.vars.clone(),
+    })
+}
+
+/// Streams a source to a writer in the `.std` text format, one event per
+/// line with the event's trace offset as the `<loc>` field; returns the
+/// number of events written. [`crate::write_trace`] is a thin wrapper, so
+/// there is exactly one serialiser.
+///
+/// # Errors
+///
+/// Propagates source errors and write failures.
+pub fn copy_events<S, W>(source: &mut S, out: &mut W) -> Result<u64, SourceError>
+where
+    S: EventSource + ?Sized,
+    W: Write,
+{
+    let mut i = 0u64;
+    while let Some(e) = source.next_event()? {
+        let names = source.names();
+        let t = names.thread_name(e.thread);
+        match e.op {
+            Op::Read(x) => writeln!(out, "{t}|r({})|{i}", names.var_name(x))?,
+            Op::Write(x) => writeln!(out, "{t}|w({})|{i}", names.var_name(x))?,
+            Op::Acquire(l) => writeln!(out, "{t}|acq({})|{i}", names.lock_name(l))?,
+            Op::Release(l) => writeln!(out, "{t}|rel({})|{i}", names.lock_name(l))?,
+            Op::Fork(u) => writeln!(out, "{t}|fork({})|{i}", names.thread_name(u))?,
+            Op::Join(u) => writeln!(out, "{t}|join({})|{i}", names.thread_name(u))?,
+            Op::Begin => writeln!(out, "{t}|begin|{i}")?,
+            Op::End => writeln!(out, "{t}|end|{i}")?,
+        }
+        i += 1;
+    }
+    out.flush()?;
+    Ok(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_trace, write_trace, ParseErrorKind};
+    use crate::trace::TraceBuilder;
+
+    fn sample() -> Trace {
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let l = tb.lock("m");
+        let x = tb.var("x");
+        tb.fork(t1, t2)
+            .begin(t1)
+            .acquire(t1, l)
+            .write(t1, x)
+            .release(t1, l)
+            .end(t1)
+            .begin(t2)
+            .read(t2, x)
+            .end(t2)
+            .join(t1, t2);
+        tb.finish()
+    }
+
+    #[test]
+    fn std_reader_yields_same_events_as_batch_parser() {
+        let text = write_trace(&sample());
+        let batch = parse_trace(&text).unwrap();
+        let mut reader = StdReader::new(text.as_bytes());
+        let mut events = Vec::new();
+        while let Some(e) = reader.next_event().unwrap() {
+            events.push(e);
+        }
+        assert_eq!(events.as_slice(), batch.events());
+        assert_eq!(reader.names().threads, batch.thread_names());
+        assert_eq!(reader.names().locks, batch.lock_names());
+        assert_eq!(reader.names().vars, batch.var_names());
+    }
+
+    #[test]
+    fn std_reader_reports_line_numbers() {
+        let mut reader = StdReader::new("# header\n\nt1|begin|0\nt1|bogus|1\n".as_bytes());
+        assert!(reader.next_event().unwrap().is_some());
+        assert_eq!(reader.line(), 3);
+        let err = reader.next_event().unwrap_err();
+        match err {
+            SourceError::Parse(p) => {
+                assert_eq!(p.line, 4);
+                assert!(matches!(p.kind, ParseErrorKind::UnknownOp(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(reader.line(), 4);
+    }
+
+    #[test]
+    fn trace_source_roundtrips_through_collect() {
+        let trace = sample();
+        let back = collect_trace(&mut trace.stream()).unwrap();
+        assert_eq!(back.events(), trace.events());
+        assert_eq!(back.num_threads(), trace.num_threads());
+        assert_eq!(trace.stream().size_hint(), Some(trace.len() as u64));
+    }
+
+    #[test]
+    fn copy_events_matches_write_trace() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        let n = copy_events(&mut trace.stream(), &mut buf).unwrap();
+        assert_eq!(n, trace.len() as u64);
+        assert_eq!(String::from_utf8(buf).unwrap(), write_trace(&trace));
+    }
+
+    #[test]
+    fn validated_passes_well_formed_and_rejects_ill_formed() {
+        let trace = sample();
+        let mut ok = Validated::new(trace.stream());
+        while let Some(e) = ok.next_event().unwrap() {
+            let _ = e;
+        }
+        assert!(ok.summary().is_closed());
+
+        let mut v = Validated::new(StdReader::new("t1|rel(m)|0\n".as_bytes()));
+        match v.next_event() {
+            Err(SourceError::Malformed(WellFormedError::ReleaseOfUnheldLock { .. })) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn source_names_render_events() {
+        let trace = sample();
+        let names = trace.names();
+        assert_eq!(names.display_event(&trace[3]), trace.display_event(&trace[3]));
+        assert_eq!(names.thread_name(trace[0].thread), "t1");
+    }
+
+    #[test]
+    fn mut_ref_sources_forward() {
+        let trace = sample();
+        let mut s = trace.stream();
+        let via_ref: &mut TraceSource<'_> = &mut s;
+        assert_eq!(via_ref.size_hint(), Some(trace.len() as u64));
+        let collected = collect_trace(&mut &mut s).unwrap();
+        assert_eq!(collected.len(), trace.len());
+    }
+}

@@ -113,6 +113,23 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Assembles a trace from an event sequence and its name tables.
+    ///
+    /// The ids inside `events` must be dense indices into the matching
+    /// tables (as produced by any [`crate::stream::EventSource`]); this
+    /// is the zero-copy counterpart of
+    /// [`collect_trace`](crate::stream::collect_trace) for sources that
+    /// can give up their tables by value.
+    #[must_use]
+    pub fn from_parts(
+        events: Vec<Event>,
+        threads: Interner,
+        locks: Interner,
+        vars: Interner,
+    ) -> Self {
+        Self { events, threads, locks, vars }
+    }
+
     /// The number of events `n = |σ|`.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -193,17 +210,7 @@ impl Trace {
     /// Renders an event with original names, e.g. `⟨t1, w(x)⟩`.
     #[must_use]
     pub fn display_event(&self, e: &Event) -> String {
-        let op = match e.op {
-            Op::Read(x) => format!("r({})", self.var_name(x)),
-            Op::Write(x) => format!("w({})", self.var_name(x)),
-            Op::Acquire(l) => format!("acq({})", self.lock_name(l)),
-            Op::Release(l) => format!("rel({})", self.lock_name(l)),
-            Op::Fork(t) => format!("fork({})", self.thread_name(t)),
-            Op::Join(t) => format!("join({})", self.thread_name(t)),
-            Op::Begin => "▷".to_owned(),
-            Op::End => "◁".to_owned(),
-        };
-        format!("⟨{}, {}⟩", self.thread_name(e.thread), op)
+        self.names().display_event(e)
     }
 }
 

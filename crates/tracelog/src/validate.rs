@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use crate::ids::{LockId, ThreadId};
-use crate::trace::{EventId, Op, Trace};
+use crate::trace::{Event, EventId, Op, Trace};
 
 /// A violation of the paper's well-formedness assumptions.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -126,7 +126,163 @@ impl ValiditySummary {
     }
 }
 
-/// Checks the well-formedness assumptions of Section 2 in one pass.
+/// The well-formedness checker as an online stage: feed events one at a
+/// time with [`Validator::observe`]; the first ill-formed event is
+/// reported with its zero-based position, exactly as [`validate`] would.
+///
+/// Per-thread state grows on demand, so the validator works on streams
+/// whose thread count is unknown up front (e.g. an incremental `.std`
+/// parse). After an error the validator's state is unspecified; callers
+/// are expected to stop.
+///
+/// # Examples
+///
+/// ```
+/// use tracelog::{TraceBuilder, Validator};
+///
+/// let mut tb = TraceBuilder::new();
+/// let t = tb.thread("t1");
+/// let l = tb.lock("m");
+/// tb.acquire(t, l).release(t, l);
+///
+/// let mut v = Validator::new();
+/// for &e in &tb.finish() {
+///     v.observe(e)?;
+/// }
+/// assert!(v.finish().is_closed());
+/// # Ok::<(), tracelog::WellFormedError>(())
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct Validator {
+    /// (holder, re-entrancy depth) per lock.
+    lock_state: HashMap<LockId, (ThreadId, usize)>,
+    txn_depth: HashMap<ThreadId, usize>,
+    started: Vec<bool>,
+    forked: Vec<bool>,
+    joined: Vec<bool>,
+    events: u64,
+}
+
+impl Validator {
+    /// Creates a validator with no events observed.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn grow(&mut self, i: usize) {
+        if self.started.len() <= i {
+            self.started.resize(i + 1, false);
+            self.forked.resize(i + 1, false);
+            self.joined.resize(i + 1, false);
+        }
+    }
+
+    /// Number of events observed so far (an erroring event included).
+    #[must_use]
+    pub fn events_observed(&self) -> u64 {
+        self.events
+    }
+
+    /// Checks the next event against the Section 2 assumptions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`WellFormedError`] if this event is the first
+    /// violation; its `event` field is the zero-based stream position.
+    pub fn observe(&mut self, e: Event) -> Result<(), WellFormedError> {
+        let event = EventId(self.events);
+        self.events += 1;
+        let t = e.thread;
+        self.grow(t.index());
+        if self.joined[t.index()] {
+            return Err(WellFormedError::EventAfterJoin { event, thread: t });
+        }
+        self.started[t.index()] = true;
+        match e.op {
+            Op::Acquire(l) => match self.lock_state.get_mut(&l) {
+                Some((holder, depth)) if *holder == t => *depth += 1,
+                Some((holder, _)) => {
+                    return Err(WellFormedError::AcquireOfHeldLock {
+                        event,
+                        lock: l,
+                        holder: *holder,
+                    })
+                }
+                None => {
+                    self.lock_state.insert(l, (t, 1));
+                }
+            },
+            Op::Release(l) => match self.lock_state.get_mut(&l) {
+                Some((holder, depth)) if *holder == t => {
+                    *depth -= 1;
+                    if *depth == 0 {
+                        self.lock_state.remove(&l);
+                    }
+                }
+                Some((holder, _)) => {
+                    return Err(WellFormedError::ReleaseByNonOwner {
+                        event,
+                        lock: l,
+                        holder: *holder,
+                    })
+                }
+                None => return Err(WellFormedError::ReleaseOfUnheldLock { event, lock: l }),
+            },
+            Op::Begin => *self.txn_depth.entry(t).or_insert(0) += 1,
+            Op::End => {
+                let depth = self.txn_depth.entry(t).or_insert(0);
+                if *depth == 0 {
+                    return Err(WellFormedError::EndWithoutBegin { event, thread: t });
+                }
+                *depth -= 1;
+                if *depth == 0 {
+                    self.txn_depth.remove(&t);
+                }
+            }
+            Op::Fork(u) => {
+                if u == t {
+                    return Err(WellFormedError::SelfForkOrJoin { event });
+                }
+                self.grow(u.index());
+                if self.started[u.index()] || self.forked[u.index()] {
+                    return Err(WellFormedError::ForkAfterChildStarted { event, child: u });
+                }
+                self.forked[u.index()] = true;
+            }
+            Op::Join(u) => {
+                if u == t {
+                    return Err(WellFormedError::SelfForkOrJoin { event });
+                }
+                self.grow(u.index());
+                self.joined[u.index()] = true;
+            }
+            Op::Read(_) | Op::Write(_) => {}
+        }
+        Ok(())
+    }
+
+    /// The residual open state so far, without consuming the validator.
+    #[must_use]
+    pub fn summary(&self) -> ValiditySummary {
+        ValiditySummary {
+            open_transactions: self.txn_depth.clone(),
+            held_locks: self.lock_state.iter().map(|(&l, &(holder, _))| (l, holder)).collect(),
+        }
+    }
+
+    /// Finalises into the residual open state.
+    #[must_use]
+    pub fn finish(self) -> ValiditySummary {
+        ValiditySummary {
+            open_transactions: self.txn_depth,
+            held_locks: self.lock_state.into_iter().map(|(l, (holder, _))| (l, holder)).collect(),
+        }
+    }
+}
+
+/// Checks the well-formedness assumptions of Section 2 in one pass —
+/// [`Validator`] run over a complete in-memory trace.
 ///
 /// # Errors
 ///
@@ -146,84 +302,11 @@ impl ValiditySummary {
 /// # Ok::<(), tracelog::WellFormedError>(())
 /// ```
 pub fn validate(trace: &Trace) -> Result<ValiditySummary, WellFormedError> {
-    // (holder, re-entrancy depth) per lock.
-    let mut lock_state: HashMap<LockId, (ThreadId, usize)> = HashMap::new();
-    let mut txn_depth: HashMap<ThreadId, usize> = HashMap::new();
-    let mut started: Vec<bool> = vec![false; trace.num_threads()];
-    let mut forked: Vec<bool> = vec![false; trace.num_threads()];
-    let mut joined: Vec<bool> = vec![false; trace.num_threads()];
-
-    for (i, e) in trace.iter().enumerate() {
-        let event = EventId(i as u64);
-        let t = e.thread;
-        if joined[t.index()] {
-            return Err(WellFormedError::EventAfterJoin { event, thread: t });
-        }
-        started[t.index()] = true;
-        match e.op {
-            Op::Acquire(l) => match lock_state.get_mut(&l) {
-                Some((holder, depth)) if *holder == t => *depth += 1,
-                Some((holder, _)) => {
-                    return Err(WellFormedError::AcquireOfHeldLock {
-                        event,
-                        lock: l,
-                        holder: *holder,
-                    })
-                }
-                None => {
-                    lock_state.insert(l, (t, 1));
-                }
-            },
-            Op::Release(l) => match lock_state.get_mut(&l) {
-                Some((holder, depth)) if *holder == t => {
-                    *depth -= 1;
-                    if *depth == 0 {
-                        lock_state.remove(&l);
-                    }
-                }
-                Some((holder, _)) => {
-                    return Err(WellFormedError::ReleaseByNonOwner {
-                        event,
-                        lock: l,
-                        holder: *holder,
-                    })
-                }
-                None => return Err(WellFormedError::ReleaseOfUnheldLock { event, lock: l }),
-            },
-            Op::Begin => *txn_depth.entry(t).or_insert(0) += 1,
-            Op::End => {
-                let depth = txn_depth.entry(t).or_insert(0);
-                if *depth == 0 {
-                    return Err(WellFormedError::EndWithoutBegin { event, thread: t });
-                }
-                *depth -= 1;
-                if *depth == 0 {
-                    txn_depth.remove(&t);
-                }
-            }
-            Op::Fork(u) => {
-                if u == t {
-                    return Err(WellFormedError::SelfForkOrJoin { event });
-                }
-                if started[u.index()] || forked[u.index()] {
-                    return Err(WellFormedError::ForkAfterChildStarted { event, child: u });
-                }
-                forked[u.index()] = true;
-            }
-            Op::Join(u) => {
-                if u == t {
-                    return Err(WellFormedError::SelfForkOrJoin { event });
-                }
-                joined[u.index()] = true;
-            }
-            Op::Read(_) | Op::Write(_) => {}
-        }
+    let mut v = Validator::new();
+    for &e in trace {
+        v.observe(e)?;
     }
-
-    Ok(ValiditySummary {
-        open_transactions: txn_depth,
-        held_locks: lock_state.into_iter().map(|(l, (holder, _))| (l, holder)).collect(),
-    })
+    Ok(v.finish())
 }
 
 #[cfg(test)]

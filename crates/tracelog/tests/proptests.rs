@@ -1,9 +1,13 @@
 //! Property tests for the trace substrate: parser fixpoint,
-//! validator/segmentation invariants on arbitrary well-formed traces.
+//! validator/segmentation invariants on arbitrary well-formed traces,
+//! and streaming ≡ batch differentials for the parser, validator and
+//! statistics.
 
 use proptest::prelude::*;
+use tracelog::stream::{EventSource, StdReader};
 use tracelog::{
-    parse_trace, validate, write_trace, EventId, Op, Trace, TraceBuilder, Transactions,
+    parse_trace, validate, write_trace, EventId, MetaInfo, Op, Trace, TraceBuilder, Transactions,
+    Validator,
 };
 
 #[derive(Clone, Copy, Debug)]
@@ -200,6 +204,58 @@ proptest! {
                 prop_assert!(b <= e);
             }
         }
+    }
+
+    #[test]
+    fn streaming_parse_equals_batch_parse(
+        steps in prop::collection::vec(((0u8..4), step_strategy()), 0..80),
+        threads in 1usize..4,
+        close in any::<bool>(),
+    ) {
+        // Round-trip an arbitrary well-formed trace through the text
+        // format, then parse it both ways: `parse_trace` is a collect
+        // over `StdReader`, but this asserts the *incremental* protocol
+        // (event-at-a-time, names growing as they first occur) agrees
+        // with the batch result at every step.
+        let trace = build(&steps, threads, close);
+        let text = write_trace(&trace);
+        let batch = parse_trace(&text).expect("own output parses");
+        let mut reader = StdReader::new(text.as_bytes());
+        let mut streamed = Vec::new();
+        while let Some(e) = reader.next_event().expect("own output parses") {
+            streamed.push(e);
+        }
+        prop_assert_eq!(streamed.as_slice(), batch.events());
+        prop_assert_eq!(reader.names().threads, batch.thread_names());
+        prop_assert_eq!(reader.names().locks, batch.lock_names());
+        prop_assert_eq!(reader.names().vars, batch.var_names());
+    }
+
+    #[test]
+    fn streaming_validator_equals_batch_validate(
+        steps in prop::collection::vec(((0u8..4), step_strategy()), 0..80),
+        threads in 1usize..4,
+        close in any::<bool>(),
+    ) {
+        let trace = build(&steps, threads, close);
+        let batch = validate(&trace).expect("repair produces well-formed traces");
+        let mut v = Validator::new();
+        for &e in &trace {
+            v.observe(e).expect("streaming agrees on well-formedness");
+        }
+        prop_assert_eq!(v.events_observed(), trace.len() as u64);
+        prop_assert_eq!(v.summary(), batch.clone());
+        prop_assert_eq!(v.finish(), batch);
+    }
+
+    #[test]
+    fn streaming_metainfo_equals_batch_metainfo(
+        steps in prop::collection::vec(((0u8..4), step_strategy()), 0..80),
+        threads in 1usize..4,
+    ) {
+        let trace = build(&steps, threads, true);
+        let streamed = MetaInfo::collect(&mut trace.stream()).expect("trace sources cannot fail");
+        prop_assert_eq!(streamed, MetaInfo::of(&trace));
     }
 
     #[test]

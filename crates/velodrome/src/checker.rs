@@ -25,11 +25,26 @@ pub struct Config {
     pub gc: bool,
     /// Cycle-detection strategy.
     pub strategy: Strategy,
+    /// Phase-1 cycle-check batch size of the DoubleChecker-style
+    /// [`crate::twophase`] analysis: edges are inserted unchecked and a
+    /// whole-graph cycle check runs every this many events. The default
+    /// is [`Config::DEFAULT_TWOPHASE_BATCH`]; every call site (CLI,
+    /// tests, benches) takes the batch from here rather than passing a
+    /// magic number.
+    pub twophase_batch: usize,
+}
+
+impl Config {
+    /// Default [`Config::twophase_batch`]: large enough to amortize the
+    /// whole-graph check over many insertions, small enough that the
+    /// precise phase-2 replay of the suspicious prefix stays short. The
+    /// ablations bench measures the sensitivity around this point.
+    pub const DEFAULT_TWOPHASE_BATCH: usize = 256;
 }
 
 impl Default for Config {
     fn default() -> Self {
-        Self { gc: true, strategy: Strategy::Dfs }
+        Self { gc: true, strategy: Strategy::Dfs, twophase_batch: Self::DEFAULT_TWOPHASE_BATCH }
     }
 }
 
@@ -436,7 +451,7 @@ mod tests {
     fn all_strategies_and_gc_modes_agree() {
         for gc in [false, true] {
             for strategy in [Strategy::Dfs, Strategy::PearceKelly] {
-                let cfg = Config { gc, strategy };
+                let cfg = Config { gc, strategy, ..Config::default() };
                 for (trace, expect) in
                     [(rho1(), false), (rho2(), true), (rho3(), true), (rho4(), true)]
                 {

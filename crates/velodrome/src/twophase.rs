@@ -21,7 +21,7 @@ use digraph::{dfs, DiGraph, NodeId};
 use std::collections::HashMap;
 use tracelog::{Op, Trace};
 
-use crate::VelodromeChecker;
+use crate::{Config, VelodromeChecker};
 
 /// Result of the two-phase analysis.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -179,22 +179,25 @@ fn phase1(trace: &Trace, batch: usize) -> (Option<usize>, u64) {
     (None, processed)
 }
 
-/// Runs the two-phase analysis with the given phase-1 batch size.
+/// Runs the two-phase analysis; the phase-1 batch size (and the
+/// phase-2 checker configuration) come from [`Config`], whose
+/// [`Config::DEFAULT_TWOPHASE_BATCH`] documents the default.
 ///
 /// # Examples
 ///
 /// ```
-/// let report = velodrome::twophase::check(&tracelog::paper_traces::rho2(), 16);
+/// let config = velodrome::Config { twophase_batch: 16, ..velodrome::Config::default() };
+/// let report = velodrome::twophase::check(&tracelog::paper_traces::rho2(), &config);
 /// assert!(report.outcome.is_violation());
 /// ```
 #[must_use]
-pub fn check(trace: &Trace, batch: usize) -> TwoPhaseReport {
-    let (suspicious_end, phase1_events) = phase1(trace, batch.max(1));
+pub fn check(trace: &Trace, config: &Config) -> TwoPhaseReport {
+    let (suspicious_end, phase1_events) = phase1(trace, config.twophase_batch.max(1));
     match suspicious_end {
         None => TwoPhaseReport { outcome: Outcome::Serializable, phase1_events, phase2_events: 0 },
         Some(end) => {
             // Precise phase over the suspicious prefix.
-            let mut checker = VelodromeChecker::new();
+            let mut checker = VelodromeChecker::with_config(*config);
             let mut outcome = Outcome::Serializable;
             for &e in trace.events().iter().take(end) {
                 if let Err(v) = checker.process(e) {
@@ -218,10 +221,14 @@ mod tests {
     use super::*;
     use tracelog::paper_traces::{rho1, rho2, rho3, rho4};
 
+    fn with_batch(batch: usize) -> Config {
+        Config { twophase_batch: batch, ..Config::default() }
+    }
+
     #[test]
     fn matches_single_pass_on_paper_traces() {
         for (trace, batch) in [(rho1(), 4), (rho2(), 3), (rho3(), 16), (rho4(), 5)] {
-            let report = check(&trace, batch);
+            let report = check(&trace, &with_batch(batch));
             assert_eq!(report.outcome.is_violation(), single_pass(&trace).is_violation());
             if report.outcome.is_violation() {
                 assert_eq!(report.outcome, single_pass(&trace));
@@ -231,15 +238,22 @@ mod tests {
 
     #[test]
     fn serializable_trace_skips_phase2() {
-        let report = check(&rho1(), 4);
+        let report = check(&rho1(), &with_batch(4));
         assert_eq!(report.outcome, Outcome::Serializable);
         assert_eq!(report.phase2_events, 0);
         assert_eq!(report.phase1_events, 10);
     }
 
     #[test]
+    fn default_batch_is_the_documented_config_field() {
+        assert_eq!(Config::default().twophase_batch, Config::DEFAULT_TWOPHASE_BATCH);
+        let report = check(&rho2(), &Config::default());
+        assert!(report.outcome.is_violation());
+    }
+
+    #[test]
     fn phase2_stops_at_the_violation() {
-        let report = check(&rho2(), 100);
+        let report = check(&rho2(), &with_batch(100));
         assert!(report.outcome.is_violation());
         assert!(report.phase2_events <= 8);
     }

@@ -117,14 +117,15 @@ fn all_velodrome_verdicts(trace: &Trace) -> Vec<(String, bool)> {
     let mut out = Vec::new();
     for gc in [false, true] {
         for strategy in [VeloStrategy::Dfs, VeloStrategy::PearceKelly] {
-            let mut c = VelodromeChecker::with_config(Config { gc, strategy });
+            let mut c = VelodromeChecker::with_config(Config { gc, strategy, ..Config::default() });
             out.push((
                 format!("velodrome(gc={gc},{strategy:?})"),
                 run_checker(&mut c, trace).is_violation(),
             ));
         }
     }
-    out.push(("twophase(batch=7)".into(), twophase::check(trace, 7).outcome.is_violation()));
+    let tp = Config { twophase_batch: 7, ..Config::default() };
+    out.push(("twophase(batch=7)".into(), twophase::check(trace, &tp).outcome.is_violation()));
     out
 }
 

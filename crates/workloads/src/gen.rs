@@ -37,9 +37,12 @@
 //!   dedicated variables, making the trace non-serializable from that
 //!   point on. `None` produces a serializable trace.
 
+use std::collections::VecDeque;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tracelog::{LockId, ThreadId, Trace, TraceBuilder, VarId};
+use tracelog::stream::{EventSource, SourceError, SourceNames};
+use tracelog::{Event, Interner, LockId, Op, ThreadId, Trace, VarId};
 
 /// Configuration for [`generate`].
 ///
@@ -125,6 +128,7 @@ enum Role {
 }
 
 /// Per-worker state machine.
+#[derive(Debug)]
 struct Worker {
     id: ThreadId,
     role: Role,
@@ -140,6 +144,7 @@ struct Worker {
 }
 
 /// Variable/lock layout shared by all workers.
+#[derive(Debug)]
 struct Layout {
     /// Published once by the main thread's retained transaction.
     hot: VarId,
@@ -156,169 +161,385 @@ struct Layout {
     shared: Vec<(VarId, LockId)>,
 }
 
-/// Generates a well-formed, closed trace per `cfg`.
+/// A bounded queue of generated-but-not-yet-consumed events plus the
+/// total emitted count — the generator's stand-in for `TraceBuilder`.
+/// One scheduler step emits at most a handful of events, so the queue
+/// stays O(1) regardless of trace length.
+#[derive(Default, Debug)]
+pub(crate) struct EventBuf {
+    pub(crate) queue: VecDeque<Event>,
+    emitted: usize,
+}
+
+impl EventBuf {
+    /// Total events emitted so far (consumed or queued) — the streaming
+    /// equivalent of `TraceBuilder::len`, which the event budget and the
+    /// injection threshold are measured against.
+    pub(crate) fn len(&self) -> usize {
+        self.emitted
+    }
+
+    pub(crate) fn push(&mut self, t: ThreadId, op: Op) {
+        self.queue.push_back(Event::new(t, op));
+        self.emitted += 1;
+    }
+
+    pub(crate) fn read(&mut self, t: ThreadId, x: VarId) {
+        self.push(t, Op::Read(x));
+    }
+
+    pub(crate) fn write(&mut self, t: ThreadId, x: VarId) {
+        self.push(t, Op::Write(x));
+    }
+
+    pub(crate) fn acquire(&mut self, t: ThreadId, l: LockId) {
+        self.push(t, Op::Acquire(l));
+    }
+
+    pub(crate) fn release(&mut self, t: ThreadId, l: LockId) {
+        self.push(t, Op::Release(l));
+    }
+
+    pub(crate) fn fork(&mut self, t: ThreadId, u: ThreadId) {
+        self.push(t, Op::Fork(u));
+    }
+
+    pub(crate) fn join(&mut self, t: ThreadId, u: ThreadId) {
+        self.push(t, Op::Join(u));
+    }
+
+    pub(crate) fn begin(&mut self, t: ThreadId) {
+        self.push(t, Op::Begin);
+    }
+
+    pub(crate) fn end(&mut self, t: ThreadId) {
+        self.push(t, Op::End);
+    }
+}
+
+/// Which part of the generation schedule the machine is in.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    /// Single-threaded degenerate case: main emits local transactions.
+    Solo,
+    /// Worker scheduling loop (forks and the retention prologue are
+    /// emitted at construction).
+    Main,
+    /// Everything emitted.
+    Done,
+}
+
+/// The generator as a lazy [`EventSource`]: events are produced on
+/// demand, so profiles can run at arbitrary scale (10⁶–10⁹ events)
+/// without ever materialising a [`Trace`].
+///
+/// All thread/lock/variable names are interned at construction, so
+/// [`EventSource::names`] is complete before the first event; the event
+/// sequence is byte-for-byte the one [`generate`] builds (which is
+/// itself a collect over this source).
+///
+/// # Examples
+///
+/// ```
+/// use tracelog::stream::EventSource;
+/// use workloads::{GenConfig, GenSource};
+///
+/// let cfg = GenConfig { events: 1_000, ..GenConfig::default() };
+/// let mut source = GenSource::new(&cfg);
+/// let mut n = 0;
+/// while source.next_event().unwrap().is_some() {
+///     n += 1;
+/// }
+/// assert!(n >= 1_000);
+/// ```
+#[derive(Debug)]
+pub struct GenSource {
+    cfg: GenConfig,
+    rng: StdRng,
+    threads: Interner,
+    locks: Interner,
+    vars: Interner,
+    main: ThreadId,
+    layout: Layout,
+    workers: Vec<Worker>,
+    retention: bool,
+    inj_threshold: Option<usize>,
+    inj_pair: Option<(usize, usize)>,
+    injected: bool,
+    probe_written: usize,
+    /// Main's local pool in the single-threaded case.
+    solo_locals: Vec<VarId>,
+    buf: EventBuf,
+    phase: Phase,
+}
+
+impl GenSource {
+    /// Sets up the generator state machine for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.threads == 0`, `cfg.locks == 0` or
+    /// `cfg.events == 0`.
+    #[must_use]
+    pub fn new(cfg: &GenConfig) -> Self {
+        assert!(cfg.threads > 0, "need at least one thread");
+        assert!(cfg.locks > 0, "need at least one lock");
+        assert!(cfg.events > 0, "need a positive event budget");
+
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut threads = Interner::new();
+        let mut locks = Interner::new();
+        let mut vars = Interner::new();
+        let mut var = |name: &str| VarId::from_index(vars.intern(name));
+
+        let main = ThreadId::from_index(threads.intern("main"));
+        let worker_count = cfg.threads.saturating_sub(1);
+
+        // Reserved + shared + local variable pools.
+        let layout = {
+            let hot = var("hot");
+            let hot2 = var("hot2");
+            let inj_a = var("inj_a");
+            let inj_b = var("inj_b");
+            let report_budget =
+                if cfg.retention { (cfg.events / 4 + 8).min(cfg.events) } else { 0 };
+            let reports = (0..report_budget).map(|i| var(&format!("report{i}"))).collect();
+            let shared_count = (cfg.vars / 8).clamp(1, 4096);
+            let shared = (0..shared_count)
+                .map(|i| {
+                    let v = var(&format!("s{i}"));
+                    // Lock 0 is reserved as the generic guard; spread the rest.
+                    let l = LockId::from_index(locks.intern(&format!("l{}", i % cfg.locks)));
+                    (v, l)
+                })
+                .collect();
+            Layout { hot, hot2, reports, inj_a, inj_b, shared }
+        };
+
+        let retention = cfg.retention && worker_count >= 3;
+        let locals_per_worker = if worker_count > 0 {
+            (cfg.vars.saturating_sub(4 + layout.shared.len()) / worker_count.max(1)).max(1)
+        } else {
+            1
+        };
+
+        let mut workers: Vec<Worker> = (0..worker_count)
+            .map(|w| {
+                let id = ThreadId::from_index(threads.intern(&format!("w{w}")));
+                let role = match w {
+                    0 if retention => Role::Subscriber,
+                    1 if retention => Role::ReportWriter,
+                    _ => Role::Normal,
+                };
+                let locals = (0..locals_per_worker).map(|i| var(&format!("w{w}_v{i}"))).collect();
+                Worker {
+                    id,
+                    role,
+                    remaining: 0,
+                    in_txn: false,
+                    used_shared: false,
+                    steps: 0,
+                    locals,
+                }
+            })
+            .collect();
+
+        // Single-threaded degenerate case: main does everything.
+        let solo_locals: Vec<VarId> = if workers.is_empty() {
+            (0..cfg.vars.max(1)).map(|i| var(&format!("m_v{i}"))).collect()
+        } else {
+            Vec::new()
+        };
+
+        let mut buf = EventBuf::default();
+        let mut probe_written = 0usize;
+
+        let (phase, inj_threshold, inj_pair) = if workers.is_empty() {
+            (Phase::Solo, None, None)
+        } else {
+            for w in &workers {
+                buf.fork(main, w.id);
+            }
+
+            // Injection bookkeeping: pick two Normal workers.
+            let inj_threshold =
+                cfg.violation_at.map(|p| ((cfg.events as f64) * p.clamp(0.0, 1.0)) as usize);
+            let normals: Vec<usize> = workers
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.role == Role::Normal)
+                .map(|(i, _)| i)
+                .collect();
+            let inj_pair = match normals.as_slice() {
+                [] => None,
+                [only] => (workers.len() >= 2).then(|| {
+                    // Pair the lone normal worker with the report-writer.
+                    let other =
+                        workers.iter().position(|w| w.role == Role::ReportWriter).unwrap_or(0);
+                    (*only, other)
+                }),
+                [a, .., b] => Some((*a, *b)),
+            };
+
+            // The retained transactions must publish `hot`/`hot2` before
+            // any worker can read them: a read *before* the write is a
+            // conflict edge pointing INTO a still-running retained
+            // transaction, which would make the background genuinely
+            // non-serializable.
+            if retention {
+                // Main thread: one transaction spanning the whole trace.
+                buf.begin(main);
+                buf.write(main, layout.hot);
+                // Subscriber: its own trace-long transaction.
+                step_worker(
+                    &mut buf,
+                    &mut rng,
+                    cfg,
+                    &layout,
+                    retention,
+                    &mut probe_written,
+                    &mut workers[0],
+                );
+            }
+            (Phase::Main, inj_threshold, inj_pair)
+        };
+
+        Self {
+            cfg: cfg.clone(),
+            rng,
+            threads,
+            locks,
+            vars,
+            main,
+            layout,
+            workers,
+            retention,
+            inj_threshold,
+            inj_pair,
+            injected: false,
+            probe_written,
+            solo_locals,
+            buf,
+            phase,
+        }
+    }
+
+    /// Consumes the source, yielding its `(threads, locks, vars)` name
+    /// tables by value (complete since construction) — lets [`generate`]
+    /// assemble a [`Trace`] without cloning the tables.
+    #[must_use]
+    pub fn into_names(self) -> (Interner, Interner, Interner) {
+        (self.threads, self.locks, self.vars)
+    }
+
+    /// Runs the schedule far enough to queue at least one more event (or
+    /// reach the end of the trace). Each call performs one scheduler
+    /// iteration — one worker step, the injection, one solo transaction
+    /// or the final drain — mirroring one iteration of the batch
+    /// generator's main loop.
+    fn pump(&mut self) {
+        match self.phase {
+            Phase::Done => {}
+            Phase::Solo => {
+                if self.buf.len() >= self.cfg.events {
+                    self.phase = Phase::Done;
+                    return;
+                }
+                self.buf.begin(self.main);
+                let len = self.rng.gen_range(1..=self.cfg.avg_txn_len.max(1) * 2);
+                for _ in 0..len {
+                    let v = self.solo_locals[self.rng.gen_range(0..self.solo_locals.len())];
+                    if self.rng.gen_bool(self.cfg.write_fraction) {
+                        self.buf.write(self.main, v);
+                    } else {
+                        self.buf.read(self.main, v);
+                    }
+                }
+                self.buf.end(self.main);
+            }
+            Phase::Main => {
+                if self.buf.len() >= self.cfg.events {
+                    // Drain: close critical work, end transactions, join.
+                    for w in &mut self.workers {
+                        if w.in_txn {
+                            self.buf.end(w.id);
+                            w.in_txn = false;
+                        }
+                    }
+                    if self.retention {
+                        self.buf.end(self.main);
+                    }
+                    for w in &self.workers {
+                        self.buf.join(self.main, w.id);
+                    }
+                    self.phase = Phase::Done;
+                    return;
+                }
+                // Violation injection takes priority once the threshold
+                // passes.
+                if !self.injected {
+                    if let (Some(th), Some((ia, ib))) = (self.inj_threshold, self.inj_pair) {
+                        if self.buf.len() >= th {
+                            inject_rho2(&mut self.buf, &mut self.workers, ia, ib, &self.layout);
+                            self.injected = true;
+                            return;
+                        }
+                    }
+                }
+                let wi = self.rng.gen_range(0..self.workers.len());
+                step_worker(
+                    &mut self.buf,
+                    &mut self.rng,
+                    &self.cfg,
+                    &self.layout,
+                    self.retention,
+                    &mut self.probe_written,
+                    &mut self.workers[wi],
+                );
+            }
+        }
+    }
+}
+
+impl EventSource for GenSource {
+    fn next_event(&mut self) -> Result<Option<Event>, SourceError> {
+        while self.buf.queue.is_empty() && self.phase != Phase::Done {
+            self.pump();
+        }
+        Ok(self.buf.queue.pop_front())
+    }
+
+    fn names(&self) -> SourceNames<'_> {
+        SourceNames { threads: &self.threads, locks: &self.locks, vars: &self.vars }
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        // The drain phase adds a few events per thread past the budget.
+        Some((self.cfg.events + 2 * self.cfg.threads + 2) as u64)
+    }
+}
+
+/// Generates a well-formed, closed trace per `cfg` — a collect over
+/// [`GenSource`], so the batch and streaming paths emit identical event
+/// sequences (the name tables are moved out of the source, not cloned).
 ///
 /// # Panics
 ///
 /// Panics if `cfg.threads == 0`, `cfg.locks == 0` or `cfg.events == 0`.
 #[must_use]
 pub fn generate(cfg: &GenConfig) -> Trace {
-    assert!(cfg.threads > 0, "need at least one thread");
-    assert!(cfg.locks > 0, "need at least one lock");
-    assert!(cfg.events > 0, "need a positive event budget");
-
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut tb = TraceBuilder::new();
-
-    let main = tb.thread("main");
-    let worker_count = cfg.threads.saturating_sub(1);
-
-    // Reserved + shared + local variable pools.
-    let layout = {
-        let hot = tb.var("hot");
-        let hot2 = tb.var("hot2");
-        let inj_a = tb.var("inj_a");
-        let inj_b = tb.var("inj_b");
-        let report_budget = if cfg.retention { (cfg.events / 4 + 8).min(cfg.events) } else { 0 };
-        let reports = (0..report_budget).map(|i| tb.var(&format!("report{i}"))).collect();
-        let shared_count = (cfg.vars / 8).clamp(1, 4096);
-        let shared = (0..shared_count)
-            .map(|i| {
-                let v = tb.var(&format!("s{i}"));
-                // Lock 0 is reserved as the generic guard; spread the rest.
-                let l = tb.lock(&format!("l{}", i % cfg.locks));
-                (v, l)
-            })
-            .collect();
-        Layout { hot, hot2, reports, inj_a, inj_b, shared }
-    };
-
-    let retention = cfg.retention && worker_count >= 3;
-    let locals_per_worker = if worker_count > 0 {
-        (cfg.vars.saturating_sub(4 + layout.shared.len()) / worker_count.max(1)).max(1)
-    } else {
-        1
-    };
-
-    let mut workers: Vec<Worker> = (0..worker_count)
-        .map(|w| {
-            let id = tb.thread(&format!("w{w}"));
-            let role = match w {
-                0 if retention => Role::Subscriber,
-                1 if retention => Role::ReportWriter,
-                _ => Role::Normal,
-            };
-            let locals = (0..locals_per_worker).map(|i| tb.var(&format!("w{w}_v{i}"))).collect();
-            Worker { id, role, remaining: 0, in_txn: false, used_shared: false, steps: 0, locals }
-        })
-        .collect();
-
-    // Single-threaded degenerate case: main does everything.
-    if workers.is_empty() {
-        let locals: Vec<VarId> = (0..cfg.vars.max(1)).map(|i| tb.var(&format!("m_v{i}"))).collect();
-        while tb.len() < cfg.events {
-            tb.begin(main);
-            let len = rng.gen_range(1..=cfg.avg_txn_len.max(1) * 2);
-            for _ in 0..len {
-                let v = locals[rng.gen_range(0..locals.len())];
-                if rng.gen_bool(cfg.write_fraction) {
-                    tb.write(main, v);
-                } else {
-                    tb.read(main, v);
-                }
-            }
-            tb.end(main);
-        }
-        return tb.finish();
+    let mut source = GenSource::new(cfg);
+    let mut events = Vec::with_capacity(cfg.events + 2 * cfg.threads + 2);
+    while let Some(event) = source.next_event().expect("generator sources cannot fail") {
+        events.push(event);
     }
-
-    for w in &workers {
-        tb.fork(main, w.id);
-    }
-
-    // Injection bookkeeping: pick two Normal workers.
-    let inj_threshold =
-        cfg.violation_at.map(|p| ((cfg.events as f64) * p.clamp(0.0, 1.0)) as usize);
-    let normals: Vec<usize> = workers
-        .iter()
-        .enumerate()
-        .filter(|(_, w)| w.role == Role::Normal)
-        .map(|(i, _)| i)
-        .collect();
-    let inj_pair = match normals.as_slice() {
-        [] => None,
-        [only] => (workers.len() >= 2).then(|| {
-            // Pair the lone normal worker with the report-writer.
-            let other = workers.iter().position(|w| w.role == Role::ReportWriter).unwrap_or(0);
-            (*only, other)
-        }),
-        [a, .., b] => Some((*a, *b)),
-    };
-    let mut injected = false;
-    let mut probe_written = 0usize;
-
-    // The retained transactions must publish `hot`/`hot2` before any
-    // worker can read them: a read *before* the write is a conflict edge
-    // pointing INTO a still-running retained transaction, which would
-    // make the background genuinely non-serializable.
-    if retention {
-        // Main thread: one transaction spanning the whole trace.
-        tb.begin(main);
-        tb.write(main, layout.hot);
-        // Subscriber: its own trace-long transaction.
-        step_worker(
-            &mut tb,
-            &mut rng,
-            cfg,
-            &layout,
-            retention,
-            &mut probe_written,
-            &mut workers[0],
-        );
-    }
-
-    while tb.len() < cfg.events {
-        // Violation injection takes priority once the threshold passes.
-        if !injected {
-            if let (Some(th), Some((ia, ib))) = (inj_threshold, inj_pair) {
-                if tb.len() >= th {
-                    inject_rho2(&mut tb, &mut workers, ia, ib, &layout);
-                    injected = true;
-                    continue;
-                }
-            }
-        }
-        let wi = rng.gen_range(0..workers.len());
-        step_worker(
-            &mut tb,
-            &mut rng,
-            cfg,
-            &layout,
-            retention,
-            &mut probe_written,
-            &mut workers[wi],
-        );
-    }
-
-    // Drain: close critical work, end transactions, join workers.
-    for w in &mut workers {
-        if w.in_txn {
-            tb.end(w.id);
-            w.in_txn = false;
-        }
-    }
-    if retention {
-        tb.end(main);
-    }
-    for w in &workers {
-        tb.join(main, w.id);
-    }
-    tb.finish()
+    let (threads, locks, vars) = source.into_names();
+    Trace::from_parts(events, threads, locks, vars)
 }
 
 /// Advances one worker by one scheduler step, emitting 1–7 events.
 fn step_worker(
-    tb: &mut TraceBuilder,
+    tb: &mut EventBuf,
     rng: &mut StdRng,
     cfg: &GenConfig,
     layout: &Layout,
@@ -407,7 +628,7 @@ fn step_worker(
     }
 }
 
-fn finish_atom(tb: &mut TraceBuilder, w: &mut Worker) {
+fn finish_atom(tb: &mut EventBuf, w: &mut Worker) {
     w.remaining = w.remaining.saturating_sub(1);
     if w.remaining == 0 && w.in_txn {
         tb.end(w.id);
@@ -419,7 +640,7 @@ fn txn_len(rng: &mut StdRng, cfg: &GenConfig) -> usize {
     rng.gen_range(1..=cfg.avg_txn_len.max(1) * 2 - 1)
 }
 
-fn local_access(tb: &mut TraceBuilder, rng: &mut StdRng, cfg: &GenConfig, w: &Worker) {
+fn local_access(tb: &mut EventBuf, rng: &mut StdRng, cfg: &GenConfig, w: &Worker) {
     let v = w.locals[rng.gen_range(0..w.locals.len())];
     if rng.gen_bool(cfg.write_fraction.clamp(0.0, 1.0)) {
         tb.write(w.id, v);
@@ -431,7 +652,7 @@ fn local_access(tb: &mut TraceBuilder, rng: &mut StdRng, cfg: &GenConfig, w: &Wo
 /// A two-phase-locked access group on the shared pool: serializable by
 /// construction.
 fn guarded_group(
-    tb: &mut TraceBuilder,
+    tb: &mut EventBuf,
     rng: &mut StdRng,
     cfg: &GenConfig,
     layout: &Layout,
@@ -451,13 +672,7 @@ fn guarded_group(
 
 /// Emits the ρ2 pattern (Figure 2) across workers `ia` and `ib`:
 /// `a:w(va)  b:r(va)  b:w(vb)  a:r(vb)` inside both workers' transactions.
-fn inject_rho2(
-    tb: &mut TraceBuilder,
-    workers: &mut [Worker],
-    ia: usize,
-    ib: usize,
-    layout: &Layout,
-) {
+fn inject_rho2(tb: &mut EventBuf, workers: &mut [Worker], ia: usize, ib: usize, layout: &Layout) {
     debug_assert_ne!(ia, ib);
     for wi in [ia, ib] {
         let w = &mut workers[wi];

@@ -11,10 +11,15 @@
 //!   conflict-serializability violation at a chosen position, and an
 //!   optional *retention* pattern (one long-lived active transaction plus
 //!   periodic probe reads) that defeats Velodrome's garbage collection
-//!   exactly the way the paper's realistic atomicity specs do;
+//!   exactly the way the paper's realistic atomicity specs do. The
+//!   generator is a lazy [`gen::GenSource`] (a `tracelog` `EventSource`),
+//!   so profiles can stream events at arbitrary scale; [`generate`] is a
+//!   collect over it;
 //! * [`profiles`] — one [`profiles::Profile`] per row of Tables 1 and 2,
 //!   pairing the published trace characteristics with a scaled-down
 //!   generator configuration;
+//! * [`shapes`] — structural patterns the tables do not cover
+//!   (contended-lock convoy, wide fork/join fan-out), also streaming;
 //! * [`scenarios`] — hand-crafted application-shaped traces (bank
 //!   transfers, producer/consumer) used by the examples.
 
@@ -24,6 +29,8 @@
 pub mod gen;
 pub mod profiles;
 pub mod scenarios;
+pub mod shapes;
 
-pub use gen::{generate, GenConfig};
+pub use gen::{generate, GenConfig, GenSource};
 pub use profiles::{table1, table2, PaperRow, Profile};
+pub use shapes::{ConvoySource, FanoutSource};

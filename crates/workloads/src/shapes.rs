@@ -1,0 +1,307 @@
+//! Extra workload shapes beyond the paper's table rows, as lazy
+//! streaming sources.
+//!
+//! Two structural patterns the table profiles do not cover (ROADMAP
+//! "missing workload shapes"):
+//!
+//! * [`ConvoySource`] — a **contended-lock convoy**: every worker
+//!   transaction is one critical section of a single global lock, so the
+//!   release→acquire order chains all transactions into one long path.
+//!   Serializable by construction (each transaction is two-phase locked),
+//!   but the lock clock is the hottest state either checker owns.
+//! * [`FanoutSource`] — a **wide fork/join fan-out**: main forks a large
+//!   number of workers up front, each runs short transactions on its own
+//!   private variable, and main joins them all at the end. Serializable
+//!   and conflict-free; thread-count scaling is the whole story.
+//!
+//! Both reuse [`GenConfig`] knobs (`seed`, `threads`, `events`, `vars`,
+//! `write_fraction`, `avg_txn_len`) and emit well-formed, *closed*
+//! traces. Like [`crate::GenSource`] they intern every name at
+//! construction and produce events on demand, so they run at any scale
+//! in constant memory. `rapid generate --profile convoy|fanout` and the
+//! scaling bench wire them up.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tracelog::stream::{EventSource, SourceError, SourceNames};
+use tracelog::{Event, Interner, LockId, ThreadId, VarId};
+
+use crate::gen::{EventBuf, GenConfig};
+
+/// Names accepted by [`source`], alongside the table-profile names.
+pub const SHAPE_NAMES: [&str; 2] = ["convoy", "fanout"];
+
+/// Looks up a streaming source by shape (or generator-profile) name:
+/// `"convoy"`, `"fanout"`, or any other name handled by the caller.
+#[must_use]
+pub fn source(name: &str, cfg: &GenConfig) -> Option<Box<dyn EventSource>> {
+    match name {
+        "convoy" => Some(Box::new(ConvoySource::new(cfg))),
+        "fanout" => Some(Box::new(FanoutSource::new(cfg))),
+        _ => None,
+    }
+}
+
+/// Shared skeleton of the two shapes: main + workers, fork prologue and
+/// join epilogue around a round-robin transaction loop.
+#[derive(Debug)]
+struct Skeleton {
+    rng: StdRng,
+    threads: Interner,
+    locks: Interner,
+    vars: Interner,
+    main: ThreadId,
+    workers: Vec<ThreadId>,
+    events: usize,
+    write_fraction: f64,
+    next_worker: usize,
+    buf: EventBuf,
+    drained: bool,
+}
+
+impl Skeleton {
+    fn new(cfg: &GenConfig, prefix: &str) -> Self {
+        assert!(cfg.events > 0, "need a positive event budget");
+        let mut threads = Interner::new();
+        let locks = Interner::new();
+        let vars = Interner::new();
+        let main = ThreadId::from_index(threads.intern("main"));
+        // At least one worker distinct from main, even for `threads: 1`.
+        let worker_count = cfg.threads.saturating_sub(1).max(1);
+        let workers: Vec<ThreadId> = (0..worker_count)
+            .map(|w| ThreadId::from_index(threads.intern(&format!("{prefix}{w}"))))
+            .collect();
+        let mut buf = EventBuf::default();
+        for &w in &workers {
+            buf.fork(main, w);
+        }
+        Self {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            threads,
+            locks,
+            vars,
+            main,
+            workers,
+            events: cfg.events,
+            write_fraction: cfg.write_fraction.clamp(0.0, 1.0),
+            next_worker: 0,
+            buf,
+            drained: false,
+        }
+    }
+
+    /// Index of the next worker in rotation, or `None` once the budget
+    /// is spent (emitting the join epilogue exactly once).
+    fn turn(&mut self) -> Option<usize> {
+        if self.buf.len() >= self.events {
+            if !self.drained {
+                self.drained = true;
+                for i in 0..self.workers.len() {
+                    self.buf.join(self.main, self.workers[i]);
+                }
+            }
+            return None;
+        }
+        let wi = self.next_worker;
+        self.next_worker = (self.next_worker + 1) % self.workers.len();
+        Some(wi)
+    }
+
+    fn access(&mut self, t: ThreadId, x: VarId) {
+        if self.rng.gen_bool(self.write_fraction) {
+            self.buf.write(t, x);
+        } else {
+            self.buf.read(t, x);
+        }
+    }
+
+    fn names(&self) -> SourceNames<'_> {
+        SourceNames { threads: &self.threads, locks: &self.locks, vars: &self.vars }
+    }
+
+    fn size_hint(&self) -> u64 {
+        (self.events + self.workers.len() + 8) as u64
+    }
+}
+
+/// Contended-lock convoy: every transaction is `acq(conv) … rel(conv)`
+/// on the single global lock, handed around the workers in FIFO order.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::{shapes::ConvoySource, GenConfig};
+///
+/// let cfg = GenConfig { events: 500, threads: 4, ..GenConfig::default() };
+/// let trace = tracelog::stream::collect_trace(&mut ConvoySource::new(&cfg)).unwrap();
+/// assert!(tracelog::validate(&trace).unwrap().is_closed());
+/// ```
+#[derive(Debug)]
+pub struct ConvoySource {
+    skel: Skeleton,
+    lock: LockId,
+    shared: Vec<VarId>,
+}
+
+impl ConvoySource {
+    /// Sets up a convoy over `cfg.threads - 1` workers (minimum 1) and a
+    /// shared pool of at most 64 lock-guarded variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.events == 0`.
+    #[must_use]
+    pub fn new(cfg: &GenConfig) -> Self {
+        let mut skel = Skeleton::new(cfg, "c");
+        let lock = LockId::from_index(skel.locks.intern("conv"));
+        let shared = (0..cfg.vars.clamp(1, 64))
+            .map(|i| VarId::from_index(skel.vars.intern(&format!("cv{i}"))))
+            .collect();
+        Self { skel, lock, shared }
+    }
+}
+
+impl EventSource for ConvoySource {
+    fn next_event(&mut self) -> Result<Option<Event>, SourceError> {
+        while self.skel.buf.queue.is_empty() {
+            let Some(wi) = self.skel.turn() else { break };
+            let w = self.skel.workers[wi];
+            // One fully-guarded transaction: two-phase locked, hence the
+            // background stays serializable no matter the interleaving.
+            self.skel.buf.begin(w);
+            self.skel.buf.acquire(w, self.lock);
+            for _ in 0..self.skel.rng.gen_range(1..=3) {
+                let x = self.shared[self.skel.rng.gen_range(0..self.shared.len())];
+                self.skel.access(w, x);
+            }
+            self.skel.buf.release(w, self.lock);
+            self.skel.buf.end(w);
+        }
+        Ok(self.skel.buf.queue.pop_front())
+    }
+
+    fn names(&self) -> SourceNames<'_> {
+        self.skel.names()
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        Some(self.skel.size_hint())
+    }
+}
+
+/// Wide fork/join fan-out: many workers, each transacting on its own
+/// private variable — no conflicts, maximal thread-table width.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::{shapes::FanoutSource, GenConfig};
+///
+/// let cfg = GenConfig { events: 500, threads: 33, ..GenConfig::default() };
+/// let trace = tracelog::stream::collect_trace(&mut FanoutSource::new(&cfg)).unwrap();
+/// assert_eq!(trace.num_threads(), 33);
+/// assert!(tracelog::validate(&trace).unwrap().is_closed());
+/// ```
+#[derive(Debug)]
+pub struct FanoutSource {
+    skel: Skeleton,
+    /// One private variable per worker, same index order.
+    privates: Vec<VarId>,
+    txn_len: usize,
+}
+
+impl FanoutSource {
+    /// Sets up a fan-out over `cfg.threads - 1` workers (minimum 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.events == 0`.
+    #[must_use]
+    pub fn new(cfg: &GenConfig) -> Self {
+        let mut skel = Skeleton::new(cfg, "f");
+        let privates = (0..skel.workers.len())
+            .map(|w| VarId::from_index(skel.vars.intern(&format!("fv{w}"))))
+            .collect();
+        Self { skel, privates, txn_len: cfg.avg_txn_len.max(1) }
+    }
+}
+
+impl EventSource for FanoutSource {
+    fn next_event(&mut self) -> Result<Option<Event>, SourceError> {
+        while self.skel.buf.queue.is_empty() {
+            let Some(wi) = self.skel.turn() else { break };
+            let w = self.skel.workers[wi];
+            let x = self.privates[wi];
+            self.skel.buf.begin(w);
+            for _ in 0..self.skel.rng.gen_range(1..=self.txn_len) {
+                self.skel.access(w, x);
+            }
+            self.skel.buf.end(w);
+        }
+        Ok(self.skel.buf.queue.pop_front())
+    }
+
+    fn names(&self) -> SourceNames<'_> {
+        self.skel.names()
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        Some(self.skel.size_hint())
+    }
+}
+
+/// Convenience: a shape collected into an in-memory trace (used by the
+/// benches and tests; large runs should stream instead).
+#[must_use]
+pub fn collect(name: &str, cfg: &GenConfig) -> Option<tracelog::Trace> {
+    let mut src = source(name, cfg)?;
+    Some(tracelog::stream::collect_trace(src.as_mut()).expect("shape sources cannot fail"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convoy_is_closed_well_formed_and_deterministic() {
+        let cfg = GenConfig { events: 2_000, threads: 5, ..GenConfig::default() };
+        let a = collect("convoy", &cfg).unwrap();
+        let b = collect("convoy", &cfg).unwrap();
+        assert_eq!(a.events(), b.events());
+        assert!(tracelog::validate(&a).unwrap().is_closed());
+        assert_eq!(a.num_locks(), 1, "a convoy contends on one lock");
+        assert!(a.len() >= 2_000);
+        let info = tracelog::MetaInfo::of(&a);
+        assert_eq!(info.acquires, info.releases);
+        assert!(info.transactions > 100);
+    }
+
+    #[test]
+    fn fanout_scales_thread_count_without_sharing() {
+        let cfg = GenConfig { events: 3_000, threads: 65, ..GenConfig::default() };
+        let trace = collect("fanout", &cfg).unwrap();
+        assert!(tracelog::validate(&trace).unwrap().is_closed());
+        assert_eq!(trace.num_threads(), 65);
+        assert_eq!(trace.num_vars(), 64, "one private variable per worker");
+        let info = tracelog::MetaInfo::of(&trace);
+        assert_eq!(info.acquires, 0, "fan-out takes no locks");
+        assert_eq!(info.forks, 64);
+        assert_eq!(info.joins, 64);
+    }
+
+    #[test]
+    fn single_thread_configs_still_fork_one_worker() {
+        for name in SHAPE_NAMES {
+            let cfg = GenConfig { events: 200, threads: 1, ..GenConfig::default() };
+            let trace = collect(name, &cfg).unwrap();
+            assert!(tracelog::validate(&trace).unwrap().is_closed(), "{name}");
+            assert_eq!(trace.num_threads(), 2, "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_shape_is_none() {
+        assert!(source("frobnicate", &GenConfig::default()).is_none());
+        assert!(collect("frobnicate", &GenConfig::default()).is_none());
+    }
+}

@@ -58,17 +58,23 @@ pub use vc;
 pub use velodrome;
 pub use workloads;
 
+pub mod pipeline;
+
+pub use pipeline::{Pipeline, PipelineReport};
+
 /// One-stop imports for the common checking workflow.
 pub mod prelude {
+    pub use crate::pipeline::{Pipeline, PipelineReport};
     pub use aerodrome::basic::BasicChecker;
     pub use aerodrome::optimized::OptimizedChecker;
     pub use aerodrome::readopt::ReadOptChecker;
     pub use aerodrome::{run_checker, Checker, Outcome, Violation, ViolationKind};
+    pub use tracelog::stream::{collect_trace, Validated};
     pub use tracelog::{
-        parse_trace, validate, write_trace, Event, EventId, LockId, MetaInfo, Op, ThreadId, Trace,
-        TraceBuilder, VarId,
+        parse_trace, validate, write_trace, Event, EventId, EventSource, LockId, MetaInfo, Op,
+        SourceError, StdReader, ThreadId, Trace, TraceBuilder, Validator, VarId,
     };
     pub use vc::{Epoch, VectorClock};
     pub use velodrome::VelodromeChecker;
-    pub use workloads::{generate, GenConfig};
+    pub use workloads::{generate, GenConfig, GenSource};
 }

@@ -1,0 +1,219 @@
+//! The streaming analysis pipeline: source → validator → checker.
+//!
+//! This is the one event path of the suite. A [`Pipeline`] composes any
+//! [`EventSource`] (an incremental `.std` parse, an in-memory trace, a
+//! lazy workload generator) with the optional online well-formedness
+//! validator and drives any [`Checker`] — or the Velodrome two-phase
+//! analysis — over it. With a streaming source the whole run is constant
+//! memory: no `Trace` is ever materialised, which is what lets 10⁶–10⁷
+//! event logs exercise the paper's linear-time claim for real.
+//!
+//! Validation is **on by default**: the checkers assume the Section 2
+//! well-formedness conditions, so verdicts on ill-formed traces are
+//! meaningless. Opt out with [`Pipeline::validate`] when the input is
+//! already trusted (e.g. it came from our own generator).
+//!
+//! # Examples
+//!
+//! Check a `.std` log straight from a reader, in constant memory:
+//!
+//! ```
+//! use aerodrome_suite::pipeline::Pipeline;
+//! use aerodrome_suite::prelude::*;
+//! use tracelog::stream::StdReader;
+//!
+//! // t1's transaction reads `x`, t2 overwrites it, t1 writes it back:
+//! // not conflict serializable (the ρ2 shape of Figure 2).
+//! let log = "t1|begin|0\nt1|r(x)|1\nt2|w(x)|2\nt1|w(x)|3\nt1|end|4\n";
+//!
+//! let mut pipeline = Pipeline::new(StdReader::new(log.as_bytes()));
+//! let mut checker = OptimizedChecker::new();
+//! let report = pipeline.run(&mut checker)?;
+//!
+//! assert!(report.outcome.is_violation());
+//! let names = pipeline.source().names();
+//! let v = report.outcome.violation().unwrap();
+//! assert!(v.display_with_names(&names).contains("`x`"));
+//! # Ok::<(), tracelog::SourceError>(())
+//! ```
+
+use aerodrome::{Checker, Outcome};
+use tracelog::stream::{collect_trace, EventSource, Validated};
+use tracelog::{SourceError, Trace, Validator, ValiditySummary};
+use velodrome::twophase::TwoPhaseReport;
+use velodrome::Config as VelodromeConfig;
+
+/// The outcome of a [`Pipeline::run`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PipelineReport {
+    /// The checker's verdict on the streamed prefix.
+    pub outcome: Outcome,
+    /// Events fed to the checker (the violating event included).
+    pub events: u64,
+    /// Residual open transactions / held locks observed by the validator
+    /// over the processed prefix; `None` when validation was disabled.
+    pub summary: Option<ValiditySummary>,
+}
+
+/// The outcome of a [`Pipeline::run_twophase`].
+#[derive(Clone, Debug)]
+pub struct TwoPhaseRun {
+    /// Phase-1/phase-2 report (identical verdict to single-pass
+    /// Velodrome).
+    pub report: TwoPhaseReport,
+    /// The materialised trace the two passes ran over (two-phase
+    /// analysis inherently replays a prefix, so it cannot stream).
+    pub trace: Trace,
+    /// Validator residue, as in [`PipelineReport::summary`].
+    pub summary: Option<ValiditySummary>,
+}
+
+/// Builder composing an event source, the optional streaming validator
+/// and a checker into one run.
+#[derive(Debug)]
+pub struct Pipeline<S> {
+    source: S,
+    validate: bool,
+}
+
+impl<S: EventSource> Pipeline<S> {
+    /// Starts a pipeline over `source` with validation enabled.
+    #[must_use]
+    pub fn new(source: S) -> Self {
+        Self { source, validate: true }
+    }
+
+    /// Enables or disables the online well-formedness stage (default:
+    /// enabled).
+    #[must_use]
+    pub fn validate(mut self, on: bool) -> Self {
+        self.validate = on;
+        self
+    }
+
+    /// The underlying source — use after a run to reach the name tables
+    /// for rendering verdicts.
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+
+    /// Unwraps the pipeline back into its source.
+    pub fn into_source(self) -> S {
+        self.source
+    }
+
+    /// Streams every event through the validator (if enabled) into
+    /// `checker`, stopping at the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source failures; an ill-formed event surfaces as
+    /// [`SourceError::Malformed`] before the checker sees it.
+    pub fn run<C: Checker + ?Sized>(
+        &mut self,
+        checker: &mut C,
+    ) -> Result<PipelineReport, SourceError> {
+        let mut validator = self.validate.then(Validator::new);
+        let mut events = 0u64;
+        while let Some(event) = self.source.next_event()? {
+            if let Some(v) = validator.as_mut() {
+                v.observe(event)?;
+            }
+            events += 1;
+            if let Err(violation) = checker.process(event) {
+                return Ok(PipelineReport {
+                    outcome: Outcome::Violation(violation),
+                    events,
+                    summary: validator.map(Validator::finish),
+                });
+            }
+        }
+        Ok(PipelineReport {
+            outcome: Outcome::Serializable,
+            events,
+            summary: validator.map(Validator::finish),
+        })
+    }
+
+    /// Drains the source (validating by default) into an in-memory
+    /// [`Trace`] — the bridge to the analyses that genuinely need random
+    /// access (the quadratic oracle, two-phase replay).
+    ///
+    /// # Errors
+    ///
+    /// Propagates source failures and validation rejections.
+    pub fn collect(&mut self) -> Result<(Trace, Option<ValiditySummary>), SourceError> {
+        if self.validate {
+            let mut validated = Validated::new(&mut self.source);
+            let trace = collect_trace(&mut validated)?;
+            let summary = validated.summary();
+            Ok((trace, Some(summary)))
+        } else {
+            Ok((collect_trace(&mut self.source)?, None))
+        }
+    }
+
+    /// Runs the DoubleChecker-style two-phase Velodrome analysis; the
+    /// phase-1 batch size comes from
+    /// [`Config::twophase_batch`](velodrome::Config::twophase_batch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates source failures and validation rejections.
+    pub fn run_twophase(&mut self, config: &VelodromeConfig) -> Result<TwoPhaseRun, SourceError> {
+        let (trace, summary) = self.collect()?;
+        let report = velodrome::twophase::check(&trace, config);
+        Ok(TwoPhaseRun { report, trace, summary })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aerodrome::optimized::OptimizedChecker;
+    use aerodrome::run_checker;
+    use tracelog::paper_traces;
+    use tracelog::stream::StdReader;
+
+    #[test]
+    fn run_matches_run_checker_on_paper_traces() {
+        for trace in
+            [paper_traces::rho1(), paper_traces::rho2(), paper_traces::rho3(), paper_traces::rho4()]
+        {
+            let batch = run_checker(&mut OptimizedChecker::new(), &trace);
+            let mut pipeline = Pipeline::new(trace.stream());
+            let report = pipeline.run(&mut OptimizedChecker::new()).unwrap();
+            assert_eq!(report.outcome, batch);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_ill_formed_input_before_the_checker() {
+        let log = "t1|rel(m)|0\n";
+        let mut pipeline = Pipeline::new(StdReader::new(log.as_bytes()));
+        let err = pipeline.run(&mut OptimizedChecker::new()).unwrap_err();
+        assert!(matches!(err, SourceError::Malformed(_)), "{err}");
+
+        let mut pipeline = Pipeline::new(StdReader::new(log.as_bytes())).validate(false);
+        let report = pipeline.run(&mut OptimizedChecker::new()).unwrap();
+        assert!(report.summary.is_none());
+    }
+
+    #[test]
+    fn collect_reproduces_the_trace() {
+        let trace = paper_traces::rho2();
+        let (collected, summary) = Pipeline::new(trace.stream()).collect().unwrap();
+        assert_eq!(collected.events(), trace.events());
+        assert!(summary.unwrap().is_closed());
+    }
+
+    #[test]
+    fn twophase_run_agrees_with_direct_check() {
+        let trace = paper_traces::rho2();
+        let config = velodrome::Config::default();
+        let direct = velodrome::twophase::check(&trace, &config);
+        let run = Pipeline::new(trace.stream()).run_twophase(&config).unwrap();
+        assert_eq!(run.report, direct);
+        assert_eq!(run.trace.len(), trace.len());
+    }
+}
