@@ -11,35 +11,36 @@
 //! event `e` of thread `t` when `C⊲_t ⊑ clk` (the begin of `t`'s active
 //! transaction `⋖_E`-reaches an event that `⋖_E`-reaches `e`), and at end
 //! events against every other thread's active transaction.
+//!
+//! The common clocks and event dispatch live in [`crate::state`]; this
+//! module contributes only Algorithm 1's read-clock table and transfer
+//! rules. [`BasicChecker`] runs on the pooled clock store (clone-free);
+//! [`ClonedBasicChecker`] is the clone-per-transfer baseline kept for the
+//! ablation benches.
 
-use tracelog::{Event, EventId, LockId, Op, ThreadId, VarId};
-use vc::VectorClock;
+use tracelog::{EventId, ThreadId, VarId};
+use vc::store::ClockStore;
+use vc::{ClockPool, Cloned};
 
-use crate::util::{ensure_with, TxnTracker};
+use crate::state::{Core, Engine, Rules, Src};
+use crate::util::ensure_with;
 use crate::violation::{Violation, ViolationKind};
-use crate::Checker;
 
-/// `checkAndGet(clk, t)` (lines 9–12 of Algorithm 1): declares a violation
-/// if `t` has an active transaction whose begin timestamp is `⊑ clk`;
-/// otherwise updates `C_t := C_t ⊔ clk`.
-///
-/// Returns `true` on violation (the caller stops; `C_t` is not updated,
-/// matching "the algorithm exits").
-#[inline]
-fn check_and_get(
-    ct: &mut VectorClock,
-    cbegin: &VectorClock,
-    active: bool,
-    clk: &VectorClock,
-) -> bool {
-    if active && cbegin.leq(clk) {
-        return true;
-    }
-    ct.join_from(clk);
-    false
+/// Algorithm 1's transfer rules: the full `R_{t,x}` table —
+/// `O(|Thr|·V)` clocks — and eager pushes at end events.
+#[derive(Debug)]
+pub struct BasicRules<S: ClockStore> {
+    /// `R_{t,x}` stored as `rx[x][t]`.
+    rx: Vec<Vec<S::Clock>>,
 }
 
-/// The basic AeroDrome checker (Algorithm 1).
+impl<S: ClockStore> Default for BasicRules<S> {
+    fn default() -> Self {
+        Self { rx: Vec::new() }
+    }
+}
+
+/// The basic AeroDrome checker (Algorithm 1) on the pooled clock store.
 ///
 /// Space is `O(|Thr|·(|Thr| + V + L))` vector-clock entries — the
 /// `R_{t,x}` table dominates; see [`crate::readopt`] for the `O(V)`
@@ -54,224 +55,98 @@ fn check_and_get(
 /// let outcome = run_checker(&mut checker, &tracelog::paper_traces::rho4());
 /// assert_eq!(outcome.violation().unwrap().event.index(), 10); // e11
 /// ```
-#[derive(Clone, Debug, Default)]
-pub struct BasicChecker {
-    /// `C_t`, initialised to `⊥[1/t]`.
-    ct: Vec<VectorClock>,
-    /// `C⊲_t`, initialised to `⊥`.
-    cbegin: Vec<VectorClock>,
-    /// `L_ℓ`.
-    lrel: Vec<VectorClock>,
-    /// `lastRelThr_ℓ`.
-    last_rel_thr: Vec<Option<ThreadId>>,
-    /// `W_x`.
-    wx: Vec<VectorClock>,
-    /// `lastWThr_x`.
-    last_w_thr: Vec<Option<ThreadId>>,
-    /// `R_{t,x}` stored as `rx[x][t]`.
-    rx: Vec<Vec<VectorClock>>,
-    /// Whether each thread has performed at least one event; a join of an
-    /// event-less child must not trigger the violation check (the child's
-    /// clock is merely the inherited fork-time clock of the parent, not
-    /// the timestamp of any event — see the oracle differential tests).
-    seen: Vec<bool>,
-    txns: TxnTracker,
-    events: u64,
-    stopped: Option<Violation>,
+pub type BasicChecker = Engine<BasicRules<ClockPool>>;
+
+/// Algorithm 1 on the clone-happy baseline store (ablation benches and
+/// pooled-vs-cloned differential tests only).
+pub type ClonedBasicChecker = Engine<BasicRules<Cloned>>;
+
+impl<S: ClockStore> BasicRules<S> {
+    fn ensure(&mut self, xi: usize, ti: usize) {
+        ensure_with(&mut self.rx, xi, |_| Vec::new());
+        ensure_with(&mut self.rx[xi], ti, |_| S::bottom());
+    }
 }
 
-impl BasicChecker {
-    /// Creates a checker with empty state; threads, locks and variables
-    /// are allocated on first appearance.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
+impl<S: ClockStore> Rules for BasicRules<S> {
+    type Store = S;
+
+    const NAME: &'static str = "aerodrome-basic";
+    const EPOCH_CHECKS: bool = false;
+
+    fn on_read(
+        &mut self,
+        core: &mut Core<S>,
+        eid: EventId,
+        t: ThreadId,
+        x: VarId,
+    ) -> Result<(), Violation> {
+        let (ti, xi) = (t.index(), x.index());
+        self.ensure(xi, ti);
+        // Lines 23–26.
+        if core.last_w_thr[xi] != Some(t) {
+            let active = core.txns.active(t);
+            if core.check_and_get(ti, active, active, Src::WriteClock(xi), false) {
+                return Err(Violation { event: eid, thread: t, kind: ViolationKind::AtRead(x) });
+            }
+        }
+        // R_{t,x} := C_t (an O(1) share on the pooled store).
+        let Core { store, ct, .. } = core;
+        store.assign(&mut self.rx[xi][ti], &ct[ti]);
+        Ok(())
     }
 
-    fn ensure_thread(&mut self, t: ThreadId) {
-        let i = t.index();
-        ensure_with(&mut self.ct, i, |u| VectorClock::bottom().with_component(u, 1));
-        ensure_with(&mut self.cbegin, i, |_| VectorClock::bottom());
-        ensure_with(&mut self.seen, i, |_| false);
-        self.txns.ensure(i);
+    fn on_write(
+        &mut self,
+        core: &mut Core<S>,
+        eid: EventId,
+        t: ThreadId,
+        x: VarId,
+    ) -> Result<(), Violation> {
+        let (ti, xi) = (t.index(), x.index());
+        self.ensure(xi, ti);
+        let active = core.txns.active(t);
+        // Lines 27–29: write/write conflict.
+        if core.last_w_thr[xi] != Some(t)
+            && core.check_and_get(ti, active, active, Src::WriteClock(xi), false)
+        {
+            return Err(Violation {
+                event: eid,
+                thread: t,
+                kind: ViolationKind::AtWriteVsWrite(x),
+            });
+        }
+        // Lines 30–31: read/write conflicts with every other thread.
+        for u in 0..self.rx[xi].len() {
+            if u == ti {
+                continue;
+            }
+            if core.check_and_get_clk(ti, active, active, &self.rx[xi][u], false) {
+                return Err(Violation {
+                    event: eid,
+                    thread: t,
+                    kind: ViolationKind::AtWriteVsRead(x),
+                });
+            }
+        }
+        // Lines 32–33.
+        core.set_write_clock(xi, t);
+        Ok(())
     }
 
-    fn ensure_lock(&mut self, l: LockId) {
-        let i = l.index();
-        ensure_with(&mut self.lrel, i, |_| VectorClock::bottom());
-        ensure_with(&mut self.last_rel_thr, i, |_| None);
-    }
-
-    fn ensure_var(&mut self, x: VarId, t: ThreadId) {
-        let i = x.index();
-        ensure_with(&mut self.wx, i, |_| VectorClock::bottom());
-        ensure_with(&mut self.last_w_thr, i, |_| None);
-        ensure_with(&mut self.rx, i, |_| Vec::new());
-        ensure_with(&mut self.rx[i], t.index(), |_| VectorClock::bottom());
-    }
-
-    /// The current clock `C_t`, if thread `t` has appeared.
-    #[must_use]
-    pub fn thread_clock(&self, t: ThreadId) -> Option<&VectorClock> {
-        self.ct.get(t.index())
-    }
-
-    /// The begin clock `C⊲_t`, if thread `t` has appeared.
-    #[must_use]
-    pub fn begin_clock(&self, t: ThreadId) -> Option<&VectorClock> {
-        self.cbegin.get(t.index())
-    }
-
-    /// The last-write clock `W_x`, if variable `x` has appeared.
-    #[must_use]
-    pub fn write_clock(&self, x: VarId) -> Option<&VectorClock> {
-        self.wx.get(x.index())
-    }
-
-    /// The last-release clock `L_ℓ`, if lock `ℓ` has appeared.
-    #[must_use]
-    pub fn lock_clock(&self, l: LockId) -> Option<&VectorClock> {
-        self.lrel.get(l.index())
-    }
-
-    /// The read clock `R_{t,x}`, if allocated.
-    #[must_use]
-    pub fn read_clock(&self, t: ThreadId, x: VarId) -> Option<&VectorClock> {
-        self.rx.get(x.index()).and_then(|row| row.get(t.index()))
-    }
-
-    fn violation(&mut self, event: EventId, thread: ThreadId, kind: ViolationKind) -> Violation {
-        let v = Violation { event, thread, kind };
-        self.stopped = Some(v.clone());
-        v
-    }
-
-    fn handle(&mut self, event: Event, eid: EventId) -> Result<(), Violation> {
-        let t = event.thread;
+    fn on_end(&mut self, core: &mut Core<S>, eid: EventId, t: ThreadId) -> Result<(), Violation> {
         let ti = t.index();
-        self.ensure_thread(t);
-        self.seen[ti] = true;
-        match event.op {
-            Op::Acquire(l) => {
-                self.ensure_lock(l);
-                // Lines 13–15.
-                if self.last_rel_thr[l.index()] != Some(t) {
-                    let active = self.txns.active(t);
-                    if check_and_get(
-                        &mut self.ct[ti],
-                        &self.cbegin[ti],
-                        active,
-                        &self.lrel[l.index()],
-                    ) {
-                        return Err(self.violation(eid, t, ViolationKind::AtAcquire(l)));
-                    }
-                }
-            }
-            Op::Release(l) => {
-                self.ensure_lock(l);
-                // Lines 16–18.
-                self.lrel[l.index()] = self.ct[ti].clone();
-                self.last_rel_thr[l.index()] = Some(t);
-            }
-            Op::Fork(u) => {
-                self.ensure_thread(u);
-                // Lines 19–20: C_u := C_u ⊔ C_t.
-                let ct_t = self.ct[ti].clone();
-                self.ct[u.index()].join_from(&ct_t);
-            }
-            Op::Join(u) => {
-                self.ensure_thread(u);
-                // Lines 21–22: checkAndGet(C_u, t). The check only
-                // applies when the child performed an event (see `seen`).
-                let cu = self.ct[u.index()].clone();
-                let active = self.txns.active(t) && self.seen[u.index()];
-                if check_and_get(&mut self.ct[ti], &self.cbegin[ti], active, &cu) {
-                    return Err(self.violation(eid, t, ViolationKind::AtJoin(u)));
-                }
-            }
-            Op::Read(x) => {
-                self.ensure_var(x, t);
-                // Lines 23–26.
-                if self.last_w_thr[x.index()] != Some(t) {
-                    let active = self.txns.active(t);
-                    if check_and_get(
-                        &mut self.ct[ti],
-                        &self.cbegin[ti],
-                        active,
-                        &self.wx[x.index()],
-                    ) {
-                        return Err(self.violation(eid, t, ViolationKind::AtRead(x)));
-                    }
-                }
-                self.rx[x.index()][ti] = self.ct[ti].clone();
-            }
-            Op::Write(x) => {
-                self.ensure_var(x, t);
-                let xi = x.index();
-                let active = self.txns.active(t);
-                // Lines 27–29: write/write conflict.
-                if self.last_w_thr[xi] != Some(t)
-                    && check_and_get(&mut self.ct[ti], &self.cbegin[ti], active, &self.wx[xi])
-                {
-                    return Err(self.violation(eid, t, ViolationKind::AtWriteVsWrite(x)));
-                }
-                // Lines 30–31: read/write conflicts with every other thread.
-                for u in 0..self.rx[xi].len() {
-                    if u == ti {
-                        continue;
-                    }
-                    if check_and_get(&mut self.ct[ti], &self.cbegin[ti], active, &self.rx[xi][u]) {
-                        return Err(self.violation(eid, t, ViolationKind::AtWriteVsRead(x)));
-                    }
-                }
-                // Lines 32–33.
-                self.wx[xi] = self.ct[ti].clone();
-                self.last_w_thr[xi] = Some(t);
-            }
-            Op::Begin => {
-                // §4.1.4: only outermost begins are transaction boundaries.
-                if self.txns.on_begin(t) {
-                    // Lines 34–36.
-                    self.ct[ti].increment(ti);
-                    self.cbegin[ti] = self.ct[ti].clone();
-                }
-            }
-            Op::End => {
-                if self.txns.on_end(t) {
-                    // Lines 37–46.
-                    let ct_t = self.ct[ti].clone();
-                    let cb = self.cbegin[ti].clone();
-                    for u in 0..self.ct.len() {
-                        if u == ti || !cb.leq(&self.ct[u]) {
-                            continue;
-                        }
-                        let u_id = ThreadId::from_index(u);
-                        let active_u = self.txns.active(u_id);
-                        if check_and_get(&mut self.ct[u], &self.cbegin[u], active_u, &ct_t) {
-                            return Err(self.violation(
-                                eid,
-                                u_id,
-                                ViolationKind::AtEnd { ending: t },
-                            ));
-                        }
-                    }
-                    for lrel in &mut self.lrel {
-                        if cb.leq(lrel) {
-                            lrel.join_from(&ct_t);
-                        }
-                    }
-                    for wx in &mut self.wx {
-                        if cb.leq(wx) {
-                            wx.join_from(&ct_t);
-                        }
-                    }
-                    for row in &mut self.rx {
-                        for r in row.iter_mut() {
-                            if cb.leq(r) {
-                                r.join_from(&ct_t);
-                            }
-                        }
-                    }
+        // Lines 37–42.
+        core.end_check_threads(eid, t, false)?;
+        // Lines 43–46.
+        core.push_locks(ti, false);
+        core.push_write_clocks(ti);
+        let Core { store, ct, cbegin, .. } = core;
+        let (ct_t, cb) = (&ct[ti], &cbegin[ti]);
+        for row in &mut self.rx {
+            for r in row.iter_mut() {
+                if store.leq(cb, r) {
+                    store.join_into(r, ct_t);
                 }
             }
         }
@@ -279,31 +154,25 @@ impl BasicChecker {
     }
 }
 
-impl Checker for BasicChecker {
-    fn process(&mut self, event: Event) -> Result<(), Violation> {
-        if let Some(v) = &self.stopped {
-            return Err(v.clone());
-        }
-        let eid = EventId(self.events);
-        self.events += 1;
-        self.handle(event, eid)
-    }
-
-    fn events_processed(&self) -> u64 {
-        self.events
-    }
-
-    fn name(&self) -> &'static str {
-        "aerodrome-basic"
+impl<S: ClockStore> Engine<BasicRules<S>> {
+    /// The read clock `R_{t,x}` (a snapshot), if allocated.
+    #[must_use]
+    pub fn read_clock(&self, t: ThreadId, x: VarId) -> Option<vc::VectorClock> {
+        self.rules
+            .rx
+            .get(x.index())
+            .and_then(|row| row.get(t.index()))
+            .map(|c| self.core.store.snapshot(c))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{run_checker, Outcome};
+    use crate::{run_checker, Checker, Outcome};
     use tracelog::paper_traces::{rho1, rho2, rho3, rho4};
     use tracelog::TraceBuilder;
+    use vc::VectorClock;
 
     fn check(trace: &tracelog::Trace) -> Outcome {
         run_checker(&mut BasicChecker::new(), trace)
@@ -362,15 +231,15 @@ mod tests {
         let y = VarId::from_index(1);
 
         c.process(trace[0]).unwrap(); // e1 ⊲ t1
-        assert_clock(c.thread_clock(t1).unwrap(), &[2, 0]);
+        assert_clock(&c.thread_clock(t1).unwrap(), &[2, 0]);
         c.process(trace[1]).unwrap(); // e2 ⊲ t2
-        assert_clock(c.thread_clock(t2).unwrap(), &[0, 2]);
+        assert_clock(&c.thread_clock(t2).unwrap(), &[0, 2]);
         c.process(trace[2]).unwrap(); // e3 w(x) t1
-        assert_clock(c.write_clock(x).unwrap(), &[2, 0]);
+        assert_clock(&c.write_clock(x).unwrap(), &[2, 0]);
         c.process(trace[3]).unwrap(); // e4 r(x) t2
-        assert_clock(c.thread_clock(t2).unwrap(), &[2, 2]);
+        assert_clock(&c.thread_clock(t2).unwrap(), &[2, 2]);
         c.process(trace[4]).unwrap(); // e5 w(y) t2
-        assert_clock(c.write_clock(y).unwrap(), &[2, 2]);
+        assert_clock(&c.write_clock(y).unwrap(), &[2, 2]);
         let err = c.process(trace[5]).unwrap_err(); // e6 r(y) t1: violation
         assert_eq!(err.event.index(), 5);
     }
@@ -386,12 +255,12 @@ mod tests {
             c.process(*e).unwrap(); // e1..e6
         }
         // After e6 (end of t2), W_y is pushed to ⟨2,2,0⟩ (line 44).
-        assert_clock(c.write_clock(y).unwrap(), &[2, 2, 0]);
+        assert_clock(&c.write_clock(y).unwrap(), &[2, 2, 0]);
         for e in trace.events().iter().skip(6).take(3) {
             c.process(*e).unwrap(); // e7..e9
         }
-        assert_clock(c.thread_clock(t3).unwrap(), &[2, 2, 2]);
-        assert_clock(c.write_clock(z).unwrap(), &[2, 2, 2]);
+        assert_clock(&c.thread_clock(t3).unwrap(), &[2, 2, 2]);
+        assert_clock(&c.write_clock(z).unwrap(), &[2, 2, 2]);
         c.process(trace[9]).unwrap(); // e10
         let err = c.process(trace[10]).unwrap_err(); // e11: violation
         assert_eq!(err.event.index(), 10);
@@ -546,5 +415,14 @@ mod tests {
         let x = tb.var("x");
         tb.begin(t1).write(t1, x).write(t1, x).read(t1, x).end(t1);
         assert_eq!(check(&tb.finish()), Outcome::Serializable);
+    }
+
+    #[test]
+    fn cloned_baseline_matches_pooled_exactly() {
+        for trace in [rho1(), rho2(), rho3(), rho4()] {
+            let pooled = run_checker(&mut BasicChecker::new(), &trace);
+            let cloned = run_checker(&mut ClonedBasicChecker::new(), &trace);
+            assert_eq!(pooled, cloned);
+        }
     }
 }

@@ -41,9 +41,11 @@
 pub mod basic;
 pub mod optimized;
 pub mod readopt;
+pub mod state;
 mod util;
 mod violation;
 
+pub use state::CheckerReport;
 pub use violation::{Violation, ViolationKind};
 
 use tracelog::{Event, Trace};
@@ -69,6 +71,18 @@ pub trait Checker {
 
     /// A short human-readable name for reports (e.g. `"aerodrome"`).
     fn name(&self) -> &'static str;
+
+    /// End-of-run metrics. The default carries only the name and event
+    /// count; the vector-clock checkers override it with their clock-core
+    /// counters (joins, pool allocations) so callers can assert the
+    /// zero-allocation steady-state invariant.
+    fn report(&self) -> CheckerReport {
+        CheckerReport {
+            name: self.name(),
+            events: self.events_processed(),
+            ..CheckerReport::default()
+        }
+    }
 }
 
 /// The verdict of running a checker over a complete trace.

@@ -26,6 +26,10 @@
 //! for event timestamps, and §4.3 extends this to the aggregated
 //! `R_x`/`chR_x` clocks.
 //!
+//! Common clocks and dispatch live in [`crate::state`]; this module
+//! contributes the lazy read/write rules, the update sets and the GC end
+//! handler.
+//!
 //! ### Deviation notes (documented fixes to the appendix pseudocode)
 //!
 //! * **Unary events materialize eagerly.** The pseudocode marks every
@@ -37,23 +41,56 @@
 //!   `W_x` immediately, which is exactly Algorithm 1's behaviour.
 //! * As in [`crate::readopt`], read materialization *joins* rather than
 //!   stores.
+//! * The GC taint (fork-parent liveness, program order out of kept and
+//!   unary transactions) is maintained by [`crate::state::Core`]; see the
+//!   field docs there and `tests/differential.rs`.
 
-use tracelog::{Event, EventId, LockId, Op, ThreadId, VarId};
-use vc::VectorClock;
+use tracelog::{EventId, ThreadId, VarId};
+use vc::store::{ClockStore, ClockView};
+use vc::{ClockPool, Cloned, Epoch};
 
-use crate::util::{ensure_with, TxnTracker};
+use crate::state::{Core, Engine, Rules, Src};
+use crate::util::ensure_with;
 use crate::violation::{Violation, ViolationKind};
-use crate::Checker;
 
-/// Epoch-based `checkAndGet`: the check `C⊲_t ⊑ clk` reduces to one
-/// component comparison (Appendix C.1). Returns `true` on violation.
-#[inline]
-fn check_epoch(cbegin: &VectorClock, t: usize, active: bool, clk_check: &VectorClock) -> bool {
-    active && clk_check.contains_epoch(cbegin.epoch(t))
+/// Algorithm 3's transfer rules: aggregated read clocks plus the
+/// stale/update-set bookkeeping of the lazy optimizations.
+#[derive(Debug)]
+pub struct OptimizedRules<S: ClockStore> {
+    /// `R_x = ⊔_u R_{u,x}` (materialized part).
+    rx: Vec<S::Clock>,
+    /// `chR_x = ⊔_u R_{u,x}[0/u]` (materialized part).
+    chrx: Vec<S::Clock>,
+    /// `staleR_x`: threads whose latest read of `x` is not yet joined
+    /// into `R_x`/`chR_x`.
+    stale_r: Vec<Vec<u32>>,
+    /// `staleW_x = ⊤`: `W_x` lags behind the last writer's clock.
+    pub(crate) stale_w: Vec<bool>,
+    /// `UpdateSetʳ_t` / `UpdateSetʷ_t` with per-(thread, var) membership
+    /// bits for O(1) dedup.
+    update_r: Vec<Vec<u32>>,
+    update_w: Vec<Vec<u32>>,
+    in_update_r: Vec<Vec<bool>>,
+    in_update_w: Vec<Vec<bool>>,
 }
 
-/// The optimized AeroDrome checker (Algorithm 3) — the variant evaluated
-/// in Tables 1 and 2.
+impl<S: ClockStore> Default for OptimizedRules<S> {
+    fn default() -> Self {
+        Self {
+            rx: Vec::new(),
+            chrx: Vec::new(),
+            stale_r: Vec::new(),
+            stale_w: Vec::new(),
+            update_r: Vec::new(),
+            update_w: Vec::new(),
+            in_update_r: Vec::new(),
+            in_update_w: Vec::new(),
+        }
+    }
+}
+
+/// The optimized AeroDrome checker (Algorithm 3) on the pooled clock
+/// store — the variant evaluated in Tables 1 and 2.
 ///
 /// # Examples
 ///
@@ -63,123 +100,50 @@ fn check_epoch(cbegin: &VectorClock, t: usize, active: bool, clk_check: &VectorC
 /// let trace = tracelog::paper_traces::rho1();
 /// assert_eq!(run_checker(&mut OptimizedChecker::new(), &trace), Outcome::Serializable);
 /// ```
-#[derive(Clone, Debug, Default)]
-pub struct OptimizedChecker {
-    ct: Vec<VectorClock>,
-    cbegin: Vec<VectorClock>,
-    lrel: Vec<VectorClock>,
-    last_rel_thr: Vec<Option<ThreadId>>,
-    wx: Vec<VectorClock>,
-    last_w_thr: Vec<Option<ThreadId>>,
-    /// `R_x = ⊔_u R_{u,x}` (materialized part).
-    rx: Vec<VectorClock>,
-    /// `chR_x = ⊔_u R_{u,x}[0/u]` (materialized part).
-    chrx: Vec<VectorClock>,
-    /// `staleR_x`: threads whose latest read of `x` is not yet joined
-    /// into `R_x`/`chR_x`.
-    stale_r: Vec<Vec<u32>>,
-    /// `staleW_x = ⊤`: `W_x` lags behind the last writer's clock.
-    stale_w: Vec<bool>,
-    /// `UpdateSetʳ_t` / `UpdateSetʷ_t` with per-(thread, var) membership
-    /// bits for O(1) dedup.
-    update_r: Vec<Vec<u32>>,
-    update_w: Vec<Vec<u32>>,
-    in_update_r: Vec<Vec<bool>>,
-    in_update_w: Vec<Vec<bool>>,
-    /// GC taint per thread: `true` once the thread's transaction chain may
-    /// carry an incoming edge. Set when the thread is forked from inside a
-    /// transaction (`parentTr_t` may be alive) and whenever one of its
-    /// transactions ends *kept* (a cycle can enter a later transaction
-    /// through the program-order edge from a kept predecessor — a case the
-    /// appendix's bare `C⊲_t[0/t] ≠ C_t[0/t]` test misses; see the
-    /// deviation notes and `tests/differential.rs`).
-    tainted: Vec<bool>,
-    /// Threads that performed at least one event (join-check guard; see
-    /// `basic.rs`).
-    seen: Vec<bool>,
-    txns: TxnTracker,
-    events: u64,
-    /// Vector-clock joins performed (the dominant O(|Thr|) operation).
-    clock_joins: u64,
-    stopped: Option<Violation>,
-}
+pub type OptimizedChecker = Engine<OptimizedRules<ClockPool>>;
 
-impl OptimizedChecker {
-    /// Creates a checker with empty state.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
+/// Algorithm 3 on the clone-happy baseline store — the pre-refactor
+/// behaviour, kept so the ablation benches measure the pooled win.
+pub type ClonedOptimizedChecker = Engine<OptimizedRules<Cloned>>;
+
+impl<S: ClockStore> OptimizedRules<S> {
+    fn ensure_var(&mut self, xi: usize) {
+        ensure_with(&mut self.rx, xi, |_| S::bottom());
+        ensure_with(&mut self.chrx, xi, |_| S::bottom());
+        ensure_with(&mut self.stale_r, xi, |_| Vec::new());
+        ensure_with(&mut self.stale_w, xi, |_| false);
     }
 
-    fn ensure_thread(&mut self, t: ThreadId) {
-        let i = t.index();
-        ensure_with(&mut self.ct, i, |u| VectorClock::bottom().with_component(u, 1));
-        ensure_with(&mut self.cbegin, i, |_| VectorClock::bottom());
-        ensure_with(&mut self.update_r, i, |_| Vec::new());
-        ensure_with(&mut self.update_w, i, |_| Vec::new());
-        ensure_with(&mut self.in_update_r, i, |_| Vec::new());
-        ensure_with(&mut self.in_update_w, i, |_| Vec::new());
-        ensure_with(&mut self.tainted, i, |_| false);
-        ensure_with(&mut self.seen, i, |_| false);
-        self.txns.ensure(i);
+    fn ensure_threads(&mut self, n: usize) {
+        ensure_with(&mut self.update_r, n.saturating_sub(1), |_| Vec::new());
+        ensure_with(&mut self.update_w, n.saturating_sub(1), |_| Vec::new());
+        ensure_with(&mut self.in_update_r, n.saturating_sub(1), |_| Vec::new());
+        ensure_with(&mut self.in_update_w, n.saturating_sub(1), |_| Vec::new());
     }
 
-    fn ensure_lock(&mut self, l: LockId) {
-        let i = l.index();
-        ensure_with(&mut self.lrel, i, |_| VectorClock::bottom());
-        ensure_with(&mut self.last_rel_thr, i, |_| None);
-    }
-
-    fn ensure_var(&mut self, x: VarId) {
-        let i = x.index();
-        ensure_with(&mut self.wx, i, |_| VectorClock::bottom());
-        ensure_with(&mut self.last_w_thr, i, |_| None);
-        ensure_with(&mut self.rx, i, |_| VectorClock::bottom());
-        ensure_with(&mut self.chrx, i, |_| VectorClock::bottom());
-        ensure_with(&mut self.stale_r, i, |_| Vec::new());
-        ensure_with(&mut self.stale_w, i, |_| false);
-    }
-
-    fn violation(&mut self, event: EventId, thread: ThreadId, kind: ViolationKind) -> Violation {
-        let v = Violation { event, thread, kind };
-        self.stopped = Some(v.clone());
-        v
-    }
-
-    /// Joins `clk` into `C_t`. When the event is *unary* (no active
-    /// transaction) and the join brings genuinely new knowledge, the unary
-    /// transaction has an incoming edge; since unary transactions never
-    /// run the end handler, the keptness must be recorded here so later
-    /// transactions of `t` are not garbage collected past the
-    /// program-order edge (see the `tainted` field docs).
-    fn join_ct(&mut self, ti: usize, active: bool, clk: &VectorClock) {
-        if !active && !clk.leq(&self.ct[ti]) {
-            self.tainted[ti] = true;
+    /// The `checkAndGet` source for a read/write of `x` by `t`: under a
+    /// stale write the authoritative timestamp is the last writer's
+    /// *current* clock (lines 29–32), otherwise `W_x`.
+    fn write_source(&self, core: &Core<S>, xi: usize) -> Src {
+        match (self.stale_w[xi], core.last_w_thr[xi]) {
+            (true, Some(w)) => Src::Thread(w.index()),
+            _ => Src::WriteClock(xi),
         }
-        self.clock_joins += 1;
-        self.ct[ti].join_from(clk);
-    }
-
-    /// Number of vector-clock joins performed through the conflict
-    /// handlers so far — AeroDrome's work metric: bounded per event, so
-    /// it grows linearly in the trace (asserted in the shape tests),
-    /// unlike Velodrome's DFS visit count.
-    #[must_use]
-    pub fn clock_joins(&self) -> u64 {
-        self.clock_joins
     }
 
     /// Adds `x` to the read/write update set of every thread with an
     /// active transaction whose begin is ordered before `C_t` (lines
     /// 34–36 / 50–52); epoch comparison per thread.
-    fn mark_update_sets(&mut self, x: VarId, ti: usize, write: bool) {
-        let xi = x.index();
-        for u in 0..self.ct.len() {
+    fn mark_update_sets(&mut self, core: &Core<S>, ti: usize, xi: usize, write: bool) {
+        // Hot loop: one view resolution for `C_t`, flat array reads for
+        // every other thread's begin epoch.
+        let ct_t = core.store.view(&core.ct[ti]);
+        for u in 0..core.ct.len() {
             let u_id = ThreadId::from_index(u);
-            if !self.txns.active(u_id) {
+            if !core.txns.active(u_id) {
                 continue;
             }
-            if !self.ct[ti].contains_epoch(self.cbegin[u].epoch(u)) {
+            if !ct_t.contains_epoch(Epoch::new(u, core.begin_epochs[u])) {
                 continue;
             }
             let (sets, bits) = if write {
@@ -196,213 +160,73 @@ impl OptimizedChecker {
     }
 
     /// Materializes all lazy reads of `x` into `R_x`/`chR_x` (lines
-    /// 43–46).
-    fn flush_stale_reads(&mut self, xi: usize) {
-        let readers = std::mem::take(&mut self.stale_r[xi]);
-        for u in readers {
-            let cu = &self.ct[u as usize];
-            self.rx[xi].join_from(cu);
-            self.chrx[xi].join_from_zeroed(cu, u as usize);
+    /// 43–46). Index loop instead of `mem::take` so the stale list keeps
+    /// its buffer (zero-allocation steady state).
+    fn flush_stale_reads(&mut self, core: &mut Core<S>, xi: usize) {
+        for k in 0..self.stale_r[xi].len() {
+            let u = self.stale_r[xi][k] as usize;
+            let Core { store, ct, .. } = &mut *core;
+            store.join_into(&mut self.rx[xi], &ct[u]);
+            store.join_into_zeroed(&mut self.chrx[xi], &ct[u], u);
         }
-    }
-
-    /// `hasIncomingEdge(t)` (lines 11–12), strengthened with the
-    /// program-order taint — see the field docs on `tainted`.
-    fn has_incoming_edge(&self, ti: usize) -> bool {
-        if self.tainted[ti] {
-            return true;
-        }
-        let (cb, ct) = (&self.cbegin[ti], &self.ct[ti]);
-        let dim = ct.dim().max(cb.dim());
-        (0..dim).any(|v| v != ti && ct.component(v) > cb.component(v))
-    }
-
-    fn handle(&mut self, event: Event, eid: EventId) -> Result<(), Violation> {
-        let t = event.thread;
-        let ti = t.index();
-        self.ensure_thread(t);
-        self.seen[ti] = true;
-        match event.op {
-            Op::Acquire(l) => {
-                self.ensure_lock(l);
-                if self.last_rel_thr[l.index()] != Some(t) {
-                    let active = self.txns.active(t);
-                    if check_epoch(&self.cbegin[ti], ti, active, &self.lrel[l.index()]) {
-                        return Err(self.violation(eid, t, ViolationKind::AtAcquire(l)));
-                    }
-                    let lrel = self.lrel[l.index()].clone();
-                    self.join_ct(ti, active, &lrel);
-                }
-            }
-            Op::Release(l) => {
-                self.ensure_lock(l);
-                self.lrel[l.index()] = self.ct[ti].clone();
-                self.last_rel_thr[l.index()] = Some(t);
-            }
-            Op::Fork(u) => {
-                self.ensure_thread(u);
-                let ct_t = self.ct[ti].clone();
-                self.ct[u.index()].join_from(&ct_t);
-                // The forking transaction is a potential cycle entry for
-                // every transaction of the child (`parentTr_u is alive`).
-                if self.txns.active(t) {
-                    self.tainted[u.index()] = true;
-                }
-            }
-            Op::Join(u) => {
-                self.ensure_thread(u);
-                let active = self.txns.active(t) && self.seen[u.index()];
-                if check_epoch(&self.cbegin[ti], ti, active, &self.ct[u.index()]) {
-                    return Err(self.violation(eid, t, ViolationKind::AtJoin(u)));
-                }
-                let cu = self.ct[u.index()].clone();
-                self.join_ct(ti, self.txns.active(t), &cu);
-            }
-            Op::Read(x) => {
-                self.ensure_var(x);
-                let xi = x.index();
-                let active = self.txns.active(t);
-                if self.last_w_thr[xi] != Some(t) {
-                    // Lazy write: the authoritative timestamp is the last
-                    // writer's current clock (lines 29–32).
-                    let check_is_stale = self.stale_w[xi];
-                    let writer = self.last_w_thr[xi].map(ThreadId::index);
-                    let clk = match (check_is_stale, writer) {
-                        (true, Some(w)) => self.ct[w].clone(),
-                        _ => self.wx[xi].clone(),
-                    };
-                    if check_epoch(&self.cbegin[ti], ti, active, &clk) {
-                        return Err(self.violation(eid, t, ViolationKind::AtRead(x)));
-                    }
-                    self.join_ct(ti, active, &clk);
-                }
-                if active {
-                    if !self.stale_r[xi].contains(&(ti as u32)) {
-                        self.stale_r[xi].push(ti as u32);
-                    }
-                } else {
-                    // Unary read: materialize now (deviation note).
-                    let ct_t = self.ct[ti].clone();
-                    self.rx[xi].join_from(&ct_t);
-                    self.chrx[xi].join_from_zeroed(&ct_t, ti);
-                }
-                self.mark_update_sets(x, ti, false);
-            }
-            Op::Write(x) => {
-                self.ensure_var(x);
-                let xi = x.index();
-                let active = self.txns.active(t);
-                if self.last_w_thr[xi] != Some(t) {
-                    let check_is_stale = self.stale_w[xi];
-                    let writer = self.last_w_thr[xi].map(ThreadId::index);
-                    let clk = match (check_is_stale, writer) {
-                        (true, Some(w)) => self.ct[w].clone(),
-                        _ => self.wx[xi].clone(),
-                    };
-                    if check_epoch(&self.cbegin[ti], ti, active, &clk) {
-                        return Err(self.violation(eid, t, ViolationKind::AtWriteVsWrite(x)));
-                    }
-                    self.join_ct(ti, active, &clk);
-                }
-                self.flush_stale_reads(xi);
-                if check_epoch(&self.cbegin[ti], ti, active, &self.chrx[xi]) {
-                    return Err(self.violation(eid, t, ViolationKind::AtWriteVsRead(x)));
-                }
-                let rx = self.rx[xi].clone();
-                self.join_ct(ti, active, &rx);
-                if active {
-                    self.stale_w[xi] = true;
-                } else {
-                    // Unary write: materialize now (deviation note).
-                    self.stale_w[xi] = false;
-                    self.wx[xi] = self.ct[ti].clone();
-                }
-                self.last_w_thr[xi] = Some(t);
-                self.mark_update_sets(x, ti, true);
-            }
-            Op::Begin => {
-                if self.txns.on_begin(t) {
-                    self.ct[ti].increment(ti);
-                    self.cbegin[ti] = self.ct[ti].clone();
-                }
-            }
-            Op::End => {
-                if self.txns.on_end(t) {
-                    if self.has_incoming_edge(ti) {
-                        // Kept: later transactions of this thread inherit
-                        // a potential incoming (program-order) edge.
-                        self.tainted[ti] = true;
-                        self.end_with_pushes(eid, t, ti)?;
-                    } else {
-                        self.end_garbage_collected(t, ti);
-                    }
-                }
-            }
-        }
-        Ok(())
+        self.stale_r[xi].clear();
     }
 
     /// The non-GC end handler (lines 57–73).
-    fn end_with_pushes(&mut self, eid: EventId, t: ThreadId, ti: usize) -> Result<(), Violation> {
-        let ct_t = self.ct[ti].clone();
-        let cb = self.cbegin[ti].clone();
-        let cb_epoch = cb.epoch(ti);
-        for u in 0..self.ct.len() {
-            if u == ti || !self.ct[u].contains_epoch(cb_epoch) {
-                continue;
-            }
-            let u_id = ThreadId::from_index(u);
-            if check_epoch(&self.cbegin[u], u, self.txns.active(u_id), &ct_t) {
-                return Err(self.violation(eid, u_id, ViolationKind::AtEnd { ending: t }));
-            }
-            self.ct[u].join_from(&ct_t);
-        }
-        for lrel in &mut self.lrel {
-            if lrel.contains_epoch(cb_epoch) {
-                lrel.join_from(&ct_t);
-            }
-        }
-        let wset = std::mem::take(&mut self.update_w[ti]);
-        for xi in wset {
-            let xi = xi as usize;
+    fn end_with_pushes(
+        &mut self,
+        core: &mut Core<S>,
+        eid: EventId,
+        t: ThreadId,
+    ) -> Result<(), Violation> {
+        let ti = t.index();
+        core.end_check_threads(eid, t, true)?;
+        core.push_locks(ti, true);
+        for k in 0..self.update_w[ti].len() {
+            let xi = self.update_w[ti][k] as usize;
             self.in_update_w[ti][xi] = false;
-            if !self.stale_w[xi] || self.last_w_thr[xi] == Some(t) {
-                self.wx[xi].join_from(&ct_t);
+            if !self.stale_w[xi] || core.last_w_thr[xi] == Some(t) {
+                core.join_wx_from_ct(xi, ti);
             }
-            if self.last_w_thr[xi] == Some(t) {
+            if core.last_w_thr[xi] == Some(t) {
                 self.stale_w[xi] = false;
             }
         }
-        let rset = std::mem::take(&mut self.update_r[ti]);
-        for xi in rset {
-            let xi = xi as usize;
+        self.update_w[ti].clear();
+        for k in 0..self.update_r[ti].len() {
+            let xi = self.update_r[ti][k] as usize;
             self.in_update_r[ti][xi] = false;
-            self.rx[xi].join_from(&ct_t);
-            self.chrx[xi].join_from_zeroed(&ct_t, ti);
+            {
+                let Core { store, ct, .. } = &mut *core;
+                store.join_into(&mut self.rx[xi], &ct[ti]);
+                store.join_into_zeroed(&mut self.chrx[xi], &ct[ti], ti);
+            }
             self.stale_r[xi].retain(|&u| u as usize != ti);
         }
+        self.update_r[ti].clear();
         Ok(())
     }
 
     /// The GC end handler (lines 75–86): the transaction has no incoming
     /// edge, so its outgoing clock pushes are dropped.
-    fn end_garbage_collected(&mut self, t: ThreadId, ti: usize) {
-        let rset = std::mem::take(&mut self.update_r[ti]);
-        for xi in rset {
-            let xi = xi as usize;
+    fn end_garbage_collected(&mut self, core: &mut Core<S>, t: ThreadId) {
+        let ti = t.index();
+        for k in 0..self.update_r[ti].len() {
+            let xi = self.update_r[ti][k] as usize;
             self.in_update_r[ti][xi] = false;
             self.stale_r[xi].retain(|&u| u as usize != ti);
         }
-        let wset = std::mem::take(&mut self.update_w[ti]);
-        for xi in wset {
-            let xi = xi as usize;
+        self.update_r[ti].clear();
+        for k in 0..self.update_w[ti].len() {
+            let xi = self.update_w[ti][k] as usize;
             self.in_update_w[ti][xi] = false;
-            if self.last_w_thr[xi] == Some(t) {
+            if core.last_w_thr[xi] == Some(t) {
                 self.stale_w[xi] = false;
-                self.last_w_thr[xi] = None;
+                core.last_w_thr[xi] = None;
             }
         }
-        for lr in &mut self.last_rel_thr {
+        self.update_w[ti].clear();
+        for lr in core.last_rel_thr.iter_mut() {
             if *lr == Some(t) {
                 *lr = None;
             }
@@ -410,29 +234,100 @@ impl OptimizedChecker {
     }
 }
 
-impl Checker for OptimizedChecker {
-    fn process(&mut self, event: Event) -> Result<(), Violation> {
-        if let Some(v) = &self.stopped {
-            return Err(v.clone());
+impl<S: ClockStore> Rules for OptimizedRules<S> {
+    type Store = S;
+
+    const NAME: &'static str = "aerodrome";
+    const EPOCH_CHECKS: bool = true;
+
+    fn on_read(
+        &mut self,
+        core: &mut Core<S>,
+        eid: EventId,
+        t: ThreadId,
+        x: VarId,
+    ) -> Result<(), Violation> {
+        let (ti, xi) = (t.index(), x.index());
+        self.ensure_var(xi);
+        self.ensure_threads(core.ct.len());
+        let active = core.txns.active(t);
+        if core.last_w_thr[xi] != Some(t) {
+            let src = self.write_source(core, xi);
+            if core.check_and_get(ti, active, active, src, true) {
+                return Err(Violation { event: eid, thread: t, kind: ViolationKind::AtRead(x) });
+            }
         }
-        let eid = EventId(self.events);
-        self.events += 1;
-        self.handle(event, eid)
+        if active {
+            if !self.stale_r[xi].contains(&(ti as u32)) {
+                self.stale_r[xi].push(ti as u32);
+            }
+        } else {
+            // Unary read: materialize now (deviation note).
+            let Core { store, ct, .. } = &mut *core;
+            store.join_into(&mut self.rx[xi], &ct[ti]);
+            store.join_into_zeroed(&mut self.chrx[xi], &ct[ti], ti);
+        }
+        self.mark_update_sets(core, ti, xi, false);
+        Ok(())
     }
 
-    fn events_processed(&self) -> u64 {
-        self.events
+    fn on_write(
+        &mut self,
+        core: &mut Core<S>,
+        eid: EventId,
+        t: ThreadId,
+        x: VarId,
+    ) -> Result<(), Violation> {
+        let (ti, xi) = (t.index(), x.index());
+        self.ensure_var(xi);
+        self.ensure_threads(core.ct.len());
+        let active = core.txns.active(t);
+        if core.last_w_thr[xi] != Some(t) {
+            let src = self.write_source(core, xi);
+            if core.check_and_get(ti, active, active, src, true) {
+                return Err(Violation {
+                    event: eid,
+                    thread: t,
+                    kind: ViolationKind::AtWriteVsWrite(x),
+                });
+            }
+        }
+        self.flush_stale_reads(core, xi);
+        if active && core.store.contains_epoch(&self.chrx[xi], core.begin_epoch(ti)) {
+            return Err(Violation { event: eid, thread: t, kind: ViolationKind::AtWriteVsRead(x) });
+        }
+        core.join_ct_clk(ti, active, &self.rx[xi]);
+        if active {
+            self.stale_w[xi] = true;
+        } else {
+            // Unary write: materialize now (deviation note).
+            self.stale_w[xi] = false;
+            core.set_write_clock(xi, t);
+        }
+        core.last_w_thr[xi] = Some(t);
+        self.mark_update_sets(core, ti, xi, true);
+        Ok(())
     }
 
-    fn name(&self) -> &'static str {
-        "aerodrome"
+    fn on_end(&mut self, core: &mut Core<S>, eid: EventId, t: ThreadId) -> Result<(), Violation> {
+        let ti = t.index();
+        self.ensure_threads(core.ct.len());
+        if core.has_incoming_edge(ti) {
+            // Kept: later transactions of this thread inherit a potential
+            // incoming (program-order) edge.
+            core.tainted[ti] = true;
+            self.end_with_pushes(core, eid, t)
+        } else {
+            self.end_garbage_collected(core, t);
+            Ok(())
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{run_checker, Outcome};
+    use crate::{run_checker, Checker, Outcome};
     use tracelog::paper_traces::{rho1, rho2, rho3, rho4};
     use tracelog::TraceBuilder;
 
@@ -494,8 +389,8 @@ mod tests {
             c.process(e).unwrap();
         }
         // GC branch: lastWThr reset, staleW cleared.
-        assert_eq!(c.last_w_thr[0], None);
-        assert!(!c.stale_w[0]);
+        assert_eq!(c.core.last_w_thr[0], None);
+        assert!(!c.rules.stale_w[0]);
     }
 
     #[test]
@@ -568,5 +463,25 @@ mod tests {
             }
         }
         assert_eq!(c.process(trace[7]).unwrap_err(), first.unwrap());
+    }
+
+    #[test]
+    fn report_exposes_pool_counters() {
+        let mut c = OptimizedChecker::new();
+        let _ = run_checker(&mut c, &rho1());
+        let report = c.report();
+        assert_eq!(report.name, "aerodrome");
+        assert_eq!(report.events, 10);
+        assert!(report.clock_joins > 0);
+        assert!(report.clocks.joins > 0);
+    }
+
+    #[test]
+    fn cloned_baseline_matches_pooled_exactly() {
+        for trace in [rho1(), rho2(), rho3(), rho4()] {
+            let pooled = run_checker(&mut OptimizedChecker::new(), &trace);
+            let cloned = run_checker(&mut ClonedOptimizedChecker::new(), &trace);
+            assert_eq!(pooled, cloned);
+        }
     }
 }

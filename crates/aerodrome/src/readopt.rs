@@ -11,6 +11,9 @@
 //!   `C⊲_t ⊑ chR_x ⟺ ∃u≠t. C⊲_t ⊑ R_{u,x}` under the algorithm's
 //!   invariant, Appendix C.1).
 //!
+//! Common clocks and dispatch live in [`crate::state`]; this module
+//! contributes the two-clock read table and its transfer rules.
+//!
 //! ### Deviation note
 //!
 //! The appendix pseudocode writes `R_x := C_t` / `chR_x := C_t[0/t]` at a
@@ -21,31 +24,31 @@
 //! requires. The differential test suite checks this variant against
 //! Algorithm 1 event-for-event.
 
-use tracelog::{Event, EventId, LockId, Op, ThreadId, VarId};
-use vc::VectorClock;
+use tracelog::{EventId, ThreadId, VarId};
+use vc::store::ClockStore;
+use vc::{ClockPool, Cloned};
 
-use crate::util::{ensure_with, TxnTracker};
+use crate::state::{Core, Engine, Rules, Src};
+use crate::util::ensure_with;
 use crate::violation::{Violation, ViolationKind};
-use crate::Checker;
 
-/// `checkAndGet(clk1, clk2, t)` (Algorithm 2): check against `clk1`,
-/// join `clk2`. Returns `true` on violation.
-#[inline]
-fn check_and_get2(
-    ct: &mut VectorClock,
-    cbegin: &VectorClock,
-    active: bool,
-    clk_check: &VectorClock,
-    clk_join: &VectorClock,
-) -> bool {
-    if active && cbegin.leq(clk_check) {
-        return true;
-    }
-    ct.join_from(clk_join);
-    false
+/// Algorithm 2's transfer rules: the aggregated `R_x`/`chR_x` pair per
+/// variable.
+#[derive(Debug)]
+pub struct ReadOptRules<S: ClockStore> {
+    /// `R_x = ⊔_u R_{u,x}`.
+    rx: Vec<S::Clock>,
+    /// `chR_x = ⊔_u R_{u,x}[0/u]`.
+    chrx: Vec<S::Clock>,
 }
 
-/// AeroDrome with `O(V)` read clocks (Algorithm 2).
+impl<S: ClockStore> Default for ReadOptRules<S> {
+    fn default() -> Self {
+        Self { rx: Vec::new(), chrx: Vec::new() }
+    }
+}
+
+/// AeroDrome with `O(V)` read clocks (Algorithm 2) on the pooled store.
 ///
 /// # Examples
 ///
@@ -55,201 +58,96 @@ fn check_and_get2(
 /// let outcome = run_checker(&mut ReadOptChecker::new(), &tracelog::paper_traces::rho3());
 /// assert_eq!(outcome.violation().unwrap().event.index(), 6); // e7
 /// ```
-#[derive(Clone, Debug, Default)]
-pub struct ReadOptChecker {
-    ct: Vec<VectorClock>,
-    cbegin: Vec<VectorClock>,
-    lrel: Vec<VectorClock>,
-    last_rel_thr: Vec<Option<ThreadId>>,
-    wx: Vec<VectorClock>,
-    last_w_thr: Vec<Option<ThreadId>>,
-    /// `R_x = ⊔_u R_{u,x}`.
-    rx: Vec<VectorClock>,
-    /// `chR_x = ⊔_u R_{u,x}[0/u]`.
-    chrx: Vec<VectorClock>,
-    /// Threads that performed at least one event (join-check guard; see
-    /// `basic.rs`).
-    seen: Vec<bool>,
-    txns: TxnTracker,
-    events: u64,
-    stopped: Option<Violation>,
+pub type ReadOptChecker = Engine<ReadOptRules<ClockPool>>;
+
+/// Algorithm 2 on the clone-happy baseline store (ablations only).
+pub type ClonedReadOptChecker = Engine<ReadOptRules<Cloned>>;
+
+impl<S: ClockStore> ReadOptRules<S> {
+    fn ensure(&mut self, xi: usize) {
+        ensure_with(&mut self.rx, xi, |_| S::bottom());
+        ensure_with(&mut self.chrx, xi, |_| S::bottom());
+    }
 }
 
-impl ReadOptChecker {
-    /// Creates a checker with empty state.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
+impl<S: ClockStore> Rules for ReadOptRules<S> {
+    type Store = S;
+
+    const NAME: &'static str = "aerodrome-readopt";
+    const EPOCH_CHECKS: bool = false;
+
+    fn on_read(
+        &mut self,
+        core: &mut Core<S>,
+        eid: EventId,
+        t: ThreadId,
+        x: VarId,
+    ) -> Result<(), Violation> {
+        let (ti, xi) = (t.index(), x.index());
+        self.ensure(xi);
+        if core.last_w_thr[xi] != Some(t) {
+            let active = core.txns.active(t);
+            if core.check_and_get(ti, active, active, Src::WriteClock(xi), false) {
+                return Err(Violation { event: eid, thread: t, kind: ViolationKind::AtRead(x) });
+            }
+        }
+        // See the module-level deviation note: joins, not stores.
+        let Core { store, ct, .. } = core;
+        store.join_into(&mut self.rx[xi], &ct[ti]);
+        store.join_into_zeroed(&mut self.chrx[xi], &ct[ti], ti);
+        Ok(())
     }
 
-    fn ensure_thread(&mut self, t: ThreadId) {
-        let i = t.index();
-        ensure_with(&mut self.ct, i, |u| VectorClock::bottom().with_component(u, 1));
-        ensure_with(&mut self.cbegin, i, |_| VectorClock::bottom());
-        ensure_with(&mut self.seen, i, |_| false);
-        self.txns.ensure(i);
+    fn on_write(
+        &mut self,
+        core: &mut Core<S>,
+        eid: EventId,
+        t: ThreadId,
+        x: VarId,
+    ) -> Result<(), Violation> {
+        let (ti, xi) = (t.index(), x.index());
+        self.ensure(xi);
+        let active = core.txns.active(t);
+        if core.last_w_thr[xi] != Some(t)
+            && core.check_and_get(ti, active, active, Src::WriteClock(xi), false)
+        {
+            return Err(Violation {
+                event: eid,
+                thread: t,
+                kind: ViolationKind::AtWriteVsWrite(x),
+            });
+        }
+        // The chR_x check is the single-component (epoch) test
+        // `C⊲_t(t) ≤ chR_x(t)`: §4.3 derives it from
+        // `∃u≠t. C⊲_t ⊑ R_{u,x}` through the invariant of Appendix C.1,
+        // and a full `⊑` against the *aggregated* clock would be strictly
+        // stronger (it can miss cycles whose witness read absorbed other
+        // threads' components).
+        if active && core.store.contains_epoch(&self.chrx[xi], core.begin_epoch(ti)) {
+            return Err(Violation { event: eid, thread: t, kind: ViolationKind::AtWriteVsRead(x) });
+        }
+        core.join_ct_clk(ti, active, &self.rx[xi]);
+        core.set_write_clock(xi, t);
+        Ok(())
     }
 
-    fn ensure_lock(&mut self, l: LockId) {
-        let i = l.index();
-        ensure_with(&mut self.lrel, i, |_| VectorClock::bottom());
-        ensure_with(&mut self.last_rel_thr, i, |_| None);
-    }
-
-    fn ensure_var(&mut self, x: VarId) {
-        let i = x.index();
-        ensure_with(&mut self.wx, i, |_| VectorClock::bottom());
-        ensure_with(&mut self.last_w_thr, i, |_| None);
-        ensure_with(&mut self.rx, i, |_| VectorClock::bottom());
-        ensure_with(&mut self.chrx, i, |_| VectorClock::bottom());
-    }
-
-    fn violation(&mut self, event: EventId, thread: ThreadId, kind: ViolationKind) -> Violation {
-        let v = Violation { event, thread, kind };
-        self.stopped = Some(v.clone());
-        v
-    }
-
-    fn handle(&mut self, event: Event, eid: EventId) -> Result<(), Violation> {
-        let t = event.thread;
+    fn on_end(&mut self, core: &mut Core<S>, eid: EventId, t: ThreadId) -> Result<(), Violation> {
         let ti = t.index();
-        self.ensure_thread(t);
-        self.seen[ti] = true;
-        match event.op {
-            Op::Acquire(l) => {
-                self.ensure_lock(l);
-                if self.last_rel_thr[l.index()] != Some(t) {
-                    let active = self.txns.active(t);
-                    let lrel = &self.lrel[l.index()];
-                    if check_and_get2(&mut self.ct[ti], &self.cbegin[ti], active, lrel, lrel) {
-                        return Err(self.violation(eid, t, ViolationKind::AtAcquire(l)));
-                    }
-                }
-            }
-            Op::Release(l) => {
-                self.ensure_lock(l);
-                self.lrel[l.index()] = self.ct[ti].clone();
-                self.last_rel_thr[l.index()] = Some(t);
-            }
-            Op::Fork(u) => {
-                self.ensure_thread(u);
-                let ct_t = self.ct[ti].clone();
-                self.ct[u.index()].join_from(&ct_t);
-            }
-            Op::Join(u) => {
-                self.ensure_thread(u);
-                let cu = self.ct[u.index()].clone();
-                let active = self.txns.active(t) && self.seen[u.index()];
-                if check_and_get2(&mut self.ct[ti], &self.cbegin[ti], active, &cu, &cu) {
-                    return Err(self.violation(eid, t, ViolationKind::AtJoin(u)));
-                }
-            }
-            Op::Read(x) => {
-                self.ensure_var(x);
-                let xi = x.index();
-                if self.last_w_thr[xi] != Some(t) {
-                    let active = self.txns.active(t);
-                    let wx = &self.wx[xi];
-                    if check_and_get2(&mut self.ct[ti], &self.cbegin[ti], active, wx, wx) {
-                        return Err(self.violation(eid, t, ViolationKind::AtRead(x)));
-                    }
-                }
-                // See the module-level deviation note: joins, not stores.
-                let ct_t = self.ct[ti].clone();
-                self.rx[xi].join_from(&ct_t);
-                self.chrx[xi].join_from_zeroed(&ct_t, ti);
-            }
-            Op::Write(x) => {
-                self.ensure_var(x);
-                let xi = x.index();
-                let active = self.txns.active(t);
-                if self.last_w_thr[xi] != Some(t) {
-                    let wx = &self.wx[xi];
-                    if check_and_get2(&mut self.ct[ti], &self.cbegin[ti], active, wx, wx) {
-                        return Err(self.violation(eid, t, ViolationKind::AtWriteVsWrite(x)));
-                    }
-                }
-                // The chR_x check is the single-component (epoch) test
-                // `C⊲_t(t) ≤ chR_x(t)`: §4.3 derives it from
-                // `∃u≠t. C⊲_t ⊑ R_{u,x}` through the invariant of
-                // Appendix C.1, and a full `⊑` against the *aggregated*
-                // clock would be strictly stronger (it can miss cycles
-                // whose witness read absorbed other threads' components).
-                if active && self.chrx[xi].contains_epoch(self.cbegin[ti].epoch(ti)) {
-                    return Err(self.violation(eid, t, ViolationKind::AtWriteVsRead(x)));
-                }
-                let rx = self.rx[xi].clone();
-                self.ct[ti].join_from(&rx);
-                self.wx[xi] = self.ct[ti].clone();
-                self.last_w_thr[xi] = Some(t);
-            }
-            Op::Begin => {
-                if self.txns.on_begin(t) {
-                    self.ct[ti].increment(ti);
-                    self.cbegin[ti] = self.ct[ti].clone();
-                }
-            }
-            Op::End => {
-                if self.txns.on_end(t) {
-                    let ct_t = self.ct[ti].clone();
-                    let cb = self.cbegin[ti].clone();
-                    for u in 0..self.ct.len() {
-                        if u == ti || !cb.leq(&self.ct[u]) {
-                            continue;
-                        }
-                        let u_id = ThreadId::from_index(u);
-                        let active_u = self.txns.active(u_id);
-                        if check_and_get2(&mut self.ct[u], &self.cbegin[u], active_u, &ct_t, &ct_t)
-                        {
-                            return Err(self.violation(
-                                eid,
-                                u_id,
-                                ViolationKind::AtEnd { ending: t },
-                            ));
-                        }
-                    }
-                    for lrel in &mut self.lrel {
-                        if cb.leq(lrel) {
-                            lrel.join_from(&ct_t);
-                        }
-                    }
-                    for wx in &mut self.wx {
-                        if cb.leq(wx) {
-                            wx.join_from(&ct_t);
-                        }
-                    }
-                    // Push condition on the aggregated read clock is also
-                    // the epoch test (`∃u. C⊲_t ⊑ R_{u,x}`), see above.
-                    let cb_epoch = cb.epoch(ti);
-                    for (rx, chrx) in self.rx.iter_mut().zip(&mut self.chrx) {
-                        if rx.contains_epoch(cb_epoch) {
-                            rx.join_from(&ct_t);
-                            chrx.join_from_zeroed(&ct_t, ti);
-                        }
-                    }
-                }
+        core.end_check_threads(eid, t, false)?;
+        core.push_locks(ti, false);
+        core.push_write_clocks(ti);
+        // Push condition on the aggregated read clock is also the epoch
+        // test (`∃u. C⊲_t ⊑ R_{u,x}`), see `on_write`.
+        let cb_epoch = core.begin_epoch(ti);
+        let Core { store, ct, .. } = core;
+        let ct_t = &ct[ti];
+        for (rx, chrx) in self.rx.iter_mut().zip(&mut self.chrx) {
+            if store.contains_epoch(rx, cb_epoch) {
+                store.join_into(rx, ct_t);
+                store.join_into_zeroed(chrx, ct_t, ti);
             }
         }
         Ok(())
-    }
-}
-
-impl Checker for ReadOptChecker {
-    fn process(&mut self, event: Event) -> Result<(), Violation> {
-        if let Some(v) = &self.stopped {
-            return Err(v.clone());
-        }
-        let eid = EventId(self.events);
-        self.events += 1;
-        self.handle(event, eid)
-    }
-
-    fn events_processed(&self) -> u64 {
-        self.events
-    }
-
-    fn name(&self) -> &'static str {
-        "aerodrome-readopt"
     }
 }
 
@@ -317,5 +215,14 @@ mod tests {
         let v = check(&tb.finish()).violation().cloned().unwrap();
         assert!(matches!(v.kind, ViolationKind::AtWriteVsRead(_)));
         assert_eq!(v.thread, t1);
+    }
+
+    #[test]
+    fn cloned_baseline_matches_pooled_exactly() {
+        for trace in [rho1(), rho2(), rho3(), rho4()] {
+            let pooled = run_checker(&mut ReadOptChecker::new(), &trace);
+            let cloned = run_checker(&mut ClonedReadOptChecker::new(), &trace);
+            assert_eq!(pooled, cloned);
+        }
     }
 }

@@ -1,8 +1,11 @@
 //! Ablation benches for the design choices called out in DESIGN.md §5:
 //!
 //! * the three AeroDrome variants (Algorithm 1 vs 2 vs 3),
+//! * the pooled clock core vs the cloned baseline (same rules, swapped
+//!   [`vc::store::ClockStore`]) per workload shape,
 //! * Velodrome with and without garbage collection,
 //! * DFS vs Pearce–Kelly cycle detection,
+//! * the two-phase `twophase_batch` sensitivity sweep,
 //! * raw vector-clock operation costs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -10,11 +13,11 @@ use std::hint::black_box;
 use std::time::Duration;
 
 use aerodrome::basic::BasicChecker;
-use aerodrome::optimized::OptimizedChecker;
+use aerodrome::optimized::{ClonedOptimizedChecker, OptimizedChecker};
 use aerodrome::readopt::ReadOptChecker;
 use aerodrome::{run_checker, Checker};
 use vc::VectorClock;
-use velodrome::{Config, Strategy, VelodromeChecker};
+use velodrome::{twophase, Config, Strategy, VelodromeChecker};
 use workloads::{generate, GenConfig};
 
 fn ablation_trace() -> tracelog::Trace {
@@ -48,6 +51,68 @@ fn bench_aerodrome_variants(c: &mut Criterion) {
         b.iter(|| run_to_end(OptimizedChecker::new(), &trace));
     });
     g.finish();
+}
+
+/// Pooled vs cloned clock core, same Algorithm 3 rules, across every
+/// workload shape plus the mixed generator trace — the measurement
+/// behind the clone-free-refactor claim (docs/PERF.md).
+fn bench_clock_core(c: &mut Criterion) {
+    let mut traces: Vec<(String, tracelog::Trace)> = vec![("mixed".into(), ablation_trace())];
+    for name in workloads::shapes::SHAPE_NAMES {
+        let cfg = GenConfig {
+            seed: 11,
+            threads: if name == "fanout" { 33 } else { 8 },
+            events: 20_000,
+            ..GenConfig::default()
+        };
+        traces.push((name.to_owned(), workloads::shapes::collect(name, &cfg).unwrap()));
+    }
+    let mut g = c.benchmark_group("ablation_clock_core");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, trace) in &traces {
+        g.bench_with_input(BenchmarkId::new("pooled", name), trace, |b, trace| {
+            b.iter(|| run_to_end(OptimizedChecker::new(), trace));
+        });
+        // The cloned *store* on the shared engine: isolates the clock
+        // storage choice with everything else held equal.
+        g.bench_with_input(BenchmarkId::new("cloned", name), trace, |b, trace| {
+            b.iter(|| run_to_end(ClonedOptimizedChecker::new(), trace));
+        });
+        // The frozen pre-refactor checker: the before-state this PR's
+        // clone-free core is measured against.
+        g.bench_with_input(BenchmarkId::new("seed", name), trace, |b, trace| {
+            b.iter(|| run_to_end(bench::seed_baseline::SeedOptimizedChecker::new(), trace));
+        });
+    }
+    g.finish();
+}
+
+/// The `twophase_batch` sensitivity sweep (open ROADMAP item): batched
+/// phase-1 checks over a convoy (one long release→acquire chain) and a
+/// fanout (wide, conflict-free) workload.
+fn bench_twophase_batch(c: &mut Criterion) {
+    for name in ["convoy", "fanout"] {
+        let cfg = GenConfig {
+            seed: 17,
+            threads: if name == "fanout" { 33 } else { 8 },
+            events: 20_000,
+            ..GenConfig::default()
+        };
+        let trace = workloads::shapes::collect(name, &cfg).unwrap();
+        let mut g = c.benchmark_group(&format!("ablation_twophase_batch_{name}"));
+        g.sample_size(10).measurement_time(Duration::from_secs(3));
+        for batch in [64usize, 256, 1024, 4096] {
+            g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+                b.iter(|| {
+                    let config = Config { twophase_batch: batch, ..Config::default() };
+                    let report = twophase::check(&trace, &config);
+                    assert!(!report.outcome.is_violation());
+                    report.phase1_events
+                });
+            });
+        }
+        g.finish();
+    }
 }
 
 fn bench_velodrome_gc(c: &mut Criterion) {
@@ -128,6 +193,8 @@ fn bench_vector_clock_ops(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_aerodrome_variants,
+    bench_clock_core,
+    bench_twophase_batch,
     bench_velodrome_gc,
     bench_cycle_detection,
     bench_vector_clock_ops

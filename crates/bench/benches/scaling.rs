@@ -13,6 +13,7 @@ use std::time::Duration;
 
 use aerodrome::optimized::OptimizedChecker;
 use aerodrome::run_checker;
+use bench::seed_baseline::SeedOptimizedChecker;
 use velodrome::VelodromeChecker;
 use workloads::{generate, GenConfig};
 
@@ -79,8 +80,12 @@ fn bench_velodrome_no_retention(c: &mut Criterion) {
 }
 
 /// The extra workload shapes (contended-lock convoy, wide fork/join
-/// fan-out): AeroDrome throughput should stay flat on both — the convoy
-/// stresses the lock clock, the fan-out stresses the thread dimension.
+/// fan-out, long-transaction nesting): AeroDrome throughput should stay
+/// flat on all of them — the convoy stresses the lock clock, the fan-out
+/// the thread dimension, the nesting the per-transaction bookkeeping —
+/// and the pooled clock core must at least match the cloned baseline on
+/// every shape (the `cloned-seed` rows run the frozen pre-refactor
+/// clone-per-transfer-edge checker on the same traces).
 fn bench_shape_scaling(c: &mut Criterion) {
     for name in workloads::shapes::SHAPE_NAMES {
         let mut g = c.benchmark_group(&format!("aerodrome_{name}"));
@@ -94,9 +99,15 @@ fn bench_shape_scaling(c: &mut Criterion) {
             };
             let trace = workloads::shapes::collect(name, &cfg).expect("known shape");
             g.throughput(Throughput::Elements(trace.len() as u64));
-            g.bench_with_input(BenchmarkId::from_parameter(events), &trace, |b, trace| {
+            g.bench_with_input(BenchmarkId::new("pooled", events), &trace, |b, trace| {
                 b.iter(|| {
                     let outcome = run_checker(&mut OptimizedChecker::new(), trace);
+                    assert!(!outcome.is_violation());
+                });
+            });
+            g.bench_with_input(BenchmarkId::new("cloned-seed", events), &trace, |b, trace| {
+                b.iter(|| {
+                    let outcome = run_checker(&mut SeedOptimizedChecker::new(), trace);
                     assert!(!outcome.is_violation());
                 });
             });

@@ -12,6 +12,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod seed_baseline;
+
 use std::time::{Duration, Instant};
 
 use aerodrome::optimized::OptimizedChecker;

@@ -1,0 +1,502 @@
+//! The **seed** (pre-refactor) Algorithm 3 checker, vendored verbatim
+//! from commit `463ce9d` for the clock-core ablation benches.
+//!
+//! This is the clone-per-transfer-edge implementation the pooled core
+//! replaced: `.clone()` on full vector clocks at acquire/read/write
+//! checks, release, begin, fork/join and the end-event pushes. Keeping
+//! it frozen here lets `cargo bench -p bench --bench ablations`
+//! (`ablation_clock_core`) measure the refactor's win against the real
+//! before-state rather than asserting it. Do not maintain this file:
+//! behavioural fixes belong in `aerodrome`, and the differential tests
+//! pin the live checkers against each other instead.
+#![allow(missing_docs, clippy::all)]
+
+//! Algorithm 3 — the fully optimized AeroDrome (Appendix C.2).
+//!
+//! On top of Algorithm 2's read-clock reduction this adds the three
+//! optimizations the paper's evaluation uses:
+//!
+//! 1. **Lazy clock updates.** A write does not copy `C_t` into `W_x`;
+//!    it sets `staleW_x` and later readers/writers consult the writer's
+//!    *current* clock `C_{lastWThr_x}`. Reads push their thread into
+//!    `staleR_x` instead of joining `R_x`/`chR_x`; the joins happen in
+//!    bulk at the next write (or at the reader's end event). Joining a
+//!    thread's current clock can only add components reachable through
+//!    that thread's *same open transaction*, i.e. genuine `∗→` paths
+//!    (Proposition 1), so detection remains sound — it may even fire
+//!    earlier than Algorithm 1.
+//! 2. **Update sets.** Instead of scanning all `V` variables at every end
+//!    event (lines 43–46 of Algorithm 1), each thread records the
+//!    variables whose clocks its end event must refresh.
+//! 3. **Garbage collection.** `hasIncomingEdge` (the Velodrome GC
+//!    condition, §C.2): if the ending transaction absorbed nothing from
+//!    other threads (`C⊲_t[0/t] = C_t[0/t]`) and the forking transaction
+//!    is no longer alive, it cannot lie on a cycle and the end-event
+//!    pushes are skipped entirely.
+//!
+//! Ordering checks use O(1) *epoch* comparisons: by the invariant of
+//! Appendix C.1, `C_{e1} ⊑ C_{e2} ⟺ C_{e1}(thr(e1)) ≤ C_{e2}(thr(e1))`
+//! for event timestamps, and §4.3 extends this to the aggregated
+//! `R_x`/`chR_x` clocks.
+//!
+//! ### Deviation notes (documented fixes to the appendix pseudocode)
+//!
+//! * **Unary events materialize eagerly.** The pseudocode marks every
+//!   write stale and every read lazy. For an event *outside* any
+//!   transaction the deferred join would use the thread's clock at some
+//!   later time, which may contain components that are not `∗→`-reachable
+//!   through the (already completed) unary transaction — a source of
+//!   false positives. Unary reads/writes therefore update `R_x`/`chR_x`/
+//!   `W_x` immediately, which is exactly Algorithm 1's behaviour.
+//! * As in `readopt`, read materialization *joins* rather than
+//!   stores.
+
+use tracelog::{Event, EventId, LockId, Op, ThreadId, VarId};
+use vc::VectorClock;
+
+use aerodrome::Checker;
+use aerodrome::{Violation, ViolationKind};
+
+/// Epoch-based `checkAndGet`: the check `C⊲_t ⊑ clk` reduces to one
+/// component comparison (Appendix C.1). Returns `true` on violation.
+#[inline]
+fn check_epoch(cbegin: &VectorClock, t: usize, active: bool, clk_check: &VectorClock) -> bool {
+    active && clk_check.contains_epoch(cbegin.epoch(t))
+}
+
+/// The optimized AeroDrome checker (Algorithm 3) — the variant evaluated
+/// in Tables 1 and 2.
+///
+/// # Examples
+///
+/// ```
+/// use aerodrome::{optimized::OptimizedChecker, run_checker, Outcome};
+///
+/// let trace = tracelog::paper_traces::rho1();
+/// assert_eq!(run_checker(&mut OptimizedChecker::new(), &trace), Outcome::Serializable);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SeedOptimizedChecker {
+    ct: Vec<VectorClock>,
+    cbegin: Vec<VectorClock>,
+    lrel: Vec<VectorClock>,
+    last_rel_thr: Vec<Option<ThreadId>>,
+    wx: Vec<VectorClock>,
+    last_w_thr: Vec<Option<ThreadId>>,
+    /// `R_x = ⊔_u R_{u,x}` (materialized part).
+    rx: Vec<VectorClock>,
+    /// `chR_x = ⊔_u R_{u,x}[0/u]` (materialized part).
+    chrx: Vec<VectorClock>,
+    /// `staleR_x`: threads whose latest read of `x` is not yet joined
+    /// into `R_x`/`chR_x`.
+    stale_r: Vec<Vec<u32>>,
+    /// `staleW_x = ⊤`: `W_x` lags behind the last writer's clock.
+    stale_w: Vec<bool>,
+    /// `UpdateSetʳ_t` / `UpdateSetʷ_t` with per-(thread, var) membership
+    /// bits for O(1) dedup.
+    update_r: Vec<Vec<u32>>,
+    update_w: Vec<Vec<u32>>,
+    in_update_r: Vec<Vec<bool>>,
+    in_update_w: Vec<Vec<bool>>,
+    /// GC taint per thread: `true` once the thread's transaction chain may
+    /// carry an incoming edge. Set when the thread is forked from inside a
+    /// transaction (`parentTr_t` may be alive) and whenever one of its
+    /// transactions ends *kept* (a cycle can enter a later transaction
+    /// through the program-order edge from a kept predecessor — a case the
+    /// appendix's bare `C⊲_t[0/t] ≠ C_t[0/t]` test misses; see the
+    /// deviation notes and `tests/differential.rs`).
+    tainted: Vec<bool>,
+    /// Threads that performed at least one event (join-check guard; see
+    /// `basic.rs`).
+    seen: Vec<bool>,
+    txns: TxnTracker,
+    events: u64,
+    /// Vector-clock joins performed (the dominant O(|Thr|) operation).
+    clock_joins: u64,
+    stopped: Option<Violation>,
+}
+
+impl SeedOptimizedChecker {
+    /// Creates a checker with empty state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_thread(&mut self, t: ThreadId) {
+        let i = t.index();
+        ensure_with(&mut self.ct, i, |u| VectorClock::bottom().with_component(u, 1));
+        ensure_with(&mut self.cbegin, i, |_| VectorClock::bottom());
+        ensure_with(&mut self.update_r, i, |_| Vec::new());
+        ensure_with(&mut self.update_w, i, |_| Vec::new());
+        ensure_with(&mut self.in_update_r, i, |_| Vec::new());
+        ensure_with(&mut self.in_update_w, i, |_| Vec::new());
+        ensure_with(&mut self.tainted, i, |_| false);
+        ensure_with(&mut self.seen, i, |_| false);
+        self.txns.ensure(i);
+    }
+
+    fn ensure_lock(&mut self, l: LockId) {
+        let i = l.index();
+        ensure_with(&mut self.lrel, i, |_| VectorClock::bottom());
+        ensure_with(&mut self.last_rel_thr, i, |_| None);
+    }
+
+    fn ensure_var(&mut self, x: VarId) {
+        let i = x.index();
+        ensure_with(&mut self.wx, i, |_| VectorClock::bottom());
+        ensure_with(&mut self.last_w_thr, i, |_| None);
+        ensure_with(&mut self.rx, i, |_| VectorClock::bottom());
+        ensure_with(&mut self.chrx, i, |_| VectorClock::bottom());
+        ensure_with(&mut self.stale_r, i, |_| Vec::new());
+        ensure_with(&mut self.stale_w, i, |_| false);
+    }
+
+    fn violation(&mut self, event: EventId, thread: ThreadId, kind: ViolationKind) -> Violation {
+        let v = Violation { event, thread, kind };
+        self.stopped = Some(v.clone());
+        v
+    }
+
+    /// Joins `clk` into `C_t`. When the event is *unary* (no active
+    /// transaction) and the join brings genuinely new knowledge, the unary
+    /// transaction has an incoming edge; since unary transactions never
+    /// run the end handler, the keptness must be recorded here so later
+    /// transactions of `t` are not garbage collected past the
+    /// program-order edge (see the `tainted` field docs).
+    fn join_ct(&mut self, ti: usize, active: bool, clk: &VectorClock) {
+        if !active && !clk.leq(&self.ct[ti]) {
+            self.tainted[ti] = true;
+        }
+        self.clock_joins += 1;
+        self.ct[ti].join_from(clk);
+    }
+
+    /// Number of vector-clock joins performed through the conflict
+    /// handlers so far — AeroDrome's work metric: bounded per event, so
+    /// it grows linearly in the trace (asserted in the shape tests),
+    /// unlike Velodrome's DFS visit count.
+    #[must_use]
+    pub fn clock_joins(&self) -> u64 {
+        self.clock_joins
+    }
+
+    /// Adds `x` to the read/write update set of every thread with an
+    /// active transaction whose begin is ordered before `C_t` (lines
+    /// 34–36 / 50–52); epoch comparison per thread.
+    fn mark_update_sets(&mut self, x: VarId, ti: usize, write: bool) {
+        let xi = x.index();
+        for u in 0..self.ct.len() {
+            let u_id = ThreadId::from_index(u);
+            if !self.txns.active(u_id) {
+                continue;
+            }
+            if !self.ct[ti].contains_epoch(self.cbegin[u].epoch(u)) {
+                continue;
+            }
+            let (sets, bits) = if write {
+                (&mut self.update_w, &mut self.in_update_w)
+            } else {
+                (&mut self.update_r, &mut self.in_update_r)
+            };
+            ensure_with(&mut bits[u], xi, |_| false);
+            if !bits[u][xi] {
+                bits[u][xi] = true;
+                sets[u].push(xi as u32);
+            }
+        }
+    }
+
+    /// Materializes all lazy reads of `x` into `R_x`/`chR_x` (lines
+    /// 43–46).
+    fn flush_stale_reads(&mut self, xi: usize) {
+        let readers = std::mem::take(&mut self.stale_r[xi]);
+        for u in readers {
+            let cu = &self.ct[u as usize];
+            self.rx[xi].join_from(cu);
+            self.chrx[xi].join_from_zeroed(cu, u as usize);
+        }
+    }
+
+    /// `hasIncomingEdge(t)` (lines 11–12), strengthened with the
+    /// program-order taint — see the field docs on `tainted`.
+    fn has_incoming_edge(&self, ti: usize) -> bool {
+        if self.tainted[ti] {
+            return true;
+        }
+        let (cb, ct) = (&self.cbegin[ti], &self.ct[ti]);
+        let dim = ct.dim().max(cb.dim());
+        (0..dim).any(|v| v != ti && ct.component(v) > cb.component(v))
+    }
+
+    fn handle(&mut self, event: Event, eid: EventId) -> Result<(), Violation> {
+        let t = event.thread;
+        let ti = t.index();
+        self.ensure_thread(t);
+        self.seen[ti] = true;
+        match event.op {
+            Op::Acquire(l) => {
+                self.ensure_lock(l);
+                if self.last_rel_thr[l.index()] != Some(t) {
+                    let active = self.txns.active(t);
+                    if check_epoch(&self.cbegin[ti], ti, active, &self.lrel[l.index()]) {
+                        return Err(self.violation(eid, t, ViolationKind::AtAcquire(l)));
+                    }
+                    let lrel = self.lrel[l.index()].clone();
+                    self.join_ct(ti, active, &lrel);
+                }
+            }
+            Op::Release(l) => {
+                self.ensure_lock(l);
+                self.lrel[l.index()] = self.ct[ti].clone();
+                self.last_rel_thr[l.index()] = Some(t);
+            }
+            Op::Fork(u) => {
+                self.ensure_thread(u);
+                let ct_t = self.ct[ti].clone();
+                self.ct[u.index()].join_from(&ct_t);
+                // The forking transaction is a potential cycle entry for
+                // every transaction of the child (`parentTr_u is alive`).
+                if self.txns.active(t) {
+                    self.tainted[u.index()] = true;
+                }
+            }
+            Op::Join(u) => {
+                self.ensure_thread(u);
+                let active = self.txns.active(t) && self.seen[u.index()];
+                if check_epoch(&self.cbegin[ti], ti, active, &self.ct[u.index()]) {
+                    return Err(self.violation(eid, t, ViolationKind::AtJoin(u)));
+                }
+                let cu = self.ct[u.index()].clone();
+                self.join_ct(ti, self.txns.active(t), &cu);
+            }
+            Op::Read(x) => {
+                self.ensure_var(x);
+                let xi = x.index();
+                let active = self.txns.active(t);
+                if self.last_w_thr[xi] != Some(t) {
+                    // Lazy write: the authoritative timestamp is the last
+                    // writer's current clock (lines 29–32).
+                    let check_is_stale = self.stale_w[xi];
+                    let writer = self.last_w_thr[xi].map(ThreadId::index);
+                    let clk = match (check_is_stale, writer) {
+                        (true, Some(w)) => self.ct[w].clone(),
+                        _ => self.wx[xi].clone(),
+                    };
+                    if check_epoch(&self.cbegin[ti], ti, active, &clk) {
+                        return Err(self.violation(eid, t, ViolationKind::AtRead(x)));
+                    }
+                    self.join_ct(ti, active, &clk);
+                }
+                if active {
+                    if !self.stale_r[xi].contains(&(ti as u32)) {
+                        self.stale_r[xi].push(ti as u32);
+                    }
+                } else {
+                    // Unary read: materialize now (deviation note).
+                    let ct_t = self.ct[ti].clone();
+                    self.rx[xi].join_from(&ct_t);
+                    self.chrx[xi].join_from_zeroed(&ct_t, ti);
+                }
+                self.mark_update_sets(x, ti, false);
+            }
+            Op::Write(x) => {
+                self.ensure_var(x);
+                let xi = x.index();
+                let active = self.txns.active(t);
+                if self.last_w_thr[xi] != Some(t) {
+                    let check_is_stale = self.stale_w[xi];
+                    let writer = self.last_w_thr[xi].map(ThreadId::index);
+                    let clk = match (check_is_stale, writer) {
+                        (true, Some(w)) => self.ct[w].clone(),
+                        _ => self.wx[xi].clone(),
+                    };
+                    if check_epoch(&self.cbegin[ti], ti, active, &clk) {
+                        return Err(self.violation(eid, t, ViolationKind::AtWriteVsWrite(x)));
+                    }
+                    self.join_ct(ti, active, &clk);
+                }
+                self.flush_stale_reads(xi);
+                if check_epoch(&self.cbegin[ti], ti, active, &self.chrx[xi]) {
+                    return Err(self.violation(eid, t, ViolationKind::AtWriteVsRead(x)));
+                }
+                let rx = self.rx[xi].clone();
+                self.join_ct(ti, active, &rx);
+                if active {
+                    self.stale_w[xi] = true;
+                } else {
+                    // Unary write: materialize now (deviation note).
+                    self.stale_w[xi] = false;
+                    self.wx[xi] = self.ct[ti].clone();
+                }
+                self.last_w_thr[xi] = Some(t);
+                self.mark_update_sets(x, ti, true);
+            }
+            Op::Begin => {
+                if self.txns.on_begin(t) {
+                    self.ct[ti].increment(ti);
+                    self.cbegin[ti] = self.ct[ti].clone();
+                }
+            }
+            Op::End => {
+                if self.txns.on_end(t) {
+                    if self.has_incoming_edge(ti) {
+                        // Kept: later transactions of this thread inherit
+                        // a potential incoming (program-order) edge.
+                        self.tainted[ti] = true;
+                        self.end_with_pushes(eid, t, ti)?;
+                    } else {
+                        self.end_garbage_collected(t, ti);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The non-GC end handler (lines 57–73).
+    fn end_with_pushes(&mut self, eid: EventId, t: ThreadId, ti: usize) -> Result<(), Violation> {
+        let ct_t = self.ct[ti].clone();
+        let cb = self.cbegin[ti].clone();
+        let cb_epoch = cb.epoch(ti);
+        for u in 0..self.ct.len() {
+            if u == ti || !self.ct[u].contains_epoch(cb_epoch) {
+                continue;
+            }
+            let u_id = ThreadId::from_index(u);
+            if check_epoch(&self.cbegin[u], u, self.txns.active(u_id), &ct_t) {
+                return Err(self.violation(eid, u_id, ViolationKind::AtEnd { ending: t }));
+            }
+            self.ct[u].join_from(&ct_t);
+        }
+        for lrel in &mut self.lrel {
+            if lrel.contains_epoch(cb_epoch) {
+                lrel.join_from(&ct_t);
+            }
+        }
+        let wset = std::mem::take(&mut self.update_w[ti]);
+        for xi in wset {
+            let xi = xi as usize;
+            self.in_update_w[ti][xi] = false;
+            if !self.stale_w[xi] || self.last_w_thr[xi] == Some(t) {
+                self.wx[xi].join_from(&ct_t);
+            }
+            if self.last_w_thr[xi] == Some(t) {
+                self.stale_w[xi] = false;
+            }
+        }
+        let rset = std::mem::take(&mut self.update_r[ti]);
+        for xi in rset {
+            let xi = xi as usize;
+            self.in_update_r[ti][xi] = false;
+            self.rx[xi].join_from(&ct_t);
+            self.chrx[xi].join_from_zeroed(&ct_t, ti);
+            self.stale_r[xi].retain(|&u| u as usize != ti);
+        }
+        Ok(())
+    }
+
+    /// The GC end handler (lines 75–86): the transaction has no incoming
+    /// edge, so its outgoing clock pushes are dropped.
+    fn end_garbage_collected(&mut self, t: ThreadId, ti: usize) {
+        let rset = std::mem::take(&mut self.update_r[ti]);
+        for xi in rset {
+            let xi = xi as usize;
+            self.in_update_r[ti][xi] = false;
+            self.stale_r[xi].retain(|&u| u as usize != ti);
+        }
+        let wset = std::mem::take(&mut self.update_w[ti]);
+        for xi in wset {
+            let xi = xi as usize;
+            self.in_update_w[ti][xi] = false;
+            if self.last_w_thr[xi] == Some(t) {
+                self.stale_w[xi] = false;
+                self.last_w_thr[xi] = None;
+            }
+        }
+        for lr in &mut self.last_rel_thr {
+            if *lr == Some(t) {
+                *lr = None;
+            }
+        }
+    }
+}
+
+impl Checker for SeedOptimizedChecker {
+    fn process(&mut self, event: Event) -> Result<(), Violation> {
+        if let Some(v) = &self.stopped {
+            return Err(v.clone());
+        }
+        let eid = EventId(self.events);
+        self.events += 1;
+        self.handle(event, eid)
+    }
+
+    fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    fn name(&self) -> &'static str {
+        "aerodrome"
+    }
+}
+
+// Internal helpers vendored from the seed util module.
+
+/// Grows `v` so index `n` is valid, filling with `f(index)`.
+pub fn ensure_with<T>(v: &mut Vec<T>, n: usize, f: impl Fn(usize) -> T) {
+    while v.len() <= n {
+        v.push(f(v.len()));
+    }
+}
+
+/// Tracks transaction nesting per thread (§4.1.4).
+///
+/// Only the outermost begin/end of nested atomic blocks constitute a
+/// transaction; inner boundary events are ignored. Events at depth zero
+/// are unary transactions: never *active*, so `checkAndGet` never declares
+/// a violation for them.
+#[derive(Clone, Debug, Default)]
+pub struct TxnTracker {
+    depth: Vec<usize>,
+    /// Count of outermost begins per thread; identifies "the current
+    /// transaction of t" for the GC parent-liveness test.
+    seq: Vec<u64>,
+}
+
+impl TxnTracker {
+    pub fn ensure(&mut self, t: usize) {
+        ensure_with(&mut self.depth, t, |_| 0);
+        ensure_with(&mut self.seq, t, |_| 0);
+    }
+
+    /// Registers a begin event; returns `true` iff it is outermost.
+    pub fn on_begin(&mut self, t: ThreadId) -> bool {
+        let i = t.index();
+        self.ensure(i);
+        self.depth[i] += 1;
+        if self.depth[i] == 1 {
+            self.seq[i] += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Registers an end event; returns `true` iff it closes the outermost
+    /// block. Unmatched ends (ill-formed traces) return `false`.
+    pub fn on_end(&mut self, t: ThreadId) -> bool {
+        let i = t.index();
+        self.ensure(i);
+        if self.depth[i] == 0 {
+            return false;
+        }
+        self.depth[i] -= 1;
+        self.depth[i] == 0
+    }
+
+    /// Whether thread `t` has an active transaction.
+    pub fn active(&self, t: ThreadId) -> bool {
+        self.depth.get(t.index()).copied().unwrap_or(0) > 0
+    }
+}

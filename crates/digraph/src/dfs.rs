@@ -31,26 +31,75 @@ pub fn reaches<N>(g: &DiGraph<N>, from: NodeId, to: NodeId) -> bool {
 /// the work metric behind Velodrome's super-linear behaviour.
 #[must_use]
 pub fn reaches_counting<N>(g: &DiGraph<N>, from: NodeId, to: NodeId) -> (bool, u64) {
-    if from == to {
-        return (true, 0);
+    Searcher::new().reaches_counting(g, from, to)
+}
+
+/// Reusable DFS scratch state.
+///
+/// Velodrome runs one reachability query per candidate edge — allocating
+/// a fresh visited bitmap per query (as the free functions here do) puts
+/// two heap allocations on every conflict edge. A `Searcher` owns the
+/// visited marks and the stack and reuses them across queries: marks are
+/// *stamped* with a per-query token instead of being cleared, so a query
+/// costs zero allocations once the scratch has grown to the graph size.
+///
+/// # Examples
+///
+/// ```
+/// let mut g = digraph::DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// g.add_edge(a, b);
+/// let mut searcher = digraph::dfs::Searcher::new();
+/// assert!(searcher.reaches_counting(&g, a, b).0);
+/// assert!(!searcher.reaches_counting(&g, b, a).0);
+/// ```
+#[derive(Debug, Default)]
+pub struct Searcher {
+    /// `visited[i] == stamp` marks slot `i` visited in the current query.
+    visited: Vec<u64>,
+    stamp: u64,
+    stack: Vec<NodeId>,
+}
+
+impl Searcher {
+    /// Creates an empty searcher; scratch grows to the graph size on
+    /// first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
     }
-    let mut visits = 0u64;
-    let mut visited = vec![false; g.slot_bound()];
-    let mut stack = vec![from];
-    visited[from.index()] = true;
-    while let Some(n) = stack.pop() {
-        visits += 1;
-        for &s in g.successors(n) {
-            if s == to {
-                return (true, visits);
-            }
-            if !visited[s.index()] {
-                visited[s.index()] = true;
-                stack.push(s);
+
+    /// Whether `to` is reachable from `from`, plus the number of nodes
+    /// visited. Allocation-free once warm.
+    pub fn reaches_counting<N>(&mut self, g: &DiGraph<N>, from: NodeId, to: NodeId) -> (bool, u64) {
+        if from == to {
+            return (true, 0);
+        }
+        if self.visited.len() < g.slot_bound() {
+            self.visited.resize(g.slot_bound(), 0);
+        }
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let mut visits = 0u64;
+        self.stack.clear();
+        self.stack.push(from);
+        self.visited[from.index()] = stamp;
+        while let Some(n) = self.stack.pop() {
+            visits += 1;
+            for &s in g.successors(n) {
+                if s == to {
+                    self.stack.clear();
+                    return (true, visits);
+                }
+                if self.visited[s.index()] != stamp {
+                    self.visited[s.index()] = stamp;
+                    self.stack.push(s);
+                }
             }
         }
+        (false, visits)
     }
-    (false, visits)
 }
 
 /// Whether inserting edge `from → to` would close a cycle, i.e. whether

@@ -26,6 +26,27 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// A *generational* node handle: a [`NodeId`] plus the slot generation it
+/// was issued under.
+///
+/// Slots are recycled after [`DiGraph::remove_node`], so a bare `NodeId`
+/// held across removals can silently point at an unrelated node (the
+/// classic ABA problem). A `NodeRef` instead goes stale: after the node
+/// is removed, [`DiGraph::resolve`] returns `None` even if the slot was
+/// reused. This is what lets the Velodrome checker keep long-lived
+/// last-writer/last-reader references without any identity hash map.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NodeRef {
+    id: NodeId,
+    generation: u32,
+}
+
+impl fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}g{}", self.id, self.generation)
+    }
+}
+
 /// A directed graph with node payloads `N`, optimised for the Velodrome
 /// access pattern: frequent node insertion, edge insertion with duplicate
 /// suppression, and garbage collection of source nodes.
@@ -47,6 +68,8 @@ pub struct DiGraph<N> {
     slots: Vec<Option<N>>,
     succs: Vec<Vec<NodeId>>,
     preds: Vec<Vec<NodeId>>,
+    /// Bumped on removal; stale [`NodeRef`]s fail to [`DiGraph::resolve`].
+    generations: Vec<u32>,
     edges: HashSet<(NodeId, NodeId)>,
     free: Vec<u32>,
     num_nodes: usize,
@@ -71,6 +94,7 @@ impl<N> DiGraph<N> {
             slots: Vec::new(),
             succs: Vec::new(),
             preds: Vec::new(),
+            generations: Vec::new(),
             edges: HashSet::new(),
             free: Vec::new(),
             num_nodes: 0,
@@ -141,6 +165,7 @@ impl<N> DiGraph<N> {
             self.slots.push(Some(weight));
             self.succs.push(Vec::new());
             self.preds.push(Vec::new());
+            self.generations.push(0);
             NodeId((self.slots.len() - 1) as u32)
         }
     }
@@ -149,6 +174,27 @@ impl<N> DiGraph<N> {
     #[must_use]
     pub fn contains(&self, n: NodeId) -> bool {
         self.slots.get(n.index()).is_some_and(Option::is_some)
+    }
+
+    /// The generational handle for live node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not live.
+    #[must_use]
+    pub fn handle(&self, n: NodeId) -> NodeRef {
+        assert!(self.contains(n), "handle of a vacant node slot");
+        NodeRef { id: n, generation: self.generations[n.index()] }
+    }
+
+    /// Resolves a generational handle to its node, or `None` if the node
+    /// has been removed since the handle was issued (even if its slot was
+    /// recycled).
+    #[must_use]
+    #[inline]
+    pub fn resolve(&self, r: NodeRef) -> Option<NodeId> {
+        (self.generations.get(r.id.index()) == Some(&r.generation) && self.contains(r.id))
+            .then_some(r.id)
     }
 
     /// Payload of node `n`.
@@ -239,6 +285,7 @@ impl<N> DiGraph<N> {
             self.succs[p.index()].retain(|&s| s != n);
         }
         // A self-loop appears in both lists; the first pass removed it.
+        self.generations[n.index()] = self.generations[n.index()].wrapping_add(1);
         self.free.push(n.0);
         self.num_nodes -= 1;
         weight
@@ -311,6 +358,23 @@ mod tests {
         assert!(!g.has_edge(a, b));
         assert_eq!(g.successors(a), &[] as &[NodeId]);
         assert_eq!(g.predecessors(c).len(), 0);
+    }
+
+    #[test]
+    fn node_refs_survive_unrelated_removals_but_not_recycling() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let (ra, rb) = (g.handle(a), g.handle(b));
+        g.remove_node(a);
+        // b's handle still resolves; a's does not.
+        assert_eq!(g.resolve(rb), Some(b));
+        assert_eq!(g.resolve(ra), None);
+        // The recycled slot must NOT revive the stale handle (ABA).
+        let c = g.add_node("c");
+        assert_eq!(c, a, "slot reuse expected");
+        assert_eq!(g.resolve(ra), None);
+        assert_eq!(g.resolve(g.handle(c)), Some(c));
     }
 
     #[test]

@@ -35,4 +35,4 @@ pub mod dfs;
 mod graph;
 pub mod pk;
 
-pub use graph::{DiGraph, NodeId};
+pub use graph::{DiGraph, NodeId, NodeRef};

@@ -67,7 +67,8 @@ pub enum Command {
         path: String,
     },
     /// `rapid generate <out.std> [--events N] [--threads N] [--seed N]
-    /// [--violation-at F] [--retention] [--profile NAME]`.
+    /// [--violation-at F] [--retention] [--profile NAME]` where NAME is
+    /// a Table 1/2 row or one of the shapes `convoy`/`fanout`/`nesting`.
     Generate {
         /// Output path.
         path: String,
@@ -75,7 +76,7 @@ pub enum Command {
         cfg: Box<workloads::GenConfig>,
         /// Profile name: a Table 1/2 row (its config is the base, with
         /// explicitly given flags applied on top) or a shape
-        /// (`convoy`/`fanout`, which read `cfg` directly).
+        /// (`convoy`/`fanout`/`nesting`, which read `cfg` directly).
         profile: Option<String>,
         /// Which flags were given explicitly on the command line.
         overrides: GenOverrides,
@@ -183,7 +184,8 @@ USAGE:
                     [--no-validate]            (alias: rapid check)
     rapid velodrome <trace.std> [--no-gc] [--pearce-kelly] [--no-validate]
     rapid validate  <trace.std>
-    rapid generate  <out.std> [--profile NAME|convoy|fanout] [--events N]
+    rapid generate  <out.std> [--profile NAME|convoy|fanout|nesting]
+                    [--events N]
                     [--threads N] [--vars N] [--locks N] [--seed N]
                     [--violation-at F] [--retention]
     rapid table1    [--budget SECS]
@@ -202,8 +204,8 @@ statistics and never validates. aerodrome/check and velodrome run in
 constant memory regardless of trace size; twophase and causal replay and
 so hold the whole trace in memory. `generate` streams events straight to
 the output file and accepts any Table 1/2 profile name plus the extra
-shapes `convoy` and `fanout` (explicit flags override a profile's
-config; the shapes reject the flags they cannot honour).";
+shapes `convoy`, `fanout` and `nesting` (explicit flags override a
+profile's config; the shapes reject the flags they cannot honour).";
 
 /// Errors from command-line parsing.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -491,13 +493,25 @@ pub fn run(command: Command) -> Result<String, String> {
             let report = pipeline
                 .run(checker.as_mut())
                 .map_err(|e| source_err(&path, pipeline.source(), &e))?;
-            Ok(report_outcome(
+            let mut out = report_outcome(
                 name,
                 &report.outcome,
                 &pipeline.source().names(),
                 checker.events_processed(),
                 report.summary.as_ref(),
-            ))
+            );
+            let cr = checker.report();
+            let _ = writeln!(
+                out,
+                "clocks: joins={} heap_allocs={} (buffers={} grows={}) cow_copies={} shares={}",
+                cr.clock_joins,
+                cr.clocks.heap_allocs(),
+                cr.clocks.buffers_allocated,
+                cr.clocks.buffer_grows,
+                cr.clocks.cow_copies,
+                cr.clocks.shares
+            );
+            Ok(out)
         }
         Command::Velodrome { path, config, validate } => {
             let mut pipeline = Pipeline::new(open_source(&path)?).validate(validate);
@@ -840,6 +854,7 @@ mod tests {
             let report =
                 run(Command::Aerodrome { path: path.clone(), algorithm, validate: true }).unwrap();
             assert!(report.contains('✗'), "expected violation: {report}");
+            assert!(report.contains("clocks: joins="), "clock-core counters missing: {report}");
         }
         let report = run(Command::Velodrome {
             path: path.clone(),

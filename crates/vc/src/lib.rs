@@ -31,9 +31,13 @@
 
 mod clock;
 mod epoch;
+pub mod pool;
+pub mod store;
 
 pub use clock::VectorClock;
 pub use epoch::Epoch;
+pub use pool::{ClockId, ClockPool, PoolClock, PoolStats};
+pub use store::{ClockStore, Cloned};
 
 /// The scalar type of a single vector-clock component.
 ///

@@ -1,0 +1,384 @@
+//! The clock-storage abstraction the checkers are written against.
+//!
+//! [`ClockStore`] captures exactly the clock operations Algorithms 1–3
+//! perform — assignment, in-place join, the `V[0/t]` join, increment, the
+//! order `⊑` and epoch containment — behind an associated handle type.
+//! Two implementations exist:
+//!
+//! * [`ClockPool`] — the production store: pooled buffers, O(1)
+//!   copy-on-write assignment, epoch fast path, zero steady-state
+//!   allocations (see [`crate::pool`]);
+//! * [`Cloned`] — the pre-refactor baseline: handles are plain
+//!   [`VectorClock`] values and every assignment is a heap-allocating
+//!   clone. It exists so the ablation benches can *measure* the pooled
+//!   core's win instead of asserting it, and so differential tests can
+//!   pin the two cores to bit-identical verdicts.
+//!
+//! The handle contract: a clock obtained from [`ClockStore::bottom`],
+//! [`ClockStore::epoch`] or [`ClockStore::clone_ref`] must eventually be
+//! passed to [`ClockStore::release`] or overwritten via
+//! [`ClockStore::assign`] (dropping a pooled handle early only wastes a
+//! slot, it is never unsound).
+
+use crate::clock::VectorClock;
+use crate::epoch::Epoch;
+use crate::pool::{ClockPool, PoolClock, PoolStats, PoolView};
+use crate::Time;
+
+/// A borrowed, fully-resolved clock for *repeated* component reads.
+///
+/// Scan loops (update-set marking, the GC incoming-edge test) read many
+/// components of the same clock; going through [`ClockStore::component`]
+/// each time re-resolves the handle. A view resolves it once.
+pub trait ClockView: Copy {
+    /// Reads component `t` (absent components are `0`).
+    #[must_use]
+    fn component(&self, t: usize) -> Time;
+
+    /// Whether `e.time ≤ self(e.thread)`.
+    #[must_use]
+    #[inline]
+    fn contains_epoch(&self, e: Epoch) -> bool {
+        e.time() <= self.component(e.thread())
+    }
+
+    /// Number of explicitly stored components.
+    #[must_use]
+    fn dim(&self) -> usize;
+}
+
+impl ClockView for &VectorClock {
+    #[inline]
+    fn component(&self, t: usize) -> Time {
+        VectorClock::component(self, t)
+    }
+
+    #[inline]
+    fn contains_epoch(&self, e: Epoch) -> bool {
+        VectorClock::contains_epoch(self, e)
+    }
+
+    #[inline]
+    fn dim(&self) -> usize {
+        VectorClock::dim(self)
+    }
+}
+
+impl ClockView for PoolView<'_> {
+    #[inline]
+    fn component(&self, t: usize) -> Time {
+        PoolView::component(self, t)
+    }
+
+    #[inline]
+    fn contains_epoch(&self, e: Epoch) -> bool {
+        PoolView::contains_epoch(self, e)
+    }
+
+    #[inline]
+    fn dim(&self) -> usize {
+        PoolView::dim(self)
+    }
+}
+
+/// Storage backend for the checkers' vector clocks.
+pub trait ClockStore: Default {
+    /// The clock handle the checkers keep in their state tables.
+    type Clock: Default + std::fmt::Debug;
+
+    /// Human-readable backend name (bench labels).
+    const LABEL: &'static str;
+
+    /// The minimum time `⊥`.
+    #[must_use]
+    fn bottom() -> Self::Clock {
+        Self::Clock::default()
+    }
+
+    /// The epoch clock `⊥[time/thread]`.
+    #[must_use]
+    fn epoch(&mut self, thread: usize, time: Time) -> Self::Clock;
+
+    /// Duplicates a handle (O(1) share for the pool, a full clone for the
+    /// baseline).
+    #[must_use]
+    fn clone_ref(&mut self, c: &Self::Clock) -> Self::Clock;
+
+    /// Drops a handle.
+    fn release(&mut self, c: Self::Clock);
+
+    /// The assignment `dst := src`.
+    fn assign(&mut self, dst: &mut Self::Clock, src: &Self::Clock);
+
+    /// The assignment `dst := src` into `dst`'s own storage — for
+    /// destinations whose source is about to be mutated (see
+    /// [`ClockPool::copy_assign`]). The baseline store clones either way.
+    fn copy_assign(&mut self, dst: &mut Self::Clock, src: &Self::Clock) {
+        self.assign(dst, src);
+    }
+
+    /// The join `dst := dst ⊔ src`.
+    fn join_into(&mut self, dst: &mut Self::Clock, src: &Self::Clock);
+
+    /// The substituted join `dst := dst ⊔ src[0/zeroed]`.
+    fn join_into_zeroed(&mut self, dst: &mut Self::Clock, src: &Self::Clock, zeroed: usize);
+
+    /// `c(t) := c(t) + 1`.
+    fn increment(&mut self, c: &mut Self::Clock, t: usize);
+
+    /// The pointwise order `a ⊑ b`.
+    #[must_use]
+    fn leq(&self, a: &Self::Clock, b: &Self::Clock) -> bool;
+
+    /// Component `t` of `c`.
+    #[must_use]
+    fn component(&self, c: &Self::Clock, t: usize) -> Time;
+
+    /// Number of explicitly stored components — an upper bound on the
+    /// highest non-zero thread index.
+    #[must_use]
+    fn dim(&self, c: &Self::Clock) -> usize;
+
+    /// Component `t` of `c` as an [`Epoch`].
+    #[must_use]
+    fn epoch_of(&self, c: &Self::Clock, t: usize) -> Epoch {
+        Epoch::new(t, self.component(c, t))
+    }
+
+    /// Whether `e.time ≤ c(e.thread)`.
+    #[must_use]
+    fn contains_epoch(&self, c: &Self::Clock, e: Epoch) -> bool {
+        e.time() <= self.component(c, e.thread())
+    }
+
+    /// The borrowed-view type of this store.
+    type View<'a>: ClockView
+    where
+        Self: 'a;
+
+    /// Resolves `c` into a [`ClockView`] for repeated component reads.
+    #[must_use]
+    fn view<'a>(&'a self, c: &'a Self::Clock) -> Self::View<'a>;
+
+    /// Materialises `c` as a plain [`VectorClock`] (diagnostics only).
+    #[must_use]
+    fn snapshot(&self, c: &Self::Clock) -> VectorClock;
+
+    /// Allocation/operation counters.
+    #[must_use]
+    fn stats(&self) -> PoolStats;
+}
+
+impl ClockStore for ClockPool {
+    type Clock = PoolClock;
+
+    const LABEL: &'static str = "pooled";
+
+    #[inline]
+    fn epoch(&mut self, thread: usize, time: Time) -> PoolClock {
+        PoolClock::epoch(thread, time)
+    }
+
+    #[inline]
+    fn clone_ref(&mut self, c: &PoolClock) -> PoolClock {
+        ClockPool::clone_ref(self, c)
+    }
+
+    #[inline]
+    fn release(&mut self, c: PoolClock) {
+        ClockPool::release(self, c);
+    }
+
+    #[inline]
+    fn assign(&mut self, dst: &mut PoolClock, src: &PoolClock) {
+        ClockPool::assign(self, dst, src);
+    }
+
+    #[inline]
+    fn copy_assign(&mut self, dst: &mut PoolClock, src: &PoolClock) {
+        ClockPool::copy_assign(self, dst, src);
+    }
+
+    #[inline]
+    fn join_into(&mut self, dst: &mut PoolClock, src: &PoolClock) {
+        ClockPool::join_into(self, dst, src);
+    }
+
+    #[inline]
+    fn join_into_zeroed(&mut self, dst: &mut PoolClock, src: &PoolClock, zeroed: usize) {
+        ClockPool::join_into_zeroed(self, dst, src, zeroed);
+    }
+
+    #[inline]
+    fn increment(&mut self, c: &mut PoolClock, t: usize) {
+        ClockPool::increment(self, c, t);
+    }
+
+    #[inline]
+    fn leq(&self, a: &PoolClock, b: &PoolClock) -> bool {
+        ClockPool::leq(self, a, b)
+    }
+
+    #[inline]
+    fn component(&self, c: &PoolClock, t: usize) -> Time {
+        ClockPool::component(self, c, t)
+    }
+
+    #[inline]
+    fn dim(&self, c: &PoolClock) -> usize {
+        ClockPool::dim(self, c)
+    }
+
+    #[inline]
+    fn contains_epoch(&self, c: &PoolClock, e: Epoch) -> bool {
+        ClockPool::contains_epoch(self, c, e)
+    }
+
+    type View<'a> = PoolView<'a>;
+
+    #[inline]
+    fn view<'a>(&'a self, c: &'a PoolClock) -> PoolView<'a> {
+        ClockPool::view(self, c)
+    }
+
+    #[inline]
+    fn snapshot(&self, c: &PoolClock) -> VectorClock {
+        ClockPool::snapshot(self, c)
+    }
+
+    #[inline]
+    fn stats(&self) -> PoolStats {
+        ClockPool::stats(self)
+    }
+}
+
+/// The clone-happy baseline store: handles are owned [`VectorClock`]s and
+/// every `clone_ref`/`assign` clones the full component vector, exactly
+/// like the pre-pool checkers did.
+#[derive(Debug, Default)]
+pub struct Cloned {
+    stats: PoolStats,
+}
+
+impl ClockStore for Cloned {
+    type Clock = VectorClock;
+
+    const LABEL: &'static str = "cloned";
+
+    #[inline]
+    fn epoch(&mut self, thread: usize, time: Time) -> VectorClock {
+        self.stats.buffers_allocated += 1;
+        VectorClock::bottom().with_component(thread, time)
+    }
+
+    #[inline]
+    fn clone_ref(&mut self, c: &VectorClock) -> VectorClock {
+        self.stats.buffers_allocated += 1;
+        c.clone()
+    }
+
+    #[inline]
+    fn release(&mut self, _c: VectorClock) {}
+
+    #[inline]
+    fn assign(&mut self, dst: &mut VectorClock, src: &VectorClock) {
+        self.stats.buffers_allocated += 1;
+        *dst = src.clone();
+    }
+
+    #[inline]
+    fn join_into(&mut self, dst: &mut VectorClock, src: &VectorClock) {
+        self.stats.joins += 1;
+        dst.join_from(src);
+    }
+
+    #[inline]
+    fn join_into_zeroed(&mut self, dst: &mut VectorClock, src: &VectorClock, zeroed: usize) {
+        self.stats.joins += 1;
+        dst.join_from_zeroed(src, zeroed);
+    }
+
+    #[inline]
+    fn increment(&mut self, c: &mut VectorClock, t: usize) {
+        c.increment(t);
+    }
+
+    #[inline]
+    fn leq(&self, a: &VectorClock, b: &VectorClock) -> bool {
+        a.leq(b)
+    }
+
+    #[inline]
+    fn component(&self, c: &VectorClock, t: usize) -> Time {
+        c.component(t)
+    }
+
+    #[inline]
+    fn dim(&self, c: &VectorClock) -> usize {
+        c.dim()
+    }
+
+    #[inline]
+    fn contains_epoch(&self, c: &VectorClock, e: Epoch) -> bool {
+        c.contains_epoch(e)
+    }
+
+    type View<'a> = &'a VectorClock;
+
+    #[inline]
+    fn view<'a>(&'a self, c: &'a VectorClock) -> &'a VectorClock {
+        c
+    }
+
+    #[inline]
+    fn snapshot(&self, c: &VectorClock) -> VectorClock {
+        c.clone()
+    }
+
+    #[inline]
+    fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives the same op sequence through both stores and compares
+    /// snapshots at every step.
+    #[test]
+    fn pooled_and_cloned_stores_agree() {
+        let mut pool = ClockPool::default();
+        let mut base = Cloned::default();
+
+        fn check<S: ClockStore>(store: &mut S) -> Vec<VectorClock> {
+            let mut a = store.epoch(0, 1);
+            let mut b = store.epoch(1, 1);
+            let mut l = S::bottom();
+            store.increment(&mut a, 0);
+            store.assign(&mut l, &a);
+            store.join_into(&mut b, &l);
+            store.increment(&mut b, 1);
+            store.join_into_zeroed(&mut a, &b, 1);
+            store.assign(&mut l, &b); // share a full clock…
+            store.increment(&mut b, 0); // …then mutate it: the pool must copy
+            assert!(store.leq(&l, &b));
+            assert!(!store.leq(&b, &l));
+            assert!(store.contains_epoch(&b, store.epoch_of(&a, 0)));
+            let out = vec![store.snapshot(&a), store.snapshot(&b), store.snapshot(&l)];
+            store.release(a);
+            store.release(b);
+            store.release(l);
+            out
+        }
+
+        let p = check(&mut pool);
+        let c = check(&mut base);
+        for (x, y) in p.iter().zip(&c) {
+            // Eq on VectorClock is structural; compare semantically.
+            assert_eq!(x.partial_cmp(y), Some(std::cmp::Ordering::Equal), "{x} vs {y}");
+        }
+        assert_eq!(pool.stats().cow_copies, 1, "mutating the shared L must copy once");
+    }
+}

@@ -1,9 +1,8 @@
 //! The streaming Velodrome checker.
 
-use std::collections::HashMap;
-
 use aerodrome::{Checker, Violation, ViolationKind};
-use digraph::{dfs, pk::PearceKelly, DiGraph, NodeId};
+use digraph::dfs::Searcher;
+use digraph::{dfs, pk::PearceKelly, DiGraph, NodeId, NodeRef};
 use tracelog::{Event, EventId, Op, ThreadId, VarId};
 
 /// How cycles are detected at edge-insertion time.
@@ -72,12 +71,20 @@ pub struct VelodromeStats {
 /// Graph-node payload.
 #[derive(Clone, Copy, Debug)]
 struct TxnNode {
-    /// Monotone transaction identity (survives slot recycling).
+    /// Monotone transaction identity (survives slot recycling; used for
+    /// witness reporting).
     txn: u64,
     completed: bool,
 }
 
 /// The Velodrome conflict-serializability checker.
+///
+/// Transaction metadata (per-thread current/previous transaction,
+/// per-variable last writer and readers, per-lock last releaser) is held
+/// as *generational* [`NodeRef`] handles straight into the graph's node
+/// arena: a handle whose transaction was garbage collected simply stops
+/// resolving, so no identity hash map is needed and the per-event
+/// lookups are O(1) array reads.
 ///
 /// # Examples
 ///
@@ -94,27 +101,26 @@ pub struct VelodromeChecker {
     config: Config,
     graph: DiGraph<TxnNode>,
     pk: PearceKelly,
-    /// Live transaction identities → node handles.
-    live: HashMap<u64, NodeId>,
+    /// Reusable DFS scratch (allocation-free cycle checks once warm).
+    searcher: Searcher,
     next_txn: u64,
     /// Per-thread: the open (outermost) transaction, if any.
-    current: Vec<Option<u64>>,
-    /// Per-thread: the most recent transaction (for program-order edges).
-    prev_txn: Vec<Option<u64>>,
+    current: Vec<Option<NodeRef>>,
+    /// Per-thread: the most recent transaction (for program-order and
+    /// join edges); stale once garbage collected.
+    prev_txn: Vec<Option<NodeRef>>,
     /// Per-thread: transaction that forked the thread, consumed by its
     /// first transaction.
-    fork_src: Vec<Option<u64>>,
+    fork_src: Vec<Option<NodeRef>>,
     /// Per-thread nesting depth (only outermost blocks are transactions).
     depth: Vec<usize>,
     /// Per-variable: last writing transaction.
-    last_writer: Vec<Option<u64>>,
+    last_writer: Vec<Option<NodeRef>>,
     /// Per-variable: reading transactions since the last write, at most
     /// one entry per thread.
-    last_readers: Vec<Vec<(u32, u64)>>,
+    last_readers: Vec<Vec<(u32, NodeRef)>>,
     /// Per-lock: last releasing transaction.
-    last_rel: Vec<Option<u64>>,
-    /// Per-thread: last transaction of the thread (for join edges) — same
-    /// as `prev_txn` but never cleared by GC bookkeeping.
+    last_rel: Vec<Option<NodeRef>>,
     events: u64,
     stopped: Option<Violation>,
     /// Witness cycle (transaction identities) for the last violation.
@@ -173,41 +179,37 @@ impl VelodromeChecker {
 
     /// Creates a transaction node for thread `t` and wires its program
     /// order / fork edges. `completed` is true for unary transactions.
-    fn new_txn(&mut self, t: ThreadId, completed: bool) -> u64 {
+    fn new_txn(&mut self, t: ThreadId, completed: bool) -> NodeRef {
         let txn = self.next_txn;
         self.next_txn += 1;
         let node = self.graph.add_node(TxnNode { txn, completed });
         if self.config.strategy == Strategy::PearceKelly {
             self.pk.on_add_node(node);
         }
-        self.live.insert(txn, node);
+        let handle = self.graph.handle(node);
         self.stats.nodes_created += 1;
         let ti = t.index();
         let po = self.prev_txn[ti];
         let fork = self.fork_src[ti].take();
-        self.prev_txn[ti] = Some(txn);
+        self.prev_txn[ti] = Some(handle);
         // Program order & fork edges can never close a cycle (the new
-        // node has no outgoing edges yet), so insert unchecked.
+        // node has no outgoing edges yet), so insert unchecked. A stale
+        // source (garbage collected) contributes nothing.
         for src in [po, fork].into_iter().flatten() {
-            if let Some(&from) = self.live.get(&src) {
+            if let Some(from) = self.graph.resolve(src) {
                 if self.graph.add_edge(from, node) {
                     self.stats.edges_created += 1;
-                    if self.config.strategy == Strategy::PearceKelly {
-                        // Keep the PK order consistent: re-inserting via
-                        // try_add_edge would be the clean path, but a
-                        // fresh sink node can always be appended, so we
-                        // only need to note the edge existence. PK order
-                        // remains valid because `node` was appended last.
-                    }
+                    // PK order remains valid: `node` was appended last and
+                    // only gains incoming edges here.
                 }
             }
         }
-        txn
+        handle
     }
 
     /// The transaction carrying the current event of `t`; unary events
     /// get a fresh, immediately-completed transaction.
-    fn event_txn(&mut self, t: ThreadId) -> u64 {
+    fn event_txn(&mut self, t: ThreadId) -> NodeRef {
         match self.current[t.index()] {
             Some(txn) => txn,
             None => self.new_txn(t, true),
@@ -216,11 +218,12 @@ impl VelodromeChecker {
 
     /// Inserts edge `from → to`, checking for a cycle. Returns `true` if
     /// a cycle was found.
-    fn add_edge_checked(&mut self, from_txn: u64, to_txn: u64) -> bool {
-        if from_txn == to_txn {
+    fn add_edge_checked(&mut self, from_ref: NodeRef, to_ref: NodeRef) -> bool {
+        if from_ref == to_ref {
             return false;
         }
-        let (Some(&from), Some(&to)) = (self.live.get(&from_txn), self.live.get(&to_txn)) else {
+        let (Some(from), Some(to)) = (self.graph.resolve(from_ref), self.graph.resolve(to_ref))
+        else {
             // A garbage-collected endpoint cannot participate in a cycle.
             return false;
         };
@@ -232,7 +235,7 @@ impl VelodromeChecker {
             Strategy::Dfs => {
                 // `from → to` closes a cycle iff `from` is reachable from
                 // `to`.
-                let (cycle, visits) = dfs::reaches_counting(&self.graph, to, from);
+                let (cycle, visits) = self.searcher.reaches_counting(&self.graph, to, from);
                 self.stats.dfs_visits += visits;
                 self.stats.max_dfs_visits = self.stats.max_dfs_visits.max(visits);
                 if cycle {
@@ -260,11 +263,11 @@ impl VelodromeChecker {
     }
 
     /// Cascading garbage collection from a completed candidate node.
-    fn collect(&mut self, txn: u64) {
+    fn collect(&mut self, txn: NodeRef) {
         if !self.config.gc {
             return;
         }
-        let Some(&node) = self.live.get(&txn) else {
+        let Some(node) = self.graph.resolve(txn) else {
             return;
         };
         let mut worklist = vec![node];
@@ -278,7 +281,6 @@ impl VelodromeChecker {
             }
             let succs: Vec<NodeId> = self.graph.successors(n).to_vec();
             self.graph.remove_node(n);
-            self.live.remove(&w.txn);
             worklist.extend(succs);
         }
     }
@@ -306,7 +308,7 @@ impl VelodromeChecker {
                     self.depth[ti] -= 1;
                     if self.depth[ti] == 0 {
                         if let Some(txn) = self.current[ti].take() {
-                            if let Some(&node) = self.live.get(&txn) {
+                            if let Some(node) = self.graph.resolve(txn) {
                                 self.graph.weight_mut(node).completed = true;
                             }
                             self.collect(txn);
@@ -386,7 +388,7 @@ impl VelodromeChecker {
 
     /// If `txn` was a unary transaction it is already completed; attempt
     /// collection right away.
-    fn finish_unary(&mut self, t: ThreadId, txn: u64) {
+    fn finish_unary(&mut self, t: ThreadId, txn: NodeRef) {
         if self.current[t.index()] != Some(txn) {
             self.collect(txn);
         }
@@ -553,5 +555,22 @@ mod tests {
         tb.read(t1, x0);
         tb.end(t1);
         assert!(check(&tb.finish()).is_violation());
+    }
+
+    #[test]
+    fn recycled_node_slots_do_not_confuse_stale_references() {
+        // Heavy GC churn recycles node slots constantly; a stale
+        // last-writer handle must never be revived by an unrelated
+        // transaction that happens to reuse its slot.
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let (x, y) = (tb.var("x"), tb.var("y"));
+        for _ in 0..50 {
+            tb.begin(t1).write(t1, x).end(t1); // GC'd immediately
+            tb.begin(t2).write(t2, y).end(t2); // reuses t1's slot
+        }
+        let mut c = VelodromeChecker::new();
+        assert!(!run_checker(&mut c, &tb.finish()).is_violation());
+        assert!(c.stats().peak_live_nodes <= 3, "{:?}", c.stats());
     }
 }

@@ -6,20 +6,38 @@
 //! comparison (the real tool's first phase must run inside the JVM); this
 //! module documents the design point on logged traces:
 //!
-//! * **Phase 1** runs Velodrome but only performs cycle *checks* every
-//!   `batch` edge insertions (edges are inserted unchecked in between).
-//!   It answers "is there a cycle anywhere in this prefix?" cheaply but
-//!   cannot pinpoint the first violating event.
+//! * **Phase 1** builds the transaction graph in *chain-decomposed* form
+//!   and runs a whole-graph cycle check every `batch` events. It answers
+//!   "is there a cycle anywhere in this prefix?" cheaply but cannot
+//!   pinpoint the first violating event.
 //! * **Phase 2** replays the prefix up to the suspicious batch with the
 //!   precise checker to locate the first violation exactly.
+//!
+//! ### Chain decomposition
+//!
+//! The transaction graph decomposes naturally into one *chain* per
+//! thread: a thread's transactions are totally ordered by program order,
+//! so a node is just a `(chain, position)` pair and a cross-thread edge
+//! is an [`Epoch`] `position+1 @ chain` recorded against its target.
+//! Because conflict edges always point at the *newest* transaction of
+//! the target thread, each chain's in-edges live in one flat append-only
+//! vector grouped by node — no per-node allocation, no hash maps, no
+//! node structs.
+//!
+//! The batch cycle check is then a chain merge: a **cursor clock** `K`
+//! (one component per chain, allocated from a [`vc::ClockPool`] and
+//! reused across batches) records how far each chain has been consumed;
+//! chain heads whose in-edges are all `⊑ K` (an epoch-in-clock test per
+//! edge) are consumed in rounds. The graph is acyclic iff every chain
+//! drains. This replaces a per-batch Kahn topological sort with its
+//! per-batch `Vec` allocations by pure array sweeps over reused buffers.
 //!
 //! The result is identical to running [`crate::VelodromeChecker`]
 //! directly (asserted by tests); only the work distribution differs.
 
 use aerodrome::{run_checker, Checker, Outcome};
-use digraph::{dfs, DiGraph, NodeId};
-use std::collections::HashMap;
 use tracelog::{Op, Trace};
+use vc::{ClockPool, Epoch, PoolClock};
 
 use crate::{Config, VelodromeChecker};
 
@@ -35,143 +53,212 @@ pub struct TwoPhaseReport {
     pub phase2_events: u64,
 }
 
-/// Imprecise phase: builds the transaction graph with batched cycle
-/// checks; returns the event index (exclusive) of the first batch whose
-/// check found a cycle, if any.
-fn phase1(trace: &Trace, batch: usize) -> (Option<usize>, u64) {
-    let mut graph: DiGraph<u64> = DiGraph::new();
-    let mut live: HashMap<u64, NodeId> = HashMap::new();
-    let mut next = 0u64;
-    let mut current: Vec<Option<u64>> = Vec::new();
-    let mut prev: Vec<Option<u64>> = Vec::new();
-    let mut depth: Vec<usize> = Vec::new();
-    let mut fork_src: Vec<Option<u64>> = Vec::new();
-    let mut last_writer: Vec<Option<u64>> = Vec::new();
-    let mut last_readers: Vec<Vec<(usize, u64)>> = Vec::new();
-    let mut last_rel: Vec<Option<u64>> = Vec::new();
-    let mut since_check = 0usize;
-    let mut processed = 0u64;
+/// The chain-decomposed transaction graph of the imprecise phase.
+#[derive(Debug, Default)]
+struct ChainGraph {
+    pool: ClockPool,
+    /// Consumption cursor of the batch check, reused across batches.
+    cursor: PoolClock,
+    /// Transactions per chain (= per thread).
+    len: Vec<u32>,
+    /// Flat in-edge storage per chain, grouped by node position.
+    edges: Vec<Vec<Epoch>>,
+    /// Per chain: start index into `edges` for each node.
+    edge_start: Vec<Vec<u32>>,
+    /// Per thread: position of the open (outermost) transaction.
+    current: Vec<Option<u32>>,
+    /// Per thread: nesting depth.
+    depth: Vec<usize>,
+    /// Per thread: epoch of the forking transaction, consumed by the
+    /// thread's first transaction.
+    fork_src: Vec<Option<Epoch>>,
+    /// Per variable: epoch of the last writing transaction.
+    last_writer: Vec<Option<Epoch>>,
+    /// Per variable: reading transactions since the last write, at most
+    /// one `(chain, position)` entry per thread.
+    last_readers: Vec<Vec<(u32, u32)>>,
+    /// Per lock: epoch of the last releasing transaction.
+    last_rel: Vec<Option<Epoch>>,
+}
 
-    fn ensure<T: Clone>(v: &mut Vec<T>, i: usize, d: T) {
-        if v.len() <= i {
-            v.resize(i + 1, d);
-        }
+fn ensure<T: Clone>(v: &mut Vec<T>, i: usize, d: T) {
+    if v.len() <= i {
+        v.resize(i + 1, d);
+    }
+}
+
+impl ChainGraph {
+    fn ensure_thread(&mut self, ti: usize) {
+        ensure(&mut self.len, ti, 0);
+        ensure(&mut self.edges, ti, Vec::new());
+        ensure(&mut self.edge_start, ti, Vec::new());
+        ensure(&mut self.current, ti, None);
+        ensure(&mut self.depth, ti, 0);
+        ensure(&mut self.fork_src, ti, None);
     }
 
-    let new_txn = |graph: &mut DiGraph<u64>,
-                   live: &mut HashMap<u64, NodeId>,
-                   next: &mut u64,
-                   prev: &mut Vec<Option<u64>>,
-                   fork_src: &mut Vec<Option<u64>>,
-                   ti: usize|
-     -> u64 {
-        let txn = *next;
-        *next += 1;
-        let node = graph.add_node(txn);
-        live.insert(txn, node);
-        for src in [prev[ti], fork_src[ti].take()].into_iter().flatten() {
-            if let Some(&from) = live.get(&src) {
-                graph.add_edge(from, node);
-            }
-        }
-        prev[ti] = Some(txn);
-        txn
-    };
+    /// The epoch naming node `(chain, pos)` — consumed once the cursor
+    /// passes `pos`, i.e. `pos + 1 ≤ K(chain)`.
+    fn node_epoch(chain: usize, pos: u32) -> Epoch {
+        Epoch::new(chain, pos + 1)
+    }
 
-    for (i, e) in trace.iter().enumerate() {
-        processed += 1;
+    /// Appends a transaction to chain `ti`, wiring its fork edge.
+    /// Program-order edges are implicit in chain order.
+    fn new_txn(&mut self, ti: usize) -> u32 {
+        let pos = self.len[ti];
+        self.len[ti] += 1;
+        let start = self.edges[ti].len() as u32;
+        self.edge_start[ti].push(start);
+        if let Some(f) = self.fork_src[ti].take() {
+            self.add_in_edge(ti, f);
+        }
+        pos
+    }
+
+    /// Records edge `src → (ti, newest)`. In-edges always target the
+    /// newest node of `ti`'s chain, so they append in grouped order.
+    fn add_in_edge(&mut self, ti: usize, src: Epoch) {
+        debug_assert!(self.len[ti] > 0);
+        if src.thread() == ti && src.time() == self.len[ti] {
+            return; // self edge
+        }
+        self.edges[ti].push(src);
+    }
+
+    /// The transaction carrying the current event of `ti` (a fresh unary
+    /// transaction when none is open), as `(pos, epoch)`.
+    fn event_txn(&mut self, ti: usize) -> (u32, Epoch) {
+        let pos = match self.current[ti] {
+            Some(p) => p,
+            None => self.new_txn(ti),
+        };
+        (pos, Self::node_epoch(ti, pos))
+    }
+
+    fn observe(&mut self, e: tracelog::Event) {
         let ti = e.thread.index();
-        ensure(&mut current, ti, None);
-        ensure(&mut prev, ti, None);
-        ensure(&mut depth, ti, 0);
-        ensure(&mut fork_src, ti, None);
-        let add_edge =
-            |graph: &mut DiGraph<u64>, live: &HashMap<u64, NodeId>, from: u64, to: u64| {
-                if from != to {
-                    if let (Some(&f), Some(&t)) = (live.get(&from), live.get(&to)) {
-                        graph.add_edge(f, t);
-                    }
-                }
-            };
+        self.ensure_thread(ti);
         match e.op {
             Op::Begin => {
-                depth[ti] += 1;
-                if depth[ti] == 1 {
-                    current[ti] = Some(new_txn(
-                        &mut graph,
-                        &mut live,
-                        &mut next,
-                        &mut prev,
-                        &mut fork_src,
-                        ti,
-                    ));
+                self.depth[ti] += 1;
+                if self.depth[ti] == 1 {
+                    let pos = self.new_txn(ti);
+                    self.current[ti] = Some(pos);
                 }
             }
             Op::End => {
-                if depth[ti] > 0 {
-                    depth[ti] -= 1;
-                    if depth[ti] == 0 {
-                        current[ti] = None;
+                if self.depth[ti] > 0 {
+                    self.depth[ti] -= 1;
+                    if self.depth[ti] == 0 {
+                        self.current[ti] = None;
                     }
                 }
             }
-            _ => {
-                let txn = current[ti].unwrap_or_else(|| {
-                    new_txn(&mut graph, &mut live, &mut next, &mut prev, &mut fork_src, ti)
-                });
-                match e.op {
-                    Op::Read(x) => {
-                        let xi = x.index();
-                        ensure(&mut last_writer, xi, None);
-                        ensure(&mut last_readers, xi, Vec::new());
-                        if let Some(w) = last_writer[xi] {
-                            add_edge(&mut graph, &live, w, txn);
-                        }
-                        match last_readers[xi].iter_mut().find(|(u, _)| *u == ti) {
-                            Some(entry) => entry.1 = txn,
-                            None => last_readers[xi].push((ti, txn)),
-                        }
-                    }
-                    Op::Write(x) => {
-                        let xi = x.index();
-                        ensure(&mut last_writer, xi, None);
-                        ensure(&mut last_readers, xi, Vec::new());
-                        if let Some(w) = last_writer[xi] {
-                            add_edge(&mut graph, &live, w, txn);
-                        }
-                        for (_, r) in std::mem::take(&mut last_readers[xi]) {
-                            add_edge(&mut graph, &live, r, txn);
-                        }
-                        last_writer[xi] = Some(txn);
-                    }
-                    Op::Acquire(l) => {
-                        ensure(&mut last_rel, l.index(), None);
-                        if let Some(r) = last_rel[l.index()] {
-                            add_edge(&mut graph, &live, r, txn);
-                        }
-                    }
-                    Op::Release(l) => {
-                        ensure(&mut last_rel, l.index(), None);
-                        last_rel[l.index()] = Some(txn);
-                    }
-                    Op::Fork(u) => {
-                        ensure(&mut fork_src, u.index(), None);
-                        fork_src[u.index()] = Some(txn);
-                    }
-                    Op::Join(u) => {
-                        ensure(&mut prev, u.index(), None);
-                        if let Some(last) = prev[u.index()] {
-                            add_edge(&mut graph, &live, last, txn);
-                        }
-                    }
-                    Op::Begin | Op::End => unreachable!(),
+            Op::Read(x) => {
+                let xi = x.index();
+                ensure(&mut self.last_writer, xi, None);
+                ensure(&mut self.last_readers, xi, Vec::new());
+                let (pos, _) = self.event_txn(ti);
+                if let Some(w) = self.last_writer[xi] {
+                    self.add_in_edge(ti, w);
+                }
+                match self.last_readers[xi].iter_mut().find(|(c, _)| *c as usize == ti) {
+                    Some(entry) => entry.1 = pos,
+                    None => self.last_readers[xi].push((ti as u32, pos)),
+                }
+            }
+            Op::Write(x) => {
+                let xi = x.index();
+                ensure(&mut self.last_writer, xi, None);
+                ensure(&mut self.last_readers, xi, Vec::new());
+                let (_, epoch) = self.event_txn(ti);
+                if let Some(w) = self.last_writer[xi] {
+                    self.add_in_edge(ti, w);
+                }
+                for k in 0..self.last_readers[xi].len() {
+                    let (c, p) = self.last_readers[xi][k];
+                    self.add_in_edge(ti, Self::node_epoch(c as usize, p));
+                }
+                self.last_readers[xi].clear();
+                self.last_writer[xi] = Some(epoch);
+            }
+            Op::Acquire(l) => {
+                ensure(&mut self.last_rel, l.index(), None);
+                let (_, _) = self.event_txn(ti);
+                if let Some(r) = self.last_rel[l.index()] {
+                    self.add_in_edge(ti, r);
+                }
+            }
+            Op::Release(l) => {
+                ensure(&mut self.last_rel, l.index(), None);
+                let (_, epoch) = self.event_txn(ti);
+                self.last_rel[l.index()] = Some(epoch);
+            }
+            Op::Fork(u) => {
+                self.ensure_thread(u.index());
+                let (_, epoch) = self.event_txn(ti);
+                self.fork_src[u.index()] = Some(epoch);
+            }
+            Op::Join(u) => {
+                let ui = u.index();
+                self.ensure_thread(ui);
+                let (_, _) = self.event_txn(ti);
+                if self.len[ui] > 0 {
+                    let last = Self::node_epoch(ui, self.len[ui] - 1);
+                    self.add_in_edge(ti, last);
                 }
             }
         }
+    }
+
+    /// Whether the in-edges of node `(chain, pos)` are all consumed.
+    fn node_ready(&self, chain: usize, pos: u32) -> bool {
+        let start = self.edge_start[chain][pos as usize] as usize;
+        let end = self.edge_start[chain]
+            .get(pos as usize + 1)
+            .map_or(self.edges[chain].len(), |&e| e as usize);
+        self.edges[chain][start..end].iter().all(|&e| self.pool.contains_epoch(&self.cursor, e))
+    }
+
+    /// The chain-merge cycle check: consume ready chain heads in rounds;
+    /// a cycle exists iff some chain cannot drain. The cursor clock and
+    /// every edge buffer are reused across batches, so a warm check
+    /// performs no allocation.
+    fn has_cycle(&mut self) -> bool {
+        self.pool.clear(&mut self.cursor);
+        loop {
+            let mut progress = false;
+            for chain in 0..self.len.len() {
+                let mut k = self.pool.component(&self.cursor, chain);
+                while k < self.len[chain] && self.node_ready(chain, k) {
+                    self.pool.increment(&mut self.cursor, chain);
+                    k += 1;
+                    progress = true;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        (0..self.len.len()).any(|c| self.pool.component(&self.cursor, c) < self.len[c])
+    }
+}
+
+/// Imprecise phase: builds the chain-decomposed transaction graph with
+/// batched cycle checks; returns the event index (exclusive) of the
+/// first batch whose check found a cycle, if any.
+fn phase1(trace: &Trace, batch: usize) -> (Option<usize>, u64) {
+    let mut g = ChainGraph::default();
+    let mut since_check = 0usize;
+    let mut processed = 0u64;
+    for (i, e) in trace.iter().enumerate() {
+        processed += 1;
+        g.observe(*e);
         since_check += 1;
         if since_check >= batch || i + 1 == trace.len() {
             since_check = 0;
-            if dfs::topological_sort(&graph).is_none() {
+            if g.has_cycle() {
                 return (Some(i + 1), processed);
             }
         }
@@ -220,6 +307,7 @@ pub fn single_pass(trace: &Trace) -> Outcome {
 mod tests {
     use super::*;
     use tracelog::paper_traces::{rho1, rho2, rho3, rho4};
+    use tracelog::TraceBuilder;
 
     fn with_batch(batch: usize) -> Config {
         Config { twophase_batch: batch, ..Config::default() }
@@ -256,5 +344,53 @@ mod tests {
         let report = check(&rho2(), &with_batch(100));
         assert!(report.outcome.is_violation());
         assert!(report.phase2_events <= 8);
+    }
+
+    #[test]
+    fn fork_join_cycles_survive_the_chain_decomposition() {
+        // Fork and join edges are the cross-chain edges easiest to lose
+        // in the chain encoding; the two-phase verdict must match the
+        // single pass at every batch size.
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let x = tb.var("x");
+        tb.begin(t1).fork(t1, t2);
+        tb.begin(t2).write(t2, x).end(t2);
+        tb.join(t1, t2).end(t1);
+        let trace = tb.finish();
+        for batch in [1, 2, 3, 7, 100] {
+            let report = check(&trace, &with_batch(batch));
+            assert_eq!(report.outcome, single_pass(&trace), "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn cursor_clock_is_reused_across_batches() {
+        // After the first batch the chain-merge must not allocate: the
+        // cursor buffer and edge vectors are warm.
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let l = tb.lock("m");
+        let x = tb.var("x");
+        for _ in 0..200 {
+            tb.begin(t1).acquire(t1, l).write(t1, x).release(t1, l).end(t1);
+            tb.begin(t2).acquire(t2, l).read(t2, x).release(t2, l).end(t2);
+        }
+        let trace = tb.finish();
+        let mut g = ChainGraph::default();
+        let mut allocs_after_warmup = None;
+        for (i, e) in trace.iter().enumerate() {
+            g.observe(*e);
+            if i % 64 == 0 {
+                assert!(!g.has_cycle());
+                if i > trace.len() / 2 {
+                    let h = g.pool.stats().heap_allocs();
+                    if let Some(prev) = allocs_after_warmup {
+                        assert_eq!(h, prev, "cursor must not reallocate once warm");
+                    }
+                    allocs_after_warmup = Some(h);
+                }
+            }
+        }
     }
 }

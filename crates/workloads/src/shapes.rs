@@ -1,7 +1,7 @@
 //! Extra workload shapes beyond the paper's table rows, as lazy
 //! streaming sources.
 //!
-//! Two structural patterns the table profiles do not cover (ROADMAP
+//! Three structural patterns the table profiles do not cover (ROADMAP
 //! "missing workload shapes"):
 //!
 //! * [`ConvoySource`] — a **contended-lock convoy**: every worker
@@ -13,13 +13,22 @@
 //!   number of workers up front, each runs short transactions on its own
 //!   private variable, and main joins them all at the end. Serializable
 //!   and conflict-free; thread-count scaling is the whole story.
+//! * [`NestingSource`] — **long, deeply nested transactions**: every
+//!   outermost transaction wraps a tower of nested `begin`/`end` blocks
+//!   with accesses at every level, so the trace is dominated by boundary
+//!   events and each transaction spans dozens of events. Only the
+//!   outermost pair is a transaction (§4.1.4); the shape stresses the
+//!   nesting tracker and the per-transaction state (update sets, GC
+//!   checks) rather than conflicts. Serializable by construction: each
+//!   outermost transaction touches worker-private variables plus at most
+//!   one critical section of the global lock (two-phase locked).
 //!
-//! Both reuse [`GenConfig`] knobs (`seed`, `threads`, `events`, `vars`,
+//! All reuse [`GenConfig`] knobs (`seed`, `threads`, `events`, `vars`,
 //! `write_fraction`, `avg_txn_len`) and emit well-formed, *closed*
 //! traces. Like [`crate::GenSource`] they intern every name at
 //! construction and produce events on demand, so they run at any scale
-//! in constant memory. `rapid generate --profile convoy|fanout` and the
-//! scaling bench wire them up.
+//! in constant memory. `rapid generate --profile convoy|fanout|nesting`
+//! and the scaling bench wire them up.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -29,15 +38,17 @@ use tracelog::{Event, Interner, LockId, ThreadId, VarId};
 use crate::gen::{EventBuf, GenConfig};
 
 /// Names accepted by [`source`], alongside the table-profile names.
-pub const SHAPE_NAMES: [&str; 2] = ["convoy", "fanout"];
+pub const SHAPE_NAMES: [&str; 3] = ["convoy", "fanout", "nesting"];
 
 /// Looks up a streaming source by shape (or generator-profile) name:
-/// `"convoy"`, `"fanout"`, or any other name handled by the caller.
+/// `"convoy"`, `"fanout"`, `"nesting"`, or any other name handled by the
+/// caller.
 #[must_use]
 pub fn source(name: &str, cfg: &GenConfig) -> Option<Box<dyn EventSource>> {
     match name {
         "convoy" => Some(Box::new(ConvoySource::new(cfg))),
         "fanout" => Some(Box::new(FanoutSource::new(cfg))),
+        "nesting" => Some(Box::new(NestingSource::new(cfg))),
         _ => None,
     }
 }
@@ -250,6 +261,96 @@ impl EventSource for FanoutSource {
     }
 }
 
+/// Long-transaction-nesting: each worker transaction is a tower of
+/// nested `begin`/`end` blocks with per-level accesses — long
+/// transactions, boundary-event-heavy traces, outermost-only semantics.
+///
+/// The nesting depth is derived from [`GenConfig::avg_txn_len`]
+/// (clamped to 2–12); each level performs 1–3 accesses on the worker's
+/// private variable, and the innermost level runs one lock-guarded group
+/// on the shared pool, keeping the whole transaction two-phase locked
+/// and therefore serializable.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::{shapes::NestingSource, GenConfig};
+///
+/// let cfg = GenConfig { events: 500, threads: 4, ..GenConfig::default() };
+/// let trace = tracelog::stream::collect_trace(&mut NestingSource::new(&cfg)).unwrap();
+/// assert!(tracelog::validate(&trace).unwrap().is_closed());
+/// ```
+#[derive(Debug)]
+pub struct NestingSource {
+    skel: Skeleton,
+    lock: LockId,
+    shared: Vec<VarId>,
+    /// One private variable per worker, same index order.
+    privates: Vec<VarId>,
+    depth: usize,
+}
+
+impl NestingSource {
+    /// Sets up the nesting shape over `cfg.threads - 1` workers
+    /// (minimum 1), a shared pool of at most 64 lock-guarded variables
+    /// and nesting depth `avg_txn_len` clamped to 2–12.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.events == 0`.
+    #[must_use]
+    pub fn new(cfg: &GenConfig) -> Self {
+        let mut skel = Skeleton::new(cfg, "n");
+        let lock = LockId::from_index(skel.locks.intern("nest"));
+        let shared = (0..cfg.vars.clamp(1, 64))
+            .map(|i| VarId::from_index(skel.vars.intern(&format!("nv{i}"))))
+            .collect();
+        let privates = (0..skel.workers.len())
+            .map(|w| VarId::from_index(skel.vars.intern(&format!("np{w}"))))
+            .collect();
+        Self { skel, lock, shared, privates, depth: cfg.avg_txn_len.clamp(2, 12) }
+    }
+}
+
+impl EventSource for NestingSource {
+    fn next_event(&mut self) -> Result<Option<Event>, SourceError> {
+        while self.skel.buf.queue.is_empty() {
+            let Some(wi) = self.skel.turn() else { break };
+            let w = self.skel.workers[wi];
+            let xp = self.privates[wi];
+            // Descend: one begin + 1–3 private accesses per level. Only
+            // the outermost begin opens the transaction (§4.1.4).
+            for _ in 0..self.depth {
+                self.skel.buf.begin(w);
+                for _ in 0..self.skel.rng.gen_range(1..=3) {
+                    self.skel.access(w, xp);
+                }
+            }
+            // Innermost: one two-phase-locked shared group.
+            self.skel.buf.acquire(w, self.lock);
+            for _ in 0..self.skel.rng.gen_range(1..=3) {
+                let x = self.shared[self.skel.rng.gen_range(0..self.shared.len())];
+                self.skel.access(w, x);
+            }
+            self.skel.buf.release(w, self.lock);
+            // Ascend: close every nested block.
+            for _ in 0..self.depth {
+                self.skel.buf.end(w);
+            }
+        }
+        Ok(self.skel.buf.queue.pop_front())
+    }
+
+    fn names(&self) -> SourceNames<'_> {
+        self.skel.names()
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        // One turn may overshoot the budget by a whole nested tower.
+        Some(self.skel.size_hint() + 8 * self.depth as u64)
+    }
+}
+
 /// Convenience: a shape collected into an in-memory trace (used by the
 /// benches and tests; large runs should stream instead).
 #[must_use]
@@ -287,6 +388,26 @@ mod tests {
         assert_eq!(info.acquires, 0, "fan-out takes no locks");
         assert_eq!(info.forks, 64);
         assert_eq!(info.joins, 64);
+    }
+
+    #[test]
+    fn nesting_is_closed_deep_and_serializable_by_construction() {
+        let cfg = GenConfig { events: 3_000, threads: 5, avg_txn_len: 6, ..GenConfig::default() };
+        let a = collect("nesting", &cfg).unwrap();
+        let b = collect("nesting", &cfg).unwrap();
+        assert_eq!(a.events(), b.events(), "deterministic");
+        assert!(tracelog::validate(&a).unwrap().is_closed());
+        let info = tracelog::MetaInfo::of(&a);
+        assert_eq!(info.acquires, info.releases);
+        // Nested blocks mean far more begin events than transactions.
+        let begins = a.iter().filter(|e| matches!(e.op, tracelog::Op::Begin)).count();
+        assert!(
+            begins >= 6 * info.transactions,
+            "expected ≥6 begins per outermost transaction, got {begins} vs {}",
+            info.transactions
+        );
+        // Transactions are long: tens of events each on average.
+        assert!(info.transactions * 20 <= info.events, "{info:?}");
     }
 
     #[test]

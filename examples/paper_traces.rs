@@ -21,7 +21,7 @@ fn replay(name: &str, trace: &Trace) {
         let result = checker.process(event);
         let mut changes = Vec::new();
         for &t in &threads {
-            let now = checker.thread_clock(t).cloned();
+            let now = checker.thread_clock(t);
             if now != prev_thread[t.index()] {
                 if let Some(c) = &now {
                     changes.push(format!("C{} = {c}", trace.thread_name(t)));
@@ -30,7 +30,7 @@ fn replay(name: &str, trace: &Trace) {
             }
         }
         for &x in &vars {
-            let now = checker.write_clock(x).cloned();
+            let now = checker.write_clock(x);
             if now != prev_write[x.index()] {
                 if let Some(c) = &now {
                     changes.push(format!("W{} = {c}", trace.var_name(x)));

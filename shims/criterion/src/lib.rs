@@ -22,25 +22,31 @@ pub use std::hint::black_box;
 /// Top-level benchmark driver, one per binary.
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _private: (),
+    /// `--test` mode: run every benchmark exactly once, unmeasured — the
+    /// smoke-run semantics real criterion uses for `cargo bench -- --test`.
+    test_mode: bool,
 }
 
 impl Criterion {
-    /// Applies command-line configuration. The shim accepts and ignores
-    /// all harness arguments (`--bench`, filters, …).
+    /// Applies command-line configuration. The shim honours `--test`
+    /// (single-iteration smoke mode) and accepts-and-ignores every other
+    /// harness argument (`--bench`, filters, …).
     #[must_use]
-    pub fn configure_from_args(self) -> Self {
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
         self
     }
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("\ngroup: {name}");
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             _criterion: self,
             measurement_time: Duration::from_secs(3),
             sample_size: 10,
             throughput: None,
+            test_mode,
         }
     }
 
@@ -62,6 +68,7 @@ pub struct BenchmarkGroup<'a> {
     measurement_time: Duration,
     sample_size: usize,
     throughput: Option<Throughput>,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -112,6 +119,9 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 
     fn budget(&self) -> Duration {
+        if self.test_mode {
+            return Duration::ZERO; // one warm-up call, one timed sample
+        }
         let cap = std::env::var("CRITERION_SHIM_MAX_SECS")
             .ok()
             .and_then(|s| s.parse().ok())
@@ -178,7 +188,11 @@ impl Bencher {
     {
         black_box(f());
         let started = Instant::now();
-        while self.samples < self.sample_size as u64 && started.elapsed() < self.budget {
+        // Always record at least one sample (a zero budget is the
+        // `--test` smoke mode; a slow body must still be reported).
+        while self.samples == 0
+            || (self.samples < self.sample_size as u64 && started.elapsed() < self.budget)
+        {
             let t0 = Instant::now();
             black_box(f());
             let ns = t0.elapsed().as_secs_f64() * 1e9;

@@ -1,0 +1,148 @@
+//! Whole-suite differential testing across the clone-free refactor:
+//! every AeroDrome variant on both clock cores, plus Velodrome, over
+//! paper traces, every workload shape and random workloads.
+//!
+//! Invariants (Theorems 2–3 on closed traces):
+//! * pooled and cloned instantiations of the *same* rules are
+//!   bit-identical: same verdict, same violation event/thread/kind;
+//! * Basic, ReadOpt and Optimized agree on the verdict; Basic and
+//!   ReadOpt agree on the detection event; Optimized never detects later
+//!   than Basic;
+//! * Velodrome agrees on the verdict (its detection event may differ).
+
+use aerodrome::basic::{BasicChecker, ClonedBasicChecker};
+use aerodrome::optimized::{ClonedOptimizedChecker, OptimizedChecker};
+use aerodrome::readopt::{ClonedReadOptChecker, ReadOptChecker};
+use aerodrome::{run_checker, Outcome};
+use proptest::prelude::*;
+use tracelog::Trace;
+use velodrome::VelodromeChecker;
+use workloads::{generate, GenConfig};
+
+/// Runs every checker over `trace` and asserts all cross-checker
+/// invariants; returns the common verdict.
+fn assert_coherent(name: &str, trace: &Trace) -> bool {
+    let basic = run_checker(&mut BasicChecker::new(), trace);
+    let readopt = run_checker(&mut ReadOptChecker::new(), trace);
+    let optimized = run_checker(&mut OptimizedChecker::new(), trace);
+
+    // The pooled store must reproduce the cloned baseline exactly.
+    assert_eq!(
+        basic,
+        run_checker(&mut ClonedBasicChecker::new(), trace),
+        "{name}: pooled vs cloned basic"
+    );
+    assert_eq!(
+        readopt,
+        run_checker(&mut ClonedReadOptChecker::new(), trace),
+        "{name}: pooled vs cloned readopt"
+    );
+    assert_eq!(
+        optimized,
+        run_checker(&mut ClonedOptimizedChecker::new(), trace),
+        "{name}: pooled vs cloned optimized"
+    );
+
+    // Cross-variant invariants.
+    assert_eq!(basic.is_violation(), readopt.is_violation(), "{name}: basic vs readopt verdict");
+    assert_eq!(
+        basic.is_violation(),
+        optimized.is_violation(),
+        "{name}: basic vs optimized verdict"
+    );
+    if let (Outcome::Violation(b), Outcome::Violation(r)) = (&basic, &readopt) {
+        assert_eq!(b.event, r.event, "{name}: basic vs readopt event");
+        assert_eq!(b.thread, r.thread, "{name}: basic vs readopt thread");
+    }
+    if let (Outcome::Violation(b), Outcome::Violation(o)) = (&basic, &optimized) {
+        assert!(o.event <= b.event, "{name}: optimized detected later than basic");
+    }
+
+    // Velodrome: verdict only.
+    let velodrome = run_checker(&mut VelodromeChecker::new(), trace);
+    assert_eq!(basic.is_violation(), velodrome.is_violation(), "{name}: velodrome verdict");
+
+    basic.is_violation()
+}
+
+#[test]
+fn paper_traces_are_coherent() {
+    use tracelog::paper_traces::{rho1, rho2, rho3, rho4};
+    assert!(!assert_coherent("rho1", &rho1()));
+    assert!(assert_coherent("rho2", &rho2()));
+    assert!(assert_coherent("rho3", &rho3()));
+    assert!(assert_coherent("rho4", &rho4()));
+}
+
+#[test]
+fn all_shapes_are_coherent_and_serializable() {
+    for name in workloads::shapes::SHAPE_NAMES {
+        for threads in [2, 5, 17] {
+            let cfg = GenConfig { seed: 23, threads, events: 5_000, ..GenConfig::default() };
+            let trace = workloads::shapes::collect(name, &cfg).expect("known shape");
+            assert!(!assert_coherent(name, &trace), "{name} shapes are serializable");
+        }
+    }
+}
+
+#[test]
+fn generated_workloads_are_coherent() {
+    for seed in 0..4u64 {
+        for violation_at in [None, Some(0.5)] {
+            for retention in [false, true] {
+                let cfg = GenConfig {
+                    seed,
+                    threads: 6,
+                    events: 3_000,
+                    vars: 48,
+                    locks: 3,
+                    retention,
+                    probe_period: 40,
+                    violation_at,
+                    ..GenConfig::default()
+                };
+                let name = format!("seed={seed} v={violation_at:?} r={retention}");
+                let verdict = assert_coherent(&name, &generate(&cfg));
+                assert_eq!(verdict, violation_at.is_some(), "{name}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random generator configurations: every knob jittered, all
+    /// checkers and both cores coherent.
+    #[test]
+    fn random_configs_are_coherent(
+        seed in 0u64..1_000,
+        threads in 1usize..8,
+        locks in 1usize..4,
+        vars in 4usize..96,
+        avg_txn_len in 1usize..10,
+        txn_pct in 0u32..101,
+        shared_pct in 0u32..101,
+        write_pct in 0u32..101,
+        retention in any::<bool>(),
+        // 0 = no injected violation; 1..=100 → inject at that fraction.
+        violation_pct in 0u32..101,
+    ) {
+        let cfg = GenConfig {
+            seed,
+            threads,
+            locks,
+            vars,
+            events: 1_200,
+            avg_txn_len,
+            txn_fraction: f64::from(txn_pct) / 100.0,
+            shared_fraction: f64::from(shared_pct) / 100.0,
+            write_fraction: f64::from(write_pct) / 100.0,
+            retention,
+            probe_period: 25,
+            violation_at: (violation_pct > 0).then(|| f64::from(violation_pct - 1) / 100.0),
+        };
+        let trace = generate(&cfg);
+        assert_coherent(&format!("{cfg:?}"), &trace);
+    }
+}

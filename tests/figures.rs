@@ -4,7 +4,7 @@
 use aerodrome_suite::prelude::*;
 use tracelog::paper_traces::{rho1, rho2, rho3, rho4};
 
-fn assert_clock(actual: &VectorClock, expected: &[u32]) {
+fn assert_clock(actual: VectorClock, expected: &[u32]) {
     for t in 0..expected.len().max(actual.dim()) {
         assert_eq!(
             actual.component(t),
@@ -48,7 +48,7 @@ fn figure5_clock_table_for_rho2() {
     assert_eq!(v.event.index(), 5);
     assert_eq!(v.thread, t1);
     assert!(matches!(v.kind, ViolationKind::AtRead(var) if var == y));
-    assert!(c.begin_clock(t1).unwrap().leq(c.write_clock(y).unwrap()));
+    assert!(c.begin_clock(t1).unwrap().leq(&c.write_clock(y).unwrap()));
 }
 
 #[test]

@@ -1,0 +1,91 @@
+//! The zero-allocation steady-state invariant of the pooled clock core
+//! (docs/PERF.md): once the pool is warm, checking performs no clock
+//! heap allocations — fresh buffers and capacity grows both stop.
+
+use aerodrome::optimized::OptimizedChecker;
+use aerodrome::Checker;
+use tracelog::stream::EventSource;
+use workloads::{shapes::ConvoySource, GenConfig, GenSource};
+
+/// Streams `source` into a fresh optimized checker, sampling the pool's
+/// heap-allocation counter at `warmup` events and at the end.
+fn allocs_after_warmup(mut source: impl EventSource, warmup: u64) -> (u64, u64, u64) {
+    let mut checker = OptimizedChecker::new();
+    let mut at_warmup = None;
+    while let Some(event) = source.next_event().expect("generator sources cannot fail") {
+        checker.process(event).expect("workload shapes are serializable");
+        if at_warmup.is_none() && checker.events_processed() >= warmup {
+            at_warmup = Some(checker.report().clocks.heap_allocs());
+        }
+    }
+    let report = checker.report();
+    (at_warmup.expect("trace longer than warmup"), report.clocks.heap_allocs(), report.events)
+}
+
+/// Acceptance criterion: a 1M-event contended-lock convoy performs zero
+/// clock heap allocations after warm-up (the first half of the trace —
+/// the pool's high-water mark depends on the rare worst interleaving, so
+/// the working set keeps inching up for a while before reaching its
+/// fixpoint). The convoy is the worst case for clock traffic: every
+/// transaction assigns and joins the single global lock clock.
+#[test]
+fn million_event_convoy_is_allocation_free_after_warmup() {
+    let cfg = GenConfig { seed: 42, threads: 8, events: 1_000_000, ..GenConfig::default() };
+    let (warm, end, events) = allocs_after_warmup(ConvoySource::new(&cfg), 500_000);
+    assert!(events >= 1_000_000, "ran {events} events");
+    assert_eq!(
+        end, warm,
+        "steady-state checking must not allocate clock buffers: \
+         {warm} at warm-up, {end} at the end of {events} events"
+    );
+}
+
+/// The same invariant holds on the mixed generator workload (reads,
+/// writes, locks, unary events, nested transactions) — the pool reaches
+/// a fixed working set once every thread/lock/variable has appeared.
+#[test]
+fn mixed_workload_reaches_allocation_fixpoint() {
+    let cfg = GenConfig {
+        seed: 7,
+        threads: 8,
+        locks: 4,
+        vars: 64,
+        events: 500_000,
+        violation_at: None,
+        ..GenConfig::default()
+    };
+    let (warm, end, events) = allocs_after_warmup(GenSource::new(&cfg), 250_000);
+    assert!(events >= 500_000);
+    assert_eq!(end, warm, "clock allocations kept growing past warm-up");
+}
+
+/// The counters behind the invariant behave sanely: buffers are
+/// recycled, assignments share instead of copying, and the cloned
+/// baseline (by construction) allocates per transfer edge.
+#[test]
+fn pool_counters_show_reuse_and_sharing() {
+    let cfg = GenConfig { seed: 3, threads: 6, events: 50_000, ..GenConfig::default() };
+    let mut pooled = OptimizedChecker::new();
+    let mut source = ConvoySource::new(&cfg);
+    while let Some(e) = source.next_event().unwrap() {
+        pooled.process(e).unwrap();
+    }
+    let stats = pooled.report().clocks;
+    assert!(stats.shares > 0, "assignments must share: {stats:?}");
+    assert!(stats.cow_copies > 0, "copies must reuse existing buffers in place: {stats:?}");
+    assert!(
+        stats.heap_allocs() < 1_000,
+        "a 50k-event convoy must stay within a tiny clock working set: {stats:?}"
+    );
+
+    let mut cloned = aerodrome::optimized::ClonedOptimizedChecker::new();
+    let mut source = ConvoySource::new(&cfg);
+    while let Some(e) = source.next_event().unwrap() {
+        cloned.process(e).unwrap();
+    }
+    let baseline = cloned.report().clocks;
+    assert!(
+        baseline.buffers_allocated > stats.heap_allocs() * 100,
+        "the cloned baseline allocates per transfer edge: pooled {stats:?} vs cloned {baseline:?}"
+    );
+}
