@@ -546,6 +546,19 @@ impl<R: Rules> Engine<R> {
     }
 }
 
+/// Checker engines are moved onto worker threads by the parallel
+/// runtime: every store instantiation of every rule set must stay
+/// `Send` (no `Rc`, no interior pointers into shared state). Asserted
+/// at compile time so a regression fails the build, not a bench.
+#[allow(dead_code)]
+const fn assert_send<T: Send>() {}
+const _: () = assert_send::<Engine<crate::basic::BasicRules<vc::ClockPool>>>();
+const _: () = assert_send::<Engine<crate::basic::BasicRules<vc::store::Cloned>>>();
+const _: () = assert_send::<Engine<crate::readopt::ReadOptRules<vc::ClockPool>>>();
+const _: () = assert_send::<Engine<crate::readopt::ReadOptRules<vc::store::Cloned>>>();
+const _: () = assert_send::<Engine<crate::optimized::OptimizedRules<vc::ClockPool>>>();
+const _: () = assert_send::<Engine<crate::optimized::OptimizedRules<vc::store::Cloned>>>();
+
 impl<R: Rules> Checker for Engine<R> {
     fn process(&mut self, event: Event) -> Result<(), Violation> {
         if let Some(v) = &self.stopped {

@@ -140,12 +140,80 @@ fn bench_streaming_ingestion(c: &mut Criterion) {
     g.finish();
 }
 
+/// Single-pass fan-out vs N re-reads: the differential workflow (all
+/// three AeroDrome variants + Velodrome over one trace) run the
+/// pre-refactor way — one full sequential pass per checker — against
+/// one `pipeline::par` pass fanning batches out to worker threads.
+/// `rapid compare` is the CLI face of the parallel row.
+fn bench_parallel_fanout(c: &mut Criterion) {
+    use aerodrome_suite::pipeline::par::{check_all, standard_checkers, ParConfig};
+    use aerodrome_suite::pipeline::Pipeline;
+
+    let cfg = GenConfig { seed: 7, threads: 8, events: 80_000, ..GenConfig::default() };
+    let trace = generate(&cfg);
+    let mut g = c.benchmark_group("differential_panel");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.throughput(Throughput::Elements(trace.len() as u64));
+
+    g.bench_with_input(BenchmarkId::new("sequential-rereads", trace.len()), &trace, |b, trace| {
+        b.iter(|| {
+            for mut checker in standard_checkers() {
+                let report = Pipeline::new(trace.stream())
+                    .validate(false)
+                    .run(checker.as_mut())
+                    .expect("in-memory source");
+                assert!(!report.outcome.is_violation());
+            }
+        });
+    });
+    for jobs in [2usize, 4] {
+        let config = ParConfig::default().jobs(jobs).validate(false);
+        g.bench_with_input(
+            BenchmarkId::new(format!("parallel-j{jobs}"), trace.len()),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let report =
+                        check_all(&mut trace.stream(), standard_checkers(), &config).unwrap();
+                    assert!(!report.any_violation());
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Batch-size sweep for the parallel runtime: too small and the channel
+/// hand-off dominates, too large and workers idle at the tail. The
+/// docs/PERF.md guidance comes from this sweep.
+fn bench_parallel_batch_sweep(c: &mut Criterion) {
+    use aerodrome_suite::pipeline::par::{check_all, standard_checkers, ParConfig};
+
+    let cfg = GenConfig { seed: 7, threads: 8, events: 80_000, ..GenConfig::default() };
+    let trace = generate(&cfg);
+    let mut g = c.benchmark_group("parallel_batch_sweep");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    for batch in [64usize, 512, 4096, 32_768] {
+        let config = ParConfig::default().jobs(4).batch_events(batch).validate(false);
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &trace, |b, trace| {
+            b.iter(|| {
+                let report = check_all(&mut trace.stream(), standard_checkers(), &config).unwrap();
+                assert!(!report.any_violation());
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_aerodrome_scaling,
     bench_velodrome_scaling,
     bench_velodrome_no_retention,
     bench_shape_scaling,
-    bench_streaming_ingestion
+    bench_streaming_ingestion,
+    bench_parallel_fanout,
+    bench_parallel_batch_sweep
 );
 criterion_main!(benches);

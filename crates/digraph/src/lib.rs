@@ -36,3 +36,12 @@ mod graph;
 pub mod pk;
 
 pub use graph::{DiGraph, NodeId, NodeRef};
+
+/// Velodrome engines move across threads in the parallel runtime; the
+/// whole substrate (arena graph, DFS scratch, Pearce–Kelly order) must
+/// stay `Send`. Asserted at compile time.
+#[allow(dead_code)]
+const fn assert_send<T: Send>() {}
+const _: () = assert_send::<DiGraph<u64>>();
+const _: () = assert_send::<dfs::Searcher>();
+const _: () = assert_send::<pk::PearceKelly>();

@@ -20,12 +20,13 @@
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use aerodrome::basic::BasicChecker;
 use aerodrome::optimized::OptimizedChecker;
 use aerodrome::readopt::ReadOptChecker;
 use aerodrome::{Checker, Outcome};
+use aerodrome_suite::pipeline::par::{self, ParConfig};
 use aerodrome_suite::pipeline::Pipeline;
 use tracelog::stream::{copy_events, EventSource, SourceNames, StdReader};
 use tracelog::{MetaInfo, SourceError, Trace, Validator, ValiditySummary};
@@ -60,6 +61,18 @@ pub enum Command {
         /// Run the streaming well-formedness pre-pass (default true).
         validate: bool,
     },
+    /// `rapid compare <trace.std> [--jobs N] [--batch N] [--no-validate]`
+    /// — one parse pass fanned out to every checker variant in parallel.
+    Compare {
+        /// Path of the trace log.
+        path: String,
+        /// Worker threads (`0` = one per available CPU).
+        jobs: usize,
+        /// Events per batch; `None` uses the default (~4096).
+        batch: Option<usize>,
+        /// Run the streaming well-formedness pre-pass (default true).
+        validate: bool,
+    },
     /// `rapid validate <trace.std>` — the streaming well-formedness
     /// check alone (exit 1 on the first ill-formed event).
     Validate {
@@ -67,8 +80,9 @@ pub enum Command {
         path: String,
     },
     /// `rapid generate <out.std> [--events N] [--threads N] [--seed N]
-    /// [--violation-at F] [--retention] [--profile NAME]` where NAME is
-    /// a Table 1/2 row or one of the shapes `convoy`/`fanout`/`nesting`.
+    /// [--violation-at F] [--retention] [--profile NAME] [--seal]`
+    /// where NAME is a Table 1/2 row or one of the shapes
+    /// `convoy`/`fanout`/`nesting`.
     Generate {
         /// Output path.
         path: String,
@@ -80,6 +94,11 @@ pub enum Command {
         profile: Option<String>,
         /// Which flags were given explicitly on the command line.
         overrides: GenOverrides,
+        /// Write a `<out>.expect` sidecar with the reference verdicts
+        /// of every checker (one extra parallel pass over the log).
+        seal: bool,
+        /// Worker threads for the `--seal` pass (`0` = auto).
+        jobs: usize,
     },
     /// `rapid table1 [--budget SECS]` / `rapid table2 [--budget SECS]`.
     Table {
@@ -183,11 +202,13 @@ USAGE:
     rapid aerodrome <trace.std> [--algorithm basic|readopt|optimized]
                     [--no-validate]            (alias: rapid check)
     rapid velodrome <trace.std> [--no-gc] [--pearce-kelly] [--no-validate]
+    rapid compare   <trace.std> [--jobs N] [--batch N] [--no-validate]
     rapid validate  <trace.std>
     rapid generate  <out.std> [--profile NAME|convoy|fanout|nesting]
                     [--events N]
                     [--threads N] [--vars N] [--locks N] [--seed N]
                     [--violation-at F] [--retention]
+                    [--seal] [--jobs N]
     rapid table1    [--budget SECS]
     rapid table2    [--budget SECS]
     rapid twophase  <trace.std> [--batch N] [--no-validate]   (default batch: 256)
@@ -197,15 +218,21 @@ USAGE:
 Trace logs use the RAPID .std format: `<thread>|<op>|<loc>` per line with
 op ∈ r(x) w(x) acq(l) rel(l) fork(t) join(t) begin end.
 
-Checker analyses (aerodrome/check, velodrome, twophase, causal) stream
-the log through an incremental parser and, by default, the Section 2
-well-formedness validator (`--no-validate` skips it); `metainfo` is pure
-statistics and never validates. aerodrome/check and velodrome run in
-constant memory regardless of trace size; twophase and causal replay and
-so hold the whole trace in memory. `generate` streams events straight to
-the output file and accepts any Table 1/2 profile name plus the extra
-shapes `convoy`, `fanout` and `nesting` (explicit flags override a
-profile's config; the shapes reject the flags they cannot honour).";
+Checker analyses (aerodrome/check, velodrome, compare, twophase, causal)
+stream the log through an incremental parser and, by default, the
+Section 2 well-formedness validator (`--no-validate` skips it);
+`metainfo` is pure statistics and never validates. aerodrome/check,
+velodrome and compare run in constant memory regardless of trace size;
+twophase and causal replay and so hold the whole trace in memory.
+`compare` parses the log ONCE and fans the events out to all three
+AeroDrome variants plus Velodrome on `--jobs` worker threads (default:
+one per CPU), printing a per-checker verdict table. `generate` streams
+events straight to the output file and accepts any Table 1/2 profile
+name plus the extra shapes `convoy`, `fanout` and `nesting` (explicit
+flags override a profile's config; the shapes reject the flags they
+cannot honour); `--seal` re-reads the written log and records every
+checker's verdict in an `<out>.std.expect` sidecar for use as a
+persisted reference log.";
 
 /// Errors from command-line parsing.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -280,6 +307,38 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             }
             Ok(Command::Velodrome { path, config, validate })
         }
+        "compare" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| UsageError("compare requires a trace path".into()))?
+                .clone();
+            let mut jobs = 0usize;
+            let mut batch = None;
+            let mut validate = true;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--jobs" => {
+                        jobs = flag_value(args, &mut i, "--jobs")?
+                            .parse()
+                            .map_err(|e| UsageError(format!("--jobs: {e}")))?;
+                    }
+                    "--batch" => {
+                        let n: usize = flag_value(args, &mut i, "--batch")?
+                            .parse()
+                            .map_err(|e| UsageError(format!("--batch: {e}")))?;
+                        if n == 0 {
+                            return Err(UsageError("--batch must be positive".into()));
+                        }
+                        batch = Some(n);
+                    }
+                    "--no-validate" => validate = false,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Compare { path, jobs, batch, validate })
+        }
         "validate" => {
             let path =
                 args.get(1).ok_or_else(|| UsageError("validate requires a trace path".into()))?;
@@ -295,9 +354,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 .clone();
             let mut overrides = GenOverrides::default();
             let mut profile = None;
+            let mut seal = false;
+            let mut jobs = 0usize;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
+                    "--seal" => seal = true,
+                    "--jobs" => {
+                        jobs = flag_value(args, &mut i, "--jobs")?
+                            .parse()
+                            .map_err(|e| UsageError(format!("--jobs: {e}")))?;
+                    }
                     "--profile" => {
                         profile = Some(flag_value(args, &mut i, "--profile")?.to_owned())
                     }
@@ -349,7 +416,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 i += 1;
             }
             let cfg = overrides.apply(workloads::GenConfig::default());
-            Ok(Command::Generate { path, cfg: Box::new(cfg), profile, overrides })
+            Ok(Command::Generate { path, cfg: Box::new(cfg), profile, overrides, seal, jobs })
         }
         "table1" | "table2" => {
             let which = if cmd == "table1" { 1 } else { 2 };
@@ -425,12 +492,15 @@ pub fn load_trace(path: &str) -> Result<Trace, String> {
     tracelog::stream::collect_trace(&mut source).map_err(|e| format!("{path}: {e}"))
 }
 
-/// Formats a pipeline error with the offending line of the reader.
+/// Formats a pipeline error with the offending line of the reader. The
+/// pipelines batch ahead of validation, so the reader's *current* line
+/// may be past the ill-formed event; `line_of` recovers the event's own
+/// line from the batch attribution window.
 fn source_err(path: &str, reader: &StdReader<BufReader<File>>, e: &SourceError) -> String {
     match e {
         SourceError::Malformed(err) => format!(
             "{path}: line {}: not well-formed: {err} (use --no-validate to analyse anyway)",
-            reader.line()
+            reader.line_of(err.event()).unwrap_or_else(|| reader.line())
         ),
         other => format!("{path}: {other}"),
     }
@@ -468,6 +538,75 @@ pub fn report_outcome(
         }
     }
     out
+}
+
+/// Path of the reference-verdict sidecar sealed next to `path`.
+#[must_use]
+pub fn seal_sidecar_path(path: &str) -> String {
+    format!("{path}.expect")
+}
+
+/// Computes the canonical sealed-reference text for a `.std` log: one
+/// parallel pass of every checker, rendered as stable `key: value`
+/// lines. `rapid generate --seal` writes this next to the log; the
+/// sealed-log tests recompute it and diff.
+///
+/// # Errors
+///
+/// Propagates open/parse/validation failures as display strings.
+pub fn compute_seal(path: &str, jobs: usize) -> Result<String, String> {
+    let mut source = open_source(path)?;
+    let config = ParConfig::default().jobs(jobs);
+    let report = par::check_all(&mut source, par::standard_checkers(), &config)
+        .map_err(|e| source_err(path, &source, &e))?;
+    let names = source.names();
+    let mut out = String::new();
+    let _ = writeln!(out, "# rapid seal v1");
+    let _ = writeln!(out, "events: {}", report.events);
+    let _ = writeln!(out, "threads: {}", names.threads.len());
+    let _ = writeln!(out, "locks: {}", names.locks.len());
+    let _ = writeln!(out, "vars: {}", names.vars.len());
+    for run in &report.runs {
+        match run.outcome.violation() {
+            None => {
+                let _ = writeln!(out, "{}: serializable", run.name);
+            }
+            Some(v) => {
+                let _ = writeln!(out, "{}: violation@{}", run.name, v.event.index());
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Seals `path`: writes the [`compute_seal`] text to the sidecar.
+///
+/// # Errors
+///
+/// Propagates checking and write failures as display strings.
+pub fn write_seal(path: &str, jobs: usize) -> Result<String, String> {
+    let text = compute_seal(path, jobs)?;
+    let sidecar = seal_sidecar_path(path);
+    std::fs::write(&sidecar, &text).map_err(|e| format!("{sidecar}: {e}"))?;
+    Ok(text)
+}
+
+/// Verifies a sealed log: recomputes the reference text and diffs it
+/// against the sidecar.
+///
+/// # Errors
+///
+/// Reports a missing sidecar, a checking failure, or a mismatch (with
+/// both texts inline) as a display string.
+pub fn verify_seal(path: &str, jobs: usize) -> Result<(), String> {
+    let sidecar = seal_sidecar_path(path);
+    let sealed = std::fs::read_to_string(&sidecar).map_err(|e| format!("{sidecar}: {e}"))?;
+    let fresh = compute_seal(path, jobs)?;
+    if sealed == fresh {
+        Ok(())
+    } else {
+        Err(format!("{path}: sealed verdicts diverge\n--- sealed\n{sealed}--- fresh\n{fresh}"))
+    }
 }
 
 /// Executes a parsed command, returning the text to print.
@@ -536,6 +675,75 @@ pub fn run(command: Command) -> Result<String, String> {
             }
             Ok(out)
         }
+        Command::Compare { path, jobs, batch, validate } => {
+            let mut source = open_source(&path)?;
+            let mut config = ParConfig::default().jobs(jobs).validate(validate);
+            if let Some(b) = batch {
+                config = config.batch_events(b);
+            }
+            let start = Instant::now();
+            let report = par::check_all(&mut source, par::standard_checkers(), &config)
+                .map_err(|e| source_err(&path, &source, &e))?;
+            let wall = start.elapsed();
+            let names = source.names();
+            let mut out = String::new();
+            let _ = writeln!(out, "single-pass comparison: {path}");
+            let _ = writeln!(
+                out,
+                "events: {}  workers: {}  batches: {}  wall: {:.3}s",
+                report.events,
+                report.stats.workers,
+                report.stats.batches,
+                wall.as_secs_f64()
+            );
+            let _ = writeln!(
+                out,
+                "{:<18} {:>7} {:>10} {:>12} {:>12}  first violation",
+                "checker", "verdict", "events", "clock joins", "heap allocs"
+            );
+            for run in &report.runs {
+                let (verdict, first) = match run.outcome.violation() {
+                    None => ("✓", "-".to_owned()),
+                    Some(v) => {
+                        ("✗", format!("e{}: {}", v.event.index(), v.display_with_names(&names)))
+                    }
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<18} {:>7} {:>10} {:>12} {:>12}  {first}",
+                    run.name,
+                    verdict,
+                    run.events(),
+                    run.report.clock_joins,
+                    run.report.clocks.heap_allocs()
+                );
+            }
+            let violations = report.runs.iter().filter(|r| r.outcome.is_violation()).count();
+            let _ = match violations {
+                0 => writeln!(out, "consensus: ✓ serializable under every checker"),
+                n if n == report.runs.len() => {
+                    writeln!(out, "consensus: ✗ violation under every checker")
+                }
+                // The variants provably agree on closed traces; a split
+                // verdict means the input is a prefix (open transactions).
+                n => writeln!(
+                    out,
+                    "split verdict: {n}/{} checkers report a violation (trace is a prefix?)",
+                    report.runs.len()
+                ),
+            };
+            if let Some(s) = &report.summary {
+                if !s.is_closed() {
+                    let _ = writeln!(
+                        out,
+                        "note: trace is a prefix ({} open transaction(s), {} held lock(s))",
+                        s.open_transactions.len(),
+                        s.held_locks.len()
+                    );
+                }
+            }
+            Ok(out)
+        }
         Command::Validate { path } => {
             let mut source = open_source(&path)?;
             let mut validator = Validator::new();
@@ -568,7 +776,7 @@ pub fn run(command: Command) -> Result<String, String> {
             }
             Ok(out)
         }
-        Command::Generate { path, cfg, profile, overrides } => {
+        Command::Generate { path, cfg, profile, overrides, seal, jobs } => {
             // Streamed straight to disk: no Trace is materialised, so
             // `--events 10000000` works in constant memory.
             let mut source: Box<dyn EventSource> = match profile {
@@ -613,12 +821,29 @@ pub fn run(command: Command) -> Result<String, String> {
             let mut out = BufWriter::new(file);
             let n = copy_events(source.as_mut(), &mut out).map_err(|e| format!("{path}: {e}"))?;
             let names = source.names();
-            Ok(format!(
+            let mut msg = format!(
                 "wrote {n} events ({} threads, {} vars, {} locks) to {path}\n",
                 names.threads.len(),
                 names.vars.len(),
                 names.locks.len()
-            ))
+            );
+            if seal {
+                // Reference verdicts come from re-reading the written
+                // log (not the generator), so the sidecar certifies the
+                // bytes on disk.
+                let text = write_seal(&path, jobs)?;
+                let verdicts = text
+                    .lines()
+                    .filter(|l| l.contains(": violation@") || l.ends_with(": serializable"))
+                    .count();
+                let _ = writeln!(
+                    msg,
+                    "sealed {} verdict line(s) to {}",
+                    verdicts,
+                    seal_sidecar_path(&path)
+                );
+            }
+            Ok(msg)
         }
         Command::TwoPhase { path, batch, validate } => {
             let config = Config {
@@ -801,7 +1026,7 @@ mod tests {
         ]))
         .unwrap();
         match cmd {
-            Command::Generate { cfg, path, profile, overrides } => {
+            Command::Generate { cfg, path, profile, overrides, .. } => {
                 assert_eq!(path, "o.std");
                 assert_eq!(profile, None);
                 assert_eq!(cfg.events, 500);
@@ -843,6 +1068,8 @@ mod tests {
             }),
             profile: None,
             overrides: GenOverrides::default(),
+            seal: false,
+            jobs: 0,
         })
         .unwrap();
         assert!(out.contains("wrote"));
@@ -879,6 +1106,8 @@ mod tests {
             cfg: Box::new(workloads::GenConfig::default()),
             profile: Some("hedc".into()),
             overrides: GenOverrides::default(),
+            seal: false,
+            jobs: 0,
         })
         .unwrap();
         assert!(out.contains("wrote"));
@@ -887,6 +1116,8 @@ mod tests {
             cfg: Box::new(workloads::GenConfig::default()),
             profile: Some("nonexistent".into()),
             overrides: GenOverrides::default(),
+            seal: false,
+            jobs: 0,
         })
         .is_err());
     }
@@ -1014,6 +1245,8 @@ mod twophase_causal_tests {
                 cfg: Box::new(workloads::GenConfig { events: 1_000, ..Default::default() }),
                 profile: Some(name.into()),
                 overrides: GenOverrides::default(),
+                seal: false,
+                jobs: 0,
             })
             .unwrap();
             assert!(out.contains("wrote"), "{out}");

@@ -122,6 +122,44 @@ fn generate_shapes_and_check_them() {
 }
 
 #[test]
+fn compare_runs_every_checker_in_one_pass() {
+    let path = tmpfile("cmp.std");
+    let path_s = path.to_str().unwrap();
+    run_ok(&["generate", path_s, "--events", "3000", "--seed", "11", "--violation-at", "0.5"]);
+
+    let text = run_ok(&["compare", path_s, "--jobs", "2"]);
+    for checker in ["aerodrome-basic", "aerodrome-readopt", "aerodrome", "velodrome"] {
+        assert!(text.contains(checker), "{checker} row missing:\n{text}");
+    }
+    assert!(text.contains("single-pass comparison"), "{text}");
+    assert!(text.contains("workers: 2"), "{text}");
+    assert!(text.contains("consensus: ✗"), "{text}");
+    assert!(text.contains("first violation"), "{text}");
+
+    // Serializable input: consensus flips, verdict column is clean.
+    let clean = tmpfile("cmp_clean.std");
+    let clean_s = clean.to_str().unwrap();
+    run_ok(&["generate", clean_s, "--profile", "convoy", "--events", "3000"]);
+    let text = run_ok(&["compare", clean_s, "--jobs", "4", "--batch", "512"]);
+    assert!(text.contains("consensus: ✓"), "{text}");
+
+    // Bad flags fail with usage.
+    let out = rapid().args(["compare", path_s, "--batch", "0"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn generate_seal_writes_sidecar() {
+    let path = tmpfile("sealed.std");
+    let path_s = path.to_str().unwrap();
+    let text = run_ok(&["generate", path_s, "--events", "2000", "--seal", "--jobs", "2"]);
+    assert!(text.contains("sealed"), "{text}");
+    let sidecar = std::fs::read_to_string(format!("{path_s}.expect")).unwrap();
+    assert!(sidecar.contains("events: "), "{sidecar}");
+    assert!(sidecar.contains("velodrome: "), "{sidecar}");
+}
+
+#[test]
 fn serializable_trace_reports_clean_everywhere() {
     let path = tmpfile("clean.std");
     let path_s = path.to_str().unwrap();

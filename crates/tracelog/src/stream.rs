@@ -20,6 +20,20 @@
 //! Generator-backed sources live in the `workloads` crate; the umbrella
 //! crate's `pipeline` module composes source → validator → checker.
 //!
+//! # Batches
+//!
+//! Pulling one event per call is the natural unit for the *checkers*
+//! (they are online by definition), but it is the wrong unit for
+//! everything around them: dynamic dispatch, wall-clock budget checks
+//! and — above all — cross-thread hand-off cost per *call*, so the
+//! parallel runtime would drown in synchronisation. [`EventSource::
+//! next_batch`] amortises that per-call cost over a reusable,
+//! arena-backed [`EventBatch`] (default [`DEFAULT_BATCH_EVENTS`] ≈ 4096
+//! events): the sources in this crate and the `workloads` generators
+//! fill batches natively, per-event [`EventSource::next_event`] remains
+//! the thin adapter for online consumers, and the two iteration modes
+//! yield byte-identical event sequences and identical errors.
+//!
 //! # Examples
 //!
 //! ```
@@ -144,6 +158,123 @@ impl SourceNames<'_> {
     }
 }
 
+/// Default target capacity of an [`EventBatch`] — large enough to
+/// amortise per-batch costs (dynamic dispatch, channel hand-off) into
+/// noise, small enough that a batch of `Event`s stays cache-friendly.
+pub const DEFAULT_BATCH_EVENTS: usize = 4096;
+
+/// A reusable, arena-backed batch of events.
+///
+/// The backing `Vec<Event>` is the arena: [`EventBatch::clear`] keeps
+/// its capacity, so a batch refilled in a loop — or recycled through the
+/// parallel runtime's channels — allocates exactly once and is reused
+/// for the rest of the run. The *target* is the fill level
+/// [`EventSource::next_batch`] aims for; it is a soft cap on refills,
+/// not a hard limit on [`EventBatch::push`].
+///
+/// # Examples
+///
+/// ```
+/// use tracelog::stream::{EventBatch, EventSource, StdReader};
+///
+/// let log = "t1|begin|0\nt1|w(x)|1\nt1|end|2\n";
+/// let mut source = StdReader::new(log.as_bytes());
+/// let mut batch = EventBatch::with_target(2);
+/// assert_eq!(source.next_batch(&mut batch)?, 2);
+/// assert_eq!(source.next_batch(&mut batch)?, 1);
+/// assert_eq!(source.next_batch(&mut batch)?, 0); // exhausted
+/// # Ok::<(), tracelog::stream::SourceError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventBatch {
+    events: Vec<Event>,
+    target: usize,
+}
+
+impl Default for EventBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventBatch {
+    /// An empty batch with the default target ([`DEFAULT_BATCH_EVENTS`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_target(DEFAULT_BATCH_EVENTS)
+    }
+
+    /// An empty batch aiming for `target` events per refill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target == 0` (a refill could never make progress).
+    #[must_use]
+    pub fn with_target(target: usize) -> Self {
+        assert!(target > 0, "batch target must be positive");
+        Self { events: Vec::with_capacity(target), target }
+    }
+
+    /// The fill level refills aim for.
+    #[must_use]
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Empties the batch, keeping the arena's capacity.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// Appends a run of events.
+    pub fn extend_from_slice(&mut self, events: &[Event]) {
+        self.events.extend_from_slice(events);
+    }
+
+    /// Shortens the batch to its first `len` events.
+    pub fn truncate(&mut self, len: usize) {
+        self.events.truncate(len);
+    }
+
+    /// Whether the batch has reached its target fill level.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.events.len() >= self.target
+    }
+
+    /// Number of events currently in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the batch holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The batched events, in trace order.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+}
+
+impl<'a> IntoIterator for &'a EventBatch {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
 /// A streaming producer of trace events.
 ///
 /// The online counterpart of [`Trace`]: events arrive one at a time in
@@ -151,7 +282,14 @@ impl SourceNames<'_> {
 /// the name tables are available at any point through [`names`]
 /// (covering at least every event yielded so far).
 ///
+/// Consumers that care about hand-off cost (the parallel runtime, budget
+/// drivers) should pull [`next_batch`] instead of per-event
+/// [`next_event`]; the two modes yield identical event sequences and
+/// identical errors, batching only changes the call granularity.
+///
 /// [`names`]: EventSource::names
+/// [`next_batch`]: EventSource::next_batch
+/// [`next_event`]: EventSource::next_event
 pub trait EventSource {
     /// Pulls the next event, or `None` at the end of the trace.
     ///
@@ -160,6 +298,34 @@ pub trait EventSource {
     /// Returns a [`SourceError`] if the underlying reader fails, a line
     /// does not parse, or a validating stage rejects the event.
     fn next_event(&mut self) -> Result<Option<Event>, SourceError>;
+
+    /// Clears `batch` and refills it up to its target, returning the
+    /// number of events appended; `Ok(0)` means the source is exhausted.
+    ///
+    /// The provided implementation is the thin adapter over
+    /// [`next_event`]; the sources of this crate and the workload
+    /// generators override it to fill the arena natively (one virtual
+    /// call and one channel hand-off per ~4096 events instead of per
+    /// event).
+    ///
+    /// [`next_event`]: EventSource::next_event
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SourceError`]. On error, `batch` holds the
+    /// valid events read *before* the failure (possibly none): a caller
+    /// that wants per-event-identical semantics processes them first and
+    /// surfaces the error after.
+    fn next_batch(&mut self, batch: &mut EventBatch) -> Result<usize, SourceError> {
+        batch.clear();
+        while !batch.is_full() {
+            match self.next_event()? {
+                Some(event) => batch.push(event),
+                None => break,
+            }
+        }
+        Ok(batch.len())
+    }
 
     /// The name tables accumulated so far.
     fn names(&self) -> SourceNames<'_>;
@@ -174,6 +340,28 @@ pub trait EventSource {
 impl<S: EventSource + ?Sized> EventSource for &mut S {
     fn next_event(&mut self) -> Result<Option<Event>, SourceError> {
         (**self).next_event()
+    }
+
+    fn next_batch(&mut self, batch: &mut EventBatch) -> Result<usize, SourceError> {
+        (**self).next_batch(batch)
+    }
+
+    fn names(&self) -> SourceNames<'_> {
+        (**self).names()
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        (**self).size_hint()
+    }
+}
+
+impl<S: EventSource + ?Sized> EventSource for Box<S> {
+    fn next_event(&mut self) -> Result<Option<Event>, SourceError> {
+        (**self).next_event()
+    }
+
+    fn next_batch(&mut self, batch: &mut EventBatch) -> Result<usize, SourceError> {
+        (**self).next_batch(batch)
     }
 
     fn names(&self) -> SourceNames<'_> {
@@ -213,6 +401,11 @@ pub struct StdReader<R> {
     line: usize,
     buf: String,
     done: bool,
+    /// Events yielded so far (either iteration mode).
+    events: u64,
+    /// Line numbers of the most recent run of yielded events (the last
+    /// batch, or the last single event) — backs [`StdReader::line_of`].
+    recent_lines: Vec<usize>,
 }
 
 impl<R: BufRead> StdReader<R> {
@@ -227,14 +420,35 @@ impl<R: BufRead> StdReader<R> {
             line: 0,
             buf: String::new(),
             done: false,
+            events: 0,
+            recent_lines: Vec::new(),
         }
     }
 
-    /// One-based number of the last line read (the line of the most
-    /// recently yielded event, once one has been yielded).
+    /// One-based number of the last line read. In per-event iteration
+    /// this is the line of the most recently yielded event; after a
+    /// [`EventSource::next_batch`] refill it is the last line of the
+    /// batch — use [`StdReader::line_of`] to attribute an event inside
+    /// the batch.
     #[must_use]
     pub fn line(&self) -> usize {
         self.line
+    }
+
+    /// The 1-based line a recently yielded event was parsed from, when
+    /// it is still in the attribution window (the most recent batch, or
+    /// the most recent per-event yield). This is how a consumer that
+    /// batches ahead — the pipeline validator, the parallel runtime —
+    /// reports the *offending line* of an event rejected after the
+    /// reader already read past it.
+    #[must_use]
+    pub fn line_of(&self, event: crate::EventId) -> Option<usize> {
+        let index = event.index() as u64;
+        let start = self.events - self.recent_lines.len() as u64;
+        index
+            .checked_sub(start)
+            .filter(|_| index < self.events)
+            .map(|offset| self.recent_lines[usize::try_from(offset).expect("batch-sized offset")])
     }
 
     /// Consumes the reader, yielding its `(threads, locks, vars)` name
@@ -247,11 +461,13 @@ impl<R: BufRead> StdReader<R> {
     }
 }
 
-impl<R: BufRead> EventSource for StdReader<R> {
-    fn next_event(&mut self) -> Result<Option<Event>, SourceError> {
-        if self.done {
-            return Ok(None);
-        }
+impl<R: BufRead> StdReader<R> {
+    /// Reads and parses the next event-bearing line, skipping blanks and
+    /// comments. `Ok(None)` at end of input; errors are **fatal** (the
+    /// stream has lost alignment, so resuming would silently drop the
+    /// malformed event).
+    #[inline]
+    fn read_one(&mut self) -> Result<Option<Event>, SourceError> {
         loop {
             self.buf.clear();
             if self.reader.read_line(&mut self.buf)? == 0 {
@@ -270,15 +486,46 @@ impl<R: BufRead> EventSource for StdReader<R> {
                 &mut self.locks,
                 &mut self.vars,
             ) {
-                Ok(event) => return Ok(Some(event)),
+                Ok(event) => {
+                    self.events += 1;
+                    self.recent_lines.push(self.line);
+                    return Ok(Some(event));
+                }
                 Err(e) => {
-                    // Errors are fatal: the stream has lost alignment, so
-                    // resuming would silently drop the malformed event.
                     self.done = true;
                     return Err(e.into());
                 }
             }
         }
+    }
+}
+
+impl<R: BufRead> EventSource for StdReader<R> {
+    fn next_event(&mut self) -> Result<Option<Event>, SourceError> {
+        if self.done {
+            return Ok(None);
+        }
+        self.recent_lines.clear();
+        self.read_one()
+    }
+
+    /// Native batch parse: one monomorphic line loop per refill, so a
+    /// `&mut dyn EventSource` consumer pays one virtual call per batch
+    /// rather than per line. A parse error surfaces on the call that
+    /// hits it, with the already-parsed prefix left in `batch`.
+    fn next_batch(&mut self, batch: &mut EventBatch) -> Result<usize, SourceError> {
+        batch.clear();
+        if self.done {
+            return Ok(0);
+        }
+        self.recent_lines.clear();
+        while !batch.is_full() {
+            match self.read_one()? {
+                Some(event) => batch.push(event),
+                None => break,
+            }
+        }
+        Ok(batch.len())
     }
 
     fn names(&self) -> SourceNames<'_> {
@@ -306,6 +553,16 @@ impl EventSource for TraceSource<'_> {
         let event = self.trace.events().get(self.pos).copied();
         self.pos += usize::from(event.is_some());
         Ok(event)
+    }
+
+    /// Native batch replay: one `memcpy` of the next chunk.
+    fn next_batch(&mut self, batch: &mut EventBatch) -> Result<usize, SourceError> {
+        batch.clear();
+        let events = self.trace.events();
+        let n = batch.target().min(events.len() - self.pos);
+        batch.extend_from_slice(&events[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
     }
 
     fn names(&self) -> SourceNames<'_> {
@@ -338,13 +595,18 @@ impl Trace {
 pub struct Validated<S> {
     inner: S,
     validator: Validator,
+    /// Latched after the first ill-formed event: the validator's state
+    /// no longer describes the stream, and in batch mode the inner
+    /// source has been consumed past the failure, so resuming would
+    /// silently drop events. Errors are fatal, as in [`StdReader`].
+    done: bool,
 }
 
 impl<S: EventSource> Validated<S> {
     /// Wraps `inner` with a fresh validator.
     #[must_use]
     pub fn new(inner: S) -> Self {
-        Self { inner, validator: Validator::new() }
+        Self { inner, validator: Validator::new(), done: false }
     }
 
     /// The residual open-transaction / held-lock state observed so far.
@@ -367,13 +629,42 @@ impl<S: EventSource> Validated<S> {
 
 impl<S: EventSource> EventSource for Validated<S> {
     fn next_event(&mut self) -> Result<Option<Event>, SourceError> {
+        if self.done {
+            return Ok(None);
+        }
         match self.inner.next_event()? {
             Some(event) => {
-                self.validator.observe(event)?;
+                if let Err(e) = self.validator.observe(event) {
+                    self.done = true;
+                    return Err(e.into());
+                }
                 Ok(Some(event))
             }
             None => Ok(None),
         }
+    }
+
+    /// Native batch validation: pulls one inner batch, then validates it
+    /// in a single pass. An ill-formed event truncates the batch to the
+    /// well-formed prefix and surfaces as [`SourceError::Malformed`] —
+    /// exactly the events per-event iteration would have yielded first.
+    /// The error is fatal: the inner source was consumed past the
+    /// failure, so resuming would drop the rest of the failing batch;
+    /// later calls report end-of-stream instead.
+    fn next_batch(&mut self, batch: &mut EventBatch) -> Result<usize, SourceError> {
+        if self.done {
+            batch.clear();
+            return Ok(0);
+        }
+        let inner = self.inner.next_batch(batch);
+        for (i, &event) in batch.events().iter().enumerate() {
+            if let Err(e) = self.validator.observe(event) {
+                self.done = true;
+                batch.truncate(i);
+                return Err(e.into());
+            }
+        }
+        inner
     }
 
     fn names(&self) -> SourceNames<'_> {
@@ -541,6 +832,91 @@ mod tests {
         let names = trace.names();
         assert_eq!(names.display_event(&trace[3]), trace.display_event(&trace[3]));
         assert_eq!(names.thread_name(trace[0].thread), "t1");
+    }
+
+    #[test]
+    fn next_batch_equals_per_event_iteration() {
+        let text = write_trace(&sample());
+        for target in [1, 2, 3, 64] {
+            let mut per_event = StdReader::new(text.as_bytes());
+            let mut batched = StdReader::new(text.as_bytes());
+            let mut batch = EventBatch::with_target(target);
+            let mut streamed = Vec::new();
+            while batched.next_batch(&mut batch).unwrap() > 0 {
+                streamed.extend_from_slice(batch.events());
+            }
+            let mut events = Vec::new();
+            while let Some(e) = per_event.next_event().unwrap() {
+                events.push(e);
+            }
+            assert_eq!(streamed, events, "target {target}");
+            assert_eq!(batched.line(), per_event.line());
+        }
+    }
+
+    #[test]
+    fn next_batch_surfaces_parse_errors_with_the_prefix() {
+        let log = "t1|begin|0\nt1|w(x)|1\nt1|bogus|2\nt1|end|3\n";
+        let mut reader = StdReader::new(log.as_bytes());
+        let mut batch = EventBatch::new();
+        let err = reader.next_batch(&mut batch).unwrap_err();
+        assert_eq!(batch.len(), 2, "the parsed prefix stays in the batch");
+        match err {
+            SourceError::Parse(p) => assert_eq!(p.line, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Errors are fatal, exactly as in per-event mode.
+        assert_eq!(reader.next_batch(&mut batch).unwrap(), 0);
+    }
+
+    #[test]
+    fn trace_source_batches_in_chunks() {
+        let trace = sample();
+        let mut source = trace.stream();
+        let mut batch = EventBatch::with_target(4);
+        let mut streamed = Vec::new();
+        loop {
+            let n = source.next_batch(&mut batch).unwrap();
+            assert!(n <= 4);
+            if n == 0 {
+                break;
+            }
+            streamed.extend_from_slice(batch.events());
+        }
+        assert_eq!(streamed.as_slice(), trace.events());
+    }
+
+    #[test]
+    fn validated_batch_truncates_to_the_well_formed_prefix() {
+        let log = "t1|begin|0\nt1|w(x)|1\nt1|rel(m)|2\n";
+        let mut v = Validated::new(StdReader::new(log.as_bytes()));
+        let mut batch = EventBatch::new();
+        let err = v.next_batch(&mut batch).unwrap_err();
+        assert!(matches!(err, SourceError::Malformed(WellFormedError::ReleaseOfUnheldLock { .. })));
+        assert_eq!(batch.len(), 2, "well-formed prefix preserved");
+        // The error latches: the inner source was consumed past the
+        // failure, so resuming would silently skip events.
+        assert_eq!(v.next_batch(&mut batch).unwrap(), 0);
+        assert!(v.next_event().unwrap().is_none());
+    }
+
+    #[test]
+    fn batch_arena_is_reused_across_refills() {
+        let trace = sample();
+        let mut batch = EventBatch::with_target(3);
+        let mut source = trace.stream();
+        source.next_batch(&mut batch).unwrap();
+        let cap = batch.events.capacity();
+        let ptr = batch.events.as_ptr();
+        while source.next_batch(&mut batch).unwrap() > 0 {}
+        assert_eq!(batch.events.capacity(), cap);
+        assert_eq!(batch.events.as_ptr(), ptr, "refills must reuse the arena");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch target must be positive")]
+    fn zero_target_batches_are_rejected() {
+        let _ = EventBatch::with_target(0);
     }
 
     #[test]

@@ -77,6 +77,24 @@ pub enum WellFormedError {
     },
 }
 
+impl WellFormedError {
+    /// The offending event — lets a reporting layer map the failure back
+    /// to its input position (e.g. a `.std` line) even when the reader
+    /// has batched ahead.
+    #[must_use]
+    pub fn event(&self) -> EventId {
+        match self {
+            Self::ReleaseOfUnheldLock { event, .. }
+            | Self::ReleaseByNonOwner { event, .. }
+            | Self::AcquireOfHeldLock { event, .. }
+            | Self::EndWithoutBegin { event, .. }
+            | Self::ForkAfterChildStarted { event, .. }
+            | Self::SelfForkOrJoin { event }
+            | Self::EventAfterJoin { event, .. } => *event,
+        }
+    }
+}
+
 impl fmt::Display for WellFormedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -640,6 +640,14 @@ impl ClockPool {
     }
 }
 
+/// The parallel runtime hands each checker worker its own shard-local
+/// pool; losing `Send` here would silently serialise the whole pipeline,
+/// so the bound is asserted at compile time.
+#[allow(dead_code)]
+const fn assert_send<T: Send>() {}
+const _: () = assert_send::<ClockPool>();
+const _: () = assert_send::<PoolClock>();
+
 #[cfg(test)]
 mod tests {
     use super::*;

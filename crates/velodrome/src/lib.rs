@@ -33,3 +33,11 @@ mod checker;
 pub mod twophase;
 
 pub use checker::{Config, Strategy, VelodromeChecker, VelodromeStats};
+
+/// The parallel runtime runs Velodrome on a worker thread next to the
+/// vector-clock checkers; the graph substrate (arena handles, DFS
+/// scratch, Pearce–Kelly state) must stay `Send`. Compile-time assert so
+/// a regression fails the build.
+#[allow(dead_code)]
+const fn assert_send<T: Send>() {}
+const _: () = assert_send::<VelodromeChecker>();

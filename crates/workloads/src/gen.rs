@@ -41,7 +41,7 @@ use std::collections::VecDeque;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tracelog::stream::{EventSource, SourceError, SourceNames};
+use tracelog::stream::{EventBatch, EventSource, SourceError, SourceNames};
 use tracelog::{Event, Interner, LockId, Op, ThreadId, Trace, VarId};
 
 /// Configuration for [`generate`].
@@ -177,6 +177,19 @@ impl EventBuf {
     /// injection threshold are measured against.
     pub(crate) fn len(&self) -> usize {
         self.emitted
+    }
+
+    /// Moves queued events into `batch` until the batch is full or the
+    /// queue empties; returns whether the batch still has room. The
+    /// shared drain of every generator's native `next_batch`.
+    pub(crate) fn drain_into(&mut self, batch: &mut EventBatch) -> bool {
+        while let Some(event) = self.queue.pop_front() {
+            batch.push(event);
+            if batch.is_full() {
+                return false;
+            }
+        }
+        true
     }
 
     pub(crate) fn push(&mut self, t: ThreadId, op: Op) {
@@ -507,6 +520,21 @@ impl EventSource for GenSource {
             self.pump();
         }
         Ok(self.buf.queue.pop_front())
+    }
+
+    /// Native batch generation: pump the scheduler state machine straight
+    /// into the batch arena, one queue drain per scheduler step.
+    fn next_batch(&mut self, batch: &mut EventBatch) -> Result<usize, SourceError> {
+        batch.clear();
+        loop {
+            if !self.buf.drain_into(batch) {
+                return Ok(batch.len());
+            }
+            if self.phase == Phase::Done {
+                return Ok(batch.len());
+            }
+            self.pump();
+        }
     }
 
     fn names(&self) -> SourceNames<'_> {

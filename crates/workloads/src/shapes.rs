@@ -32,7 +32,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tracelog::stream::{EventSource, SourceError, SourceNames};
+use tracelog::stream::{EventBatch, EventSource, SourceError, SourceNames};
 use tracelog::{Event, Interner, LockId, ThreadId, VarId};
 
 use crate::gen::{EventBuf, GenConfig};
@@ -51,6 +51,31 @@ pub fn source(name: &str, cfg: &GenConfig) -> Option<Box<dyn EventSource>> {
         "nesting" => Some(Box::new(NestingSource::new(cfg))),
         _ => None,
     }
+}
+
+/// The shared `next_batch` drive loop of every shape source: drain the
+/// queue into the batch, run one `refill` turn when it empties, and
+/// pick up the join epilogue the final turn queues. Borrow-splitting
+/// keeps this a free function: `buf` and `refill` each re-borrow the
+/// whole source, sequentially.
+fn drive_batch<S>(
+    source: &mut S,
+    batch: &mut EventBatch,
+    buf: fn(&mut S) -> &mut EventBuf,
+    refill: fn(&mut S) -> bool,
+) -> usize {
+    batch.clear();
+    loop {
+        if !buf(source).drain_into(batch) {
+            break; // full; leftovers stay queued for the next call
+        }
+        if !refill(source) {
+            // The final turn may have queued the join epilogue.
+            buf(source).drain_into(batch);
+            break;
+        }
+    }
+    batch.len()
 }
 
 /// Shared skeleton of the two shapes: main + workers, fork prologue and
@@ -172,23 +197,33 @@ impl ConvoySource {
     }
 }
 
+impl ConvoySource {
+    /// Emits one guarded transaction; `false` once the budget is spent.
+    fn refill(&mut self) -> bool {
+        let Some(wi) = self.skel.turn() else { return false };
+        let w = self.skel.workers[wi];
+        // One fully-guarded transaction: two-phase locked, hence the
+        // background stays serializable no matter the interleaving.
+        self.skel.buf.begin(w);
+        self.skel.buf.acquire(w, self.lock);
+        for _ in 0..self.skel.rng.gen_range(1..=3) {
+            let x = self.shared[self.skel.rng.gen_range(0..self.shared.len())];
+            self.skel.access(w, x);
+        }
+        self.skel.buf.release(w, self.lock);
+        self.skel.buf.end(w);
+        true
+    }
+}
+
 impl EventSource for ConvoySource {
     fn next_event(&mut self) -> Result<Option<Event>, SourceError> {
-        while self.skel.buf.queue.is_empty() {
-            let Some(wi) = self.skel.turn() else { break };
-            let w = self.skel.workers[wi];
-            // One fully-guarded transaction: two-phase locked, hence the
-            // background stays serializable no matter the interleaving.
-            self.skel.buf.begin(w);
-            self.skel.buf.acquire(w, self.lock);
-            for _ in 0..self.skel.rng.gen_range(1..=3) {
-                let x = self.shared[self.skel.rng.gen_range(0..self.shared.len())];
-                self.skel.access(w, x);
-            }
-            self.skel.buf.release(w, self.lock);
-            self.skel.buf.end(w);
-        }
+        while self.skel.buf.queue.is_empty() && self.refill() {}
         Ok(self.skel.buf.queue.pop_front())
+    }
+
+    fn next_batch(&mut self, batch: &mut EventBatch) -> Result<usize, SourceError> {
+        Ok(drive_batch(self, batch, |s| &mut s.skel.buf, Self::refill))
     }
 
     fn names(&self) -> SourceNames<'_> {
@@ -237,19 +272,30 @@ impl FanoutSource {
     }
 }
 
+impl FanoutSource {
+    /// Emits one private-variable transaction; `false` once the budget
+    /// is spent.
+    fn refill(&mut self) -> bool {
+        let Some(wi) = self.skel.turn() else { return false };
+        let w = self.skel.workers[wi];
+        let x = self.privates[wi];
+        self.skel.buf.begin(w);
+        for _ in 0..self.skel.rng.gen_range(1..=self.txn_len) {
+            self.skel.access(w, x);
+        }
+        self.skel.buf.end(w);
+        true
+    }
+}
+
 impl EventSource for FanoutSource {
     fn next_event(&mut self) -> Result<Option<Event>, SourceError> {
-        while self.skel.buf.queue.is_empty() {
-            let Some(wi) = self.skel.turn() else { break };
-            let w = self.skel.workers[wi];
-            let x = self.privates[wi];
-            self.skel.buf.begin(w);
-            for _ in 0..self.skel.rng.gen_range(1..=self.txn_len) {
-                self.skel.access(w, x);
-            }
-            self.skel.buf.end(w);
-        }
+        while self.skel.buf.queue.is_empty() && self.refill() {}
         Ok(self.skel.buf.queue.pop_front())
+    }
+
+    fn next_batch(&mut self, batch: &mut EventBatch) -> Result<usize, SourceError> {
+        Ok(drive_batch(self, batch, |s| &mut s.skel.buf, Self::refill))
     }
 
     fn names(&self) -> SourceNames<'_> {
@@ -312,33 +358,44 @@ impl NestingSource {
     }
 }
 
-impl EventSource for NestingSource {
-    fn next_event(&mut self) -> Result<Option<Event>, SourceError> {
-        while self.skel.buf.queue.is_empty() {
-            let Some(wi) = self.skel.turn() else { break };
-            let w = self.skel.workers[wi];
-            let xp = self.privates[wi];
-            // Descend: one begin + 1–3 private accesses per level. Only
-            // the outermost begin opens the transaction (§4.1.4).
-            for _ in 0..self.depth {
-                self.skel.buf.begin(w);
-                for _ in 0..self.skel.rng.gen_range(1..=3) {
-                    self.skel.access(w, xp);
-                }
-            }
-            // Innermost: one two-phase-locked shared group.
-            self.skel.buf.acquire(w, self.lock);
+impl NestingSource {
+    /// Emits one nested transaction tower; `false` once the budget is
+    /// spent.
+    fn refill(&mut self) -> bool {
+        let Some(wi) = self.skel.turn() else { return false };
+        let w = self.skel.workers[wi];
+        let xp = self.privates[wi];
+        // Descend: one begin + 1–3 private accesses per level. Only
+        // the outermost begin opens the transaction (§4.1.4).
+        for _ in 0..self.depth {
+            self.skel.buf.begin(w);
             for _ in 0..self.skel.rng.gen_range(1..=3) {
-                let x = self.shared[self.skel.rng.gen_range(0..self.shared.len())];
-                self.skel.access(w, x);
-            }
-            self.skel.buf.release(w, self.lock);
-            // Ascend: close every nested block.
-            for _ in 0..self.depth {
-                self.skel.buf.end(w);
+                self.skel.access(w, xp);
             }
         }
+        // Innermost: one two-phase-locked shared group.
+        self.skel.buf.acquire(w, self.lock);
+        for _ in 0..self.skel.rng.gen_range(1..=3) {
+            let x = self.shared[self.skel.rng.gen_range(0..self.shared.len())];
+            self.skel.access(w, x);
+        }
+        self.skel.buf.release(w, self.lock);
+        // Ascend: close every nested block.
+        for _ in 0..self.depth {
+            self.skel.buf.end(w);
+        }
+        true
+    }
+}
+
+impl EventSource for NestingSource {
+    fn next_event(&mut self) -> Result<Option<Event>, SourceError> {
+        while self.skel.buf.queue.is_empty() && self.refill() {}
         Ok(self.skel.buf.queue.pop_front())
+    }
+
+    fn next_batch(&mut self, batch: &mut EventBatch) -> Result<usize, SourceError> {
+        Ok(drive_batch(self, batch, |s| &mut s.skel.buf, Self::refill))
     }
 
     fn names(&self) -> SourceNames<'_> {

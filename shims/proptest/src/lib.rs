@@ -9,10 +9,18 @@
 //!
 //! Differences from real proptest, deliberately accepted:
 //!
-//! * **No shrinking.** A failing case is reported with its full generated
-//!   input (`Debug`-printed to stderr) and the case index; inputs are
-//!   regenerated deterministically from the test's name, so failures
-//!   reproduce exactly on re-run.
+//! * **Naive shrinking only** (no value trees). When a case fails, the
+//!   runner greedily minimises it: integer-range strategies propose the
+//!   range minimum, the halfway point toward it and the predecessor;
+//!   tuple strategies shrink component-wise — see
+//!   [`strategy::Strategy::shrink`]. Any candidate that still fails
+//!   becomes the new failing case until no candidate fails (or a step
+//!   cap is hit). Other strategies (`prop_map`, `prop_oneof!`,
+//!   `collection::vec`, `any`, `Just`) do not shrink and report the raw
+//!   failing input unchanged. Both the original and the minimised input
+//!   are printed; the final panic comes from re-running the minimal
+//!   case. Inputs are regenerated deterministically from the test's
+//!   name, so failures reproduce exactly on re-run.
 //! * **No persistence files**, no forking, no timeout handling.
 //! * `PROPTEST_CASES` (environment) replaces the default case count
 //!   (256) and caps explicit `ProptestConfig::with_cases` counts.
@@ -161,6 +169,86 @@ pub mod prelude {
     }
 }
 
+/// Greedy naive shrinking: repeatedly replaces the failing value with
+/// the first [`strategy::Strategy::shrink`] candidate that still fails,
+/// until no candidate fails or the step cap (1000 re-runs) is hit.
+/// `still_fails` must be side-effect-free to re-run. Returns the
+/// minimised value and the number of re-runs spent.
+///
+/// The default panic hook is swapped for a silent one while the
+/// candidates re-run: every still-failing candidate panics by design,
+/// and hundreds of backtraces would bury the minimal case the caller is
+/// about to print. The swap is guarded against both unwinds (the hook
+/// is restored on drop, even if a strategy's `shrink` or `Clone`
+/// panics) and concurrent shrinks in other test threads (a process-wide
+/// lock serialises the swapped-hook window, so interleaved
+/// take/set pairs cannot strand the silent hook).
+#[doc(hidden)]
+pub fn shrink_failure<S>(
+    strategy: &S,
+    mut failing: S::Value,
+    mut still_fails: impl FnMut(&S::Value) -> bool,
+) -> (S::Value, u32)
+where
+    S: strategy::Strategy,
+{
+    use std::panic::PanicHookInfo;
+    use std::sync::{Mutex, PoisonError};
+
+    static HOOK_WINDOW: Mutex<()> = Mutex::new(());
+
+    type Hook = Box<dyn Fn(&PanicHookInfo<'_>) + Sync + Send + 'static>;
+
+    struct QuietPanics<'a> {
+        previous: Option<Hook>,
+        _window: std::sync::MutexGuard<'a, ()>,
+    }
+    impl<'a> QuietPanics<'a> {
+        fn new() -> Self {
+            let window = HOOK_WINDOW.lock().unwrap_or_else(PoisonError::into_inner);
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            Self { previous: Some(previous), _window: window }
+        }
+    }
+    impl Drop for QuietPanics<'_> {
+        fn drop(&mut self) {
+            if let Some(previous) = self.previous.take() {
+                std::panic::set_hook(previous);
+            }
+        }
+    }
+
+    const MAX_RUNS: u32 = 1000;
+    let _quiet = QuietPanics::new();
+    let mut runs = 0u32;
+    'search: while runs < MAX_RUNS {
+        for candidate in strategy.shrink(&failing) {
+            runs += 1;
+            if still_fails(&candidate) {
+                failing = candidate;
+                continue 'search;
+            }
+            if runs >= MAX_RUNS {
+                break 'search;
+            }
+        }
+        break;
+    }
+    (failing, runs)
+}
+
+/// Pins a failure-predicate closure's parameter type to the strategy's
+/// value type (pure identity; the macro's inference anchor).
+#[doc(hidden)]
+pub fn failure_predicate<S, F>(_strategy: &S, predicate: F) -> F
+where
+    S: strategy::Strategy,
+    F: FnMut(&S::Value) -> bool,
+{
+    predicate
+}
+
 /// Defines property tests: each closure parameter is drawn from its
 /// strategy for `cases` iterations.
 #[macro_export]
@@ -191,18 +279,34 @@ macro_rules! __proptest_impl {
             let __strategy = ( $( ($strat), )* );
             let mut __rng =
                 $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            let mut __fails = $crate::failure_predicate(&__strategy, |__values| {
+                ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    let ( $( $arg, )* ) = ::std::clone::Clone::clone(__values);
+                    $body
+                }))
+                .is_err()
+            });
             for __case in 0..__config.cases {
                 let __values = $crate::strategy::Strategy::generate(&__strategy, &mut __rng);
-                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
-                    let ( $( $arg, )* ) = ::std::clone::Clone::clone(&__values);
-                    $body
-                }));
-                if let ::std::result::Result::Err(__panic) = __outcome {
-                    ::std::eprintln!(
-                        "[proptest shim] {} failed at case {}/{} with input:\n{:#?}",
-                        stringify!($name), __case, __config.cases, __values
+                if __fails(&__values) {
+                    let (__minimal, __steps) = $crate::shrink_failure(
+                        &__strategy,
+                        ::std::clone::Clone::clone(&__values),
+                        |__candidate| __fails(__candidate),
                     );
-                    ::std::panic::resume_unwind(__panic);
+                    ::std::eprintln!(
+                        "[proptest shim] {} failed at case {}/{} with input:\n{:#?}\n\
+                         shrunk in {} re-run(s) to minimal failing input:\n{:#?}",
+                        stringify!($name), __case, __config.cases, __values, __steps, __minimal
+                    );
+                    // Re-run the minimal case uncaught so the panic (and
+                    // assertion message) the test dies with describes the
+                    // minimised input, not the raw random one.
+                    let ( $( $arg, )* ) = __minimal;
+                    $body
+                    ::std::panic!(
+                        "[proptest shim] minimal input unexpectedly passed on re-run (flaky test?)"
+                    );
                 }
             }
         }
@@ -239,4 +343,23 @@ macro_rules! prop_assert_eq {
 #[macro_export]
 macro_rules! prop_assert_ne {
     ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// End-to-end failing path: the runner must shrink the failing
+        /// input and die on the minimised case (caught by should_panic;
+        /// the runner itself silences the per-candidate panic spam).
+        /// `n < 1` fails for every n ≥ 1, so shrinking bottoms out at 1.
+        #[test]
+        #[should_panic]
+        fn failing_property_is_minimised(n in 1u32..1_000, _jitter in any::<bool>()) {
+            prop_assert!(n < 1);
+        }
+    }
 }

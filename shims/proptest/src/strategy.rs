@@ -6,14 +6,26 @@ use std::ops::Range;
 
 /// A recipe for generating values of [`Strategy::Value`].
 ///
-/// Unlike real proptest there is no value tree and no shrinking: a
-/// strategy is just a deterministic-from-RNG generator.
+/// Unlike real proptest there is no value tree: a strategy is a
+/// deterministic-from-RNG generator plus an optional *naive* shrinker
+/// ([`Strategy::shrink`]). Integer-range and tuple strategies shrink by
+/// halving toward the range minimum; everything else reports the raw
+/// failing value unchanged.
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing `value`, biggest jump
+    /// first. The runner keeps any candidate that still fails and
+    /// re-shrinks from there; an empty list (the default) ends the
+    /// search. Candidates must come from the same domain the strategy
+    /// generates from.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -39,6 +51,10 @@ impl<V> Strategy for Box<dyn Strategy<Value = V>> {
     type Value = V;
     fn generate(&self, rng: &mut TestRng) -> V {
         (**self).generate(rng)
+    }
+
+    fn shrink(&self, value: &V) -> Vec<V> {
+        (**self).shrink(value)
     }
 }
 
@@ -111,6 +127,25 @@ macro_rules! impl_range_strategy {
             fn generate(&self, rng: &mut TestRng) -> $ty {
                 rng.gen_range(self.clone())
             }
+
+            /// Naive integer shrinking: jump to the range minimum, then
+            /// halve the distance toward it, then step down by one —
+            /// each candidate stays inside the range.
+            fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                let (lo, v) = (self.start, *value);
+                if v <= lo {
+                    return Vec::new();
+                }
+                let mut out = vec![lo];
+                let mid = lo + (v - lo) / 2;
+                if mid != lo && mid != v {
+                    out.push(mid);
+                }
+                if v - 1 != lo && v - 1 != mid {
+                    out.push(v - 1);
+                }
+                out
+            }
         }
     )*};
 }
@@ -119,10 +154,28 @@ impl_range_strategy!(u8, u16, u32, u64, usize);
 
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone,)+
+        {
             type Value = ($($s::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+
+            /// Component-wise shrinking: for each position, every
+            /// candidate of that component with the other components
+            /// held fixed.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -165,6 +218,40 @@ mod tests {
             }
         }
         assert!((200..400).contains(&ones), "weighting looks wrong: {ones}/400");
+    }
+
+    #[test]
+    fn range_shrink_halves_toward_the_minimum() {
+        let s = 3u32..100;
+        assert_eq!(s.shrink(&80), vec![3, 41, 79]);
+        assert_eq!(s.shrink(&4), vec![3]);
+        assert!(s.shrink(&3).is_empty(), "the minimum cannot shrink");
+        // Candidates stay inside the range.
+        for v in [5u32, 17, 99] {
+            assert!(s.shrink(&v).iter().all(|c| (3..100).contains(c)));
+        }
+    }
+
+    #[test]
+    fn tuple_shrink_is_component_wise() {
+        let s = (0u8..10, 5usize..50);
+        let candidates = s.shrink(&(8, 20));
+        assert!(candidates.contains(&(0, 20)), "first component to its minimum");
+        assert!(candidates.contains(&(4, 20)), "first component halved");
+        assert!(candidates.contains(&(8, 5)), "second component to its minimum");
+        assert!(candidates.iter().all(|&(a, b)| (a, b) != (8, 20)), "no no-op candidates");
+    }
+
+    #[test]
+    fn greedy_shrink_finds_the_boundary() {
+        // Property: `n < 60` — minimal counterexample in 0..1000 is 60.
+        let s = 0u32..1000;
+        let (minimal, _steps) = crate::shrink_failure(&s, 937, |&n| n >= 60);
+        assert_eq!(minimal, 60);
+        // Unshrinkable strategies report the raw value.
+        let j = Just(41u8);
+        let (minimal, steps) = crate::shrink_failure(&j, 41, |_| true);
+        assert_eq!((minimal, steps), (41, 0));
     }
 
     #[test]

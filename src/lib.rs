@@ -64,6 +64,7 @@ pub use pipeline::{Pipeline, PipelineReport};
 
 /// One-stop imports for the common checking workflow.
 pub mod prelude {
+    pub use crate::pipeline::par::{check_all, standard_checkers, ParConfig, ParReport};
     pub use crate::pipeline::{Pipeline, PipelineReport};
     pub use aerodrome::basic::BasicChecker;
     pub use aerodrome::optimized::OptimizedChecker;
