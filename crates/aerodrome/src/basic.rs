@@ -152,6 +152,15 @@ impl<S: ClockStore> Rules for BasicRules<S> {
         }
         Ok(())
     }
+
+    fn reset(&mut self) {
+        // Keep the outer per-variable rows (empty rows are invisible to
+        // the transfer rules) so their inner buffers survive the reset;
+        // the handles they held were invalidated by the store reset.
+        for row in &mut self.rx {
+            row.clear();
+        }
+    }
 }
 
 impl<S: ClockStore> Engine<BasicRules<S>> {

@@ -83,6 +83,15 @@ pub trait Checker {
             ..CheckerReport::default()
         }
     }
+
+    /// Session reset: returns the checker to its just-constructed
+    /// behaviour — next trace's verdicts and per-trace report counters
+    /// are bit-identical to a fresh checker's — while retaining warm
+    /// internal storage (clock pools, table capacity, DFS scratch). This
+    /// is what lets a resident process check an unbounded stream of
+    /// traces through one set of checkers instead of constructing and
+    /// tearing one down per trace.
+    fn reset(&mut self);
 }
 
 /// The verdict of running a checker over a complete trace.

@@ -322,6 +322,24 @@ impl<S: ClockStore> Rules for OptimizedRules<S> {
             Ok(())
         }
     }
+
+    fn reset(&mut self) {
+        self.rx.clear();
+        self.chrx.clear();
+        self.stale_w.clear();
+        // Nested tables keep their outer rows (empty rows are invisible:
+        // nothing iterates them outer-to-inner) so the inner buffers —
+        // stale lists, update sets, membership bits — stay warm.
+        for stale in &mut self.stale_r {
+            stale.clear();
+        }
+        for set in self.update_r.iter_mut().chain(&mut self.update_w) {
+            set.clear();
+        }
+        for bits in self.in_update_r.iter_mut().chain(&mut self.in_update_w) {
+            bits.clear();
+        }
+    }
 }
 
 #[cfg(test)]

@@ -149,6 +149,13 @@ impl<S: ClockStore> Rules for ReadOptRules<S> {
         }
         Ok(())
     }
+
+    fn reset(&mut self) {
+        // Flat tables: clearing keeps capacity, and the dropped handles
+        // were already invalidated by the store reset.
+        self.rx.clear();
+        self.chrx.clear();
+    }
 }
 
 #[cfg(test)]

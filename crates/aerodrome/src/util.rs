@@ -54,6 +54,13 @@ impl TxnTracker {
         self.depth[i] == 0
     }
 
+    /// Session reset: forgets every thread's nesting state, keeping the
+    /// table capacity for the next trace.
+    pub(crate) fn reset(&mut self) {
+        self.depth.clear();
+        self.seq.clear();
+    }
+
     /// Whether thread `t` has an active transaction.
     pub(crate) fn active(&self, t: ThreadId) -> bool {
         self.depth.get(t.index()).copied().unwrap_or(0) > 0

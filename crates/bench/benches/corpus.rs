@@ -1,0 +1,75 @@
+//! Resident-vs-respawn bench: what checker session reuse buys on a
+//! multi-trace corpus.
+//!
+//! Both arms check the same deterministic in-memory corpus with the
+//! same sequential loop; the only difference is the checker lifecycle —
+//! **resident** constructs one panel and `reset()`s it between traces
+//! (warm clock pools, retained table capacity), **respawn** constructs
+//! a fresh panel per trace, exactly what scripting `rapid compare` per
+//! file does. The gap is the per-trace construction + warm-up cost the
+//! `rapid batch` runtime amortises away; docs/PERF.md records the
+//! numbers (`--jobs` scaling on top of this is measured by the
+//! `--ignored` acceptance test in `tests/multi_pipeline.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use aerodrome::basic::BasicChecker;
+use aerodrome::optimized::OptimizedChecker;
+use aerodrome::readopt::ReadOptChecker;
+use aerodrome::{run_checker, Checker};
+use velodrome::VelodromeChecker;
+use workloads::corpus::{entries, CorpusConfig};
+use workloads::generate;
+
+fn panel() -> Vec<Box<dyn Checker>> {
+    vec![
+        Box::new(BasicChecker::new()),
+        Box::new(ReadOptChecker::new()),
+        Box::new(OptimizedChecker::new()),
+        Box::new(VelodromeChecker::new()),
+    ]
+}
+
+/// The corpus, materialised once up front so both arms measure pure
+/// checking (no generation, no parsing).
+fn corpus(traces: usize, events: usize) -> Vec<tracelog::Trace> {
+    entries(&CorpusConfig { traces, events, ..CorpusConfig::default() })
+        .iter()
+        .map(|e| generate(&e.cfg))
+        .collect()
+}
+
+fn bench_resident_vs_respawn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("corpus_lifecycle");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    for traces in [20usize, 60] {
+        let corpus = corpus(traces, 4_000);
+        let total: u64 = corpus.iter().map(|t| t.len() as u64).sum();
+        g.throughput(Throughput::Elements(total));
+        g.bench_with_input(BenchmarkId::new("resident", traces), &corpus, |b, corpus| {
+            let mut checkers = panel();
+            b.iter(|| {
+                for trace in corpus {
+                    for checker in &mut checkers {
+                        checker.reset();
+                        let _ = run_checker(checker.as_mut(), trace);
+                    }
+                }
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("respawn", traces), &corpus, |b, corpus| {
+            b.iter(|| {
+                for trace in corpus {
+                    for mut checker in panel() {
+                        let _ = run_checker(checker.as_mut(), trace);
+                    }
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(corpus_benches, bench_resident_vs_respawn);
+criterion_main!(corpus_benches);

@@ -439,6 +439,14 @@ impl Checker for SeedOptimizedChecker {
     fn name(&self) -> &'static str {
         "aerodrome"
     }
+
+    /// The frozen seed checker has no recycled storage to keep warm; its
+    /// session reset *is* reconstruction — which is exactly the
+    /// per-trace-respawn baseline the resident runtime is measured
+    /// against.
+    fn reset(&mut self) {
+        *self = Self::default();
+    }
 }
 
 // Internal helpers vendored from the seed util module.

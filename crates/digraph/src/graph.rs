@@ -291,6 +291,35 @@ impl<N> DiGraph<N> {
         weight
     }
 
+    /// Session reset: removes every node and edge at once, keeping the
+    /// slab, adjacency-list and edge-set capacity for the next run.
+    ///
+    /// The freed slots are queued so they recycle in ascending index
+    /// order — the same [`NodeId`] sequence a freshly constructed graph
+    /// would issue, which keeps DFS visit order (and therefore the
+    /// cycle-check work counters of a resident Velodrome session)
+    /// bit-identical to a fresh checker's. Every pre-reset [`NodeRef`]
+    /// goes stale, and the instrumentation counters restart from zero:
+    /// a reset begins a new measurement session.
+    pub fn reset(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        for adj in self.succs.iter_mut().chain(&mut self.preds) {
+            adj.clear();
+        }
+        self.edges.clear();
+        self.free.clear();
+        for i in (0..self.slots.len()).rev() {
+            self.generations[i] = self.generations[i].wrapping_add(1);
+            self.free.push(i as u32);
+        }
+        self.num_nodes = 0;
+        self.total_nodes_added = 0;
+        self.total_edges_added = 0;
+        self.peak_nodes = 0;
+    }
+
     /// Iterates over live node handles.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|_| NodeId(i as u32)))
@@ -387,6 +416,33 @@ mod tests {
         assert_eq!(g.num_nodes(), 1);
         assert_eq!(g.total_nodes_added(), 2);
         assert_eq!(g.peak_nodes(), 1);
+    }
+
+    #[test]
+    fn reset_is_fresh_but_keeps_slots_and_stales_handles() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        let (ra, rb) = (g.handle(a), g.handle(b));
+        g.remove_node(c);
+        g.reset();
+        assert!(g.is_empty());
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.total_nodes_added(), 0, "a reset starts a new session");
+        assert_eq!(g.peak_nodes(), 0);
+        // Fresh-identical id sequence: slots recycle in ascending order.
+        let a2 = g.add_node("a2");
+        let b2 = g.add_node("b2");
+        assert_eq!((a2, b2), (NodeId(0), NodeId(1)));
+        // Pre-reset handles are stale even though their slots were reused.
+        assert_eq!(g.resolve(ra), None);
+        assert_eq!(g.resolve(rb), None);
+        assert_eq!(g.resolve(g.handle(a2)), Some(a2));
+        assert!(g.add_edge(a2, b2));
+        assert_eq!(g.successors(a2), &[b2]);
     }
 
     #[test]

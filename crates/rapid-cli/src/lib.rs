@@ -20,29 +20,35 @@
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 use aerodrome::basic::BasicChecker;
 use aerodrome::optimized::OptimizedChecker;
 use aerodrome::readopt::ReadOptChecker;
 use aerodrome::{Checker, Outcome};
-use aerodrome_suite::pipeline::par::{self, ParConfig};
+use aerodrome_suite::pipeline::multi::{self, MultiConfig};
+use aerodrome_suite::pipeline::par::{self, CheckerRun, ParConfig, SendChecker};
 use aerodrome_suite::pipeline::Pipeline;
-use tracelog::stream::{copy_events, EventSource, SourceNames, StdReader};
+use tracelog::stream::{
+    copy_events, EventBatch, EventSource, SourceNames, StdReader, DEFAULT_BATCH_EVENTS,
+};
 use tracelog::{MetaInfo, SourceError, Trace, Validator, ValiditySummary};
 use velodrome::{Config, Strategy, VelodromeChecker};
 
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
-    /// `rapid metainfo <trace.std>` — trace statistics (Tables 1–2
-    /// columns 2–6).
+    /// `rapid metainfo <trace.std> [--batch N]` — trace statistics
+    /// (Tables 1–2 columns 2–6).
     MetaInfo {
         /// Path of the trace log.
         path: String,
+        /// Events per ingest batch; `None` uses the default (~4096).
+        batch: Option<usize>,
     },
     /// `rapid aerodrome <trace.std> [--algorithm basic|readopt|optimized]
-    /// [--no-validate]` (alias: `rapid check`).
+    /// [--batch N] [--no-validate]` (alias: `rapid check`).
     Aerodrome {
         /// Path of the trace log.
         path: String,
@@ -50,9 +56,11 @@ pub enum Command {
         algorithm: Algorithm,
         /// Run the streaming well-formedness pre-pass (default true).
         validate: bool,
+        /// Events per ingest batch; `None` uses the default (~4096).
+        batch: Option<usize>,
     },
     /// `rapid velodrome <trace.std> [--no-gc] [--pearce-kelly]
-    /// [--no-validate]`.
+    /// [--batch N] [--no-validate]`.
     Velodrome {
         /// Path of the trace log.
         path: String,
@@ -60,6 +68,8 @@ pub enum Command {
         config: Config,
         /// Run the streaming well-formedness pre-pass (default true).
         validate: bool,
+        /// Events per ingest batch; `None` uses the default (~4096).
+        batch: Option<usize>,
     },
     /// `rapid compare <trace.std> [--jobs N] [--batch N] [--no-validate]`
     /// — one parse pass fanned out to every checker variant in parallel.
@@ -73,18 +83,43 @@ pub enum Command {
         /// Run the streaming well-formedness pre-pass (default true).
         validate: bool,
     },
-    /// `rapid validate <trace.std>` — the streaming well-formedness
-    /// check alone (exit 1 on the first ill-formed event).
+    /// `rapid validate <trace.std> [--batch N]` — the streaming
+    /// well-formedness check alone (exit 1 on the first ill-formed
+    /// event).
     Validate {
         /// Path of the trace log.
         path: String,
+        /// Events per ingest batch; `None` uses the default (~4096).
+        batch: Option<usize>,
+    },
+    /// `rapid batch <dir|manifest|trace.std> [--jobs N] [--batch N]
+    /// [--checker NAME] [--seal-verify] [--no-validate]` — the resident
+    /// multi-trace runtime: every discovered trace checked through
+    /// reusable worker sessions.
+    Batch {
+        /// Corpus root: a directory (walked for `*.std`), a manifest
+        /// file (one trace path per line) or a single trace log.
+        path: String,
+        /// Resident workers (`0` = one per available CPU).
+        jobs: usize,
+        /// Events per ingest batch; `None` uses the default (~4096).
+        batch: Option<usize>,
+        /// Which checkers each worker runs (default: the full panel).
+        checker: CheckerChoice,
+        /// Verify each trace's verdicts against its `.expect` sidecar;
+        /// sealed violations are then *expected*, and only mismatches
+        /// (or missing sidecars) fail the run.
+        seal_verify: bool,
+        /// Run the streaming well-formedness pre-pass (default true).
+        validate: bool,
     },
     /// `rapid generate <out.std> [--events N] [--threads N] [--seed N]
-    /// [--violation-at F] [--retention] [--profile NAME] [--seal]`
-    /// where NAME is a Table 1/2 row or one of the shapes
-    /// `convoy`/`fanout`/`nesting`.
+    /// [--violation-at F] [--retention] [--profile NAME] [--seal]
+    /// [--corpus N] [--batch N]` where NAME is a Table 1/2 row or one of
+    /// the shapes `convoy`/`fanout`/`nesting`. With `--corpus N` the
+    /// path is a directory receiving N varied traces plus a manifest.
     Generate {
-        /// Output path.
+        /// Output path (a directory with `--corpus`).
         path: String,
         /// Generator configuration (defaults merged with the flags).
         cfg: Box<workloads::GenConfig>,
@@ -99,6 +134,11 @@ pub enum Command {
         seal: bool,
         /// Worker threads for the `--seal` pass (`0` = auto).
         jobs: usize,
+        /// Emit a whole corpus of this many varied traces instead of one
+        /// log (honours `--events` per trace and `--seed`).
+        corpus: Option<usize>,
+        /// Events per ingest batch for the `--seal` re-read pass.
+        batch: Option<usize>,
     },
     /// `rapid table1 [--budget SECS]` / `rapid table2 [--budget SECS]`.
     Table {
@@ -107,24 +147,32 @@ pub enum Command {
         /// Per-run wall-clock budget.
         budget: Duration,
     },
-    /// `rapid twophase <trace.std> [--batch N] [--no-validate]` — the
-    /// DoubleChecker-style imprecise-then-precise analysis.
+    /// `rapid twophase <trace.std> [--phase-batch N] [--batch N]
+    /// [--no-validate]` — the DoubleChecker-style
+    /// imprecise-then-precise analysis. (`--batch` is the uniform
+    /// *ingest* batch; the phase-1 cycle-check period that used to be
+    /// called `--batch` is now `--phase-batch`.)
     TwoPhase {
         /// Path of the trace log.
         path: String,
         /// Phase-1 cycle-check batch size; `None` uses the documented
         /// [`Config::DEFAULT_TWOPHASE_BATCH`] default.
+        phase_batch: Option<usize>,
+        /// Events per ingest batch; `None` uses the default (~4096).
         batch: Option<usize>,
         /// Run the streaming well-formedness pre-pass (default true).
         validate: bool,
     },
-    /// `rapid causal <trace.std> [--no-validate]` — per-transaction
-    /// causal atomicity (oracle-based; quadratic, for small traces).
+    /// `rapid causal <trace.std> [--batch N] [--no-validate]` —
+    /// per-transaction causal atomicity (oracle-based; quadratic, for
+    /// small traces).
     Causal {
         /// Path of the trace log.
         path: String,
         /// Run the streaming well-formedness pre-pass (default true).
         validate: bool,
+        /// Events per ingest batch; `None` uses the default (~4096).
+        batch: Option<usize>,
     },
     /// `rapid help`.
     Help,
@@ -140,6 +188,50 @@ pub enum Algorithm {
     /// Algorithm 3 (default; the variant the paper evaluates).
     #[default]
     Optimized,
+}
+
+/// Which checkers a `rapid batch` worker session runs per trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CheckerChoice {
+    /// The full panel: all three AeroDrome variants plus Velodrome —
+    /// what `rapid compare` runs, and what seal sidecars record.
+    #[default]
+    All,
+    /// Algorithm 1 only.
+    Basic,
+    /// Algorithm 2 only.
+    ReadOpt,
+    /// Algorithm 3 only.
+    Optimized,
+    /// The Velodrome baseline only.
+    Velodrome,
+}
+
+impl CheckerChoice {
+    /// Parses a `--checker` value.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "all" => Some(Self::All),
+            "basic" => Some(Self::Basic),
+            "readopt" => Some(Self::ReadOpt),
+            "optimized" | "aerodrome" => Some(Self::Optimized),
+            "velodrome" => Some(Self::Velodrome),
+            _ => None,
+        }
+    }
+
+    /// Constructs one resident worker's checker panel.
+    #[must_use]
+    pub fn panel(self) -> Vec<SendChecker> {
+        match self {
+            Self::All => par::standard_checkers(),
+            Self::Basic => vec![Box::new(BasicChecker::new())],
+            Self::ReadOpt => vec![Box::new(ReadOptChecker::new())],
+            Self::Optimized => vec![Box::new(OptimizedChecker::new())],
+            Self::Velodrome => vec![Box::new(VelodromeChecker::new())],
+        }
+    }
 }
 
 /// Generator flags given explicitly on the `rapid generate` command
@@ -198,41 +290,62 @@ pub const USAGE: &str = "\
 rapid — atomicity checking on trace logs (AeroDrome reproduction)
 
 USAGE:
-    rapid metainfo  <trace.std>
+    rapid metainfo  <trace.std> [--batch N]
     rapid aerodrome <trace.std> [--algorithm basic|readopt|optimized]
-                    [--no-validate]            (alias: rapid check)
-    rapid velodrome <trace.std> [--no-gc] [--pearce-kelly] [--no-validate]
+                    [--batch N] [--no-validate]   (alias: rapid check)
+    rapid velodrome <trace.std> [--no-gc] [--pearce-kelly]
+                    [--batch N] [--no-validate]
     rapid compare   <trace.std> [--jobs N] [--batch N] [--no-validate]
-    rapid validate  <trace.std>
+    rapid batch     <dir|manifest|trace.std> [--jobs N] [--batch N]
+                    [--checker all|basic|readopt|optimized|velodrome]
+                    [--seal-verify] [--no-validate]
+    rapid validate  <trace.std> [--batch N]
     rapid generate  <out.std> [--profile NAME|convoy|fanout|nesting]
                     [--events N]
                     [--threads N] [--vars N] [--locks N] [--seed N]
                     [--violation-at F] [--retention]
+                    [--seal] [--jobs N] [--batch N]
+    rapid generate  <dir> --corpus N [--events N] [--seed N]
                     [--seal] [--jobs N]
     rapid table1    [--budget SECS]
     rapid table2    [--budget SECS]
-    rapid twophase  <trace.std> [--batch N] [--no-validate]   (default batch: 256)
-    rapid causal    <trace.std> [--no-validate]
+    rapid twophase  <trace.std> [--phase-batch N] [--batch N]
+                    [--no-validate]         (default phase batch: 256)
+    rapid causal    <trace.std> [--batch N] [--no-validate]
     rapid help
 
 Trace logs use the RAPID .std format: `<thread>|<op>|<loc>` per line with
 op ∈ r(x) w(x) acq(l) rel(l) fork(t) join(t) begin end.
 
-Checker analyses (aerodrome/check, velodrome, compare, twophase, causal)
-stream the log through an incremental parser and, by default, the
-Section 2 well-formedness validator (`--no-validate` skips it);
+`--batch N` is uniform across every event-ingesting subcommand: events
+pulled per parser refill (default ~4096). It never changes verdicts,
+only call granularity. (`twophase`'s phase-1 cycle-check period, which
+this flag used to name, is now `--phase-batch`.)
+
+Checker analyses (aerodrome/check, velodrome, compare, batch, twophase,
+causal) stream the log through an incremental parser and, by default,
+the Section 2 well-formedness validator (`--no-validate` skips it);
 `metainfo` is pure statistics and never validates. aerodrome/check,
-velodrome and compare run in constant memory regardless of trace size;
-twophase and causal replay and so hold the whole trace in memory.
+velodrome, compare and batch run in constant memory regardless of trace
+size; twophase and causal replay and so hold the whole trace in memory.
 `compare` parses the log ONCE and fans the events out to all three
 AeroDrome variants plus Velodrome on `--jobs` worker threads (default:
-one per CPU), printing a per-checker verdict table. `generate` streams
-events straight to the output file and accepts any Table 1/2 profile
-name plus the extra shapes `convoy`, `fanout` and `nesting` (explicit
-flags override a profile's config; the shapes reject the flags they
-cannot honour); `--seal` re-reads the written log and records every
-checker's verdict in an `<out>.std.expect` sidecar for use as a
-persisted reference log.";
+one per CPU), printing a per-checker verdict table. `batch` checks a
+whole CORPUS — a directory walked for *.std, a manifest listing one
+trace per line, or a single log — through resident worker sessions
+(checkers, parser and validator constructed once per worker, reused
+trace to trace); exit is non-zero on any violation, ingest error or
+seal mismatch. With `--seal-verify`, each trace's verdicts are diffed
+against its `<trace>.std.expect` sidecar instead: sealed violations are
+expected, and only mismatches or missing sidecars fail. `generate`
+streams events straight to the output file and accepts any Table 1/2
+profile name plus the extra shapes `convoy`, `fanout` and `nesting`
+(explicit flags override a profile's config; the shapes reject the
+flags they cannot honour); `--seal` re-reads the written log and
+records every checker's verdict in an `<out>.std.expect` sidecar for
+use as a persisted reference log. `generate <dir> --corpus N` writes N
+varied traces (generator + all shapes, violations injected into some)
+plus a manifest.txt — the input `rapid batch` expects.";
 
 /// Errors from command-line parsing.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -251,6 +364,29 @@ fn flag_value<'a>(args: &'a [String], i: &mut usize, name: &str) -> Result<&'a s
     args.get(*i).map(String::as_str).ok_or_else(|| UsageError(format!("{name} requires a value")))
 }
 
+/// Parses a flag's numeric value (`--flag N`).
+fn num_flag<T: std::str::FromStr>(
+    args: &[String],
+    i: &mut usize,
+    name: &str,
+) -> Result<T, UsageError>
+where
+    T::Err: std::fmt::Display,
+{
+    flag_value(args, i, name)?.parse().map_err(|e| UsageError(format!("{name}: {e}")))
+}
+
+/// The **uniform** `--batch <events>` flag: events per ingest batch,
+/// shared by every subcommand that ingests events (one parser, one
+/// default — [`tracelog::stream::DEFAULT_BATCH_EVENTS`] when absent).
+fn batch_flag(args: &[String], i: &mut usize) -> Result<usize, UsageError> {
+    let n: usize = num_flag(args, i, "--batch")?;
+    if n == 0 {
+        return Err(UsageError("--batch must be positive".into()));
+    }
+    Ok(n)
+}
+
 /// Parses `args` (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
     let Some(cmd) = args.first() else {
@@ -259,9 +395,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "metainfo" => {
-            let path =
-                args.get(1).ok_or_else(|| UsageError("metainfo requires a trace path".into()))?;
-            Ok(Command::MetaInfo { path: path.clone() })
+            let path = args
+                .get(1)
+                .ok_or_else(|| UsageError("metainfo requires a trace path".into()))?
+                .clone();
+            let mut batch = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--batch" => batch = Some(batch_flag(args, &mut i)?),
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::MetaInfo { path, batch })
         }
         "aerodrome" | "check" => {
             let path = args
@@ -270,6 +417,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 .clone();
             let mut algorithm = Algorithm::default();
             let mut validate = true;
+            let mut batch = None;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -283,12 +431,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                             }
                         };
                     }
+                    "--batch" => batch = Some(batch_flag(args, &mut i)?),
                     "--no-validate" => validate = false,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
                 i += 1;
             }
-            Ok(Command::Aerodrome { path, algorithm, validate })
+            Ok(Command::Aerodrome { path, algorithm, validate, batch })
         }
         "velodrome" => {
             let path = args
@@ -297,15 +446,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 .clone();
             let mut config = Config::default();
             let mut validate = true;
-            for arg in &args[2..] {
-                match arg.as_str() {
+            let mut batch = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
                     "--no-gc" => config.gc = false,
                     "--pearce-kelly" => config.strategy = Strategy::PearceKelly,
+                    "--batch" => batch = Some(batch_flag(args, &mut i)?),
                     "--no-validate" => validate = false,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
+                i += 1;
             }
-            Ok(Command::Velodrome { path, config, validate })
+            Ok(Command::Velodrome { path, config, validate, batch })
         }
         "compare" => {
             let path = args
@@ -318,20 +471,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
-                    "--jobs" => {
-                        jobs = flag_value(args, &mut i, "--jobs")?
-                            .parse()
-                            .map_err(|e| UsageError(format!("--jobs: {e}")))?;
-                    }
-                    "--batch" => {
-                        let n: usize = flag_value(args, &mut i, "--batch")?
-                            .parse()
-                            .map_err(|e| UsageError(format!("--batch: {e}")))?;
-                        if n == 0 {
-                            return Err(UsageError("--batch must be positive".into()));
-                        }
-                        batch = Some(n);
-                    }
+                    "--jobs" => jobs = num_flag(args, &mut i, "--jobs")?,
+                    "--batch" => batch = Some(batch_flag(args, &mut i)?),
                     "--no-validate" => validate = false,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
@@ -340,12 +481,56 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             Ok(Command::Compare { path, jobs, batch, validate })
         }
         "validate" => {
-            let path =
-                args.get(1).ok_or_else(|| UsageError("validate requires a trace path".into()))?;
-            if let Some(extra) = args.get(2) {
-                return Err(UsageError(format!("unknown flag `{extra}`")));
+            let path = args
+                .get(1)
+                .ok_or_else(|| UsageError("validate requires a trace path".into()))?
+                .clone();
+            let mut batch = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--batch" => batch = Some(batch_flag(args, &mut i)?),
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
             }
-            Ok(Command::Validate { path: path.clone() })
+            Ok(Command::Validate { path, batch })
+        }
+        "batch" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| {
+                    UsageError("batch requires a corpus path (directory, manifest or trace)".into())
+                })?
+                .clone();
+            let mut jobs = 0usize;
+            let mut batch = None;
+            let mut checker = CheckerChoice::default();
+            let mut seal_verify = false;
+            let mut validate = true;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--jobs" => jobs = num_flag(args, &mut i, "--jobs")?,
+                    "--batch" => batch = Some(batch_flag(args, &mut i)?),
+                    "--checker" => {
+                        let name = flag_value(args, &mut i, "--checker")?;
+                        checker = CheckerChoice::parse(name)
+                            .ok_or_else(|| UsageError(format!("unknown checker `{name}`")))?;
+                    }
+                    "--seal-verify" => seal_verify = true,
+                    "--no-validate" => validate = false,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            if seal_verify && checker != CheckerChoice::All {
+                return Err(UsageError(
+                    "--seal-verify needs the sealed panel: drop --checker (or use --checker all)"
+                        .into(),
+                ));
+            }
+            Ok(Command::Batch { path, jobs, batch, checker, seal_verify, validate })
         }
         "generate" => {
             let path = args
@@ -356,67 +541,63 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             let mut profile = None;
             let mut seal = false;
             let mut jobs = 0usize;
+            let mut corpus = None;
+            let mut batch = None;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
                     "--seal" => seal = true,
-                    "--jobs" => {
-                        jobs = flag_value(args, &mut i, "--jobs")?
-                            .parse()
-                            .map_err(|e| UsageError(format!("--jobs: {e}")))?;
+                    "--jobs" => jobs = num_flag(args, &mut i, "--jobs")?,
+                    "--batch" => batch = Some(batch_flag(args, &mut i)?),
+                    "--corpus" => {
+                        let n: usize = num_flag(args, &mut i, "--corpus")?;
+                        if n == 0 {
+                            return Err(UsageError("--corpus must be positive".into()));
+                        }
+                        corpus = Some(n);
                     }
                     "--profile" => {
                         profile = Some(flag_value(args, &mut i, "--profile")?.to_owned())
                     }
-                    "--events" => {
-                        overrides.events = Some(
-                            flag_value(args, &mut i, "--events")?
-                                .parse()
-                                .map_err(|e| UsageError(format!("--events: {e}")))?,
-                        );
-                    }
-                    "--threads" => {
-                        overrides.threads = Some(
-                            flag_value(args, &mut i, "--threads")?
-                                .parse()
-                                .map_err(|e| UsageError(format!("--threads: {e}")))?,
-                        );
-                    }
-                    "--vars" => {
-                        overrides.vars = Some(
-                            flag_value(args, &mut i, "--vars")?
-                                .parse()
-                                .map_err(|e| UsageError(format!("--vars: {e}")))?,
-                        );
-                    }
-                    "--locks" => {
-                        overrides.locks = Some(
-                            flag_value(args, &mut i, "--locks")?
-                                .parse()
-                                .map_err(|e| UsageError(format!("--locks: {e}")))?,
-                        );
-                    }
-                    "--seed" => {
-                        overrides.seed = Some(
-                            flag_value(args, &mut i, "--seed")?
-                                .parse()
-                                .map_err(|e| UsageError(format!("--seed: {e}")))?,
-                        );
-                    }
+                    "--events" => overrides.events = Some(num_flag(args, &mut i, "--events")?),
+                    "--threads" => overrides.threads = Some(num_flag(args, &mut i, "--threads")?),
+                    "--vars" => overrides.vars = Some(num_flag(args, &mut i, "--vars")?),
+                    "--locks" => overrides.locks = Some(num_flag(args, &mut i, "--locks")?),
+                    "--seed" => overrides.seed = Some(num_flag(args, &mut i, "--seed")?),
                     "--violation-at" => {
-                        overrides.violation_at = Some(
-                            flag_value(args, &mut i, "--violation-at")?
-                                .parse()
-                                .map_err(|e| UsageError(format!("--violation-at: {e}")))?,
-                        );
+                        overrides.violation_at = Some(num_flag(args, &mut i, "--violation-at")?);
                     }
                     "--retention" => overrides.retention = true,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
                 i += 1;
             }
+            if corpus.is_some() {
+                // The corpus generator varies shapes and knobs itself.
+                for (given, flag) in [
+                    (profile.is_some(), "--profile"),
+                    (overrides.threads.is_some(), "--threads"),
+                    (overrides.vars.is_some(), "--vars"),
+                    (overrides.locks.is_some(), "--locks"),
+                    (overrides.violation_at.is_some(), "--violation-at"),
+                    (overrides.retention, "--retention"),
+                ] {
+                    if given {
+                        return Err(UsageError(format!("{flag} cannot be combined with --corpus")));
+                    }
+                }
+            }
             let cfg = overrides.apply(workloads::GenConfig::default());
-            Ok(Command::Generate { path, cfg: Box::new(cfg), profile, overrides, seal, jobs })
+            Ok(Command::Generate {
+                path,
+                cfg: Box::new(cfg),
+                profile,
+                overrides,
+                seal,
+                jobs,
+                corpus,
+                batch,
+            })
         }
         "table1" | "table2" => {
             let which = if cmd == "table1" { 1 } else { 2 };
@@ -425,11 +606,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             while i < args.len() {
                 match args[i].as_str() {
                     "--budget" => {
-                        budget = Duration::from_secs(
-                            flag_value(args, &mut i, "--budget")?
-                                .parse()
-                                .map_err(|e| UsageError(format!("--budget: {e}")))?,
-                        );
+                        budget = Duration::from_secs(num_flag(args, &mut i, "--budget")?);
                     }
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
@@ -442,24 +619,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 .get(1)
                 .ok_or_else(|| UsageError("twophase requires a trace path".into()))?
                 .clone();
+            let mut phase_batch = None;
             let mut batch = None;
             let mut validate = true;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
-                    "--batch" => {
-                        batch = Some(
-                            flag_value(args, &mut i, "--batch")?
-                                .parse()
-                                .map_err(|e| UsageError(format!("--batch: {e}")))?,
-                        );
+                    "--phase-batch" => {
+                        phase_batch = Some(num_flag(args, &mut i, "--phase-batch")?);
                     }
+                    "--batch" => batch = Some(batch_flag(args, &mut i)?),
                     "--no-validate" => validate = false,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
                 i += 1;
             }
-            Ok(Command::TwoPhase { path, batch, validate })
+            Ok(Command::TwoPhase { path, phase_batch, batch, validate })
         }
         "causal" => {
             let path = args
@@ -467,13 +642,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 .ok_or_else(|| UsageError("causal requires a trace path".into()))?
                 .clone();
             let mut validate = true;
-            for arg in &args[2..] {
-                match arg.as_str() {
+            let mut batch = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--batch" => batch = Some(batch_flag(args, &mut i)?),
                     "--no-validate" => validate = false,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
+                i += 1;
             }
-            Ok(Command::Causal { path, validate })
+            Ok(Command::Causal { path, validate, batch })
         }
         other => Err(UsageError(format!("unknown command `{other}` (try `rapid help`)"))),
     }
@@ -546,27 +725,25 @@ pub fn seal_sidecar_path(path: &str) -> String {
     format!("{path}.expect")
 }
 
-/// Computes the canonical sealed-reference text for a `.std` log: one
-/// parallel pass of every checker, rendered as stable `key: value`
-/// lines. `rapid generate --seal` writes this next to the log; the
-/// sealed-log tests recompute it and diff.
-///
-/// # Errors
-///
-/// Propagates open/parse/validation failures as display strings.
-pub fn compute_seal(path: &str, jobs: usize) -> Result<String, String> {
-    let mut source = open_source(path)?;
-    let config = ParConfig::default().jobs(jobs);
-    let report = par::check_all(&mut source, par::standard_checkers(), &config)
-        .map_err(|e| source_err(path, &source, &e))?;
-    let names = source.names();
+/// Renders the canonical sealed-reference text from a finished run's
+/// ingredients — shared by [`compute_seal`] (one `rapid compare`-style
+/// pass) and the `rapid batch --seal-verify` path (which reuses the
+/// verdicts the resident run already produced instead of re-checking).
+#[must_use]
+pub fn seal_text(
+    events: u64,
+    threads: usize,
+    locks: usize,
+    vars: usize,
+    runs: &[CheckerRun],
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# rapid seal v1");
-    let _ = writeln!(out, "events: {}", report.events);
-    let _ = writeln!(out, "threads: {}", names.threads.len());
-    let _ = writeln!(out, "locks: {}", names.locks.len());
-    let _ = writeln!(out, "vars: {}", names.vars.len());
-    for run in &report.runs {
+    let _ = writeln!(out, "events: {events}");
+    let _ = writeln!(out, "threads: {threads}");
+    let _ = writeln!(out, "locks: {locks}");
+    let _ = writeln!(out, "vars: {vars}");
+    for run in runs {
         match run.outcome.violation() {
             None => {
                 let _ = writeln!(out, "{}: serializable", run.name);
@@ -576,7 +753,43 @@ pub fn compute_seal(path: &str, jobs: usize) -> Result<String, String> {
             }
         }
     }
-    Ok(out)
+    out
+}
+
+/// Computes the canonical sealed-reference text for a `.std` log: one
+/// parallel pass of every checker, rendered as stable `key: value`
+/// lines. `rapid generate --seal` writes this next to the log; the
+/// sealed-log tests recompute it and diff.
+///
+/// # Errors
+///
+/// Propagates open/parse/validation failures as display strings.
+pub fn compute_seal(path: &str, jobs: usize) -> Result<String, String> {
+    compute_seal_with(path, jobs, None)
+}
+
+/// [`compute_seal`] with an explicit ingest batch size (the uniform
+/// `--batch` knob; `None` = default).
+///
+/// # Errors
+///
+/// Propagates open/parse/validation failures as display strings.
+pub fn compute_seal_with(path: &str, jobs: usize, batch: Option<usize>) -> Result<String, String> {
+    let mut source = open_source(path)?;
+    let mut config = ParConfig::default().jobs(jobs);
+    if let Some(b) = batch {
+        config = config.batch_events(b);
+    }
+    let report = par::check_all(&mut source, par::standard_checkers(), &config)
+        .map_err(|e| source_err(path, &source, &e))?;
+    let names = source.names();
+    Ok(seal_text(
+        report.events,
+        names.threads.len(),
+        names.locks.len(),
+        names.vars.len(),
+        &report.runs,
+    ))
 }
 
 /// Seals `path`: writes the [`compute_seal`] text to the sidecar.
@@ -585,7 +798,16 @@ pub fn compute_seal(path: &str, jobs: usize) -> Result<String, String> {
 ///
 /// Propagates checking and write failures as display strings.
 pub fn write_seal(path: &str, jobs: usize) -> Result<String, String> {
-    let text = compute_seal(path, jobs)?;
+    write_seal_with(path, jobs, None)
+}
+
+/// [`write_seal`] with an explicit ingest batch size.
+///
+/// # Errors
+///
+/// Propagates checking and write failures as display strings.
+pub fn write_seal_with(path: &str, jobs: usize, batch: Option<usize>) -> Result<String, String> {
+    let text = compute_seal_with(path, jobs, batch)?;
     let sidecar = seal_sidecar_path(path);
     std::fs::write(&sidecar, &text).map_err(|e| format!("{sidecar}: {e}"))?;
     Ok(text)
@@ -613,15 +835,18 @@ pub fn verify_seal(path: &str, jobs: usize) -> Result<(), String> {
 pub fn run(command: Command) -> Result<String, String> {
     match command {
         Command::Help => Ok(USAGE.to_owned()),
-        Command::MetaInfo { path } => {
-            // Pure statistics, computed in one streaming pass.
+        Command::MetaInfo { path, batch } => {
+            // Pure statistics, computed in one streaming (batched) pass.
             let mut source = open_source(&path)?;
             let info =
-                MetaInfo::collect(&mut source).map_err(|e| source_err(&path, &source, &e))?;
+                MetaInfo::collect_batched(&mut source, batch.unwrap_or(DEFAULT_BATCH_EVENTS))
+                    .map_err(|e| source_err(&path, &source, &e))?;
             Ok(info.to_string())
         }
-        Command::Aerodrome { path, algorithm, validate } => {
-            let mut pipeline = Pipeline::new(open_source(&path)?).validate(validate);
+        Command::Aerodrome { path, algorithm, validate, batch } => {
+            let mut pipeline = Pipeline::new(open_source(&path)?)
+                .validate(validate)
+                .batch_events(batch.unwrap_or(DEFAULT_BATCH_EVENTS));
             let (name, mut checker): (_, Box<dyn Checker>) = match algorithm {
                 Algorithm::Basic => ("aerodrome (Algorithm 1)", Box::new(BasicChecker::new())),
                 Algorithm::ReadOpt => ("aerodrome (Algorithm 2)", Box::new(ReadOptChecker::new())),
@@ -652,8 +877,10 @@ pub fn run(command: Command) -> Result<String, String> {
             );
             Ok(out)
         }
-        Command::Velodrome { path, config, validate } => {
-            let mut pipeline = Pipeline::new(open_source(&path)?).validate(validate);
+        Command::Velodrome { path, config, validate, batch } => {
+            let mut pipeline = Pipeline::new(open_source(&path)?)
+                .validate(validate)
+                .batch_events(batch.unwrap_or(DEFAULT_BATCH_EVENTS));
             let mut c = VelodromeChecker::with_config(config);
             let report =
                 pipeline.run(&mut c).map_err(|e| source_err(&path, pipeline.source(), &e))?;
@@ -744,21 +971,137 @@ pub fn run(command: Command) -> Result<String, String> {
             }
             Ok(out)
         }
-        Command::Validate { path } => {
+        Command::Batch { path, jobs, batch, checker, seal_verify, validate } => {
+            let paths = multi::discover(Path::new(&path))?;
+            let mut config = MultiConfig::default().jobs(jobs).validate(validate);
+            if let Some(b) = batch {
+                config = config.batch_events(b);
+            }
+            let report = multi::check_corpus(&paths, || checker.panel(), &config);
+
+            // Sidecar verification reuses the verdicts the resident run
+            // already produced — no second pass over any trace.
+            let seals: Vec<Option<Result<(), String>>> = report
+                .traces
+                .iter()
+                .map(|t| {
+                    if !seal_verify || t.error.is_some() {
+                        return None;
+                    }
+                    let sidecar = seal_sidecar_path(&t.path.to_string_lossy());
+                    let sealed = match std::fs::read_to_string(&sidecar) {
+                        Ok(s) => s,
+                        Err(e) => return Some(Err(format!("{sidecar}: {e}"))),
+                    };
+                    let fresh = seal_text(t.events, t.threads, t.locks, t.vars, &t.runs);
+                    if sealed == fresh {
+                        Some(Ok(()))
+                    } else {
+                        Some(Err(format!(
+                            "sealed verdicts diverge\n--- sealed\n{sealed}--- fresh\n{fresh}"
+                        )))
+                    }
+                })
+                .collect();
+
+            let panel: Vec<&str> = report
+                .traces
+                .first()
+                .map(|t| t.runs.iter().map(|r| r.name).collect())
+                .unwrap_or_default();
+            let mut out = String::new();
+            let _ = writeln!(out, "resident batch: {path}");
+            let _ = writeln!(
+                out,
+                "traces: {}  workers: {}  events: {}  wall: {:.3}s  checkers: {}",
+                report.traces.len(),
+                report.workers,
+                report.events(),
+                report.wall.as_secs_f64(),
+                panel.join(",")
+            );
+            let _ =
+                writeln!(out, "{:>5} {:>10} {:<8} {:>9}  trace", "#", "events", "verdicts", "wall");
+            let mut mismatches = 0usize;
+            for (trace, seal) in report.traces.iter().zip(&seals) {
+                let verdicts: String = trace
+                    .runs
+                    .iter()
+                    .map(|r| if r.outcome.is_violation() { '✗' } else { '✓' })
+                    .collect();
+                let note = match (&trace.error, seal) {
+                    (Some(e), _) => format!("  ERROR {e}"),
+                    (None, Some(Err(e))) => {
+                        mismatches += 1;
+                        format!("  SEAL MISMATCH {}", e.lines().next().unwrap_or_default())
+                    }
+                    (None, Some(Ok(()))) => "  seal ✓".to_owned(),
+                    (None, None) => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{:>5} {:>10} {:<8} {:>8.3}s  {}{note}",
+                    trace.index,
+                    trace.events,
+                    verdicts,
+                    trace.wall.as_secs_f64(),
+                    trace.path.display()
+                );
+            }
+            let _ = writeln!(out, "corpus totals per checker:");
+            for total in report.checker_totals() {
+                let _ = writeln!(
+                    out,
+                    "  {:<18} events={:<12} clock joins={:<12} heap allocs={} (retained {} B peak)",
+                    total.name,
+                    total.events,
+                    total.clock_joins,
+                    total.clocks.heap_allocs(),
+                    total.clocks.retained_bytes
+                );
+            }
+            let violations = report.violations();
+            let errors = report.errors();
+            let _ = writeln!(
+                out,
+                "summary: {violations} violating trace(s), {errors} ingest error(s){}",
+                if seal_verify {
+                    format!(", {mismatches} seal mismatch(es)")
+                } else {
+                    String::new()
+                }
+            );
+            // Non-zero exit on any violation/mismatch: plain runs fail on
+            // violations; --seal-verify runs treat sealed violations as
+            // expected and fail only on mismatch/missing sidecars.
+            let failed = errors > 0 || mismatches > 0 || (!seal_verify && violations > 0);
+            if failed {
+                Err(out)
+            } else {
+                Ok(out)
+            }
+        }
+        Command::Validate { path, batch } => {
             let mut source = open_source(&path)?;
             let mut validator = Validator::new();
-            loop {
-                match source.next_event() {
-                    Err(e) => return Err(source_err(&path, &source, &e)),
-                    Ok(None) => break,
-                    Ok(Some(event)) => {
-                        if let Err(e) = validator.observe(event) {
-                            return Err(format!(
-                                "{path}: line {}: not well-formed: {e}",
-                                source.line()
-                            ));
-                        }
+            let mut arena = EventBatch::with_target(batch.unwrap_or(DEFAULT_BATCH_EVENTS));
+            'ingest: loop {
+                let refill = source.next_batch(&mut arena);
+                for &event in arena.events() {
+                    if let Err(e) = validator.observe(event) {
+                        // Batched-ahead parsing: the reader's current line
+                        // is past the offending event; attribute via the
+                        // batch window.
+                        return Err(format!(
+                            "{path}: line {}: not well-formed: {e}",
+                            source.line_of(e.event()).unwrap_or_else(|| source.line())
+                        ));
                     }
+                }
+                match refill {
+                    Err(e) => return Err(source_err(&path, &source, &e)),
+                    Ok(0) => break 'ingest,
+                    Ok(_) => {}
                 }
             }
             let events = validator.events_observed();
@@ -776,7 +1119,35 @@ pub fn run(command: Command) -> Result<String, String> {
             }
             Ok(out)
         }
-        Command::Generate { path, cfg, profile, overrides, seal, jobs } => {
+        Command::Generate { path, cfg, profile, overrides, seal, jobs, corpus, batch } => {
+            if let Some(traces) = corpus {
+                // A whole corpus: N varied traces plus a manifest, the
+                // input `rapid batch` expects. Defaults come from the
+                // library's CorpusConfig so CLI-generated corpora stay
+                // byte-identical to test/bench/CI ones.
+                let defaults = workloads::corpus::CorpusConfig::default();
+                let spec = workloads::corpus::CorpusConfig {
+                    traces,
+                    seed: overrides.seed.unwrap_or(defaults.seed),
+                    events: overrides.events.unwrap_or(defaults.events),
+                    ..defaults
+                };
+                let dir = Path::new(&path);
+                let paths = workloads::corpus::write_corpus(dir, &spec)
+                    .map_err(|e| format!("{path}: {e}"))?;
+                let mut msg = format!(
+                    "wrote {traces} traces + manifest.txt to {path} (seed {})\n",
+                    spec.seed
+                );
+                if seal {
+                    for p in &paths {
+                        let p = p.to_string_lossy();
+                        write_seal_with(&p, jobs, batch)?;
+                    }
+                    let _ = writeln!(msg, "sealed {} .expect sidecar(s)", paths.len());
+                }
+                return Ok(msg);
+            }
             // Streamed straight to disk: no Trace is materialised, so
             // `--events 10000000` works in constant memory.
             let mut source: Box<dyn EventSource> = match profile {
@@ -831,7 +1202,7 @@ pub fn run(command: Command) -> Result<String, String> {
                 // Reference verdicts come from re-reading the written
                 // log (not the generator), so the sidecar certifies the
                 // bytes on disk.
-                let text = write_seal(&path, jobs)?;
+                let text = write_seal_with(&path, jobs, batch)?;
                 let verdicts = text
                     .lines()
                     .filter(|l| l.contains(": violation@") || l.ends_with(": serializable"))
@@ -845,12 +1216,14 @@ pub fn run(command: Command) -> Result<String, String> {
             }
             Ok(msg)
         }
-        Command::TwoPhase { path, batch, validate } => {
+        Command::TwoPhase { path, phase_batch, batch, validate } => {
             let config = Config {
-                twophase_batch: batch.unwrap_or(Config::DEFAULT_TWOPHASE_BATCH),
+                twophase_batch: phase_batch.unwrap_or(Config::DEFAULT_TWOPHASE_BATCH),
                 ..Config::default()
             };
-            let mut pipeline = Pipeline::new(open_source(&path)?).validate(validate);
+            let mut pipeline = Pipeline::new(open_source(&path)?)
+                .validate(validate)
+                .batch_events(batch.unwrap_or(DEFAULT_BATCH_EVENTS));
             let run = pipeline
                 .run_twophase(&config)
                 .map_err(|e| source_err(&path, pipeline.source(), &e))?;
@@ -869,8 +1242,10 @@ pub fn run(command: Command) -> Result<String, String> {
             );
             Ok(out)
         }
-        Command::Causal { path, validate } => {
-            let mut pipeline = Pipeline::new(open_source(&path)?).validate(validate);
+        Command::Causal { path, validate, batch } => {
+            let mut pipeline = Pipeline::new(open_source(&path)?)
+                .validate(validate)
+                .batch_events(batch.unwrap_or(DEFAULT_BATCH_EVENTS));
             let (trace, _summary) =
                 pipeline.collect().map_err(|e| source_err(&path, pipeline.source(), &e))?;
             if trace.len() > 20_000 {
@@ -948,7 +1323,7 @@ mod tests {
     fn parses_metainfo() {
         assert_eq!(
             parse_args(&args(&["metainfo", "t.std"])).unwrap(),
-            Command::MetaInfo { path: "t.std".into() }
+            Command::MetaInfo { path: "t.std".into(), batch: None }
         );
         assert!(parse_args(&args(&["metainfo"])).is_err());
     }
@@ -961,7 +1336,8 @@ mod tests {
             Command::Aerodrome {
                 path: "t.std".into(),
                 algorithm: Algorithm::Basic,
-                validate: true
+                validate: true,
+                batch: None
             }
         );
         assert!(parse_args(&args(&["aerodrome", "t.std", "--algorithm", "bogus"])).is_err());
@@ -971,7 +1347,8 @@ mod tests {
             Command::Aerodrome {
                 path: "t.std".into(),
                 algorithm: Algorithm::Optimized,
-                validate: true
+                validate: true,
+                batch: None
             }
         );
         // `check` is an alias, and `--no-validate` opts out of the
@@ -982,7 +1359,8 @@ mod tests {
             Command::Aerodrome {
                 path: "t.std".into(),
                 algorithm: Algorithm::Optimized,
-                validate: false
+                validate: false,
+                batch: None
             }
         );
     }
@@ -991,7 +1369,7 @@ mod tests {
     fn parses_validate_subcommand() {
         assert_eq!(
             parse_args(&args(&["validate", "t.std"])).unwrap(),
-            Command::Validate { path: "t.std".into() }
+            Command::Validate { path: "t.std".into(), batch: None }
         );
         assert!(parse_args(&args(&["validate"])).is_err());
     }
@@ -1070,16 +1448,23 @@ mod tests {
             overrides: GenOverrides::default(),
             seal: false,
             jobs: 0,
+            corpus: None,
+            batch: None,
         })
         .unwrap();
         assert!(out.contains("wrote"));
 
-        let info = run(Command::MetaInfo { path: path.clone() }).unwrap();
+        let info = run(Command::MetaInfo { path: path.clone(), batch: None }).unwrap();
         assert!(info.contains("events:"));
 
         for algorithm in [Algorithm::Basic, Algorithm::ReadOpt, Algorithm::Optimized] {
-            let report =
-                run(Command::Aerodrome { path: path.clone(), algorithm, validate: true }).unwrap();
+            let report = run(Command::Aerodrome {
+                path: path.clone(),
+                algorithm,
+                validate: true,
+                batch: None,
+            })
+            .unwrap();
             assert!(report.contains('✗'), "expected violation: {report}");
             assert!(report.contains("clocks: joins="), "clock-core counters missing: {report}");
         }
@@ -1087,12 +1472,13 @@ mod tests {
             path: path.clone(),
             config: Config::default(),
             validate: true,
+            batch: None,
         })
         .unwrap();
         assert!(report.contains('✗'));
         assert!(report.contains("graph:"));
 
-        let report = run(Command::Validate { path: path.clone() }).unwrap();
+        let report = run(Command::Validate { path: path.clone(), batch: None }).unwrap();
         assert!(report.contains("well-formed"), "{report}");
     }
 
@@ -1108,6 +1494,8 @@ mod tests {
             overrides: GenOverrides::default(),
             seal: false,
             jobs: 0,
+            corpus: None,
+            batch: None,
         })
         .unwrap();
         assert!(out.contains("wrote"));
@@ -1118,6 +1506,8 @@ mod tests {
             overrides: GenOverrides::default(),
             seal: false,
             jobs: 0,
+            corpus: None,
+            batch: None,
         })
         .is_err());
     }
@@ -1160,17 +1550,39 @@ mod twophase_causal_tests {
 
     #[test]
     fn parses_twophase_and_causal() {
-        let cmd = parse_args(&["twophase".into(), "t.std".into(), "--batch".into(), "64".into()])
-            .unwrap();
+        // --phase-batch is the phase-1 cycle-check period; --batch is the
+        // uniform ingest batch.
+        let cmd = parse_args(&[
+            "twophase".into(),
+            "t.std".into(),
+            "--phase-batch".into(),
+            "64".into(),
+            "--batch".into(),
+            "512".into(),
+        ])
+        .unwrap();
         assert_eq!(
             cmd,
-            Command::TwoPhase { path: "t.std".into(), batch: Some(64), validate: true }
+            Command::TwoPhase {
+                path: "t.std".into(),
+                phase_batch: Some(64),
+                batch: Some(512),
+                validate: true
+            }
         );
-        // Without --batch the documented Config default applies.
+        // Without --phase-batch the documented Config default applies.
         let cmd = parse_args(&["twophase".into(), "t.std".into()]).unwrap();
-        assert_eq!(cmd, Command::TwoPhase { path: "t.std".into(), batch: None, validate: true });
+        assert_eq!(
+            cmd,
+            Command::TwoPhase {
+                path: "t.std".into(),
+                phase_batch: None,
+                batch: None,
+                validate: true
+            }
+        );
         let cmd = parse_args(&["causal".into(), "t.std".into()]).unwrap();
-        assert_eq!(cmd, Command::Causal { path: "t.std".into(), validate: true });
+        assert_eq!(cmd, Command::Causal { path: "t.std".into(), validate: true, batch: None });
         assert!(parse_args(&["twophase".into()]).is_err());
     }
 
@@ -1180,21 +1592,31 @@ mod twophase_causal_tests {
         let rho2 = tracelog::paper_traces::rho2();
         std::fs::write(&path, tracelog::write_trace(&rho2)).unwrap();
 
-        let out =
-            run(Command::TwoPhase { path: path.clone(), batch: Some(4), validate: true }).unwrap();
+        let out = run(Command::TwoPhase {
+            path: path.clone(),
+            phase_batch: Some(4),
+            batch: None,
+            validate: true,
+        })
+        .unwrap();
         assert!(out.contains('✗'), "{out}");
         assert!(out.contains("phase 1"));
 
-        let out = run(Command::Causal { path: path.clone(), validate: true }).unwrap();
+        let out = run(Command::Causal { path: path.clone(), validate: true, batch: None }).unwrap();
         assert!(out.contains("⋖-cycle"), "{out}");
 
         // Serializable trace: both report clean.
         let path = tmp("tp_ok.std");
         std::fs::write(&path, tracelog::write_trace(&tracelog::paper_traces::rho1())).unwrap();
-        let out =
-            run(Command::TwoPhase { path: path.clone(), batch: None, validate: true }).unwrap();
+        let out = run(Command::TwoPhase {
+            path: path.clone(),
+            phase_batch: None,
+            batch: None,
+            validate: true,
+        })
+        .unwrap();
         assert!(out.contains('✓'));
-        let out = run(Command::Causal { path, validate: true }).unwrap();
+        let out = run(Command::Causal { path, validate: true, batch: None }).unwrap();
         assert!(out.contains("causally atomic"));
     }
 
@@ -1206,7 +1628,7 @@ mod twophase_causal_tests {
             ..workloads::GenConfig::default()
         });
         std::fs::write(&path, tracelog::write_trace(&trace)).unwrap();
-        assert!(run(Command::Causal { path, validate: true }).is_err());
+        assert!(run(Command::Causal { path, validate: true, batch: None }).is_err());
     }
 
     #[test]
@@ -1219,11 +1641,12 @@ mod twophase_causal_tests {
             path: path.clone(),
             algorithm: Algorithm::Optimized,
             validate: true,
+            batch: None,
         })
         .unwrap_err();
         assert!(err.contains("not well-formed"), "{err}");
         assert!(err.contains("line 2"), "{err}");
-        assert!(run(Command::Validate { path: path.clone() }).is_err());
+        assert!(run(Command::Validate { path: path.clone(), batch: None }).is_err());
 
         // The opt-out analyses the trace anyway (verdict meaningless but
         // the paper's algorithms do not crash).
@@ -1231,6 +1654,7 @@ mod twophase_causal_tests {
             path: path.clone(),
             algorithm: Algorithm::Optimized,
             validate: false,
+            batch: None,
         })
         .unwrap();
         assert!(out.contains("analysis:"), "{out}");
@@ -1247,14 +1671,20 @@ mod twophase_causal_tests {
                 overrides: GenOverrides::default(),
                 seal: false,
                 jobs: 0,
+                corpus: None,
+                batch: None,
             })
             .unwrap();
             assert!(out.contains("wrote"), "{out}");
-            let report = run(Command::Validate { path: path.clone() }).unwrap();
+            let report = run(Command::Validate { path: path.clone(), batch: None }).unwrap();
             assert!(report.contains("closed"), "{name}: {report}");
-            let report =
-                run(Command::Aerodrome { path, algorithm: Algorithm::Optimized, validate: true })
-                    .unwrap();
+            let report = run(Command::Aerodrome {
+                path,
+                algorithm: Algorithm::Optimized,
+                validate: true,
+                batch: None,
+            })
+            .unwrap();
             assert!(report.contains('✓'), "{name} shapes are serializable: {report}");
         }
     }

@@ -129,6 +129,14 @@ impl Interner {
     pub fn iter(&self) -> impl Iterator<Item = &str> {
         self.names.iter().map(String::as_str)
     }
+
+    /// Forgets every interned name, keeping the table capacity — the
+    /// session reset for sources reused across traces whose name sets
+    /// differ.
+    pub fn clear(&mut self) {
+        self.names.clear();
+        self.index.clear();
+    }
 }
 
 #[cfg(test)]

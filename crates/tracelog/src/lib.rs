@@ -54,7 +54,7 @@ pub mod validate;
 
 pub use ids::{Interner, LockId, ThreadId, VarId};
 pub use parser::{parse_trace, write_trace, ParseTraceError};
-pub use stats::MetaInfo;
+pub use stats::{MetaCollector, MetaInfo};
 pub use stream::{EventBatch, EventSource, SourceError, SourceNames, StdReader, TraceSource};
 pub use trace::{Event, EventId, Op, Trace, TraceBuilder};
 pub use txn::{Transaction, TransactionId, Transactions};

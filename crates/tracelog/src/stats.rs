@@ -85,7 +85,8 @@ impl MetaInfo {
     }
 
     /// Computes the statistics of a streaming source in constant memory
-    /// (name tables aside), without materialising a [`Trace`].
+    /// (name tables aside), without materialising a [`Trace`] —
+    /// [`MetaCollector`] driven per event.
     ///
     /// Transactions are counted as outermost `⊲` events, which on
     /// well-formed traces equals the segmentation-based count of
@@ -95,45 +96,109 @@ impl MetaInfo {
     ///
     /// Propagates the first error of the source.
     pub fn collect<S: EventSource + ?Sized>(source: &mut S) -> Result<Self, SourceError> {
-        let mut info = Self::default();
-        let mut depth: Vec<usize> = Vec::new();
-        while let Some(e) = source.next_event()? {
-            let ti = e.thread.index();
-            if depth.len() <= ti {
-                depth.resize(ti + 1, 0);
+        Self::collect_batched(source, crate::stream::DEFAULT_BATCH_EVENTS)
+    }
+
+    /// [`MetaInfo::collect`] with an explicit ingest batch size (the
+    /// `rapid --batch` knob). Events preceding a source failure are
+    /// folded in before the error surfaces, exactly as per-event
+    /// iteration would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error of the source.
+    pub fn collect_batched<S: EventSource + ?Sized>(
+        source: &mut S,
+        batch_events: usize,
+    ) -> Result<Self, SourceError> {
+        let mut collector = MetaCollector::default();
+        let mut batch = crate::stream::EventBatch::with_target(batch_events);
+        loop {
+            let refill = source.next_batch(&mut batch);
+            for &event in batch.events() {
+                collector.observe(event);
             }
-            info.events += 1;
-            match e.op {
-                Op::Read(_) => info.reads += 1,
-                Op::Write(_) => info.writes += 1,
-                Op::Acquire(_) => info.acquires += 1,
-                Op::Release(_) => info.releases += 1,
-                Op::Fork(_) => info.forks += 1,
-                Op::Join(_) => info.joins += 1,
-                Op::Begin => {
-                    info.begins += 1;
-                    if depth[ti] == 0 {
-                        info.transactions += 1;
-                    }
-                    depth[ti] += 1;
-                }
-                Op::End => {
-                    info.ends += 1;
-                    depth[ti] = depth[ti].saturating_sub(1);
-                }
+            match refill {
+                Err(e) => return Err(e),
+                Ok(0) => break,
+                Ok(_) => {}
             }
         }
-        let names = source.names();
-        info.threads = names.threads.len();
-        info.locks = names.locks.len();
-        info.vars = names.vars.len();
-        Ok(info)
+        Ok(collector.finish(&source.names()))
     }
 
     /// Memory accesses (`reads + writes`).
     #[must_use]
     pub fn accesses(&self) -> usize {
         self.reads + self.writes
+    }
+}
+
+/// The streaming state behind [`MetaInfo::collect`], exposed so callers
+/// that already iterate events (or batches of them) can fold statistics
+/// in without handing over the source.
+///
+/// # Examples
+///
+/// ```
+/// use tracelog::{MetaCollector, TraceBuilder};
+///
+/// let mut tb = TraceBuilder::new();
+/// let t = tb.thread("t1");
+/// let x = tb.var("x");
+/// tb.begin(t).write(t, x).end(t);
+/// let trace = tb.finish();
+/// let mut collector = MetaCollector::default();
+/// for &e in &trace {
+///     collector.observe(e);
+/// }
+/// let info = collector.finish(&trace.names());
+/// assert_eq!((info.events, info.transactions), (3, 1));
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct MetaCollector {
+    info: MetaInfo,
+    /// Per-thread nesting depth (outermost begins count as transactions).
+    depth: Vec<usize>,
+}
+
+impl MetaCollector {
+    /// Folds one event into the statistics.
+    pub fn observe(&mut self, e: crate::Event) {
+        let ti = e.thread.index();
+        if self.depth.len() <= ti {
+            self.depth.resize(ti + 1, 0);
+        }
+        let info = &mut self.info;
+        info.events += 1;
+        match e.op {
+            Op::Read(_) => info.reads += 1,
+            Op::Write(_) => info.writes += 1,
+            Op::Acquire(_) => info.acquires += 1,
+            Op::Release(_) => info.releases += 1,
+            Op::Fork(_) => info.forks += 1,
+            Op::Join(_) => info.joins += 1,
+            Op::Begin => {
+                info.begins += 1;
+                if self.depth[ti] == 0 {
+                    info.transactions += 1;
+                }
+                self.depth[ti] += 1;
+            }
+            Op::End => {
+                info.ends += 1;
+                self.depth[ti] = self.depth[ti].saturating_sub(1);
+            }
+        }
+    }
+
+    /// Finalises with the source's name tables.
+    #[must_use]
+    pub fn finish(mut self, names: &crate::stream::SourceNames<'_>) -> MetaInfo {
+        self.info.threads = names.threads.len();
+        self.info.locks = names.locks.len();
+        self.info.vars = names.vars.len();
+        self.info
     }
 }
 

@@ -459,6 +459,22 @@ impl<R: BufRead> StdReader<R> {
     pub fn into_names(self) -> (Interner, Interner, Interner) {
         (self.threads, self.locks, self.vars)
     }
+
+    /// Session reset onto a new input: the parser restarts from line 1
+    /// with empty name tables while the line buffer, the attribution
+    /// window and the interner capacity stay warm. This is how a resident
+    /// worker reads an unbounded stream of trace files through one
+    /// reader session instead of constructing a parser per trace.
+    pub fn reset(&mut self, reader: R) {
+        self.reader = reader;
+        self.threads.clear();
+        self.locks.clear();
+        self.vars.clear();
+        self.line = 0;
+        self.done = false;
+        self.events = 0;
+        self.recent_lines.clear();
+    }
 }
 
 impl<R: BufRead> StdReader<R> {
@@ -624,6 +640,15 @@ impl<S: EventSource> Validated<S> {
     /// Unwraps the inner source.
     pub fn into_inner(self) -> S {
         self.inner
+    }
+
+    /// Session reset: clears the validator state and the fatal-error
+    /// latch so the stage can validate another input. The caller is
+    /// responsible for having reset (or replaced) the inner source to a
+    /// fresh input first — e.g. via [`StdReader::reset`].
+    pub fn reset(&mut self) {
+        self.validator.reset();
+        self.done = false;
     }
 }
 

@@ -202,6 +202,18 @@ impl Validator {
         self.events
     }
 
+    /// Session reset: forgets all lock/transaction/thread state and the
+    /// event counter, keeping table capacity, so one validator serves an
+    /// unbounded stream of traces.
+    pub fn reset(&mut self) {
+        self.lock_state.clear();
+        self.txn_depth.clear();
+        self.started.clear();
+        self.forked.clear();
+        self.joined.clear();
+        self.events = 0;
+    }
+
     /// Checks the next event against the Section 2 assumptions.
     ///
     /// # Errors

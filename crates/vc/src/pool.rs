@@ -122,6 +122,10 @@ pub struct PoolStats {
     pub live_slots: usize,
     /// Vacant slots available for reuse.
     pub free_slots: usize,
+    /// Bytes of component-buffer capacity currently retained by the pool
+    /// (live and vacant slots alike) — the footprint a resident session
+    /// carries from trace to trace, bounded by [`ClockPool::trim`].
+    pub retained_bytes: usize,
 }
 
 impl PoolStats {
@@ -132,6 +136,44 @@ impl PoolStats {
     #[must_use]
     pub fn heap_allocs(&self) -> u64 {
         self.buffers_allocated + self.buffer_grows
+    }
+
+    /// Adds `other`'s monotone counters into `self` and keeps the
+    /// maximum of the point-in-time gauges (`live_slots`, `free_slots`,
+    /// `retained_bytes`) — the aggregation for corpus-level totals over
+    /// many per-trace reports (the gauges then read as high-water
+    /// marks). The counter-vs-gauge split lives here, next to
+    /// [`PoolStats::delta_since`], so new fields are classified once.
+    pub fn accumulate(&mut self, other: &PoolStats) {
+        self.buffers_allocated += other.buffers_allocated;
+        self.buffer_grows += other.buffer_grows;
+        self.buffer_reuses += other.buffer_reuses;
+        self.cow_copies += other.cow_copies;
+        self.shares += other.shares;
+        self.joins += other.joins;
+        self.live_slots = self.live_slots.max(other.live_slots);
+        self.free_slots = self.free_slots.max(other.free_slots);
+        self.retained_bytes = self.retained_bytes.max(other.retained_bytes);
+    }
+
+    /// The counters accumulated since `baseline` was sampled from the
+    /// same pool: monotone counters are subtracted, the point-in-time
+    /// gauges (`live_slots`, `free_slots`, `retained_bytes`) pass through
+    /// unchanged. This is how a resident checker session reports
+    /// *per-trace* clock work while its pool counts cumulatively.
+    #[must_use]
+    pub fn delta_since(&self, baseline: &PoolStats) -> PoolStats {
+        PoolStats {
+            buffers_allocated: self.buffers_allocated - baseline.buffers_allocated,
+            buffer_grows: self.buffer_grows - baseline.buffer_grows,
+            buffer_reuses: self.buffer_reuses - baseline.buffer_reuses,
+            cow_copies: self.cow_copies - baseline.cow_copies,
+            shares: self.shares - baseline.shares,
+            joins: self.joins - baseline.joins,
+            live_slots: self.live_slots,
+            free_slots: self.free_slots,
+            retained_bytes: self.retained_bytes,
+        }
     }
 }
 
@@ -213,7 +255,70 @@ impl ClockPool {
         let mut s = self.stats;
         s.free_slots = self.free.len();
         s.live_slots = self.slots.len() - self.free.len();
+        s.retained_bytes =
+            self.slots.iter().map(|s| s.buf.capacity() * size_of::<Time>()).sum::<usize>();
         s
+    }
+
+    /// Recycles every slot — live handles included — back onto the free
+    /// list, keeping all buffer capacity. This is the *session* reset: a
+    /// resident checker calls it between traces so the next trace reuses
+    /// the warm buffers instead of allocating a fresh working set.
+    ///
+    /// Every outstanding [`PoolClock`] handle is invalidated wholesale:
+    /// after `reset` the owner must overwrite its handles (e.g. with
+    /// [`PoolClock::default`]) without calling [`ClockPool::release`] on
+    /// them — their slots have already been reclaimed. The cumulative
+    /// counters are *not* reset, so the zero-allocation steady state is
+    /// observable **across** traces: once warm, [`PoolStats::heap_allocs`]
+    /// stays flat from one trace to the next.
+    pub fn reset(&mut self) {
+        self.free.clear();
+        // Descending push so `alloc` pops ascending slot ids — the same
+        // id sequence a freshly constructed pool would produce.
+        for (i, slot) in self.slots.iter_mut().enumerate().rev() {
+            slot.refs = 0;
+            self.free.push(u32::try_from(i).expect("slot count fits the id space"));
+        }
+    }
+
+    /// Frees vacant buffers (largest first) until the pool retains at most
+    /// `max_bytes` of buffer capacity, returning the bytes released.
+    ///
+    /// Reset alone never shrinks: after one adversarial trace with a huge
+    /// thread count every recycled buffer keeps its max-width capacity
+    /// forever. A resident session calls `trim` right after
+    /// [`ClockPool::reset`] (when all slots are vacant) with a documented
+    /// budget so a single monster trace cannot pin that working set for
+    /// the rest of the process. Live slots are never touched, and the
+    /// pre-reserve width hint shrinks to the widest surviving buffer so
+    /// freshly allocated buffers stop inheriting the monster width.
+    pub fn trim(&mut self, max_bytes: usize) -> usize {
+        let unit = size_of::<Time>();
+        let mut retained: usize = self.slots.iter().map(|s| s.buf.capacity() * unit).sum();
+        if retained <= max_bytes {
+            return 0;
+        }
+        let mut vacant: Vec<u32> = self
+            .free
+            .iter()
+            .copied()
+            .filter(|&i| self.slots[i as usize].buf.capacity() > 0)
+            .collect();
+        vacant.sort_by_key(|&i| std::cmp::Reverse(self.slots[i as usize].buf.capacity()));
+        let mut freed = 0usize;
+        for i in vacant {
+            if retained <= max_bytes {
+                break;
+            }
+            let bytes = self.slots[i as usize].buf.capacity() * unit;
+            self.slots[i as usize].buf = Vec::new();
+            retained -= bytes;
+            freed += bytes;
+        }
+        let widest = self.slots.iter().map(|s| s.buf.capacity()).max().unwrap_or(0);
+        self.hint_len = self.hint_len.min(widest);
+        freed
     }
 
     /// Grabs a vacant slot (recycled buffer) or allocates a fresh one.
@@ -793,6 +898,65 @@ mod tests {
         assert_eq!(pool.snapshot(&a), VectorClock::from_components([2, 1]));
         pool.release(a);
         pool.release(alias);
+    }
+
+    #[test]
+    fn reset_recycles_live_handles_and_keeps_buffers() {
+        let mut pool = ClockPool::new();
+        let a = full(&mut pool, &[1, 2, 3]);
+        let b = full(&mut pool, &[4, 5, 6, 7]);
+        let allocs = pool.stats().heap_allocs();
+        assert_eq!(pool.stats().live_slots, 2);
+        pool.reset();
+        // Handles invalidated wholesale: forget them without release.
+        let _ = (a, b);
+        assert_eq!(pool.stats().live_slots, 0);
+        assert_eq!(pool.stats().free_slots, 2);
+        assert!(pool.stats().retained_bytes >= 7 * size_of::<Time>());
+        // The next trace's working set comes out of the recycled buffers
+        // (slot ids are recycled in fresh-pool order: a's slot, then b's).
+        let c = full(&mut pool, &[7, 7, 7]);
+        let d = full(&mut pool, &[1, 1, 1, 1]);
+        assert_eq!(pool.stats().heap_allocs(), allocs, "reset must keep warm buffers");
+        assert_eq!(pool.snapshot(&c), VectorClock::from_components([7, 7, 7]));
+        pool.release(c);
+        pool.release(d);
+    }
+
+    #[test]
+    fn trim_bounds_retained_bytes_largest_first() {
+        let mut pool = ClockPool::new();
+        let small = full(&mut pool, &[1, 1]);
+        let big = full(&mut pool, &(0..1000).collect::<Vec<Time>>());
+        pool.reset();
+        let _ = (small, big);
+        let before = pool.stats().retained_bytes;
+        assert!(before >= 1000 * size_of::<Time>());
+        let freed = pool.trim(16 * size_of::<Time>());
+        let after = pool.stats().retained_bytes;
+        assert!(after <= 16 * size_of::<Time>(), "retained {after} bytes after trim");
+        assert_eq!(before - after, freed);
+        // Under budget: a no-op.
+        assert_eq!(pool.trim(usize::MAX), 0);
+        // The width hint must not re-inflate fresh buffers to the old max.
+        let c = full(&mut pool, &[1, 1]);
+        assert!(pool.stats().retained_bytes < 1000 * size_of::<Time>());
+        pool.release(c);
+    }
+
+    #[test]
+    fn delta_since_reports_per_trace_counters() {
+        let mut pool = ClockPool::new();
+        let a = full(&mut pool, &[1, 2]);
+        pool.release(a);
+        let base = pool.stats();
+        let b = full(&mut pool, &[3, 4]);
+        let d = pool.stats().delta_since(&base);
+        assert_eq!(d.heap_allocs(), 0, "second trace reuses the warm buffer");
+        assert!(d.buffer_reuses >= 1);
+        assert!(d.joins >= 1);
+        assert_eq!(d.live_slots, 1, "gauges pass through");
+        pool.release(b);
     }
 
     #[test]

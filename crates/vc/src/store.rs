@@ -18,7 +18,10 @@
 //! [`ClockStore::epoch`] or [`ClockStore::clone_ref`] must eventually be
 //! passed to [`ClockStore::release`] or overwritten via
 //! [`ClockStore::assign`] (dropping a pooled handle early only wastes a
-//! slot, it is never unsound).
+//! slot, it is never unsound). [`ClockStore::reset`] ends a checking
+//! *session*: every outstanding handle is invalidated at once and the
+//! owner simply overwrites its tables, keeping the store's recycled
+//! storage warm for the next trace.
 
 use crate::clock::VectorClock;
 use crate::epoch::Epoch;
@@ -167,6 +170,21 @@ pub trait ClockStore: Default {
     /// Allocation/operation counters.
     #[must_use]
     fn stats(&self) -> PoolStats;
+
+    /// Session reset: invalidates **every** outstanding handle and
+    /// recycles their storage, keeping warm capacity for the next trace.
+    /// After this call the owner must overwrite its handles (e.g. with
+    /// [`ClockStore::bottom`]) instead of releasing them. Cumulative
+    /// counters are preserved so the zero-allocation steady state stays
+    /// observable across traces.
+    fn reset(&mut self);
+
+    /// Bounds the storage retained across [`ClockStore::reset`] calls to
+    /// at most `max_bytes`, returning the bytes released. Stores without
+    /// retained storage (the cloning baseline) return 0.
+    fn trim(&mut self, _max_bytes: usize) -> usize {
+        0
+    }
 }
 
 impl ClockStore for ClockPool {
@@ -249,6 +267,16 @@ impl ClockStore for ClockPool {
     #[inline]
     fn stats(&self) -> PoolStats {
         ClockPool::stats(self)
+    }
+
+    #[inline]
+    fn reset(&mut self) {
+        ClockPool::reset(self);
+    }
+
+    #[inline]
+    fn trim(&mut self, max_bytes: usize) -> usize {
+        ClockPool::trim(self, max_bytes)
     }
 }
 
@@ -339,6 +367,10 @@ impl ClockStore for Cloned {
     fn stats(&self) -> PoolStats {
         self.stats
     }
+
+    /// Handles are owned [`VectorClock`]s with no shared storage: there
+    /// is nothing to recycle, dropping the tables is the whole reset.
+    fn reset(&mut self) {}
 }
 
 #[cfg(test)]

@@ -163,6 +163,30 @@ impl VelodromeChecker {
         self.witness.as_deref()
     }
 
+    /// Session reset: clears all per-trace state so the next trace sees a
+    /// freshly constructed checker — same verdicts, same graph statistics
+    /// — while the graph slab, adjacency lists, reader lists and the DFS
+    /// scratch keep their capacity. The Pearce–Kelly order and the
+    /// searcher's stamped visit marks are generation/stamp-based and need
+    /// no clearing at all.
+    pub fn reset(&mut self) {
+        self.graph.reset();
+        self.next_txn = 0;
+        self.current.clear();
+        self.prev_txn.clear();
+        self.fork_src.clear();
+        self.depth.clear();
+        self.last_writer.clear();
+        for readers in &mut self.last_readers {
+            readers.clear();
+        }
+        self.last_rel.clear();
+        self.events = 0;
+        self.stopped = None;
+        self.witness = None;
+        self.stats = VelodromeStats::default();
+    }
+
     fn ensure_thread(&mut self, t: ThreadId) {
         let i = t.index();
         ensure(&mut self.current, i, None);
@@ -411,6 +435,10 @@ impl Checker for VelodromeChecker {
 
     fn name(&self) -> &'static str {
         "velodrome"
+    }
+
+    fn reset(&mut self) {
+        VelodromeChecker::reset(self);
     }
 }
 

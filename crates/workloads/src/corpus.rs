@@ -1,0 +1,189 @@
+//! Deterministic multi-trace corpora for the resident batch runtime.
+//!
+//! A corpus is what `rapid batch` consumes: a directory of `.std` trace
+//! logs (optionally listed by a manifest). This module generates varied
+//! ones deterministically — the entries cycle through the mixed
+//! generator and all three workload shapes, varying thread counts,
+//! variable pools and seeds per entry, with ρ2-shaped violations
+//! injected into a configurable fraction of the generator entries — so
+//! the batch scheduler, its tests and its benches exercise a realistic
+//! mix of serializable and violating traces of different structure.
+//!
+//! Entry `i` of a [`CorpusConfig`] is fully determined by `(seed, i)`:
+//! regenerating a corpus with the same config reproduces it byte for
+//! byte, which is what lets the sealed-corpus CI job regenerate and
+//! re-verify a 100-trace corpus from nothing but this module.
+//!
+//! # Examples
+//!
+//! ```
+//! use workloads::corpus::{entries, CorpusConfig};
+//!
+//! let cfg = CorpusConfig { traces: 8, ..CorpusConfig::default() };
+//! let batch = entries(&cfg);
+//! assert_eq!(batch.len(), 8);
+//! // Entry 0 is a generator trace with an injected violation…
+//! assert!(batch[0].cfg.violation_at.is_some());
+//! // …and every entry yields a streaming source.
+//! let mut source = batch[3].source();
+//! assert!(source.next_event().unwrap().is_some());
+//! ```
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use tracelog::stream::{copy_events, EventSource};
+
+use crate::shapes;
+use crate::{GenConfig, GenSource};
+
+/// Configuration of a generated corpus.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorpusConfig {
+    /// Number of traces in the corpus.
+    pub traces: usize,
+    /// Base seed; entry `i` derives its own seed from it.
+    pub seed: u64,
+    /// Approximate events per trace.
+    pub events: usize,
+    /// Inject a ρ2-shaped violation into every `violation_every`-th
+    /// **generator** entry (`0` = never). Only generator entries can
+    /// carry one — the shapes are serializable by construction — so the
+    /// period counts generator entries (every 4th corpus entry), not raw
+    /// indices. The default of 1 injects into every generator entry:
+    /// one violating trace per four.
+    pub violation_every: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self { traces: 16, seed: 0xC0_2025, events: 10_000, violation_every: 1 }
+    }
+}
+
+/// One corpus entry: a name (used for the file name) plus the fully
+/// resolved generator configuration.
+#[derive(Clone, Debug)]
+pub struct CorpusEntry {
+    /// File-name stem, e.g. `trace-007-convoy`.
+    pub name: String,
+    /// The shape (`convoy`/`fanout`/`nesting`), or `None` for the mixed
+    /// generator.
+    pub shape: Option<&'static str>,
+    /// The resolved per-entry configuration.
+    pub cfg: GenConfig,
+}
+
+impl CorpusEntry {
+    /// A fresh streaming source for this entry (byte-deterministic).
+    #[must_use]
+    pub fn source(&self) -> Box<dyn EventSource> {
+        match self.shape {
+            Some(name) => shapes::source(name, &self.cfg).expect("corpus shapes are known"),
+            None => Box::new(GenSource::new(&self.cfg)),
+        }
+    }
+}
+
+/// The deterministic entry list of a corpus: entry `i` cycles through
+/// generator → convoy → fanout → nesting, with thread/variable counts
+/// and seeds varied per entry.
+#[must_use]
+pub fn entries(cfg: &CorpusConfig) -> Vec<CorpusEntry> {
+    (0..cfg.traces)
+        .map(|i| {
+            let kind = i % 4;
+            let threads = 3 + (i * 5) % 10;
+            let base = GenConfig {
+                seed: cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                threads,
+                vars: 32 + (i * 37) % 256,
+                events: cfg.events,
+                ..GenConfig::default()
+            };
+            let (shape, cfg) = match kind {
+                0 => {
+                    // `i / 4` is this entry's position among the
+                    // generator entries — the unit `violation_every`
+                    // counts in.
+                    let inject = cfg.violation_every != 0 && (i / 4) % cfg.violation_every == 0;
+                    (None, GenConfig { violation_at: inject.then_some(0.6), ..base })
+                }
+                1 => (Some("convoy"), base),
+                2 => (Some("fanout"), base),
+                _ => (Some("nesting"), base),
+            };
+            let stem = shape.unwrap_or("gen");
+            CorpusEntry { name: format!("trace-{i:03}-{stem}"), shape, cfg }
+        })
+        .collect()
+}
+
+/// Writes the corpus to `dir` (created if missing): one `<name>.std` per
+/// entry plus a `manifest.txt` listing them in order. Returns the trace
+/// paths. The manifest makes the corpus self-describing for `rapid
+/// batch <dir/manifest.txt>`; passing the directory itself works too.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn write_corpus(dir: &Path, cfg: &CorpusConfig) -> io::Result<Vec<PathBuf>> {
+    fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(cfg.traces);
+    let mut manifest = String::from("# rapid corpus manifest: one .std path per line\n");
+    for entry in entries(cfg) {
+        let path = dir.join(format!("{}.std", entry.name));
+        let mut out = BufWriter::new(File::create(&path)?);
+        copy_events(entry.source().as_mut(), &mut out).map_err(io::Error::other)?;
+        manifest.push_str(&format!("{}.std\n", entry.name));
+        paths.push(path);
+    }
+    let mut m = File::create(dir.join("manifest.txt"))?;
+    m.write_all(manifest.as_bytes())?;
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_are_deterministic_and_varied() {
+        let cfg = CorpusConfig { traces: 12, events: 500, ..CorpusConfig::default() };
+        let a = entries(&cfg);
+        let b = entries(&cfg);
+        assert_eq!(a.len(), 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.cfg, y.cfg, "{}", x.name);
+        }
+        // All four kinds appear, and per-entry seeds differ.
+        let shapes: std::collections::HashSet<_> = a.iter().map(|e| e.shape).collect();
+        assert_eq!(shapes.len(), 4);
+        let seeds: std::collections::HashSet<_> = a.iter().map(|e| e.cfg.seed).collect();
+        assert_eq!(seeds.len(), 12);
+        // Violations land on generator entries only.
+        for e in &a {
+            if e.cfg.violation_at.is_some() {
+                assert!(e.shape.is_none(), "{} injects into a shape", e.name);
+            }
+        }
+        assert!(a.iter().any(|e| e.cfg.violation_at.is_some()));
+    }
+
+    #[test]
+    fn write_corpus_emits_traces_and_manifest() {
+        let dir = std::env::temp_dir().join("workloads-corpus-test");
+        let _ = fs::remove_dir_all(&dir);
+        let cfg = CorpusConfig { traces: 5, events: 300, ..CorpusConfig::default() };
+        let paths = write_corpus(&dir, &cfg).unwrap();
+        assert_eq!(paths.len(), 5);
+        for p in &paths {
+            assert!(p.exists(), "{}", p.display());
+        }
+        let manifest = fs::read_to_string(dir.join("manifest.txt")).unwrap();
+        let listed: Vec<_> = manifest.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(listed.len(), 5);
+        assert!(listed[0].ends_with(".std"));
+    }
+}

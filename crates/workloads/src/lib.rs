@@ -21,11 +21,14 @@
 //! * [`shapes`] — structural patterns the tables do not cover
 //!   (contended-lock convoy, wide fork/join fan-out), also streaming;
 //! * [`scenarios`] — hand-crafted application-shaped traces (bank
-//!   transfers, producer/consumer) used by the examples.
+//!   transfers, producer/consumer) used by the examples;
+//! * [`corpus`] — deterministic multi-trace corpora (a varied mix of the
+//!   generator and the shapes) for the `rapid batch` resident runtime.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod gen;
 pub mod profiles;
 pub mod scenarios;

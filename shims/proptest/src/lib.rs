@@ -12,12 +12,14 @@
 //! * **Naive shrinking only** (no value trees). When a case fails, the
 //!   runner greedily minimises it: integer-range strategies propose the
 //!   range minimum, the halfway point toward it and the predecessor;
-//!   tuple strategies shrink component-wise — see
-//!   [`strategy::Strategy::shrink`]. Any candidate that still fails
-//!   becomes the new failing case until no candidate fails (or a step
-//!   cap is hit). Other strategies (`prop_map`, `prop_oneof!`,
-//!   `collection::vec`, `any`, `Just`) do not shrink and report the raw
-//!   failing input unchanged. Both the original and the minimised input
+//!   tuple strategies shrink component-wise; `collection::vec` first
+//!   drops elements one at a time (respecting the length range), then
+//!   shrinks elements in place — see [`strategy::Strategy::shrink`].
+//!   Any candidate that still fails becomes the new failing case until
+//!   no candidate fails (or a step cap is hit). Other strategies
+//!   (`prop_map`, `prop_oneof!`, `any`, `Just`) do not shrink and
+//!   report the raw failing input unchanged. Both the original and the
+//!   minimised input
 //!   are printed; the final panic comes from re-running the minimal
 //!   case. Inputs are regenerated deterministically from the test's
 //!   name, so failures reproduce exactly on re-run.
@@ -100,11 +102,36 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let n = rng.gen_range(self.len.clone());
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+
+        /// Naive vector shrinking: first drop one element at a time
+        /// (while the length stays in range) — the big jumps — then
+        /// shrink each element in place with the others held fixed.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            if value.len() > self.len.start {
+                for i in 0..value.len() {
+                    let mut shorter = value.clone();
+                    shorter.remove(i);
+                    out.push(shorter);
+                }
+            }
+            for (i, element) in value.iter().enumerate() {
+                for candidate in self.element.shrink(element) {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }

@@ -264,4 +264,37 @@ mod tests {
             assert!(v.iter().all(|&x| x < 5));
         }
     }
+
+    #[test]
+    fn vec_shrink_drops_elements_then_shrinks_in_place() {
+        let s = crate::collection::vec(1u32..10, 2..7);
+        let candidates = s.shrink(&vec![5, 9, 3]);
+        // Removal candidates come first (biggest jump), one per index…
+        assert!(candidates.contains(&vec![9, 3]));
+        assert!(candidates.contains(&vec![5, 3]));
+        assert!(candidates.contains(&vec![5, 9]));
+        // …then element-wise shrinks with the others held fixed.
+        assert!(candidates.contains(&vec![1, 9, 3]), "first element to its minimum");
+        assert!(candidates.contains(&vec![5, 1, 3]), "second element to its minimum");
+        // Every candidate stays in the strategy's domain.
+        for c in &candidates {
+            assert!((2..7).contains(&c.len()), "{c:?}");
+            assert!(c.iter().all(|&x| (1..10).contains(&x)), "{c:?}");
+        }
+        // At the minimum length, removal stops but elements still shrink.
+        let at_min = s.shrink(&vec![4, 4]);
+        assert!(at_min.iter().all(|c| c.len() == 2));
+        assert!(at_min.contains(&vec![1, 4]));
+    }
+
+    #[test]
+    fn vec_greedy_shrink_minimises_sum_property() {
+        // Property: sum < 12 — failing vectors shrink toward a minimal
+        // counterexample whose sum is still ≥ 12 but cannot drop further.
+        let s = crate::collection::vec(1u32..10, 2..8);
+        let (minimal, _steps) =
+            crate::shrink_failure(&s, vec![9, 8, 7, 6], |v| v.iter().sum::<u32>() >= 12);
+        assert!(minimal.iter().sum::<u32>() >= 12);
+        assert!(minimal.len() <= 3, "length should shrink: {minimal:?}");
+    }
 }

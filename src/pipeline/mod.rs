@@ -12,7 +12,10 @@
 //! [`EventBatch`]es and walks them event-by-event, so boxed sources
 //! cost one virtual call per ~4096 events. The [`par`] submodule builds
 //! on the same seam to fan **one** ingest pass out to many checkers on
-//! worker threads — see its docs.
+//! worker threads, and the [`multi`] submodule lifts the discipline one
+//! level up: a corpus scheduler driving an unbounded stream of traces
+//! through *resident* checker sessions (`rapid batch`) — see their
+//! docs.
 //!
 //! Validation is **on by default**: the checkers assume the Section 2
 //! well-formedness conditions, so verdicts on ill-formed traces are
@@ -44,12 +47,33 @@
 //! ```
 
 use aerodrome::{Checker, Outcome};
-use tracelog::stream::{collect_trace, EventBatch, EventSource, Validated};
+use tracelog::stream::{EventBatch, EventSource, DEFAULT_BATCH_EVENTS};
 use tracelog::{SourceError, Trace, Validator, ValiditySummary};
 use velodrome::twophase::TwoPhaseReport;
 use velodrome::Config as VelodromeConfig;
 
+pub mod multi;
 pub mod par;
+
+/// One ingest step's validation, shared by the [`par`] fan-out and the
+/// [`multi`] corpus scheduler so their valid-prefix semantics cannot
+/// drift: runs the validator over `batch` in order and, at the first
+/// ill-formed event, truncates the batch to the well-formed prefix and
+/// returns the error. The contract both runtimes rely on — checkers see
+/// exactly the events per-event iteration would have yielded before the
+/// failure — lives here once.
+pub(crate) fn validate_batch(
+    validator: &mut Validator,
+    batch: &mut EventBatch,
+) -> Option<tracelog::WellFormedError> {
+    for (i, &event) in batch.events().iter().enumerate() {
+        if let Err(e) = validator.observe(event) {
+            batch.truncate(i);
+            return Some(e);
+        }
+    }
+    None
+}
 
 /// The outcome of a [`Pipeline::run`].
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -82,13 +106,14 @@ pub struct TwoPhaseRun {
 pub struct Pipeline<S> {
     source: S,
     validate: bool,
+    batch_events: usize,
 }
 
 impl<S: EventSource> Pipeline<S> {
     /// Starts a pipeline over `source` with validation enabled.
     #[must_use]
     pub fn new(source: S) -> Self {
-        Self { source, validate: true }
+        Self { source, validate: true, batch_events: DEFAULT_BATCH_EVENTS }
     }
 
     /// Enables or disables the online well-formedness stage (default:
@@ -96,6 +121,21 @@ impl<S: EventSource> Pipeline<S> {
     #[must_use]
     pub fn validate(mut self, on: bool) -> Self {
         self.validate = on;
+        self
+    }
+
+    /// Sets the events pulled per source refill (default
+    /// [`DEFAULT_BATCH_EVENTS`]) — the same knob as `rapid`'s uniform
+    /// `--batch` flag and [`par::ParConfig::batch_events`]. Semantics
+    /// never depend on it; only the call granularity does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events == 0`.
+    #[must_use]
+    pub fn batch_events(mut self, events: usize) -> Self {
+        assert!(events > 0, "batch size must be positive");
+        self.batch_events = events;
         self
     }
 
@@ -130,7 +170,7 @@ impl<S: EventSource> Pipeline<S> {
         // the events preceding it have been processed).
         let mut validator = self.validate.then(Validator::new);
         let mut events = 0u64;
-        let mut batch = EventBatch::new();
+        let mut batch = EventBatch::with_target(self.batch_events);
         loop {
             let refill = self.source.next_batch(&mut batch);
             for &event in batch.events() {
@@ -159,20 +199,40 @@ impl<S: EventSource> Pipeline<S> {
 
     /// Drains the source (validating by default) into an in-memory
     /// [`Trace`] — the bridge to the analyses that genuinely need random
-    /// access (the quadratic oracle, two-phase replay).
+    /// access (the quadratic oracle, two-phase replay). Batch-driven
+    /// like [`Pipeline::run`]: events preceding a failure are collected,
+    /// then the error surfaces.
     ///
     /// # Errors
     ///
     /// Propagates source failures and validation rejections.
     pub fn collect(&mut self) -> Result<(Trace, Option<ValiditySummary>), SourceError> {
-        if self.validate {
-            let mut validated = Validated::new(&mut self.source);
-            let trace = collect_trace(&mut validated)?;
-            let summary = validated.summary();
-            Ok((trace, Some(summary)))
-        } else {
-            Ok((collect_trace(&mut self.source)?, None))
+        let mut validator = self.validate.then(Validator::new);
+        let mut events = Vec::new();
+        if let Some(n) = self.source.size_hint() {
+            events.reserve(usize::try_from(n).unwrap_or(0));
         }
+        let mut batch = EventBatch::with_target(self.batch_events);
+        loop {
+            let refill = self.source.next_batch(&mut batch);
+            for &event in batch.events() {
+                if let Some(v) = validator.as_mut() {
+                    v.observe(event)?;
+                }
+                events.push(event);
+            }
+            if refill? == 0 {
+                break;
+            }
+        }
+        let names = self.source.names();
+        let trace = Trace::from_parts(
+            events,
+            names.threads.clone(),
+            names.locks.clone(),
+            names.vars.clone(),
+        );
+        Ok((trace, validator.map(Validator::finish)))
     }
 
     /// Runs the DoubleChecker-style two-phase Velodrome analysis; the

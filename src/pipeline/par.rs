@@ -316,12 +316,8 @@ pub fn check_all<S: EventSource + ?Sized>(
             };
             let refill = source.next_batch(&mut batch);
             if let Some(v) = validator.as_mut() {
-                for (i, &event) in batch.events().iter().enumerate() {
-                    if let Err(e) = v.observe(event) {
-                        batch.truncate(i);
-                        error = Some(e.into());
-                        break;
-                    }
+                if let Some(e) = super::validate_batch(v, &mut batch) {
+                    error = Some(e.into());
                 }
             }
             let exhausted = match refill {

@@ -128,6 +128,10 @@ impl Checker for SlowChecker {
     fn report(&self) -> CheckerReport {
         self.inner.report()
     }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
 }
 
 /// Backpressure: with a deliberately slow worker next to fast ones, the
@@ -182,6 +186,10 @@ impl Checker for WarmupProbe {
 
     fn report(&self) -> CheckerReport {
         self.inner.report()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
     }
 }
 
