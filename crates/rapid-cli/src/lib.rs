@@ -174,6 +174,41 @@ pub enum Command {
         /// Events per ingest batch; `None` uses the default (~4096).
         batch: Option<usize>,
     },
+    /// `rapid explore <builtin|program> [--max-schedules N] [--samples N]
+    /// [--seed N] [--out DIR] [--jobs N]` — deterministic schedule
+    /// exploration of a thread program, every schedule refereed
+    /// differentially; violating schedules are minimised to reproducers.
+    Explore {
+        /// Builtin scenario name (see `rapid help`) or path of a
+        /// program file in the scenario DSL.
+        program: String,
+        /// DFS schedule budget (sampling kicks in past it).
+        max_schedules: usize,
+        /// Seeded random schedules drawn when the budget truncates.
+        samples: usize,
+        /// Seed of the sampling walk.
+        seed: u64,
+        /// Write reproducers (`*.std` + sealed `.expect` sidecars) here.
+        out: Option<String>,
+        /// Worker threads for the sealing pass (`0` = auto).
+        jobs: usize,
+    },
+    /// `rapid fuzz <trace.std> [--mutants N] [--seed N] [--out DIR]
+    /// [--jobs N]` — seeded trace-mutation differential fuzzing: every
+    /// well-formed mutant must keep the whole checker panel (pooled,
+    /// cloned twins, Velodrome, oracle) in agreement.
+    Fuzz {
+        /// Path of the trace log to mutate.
+        path: String,
+        /// Mutation attempts.
+        mutants: usize,
+        /// Seed of the mutation stream.
+        seed: u64,
+        /// Write a sample mutant (and any minimised mismatch) here.
+        out: Option<String>,
+        /// Worker threads for the sealing pass (`0` = auto).
+        jobs: usize,
+    },
     /// `rapid help`.
     Help,
 }
@@ -312,6 +347,10 @@ USAGE:
     rapid twophase  <trace.std> [--phase-batch N] [--batch N]
                     [--no-validate]         (default phase batch: 256)
     rapid causal    <trace.std> [--batch N] [--no-validate]
+    rapid explore   <builtin|program> [--max-schedules N] [--samples N]
+                    [--seed N] [--out DIR] [--jobs N]
+    rapid fuzz      <trace.std> [--mutants N] [--seed N] [--out DIR]
+                    [--jobs N]
     rapid help
 
 Trace logs use the RAPID .std format: `<thread>|<op>|<loc>` per line with
@@ -345,7 +384,26 @@ flags they cannot honour); `--seal` re-reads the written log and
 records every checker's verdict in an `<out>.std.expect` sidecar for
 use as a persisted reference log. `generate <dir> --corpus N` writes N
 varied traces (generator + all shapes, violations injected into some)
-plus a manifest.txt — the input `rapid batch` expects.";
+plus a manifest.txt — the input `rapid batch` expects.
+
+`explore` enumerates the interleavings of a small thread program with a
+deterministic cooperative scheduler — exhaustively with sleep-set
+(DPOR-style) pruning within `--max-schedules`, then `--samples` seeded
+random schedules past the budget — and referees every schedule against
+the full differential panel (pooled + cloned AeroDrome engines,
+Velodrome, the quadratic oracle). The program is a builtin scenario —
+racy-pair, guarded-pair, rho2-hidden, deadlock, fork-chain — or a DSL
+file (`thread NAME: r(x) w(x) acq(l) rel(l) begin end spawn(t)
+join(t)`, `#` comments). The first violating schedule is minimised to
+a small reproducer; with `--out DIR` the reproducers (serial schedule,
+minimised violation, deadlock prefix — whichever exist) are written as
+`.std` logs with sealed `.expect` sidecars, ready for `rapid batch
+--seal-verify`. Exit is non-zero only on a differential mismatch —
+finding violations is the point. `fuzz` applies `--mutants` seeded
+structural mutations (swap, splice, drop, duplicate) to a recorded
+trace; well-formed mutants must keep the whole panel in agreement,
+ill-formed ones must be rejected by the validator. Any disagreement is
+minimised, written under `--out`, and fails the run.";
 
 /// Errors from command-line parsing.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -654,6 +712,62 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             }
             Ok(Command::Causal { path, validate, batch })
         }
+        "explore" => {
+            let program = args
+                .get(1)
+                .ok_or_else(|| {
+                    UsageError("explore requires a builtin name or program file".into())
+                })?
+                .clone();
+            let mut max_schedules = 1_000usize;
+            let mut samples = 256usize;
+            let mut seed = 0u64;
+            let mut out = None;
+            let mut jobs = 0usize;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--max-schedules" => {
+                        max_schedules = num_flag(args, &mut i, "--max-schedules")?;
+                        if max_schedules == 0 {
+                            return Err(UsageError("--max-schedules must be positive".into()));
+                        }
+                    }
+                    "--samples" => samples = num_flag(args, &mut i, "--samples")?,
+                    "--seed" => seed = num_flag(args, &mut i, "--seed")?,
+                    "--out" => out = Some(flag_value(args, &mut i, "--out")?.to_owned()),
+                    "--jobs" => jobs = num_flag(args, &mut i, "--jobs")?,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Explore { program, max_schedules, samples, seed, out, jobs })
+        }
+        "fuzz" => {
+            let path =
+                args.get(1).ok_or_else(|| UsageError("fuzz requires a trace path".into()))?.clone();
+            let mut mutants = 1_000usize;
+            let mut seed = 0u64;
+            let mut out = None;
+            let mut jobs = 0usize;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--mutants" => {
+                        mutants = num_flag(args, &mut i, "--mutants")?;
+                        if mutants == 0 {
+                            return Err(UsageError("--mutants must be positive".into()));
+                        }
+                    }
+                    "--seed" => seed = num_flag(args, &mut i, "--seed")?,
+                    "--out" => out = Some(flag_value(args, &mut i, "--out")?.to_owned()),
+                    "--jobs" => jobs = num_flag(args, &mut i, "--jobs")?,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Fuzz { path, mutants, seed, out, jobs })
+        }
         other => Err(UsageError(format!("unknown command `{other}` (try `rapid help`)"))),
     }
 }
@@ -811,6 +925,35 @@ pub fn write_seal_with(path: &str, jobs: usize, batch: Option<usize>) -> Result<
     let sidecar = seal_sidecar_path(path);
     std::fs::write(&sidecar, &text).map_err(|e| format!("{sidecar}: {e}"))?;
     Ok(text)
+}
+
+/// Resolves `rapid explore`'s program argument: a builtin scenario name
+/// first, then a DSL program file.
+fn resolve_program(arg: &str) -> Result<scenarios::Program, String> {
+    if let Some(program) = scenarios::builtin(arg) {
+        return Ok(program);
+    }
+    let builtins: Vec<&str> = scenarios::BUILTINS.iter().map(|(n, _, _)| *n).collect();
+    let text = std::fs::read_to_string(arg).map_err(|e| {
+        format!(
+            "{arg}: not a builtin scenario ({}) and not a readable file: {e}",
+            builtins.join(", ")
+        )
+    })?;
+    let name = Path::new(arg)
+        .file_stem()
+        .map_or_else(|| "program".to_owned(), |s| s.to_string_lossy().into_owned());
+    scenarios::parse_program(&name, &text).map_err(|e| format!("{arg}: {e}"))
+}
+
+/// Writes `trace` as `dir/file` in `.std` format and seals a reference
+/// sidecar next to it (the seal pass re-reads the file through the
+/// production parser, so the artefact is verified end to end).
+fn write_sealed_std(dir: &str, file: &str, trace: &Trace, jobs: usize) -> Result<String, String> {
+    let path = Path::new(dir).join(file).to_string_lossy().into_owned();
+    std::fs::write(&path, tracelog::write_trace(trace)).map_err(|e| format!("{path}: {e}"))?;
+    write_seal_with(&path, jobs, None)?;
+    Ok(path)
 }
 
 /// Verifies a sealed log: recomputes the reference text and diffs it
@@ -1284,6 +1427,188 @@ pub fn run(command: Command) -> Result<String, String> {
             }
             Ok(out)
         }
+        Command::Explore { program, max_schedules, samples, seed, out, jobs } => {
+            let prog = resolve_program(&program)?;
+            let config = scenarios::ExploreConfig {
+                max_schedules,
+                samples,
+                seed,
+                ..scenarios::ExploreConfig::default()
+            };
+            let start = Instant::now();
+            let report = scenarios::explore(&prog, &config);
+            let wall = start.elapsed();
+            let refereed = report.schedules + report.sampled;
+
+            let mut text = String::new();
+            let _ = writeln!(
+                text,
+                "schedule exploration: {} ({} threads, {} statements)",
+                prog.name,
+                prog.threads().len(),
+                prog.len()
+            );
+            let _ = writeln!(
+                text,
+                "schedules: {} dfs ({}) + {} sampled  deadlocks: {}  sleep-set pruned: {}  \
+                 wall: {:.3}s",
+                report.schedules,
+                if report.exhaustive { "exhaustive" } else { "budget hit" },
+                report.sampled,
+                report.deadlocks,
+                report.sleep_pruned,
+                wall.as_secs_f64()
+            );
+            let _ = writeln!(
+                text,
+                "verdicts: {} violating / {} serializable / {} mismatching",
+                report.violating,
+                refereed - report.violating,
+                report.mismatching
+            );
+
+            // Minimise the first violating schedule to a reproducer.
+            let minimized = report.violations.first().map(|found| {
+                let full = scenarios::schedule_trace(&prog, &found.schedule);
+                let closed = found.end == scenarios::RunEnd::Complete;
+                let min = scenarios::minimize(&full, closed, |t| {
+                    aerodrome::run_checker(&mut BasicChecker::new(), t).is_violation()
+                });
+                let _ = writeln!(
+                    text,
+                    "minimized reproducer: {} events (from a {}-event violating schedule):",
+                    min.len(),
+                    full.len()
+                );
+                text.push_str(&tracelog::write_trace(&min));
+                min
+            });
+
+            if let Some(dir) = &out {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+                let mut artifacts: Vec<(String, Trace)> = Vec::new();
+                let mut serial = Vec::new();
+                if scenarios::Interp::new(&prog).run_with(&mut serial, |_| 0)
+                    == scenarios::RunEnd::Complete
+                {
+                    artifacts.push((
+                        format!("{}-serial.std", prog.name),
+                        scenarios::schedule_trace(&prog, &serial),
+                    ));
+                }
+                if let Some(min) = minimized {
+                    artifacts.push((format!("{}-min.std", prog.name), min));
+                }
+                let mut deadlock: Option<Vec<usize>> = None;
+                scenarios::enumerate(&prog, &config, |schedule, end| {
+                    if end == scenarios::RunEnd::Deadlock && deadlock.is_none() {
+                        deadlock = Some(schedule.to_vec());
+                    }
+                });
+                if let Some(schedule) = deadlock {
+                    artifacts.push((
+                        format!("{}-deadlock.std", prog.name),
+                        scenarios::schedule_trace(&prog, &schedule),
+                    ));
+                }
+                for (file, trace) in &artifacts {
+                    let path = write_sealed_std(dir, file, trace, jobs)?;
+                    let _ = writeln!(text, "sealed: {path} ({} events)", trace.len());
+                }
+            }
+
+            if report.mismatching > 0 {
+                let _ =
+                    writeln!(text, "DIFFERENTIAL MISMATCH on {} schedule(s):", report.mismatching);
+                for (found, mismatches) in &report.mismatches {
+                    for m in mismatches {
+                        let _ = writeln!(text, "  schedule {:?}: {m}", found.schedule);
+                    }
+                }
+                return Err(text);
+            }
+            Ok(text)
+        }
+        Command::Fuzz { path, mutants, seed, out, jobs } => {
+            let trace = load_trace(&path)?;
+            tracelog::validate(&trace).map_err(|e| format!("{path}: not well-formed: {e}"))?;
+            let config =
+                scenarios::FuzzConfig { mutants, seed, ..scenarios::FuzzConfig::default() };
+            let start = Instant::now();
+            let report = scenarios::fuzz(&trace, &config);
+            let wall = start.elapsed();
+            let stem = Path::new(&path)
+                .file_stem()
+                .map_or_else(|| "trace".to_owned(), |s| s.to_string_lossy().into_owned());
+
+            let mut text = String::new();
+            let _ = writeln!(
+                text,
+                "trace-mutation fuzzing: {path} ({} events, seed {seed})",
+                trace.len()
+            );
+            let _ = writeln!(
+                text,
+                "mutants: {} attempted = {} valid + {} ill-formed + {} inapplicable  \
+                 wall: {:.3}s",
+                report.attempted,
+                report.valid,
+                report.invalid,
+                report.skipped,
+                wall.as_secs_f64()
+            );
+            let _ = writeln!(
+                text,
+                "verdicts: {} violating / {} mismatching (ill-formed mutants are rejected, \
+                 never checked)",
+                report.violating, report.mismatching
+            );
+
+            if let Some(dir) = &out {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+                // A deterministic sample artefact: the seed's first
+                // well-formed mutant, sealed for corpus use.
+                let mut mutator = scenarios::Mutator::new(seed);
+                let sample =
+                    (0..report.attempted).find_map(|_| mutator.mutate(&trace).filter(|m| m.valid));
+                if let Some(mutant) = sample {
+                    let file = format!("{stem}-mutant.std");
+                    let sealed = write_sealed_std(dir, &file, &mutant.trace, jobs)?;
+                    let _ = writeln!(
+                        text,
+                        "sealed: {sealed} ({} events, {} mutation)",
+                        mutant.trace.len(),
+                        mutant.kind.name()
+                    );
+                }
+            }
+
+            if let Some((kind, bad, mismatches)) = report.mismatches.first() {
+                let min = scenarios::minimize(bad, false, |t| {
+                    let closed = tracelog::validate(t).map(|s| s.is_closed()).unwrap_or(false);
+                    !scenarios::referee(t, closed, &config.referee).clean()
+                });
+                let _ = writeln!(
+                    text,
+                    "DIFFERENTIAL MISMATCH ({} operator), minimized to {} events:",
+                    kind.name(),
+                    min.len()
+                );
+                text.push_str(&tracelog::write_trace(&min));
+                for m in mismatches {
+                    let _ = writeln!(text, "  {m}");
+                }
+                if let Some(dir) = &out {
+                    let file = format!("{stem}-mismatch.std");
+                    let mpath = Path::new(dir).join(&file).to_string_lossy().into_owned();
+                    std::fs::write(&mpath, tracelog::write_trace(&min))
+                        .map_err(|e| format!("{mpath}: {e}"))?;
+                    let _ = writeln!(text, "written (unsealed — the panel disagrees): {mpath}");
+                }
+                return Err(text);
+            }
+            Ok(text)
+        }
         Command::Table { which, budget } => {
             let profiles = if which == 1 { workloads::table1() } else { workloads::table2() };
             let rows: Vec<_> = profiles.iter().map(|p| bench::run_profile(p, budget)).collect();
@@ -1687,5 +2012,160 @@ mod twophase_causal_tests {
             .unwrap();
             assert!(report.contains('✓'), "{name} shapes are serializable: {report}");
         }
+    }
+}
+
+#[cfg(test)]
+mod explore_fuzz_tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> String {
+        let dir = std::env::temp_dir().join("rapid-cli-test").join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn parses_explore_and_fuzz() {
+        assert_eq!(
+            parse_args(&["explore".into(), "racy-pair".into()]).unwrap(),
+            Command::Explore {
+                program: "racy-pair".into(),
+                max_schedules: 1_000,
+                samples: 256,
+                seed: 0,
+                out: None,
+                jobs: 0
+            }
+        );
+        assert_eq!(
+            parse_args(&[
+                "explore".into(),
+                "p.dsl".into(),
+                "--max-schedules".into(),
+                "50".into(),
+                "--samples".into(),
+                "8".into(),
+                "--seed".into(),
+                "7".into(),
+                "--out".into(),
+                "d".into(),
+                "--jobs".into(),
+                "2".into(),
+            ])
+            .unwrap(),
+            Command::Explore {
+                program: "p.dsl".into(),
+                max_schedules: 50,
+                samples: 8,
+                seed: 7,
+                out: Some("d".into()),
+                jobs: 2
+            }
+        );
+        assert_eq!(
+            parse_args(&["fuzz".into(), "t.std".into(), "--mutants".into(), "64".into()]).unwrap(),
+            Command::Fuzz { path: "t.std".into(), mutants: 64, seed: 0, out: None, jobs: 0 }
+        );
+        assert!(parse_args(&["explore".into()]).is_err());
+        assert!(parse_args(&["explore".into(), "x".into(), "--max-schedules".into(), "0".into()])
+            .is_err());
+        assert!(
+            parse_args(&["fuzz".into(), "t.std".into(), "--mutants".into(), "0".into()]).is_err()
+        );
+        assert!(parse_args(&["fuzz".into(), "t.std".into(), "--bogus".into()]).is_err());
+    }
+
+    /// Every builtin the engine exposes must be named in the usage text,
+    /// so `rapid help` stays the discovery surface.
+    #[test]
+    fn usage_names_every_builtin() {
+        for (name, _, _) in scenarios::BUILTINS {
+            assert!(USAGE.contains(name), "usage text must mention builtin `{name}`");
+        }
+        assert!(USAGE.contains("rapid explore"));
+        assert!(USAGE.contains("rapid fuzz"));
+    }
+
+    #[test]
+    fn explore_finds_and_seals_the_racy_builtin() {
+        let dir = tmp_dir("explore-racy");
+        let out = run(Command::Explore {
+            program: "racy-pair".into(),
+            max_schedules: 1_000,
+            samples: 0,
+            seed: 0,
+            out: Some(dir.clone()),
+            jobs: 1,
+        })
+        .unwrap();
+        assert!(out.contains("1 violating"), "{out}");
+        assert!(out.contains("minimized reproducer: 8 events"), "{out}");
+        // The sealed artefacts round-trip through batch --seal-verify.
+        let verify = run(Command::Batch {
+            path: dir,
+            jobs: 1,
+            batch: None,
+            checker: CheckerChoice::All,
+            seal_verify: true,
+            validate: true,
+        })
+        .unwrap();
+        assert!(verify.contains("0 seal mismatch(es)"), "{verify}");
+    }
+
+    #[test]
+    fn explore_accepts_program_files_and_rejects_junk() {
+        let dir = tmp_dir("explore-dsl");
+        let path = format!("{dir}/two.dsl");
+        std::fs::write(&path, "thread a: begin w(x) r(x) end\nthread b: w(x)\n").unwrap();
+        let out = run(Command::Explore {
+            program: path,
+            max_schedules: 1_000,
+            samples: 0,
+            seed: 0,
+            out: None,
+            jobs: 1,
+        })
+        .unwrap();
+        assert!(out.contains("schedule exploration: two"), "{out}");
+
+        let err = run(Command::Explore {
+            program: "no-such-builtin".into(),
+            max_schedules: 10,
+            samples: 0,
+            seed: 0,
+            out: None,
+            jobs: 1,
+        })
+        .unwrap_err();
+        assert!(err.contains("racy-pair"), "error must list builtins: {err}");
+    }
+
+    #[test]
+    fn fuzz_paper_trace_is_clean_and_seals_a_mutant() {
+        let dir = tmp_dir("fuzz-rho1");
+        let path = format!("{dir}/rho1.std");
+        std::fs::write(&path, tracelog::write_trace(&tracelog::paper_traces::rho1())).unwrap();
+        let out =
+            run(Command::Fuzz { path, mutants: 300, seed: 11, out: Some(dir.clone()), jobs: 1 })
+                .unwrap();
+        assert!(
+            out.contains("0 violating / 0 mismatching")
+                || out.contains("violating / 0 mismatching"),
+            "{out}"
+        );
+        assert!(out.contains("sealed:"), "{out}");
+        assert!(std::path::Path::new(&format!("{dir}/rho1-mutant.std.expect")).exists());
+    }
+
+    #[test]
+    fn fuzz_rejects_ill_formed_input() {
+        let dir = tmp_dir("fuzz-bad");
+        let path = format!("{dir}/bad.std");
+        std::fs::write(&path, "t1|rel(m)|0\n").unwrap();
+        let err =
+            run(Command::Fuzz { path, mutants: 10, seed: 0, out: None, jobs: 1 }).unwrap_err();
+        assert!(err.contains("not well-formed"), "{err}");
     }
 }

@@ -1,0 +1,214 @@
+//! The differential referee: every adversarial trace is checked by the
+//! whole panel and the verdicts are cross-examined.
+//!
+//! The referee encodes the suite's standing invariants (Theorems 2–3 of
+//! the paper, plus the clone-free-refactor contract):
+//!
+//! * each pooled AeroDrome engine must be **bit-identical** to its
+//!   `Cloned*` twin — same verdict, same violation event/thread/kind —
+//!   on every trace, closed or prefix;
+//! * on **closed** traces, Basic/ReadOpt/Optimized agree on the
+//!   verdict, Basic and ReadOpt on the detection event, and Optimized
+//!   never detects later than Basic;
+//! * on closed traces Velodrome agrees on the verdict;
+//! * on closed traces small enough for the quadratic oracle, the
+//!   oracle's conflict-serializability decision matches the checkers.
+//!
+//! Any broken invariant is a [`Mismatch`] — the fuzzer's jackpot and a
+//! bug in one of the engines by definition.
+
+use aerodrome::basic::{BasicChecker, ClonedBasicChecker};
+use aerodrome::optimized::{ClonedOptimizedChecker, OptimizedChecker};
+use aerodrome::readopt::{ClonedReadOptChecker, ReadOptChecker};
+use aerodrome::{run_checker, Outcome};
+use tracelog::Trace;
+use velodrome::VelodromeChecker;
+
+/// Referee tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct RefereeConfig {
+    /// Run the quadratic oracle only on closed traces of at most this
+    /// many events (the oracle holds an explicit ≤CHB closure, so it is
+    /// for small traces only).
+    pub oracle_limit: usize,
+}
+
+impl Default for RefereeConfig {
+    fn default() -> Self {
+        Self { oracle_limit: 4_096 }
+    }
+}
+
+/// One broken cross-checker invariant.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Mismatch {
+    /// Which invariant broke (e.g. `pooled-vs-cloned basic`).
+    pub invariant: &'static str,
+    /// Human-readable detail (the two disagreeing outcomes).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.invariant, self.detail)
+    }
+}
+
+/// The referee's full result on one trace.
+#[derive(Clone, Debug)]
+pub struct Differential {
+    /// Per-checker outcomes: the pooled panel in suite order
+    /// (basic, readopt, optimized, velodrome).
+    pub runs: Vec<(&'static str, Outcome)>,
+    /// The consensus verdict (Basic's, which on a mismatch-free closed
+    /// trace is every checker's and the oracle's).
+    pub violation: bool,
+    /// Whether the quadratic oracle actually ran.
+    pub oracle_ran: bool,
+    /// Every broken invariant (empty on a healthy suite).
+    pub mismatches: Vec<Mismatch>,
+}
+
+impl Differential {
+    /// Whether every invariant held.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+fn bitwise(invariant: &'static str, pooled: &Outcome, cloned: &Outcome, out: &mut Vec<Mismatch>) {
+    if pooled != cloned {
+        out.push(Mismatch { invariant, detail: format!("pooled {pooled:?} vs cloned {cloned:?}") });
+    }
+}
+
+/// Runs the whole panel (pooled + cloned twins + Velodrome + oracle)
+/// over `trace` and cross-examines the outcomes. `closed` gates the
+/// invariants that only hold on closed traces (callers know it from the
+/// validator summary or the interpreter's [`RunEnd`](crate::RunEnd)).
+#[must_use]
+pub fn referee(trace: &Trace, closed: bool, config: &RefereeConfig) -> Differential {
+    let mut mismatches = Vec::new();
+
+    let basic = run_checker(&mut BasicChecker::new(), trace);
+    let readopt = run_checker(&mut ReadOptChecker::new(), trace);
+    let optimized = run_checker(&mut OptimizedChecker::new(), trace);
+    let velodrome = run_checker(&mut VelodromeChecker::new(), trace);
+
+    // The clone-free refactor's contract holds unconditionally.
+    bitwise(
+        "pooled-vs-cloned basic",
+        &basic,
+        &run_checker(&mut ClonedBasicChecker::new(), trace),
+        &mut mismatches,
+    );
+    bitwise(
+        "pooled-vs-cloned readopt",
+        &readopt,
+        &run_checker(&mut ClonedReadOptChecker::new(), trace),
+        &mut mismatches,
+    );
+    bitwise(
+        "pooled-vs-cloned optimized",
+        &optimized,
+        &run_checker(&mut ClonedOptimizedChecker::new(), trace),
+        &mut mismatches,
+    );
+
+    if closed {
+        if basic.is_violation() != readopt.is_violation() {
+            mismatches.push(Mismatch {
+                invariant: "basic-vs-readopt verdict",
+                detail: format!("{basic:?} vs {readopt:?}"),
+            });
+        } else if let (Outcome::Violation(b), Outcome::Violation(r)) = (&basic, &readopt) {
+            if (b.event, b.thread) != (r.event, r.thread) {
+                mismatches.push(Mismatch {
+                    invariant: "basic-vs-readopt detection event",
+                    detail: format!("{b:?} vs {r:?}"),
+                });
+            }
+        }
+        if basic.is_violation() != optimized.is_violation() {
+            mismatches.push(Mismatch {
+                invariant: "basic-vs-optimized verdict",
+                detail: format!("{basic:?} vs {optimized:?}"),
+            });
+        } else if let (Outcome::Violation(b), Outcome::Violation(o)) = (&basic, &optimized) {
+            if o.event > b.event {
+                mismatches.push(Mismatch {
+                    invariant: "optimized detects later than basic",
+                    detail: format!("optimized@{} after basic@{}", o.event, b.event),
+                });
+            }
+        }
+        if basic.is_violation() != velodrome.is_violation() {
+            mismatches.push(Mismatch {
+                invariant: "aerodrome-vs-velodrome verdict",
+                detail: format!("{basic:?} vs {velodrome:?}"),
+            });
+        }
+    }
+
+    let oracle_ran = closed && trace.len() <= config.oracle_limit;
+    if oracle_ran {
+        let serializable = oracle::is_conflict_serializable(trace);
+        if serializable == basic.is_violation() {
+            mismatches.push(Mismatch {
+                invariant: "oracle-vs-checkers verdict",
+                detail: format!(
+                    "oracle says {}, basic says {basic:?}",
+                    if serializable { "serializable" } else { "violation" }
+                ),
+            });
+        }
+    }
+
+    let violation = basic.is_violation();
+    Differential {
+        runs: vec![
+            ("aerodrome-basic", basic),
+            ("aerodrome-readopt", readopt),
+            ("aerodrome-optimized", optimized),
+            ("velodrome", velodrome),
+        ],
+        violation,
+        oracle_ran,
+        mismatches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracelog::paper_traces;
+
+    #[test]
+    fn paper_traces_are_clean_and_correctly_judged() {
+        let cfg = RefereeConfig::default();
+        for (trace, expect) in [
+            (paper_traces::rho1(), false),
+            (paper_traces::rho2(), true),
+            (paper_traces::rho3(), true),
+            (paper_traces::rho4(), true),
+        ] {
+            let closed = tracelog::validate(&trace).unwrap().is_closed();
+            let d = referee(&trace, closed, &cfg);
+            assert!(d.clean(), "{:?}", d.mismatches);
+            assert_eq!(d.violation, expect);
+            assert_eq!(d.oracle_ran, closed);
+            assert_eq!(d.runs.len(), 4);
+        }
+    }
+
+    #[test]
+    fn oracle_is_skipped_past_the_size_limit_and_on_prefixes() {
+        let trace = paper_traces::rho1();
+        let d = referee(&trace, true, &RefereeConfig { oracle_limit: 1 });
+        assert!(!d.oracle_ran);
+        assert!(d.clean());
+        let d = referee(&trace, false, &RefereeConfig::default());
+        assert!(!d.oracle_ran, "prefixes never reach the oracle");
+    }
+}

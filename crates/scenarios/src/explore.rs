@@ -1,0 +1,374 @@
+//! Deterministic schedule exploration: enumerate the interleavings of a
+//! [`Program`] and referee every one.
+//!
+//! The explorer is a depth-first search over the scheduler's choice
+//! points. At every state it tries each enabled thread in index order,
+//! so the enumeration order — and therefore every budget-truncated run
+//! — is deterministic. Two reduction/extension layers sit on top:
+//!
+//! * **Sleep sets** (the DPOR-flavoured pruning): after exploring
+//!   thread `t` from a state, `t` is put to sleep for the siblings, and
+//!   a sleeping thread stays asleep down a branch for as long as the
+//!   branch only executes statements *independent* of its next step.
+//!   Schedules that differ only by commuting adjacent independent
+//!   events collapse to one representative; since conflict
+//!   serializability is a property of the dependence order, the pruned
+//!   enumeration still visits every distinguishable behaviour.
+//! * **Seeded random sampling**: when the DFS budget runs out before
+//!   the space is exhausted, a seeded random walk draws extra schedules
+//!   from the deep regions the truncated DFS never reached.
+//!
+//! Every emitted schedule is replayed into a trace and handed to the
+//! [differential referee](crate::diff::referee).
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tracelog::EventId;
+
+use crate::diff::{referee, Differential, Mismatch, RefereeConfig};
+use crate::interp::{schedule_trace, Interp, RunEnd};
+use crate::program::{Program, Stmt};
+
+/// Exploration budgets and knobs.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Maximum schedules the DFS emits; when the space is larger the
+    /// run reports `exhaustive: false` and sampling kicks in.
+    pub max_schedules: usize,
+    /// Random schedules drawn (seeded) when the DFS budget was hit.
+    pub samples: usize,
+    /// Seed of the sampling walk.
+    pub seed: u64,
+    /// Enable sleep-set pruning (on by default; tests compare against
+    /// the unpruned enumeration).
+    pub prune: bool,
+    /// Referee tuning.
+    pub referee: RefereeConfig,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        Self {
+            max_schedules: 1_000,
+            samples: 256,
+            seed: 0,
+            prune: true,
+            referee: RefereeConfig::default(),
+        }
+    }
+}
+
+/// One schedule the explorer found noteworthy (violating or
+/// mismatching).
+#[derive(Clone, Debug)]
+pub struct FoundSchedule {
+    /// The thread-index sequence (replay with
+    /// [`schedule_trace`]).
+    pub schedule: Vec<usize>,
+    /// Complete run or deadlock prefix.
+    pub end: RunEnd,
+    /// The detection event of the basic checker, when violating.
+    pub violation_at: Option<EventId>,
+}
+
+/// The outcome of [`explore`].
+#[derive(Clone, Debug, Default)]
+pub struct ExploreReport {
+    /// Schedules the DFS emitted (complete runs + deadlock prefixes).
+    pub schedules: usize,
+    /// Deadlocked prefixes among them.
+    pub deadlocks: usize,
+    /// Whether the DFS exhausted the (pruned) schedule space within the
+    /// budget.
+    pub exhaustive: bool,
+    /// Distinct additional schedules drawn by the sampling walk.
+    pub sampled: usize,
+    /// Choice points skipped by sleep-set pruning.
+    pub sleep_pruned: u64,
+    /// Schedules on which at least one checker reported a violation
+    /// (first [`MAX_KEPT`] kept; the count is `violating`).
+    pub violations: Vec<FoundSchedule>,
+    /// Total violating schedules seen.
+    pub violating: usize,
+    /// Broken cross-checker invariants, with the offending schedule
+    /// (first [`MAX_KEPT`] kept; the count is `mismatching`).
+    pub mismatches: Vec<(FoundSchedule, Vec<Mismatch>)>,
+    /// Total mismatching schedules seen.
+    pub mismatching: usize,
+}
+
+/// How many noteworthy schedules a report retains in full.
+pub const MAX_KEPT: usize = 32;
+
+/// Statistics of a raw [`enumerate`] pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EnumStats {
+    /// Schedules emitted.
+    pub schedules: usize,
+    /// Deadlock prefixes among them.
+    pub deadlocks: usize,
+    /// Whether the space was exhausted within the budget.
+    pub exhaustive: bool,
+    /// Choice points pruned by sleep sets.
+    pub sleep_pruned: u64,
+}
+
+/// Whether two *next statements* of two distinct threads commute: the
+/// dependence relation of the sleep sets. Conservative on locks (any
+/// two operations on the same lock are dependent) and on spawn/join
+/// (dependent when one targets the other thread).
+fn independent(a: Option<Stmt>, ta: usize, b: Stmt, tb: usize) -> bool {
+    let Some(a) = a else {
+        return true; // a finished thread can never step again
+    };
+    match (a, b) {
+        (Stmt::Read(x), Stmt::Write(y)) | (Stmt::Write(x), Stmt::Read(y)) => x != y,
+        (Stmt::Write(x), Stmt::Write(y)) => x != y,
+        (Stmt::Acquire(l) | Stmt::Release(l), Stmt::Acquire(m) | Stmt::Release(m)) => l != m,
+        (Stmt::Spawn(u) | Stmt::Join(u), _) if u == tb => false,
+        (_, Stmt::Spawn(u) | Stmt::Join(u)) if u == ta => false,
+        _ => true,
+    }
+}
+
+struct Dfs<'a, F> {
+    budget: usize,
+    prune: bool,
+    stats: EnumStats,
+    prefix: Vec<usize>,
+    visit: &'a mut F,
+}
+
+impl<F: FnMut(&[usize], RunEnd)> Dfs<'_, F> {
+    fn out_of_budget(&self) -> bool {
+        self.stats.schedules >= self.budget
+    }
+
+    fn go(&mut self, state: &Interp<'_>, sleep: u64) {
+        if self.out_of_budget() {
+            return;
+        }
+        let enabled = state.enabled_threads();
+        if enabled.is_empty() {
+            let end = if state.complete() { RunEnd::Complete } else { RunEnd::Deadlock };
+            self.stats.schedules += 1;
+            self.stats.deadlocks += usize::from(end == RunEnd::Deadlock);
+            (self.visit)(&self.prefix, end);
+            return;
+        }
+        let mut slept = sleep;
+        for &t in &enabled {
+            if slept & (1 << t) != 0 {
+                self.stats.sleep_pruned += 1;
+                continue;
+            }
+            let stmt = state.next_stmt(t).expect("enabled implies a next statement");
+            // A sleeping thread wakes as soon as the branch executes
+            // something dependent on its pending step.
+            let mut child_sleep = 0u64;
+            let mut bits = slept;
+            while bits != 0 {
+                let u = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if independent(state.next_stmt(u), u, stmt, t) {
+                    child_sleep |= 1 << u;
+                }
+            }
+            let mut child = state.clone();
+            child.step(t);
+            self.prefix.push(t);
+            self.go(&child, child_sleep);
+            self.prefix.pop();
+            if self.out_of_budget() {
+                return;
+            }
+            if self.prune {
+                slept |= 1 << t;
+            }
+        }
+    }
+}
+
+/// Enumerates schedules of `program` depth-first, calling `visit` for
+/// each emitted schedule. Pure enumeration — no checkers; [`explore`]
+/// is the refereed front end.
+///
+/// # Panics
+///
+/// Panics if the program has more than 64 threads (the sleep sets are a
+/// bitmask; scenario programs are small by design).
+pub fn enumerate<F: FnMut(&[usize], RunEnd)>(
+    program: &Program,
+    config: &ExploreConfig,
+    mut visit: F,
+) -> EnumStats {
+    assert!(program.threads().len() <= 64, "exploration supports at most 64 threads");
+    let mut dfs = Dfs {
+        budget: config.max_schedules,
+        prune: config.prune,
+        stats: EnumStats::default(),
+        prefix: Vec::with_capacity(program.len()),
+        visit: &mut visit,
+    };
+    dfs.go(&Interp::new(program), 0);
+    let mut stats = dfs.stats;
+    stats.exhaustive = stats.schedules < config.max_schedules;
+    stats
+}
+
+fn schedule_hash(schedule: &[usize]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &t in schedule {
+        h ^= t as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Explores `program` under `config` and referees every schedule:
+/// deterministic DFS (sleep-set pruned), then — if the budget truncated
+/// the space — a seeded random sampling walk over the full
+/// (unpruned) schedule space.
+#[must_use]
+pub fn explore(program: &Program, config: &ExploreConfig) -> ExploreReport {
+    let mut report = ExploreReport::default();
+    let mut seen = HashSet::new();
+
+    let judge = |report: &mut ExploreReport, schedule: &[usize], end: RunEnd| {
+        let trace = schedule_trace(program, schedule);
+        let diff: Differential = referee(&trace, end == RunEnd::Complete, &config.referee);
+        let found = |d: &Differential| FoundSchedule {
+            schedule: schedule.to_vec(),
+            end,
+            violation_at: d.runs.first().and_then(|(_, o)| o.violation()).map(|v| v.event),
+        };
+        if diff.violation {
+            report.violating += 1;
+            if report.violations.len() < MAX_KEPT {
+                report.violations.push(found(&diff));
+            }
+        }
+        if !diff.clean() {
+            report.mismatching += 1;
+            if report.mismatches.len() < MAX_KEPT {
+                report.mismatches.push((found(&diff), diff.mismatches));
+            }
+        }
+    };
+
+    let stats = enumerate(program, config, |schedule, end| {
+        seen.insert(schedule_hash(schedule));
+        judge(&mut report, schedule, end);
+    });
+    report.schedules = stats.schedules;
+    report.deadlocks = stats.deadlocks;
+    report.exhaustive = stats.exhaustive;
+    report.sleep_pruned = stats.sleep_pruned;
+
+    if !report.exhaustive && config.samples > 0 {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut schedule = Vec::with_capacity(program.len());
+        for _ in 0..config.samples {
+            schedule.clear();
+            let end = Interp::new(program).run_with(&mut schedule, |enabled| {
+                if enabled.len() == 1 {
+                    0
+                } else {
+                    rng.gen_range(0..enabled.len())
+                }
+            });
+            // Only referee schedules neither the DFS nor an earlier
+            // sample already covered.
+            if seen.insert(schedule_hash(&schedule)) {
+                report.sampled += 1;
+                report.deadlocks += usize::from(end == RunEnd::Deadlock);
+                judge(&mut report, &schedule, end);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtins::builtin;
+    use crate::program::parse_program;
+    use std::collections::BTreeSet;
+
+    /// Exhaustively enumerating with and without pruning must agree on
+    /// the *set of verdicts* (pruning only drops commuting duplicates)
+    /// while the pruned pass emits no more schedules.
+    #[test]
+    fn pruning_preserves_verdicts_and_shrinks_the_space() {
+        let p = builtin("racy-pair").unwrap();
+        let cfg = ExploreConfig { max_schedules: 100_000, samples: 0, ..Default::default() };
+        let pruned = explore(&p, &cfg);
+        let full = explore(&p, &ExploreConfig { prune: false, ..cfg });
+        assert!(pruned.exhaustive && full.exhaustive);
+        assert!(pruned.schedules <= full.schedules);
+        assert!(pruned.sleep_pruned > 0, "sleep sets must actually prune");
+        assert!(pruned.violating > 0 && full.violating > 0);
+        assert_eq!(pruned.mismatching, 0);
+        assert_eq!(full.mismatching, 0);
+        // Neither enumeration may find a verdict the other misses.
+        assert_eq!(
+            pruned.violating > 0,
+            full.violating > 0,
+            "pruning must not hide the violating region"
+        );
+        assert_eq!(
+            pruned.schedules > pruned.violating,
+            full.schedules > full.violating,
+            "both must also see serializable schedules"
+        );
+    }
+
+    /// The pruned exhaustive enumeration must still reach every
+    /// *dependence-distinguishable* behaviour: on a two-writer program
+    /// both orders of the conflicting writes appear.
+    #[test]
+    fn pruning_keeps_both_orders_of_dependent_events() {
+        let p = parse_program("ww", "thread a: w(x)\nthread b: w(x) r(y)\n").unwrap();
+        let mut firsts = BTreeSet::new();
+        enumerate(&p, &ExploreConfig::default(), |schedule, _| {
+            firsts.insert(schedule[0]);
+        });
+        assert_eq!(firsts.len(), 2, "both conflicting orders must survive pruning");
+    }
+
+    /// Fully independent threads collapse to a single representative
+    /// schedule under sleep sets.
+    #[test]
+    fn independent_threads_collapse_to_one_schedule() {
+        let p = parse_program("ind", "thread a: r(x) w(x)\nthread b: r(y) w(y)\n").unwrap();
+        let stats = enumerate(&p, &ExploreConfig::default(), |_, _| {});
+        assert_eq!(stats.schedules, 1, "commuting-only interleavings must be pruned");
+        let full = enumerate(&p, &ExploreConfig { prune: false, ..Default::default() }, |_, _| {});
+        assert_eq!(full.schedules, 6, "4 choose 2 unpruned interleavings");
+    }
+
+    #[test]
+    fn budget_truncation_triggers_deterministic_sampling() {
+        let p = builtin("rho2-hidden").unwrap();
+        let cfg = ExploreConfig { max_schedules: 3, samples: 64, seed: 7, ..Default::default() };
+        let a = explore(&p, &cfg);
+        let b = explore(&p, &cfg);
+        assert!(!a.exhaustive);
+        assert!(a.sampled > 0, "sampling must kick in after truncation");
+        assert_eq!(a.schedules, b.schedules);
+        assert_eq!(a.sampled, b.sampled);
+        assert_eq!(a.violating, b.violating, "same seed, same findings");
+    }
+
+    #[test]
+    fn deadlocks_are_counted_not_crashed() {
+        let p = builtin("deadlock").unwrap();
+        let report = explore(&p, &ExploreConfig::default());
+        assert!(report.exhaustive);
+        assert!(report.deadlocks > 0, "the lock-order builtin must deadlock somewhere");
+        assert_eq!(report.mismatching, 0);
+    }
+}

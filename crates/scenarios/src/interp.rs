@@ -1,0 +1,291 @@
+//! The deterministic cooperative interpreter: runs a [`Program`] one
+//! scheduler-chosen step at a time.
+//!
+//! This is the pluto-RFC discipline applied to trace generation: the
+//! threads are cooperative fibers with no real concurrency, and the
+//! *scheduler* (the exploration engine, a random sampler, a replayed
+//! schedule) owns every interleaving decision. A schedule is just the
+//! sequence of thread indices stepped; replaying the same schedule
+//! always yields the same trace, byte for byte.
+//!
+//! Enabledness encodes the cross-thread half of well-formedness:
+//!
+//! * a thread is runnable only after its `spawn` executed (roots start
+//!   runnable) — so `fork` precedes the child's first event;
+//! * `acq(l)` blocks while another thread holds `l` (re-entrant for the
+//!   holder) — so mutual exclusion holds and cross-thread re-acquires
+//!   cannot occur;
+//! * `join(u)` blocks until `u` finished — so no event of `u` follows
+//!   the join.
+//!
+//! Together with the per-thread static checks of [`Program::check`],
+//! every maximal run is a *closed* well-formed trace, and every partial
+//! run (a deadlock) is a well-formed prefix.
+
+use tracelog::{Event, Op, Trace, TraceBuilder};
+
+use crate::program::{Program, Stmt};
+
+/// The interpreter state over a borrowed program. Cloning is cheap
+/// (a few small vectors), which is what the DFS explorer snapshots.
+#[derive(Clone, Debug)]
+pub struct Interp<'p> {
+    program: &'p Program,
+    /// Per-thread program counter.
+    pc: Vec<usize>,
+    /// Per-thread started flag (roots start true).
+    started: Vec<bool>,
+    /// Current owner of each lock.
+    lock_owner: Vec<Option<usize>>,
+    /// Re-entrant hold depth of each lock.
+    lock_depth: Vec<usize>,
+}
+
+/// How a completed run ended.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunEnd {
+    /// Every thread ran to completion: the trace is closed.
+    Complete,
+    /// No thread is enabled but some never finished (lock cycle or a
+    /// join/spawn wait that can never be satisfied): the trace is a
+    /// well-formed prefix.
+    Deadlock,
+}
+
+impl<'p> Interp<'p> {
+    /// A fresh interpreter at the initial state of `program`.
+    #[must_use]
+    pub fn new(program: &'p Program) -> Self {
+        let n = program.threads().len();
+        let mut started = vec![false; n];
+        for t in program.roots() {
+            started[t] = true;
+        }
+        Self {
+            program,
+            pc: vec![0; n],
+            started,
+            lock_owner: vec![None; program.locks().len()],
+            lock_depth: vec![0; program.locks().len()],
+        }
+    }
+
+    /// The program being interpreted.
+    #[must_use]
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Whether thread `t` has executed its whole body.
+    #[must_use]
+    pub fn finished(&self, t: usize) -> bool {
+        self.started[t] && self.pc[t] == self.program.threads()[t].body.len()
+    }
+
+    /// Whether every thread has run to completion.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        (0..self.pc.len()).all(|t| self.finished(t))
+    }
+
+    /// Thread `t`'s next statement, if it has one.
+    #[must_use]
+    pub fn next_stmt(&self, t: usize) -> Option<Stmt> {
+        self.program.threads()[t].body.get(self.pc[t]).copied()
+    }
+
+    /// Whether thread `t` can take a step right now.
+    #[must_use]
+    pub fn enabled(&self, t: usize) -> bool {
+        if !self.started[t] {
+            return false;
+        }
+        match self.next_stmt(t) {
+            None => false,
+            Some(Stmt::Acquire(l)) => self.lock_owner[l].is_none_or(|o| o == t),
+            Some(Stmt::Join(u)) => self.finished(u),
+            Some(_) => true,
+        }
+    }
+
+    /// The enabled threads in index order (the DFS exploration order).
+    #[must_use]
+    pub fn enabled_threads(&self) -> Vec<usize> {
+        (0..self.pc.len()).filter(|&t| self.enabled(t)).collect()
+    }
+
+    /// Executes thread `t`'s next statement, returning it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not [`enabled`](Self::enabled) — schedulers must
+    /// only step enabled threads; that discipline is what makes every
+    /// emitted trace well-formed.
+    pub fn step(&mut self, t: usize) -> Stmt {
+        assert!(self.enabled(t), "scheduler stepped a non-enabled thread {t}");
+        let stmt = self.next_stmt(t).expect("enabled implies a next statement");
+        self.pc[t] += 1;
+        match stmt {
+            Stmt::Acquire(l) => {
+                self.lock_owner[l] = Some(t);
+                self.lock_depth[l] += 1;
+            }
+            Stmt::Release(l) => {
+                self.lock_depth[l] -= 1;
+                if self.lock_depth[l] == 0 {
+                    self.lock_owner[l] = None;
+                }
+            }
+            Stmt::Spawn(u) => self.started[u] = true,
+            _ => {}
+        }
+        stmt
+    }
+
+    /// Runs `self` to the end under `pick`, which chooses among the
+    /// enabled threads at every step (receives the enabled list, returns
+    /// an index **into that list**). Appends each stepped thread to
+    /// `schedule` and returns how the run ended.
+    pub fn run_with(
+        &mut self,
+        schedule: &mut Vec<usize>,
+        mut pick: impl FnMut(&[usize]) -> usize,
+    ) -> RunEnd {
+        loop {
+            let enabled = self.enabled_threads();
+            if enabled.is_empty() {
+                return if self.complete() { RunEnd::Complete } else { RunEnd::Deadlock };
+            }
+            let t = enabled[pick(&enabled)];
+            self.step(t);
+            schedule.push(t);
+        }
+    }
+}
+
+/// Replays `schedule` (a sequence of thread indices) against a fresh
+/// interpreter and materialises the trace it denotes. Thread, lock and
+/// variable names are interned **up front** in program order, so every
+/// schedule of one program shares identical id assignments — what makes
+/// traces of different schedules directly comparable.
+///
+/// # Panics
+///
+/// Panics if the schedule steps a non-enabled thread (schedules must
+/// come from this module's own exploration/sampling, which cannot emit
+/// such a step).
+#[must_use]
+pub fn schedule_trace(program: &Program, schedule: &[usize]) -> Trace {
+    let mut tb = TraceBuilder::new();
+    let tids: Vec<_> = program.threads().iter().map(|t| tb.thread(&t.name)).collect();
+    let lids: Vec<_> = program.locks().iter().map(|l| tb.lock(l)).collect();
+    let xids: Vec<_> = program.vars().iter().map(|x| tb.var(x)).collect();
+    let mut interp = Interp::new(program);
+    for &t in schedule {
+        let op = match interp.step(t) {
+            Stmt::Read(x) => Op::Read(xids[x]),
+            Stmt::Write(x) => Op::Write(xids[x]),
+            Stmt::Acquire(l) => Op::Acquire(lids[l]),
+            Stmt::Release(l) => Op::Release(lids[l]),
+            Stmt::Begin => Op::Begin,
+            Stmt::End => Op::End,
+            Stmt::Spawn(u) => Op::Fork(tids[u]),
+            Stmt::Join(u) => Op::Join(tids[u]),
+        };
+        tb.push(Event::new(tids[t], op));
+    }
+    tb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::parse_program;
+    use tracelog::validate;
+
+    fn racy() -> Program {
+        parse_program(
+            "racy",
+            "thread main: spawn(a) spawn(b) join(a) join(b)\n\
+             thread a: begin w(x) r(y) end\n\
+             thread b: begin w(y) r(x) end\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn only_roots_start_enabled_and_spawn_wakes_children() {
+        let p = racy();
+        let mut i = Interp::new(&p);
+        assert_eq!(i.enabled_threads(), vec![0]);
+        i.step(0); // spawn(a)
+        assert_eq!(i.enabled_threads(), vec![0, 1]);
+        i.step(0); // spawn(b)
+                   // Both children runnable; main's join(a) blocks until a finishes.
+        assert_eq!(i.enabled_threads(), vec![1, 2]);
+        assert_eq!(i.next_stmt(0), Some(Stmt::Join(1)));
+        assert!(!i.enabled(0));
+        for _ in 0..4 {
+            i.step(1);
+        }
+        assert!(i.finished(1));
+        assert!(i.enabled(0), "join(a) unblocks once a finished");
+    }
+
+    #[test]
+    fn every_serial_schedule_is_closed_and_well_formed() {
+        let p = racy();
+        let mut schedule = Vec::new();
+        let end = Interp::new(&p).run_with(&mut schedule, |_| 0);
+        assert_eq!(end, RunEnd::Complete);
+        assert_eq!(schedule.len(), p.len());
+        let trace = schedule_trace(&p, &schedule);
+        let summary = validate(&trace).expect("scheduler output must be well-formed");
+        assert!(summary.is_closed());
+    }
+
+    #[test]
+    fn locks_block_non_owners_and_deadlocks_are_prefixes() {
+        let p = parse_program(
+            "dl",
+            "thread a: acq(m) acq(n) rel(n) rel(m)\nthread b: acq(n) acq(m) rel(m) rel(n)\n",
+        )
+        .unwrap();
+        // a takes m, b takes n: classic lock-order deadlock.
+        let mut i = Interp::new(&p);
+        i.step(0);
+        i.step(1);
+        assert!(i.enabled_threads().is_empty());
+        assert!(!i.complete());
+        let trace = schedule_trace(&p, &[0, 1]);
+        let summary = validate(&trace).expect("deadlock prefixes stay well-formed");
+        assert!(!summary.is_closed());
+    }
+
+    #[test]
+    fn reentrant_acquire_stays_enabled_for_the_holder_only() {
+        let p =
+            parse_program("re", "thread a: acq(m) acq(m) rel(m) rel(m)\nthread b: acq(m) rel(m)\n")
+                .unwrap();
+        let mut i = Interp::new(&p);
+        i.step(0);
+        assert!(i.enabled(0), "holder may re-acquire");
+        assert!(!i.enabled(1), "non-owner blocks");
+        i.step(0);
+        i.step(0);
+        assert!(!i.enabled(1), "still held at depth 1");
+        i.step(0);
+        assert!(i.enabled(1), "released at depth 0");
+    }
+
+    #[test]
+    fn schedules_replay_deterministically() {
+        let p = racy();
+        let mut schedule = Vec::new();
+        Interp::new(&p).run_with(&mut schedule, |enabled| enabled.len() - 1);
+        let a = schedule_trace(&p, &schedule);
+        let b = schedule_trace(&p, &schedule);
+        assert_eq!(a.events(), b.events());
+        assert_eq!(tracelog::write_trace(&a), tracelog::write_trace(&b));
+    }
+}

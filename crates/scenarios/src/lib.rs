@@ -1,0 +1,37 @@
+//! Adversarial scenario engine for the conflict-serializability suite:
+//! a thread-program DSL, a deterministic cooperative scheduler that
+//! enumerates interleavings, a trace-mutation fuzzer, a differential
+//! referee over the whole checker panel, and a delta-debugging
+//! minimiser that shrinks findings to sealed reproducers.
+//!
+//! The pieces compose into two front-ends (surfaced as `rapid explore`
+//! and `rapid fuzz`):
+//!
+//! * **Exploration** ([`explore()`](explore())): interpret a [`Program`] under every
+//!   schedule — exhaustively with sleep-set (DPOR-flavoured) pruning
+//!   for small programs, with seeded random sampling past the budget —
+//!   and [`referee`] each resulting trace.
+//! * **Fuzzing** ([`fuzz()`](fuzz())): mutate a recorded trace (swap, splice,
+//!   drop, duplicate) under a fixed seed; well-formed mutants go to the
+//!   referee, ill-formed ones exercise the rejection paths.
+//!
+//! Anything noteworthy — a violating schedule, a panel mismatch — is
+//! shrunk with [`minimize()`](minimize()) into a small `.std` reproducer.
+
+pub mod builtins;
+pub mod diff;
+pub mod explore;
+pub mod interp;
+pub mod minimize;
+pub mod mutate;
+pub mod program;
+
+pub use builtins::{builtin, BUILTINS};
+pub use diff::{referee, Differential, Mismatch, RefereeConfig};
+pub use explore::{
+    enumerate, explore, EnumStats, ExploreConfig, ExploreReport, FoundSchedule, MAX_KEPT,
+};
+pub use interp::{schedule_trace, Interp, RunEnd};
+pub use minimize::minimize;
+pub use mutate::{fuzz, FuzzConfig, FuzzReport, Mutant, MutationKind, Mutator};
+pub use program::{parse_program, Program, ProgramBuilder, ProgramError, Stmt, ThreadProc};

@@ -1,0 +1,118 @@
+//! Trace minimisation: shrink a noteworthy trace (violating schedule,
+//! mismatching mutant) to a small reproducer.
+//!
+//! The shrinker is a delta-debugging loop over the event sequence: it
+//! repeatedly tries to delete chunks — halving the chunk size from
+//! `len/2` down to single events — and keeps any deletion whose result
+//! is still well-formed (optionally still closed) and still
+//! *interesting* per the caller's predicate. Every candidate is
+//! revalidated, so the reproducer is a checkable `.std` trace by
+//! construction, ready to seal with an `.expect` sidecar.
+
+use tracelog::{validate, Event, Trace};
+
+/// Shrinks `trace` while `interesting` holds, returning the smallest
+/// trace found. Only well-formed candidates (closed ones when
+/// `require_closed`) are offered to the predicate, so `interesting` can
+/// run checkers without defending against malformed input. The original
+/// trace must itself satisfy the predicate — otherwise it is returned
+/// unchanged.
+#[must_use]
+pub fn minimize(
+    trace: &Trace,
+    require_closed: bool,
+    mut interesting: impl FnMut(&Trace) -> bool,
+) -> Trace {
+    let rebuild = |events: Vec<Event>| {
+        Trace::from_parts(
+            events,
+            trace.thread_names().clone(),
+            trace.lock_names().clone(),
+            trace.var_names().clone(),
+        )
+    };
+    let mut accept = |events: Vec<Event>| -> Option<Trace> {
+        let candidate = rebuild(events);
+        match validate(&candidate) {
+            Ok(summary) if (!require_closed || summary.is_closed()) && interesting(&candidate) => {
+                Some(candidate)
+            }
+            _ => None,
+        }
+    };
+
+    let mut events = trace.events().to_vec();
+    let mut size = events.len() / 2;
+    while size >= 1 {
+        let mut start = 0;
+        while start < events.len() {
+            let end = (start + size).min(events.len());
+            let mut candidate = Vec::with_capacity(events.len() - (end - start));
+            candidate.extend_from_slice(&events[..start]);
+            candidate.extend_from_slice(&events[end..]);
+            if !candidate.is_empty() {
+                if let Some(kept) = accept(candidate) {
+                    // The deletion stuck: the next chunk slid into
+                    // `start`, so do not advance.
+                    events = kept.events().to_vec();
+                    continue;
+                }
+            }
+            start += size;
+        }
+        size /= 2;
+    }
+    rebuild(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtins::builtin;
+    use crate::diff::{referee, RefereeConfig};
+    use crate::explore::{explore, ExploreConfig};
+    use crate::interp::schedule_trace;
+    use aerodrome::basic::BasicChecker;
+    use aerodrome::run_checker;
+
+    fn still_violates(trace: &Trace) -> bool {
+        run_checker(&mut BasicChecker::new(), trace).is_violation()
+    }
+
+    /// The racy builtin's violating schedules shrink to the 8-event
+    /// kernel: two 2-access transactions with crossing conflicts
+    /// (forks, joins and serial padding all melt away).
+    #[test]
+    fn racy_pair_shrinks_to_the_eight_event_kernel() {
+        let p = builtin("racy-pair").unwrap();
+        let report = explore(&p, &ExploreConfig::default());
+        let found = report.violations.first().expect("explorer must find a violation");
+        let full = schedule_trace(&p, &found.schedule);
+        let min = minimize(&full, true, still_violates);
+        assert!(min.len() < full.len(), "minimisation must make progress");
+        assert_eq!(min.len(), 8, "⊲ w r ⊳ × 2 is the minimal closed witness");
+        assert!(still_violates(&min));
+        assert!(validate(&min).unwrap().is_closed());
+        // The reproducer must keep the whole panel in agreement.
+        assert!(referee(&min, true, &RefereeConfig::default()).clean());
+    }
+
+    /// Without the closedness requirement the ρ2-shaped program shrinks
+    /// further: the writer's transaction is unary.
+    #[test]
+    fn rho2_hidden_shrinks_to_five_events() {
+        let p = builtin("rho2-hidden").unwrap();
+        let report = explore(&p, &ExploreConfig::default());
+        let found = report.violations.first().expect("explorer must find a violation");
+        let min = minimize(&schedule_trace(&p, &found.schedule), true, still_violates);
+        assert_eq!(min.len(), 5, "⊲ r ⊳ around a unary write plus the second read");
+    }
+
+    /// A predicate the original trace fails leaves it untouched.
+    #[test]
+    fn uninteresting_traces_come_back_unchanged() {
+        let trace = tracelog::paper_traces::rho1();
+        let min = minimize(&trace, true, |_| false);
+        assert_eq!(min.events(), trace.events());
+    }
+}

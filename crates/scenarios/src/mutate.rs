@@ -1,0 +1,351 @@
+//! Trace-mutation fuzzing: seeded structural mutations over recorded
+//! traces, refereed differentially.
+//!
+//! Each mutation operator perturbs the *event sequence* while keeping
+//! the name tables intact. Well-formedness is preserved by construction
+//! where cheap (paired drops of `acq`/`rel` and `⊲`/`⊳`) and otherwise
+//! left to the [`Validator`](tracelog::Validator): an ill-formed mutant
+//! is a perfectly good fuzzing artefact too — it exercises the
+//! rejection path (see the corpus-isolation tests) — it just never
+//! reaches the checkers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tracelog::{validate, Event, Op, Trace};
+
+use crate::diff::{referee, Mismatch, RefereeConfig};
+use crate::explore::MAX_KEPT;
+
+/// The structural mutation operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MutationKind {
+    /// Swap two adjacent events of different threads.
+    SwapAdjacent,
+    /// Move a short run of events (≤ 8) somewhere else in the trace.
+    Splice,
+    /// Remove an event; `acq`/`rel` and `⊲`/`⊳` are removed with their
+    /// matching partner so the drop commonly stays well-formed.
+    Drop,
+    /// Duplicate a memory access in place.
+    Duplicate,
+}
+
+impl MutationKind {
+    const ALL: [MutationKind; 4] = [Self::SwapAdjacent, Self::Splice, Self::Drop, Self::Duplicate];
+
+    /// Short operator name for reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::SwapAdjacent => "swap-adjacent",
+            Self::Splice => "splice",
+            Self::Drop => "drop",
+            Self::Duplicate => "duplicate",
+        }
+    }
+}
+
+/// One mutated trace, pre-validated.
+#[derive(Clone, Debug)]
+pub struct Mutant {
+    /// The mutated trace (name tables shared with the original).
+    pub trace: Trace,
+    /// Which operator produced it.
+    pub kind: MutationKind,
+    /// Whether the mutant is well-formed.
+    pub valid: bool,
+    /// Whether the mutant is well-formed *and* closed.
+    pub closed: bool,
+}
+
+/// Seeded mutation source over a fixed original trace.
+pub struct Mutator {
+    rng: StdRng,
+}
+
+impl Mutator {
+    /// A mutator drawing from the deterministic stream of `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Applies one randomly chosen operator to `trace`. Returns `None`
+    /// when the chosen operator has no applicable site (e.g. swapping
+    /// in a single-thread trace).
+    pub fn mutate(&mut self, trace: &Trace) -> Option<Mutant> {
+        let kind = MutationKind::ALL[self.rng.gen_range(0..MutationKind::ALL.len())];
+        self.mutate_with(trace, kind)
+    }
+
+    /// Applies one specific operator to `trace`.
+    pub fn mutate_with(&mut self, trace: &Trace, kind: MutationKind) -> Option<Mutant> {
+        let events = trace.events();
+        if events.len() < 2 {
+            return None;
+        }
+        let mutated = match kind {
+            MutationKind::SwapAdjacent => self.swap_adjacent(events)?,
+            MutationKind::Splice => self.splice(events)?,
+            MutationKind::Drop => self.drop_one(events)?,
+            MutationKind::Duplicate => self.duplicate(events)?,
+        };
+        let candidate = Trace::from_parts(
+            mutated,
+            trace.thread_names().clone(),
+            trace.lock_names().clone(),
+            trace.var_names().clone(),
+        );
+        let (valid, closed) = match validate(&candidate) {
+            Ok(summary) => (true, summary.is_closed()),
+            Err(_) => (false, false),
+        };
+        Some(Mutant { trace: candidate, kind, valid, closed })
+    }
+
+    fn swap_adjacent(&mut self, events: &[Event]) -> Option<Vec<Event>> {
+        // Scan from a random start for a cross-thread adjacent pair.
+        let start = self.rng.gen_range(0..events.len() - 1);
+        let at = (0..events.len() - 1)
+            .map(|k| (start + k) % (events.len() - 1))
+            .find(|&i| events[i].thread != events[i + 1].thread)?;
+        let mut out = events.to_vec();
+        out.swap(at, at + 1);
+        Some(out)
+    }
+
+    fn splice(&mut self, events: &[Event]) -> Option<Vec<Event>> {
+        let len = self.rng.gen_range(1..=events.len().min(8));
+        let from = self.rng.gen_range(0..=events.len() - len);
+        let mut out = events.to_vec();
+        let segment: Vec<Event> = out.drain(from..from + len).collect();
+        let to = self.rng.gen_range(0..=out.len());
+        if to == from {
+            return None; // identity move
+        }
+        out.splice(to..to, segment);
+        Some(out)
+    }
+
+    fn drop_one(&mut self, events: &[Event]) -> Option<Vec<Event>> {
+        let at = self.rng.gen_range(0..events.len());
+        let partner = match events[at].op {
+            Op::Acquire(l) => {
+                matching_forward(events, at, |op| op == Op::Acquire(l), |op| op == Op::Release(l))
+            }
+            Op::Release(l) => {
+                matching_backward(events, at, |op| op == Op::Release(l), |op| op == Op::Acquire(l))
+            }
+            Op::Begin => matching_forward(events, at, |op| op == Op::Begin, |op| op == Op::End),
+            Op::End => matching_backward(events, at, |op| op == Op::End, |op| op == Op::Begin),
+            _ => None,
+        };
+        let mut out = events.to_vec();
+        if let Some(p) = partner {
+            out.remove(at.max(p));
+            out.remove(at.min(p));
+        } else {
+            out.remove(at);
+        }
+        Some(out)
+    }
+
+    fn duplicate(&mut self, events: &[Event]) -> Option<Vec<Event>> {
+        let start = self.rng.gen_range(0..events.len());
+        let at = (0..events.len())
+            .map(|k| (start + k) % events.len())
+            .find(|&i| events[i].op.is_access())?;
+        let mut out = events.to_vec();
+        out.insert(at + 1, events[at]);
+        Some(out)
+    }
+}
+
+/// The matching closer for `events[at]` in the same thread, scanning
+/// forward with depth counting (re-entrant locks, nested transactions).
+fn matching_forward(
+    events: &[Event],
+    at: usize,
+    opens: impl Fn(Op) -> bool,
+    closes: impl Fn(Op) -> bool,
+) -> Option<usize> {
+    let thread = events[at].thread;
+    let mut depth = 0usize;
+    for (i, e) in events.iter().enumerate().skip(at + 1) {
+        if e.thread != thread {
+            continue;
+        }
+        if opens(e.op) {
+            depth += 1;
+        } else if closes(e.op) {
+            if depth == 0 {
+                return Some(i);
+            }
+            depth -= 1;
+        }
+    }
+    None
+}
+
+/// The matching opener for `events[at]`, scanning backward.
+fn matching_backward(
+    events: &[Event],
+    at: usize,
+    closes: impl Fn(Op) -> bool,
+    opens: impl Fn(Op) -> bool,
+) -> Option<usize> {
+    let thread = events[at].thread;
+    let mut depth = 0usize;
+    for i in (0..at).rev() {
+        let e = events[i];
+        if e.thread != thread {
+            continue;
+        }
+        if closes(e.op) {
+            depth += 1;
+        } else if opens(e.op) {
+            if depth == 0 {
+                return Some(i);
+            }
+            depth -= 1;
+        }
+    }
+    None
+}
+
+/// Fuzzing budget and knobs.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Mutation attempts.
+    pub mutants: usize,
+    /// Seed of the mutation stream.
+    pub seed: u64,
+    /// Referee tuning.
+    pub referee: RefereeConfig,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        Self { mutants: 1_000, seed: 0, referee: RefereeConfig::default() }
+    }
+}
+
+/// The outcome of a [`fuzz`] run.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Mutation attempts made.
+    pub attempted: usize,
+    /// Attempts where the chosen operator had no applicable site.
+    pub skipped: usize,
+    /// Well-formed mutants (refereed).
+    pub valid: usize,
+    /// Ill-formed mutants (rejected by the validator, never checked).
+    pub invalid: usize,
+    /// Refereed mutants on which the panel reported a violation.
+    pub violating: usize,
+    /// Refereed mutants breaking a cross-checker invariant.
+    pub mismatching: usize,
+    /// The mismatching mutants themselves, with the broken invariants
+    /// (first [`MAX_KEPT`] kept).
+    pub mismatches: Vec<(MutationKind, Trace, Vec<Mismatch>)>,
+}
+
+impl FuzzReport {
+    /// Whether every refereed mutant upheld every invariant.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.mismatching == 0
+    }
+}
+
+/// Fuzzes `trace` with `config.mutants` seeded mutation attempts,
+/// refereeing every well-formed mutant against the full panel.
+#[must_use]
+pub fn fuzz(trace: &Trace, config: &FuzzConfig) -> FuzzReport {
+    let mut mutator = Mutator::new(config.seed);
+    let mut report = FuzzReport { attempted: config.mutants, ..FuzzReport::default() };
+    for _ in 0..config.mutants {
+        let Some(mutant) = mutator.mutate(trace) else {
+            report.skipped += 1;
+            continue;
+        };
+        if !mutant.valid {
+            report.invalid += 1;
+            continue;
+        }
+        report.valid += 1;
+        let diff = referee(&mutant.trace, mutant.closed, &config.referee);
+        report.violating += usize::from(diff.violation);
+        if !diff.clean() {
+            report.mismatching += 1;
+            if report.mismatches.len() < MAX_KEPT {
+                report.mismatches.push((mutant.kind, mutant.trace, diff.mismatches));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use tracelog::paper_traces;
+
+    #[test]
+    fn fuzz_is_deterministic_for_a_seed() {
+        let trace = paper_traces::rho1();
+        let cfg = FuzzConfig { mutants: 200, seed: 42, ..FuzzConfig::default() };
+        let a = fuzz(&trace, &cfg);
+        let b = fuzz(&trace, &cfg);
+        assert_eq!(
+            (a.valid, a.invalid, a.skipped, a.violating),
+            (b.valid, b.invalid, b.skipped, b.violating)
+        );
+        assert!(a.valid > 0, "some mutants must survive validation");
+        assert!(a.clean(), "the suite must agree on every rho1 mutant");
+    }
+
+    #[test]
+    fn paired_drop_removes_both_halves() {
+        let trace = paper_traces::rho2();
+        let mut m = Mutator::new(7);
+        // Drive Drop until it hits a paired op; the result must stay
+        // balanced often enough that some valid mutants shrink by 2.
+        let mut shrunk_by_two = false;
+        for _ in 0..200 {
+            if let Some(mutant) = m.mutate_with(&trace, MutationKind::Drop) {
+                if mutant.valid && mutant.trace.len() + 2 == trace.len() {
+                    shrunk_by_two = true;
+                    break;
+                }
+            }
+        }
+        assert!(shrunk_by_two, "paired drops must produce valid 2-shorter mutants");
+    }
+
+    #[test]
+    fn invalid_mutants_are_quarantined_not_checked() {
+        let trace = paper_traces::rho4();
+        let report = fuzz(&trace, &FuzzConfig { mutants: 500, seed: 3, ..FuzzConfig::default() });
+        assert!(report.invalid > 0, "fuzzing must also produce ill-formed mutants");
+        assert_eq!(report.valid + report.invalid + report.skipped, report.attempted);
+        assert!(report.clean());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any seed, any paper trace: the panel never disagrees.
+        #[test]
+        fn any_seed_never_splits_the_panel(seed in 0u64..1u64 << 48) {
+            for trace in
+                [paper_traces::rho1(), paper_traces::rho2(), paper_traces::rho3()]
+            {
+                let report =
+                    fuzz(&trace, &FuzzConfig { mutants: 40, seed, ..FuzzConfig::default() });
+                assert!(report.clean(), "seed {seed}: {:?}", report.mismatches);
+            }
+        }
+    }
+}

@@ -1,0 +1,457 @@
+//! The thread-program DSL: a static multi-threaded program whose
+//! interleavings the scheduler enumerates.
+//!
+//! A [`Program`] is a fixed set of named threads, each a straight-line
+//! sequence of [`Stmt`]s over named variables and locks. There is no
+//! data, no branching and no loops — the only nondeterminism is the
+//! scheduler's choice of which runnable thread steps next, which is
+//! exactly the degree of freedom the exploration engine wants to own
+//! (the pluto RFC's cooperative-fiber discipline: the scheduler, not
+//! the OS, decides who runs when).
+//!
+//! Programs are [statically checked](Program::check) so that **every**
+//! schedule the interpreter can produce is a well-formed trace in the
+//! Section 2 sense: transactions and lock acquisitions are matched per
+//! thread, spawn/join targets are sane, and cross-thread discipline
+//! (mutual exclusion, fork-before-first-event, no-events-after-join)
+//! is enforced dynamically by the interpreter's enabledness rules.
+//!
+//! # Text format
+//!
+//! ```text
+//! # a '#' starts a comment; blank lines are ignored
+//! thread main: spawn(a) spawn(b) join(a) join(b)
+//! thread a:    begin w(x) r(y) end
+//! thread b:    begin w(y) r(x) end
+//! ```
+//!
+//! `thread NAME:` opens a thread; the statements follow on the same
+//! line and/or on continuation lines up to the next `thread` header.
+//! Statements are `r(v)`, `w(v)`, `acq(l)`, `rel(l)`, `begin`, `end`,
+//! `spawn(t)` and `join(t)` (spawn/join emit `fork`/`join` trace
+//! events). Threads that are never spawned are roots and start enabled.
+
+use std::fmt;
+
+/// One statement of a thread's body. Indices refer to the owning
+/// [`Program`]'s thread/lock/variable tables.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Stmt {
+    /// Read the variable with this index.
+    Read(usize),
+    /// Write the variable with this index.
+    Write(usize),
+    /// Acquire the lock with this index (blocks while another thread
+    /// holds it; re-entrant for the holder).
+    Acquire(usize),
+    /// Release the lock with this index.
+    Release(usize),
+    /// Open a transaction (nesting allowed).
+    Begin,
+    /// Close the innermost open transaction.
+    End,
+    /// Start the thread with this index (emits a `fork` event).
+    Spawn(usize),
+    /// Wait for the thread with this index to finish (emits a `join`
+    /// event; blocks until the target has executed its whole body).
+    Join(usize),
+}
+
+/// One thread of a [`Program`]: a name and a straight-line body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ThreadProc {
+    /// The thread's trace name.
+    pub name: String,
+    /// The statements, executed in order.
+    pub body: Vec<Stmt>,
+}
+
+/// A static thread program (see the [module docs](self) for the text
+/// format).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Program {
+    /// Program name (the builtin name or the source file stem).
+    pub name: String,
+    threads: Vec<ThreadProc>,
+    locks: Vec<String>,
+    vars: Vec<String>,
+}
+
+/// A malformed program, with a human-readable reason.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProgramError(pub String);
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl Program {
+    /// The threads in declaration order.
+    #[must_use]
+    pub fn threads(&self) -> &[ThreadProc] {
+        &self.threads
+    }
+
+    /// The lock names in first-use order.
+    #[must_use]
+    pub fn locks(&self) -> &[String] {
+        &self.locks
+    }
+
+    /// The variable names in first-use order.
+    #[must_use]
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// Total statement count over all threads (an upper bound on the
+    /// events of any schedule).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.threads.iter().map(|t| t.body.len()).sum()
+    }
+
+    /// Whether the program has no statements at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The root threads: never the target of a `spawn`, so they start
+    /// enabled.
+    #[must_use]
+    pub fn roots(&self) -> Vec<usize> {
+        let mut spawned = vec![false; self.threads.len()];
+        for t in &self.threads {
+            for s in &t.body {
+                if let Stmt::Spawn(u) = s {
+                    spawned[*u] = true;
+                }
+            }
+        }
+        (0..self.threads.len()).filter(|&t| !spawned[t]).collect()
+    }
+
+    /// Statically verifies the per-thread disciplines that make every
+    /// interpreter run a well-formed trace:
+    ///
+    /// * every `spawn` target exists, is not the spawner and is spawned
+    ///   exactly once program-wide;
+    /// * every `join` target exists and is not the joiner;
+    /// * per thread, `end` never outnumbers `begin` at any prefix, and
+    ///   the body closes every transaction it opens;
+    /// * per thread, `rel(l)` only releases a lock the thread holds at
+    ///   that point (re-entrant depth counting), and the body releases
+    ///   everything it acquires;
+    /// * at least one thread is a root (otherwise nothing can run).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first discipline violation as a [`ProgramError`].
+    pub fn check(&self) -> Result<(), ProgramError> {
+        let n = self.threads.len();
+        let err = |msg: String| Err(ProgramError(msg));
+        let mut spawn_count = vec![0usize; n];
+        for (ti, t) in self.threads.iter().enumerate() {
+            let mut txn_depth = 0usize;
+            let mut lock_depth = vec![0usize; self.locks.len()];
+            for s in &t.body {
+                match *s {
+                    Stmt::Begin => txn_depth += 1,
+                    Stmt::End => {
+                        if txn_depth == 0 {
+                            return err(format!("thread {}: `end` without `begin`", t.name));
+                        }
+                        txn_depth -= 1;
+                    }
+                    Stmt::Acquire(l) => lock_depth[l] += 1,
+                    Stmt::Release(l) => {
+                        if lock_depth[l] == 0 {
+                            return err(format!(
+                                "thread {}: `rel({})` without a matching `acq`",
+                                t.name, self.locks[l]
+                            ));
+                        }
+                        lock_depth[l] -= 1;
+                    }
+                    Stmt::Spawn(u) => {
+                        if u >= n || u == ti {
+                            return err(format!("thread {}: invalid spawn target", t.name));
+                        }
+                        spawn_count[u] += 1;
+                    }
+                    Stmt::Join(u) => {
+                        if u >= n || u == ti {
+                            return err(format!("thread {}: invalid join target", t.name));
+                        }
+                    }
+                    Stmt::Read(_) | Stmt::Write(_) => {}
+                }
+            }
+            if txn_depth != 0 {
+                return err(format!("thread {}: {txn_depth} unclosed transaction(s)", t.name));
+            }
+            if let Some(l) = lock_depth.iter().position(|&d| d != 0) {
+                return err(format!("thread {}: ends holding `{}`", t.name, self.locks[l]));
+            }
+        }
+        if let Some(u) = spawn_count.iter().position(|&c| c > 1) {
+            return err(format!("thread {} is spawned more than once", self.threads[u].name));
+        }
+        if self.roots().is_empty() && n > 0 {
+            return err("no root thread: every thread is a spawn target".into());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    /// Renders the program back in the DSL text format (round-trips
+    /// through [`parse_program`]).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.threads {
+            write!(f, "thread {}:", t.name)?;
+            for s in &t.body {
+                match *s {
+                    Stmt::Read(x) => write!(f, " r({})", self.vars[x])?,
+                    Stmt::Write(x) => write!(f, " w({})", self.vars[x])?,
+                    Stmt::Acquire(l) => write!(f, " acq({})", self.locks[l])?,
+                    Stmt::Release(l) => write!(f, " rel({})", self.locks[l])?,
+                    Stmt::Begin => write!(f, " begin")?,
+                    Stmt::End => write!(f, " end")?,
+                    Stmt::Spawn(u) => write!(f, " spawn({})", self.threads[u].name)?,
+                    Stmt::Join(u) => write!(f, " join({})", self.threads[u].name)?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental [`Program`] construction (what the parser and the
+/// builtins use).
+#[derive(Clone, Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    threads: Vec<ThreadProc>,
+    locks: Vec<String>,
+    vars: Vec<String>,
+}
+
+impl ProgramBuilder {
+    /// Starts an empty program called `name`.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Self { name: name.to_owned(), ..Self::default() }
+    }
+
+    /// Declares (or retrieves) the thread called `name`, returning its
+    /// index.
+    pub fn thread(&mut self, name: &str) -> usize {
+        if let Some(i) = self.threads.iter().position(|t| t.name == name) {
+            return i;
+        }
+        self.threads.push(ThreadProc { name: name.to_owned(), body: Vec::new() });
+        self.threads.len() - 1
+    }
+
+    /// Interns a lock name.
+    pub fn lock(&mut self, name: &str) -> usize {
+        intern(&mut self.locks, name)
+    }
+
+    /// Interns a variable name.
+    pub fn var(&mut self, name: &str) -> usize {
+        intern(&mut self.vars, name)
+    }
+
+    /// Appends a statement to thread `t`'s body.
+    pub fn push(&mut self, t: usize, stmt: Stmt) -> &mut Self {
+        self.threads[t].body.push(stmt);
+        self
+    }
+
+    /// Finishes the program, running the static checks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Program::check`] failures.
+    pub fn finish(self) -> Result<Program, ProgramError> {
+        let program =
+            Program { name: self.name, threads: self.threads, locks: self.locks, vars: self.vars };
+        program.check()?;
+        Ok(program)
+    }
+}
+
+fn intern(table: &mut Vec<String>, name: &str) -> usize {
+    if let Some(i) = table.iter().position(|n| n == name) {
+        return i;
+    }
+    table.push(name.to_owned());
+    table.len() - 1
+}
+
+/// Parses the DSL text format (see the [module docs](self)) into a
+/// checked [`Program`] called `name`.
+///
+/// # Errors
+///
+/// Reports the first syntax error (with its 1-based line) or static
+/// discipline violation.
+pub fn parse_program(name: &str, text: &str) -> Result<Program, ProgramError> {
+    let mut builder = ProgramBuilder::new(name);
+    // Two passes so `spawn(b)` can precede `thread b:`: declare every
+    // thread first, then parse bodies against the full thread table.
+    for line in text.lines() {
+        let line = strip_comment(line).trim();
+        if let Some(rest) = line.strip_prefix("thread ") {
+            let (tname, _) = rest
+                .split_once(':')
+                .ok_or_else(|| ProgramError(format!("missing `:` after thread name: {line}")))?;
+            builder.thread(validate_name(tname.trim())?);
+        }
+    }
+    let mut current: Option<usize> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let stmts = if let Some(rest) = line.strip_prefix("thread ") {
+            let (tname, body) = rest.split_once(':').expect("checked in the first pass");
+            current = Some(builder.thread(tname.trim()));
+            body.trim()
+        } else {
+            line
+        };
+        for token in stmts.split_whitespace() {
+            let t = current.ok_or_else(|| {
+                ProgramError(format!("line {}: statement before any `thread`", lineno + 1))
+            })?;
+            let stmt = parse_stmt(&mut builder, token)
+                .map_err(|e| ProgramError(format!("line {}: {}", lineno + 1, e.0)))?;
+            builder.push(t, stmt);
+        }
+    }
+    builder.finish()
+}
+
+fn strip_comment(line: &str) -> &str {
+    line.split_once('#').map_or(line, |(head, _)| head)
+}
+
+fn validate_name(name: &str) -> Result<&str, ProgramError> {
+    let ok = !name.is_empty()
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.'));
+    if ok {
+        Ok(name)
+    } else {
+        Err(ProgramError(format!("invalid name `{name}`")))
+    }
+}
+
+fn parse_stmt(builder: &mut ProgramBuilder, token: &str) -> Result<Stmt, ProgramError> {
+    match token {
+        "begin" => return Ok(Stmt::Begin),
+        "end" => return Ok(Stmt::End),
+        _ => {}
+    }
+    let (op, rest) = token
+        .split_once('(')
+        .ok_or_else(|| ProgramError(format!("unknown statement `{token}`")))?;
+    let arg =
+        rest.strip_suffix(')').ok_or_else(|| ProgramError(format!("missing `)` in `{token}`")))?;
+    let arg = validate_name(arg)?;
+    Ok(match op {
+        "r" => Stmt::Read(builder.var(arg)),
+        "w" => Stmt::Write(builder.var(arg)),
+        "acq" => Stmt::Acquire(builder.lock(arg)),
+        "rel" => Stmt::Release(builder.lock(arg)),
+        "spawn" | "fork" => {
+            let t = builder
+                .threads
+                .iter()
+                .position(|t| t.name == arg)
+                .ok_or_else(|| ProgramError(format!("spawn of undeclared thread `{arg}`")))?;
+            Stmt::Spawn(t)
+        }
+        "join" => {
+            let t = builder
+                .threads
+                .iter()
+                .position(|t| t.name == arg)
+                .ok_or_else(|| ProgramError(format!("join of undeclared thread `{arg}`")))?;
+            Stmt::Join(t)
+        }
+        other => return Err(ProgramError(format!("unknown statement `{other}({arg})`"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RACY: &str = "\
+# the classic two-transaction conflict cycle
+thread main: spawn(a) spawn(b) join(a) join(b)
+thread a: begin w(x) r(y) end
+thread b: begin w(y) r(x) end
+";
+
+    #[test]
+    fn parses_and_round_trips() {
+        let p = parse_program("racy", RACY).unwrap();
+        assert_eq!(p.threads().len(), 3);
+        assert_eq!(p.vars().len(), 2);
+        assert_eq!(p.roots(), vec![0]);
+        assert_eq!(p.len(), 12);
+        let rendered = p.to_string();
+        let again = parse_program("racy", &rendered).unwrap();
+        assert_eq!(p, again, "Display must round-trip through the parser");
+    }
+
+    #[test]
+    fn continuation_lines_and_comments() {
+        let text = "thread t: begin\n  r(x) # read it\n  end\n";
+        let p = parse_program("t", text).unwrap();
+        assert_eq!(p.threads()[0].body, vec![Stmt::Begin, Stmt::Read(0), Stmt::End]);
+    }
+
+    #[test]
+    fn spawn_may_precede_declaration() {
+        let text = "thread main: spawn(w) join(w)\nthread w: r(x)\n";
+        let p = parse_program("fwd", text).unwrap();
+        assert_eq!(p.threads()[0].body, vec![Stmt::Spawn(1), Stmt::Join(1)]);
+    }
+
+    #[test]
+    fn rejects_static_discipline_violations() {
+        for (label, text) in [
+            ("end without begin", "thread t: end\n"),
+            ("unclosed txn", "thread t: begin r(x)\n"),
+            ("release unheld", "thread t: rel(m)\n"),
+            ("ends holding", "thread t: acq(m)\n"),
+            ("self spawn", "thread t: spawn(t)\n"),
+            ("self join", "thread t: join(t)\n"),
+            ("double spawn", "thread a: spawn(c)\nthread b: spawn(c)\nthread c: r(x)\n"),
+            ("all spawned", "thread a: spawn(b)\nthread b: spawn(a)\n"),
+            ("unknown stmt", "thread t: frob(x)\n"),
+            ("orphan stmt", "r(x)\n"),
+            ("bad name", "thread t: r(x y)\n"),
+        ] {
+            assert!(parse_program("bad", text).is_err(), "{label} must be rejected");
+        }
+    }
+
+    #[test]
+    fn reentrant_locks_and_nested_txns_pass() {
+        let text = "thread t: acq(m) begin acq(m) r(x) rel(m) begin w(x) end end rel(m)\n";
+        assert!(parse_program("ok", text).is_ok());
+    }
+}

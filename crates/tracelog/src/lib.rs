@@ -55,7 +55,9 @@ pub mod validate;
 pub use ids::{Interner, LockId, ThreadId, VarId};
 pub use parser::{parse_trace, write_trace, ParseTraceError};
 pub use stats::{MetaCollector, MetaInfo};
-pub use stream::{EventBatch, EventSource, SourceError, SourceNames, StdReader, TraceSource};
+pub use stream::{
+    EventBatch, EventSource, OwnedTraceSource, SourceError, SourceNames, StdReader, TraceSource,
+};
 pub use trace::{Event, EventId, Op, Trace, TraceBuilder};
 pub use txn::{Transaction, TransactionId, Transactions};
 pub use validate::{validate, Validator, ValiditySummary, WellFormedError};

@@ -590,11 +590,81 @@ impl EventSource for TraceSource<'_> {
     }
 }
 
+/// Replays an owned [`Trace`] as a stream (see [`Trace::into_stream`]).
+///
+/// The `'static` counterpart of [`TraceSource`]: generated traces (the
+/// scenario engine's schedules, fuzzing mutants) can be handed to
+/// consumers that require `Box<dyn EventSource>` without keeping the
+/// trace alive elsewhere.
+#[derive(Clone, Debug)]
+pub struct OwnedTraceSource {
+    trace: Trace,
+    pos: usize,
+}
+
+impl OwnedTraceSource {
+    /// Creates a source replaying `trace` from the beginning.
+    #[must_use]
+    pub fn new(trace: Trace) -> Self {
+        Self { trace, pos: 0 }
+    }
+
+    /// The trace being replayed.
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Rewinds to the beginning, making the source replayable.
+    pub fn rewind(&mut self) {
+        self.pos = 0;
+    }
+
+    /// Releases the trace.
+    #[must_use]
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+}
+
+impl EventSource for OwnedTraceSource {
+    fn next_event(&mut self) -> Result<Option<Event>, SourceError> {
+        let event = self.trace.events().get(self.pos).copied();
+        self.pos += usize::from(event.is_some());
+        Ok(event)
+    }
+
+    /// Native batch replay: one `memcpy` of the next chunk.
+    fn next_batch(&mut self, batch: &mut EventBatch) -> Result<usize, SourceError> {
+        batch.clear();
+        let events = self.trace.events();
+        let n = batch.target().min(events.len() - self.pos);
+        batch.extend_from_slice(&events[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+
+    fn names(&self) -> SourceNames<'_> {
+        self.trace.names()
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        Some(self.trace.len() as u64)
+    }
+}
+
 impl Trace {
     /// Streams this trace's events through the [`EventSource`] interface.
     #[must_use]
     pub fn stream(&self) -> TraceSource<'_> {
         TraceSource::new(self)
+    }
+
+    /// Converts this trace into a self-contained [`EventSource`] (the
+    /// owning form of [`Trace::stream`], for `'static` consumers).
+    #[must_use]
+    pub fn into_stream(self) -> OwnedTraceSource {
+        OwnedTraceSource::new(self)
     }
 
     /// The trace's name tables as [`SourceNames`].
@@ -952,5 +1022,25 @@ mod tests {
         assert_eq!(via_ref.size_hint(), Some(trace.len() as u64));
         let collected = collect_trace(&mut &mut s).unwrap();
         assert_eq!(collected.len(), trace.len());
+    }
+
+    #[test]
+    fn owned_source_matches_borrowed_and_rewinds() {
+        let trace = sample();
+        let borrowed = collect_trace(&mut trace.stream()).unwrap();
+        // The owned source is 'static: boxable as a trait object with no
+        // lifetime tying it to the original trace.
+        let mut owned: Box<dyn EventSource> = Box::new(trace.clone().into_stream());
+        assert_eq!(owned.size_hint(), Some(trace.len() as u64));
+        let collected = collect_trace(&mut owned).unwrap();
+        assert_eq!(collected.events(), borrowed.events());
+
+        let mut source = trace.clone().into_stream();
+        while source.next_event().unwrap().is_some() {}
+        source.rewind();
+        let replay = collect_trace(&mut source).unwrap();
+        assert_eq!(replay.len(), trace.len());
+        assert_eq!(source.trace().len(), trace.len());
+        assert_eq!(source.into_trace().events(), trace.events());
     }
 }

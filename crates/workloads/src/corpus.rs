@@ -93,21 +93,28 @@ impl CorpusEntry {
 pub fn entries(cfg: &CorpusConfig) -> Vec<CorpusEntry> {
     (0..cfg.traces)
         .map(|i| {
-            let kind = i % 4;
-            let threads = 3 + (i * 5) % 10;
+            // Every index-derived parameter is computed in u64 so the
+            // resolved configs — and therefore the corpus bytes — cannot
+            // depend on the platform's usize width. The intermediate
+            // products stay far below u64::MAX and the final values far
+            // below 2^16, so the narrowing conversions are total.
+            let idx = i as u64;
+            let kind = idx % 4;
+            let threads = usize::try_from(3 + (idx * 5) % 10).expect("threads < 13");
             let base = GenConfig {
-                seed: cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                seed: cfg.seed.wrapping_add(idx).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 threads,
-                vars: 32 + (i * 37) % 256,
+                vars: usize::try_from(32 + (idx * 37) % 256).expect("vars < 288"),
                 events: cfg.events,
                 ..GenConfig::default()
             };
             let (shape, cfg) = match kind {
                 0 => {
-                    // `i / 4` is this entry's position among the
+                    // `idx / 4` is this entry's position among the
                     // generator entries — the unit `violation_every`
                     // counts in.
-                    let inject = cfg.violation_every != 0 && (i / 4) % cfg.violation_every == 0;
+                    let inject = cfg.violation_every != 0
+                        && (idx / 4).is_multiple_of(cfg.violation_every as u64);
                     (None, GenConfig { violation_at: inject.then_some(0.6), ..base })
                 }
                 1 => (Some("convoy"), base),
@@ -169,6 +176,30 @@ mod tests {
             }
         }
         assert!(a.iter().any(|e| e.cfg.violation_at.is_some()));
+    }
+
+    /// Byte-determinism pinned to a golden hash: entry `i` of a corpus
+    /// is a pure function of `(seed, i)`, so the FNV-1a digest of the
+    /// streamed bytes of a small corpus must never move. If this fails,
+    /// either the generator or the entry arithmetic changed — which
+    /// invalidates every sealed corpus in the wild — or a platform
+    /// width leaked back into the parameters.
+    #[test]
+    fn corpus_bytes_match_the_golden_hash() {
+        let cfg = CorpusConfig { traces: 8, events: 400, ..CorpusConfig::default() };
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for entry in entries(&cfg) {
+            let mut bytes = Vec::new();
+            copy_events(entry.source().as_mut(), &mut bytes).unwrap();
+            for b in entry.name.as_bytes().iter().chain(&bytes) {
+                hash ^= u64::from(*b);
+                hash = hash.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        assert_eq!(
+            hash, 0xBACE_5D52_DB5A_F98A,
+            "corpus byte stream drifted — regenerate sealed corpora if intentional"
+        );
     }
 
     #[test]

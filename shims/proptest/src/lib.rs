@@ -26,6 +26,13 @@
 //! * **No persistence files**, no forking, no timeout handling.
 //! * `PROPTEST_CASES` (environment) replaces the default case count
 //!   (256) and caps explicit `ProptestConfig::with_cases` counts.
+//! * **Seeded replay via `PROPTEST_SEED`** instead of failure
+//!   persistence: every test's input stream is derived from its name
+//!   plus a run-level seed (`PROPTEST_SEED`, decimal or `0x`-hex,
+//!   default `0`). A failure report prints the active seed and the
+//!   exact `PROPTEST_SEED=… cargo test …` line that reproduces it, and
+//!   scheduled CI can sweep fresh streams by varying the seed without
+//!   touching the tests.
 
 #![forbid(unsafe_code)]
 
@@ -57,19 +64,51 @@ pub mod test_runner {
         }
     }
 
+    /// The run-level seed: `PROPTEST_SEED` from the environment
+    /// (decimal or `0x`-prefixed hex), defaulting to `0` — the stream
+    /// every unseeded run draws, so plain `cargo test` stays
+    /// deterministic. Failure reports print this value; exporting it
+    /// replays the exact failing stream.
+    #[must_use]
+    pub fn run_seed() -> u64 {
+        std::env::var("PROPTEST_SEED").ok().and_then(|s| parse_seed(&s)).unwrap_or(0)
+    }
+
+    pub(crate) fn parse_seed(text: &str) -> Option<u64> {
+        let text = text.trim();
+        match text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16).ok(),
+            None => text.parse().ok(),
+        }
+    }
+
     /// Deterministic RNG used to generate all test inputs.
     #[derive(Clone, Debug)]
     pub struct TestRng(rand::rngs::StdRng);
 
     impl TestRng {
-        /// Seeds the RNG from a stable hash of the test's full name, so
-        /// every test draws an independent but reproducible stream.
+        /// Seeds the RNG from a stable hash of the test's full name
+        /// mixed with the run-level [`run_seed`], so every test draws
+        /// an independent but reproducible stream and `PROPTEST_SEED`
+        /// shifts all of them at once.
         pub fn for_test(name: &str) -> Self {
+            Self::for_test_with_seed(name, run_seed())
+        }
+
+        /// [`TestRng::for_test`] with an explicit run seed. Seed `0` is
+        /// the historical unseeded stream (the name hash alone).
+        pub fn for_test_with_seed(name: &str, seed: u64) -> Self {
             // FNV-1a; avoids DefaultHasher's unstable-across-releases seed.
             let mut h: u64 = 0xcbf2_9ce4_8422_2325;
             for b in name.bytes() {
                 h ^= u64::from(b);
                 h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            if seed != 0 {
+                for b in seed.to_le_bytes() {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x1000_0000_01b3);
+                }
             }
             use rand::SeedableRng;
             TestRng(rand::rngs::StdRng::seed_from_u64(h))
@@ -322,9 +361,12 @@ macro_rules! __proptest_impl {
                         |__candidate| __fails(__candidate),
                     );
                     ::std::eprintln!(
-                        "[proptest shim] {} failed at case {}/{} with input:\n{:#?}\n\
-                         shrunk in {} re-run(s) to minimal failing input:\n{:#?}",
-                        stringify!($name), __case, __config.cases, __values, __steps, __minimal
+                        "[proptest shim] {} failed at case {}/{} (seed {}) with input:\n{:#?}\n\
+                         shrunk in {} re-run(s) to minimal failing input:\n{:#?}\n\
+                         replay with: PROPTEST_SEED={} cargo test {}",
+                        stringify!($name), __case, __config.cases,
+                        $crate::test_runner::run_seed(), __values, __steps, __minimal,
+                        $crate::test_runner::run_seed(), stringify!($name)
                     );
                     // Re-run the minimal case uncaught so the panic (and
                     // assertion message) the test dies with describes the
@@ -375,6 +417,34 @@ macro_rules! prop_assert_ne {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use crate::test_runner::{parse_seed, TestRng};
+    use rand::RngCore;
+
+    #[test]
+    fn seeds_parse_in_decimal_and_hex() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed(" 42 "), Some(42));
+        assert_eq!(parse_seed("0x2A"), Some(42));
+        assert_eq!(parse_seed("0X2a"), Some(42));
+        assert_eq!(parse_seed("banana"), None);
+        assert_eq!(parse_seed(""), None);
+    }
+
+    #[test]
+    fn run_seed_shifts_every_stream_reproducibly() {
+        let stream = |name: &str, seed: u64| {
+            let mut rng = TestRng::for_test_with_seed(name, seed);
+            [rng.next_u64(), rng.next_u64(), rng.next_u64()]
+        };
+        // Same (name, seed) replays exactly; either component changes it.
+        assert_eq!(stream("a::b", 7), stream("a::b", 7));
+        assert_ne!(stream("a::b", 7), stream("a::b", 8));
+        assert_ne!(stream("a::b", 7), stream("a::c", 7));
+        // Seed 0 is the historical unseeded stream (name hash alone),
+        // so existing tests keep their inputs byte for byte.
+        assert_eq!(stream("a::b", 0), stream("a::b", 0));
+        assert_ne!(stream("a::b", 0), stream("a::b", 1));
+    }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(8))]

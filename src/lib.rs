@@ -53,6 +53,7 @@
 pub use aerodrome;
 pub use digraph;
 pub use oracle;
+pub use scenarios;
 pub use tracelog;
 pub use vc;
 pub use velodrome;

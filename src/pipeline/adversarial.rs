@@ -1,0 +1,112 @@
+//! Adversarial ingest: feed scenario-engine traces (explored schedules,
+//! fuzzing mutants, minimised reproducers) through the *production*
+//! pipeline paths rather than the in-memory `run_checker` shortcut.
+//!
+//! The scenario engine referees its traces in memory; this module
+//! closes the loop with the two seams real traces travel through:
+//!
+//! * [`check_panel`] — the batched parallel fan-out
+//!   ([`par::check_all`]) over the standard panel, exactly what
+//!   `rapid batch` and the seal machinery run;
+//! * [`roundtrip`] — the `.std` text codec (serialise, reparse, and
+//!   require the text fixpoint), so every reproducer written to a
+//!   fixture file is known to mean what the in-memory trace meant.
+
+use tracelog::{parse_trace, write_trace, SourceError, Trace};
+
+use super::par::{self, ParConfig, ParReport};
+
+/// Runs the standard checker panel (basic, readopt, optimized,
+/// velodrome) over `trace` through the batched parallel runtime — the
+/// same ingest path as `rapid batch`.
+///
+/// # Errors
+///
+/// Returns the [`SourceError`] if `trace` fails validation inside the
+/// runtime (adversarial traces are allowed to be prefixes but must be
+/// well-formed).
+pub fn check_panel(trace: &Trace, config: &ParConfig) -> Result<ParReport, SourceError> {
+    par::check_all(&mut trace.stream(), par::standard_checkers(), config)
+}
+
+/// Serialises `trace` to `.std` text, reparses it, and checks the text
+/// fixpoint (`write(parse(write(t))) == write(t)`), returning the
+/// reparsed trace. Identifier numbering may legitimately differ — the
+/// parser interns names in first-appearance order while generated
+/// traces intern in program order — so fidelity is judged on the text,
+/// not on raw ids.
+///
+/// # Errors
+///
+/// Returns a description of the divergence if the text fails to reparse
+/// or the round-trip is not a fixpoint.
+pub fn roundtrip(trace: &Trace) -> Result<Trace, String> {
+    let text = write_trace(trace);
+    let reparsed = parse_trace(&text).map_err(|e| format!("reparse failed: {e}"))?;
+    let again = write_trace(&reparsed);
+    if again != text {
+        return Err(format!(
+            "serialise/parse round-trip diverged:\n--- first\n{text}\n--- second\n{again}"
+        ));
+    }
+    Ok(reparsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scenarios::{builtin, explore, referee, ExploreConfig, RefereeConfig};
+    use tracelog::paper_traces;
+
+    /// Every explored schedule of every builtin survives the production
+    /// codec and gets the same verdicts from the parallel runtime as
+    /// from the in-memory referee.
+    #[test]
+    fn explored_schedules_agree_across_ingest_paths() {
+        let config = ParConfig::default().jobs(2).batch_events(8);
+        for (name, _, _) in scenarios::BUILTINS {
+            let program = builtin(name).unwrap();
+            let report = explore(
+                &program,
+                &ExploreConfig { max_schedules: 40, samples: 16, ..Default::default() },
+            );
+            for found in &report.violations {
+                let trace = scenarios::schedule_trace(&program, &found.schedule);
+                let closed = found.end == scenarios::RunEnd::Complete;
+                let reparsed = roundtrip(&trace).unwrap();
+                let par = check_panel(&reparsed, &config).unwrap();
+                let diff = referee(&trace, closed, &RefereeConfig::default());
+                assert_eq!(par.runs.len(), diff.runs.len());
+                for (run, (refereed_name, outcome)) in par.runs.iter().zip(&diff.runs) {
+                    assert_eq!(
+                        run.outcome.is_violation(),
+                        outcome.is_violation(),
+                        "{name}: {refereed_name} disagrees between ingest paths"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_traces_are_codec_fixpoints() {
+        for trace in
+            [paper_traces::rho1(), paper_traces::rho2(), paper_traces::rho3(), paper_traces::rho4()]
+        {
+            let reparsed = roundtrip(&trace).unwrap();
+            assert_eq!(reparsed.len(), trace.len());
+        }
+    }
+
+    /// Deadlock prefixes are well-formed but open; the parallel runtime
+    /// must ingest them without error.
+    #[test]
+    fn deadlock_prefixes_pass_the_production_validator() {
+        let program = builtin("deadlock").unwrap();
+        let trace = scenarios::schedule_trace(&program, &[0, 1]);
+        let report = check_panel(&trace, &ParConfig::default()).unwrap();
+        assert_eq!(report.events, 2);
+        let summary = report.summary.as_ref().expect("validation is on by default");
+        assert!(!summary.is_closed(), "both locks stay held in the deadlock prefix");
+    }
+}

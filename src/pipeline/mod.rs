@@ -52,6 +52,7 @@ use tracelog::{SourceError, Trace, Validator, ValiditySummary};
 use velodrome::twophase::TwoPhaseReport;
 use velodrome::Config as VelodromeConfig;
 
+pub mod adversarial;
 pub mod multi;
 pub mod par;
 
