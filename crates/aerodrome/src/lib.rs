@@ -92,6 +92,15 @@ pub trait Checker {
     /// traces through one set of checkers instead of constructing and
     /// tearing one down per trace.
     fn reset(&mut self);
+
+    /// Storage trim: drops retained internal storage (recycled clock
+    /// buffers) down to at most `max_retained_bytes`. Memory-budgeted
+    /// hosts — the serving runtime's LRU session eviction — call this on
+    /// an *idle* checker, right after [`Checker::reset`], to push a
+    /// session's footprint below what the reset's default retention cap
+    /// keeps. The default is a no-op for checkers without a retained
+    /// pool.
+    fn trim(&mut self, _max_retained_bytes: usize) {}
 }
 
 /// The verdict of running a checker over a complete trace.

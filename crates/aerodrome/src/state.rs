@@ -669,4 +669,8 @@ impl<R: Rules> Checker for Engine<R> {
     fn reset(&mut self) {
         Engine::reset(self);
     }
+
+    fn trim(&mut self, max_retained_bytes: usize) {
+        self.core.store.trim(max_retained_bytes);
+    }
 }

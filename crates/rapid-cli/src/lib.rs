@@ -209,6 +209,27 @@ pub enum Command {
         /// Worker threads for the sealing pass (`0` = auto).
         jobs: usize,
     },
+    /// `rapid serve [--addr HOST:PORT] [--jobs N] [--batch N]
+    /// [--max-retained-bytes B] [--no-validate]` — the long-lived
+    /// checking service: each TCP connection is a live trace session
+    /// with verdicts pushed mid-stream.
+    Serve {
+        /// Bind address (default `127.0.0.1:7447`; port 0 = ephemeral).
+        addr: String,
+        /// Server configuration assembled from the flags.
+        config: serve::ServeConfig,
+    },
+    /// `rapid loadgen [--addr HOST:PORT] [--connections N]
+    /// [--events-per-sec R] [--shape convoy|fanout|nesting]
+    /// [--events N] [--traces N] [--seed N] [--batch N]
+    /// [--bench-json PATH]` — the closed-loop load generator for a
+    /// running `rapid serve`.
+    Loadgen {
+        /// Load parameters assembled from the flags.
+        config: Box<serve::LoadConfig>,
+        /// Write the machine-readable `rapid-bench-v1` report here.
+        bench_json: Option<String>,
+    },
     /// `rapid help`.
     Help,
 }
@@ -351,6 +372,12 @@ USAGE:
                     [--seed N] [--out DIR] [--jobs N]
     rapid fuzz      <trace.std> [--mutants N] [--seed N] [--out DIR]
                     [--jobs N]
+    rapid serve     [--addr HOST:PORT] [--jobs N] [--batch N]
+                    [--max-retained-bytes B] [--no-validate]
+    rapid loadgen   [--addr HOST:PORT] [--connections N]
+                    [--events-per-sec R] [--shape convoy|fanout|nesting]
+                    [--events N] [--traces N] [--seed N] [--batch N]
+                    [--bench-json PATH]
     rapid help
 
 Trace logs use the RAPID .std format: `<thread>|<op>|<loc>` per line with
@@ -403,7 +430,25 @@ finding violations is the point. `fuzz` applies `--mutants` seeded
 structural mutations (swap, splice, drop, duplicate) to a recorded
 trace; well-formed mutants must keep the whole panel in agreement,
 ill-formed ones must be rejected by the validator. Any disagreement is
-minimised, written under `--out`, and fails the run.";
+minimised, written under `--out`, and fails the run.
+
+`serve` turns the resident runtime into a long-lived TCP service: each
+connection is one live trace session streaming the wire protocol of
+docs/SERVICE.md, checked by a resident worker panel with verdicts
+PUSHED mid-stream (not at end of trace) and bit-identical to `rapid
+check` on the same events. `--jobs` bounds the resident workers,
+`--max-retained-bytes` caps warm clock memory across all sessions (LRU
+eviction; 0 disables). `loadgen` is its closed-loop benchmark driver:
+`--connections` concurrent sessions each stream `--traces` traces of
+`--events` events (shape `convoy|fanout|nesting`; every 4th trace
+carries an injected violation so pushes are exercised), optionally
+paced at `--events-per-sec` per connection, reporting throughput and
+p50/p99 verdict latency; `--bench-json` writes the `rapid-bench-v1`
+report (the BENCH_serve.json schema).
+
+`--jobs N` is uniform across every parallel subcommand: worker threads,
+defaulting to one per available CPU when omitted; an explicit `--jobs
+0` is rejected.";
 
 /// Errors from command-line parsing.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -438,9 +483,28 @@ where
 /// shared by every subcommand that ingests events (one parser, one
 /// default — [`tracelog::stream::DEFAULT_BATCH_EVENTS`] when absent).
 fn batch_flag(args: &[String], i: &mut usize) -> Result<usize, UsageError> {
-    let n: usize = num_flag(args, i, "--batch")?;
+    positive_flag(args, i, "--batch")
+}
+
+/// The **uniform** `--jobs <workers>` flag: worker threads, shared by
+/// every parallel subcommand. Omitting the flag means one worker per
+/// available CPU (`0` internally); an *explicit* `--jobs 0` is a
+/// contradiction and is rejected rather than silently remapped.
+fn jobs_flag(args: &[String], i: &mut usize) -> Result<usize, UsageError> {
+    let n: usize = num_flag(args, i, "--jobs")?;
     if n == 0 {
-        return Err(UsageError("--batch must be positive".into()));
+        return Err(UsageError(
+            "--jobs must be positive (omit the flag for one worker per CPU)".into(),
+        ));
+    }
+    Ok(n)
+}
+
+/// Parses a flag that takes a positive count (`--flag N`, `N ≥ 1`).
+fn positive_flag(args: &[String], i: &mut usize, name: &str) -> Result<usize, UsageError> {
+    let n: usize = num_flag(args, i, name)?;
+    if n == 0 {
+        return Err(UsageError(format!("{name} must be positive")));
     }
     Ok(n)
 }
@@ -529,7 +593,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
-                    "--jobs" => jobs = num_flag(args, &mut i, "--jobs")?,
+                    "--jobs" => jobs = jobs_flag(args, &mut i)?,
                     "--batch" => batch = Some(batch_flag(args, &mut i)?),
                     "--no-validate" => validate = false,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
@@ -569,7 +633,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
-                    "--jobs" => jobs = num_flag(args, &mut i, "--jobs")?,
+                    "--jobs" => jobs = jobs_flag(args, &mut i)?,
                     "--batch" => batch = Some(batch_flag(args, &mut i)?),
                     "--checker" => {
                         let name = flag_value(args, &mut i, "--checker")?;
@@ -605,15 +669,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             while i < args.len() {
                 match args[i].as_str() {
                     "--seal" => seal = true,
-                    "--jobs" => jobs = num_flag(args, &mut i, "--jobs")?,
+                    "--jobs" => jobs = jobs_flag(args, &mut i)?,
                     "--batch" => batch = Some(batch_flag(args, &mut i)?),
-                    "--corpus" => {
-                        let n: usize = num_flag(args, &mut i, "--corpus")?;
-                        if n == 0 {
-                            return Err(UsageError("--corpus must be positive".into()));
-                        }
-                        corpus = Some(n);
-                    }
+                    "--corpus" => corpus = Some(positive_flag(args, &mut i, "--corpus")?),
                     "--profile" => {
                         profile = Some(flag_value(args, &mut i, "--profile")?.to_owned())
                     }
@@ -728,15 +786,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             while i < args.len() {
                 match args[i].as_str() {
                     "--max-schedules" => {
-                        max_schedules = num_flag(args, &mut i, "--max-schedules")?;
-                        if max_schedules == 0 {
-                            return Err(UsageError("--max-schedules must be positive".into()));
-                        }
+                        max_schedules = positive_flag(args, &mut i, "--max-schedules")?;
                     }
                     "--samples" => samples = num_flag(args, &mut i, "--samples")?,
                     "--seed" => seed = num_flag(args, &mut i, "--seed")?,
                     "--out" => out = Some(flag_value(args, &mut i, "--out")?.to_owned()),
-                    "--jobs" => jobs = num_flag(args, &mut i, "--jobs")?,
+                    "--jobs" => jobs = jobs_flag(args, &mut i)?,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
                 i += 1;
@@ -753,20 +808,75 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
-                    "--mutants" => {
-                        mutants = num_flag(args, &mut i, "--mutants")?;
-                        if mutants == 0 {
-                            return Err(UsageError("--mutants must be positive".into()));
-                        }
-                    }
+                    "--mutants" => mutants = positive_flag(args, &mut i, "--mutants")?,
                     "--seed" => seed = num_flag(args, &mut i, "--seed")?,
                     "--out" => out = Some(flag_value(args, &mut i, "--out")?.to_owned()),
-                    "--jobs" => jobs = num_flag(args, &mut i, "--jobs")?,
+                    "--jobs" => jobs = jobs_flag(args, &mut i)?,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
                 i += 1;
             }
             Ok(Command::Fuzz { path, mutants, seed, out, jobs })
+        }
+        "serve" => {
+            let mut addr = "127.0.0.1:7447".to_owned();
+            let mut config = serve::ServeConfig::default();
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--addr" => addr = flag_value(args, &mut i, "--addr")?.to_owned(),
+                    "--jobs" => config.jobs = jobs_flag(args, &mut i)?,
+                    "--batch" => config.batch_events = batch_flag(args, &mut i)?,
+                    "--max-retained-bytes" => {
+                        // 0 is meaningful here: it disables eviction.
+                        config.max_retained_bytes = num_flag(args, &mut i, "--max-retained-bytes")?;
+                    }
+                    "--no-validate" => config.validate = false,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Serve { addr, config })
+        }
+        "loadgen" => {
+            let mut config =
+                serve::LoadConfig { addr: "127.0.0.1:7447".to_owned(), ..Default::default() };
+            let mut bench_json = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--addr" => config.addr = flag_value(args, &mut i, "--addr")?.to_owned(),
+                    "--connections" => {
+                        config.connections = positive_flag(args, &mut i, "--connections")?;
+                    }
+                    "--events-per-sec" => {
+                        let rate: f64 = num_flag(args, &mut i, "--events-per-sec")?;
+                        if !rate.is_finite() || rate < 0.0 {
+                            return Err(UsageError(
+                                "--events-per-sec must be finite and non-negative \
+                                 (0 = unpaced)"
+                                    .into(),
+                            ));
+                        }
+                        config.events_per_sec = rate;
+                    }
+                    "--shape" => config.shape = flag_value(args, &mut i, "--shape")?.to_owned(),
+                    "--events" => {
+                        config.events_per_trace = positive_flag(args, &mut i, "--events")?;
+                    }
+                    "--traces" => {
+                        config.traces_per_connection = positive_flag(args, &mut i, "--traces")?;
+                    }
+                    "--seed" => config.seed = num_flag(args, &mut i, "--seed")?,
+                    "--batch" => config.batch_events = batch_flag(args, &mut i)?,
+                    "--bench-json" => {
+                        bench_json = Some(flag_value(args, &mut i, "--bench-json")?.to_owned());
+                    }
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Loadgen { config: Box::new(config), bench_json })
         }
         other => Err(UsageError(format!("unknown command `{other}` (try `rapid help`)"))),
     }
@@ -1609,6 +1719,28 @@ pub fn run(command: Command) -> Result<String, String> {
             }
             Ok(text)
         }
+        Command::Serve { addr, config } => {
+            let server =
+                serve::Server::bind(addr.as_str(), config).map_err(|e| format!("{addr}: {e}"))?;
+            let local = server.local_addr().map_err(|e| format!("{addr}: {e}"))?;
+            // The "listening" line must be visible before the accept
+            // loop blocks — scripts (and the smoke test) parse it to
+            // learn the ephemeral port.
+            println!("rapid serve: listening on {local}");
+            let _ = std::io::Write::flush(&mut std::io::stdout());
+            server.run().map_err(|e| format!("{local}: {e}"))?;
+            Ok(format!("rapid serve: {local} shut down\n"))
+        }
+        Command::Loadgen { config, bench_json } => {
+            let report = serve::loadgen::run(&config)?;
+            let mut out = report.render();
+            if let Some(path) = bench_json {
+                let json = report.bench_json(&config);
+                std::fs::write(&path, &json).map_err(|e| format!("{path}: {e}"))?;
+                let _ = writeln!(out, "bench json: {path}");
+            }
+            Ok(out)
+        }
         Command::Table { which, budget } => {
             let profiles = if which == 1 { workloads::table1() } else { workloads::table2() };
             let rows: Vec<_> = profiles.iter().map(|p| bench::run_profile(p, budget)).collect();
@@ -2167,5 +2299,138 @@ mod explore_fuzz_tests {
         let err =
             run(Command::Fuzz { path, mutants: 10, seed: 0, out: None, jobs: 1 }).unwrap_err();
         assert!(err.contains("not well-formed"), "{err}");
+    }
+}
+
+#[cfg(test)]
+mod serve_cli_tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_serve_and_loadgen() {
+        assert_eq!(
+            parse_args(&args(&["serve"])).unwrap(),
+            Command::Serve { addr: "127.0.0.1:7447".into(), config: serve::ServeConfig::default() }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "serve",
+                "--addr",
+                "0.0.0.0:0",
+                "--jobs",
+                "4",
+                "--batch",
+                "512",
+                "--max-retained-bytes",
+                "1048576",
+                "--no-validate",
+            ]))
+            .unwrap(),
+            Command::Serve {
+                addr: "0.0.0.0:0".into(),
+                config: serve::ServeConfig {
+                    jobs: 4,
+                    batch_events: 512,
+                    validate: false,
+                    max_retained_bytes: 1 << 20,
+                },
+            }
+        );
+        // 0 here means "disable eviction", not a contradiction.
+        assert!(parse_args(&args(&["serve", "--max-retained-bytes", "0"])).is_ok());
+
+        let parsed = parse_args(&args(&[
+            "loadgen",
+            "--addr",
+            "127.0.0.1:9000",
+            "--connections",
+            "8",
+            "--events-per-sec",
+            "50000",
+            "--shape",
+            "fanout",
+            "--events",
+            "10000",
+            "--traces",
+            "3",
+            "--seed",
+            "7",
+            "--batch",
+            "1024",
+            "--bench-json",
+            "BENCH_serve.json",
+        ]))
+        .unwrap();
+        let Command::Loadgen { config, bench_json } = parsed else {
+            panic!("expected loadgen, got {parsed:?}")
+        };
+        assert_eq!(
+            *config,
+            serve::LoadConfig {
+                addr: "127.0.0.1:9000".into(),
+                connections: 8,
+                events_per_sec: 50_000.0,
+                shape: "fanout".into(),
+                events_per_trace: 10_000,
+                traces_per_connection: 3,
+                batch_events: 1024,
+                seed: 7,
+            }
+        );
+        assert_eq!(bench_json.as_deref(), Some("BENCH_serve.json"));
+
+        assert!(parse_args(&args(&["loadgen", "--connections", "0"])).is_err());
+        assert!(parse_args(&args(&["loadgen", "--events", "0"])).is_err());
+        assert!(parse_args(&args(&["loadgen", "--traces", "0"])).is_err());
+        assert!(parse_args(&args(&["loadgen", "--events-per-sec", "-1"])).is_err());
+        assert!(parse_args(&args(&["serve", "--bogus"])).is_err());
+    }
+
+    /// `--jobs 0` and `--batch 0` are rejected with a clear message on
+    /// EVERY subcommand that accepts the flag — one shared parser
+    /// helper, one behaviour.
+    #[test]
+    fn zero_jobs_and_zero_batch_are_rejected_everywhere() {
+        let jobs_takers: &[&[&str]] = &[
+            &["compare", "t.std"],
+            &["batch", "dir"],
+            &["generate", "o.std"],
+            &["explore", "racy-pair"],
+            &["fuzz", "t.std"],
+            &["serve"],
+        ];
+        for base in jobs_takers {
+            let mut argv = args(base);
+            argv.extend(args(&["--jobs", "0"]));
+            let err = parse_args(&argv).unwrap_err();
+            assert!(err.0.contains("--jobs must be positive"), "{base:?}: wrong error: {err}");
+            // A positive value still parses on the same subcommand.
+            let mut argv = args(base);
+            argv.extend(args(&["--jobs", "2"]));
+            parse_args(&argv).unwrap_or_else(|e| panic!("{base:?} --jobs 2: {e}"));
+        }
+        let batch_takers: &[&[&str]] = &[
+            &["metainfo", "t.std"],
+            &["aerodrome", "t.std"],
+            &["velodrome", "t.std"],
+            &["compare", "t.std"],
+            &["batch", "dir"],
+            &["validate", "t.std"],
+            &["generate", "o.std"],
+            &["twophase", "t.std"],
+            &["causal", "t.std"],
+            &["serve"],
+            &["loadgen"],
+        ];
+        for base in batch_takers {
+            let mut argv = args(base);
+            argv.extend(args(&["--batch", "0"]));
+            let err = parse_args(&argv).unwrap_err();
+            assert!(err.0.contains("--batch must be positive"), "{base:?}: wrong error: {err}");
+        }
     }
 }

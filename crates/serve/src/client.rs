@@ -1,0 +1,377 @@
+//! Blocking client for the checking service.
+//!
+//! A [`Client`] is the other end of one session: it performs the
+//! `HELLO`/`WELCOME` handshake on connect, then streams any
+//! [`EventSource`] to the server one trace at a time
+//! ([`Client::check_source`]) — names incrementally (each name exactly
+//! once, the moment the source first interns it), events as
+//! fixed-width [`tracelog::wire`] chunks. While streaming it drains the
+//! socket opportunistically, so a mid-stream `VERDICT` push is observed
+//! (and its latency measured) without blocking the send path.
+//!
+//! Latency attribution: the client remembers, per `EVENTS` frame, the
+//! index range it carried and the instant it was flushed. A verdict for
+//! event `e` is then charged from the flush of the frame *containing*
+//! `e` — i.e. the measured number is "how long after handing the server
+//! the violating event did the verdict come back", closed-loop, which
+//! is what `rapid loadgen` reports as verdict latency. The end-of-trace
+//! summary is charged from the `END` flush the same way.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use tracelog::stream::{EventBatch, EventSource};
+use tracelog::wire::{self, NameKind};
+
+use crate::protocol::{
+    self, decode_error, decode_stats, decode_summary, decode_verdict, put_frame, ErrorFrame,
+    FrameBuf, Kind, ProtocolError, StatsFrame, SummaryFrame, VerdictFrame,
+};
+
+/// Cap events per `EVENTS` frame so a frame stays well under
+/// [`protocol::MAX_PAYLOAD`].
+const MAX_EVENTS_PER_FRAME: usize = 64 * 1024 / wire::EVENT_RECORD_BYTES;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket failure.
+    Io(io::Error),
+    /// The server broke the protocol (from the client's perspective).
+    Protocol(ProtocolError),
+    /// The server sent an `ERROR` frame (protocol, malformed trace,
+    /// eviction, internal).
+    Server(ErrorFrame),
+    /// The event source itself failed while streaming.
+    Source(tracelog::SourceError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o: {e}"),
+            Self::Protocol(e) => write!(f, "protocol: {e}"),
+            Self::Server(e) => write!(f, "server error [{}]: {}", e.code, e.message),
+            Self::Source(e) => write!(f, "source: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        Self::Protocol(e)
+    }
+}
+
+impl From<tracelog::SourceError> for ClientError {
+    fn from(e: tracelog::SourceError) -> Self {
+        Self::Source(e)
+    }
+}
+
+/// A verdict received from the server, with its measured latency.
+#[derive(Clone, Debug)]
+pub struct TimedVerdict {
+    /// The pushed frame.
+    pub verdict: VerdictFrame,
+    /// Flush-of-containing-frame → receipt.
+    pub latency: Duration,
+    /// Whether it arrived before the client sent `END` — the online
+    /// push observable ("before stream EOF").
+    pub before_eof: bool,
+}
+
+/// One checked trace's results.
+#[derive(Clone, Debug)]
+pub struct TraceResult {
+    /// The end-of-trace summary.
+    pub summary: SummaryFrame,
+    /// Every mid-stream verdict push, in arrival order.
+    pub verdicts: Vec<TimedVerdict>,
+    /// `END` flush → `SUMMARY` receipt.
+    pub summary_latency: Duration,
+    /// Events streamed to the server.
+    pub events_sent: u64,
+    /// Whole-trace wall time on this client (connect excluded).
+    pub wall: Duration,
+}
+
+impl TraceResult {
+    /// Whether any checker reported a violation.
+    #[must_use]
+    pub fn any_violation(&self) -> bool {
+        self.summary.runs.iter().any(|r| r.violation.is_some())
+    }
+}
+
+/// An index range sent in one `EVENTS` frame and when it was flushed.
+#[derive(Clone, Copy, Debug)]
+struct SentFrame {
+    first_event: u64,
+    end_event: u64,
+    flushed: Instant,
+}
+
+/// One connection to a `rapid serve` server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    frames: FrameBuf,
+    scratch: Vec<u8>,
+}
+
+impl Client {
+    /// Connects and performs the handshake.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, a non-`WELCOME` reply, or a server `ERROR`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Self { stream, frames: FrameBuf::new(), scratch: vec![0u8; 64 * 1024] };
+        let mut hello = Vec::new();
+        put_frame(Kind::Hello, &[protocol::VERSION], &mut hello);
+        client.stream.write_all(&hello)?;
+        let (kind, payload) = client.read_frame(Some(Duration::from_secs(10)))?;
+        match kind {
+            Kind::Welcome if payload == [protocol::VERSION] => Ok(client),
+            Kind::Error => Err(ClientError::Server(decode_error(&payload)?)),
+            other => Err(ClientError::Protocol(ProtocolError(format!(
+                "expected WELCOME, got {other:?}"
+            )))),
+        }
+    }
+
+    /// Streams one whole trace from `source` and waits for the summary.
+    /// The session stays usable for the connection's next trace.
+    ///
+    /// # Errors
+    ///
+    /// Socket, source and server failures; a poisoned session surfaces
+    /// as [`ClientError::Server`] with the server's attribution.
+    pub fn check_source(
+        &mut self,
+        source: &mut dyn EventSource,
+        batch_events: usize,
+    ) -> Result<TraceResult, ClientError> {
+        let started = Instant::now();
+        let mut batch = EventBatch::with_target(batch_events.clamp(1, MAX_EVENTS_PER_FRAME));
+        // Per-trace name sync state: the server resets its tables at
+        // every trace boundary, so every trace resends from zero.
+        let (mut sent_threads, mut sent_locks, mut sent_vars) = (0usize, 0usize, 0usize);
+        let mut sendbuf = Vec::new();
+        let mut payload = Vec::new();
+        let mut events_sent = 0u64;
+        let mut sent_frames: VecDeque<SentFrame> = VecDeque::new();
+        let mut verdicts = Vec::new();
+
+        loop {
+            let n = source.next_batch(&mut batch)?;
+            if n == 0 {
+                break;
+            }
+            sendbuf.clear();
+            // Names interned by this refill go out before the events
+            // that reference them.
+            payload.clear();
+            {
+                let names = source.names();
+                sent_threads = wire::encode_new_names(
+                    NameKind::Thread,
+                    names.threads,
+                    sent_threads,
+                    &mut payload,
+                );
+                sent_locks =
+                    wire::encode_new_names(NameKind::Lock, names.locks, sent_locks, &mut payload);
+                sent_vars =
+                    wire::encode_new_names(NameKind::Var, names.vars, sent_vars, &mut payload);
+            }
+            if !payload.is_empty() {
+                put_frame(Kind::Names, &payload, &mut sendbuf);
+            }
+            payload.clear();
+            wire::encode_events(batch.events(), &mut payload);
+            put_frame(Kind::Events, &payload, &mut sendbuf);
+            self.stream.write_all(&sendbuf)?;
+            sent_frames.push_back(SentFrame {
+                first_event: events_sent,
+                end_event: events_sent + n as u64,
+                flushed: Instant::now(),
+            });
+            events_sent += n as u64;
+
+            // Opportunistic drain: pick up verdict pushes mid-stream.
+            self.drain_nonblocking(&mut verdicts, &sent_frames, true)?;
+        }
+
+        sendbuf.clear();
+        put_frame(Kind::End, &[], &mut sendbuf);
+        self.stream.write_all(&sendbuf)?;
+        let end_flushed = Instant::now();
+
+        // Blocking wait for the summary; verdicts may still arrive
+        // first (e.g. for the final batch).
+        loop {
+            let (kind, payload) = self.read_frame(Some(Duration::from_secs(60)))?;
+            let received = Instant::now();
+            match kind {
+                Kind::Verdict => {
+                    let verdict = decode_verdict(&payload)?;
+                    verdicts.push(timed(verdict, received, &sent_frames, false));
+                }
+                Kind::Summary => {
+                    let summary = decode_summary(&payload)?;
+                    return Ok(TraceResult {
+                        summary,
+                        verdicts,
+                        summary_latency: received.duration_since(end_flushed),
+                        events_sent,
+                        wall: started.elapsed(),
+                    });
+                }
+                Kind::Error => return Err(ClientError::Server(decode_error(&payload)?)),
+                other => {
+                    return Err(ClientError::Protocol(ProtocolError(format!(
+                        "unexpected {other:?} while awaiting SUMMARY"
+                    ))))
+                }
+            }
+        }
+    }
+
+    /// Queries server statistics.
+    ///
+    /// # Errors
+    ///
+    /// Socket and server failures.
+    pub fn stats(&mut self) -> Result<StatsFrame, ClientError> {
+        let mut sendbuf = Vec::new();
+        put_frame(Kind::Stats, &[], &mut sendbuf);
+        self.stream.write_all(&sendbuf)?;
+        loop {
+            let (kind, payload) = self.read_frame(Some(Duration::from_secs(10)))?;
+            match kind {
+                Kind::StatsReply => return Ok(decode_stats(&payload)?),
+                // Late verdict pushes may still be in flight; skip them.
+                Kind::Verdict => {}
+                Kind::Error => return Err(ClientError::Server(decode_error(&payload)?)),
+                other => {
+                    return Err(ClientError::Protocol(ProtocolError(format!(
+                        "unexpected {other:?} while awaiting STATS_REPLY"
+                    ))))
+                }
+            }
+        }
+    }
+
+    /// Drains whatever the server has already sent, without blocking.
+    fn drain_nonblocking(
+        &mut self,
+        verdicts: &mut Vec<TimedVerdict>,
+        sent_frames: &VecDeque<SentFrame>,
+        before_eof: bool,
+    ) -> Result<(), ClientError> {
+        self.stream.set_nonblocking(true)?;
+        let drained = loop {
+            match self.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    break Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )))
+                }
+                Ok(n) => self.frames.extend(&self.scratch[..n.min(self.scratch.len())]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => break Err(ClientError::Io(e)),
+            }
+        };
+        self.stream.set_nonblocking(false)?;
+        // EOF with an undelivered ERROR frame still buffered: surface
+        // the server's explanation, not the raw hangup.
+        if let Err(eof) = drained {
+            self.surface_buffered_error()?;
+            return Err(eof);
+        }
+        while let Some((kind, payload)) = self.frames.next_frame()? {
+            let received = Instant::now();
+            match kind {
+                Kind::Verdict => {
+                    let verdict = decode_verdict(payload)?;
+                    verdicts.push(timed(verdict, received, sent_frames, before_eof));
+                }
+                Kind::Error => {
+                    let e = decode_error(payload)?;
+                    return Err(ClientError::Server(e));
+                }
+                other => {
+                    return Err(ClientError::Protocol(ProtocolError(format!(
+                        "unexpected {other:?} mid-stream"
+                    ))))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// If a complete `ERROR` frame is already buffered, return it as
+    /// the failure (used when the server hangs up right after it).
+    fn surface_buffered_error(&mut self) -> Result<(), ClientError> {
+        while let Ok(Some((kind, payload))) = self.frames.next_frame() {
+            if kind == Kind::Error {
+                let e = decode_error(payload)?;
+                return Err(ClientError::Server(e));
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocking read of one frame, with an optional timeout.
+    fn read_frame(&mut self, timeout: Option<Duration>) -> Result<(Kind, Vec<u8>), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        loop {
+            if let Some((kind, payload)) = self.frames.next_frame()? {
+                return Ok((kind, payload.to_vec()));
+            }
+            match self.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    self.surface_buffered_error()?;
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    )));
+                }
+                Ok(n) => self.frames.extend(&self.scratch[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ClientError::Io(e)),
+            }
+        }
+    }
+}
+
+/// Stamps a verdict with the latency from its containing frame's flush.
+fn timed(
+    verdict: VerdictFrame,
+    received: Instant,
+    sent_frames: &VecDeque<SentFrame>,
+    before_eof: bool,
+) -> TimedVerdict {
+    let latency = sent_frames
+        .iter()
+        .find(|f| f.first_event <= verdict.event && verdict.event < f.end_event)
+        .map_or(Duration::ZERO, |f| received.duration_since(f.flushed));
+    TimedVerdict { verdict, latency, before_eof }
+}

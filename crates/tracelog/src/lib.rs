@@ -51,6 +51,7 @@ pub mod stream;
 pub mod trace;
 pub mod txn;
 pub mod validate;
+pub mod wire;
 
 pub use ids::{Interner, LockId, ThreadId, VarId};
 pub use parser::{parse_trace, write_trace, ParseTraceError};

@@ -30,10 +30,12 @@
 
 pub mod corpus;
 pub mod gen;
+pub mod pace;
 pub mod profiles;
 pub mod scenarios;
 pub mod shapes;
 
 pub use gen::{generate, GenConfig, GenSource};
+pub use pace::Paced;
 pub use profiles::{table1, table2, PaperRow, Profile};
 pub use shapes::{ConvoySource, FanoutSource};

@@ -56,14 +56,14 @@ pub mod adversarial;
 pub mod multi;
 pub mod par;
 
-/// One ingest step's validation, shared by the [`par`] fan-out and the
-/// [`multi`] corpus scheduler so their valid-prefix semantics cannot
-/// drift: runs the validator over `batch` in order and, at the first
-/// ill-formed event, truncates the batch to the well-formed prefix and
-/// returns the error. The contract both runtimes rely on — checkers see
-/// exactly the events per-event iteration would have yielded before the
-/// failure — lives here once.
-pub(crate) fn validate_batch(
+/// One ingest step's validation, shared by the [`par`] fan-out, the
+/// [`multi`] corpus scheduler and the serving runtime so their
+/// valid-prefix semantics cannot drift: runs the validator over `batch`
+/// in order and, at the first ill-formed event, truncates the batch to
+/// the well-formed prefix and returns the error. The contract all the
+/// runtimes rely on — checkers see exactly the events per-event
+/// iteration would have yielded before the failure — lives here once.
+pub fn validate_batch(
     validator: &mut Validator,
     batch: &mut EventBatch,
 ) -> Option<tracelog::WellFormedError> {
@@ -74,6 +74,46 @@ pub(crate) fn validate_batch(
         }
     }
     None
+}
+
+/// One batch's worth of the resident worker loop, shared by the
+/// [`multi`] corpus scheduler and the serving runtime: feeds `batch` to
+/// every checker of a panel that has not already fired, latching each
+/// checker's first [`aerodrome::Violation`] into its `violations`
+/// slot. A checker
+/// that fires *during this call* is reported through `on_violation`
+/// with its panel index — the hook the service uses to push a verdict
+/// frame back to the client mid-stream, the moment the online checker
+/// detects it, rather than at EOF.
+///
+/// Semantics match [`par::check_all`] and single-checker
+/// [`Pipeline::run`] exactly: every checker stops individually at its
+/// first violation and sees every event up to it in trace order, so a
+/// panel fed batch-by-batch through this function produces verdicts
+/// bit-identical to fresh one-shot runs.
+///
+/// # Panics
+///
+/// Panics if `violations.len() != checkers.len()`.
+pub fn feed_panel(
+    checkers: &mut [par::SendChecker],
+    violations: &mut [Option<aerodrome::Violation>],
+    batch: &EventBatch,
+    mut on_violation: impl FnMut(usize, &aerodrome::Violation),
+) {
+    assert_eq!(checkers.len(), violations.len(), "one violation slot per checker");
+    for (i, (checker, violation)) in checkers.iter_mut().zip(violations.iter_mut()).enumerate() {
+        if violation.is_some() {
+            continue;
+        }
+        for &event in batch.events() {
+            if let Err(v) = checker.process(event) {
+                on_violation(i, &v);
+                *violation = Some(v);
+                break;
+            }
+        }
+    }
 }
 
 /// The outcome of a [`Pipeline::run`].

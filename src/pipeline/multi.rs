@@ -310,17 +310,7 @@ impl Session {
                         error = Some(format!("{}: {line}not well-formed: {e}", path.display()));
                     }
                 }
-                for (checker, violation) in self.checkers.iter_mut().zip(&mut violations) {
-                    if violation.is_some() {
-                        continue;
-                    }
-                    for &event in self.batch.events() {
-                        if let Err(v) = checker.process(event) {
-                            *violation = Some(v);
-                            break;
-                        }
-                    }
-                }
+                super::feed_panel(&mut self.checkers, &mut violations, &self.batch, |_, _| {});
                 events += self.batch.len() as u64;
                 let exhausted = match refill {
                     // A validation failure inside the batch precedes a
