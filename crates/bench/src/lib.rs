@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod regress;
 pub mod seed_baseline;
 
 use std::time::{Duration, Instant};

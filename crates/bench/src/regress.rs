@@ -1,0 +1,488 @@
+//! Perf-trajectory regression gate over `rapid-bench-v1` reports.
+//!
+//! The repo's benchmarks (the criterion shim, `rapid loadgen
+//! --bench-json`, the ingest bench) all emit the same flat JSON schema:
+//!
+//! ```json
+//! {"schema":"rapid-bench-v1","bench":"serve","entries":[
+//!   {"name":"serve-convoy-c16","wall_s":4.27,"events":3200688,
+//!    "events_per_sec":748333.4}]}
+//! ```
+//!
+//! `rapid benchdiff <baseline> <fresh>` parses two such reports with the
+//! hand-rolled reader below (no serde in the workspace), matches entries
+//! by name, and flags any metric that moved past the noise threshold in
+//! its *bad* direction: throughput metrics (`*_per_sec`) must not drop,
+//! latency/time metrics (`*_s`, `*_ms`, `*_ns`) must not grow. Plain
+//! counts (`events`, `connections`, …) are informational. The scheduled
+//! CI job runs this against the checked-in last-known-good
+//! `BENCH_*.json` files with the documented 20 % threshold.
+
+use std::fmt::Write as _;
+
+/// One benchmark entry: a name plus its numeric metrics in file order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entry {
+    /// The `"name"` field.
+    pub name: String,
+    /// Every numeric field of the entry, in file order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl Entry {
+    /// Looks up a metric by key.
+    #[must_use]
+    pub fn metric(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+}
+
+/// A parsed `rapid-bench-v1` report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    /// The `"bench"` field (which suite produced this report).
+    pub bench: String,
+    /// The entries, in file order.
+    pub entries: Vec<Entry>,
+}
+
+impl Report {
+    /// Looks up an entry by name.
+    #[must_use]
+    pub fn entry(&self, name: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+}
+
+// ---------------------------------------------------------------------
+// A minimal JSON reader — just enough for the flat rapid-bench-v1 shape
+// (objects, arrays, strings without exotic escapes, f64 numbers).
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(b) if b == byte => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(format!(
+                "expected `{}` at byte {}, found {:?}",
+                byte as char,
+                self.pos,
+                other.map(|b| b as char)
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let escaped =
+                        self.bytes.get(self.pos + 1).copied().ok_or("unterminated escape")?;
+                    out.push(match escaped {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => other as char,
+                    });
+                    self.pos += 2;
+                }
+                Some(b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    /// Skips one value of any type (for fields we do not care about).
+    fn skip_value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'"') => {
+                self.string()?;
+            }
+            Some(b'{') => {
+                self.expect(b'{')?;
+                if self.peek() != Some(b'}') {
+                    loop {
+                        self.string()?;
+                        self.expect(b':')?;
+                        self.skip_value()?;
+                        if self.peek() != Some(b',') {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                self.expect(b'}')?;
+            }
+            Some(b'[') => {
+                self.expect(b'[')?;
+                if self.peek() != Some(b']') {
+                    loop {
+                        self.skip_value()?;
+                        if self.peek() != Some(b',') {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                self.expect(b']')?;
+            }
+            Some(b) if b.is_ascii_alphabetic() => {
+                // true / false / null
+                while self.bytes.get(self.pos).is_some_and(u8::is_ascii_alphabetic) {
+                    self.pos += 1;
+                }
+            }
+            _ => {
+                self.number()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses a `rapid-bench-v1` JSON report.
+///
+/// # Errors
+///
+/// Malformed JSON, a missing/foreign `"schema"` tag, or entries without
+/// a `"name"` — all as display strings naming the offending byte.
+pub fn parse_report(text: &str) -> Result<Report, String> {
+    let mut r = Reader::new(text);
+    let mut schema = None;
+    let mut bench = String::new();
+    let mut entries = Vec::new();
+    r.expect(b'{')?;
+    if r.peek() != Some(b'}') {
+        loop {
+            let key = r.string()?;
+            r.expect(b':')?;
+            match key.as_str() {
+                "schema" => schema = Some(r.string()?),
+                "bench" => bench = r.string()?,
+                "entries" => {
+                    r.expect(b'[')?;
+                    if r.peek() != Some(b']') {
+                        loop {
+                            entries.push(parse_entry(&mut r)?);
+                            if r.peek() != Some(b',') {
+                                break;
+                            }
+                            r.pos += 1;
+                        }
+                    }
+                    r.expect(b']')?;
+                }
+                _ => r.skip_value()?,
+            }
+            if r.peek() != Some(b',') {
+                break;
+            }
+            r.pos += 1;
+        }
+    }
+    r.expect(b'}')?;
+    match schema.as_deref() {
+        Some("rapid-bench-v1") => Ok(Report { bench, entries }),
+        Some(other) => Err(format!("unsupported schema `{other}` (want rapid-bench-v1)")),
+        None => Err("missing `schema` field (want rapid-bench-v1)".into()),
+    }
+}
+
+fn parse_entry(r: &mut Reader<'_>) -> Result<Entry, String> {
+    let mut name = None;
+    let mut metrics = Vec::new();
+    r.expect(b'{')?;
+    if r.peek() != Some(b'}') {
+        loop {
+            let key = r.string()?;
+            r.expect(b':')?;
+            match r.peek() {
+                Some(b'"') if key == "name" => name = Some(r.string()?),
+                Some(b) if b == b'-' || b == b'.' || b.is_ascii_digit() => {
+                    metrics.push((key, r.number()?));
+                }
+                _ => r.skip_value()?,
+            }
+            if r.peek() != Some(b',') {
+                break;
+            }
+            r.pos += 1;
+        }
+    }
+    r.expect(b'}')?;
+    Ok(Entry { name: name.ok_or("entry without a `name`")?, metrics })
+}
+
+// ---------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------
+
+/// Which way a metric is allowed to move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Throughput-style (`*_per_sec`): dropping is a regression.
+    HigherIsBetter,
+    /// Time/latency-style (`*_s`, `*_ms`, `*_ns`): growing is a
+    /// regression.
+    LowerIsBetter,
+    /// A plain count — compared for information only.
+    Informational,
+}
+
+/// Classifies a metric key by its unit suffix.
+#[must_use]
+pub fn direction_of(key: &str) -> Direction {
+    if key.ends_with("_per_sec") {
+        Direction::HigherIsBetter
+    } else if key.ends_with("_s") || key.ends_with("_ms") || key.ends_with("_ns") {
+        Direction::LowerIsBetter
+    } else {
+        Direction::Informational
+    }
+}
+
+/// One metric compared across the two reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricDiff {
+    /// Entry name.
+    pub entry: String,
+    /// Metric key.
+    pub key: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Fresh value.
+    pub fresh: f64,
+    /// Signed change in percent ((fresh − base) / base · 100).
+    pub delta_pct: f64,
+    /// The key's direction class.
+    pub direction: Direction,
+    /// Whether this metric moved past the threshold the *bad* way.
+    pub regression: bool,
+}
+
+/// The outcome of diffing two reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diff {
+    /// Every shared metric, in baseline order.
+    pub metrics: Vec<MetricDiff>,
+    /// Baseline entries absent from the fresh report (a regression: a
+    /// bench that stopped reporting cannot hide a slowdown).
+    pub missing: Vec<String>,
+    /// The threshold the comparison ran with (percent).
+    pub threshold: f64,
+}
+
+impl Diff {
+    /// Whether anything regressed (metric past threshold, or a baseline
+    /// entry missing from the fresh report).
+    #[must_use]
+    pub fn regressed(&self) -> bool {
+        !self.missing.is_empty() || self.metrics.iter().any(|m| m.regression)
+    }
+
+    /// Renders the comparison as an aligned table plus a verdict line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:<16} {:>14} {:>14} {:>8}  verdict",
+            "entry", "metric", "baseline", "fresh", "delta"
+        );
+        for m in &self.metrics {
+            let verdict = match (m.direction, m.regression) {
+                (Direction::Informational, _) => "(info)",
+                (_, true) => "REGRESSED",
+                (_, false) => "ok",
+            };
+            let _ = writeln!(
+                out,
+                "{:<28} {:<16} {:>14.3} {:>14.3} {:>+7.1}%  {verdict}",
+                m.entry, m.key, m.base, m.fresh, m.delta_pct
+            );
+        }
+        for name in &self.missing {
+            let _ = writeln!(out, "{name}: MISSING from the fresh report");
+        }
+        let regressions = self.metrics.iter().filter(|m| m.regression).count();
+        let _ = writeln!(
+            out,
+            "verdict: {} regression(s), {} missing entr{} (threshold {}%)",
+            regressions,
+            self.missing.len(),
+            if self.missing.len() == 1 { "y" } else { "ies" },
+            self.threshold
+        );
+        out
+    }
+}
+
+/// Diffs `fresh` against `base` with a noise `threshold` in percent.
+/// Entries are matched by name; metrics by key. Fresh-only entries and
+/// metrics are ignored (adding a bench is not a regression).
+#[must_use]
+pub fn compare(base: &Report, fresh: &Report, threshold: f64) -> Diff {
+    let mut metrics = Vec::new();
+    let mut missing = Vec::new();
+    for entry in &base.entries {
+        let Some(new) = fresh.entry(&entry.name) else {
+            missing.push(entry.name.clone());
+            continue;
+        };
+        for &(ref key, base_value) in &entry.metrics {
+            let Some(fresh_value) = new.metric(key) else { continue };
+            let direction = direction_of(key);
+            let delta_pct = if base_value == 0.0 {
+                0.0
+            } else {
+                (fresh_value - base_value) / base_value * 100.0
+            };
+            let regression = match direction {
+                Direction::HigherIsBetter => delta_pct < -threshold,
+                Direction::LowerIsBetter => delta_pct > threshold,
+                Direction::Informational => false,
+            };
+            metrics.push(MetricDiff {
+                entry: entry.name.clone(),
+                key: key.clone(),
+                base: base_value,
+                fresh: fresh_value,
+                delta_pct,
+                direction,
+                regression,
+            });
+        }
+    }
+    Diff { metrics, missing, threshold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{"schema":"rapid-bench-v1","bench":"serve","entries":[
+      {"name":"serve-convoy-c16","wall_s":4.277,"events":3200688,
+       "events_per_sec":748333.465,"p99_ms":1.25}]}"#;
+
+    #[test]
+    fn parses_the_shipped_schema() {
+        let report = parse_report(BASE).unwrap();
+        assert_eq!(report.bench, "serve");
+        assert_eq!(report.entries.len(), 1);
+        let e = &report.entries[0];
+        assert_eq!(e.name, "serve-convoy-c16");
+        assert_eq!(e.metric("wall_s"), Some(4.277));
+        assert_eq!(e.metric("events"), Some(3_200_688.0));
+        assert_eq!(e.metric("events_per_sec"), Some(748_333.465));
+    }
+
+    #[test]
+    fn rejects_foreign_schemas_and_junk() {
+        assert!(parse_report(r#"{"schema":"other-v2","entries":[]}"#)
+            .unwrap_err()
+            .contains("unsupported schema"));
+        assert!(parse_report(r#"{"entries":[]}"#).unwrap_err().contains("missing `schema`"));
+        assert!(parse_report("not json").is_err());
+        assert!(parse_report(r#"{"schema":"rapid-bench-v1","entries":[{"wall_s":1}]}"#).is_err());
+    }
+
+    #[test]
+    fn direction_classes_follow_unit_suffixes() {
+        assert_eq!(direction_of("events_per_sec"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("bytes_per_sec"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("wall_s"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("p99_ms"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("mean_ns"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("events"), Direction::Informational);
+    }
+
+    fn tweaked(events_per_sec: f64, wall_s: f64) -> String {
+        format!(
+            r#"{{"schema":"rapid-bench-v1","bench":"serve","entries":[
+              {{"name":"serve-convoy-c16","wall_s":{wall_s},"events":3200688,
+               "events_per_sec":{events_per_sec},"p99_ms":1.25}}]}}"#
+        )
+    }
+
+    #[test]
+    fn within_threshold_passes_past_threshold_fails() {
+        let base = parse_report(BASE).unwrap();
+        // 10 % slower throughput at a 20 % threshold: noise, passes.
+        let ok = parse_report(&tweaked(673_500.0, 4.7)).unwrap();
+        let diff = compare(&base, &ok, 20.0);
+        assert!(!diff.regressed(), "{}", diff.render());
+        // 30 % slower throughput: regression.
+        let slow = parse_report(&tweaked(523_833.0, 4.277)).unwrap();
+        let diff = compare(&base, &slow, 20.0);
+        assert!(diff.regressed());
+        assert!(diff.render().contains("REGRESSED"), "{}", diff.render());
+        // 30 % *faster* is fine — only the bad direction trips.
+        let fast = parse_report(&tweaked(972_833.0, 3.0)).unwrap();
+        assert!(!compare(&base, &fast, 20.0).regressed());
+        // Wall time growing 30 % trips the lower-is-better class.
+        let slow_wall = parse_report(&tweaked(748_333.465, 5.6)).unwrap();
+        assert!(compare(&base, &slow_wall, 20.0).regressed());
+        // Counts never trip, however far they move.
+        let diff = compare(&base, &base, 0.0);
+        assert!(!diff.regressed(), "identical reports: {}", diff.render());
+    }
+
+    #[test]
+    fn missing_entries_are_regressions() {
+        let base = parse_report(BASE).unwrap();
+        let empty =
+            parse_report(r#"{"schema":"rapid-bench-v1","bench":"serve","entries":[]}"#).unwrap();
+        let diff = compare(&base, &empty, 20.0);
+        assert!(diff.regressed());
+        assert!(diff.render().contains("MISSING"));
+        // The other way round (new benches appearing) is fine.
+        assert!(!compare(&empty, &base, 20.0).regressed());
+    }
+}

@@ -19,8 +19,9 @@
 
 use std::fmt::Write as _;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::BufWriter;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use aerodrome::basic::BasicChecker;
@@ -30,9 +31,8 @@ use aerodrome::{Checker, Outcome};
 use aerodrome_suite::pipeline::multi::{self, MultiConfig};
 use aerodrome_suite::pipeline::par::{self, CheckerRun, ParConfig, SendChecker};
 use aerodrome_suite::pipeline::Pipeline;
-use tracelog::stream::{
-    copy_events, EventBatch, EventSource, SourceNames, StdReader, DEFAULT_BATCH_EVENTS,
-};
+use tracelog::binfmt::{self, AnySource, DEFAULT_CHUNK_EVENTS};
+use tracelog::stream::{copy_events, EventBatch, EventSource, SourceNames, DEFAULT_BATCH_EVENTS};
 use tracelog::{MetaInfo, SourceError, Trace, Validator, ValiditySummary};
 use velodrome::{Config, Strategy, VelodromeChecker};
 
@@ -71,13 +71,18 @@ pub enum Command {
         /// Events per ingest batch; `None` uses the default (~4096).
         batch: Option<usize>,
     },
-    /// `rapid compare <trace.std> [--jobs N] [--batch N] [--no-validate]`
-    /// — one parse pass fanned out to every checker variant in parallel.
+    /// `rapid compare <trace> [--jobs N] [--ingest-jobs N] [--batch N]
+    /// [--no-validate]` — one parse pass fanned out to every checker
+    /// variant in parallel. With `--ingest-jobs N` (N ≥ 2, binary `.rbt`
+    /// input only) the single file is *read* chunk-parallel too.
     Compare {
-        /// Path of the trace log.
+        /// Path of the trace log (`.std` or `.rbt`, sniffed by magic).
         path: String,
         /// Worker threads (`0` = one per available CPU).
         jobs: usize,
+        /// Reader threads decoding chunks of a binary trace (default 1:
+        /// the caller thread ingests alone).
+        ingest_jobs: usize,
         /// Events per batch; `None` uses the default (~4096).
         batch: Option<usize>,
         /// Run the streaming well-formedness pre-pass (default true).
@@ -139,6 +144,34 @@ pub enum Command {
         corpus: Option<usize>,
         /// Events per ingest batch for the `--seal` re-read pass.
         batch: Option<usize>,
+        /// On-disk encoding of the written log(s) (`--out-format`).
+        out_format: OutFormat,
+    },
+    /// `rapid convert <in> <out> [--chunk-events N]` — transcode a trace
+    /// between the text `.std` and binary `.rbt` encodings. The input
+    /// encoding is sniffed by magic; the output encoding follows the
+    /// output path's extension (`.rbt` = binary, anything else = text).
+    /// `.std` → `.rbt` → `.std` round-trips byte-exactly.
+    Convert {
+        /// Input trace (either encoding).
+        input: String,
+        /// Output path; its extension selects the encoding.
+        output: String,
+        /// Events per binary chunk (default 65536); ignored for text
+        /// output.
+        chunk_events: Option<u32>,
+    },
+    /// `rapid benchdiff <baseline.json> <fresh.json> [--threshold PCT]`
+    /// — compare two `rapid-bench-v1` reports and fail (non-zero exit)
+    /// when any shared metric regresses beyond the noise threshold.
+    BenchDiff {
+        /// The checked-in last-known-good report.
+        baseline: String,
+        /// The freshly measured report.
+        fresh: String,
+        /// Regression tolerance in percent (default 20, the documented
+        /// noise threshold of the scheduled CI runners).
+        threshold: f64,
     },
     /// `rapid table1 [--budget SECS]` / `rapid table2 [--budget SECS]`.
     Table {
@@ -232,6 +265,28 @@ pub enum Command {
     },
     /// `rapid help`.
     Help,
+}
+
+/// On-disk trace encoding selector (`rapid generate --out-format`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OutFormat {
+    /// The line-based RAPID `.std` text format (default).
+    #[default]
+    Std,
+    /// The compact binary `.rbt` format (`docs/TRACE_FORMAT.md`).
+    Rbt,
+}
+
+impl OutFormat {
+    /// Parses an `--out-format` value.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "std" => Some(Self::Std),
+            "rbt" => Some(Self::Rbt),
+            _ => None,
+        }
+    }
 }
 
 /// AeroDrome variant selector.
@@ -351,18 +406,21 @@ USAGE:
                     [--batch N] [--no-validate]   (alias: rapid check)
     rapid velodrome <trace.std> [--no-gc] [--pearce-kelly]
                     [--batch N] [--no-validate]
-    rapid compare   <trace.std> [--jobs N] [--batch N] [--no-validate]
+    rapid compare   <trace.std> [--jobs N] [--ingest-jobs N] [--batch N]
+                    [--no-validate]
     rapid batch     <dir|manifest|trace.std> [--jobs N] [--batch N]
                     [--checker all|basic|readopt|optimized|velodrome]
                     [--seal-verify] [--no-validate]
     rapid validate  <trace.std> [--batch N]
+    rapid convert   <in> <out> [--chunk-events N]
+    rapid benchdiff <baseline.json> <fresh.json> [--threshold PCT]
     rapid generate  <out.std> [--profile NAME|convoy|fanout|nesting]
                     [--events N]
                     [--threads N] [--vars N] [--locks N] [--seed N]
                     [--violation-at F] [--retention]
-                    [--seal] [--jobs N] [--batch N]
+                    [--seal] [--jobs N] [--batch N] [--out-format std|rbt]
     rapid generate  <dir> --corpus N [--events N] [--seed N]
-                    [--seal] [--jobs N]
+                    [--seal] [--jobs N] [--out-format std|rbt]
     rapid table1    [--budget SECS]
     rapid table2    [--budget SECS]
     rapid twophase  <trace.std> [--phase-batch N] [--batch N]
@@ -381,7 +439,18 @@ USAGE:
     rapid help
 
 Trace logs use the RAPID .std format: `<thread>|<op>|<loc>` per line with
-op ∈ r(x) w(x) acq(l) rel(l) fork(t) join(t) begin end.
+op ∈ r(x) w(x) acq(l) rel(l) fork(t) join(t) begin end — or the compact
+binary .rbt format (docs/TRACE_FORMAT.md): fixed-width 9-byte records
+with interned ids, mmap-ingested zero-copy. EVERY ingesting subcommand
+accepts either encoding, sniffed by file magic (the extension is only a
+convention); `rapid convert` transcodes between them both ways, and the
+`.std` -> `.rbt` -> `.std` round-trip is byte-exact. `.expect` seal
+sidecars record identical text for both encodings of a trace. `compare
+--ingest-jobs N` (binary input only) additionally decodes the single
+file with N chunk-parallel readers feeding the worker fan-out.
+`benchdiff` guards the perf trajectory: it diffs two rapid-bench-v1
+JSON reports metric by metric (higher-better *_per_sec, lower-better
+wall_s/*_ms) and exits non-zero past `--threshold` percent regression.
 
 `--batch N` is uniform across every event-ingesting subcommand: events
 pulled per parser refill (default ~4096). It never changes verdicts,
@@ -588,19 +657,75 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 .ok_or_else(|| UsageError("compare requires a trace path".into()))?
                 .clone();
             let mut jobs = 0usize;
+            let mut ingest_jobs = 1usize;
             let mut batch = None;
             let mut validate = true;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
                     "--jobs" => jobs = jobs_flag(args, &mut i)?,
+                    "--ingest-jobs" => ingest_jobs = positive_flag(args, &mut i, "--ingest-jobs")?,
                     "--batch" => batch = Some(batch_flag(args, &mut i)?),
                     "--no-validate" => validate = false,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
                 i += 1;
             }
-            Ok(Command::Compare { path, jobs, batch, validate })
+            Ok(Command::Compare { path, jobs, ingest_jobs, batch, validate })
+        }
+        "convert" => {
+            let input = args
+                .get(1)
+                .ok_or_else(|| UsageError("convert requires an input trace path".into()))?
+                .clone();
+            let output = args
+                .get(2)
+                .ok_or_else(|| UsageError("convert requires an output path".into()))?
+                .clone();
+            let mut chunk_events = None;
+            let mut i = 3;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--chunk-events" => {
+                        let n: u32 = num_flag(args, &mut i, "--chunk-events")?;
+                        if n == 0 {
+                            return Err(UsageError("--chunk-events must be positive".into()));
+                        }
+                        chunk_events = Some(n);
+                    }
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Convert { input, output, chunk_events })
+        }
+        "benchdiff" => {
+            let baseline = args
+                .get(1)
+                .ok_or_else(|| UsageError("benchdiff requires a baseline report path".into()))?
+                .clone();
+            let fresh = args
+                .get(2)
+                .ok_or_else(|| UsageError("benchdiff requires a fresh report path".into()))?
+                .clone();
+            let mut threshold = 20.0f64;
+            let mut i = 3;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--threshold" => {
+                        let t: f64 = num_flag(args, &mut i, "--threshold")?;
+                        if !t.is_finite() || t < 0.0 {
+                            return Err(UsageError(
+                                "--threshold must be a finite non-negative percentage".into(),
+                            ));
+                        }
+                        threshold = t;
+                    }
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::BenchDiff { baseline, fresh, threshold })
         }
         "validate" => {
             let path = args
@@ -665,6 +790,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             let mut jobs = 0usize;
             let mut corpus = None;
             let mut batch = None;
+            let mut out_format = OutFormat::default();
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -672,6 +798,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                     "--jobs" => jobs = jobs_flag(args, &mut i)?,
                     "--batch" => batch = Some(batch_flag(args, &mut i)?),
                     "--corpus" => corpus = Some(positive_flag(args, &mut i, "--corpus")?),
+                    "--out-format" => {
+                        let name = flag_value(args, &mut i, "--out-format")?;
+                        out_format = OutFormat::parse(name)
+                            .ok_or_else(|| UsageError(format!("unknown out-format `{name}`")))?;
+                    }
                     "--profile" => {
                         profile = Some(flag_value(args, &mut i, "--profile")?.to_owned())
                     }
@@ -713,6 +844,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 jobs,
                 corpus,
                 batch,
+                out_format,
             })
         }
         "table1" | "table2" => {
@@ -882,29 +1014,36 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
     }
 }
 
-/// Opens a `.std` trace log as a streaming source.
-pub fn open_source(path: &str) -> Result<StdReader<BufReader<File>>, String> {
-    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    Ok(StdReader::new(BufReader::new(file)))
+/// Opens a trace log as a streaming source, sniffing the on-disk
+/// encoding by file magic: the binary `.rbt` container opens the
+/// mmap-backed reader, anything else streams through the `.std` text
+/// parser. Every ingesting subcommand goes through here, so both
+/// encodings work everywhere.
+pub fn open_source(path: &str) -> Result<AnySource, String> {
+    AnySource::open(Path::new(path)).map_err(|e| format!("{path}: {e}"))
 }
 
-/// Loads and parses a `.std` trace log into memory (the analyses that
+/// Loads and parses a trace log into memory (the analyses that
 /// need random access; everything else streams).
 pub fn load_trace(path: &str) -> Result<Trace, String> {
     let mut source = open_source(path)?;
     tracelog::stream::collect_trace(&mut source).map_err(|e| format!("{path}: {e}"))
 }
 
-/// Formats a pipeline error with the offending line of the reader. The
-/// pipelines batch ahead of validation, so the reader's *current* line
-/// may be past the ill-formed event; `line_of` recovers the event's own
-/// line from the batch attribution window.
-fn source_err(path: &str, reader: &StdReader<BufReader<File>>, e: &SourceError) -> String {
+/// Formats a pipeline error with the offending position in the source.
+/// The pipelines batch ahead of validation, so the source's *current*
+/// position may be past the ill-formed event; `position_of` recovers the
+/// event's own line (text) or record + chunk (binary) from the
+/// attribution window.
+fn source_err<S: EventSource + ?Sized>(path: &str, source: &S, e: &SourceError) -> String {
     match e {
-        SourceError::Malformed(err) => format!(
-            "{path}: line {}: not well-formed: {err} (use --no-validate to analyse anyway)",
-            reader.line_of(err.event()).unwrap_or_else(|| reader.line())
-        ),
+        SourceError::Malformed(err) => {
+            let position =
+                source.position_of(err.event()).map_or_else(String::new, |p| format!("{p}: "));
+            format!(
+                "{path}: {position}not well-formed: {err} (use --no-validate to analyse anyway)"
+            )
+        }
         other => format!("{path}: {other}"),
     }
 }
@@ -1155,15 +1294,29 @@ pub fn run(command: Command) -> Result<String, String> {
             }
             Ok(out)
         }
-        Command::Compare { path, jobs, batch, validate } => {
+        Command::Compare { path, jobs, ingest_jobs, batch, validate } => {
             let mut source = open_source(&path)?;
             let mut config = ParConfig::default().jobs(jobs).validate(validate);
             if let Some(b) = batch {
                 config = config.batch_events(b);
             }
             let start = Instant::now();
-            let report = par::check_all(&mut source, par::standard_checkers(), &config)
-                .map_err(|e| source_err(&path, &source, &e))?;
+            let report = if ingest_jobs > 1 {
+                // Chunk-parallel single-file ingest needs the chunk
+                // index of the binary container.
+                let AnySource::Bin(bin) = &source else {
+                    return Err(format!(
+                        "{path}: --ingest-jobs {ingest_jobs} needs the binary .rbt encoding \
+                         (transcode with `rapid convert {path} <trace>.rbt` first)"
+                    ));
+                };
+                let trace = Arc::clone(bin.trace());
+                par::check_all_chunked(&trace, par::standard_checkers(), &config, ingest_jobs)
+                    .map_err(|e| source_err(&path, &source, &e))?
+            } else {
+                par::check_all(&mut source, par::standard_checkers(), &config)
+                    .map_err(|e| source_err(&path, &source, &e))?
+            };
             let wall = start.elapsed();
             let names = source.names();
             let mut out = String::new();
@@ -1176,6 +1329,10 @@ pub fn run(command: Command) -> Result<String, String> {
                 report.stats.batches,
                 wall.as_secs_f64()
             );
+            if report.stats.ingest_readers > 0 {
+                let _ =
+                    writeln!(out, "chunk-parallel ingest: {} readers", report.stats.ingest_readers);
+            }
             let _ = writeln!(
                 out,
                 "{:<18} {:>7} {:>10} {:>12} {:>12}  first violation",
@@ -1342,12 +1499,14 @@ pub fn run(command: Command) -> Result<String, String> {
                 let refill = source.next_batch(&mut arena);
                 for &event in arena.events() {
                     if let Err(e) = validator.observe(event) {
-                        // Batched-ahead parsing: the reader's current line
-                        // is past the offending event; attribute via the
-                        // batch window.
+                        // Batched-ahead parsing: the source's current
+                        // position is past the offending event; attribute
+                        // via the batch window (line or record + chunk).
                         return Err(format!(
-                            "{path}: line {}: not well-formed: {e}",
-                            source.line_of(e.event()).unwrap_or_else(|| source.line())
+                            "{path}: {}not well-formed: {e}",
+                            source
+                                .position_of(e.event())
+                                .map_or_else(String::new, |p| format!("{p}: "))
                         ));
                     }
                 }
@@ -1372,7 +1531,17 @@ pub fn run(command: Command) -> Result<String, String> {
             }
             Ok(out)
         }
-        Command::Generate { path, cfg, profile, overrides, seal, jobs, corpus, batch } => {
+        Command::Generate {
+            path,
+            cfg,
+            profile,
+            overrides,
+            seal,
+            jobs,
+            corpus,
+            batch,
+            out_format,
+        } => {
             if let Some(traces) = corpus {
                 // A whole corpus: N varied traces plus a manifest, the
                 // input `rapid batch` expects. Defaults come from the
@@ -1383,6 +1552,7 @@ pub fn run(command: Command) -> Result<String, String> {
                     traces,
                     seed: overrides.seed.unwrap_or(defaults.seed),
                     events: overrides.events.unwrap_or(defaults.events),
+                    binary: out_format == OutFormat::Rbt,
                     ..defaults
                 };
                 let dir = Path::new(&path);
@@ -1443,7 +1613,16 @@ pub fn run(command: Command) -> Result<String, String> {
             };
             let file = File::create(&path).map_err(|e| format!("{path}: {e}"))?;
             let mut out = BufWriter::new(file);
-            let n = copy_events(source.as_mut(), &mut out).map_err(|e| format!("{path}: {e}"))?;
+            let n = match out_format {
+                OutFormat::Std => {
+                    copy_events(source.as_mut(), &mut out).map_err(|e| format!("{path}: {e}"))?
+                }
+                OutFormat::Rbt => {
+                    binfmt::write_binary(source.as_mut(), &mut out, DEFAULT_CHUNK_EVENTS)
+                        .map_err(|e| format!("{path}: {e}"))?
+                }
+            };
+            std::io::Write::flush(&mut out).map_err(|e| format!("{path}: {e}"))?;
             let names = source.names();
             let mut msg = format!(
                 "wrote {n} events ({} threads, {} vars, {} locks) to {path}\n",
@@ -1468,6 +1647,51 @@ pub fn run(command: Command) -> Result<String, String> {
                 );
             }
             Ok(msg)
+        }
+        Command::Convert { input, output, chunk_events } => {
+            let mut source = open_source(&input)?;
+            let from = if source.is_binary() { "rbt" } else { "std" };
+            let to_binary = Path::new(&output).extension().is_some_and(|e| e == "rbt");
+            let file = File::create(&output).map_err(|e| format!("{output}: {e}"))?;
+            let mut out = BufWriter::new(file);
+            let events = if to_binary {
+                binfmt::write_binary(
+                    &mut source,
+                    &mut out,
+                    chunk_events.unwrap_or(DEFAULT_CHUNK_EVENTS),
+                )
+            } else {
+                copy_events(&mut source, &mut out)
+            }
+            .map_err(|e| source_err(&input, &source, &e))?;
+            std::io::Write::flush(&mut out).map_err(|e| format!("{output}: {e}"))?;
+            let names = source.names();
+            Ok(format!(
+                "converted {input} ({from}) -> {output} ({}): {events} events \
+                 ({} threads, {} locks, {} vars)\n",
+                if to_binary { "rbt" } else { "std" },
+                names.threads.len(),
+                names.locks.len(),
+                names.vars.len()
+            ))
+        }
+        Command::BenchDiff { baseline, fresh, threshold } => {
+            let base_text =
+                std::fs::read_to_string(&baseline).map_err(|e| format!("{baseline}: {e}"))?;
+            let fresh_text =
+                std::fs::read_to_string(&fresh).map_err(|e| format!("{fresh}: {e}"))?;
+            let base =
+                bench::regress::parse_report(&base_text).map_err(|e| format!("{baseline}: {e}"))?;
+            let new =
+                bench::regress::parse_report(&fresh_text).map_err(|e| format!("{fresh}: {e}"))?;
+            let diff = bench::regress::compare(&base, &new, threshold);
+            let mut out = format!("benchdiff: {baseline} -> {fresh} (threshold {threshold}%)\n");
+            out.push_str(&diff.render());
+            if diff.regressed() {
+                Err(out)
+            } else {
+                Ok(out)
+            }
         }
         Command::TwoPhase { path, phase_batch, batch, validate } => {
             let config = Config {
@@ -1877,6 +2101,69 @@ mod tests {
     }
 
     #[test]
+    fn parses_convert_and_benchdiff() {
+        assert_eq!(
+            parse_args(&args(&["convert", "t.std", "t.rbt"])).unwrap(),
+            Command::Convert { input: "t.std".into(), output: "t.rbt".into(), chunk_events: None }
+        );
+        assert_eq!(
+            parse_args(&args(&["convert", "t.rbt", "t.std", "--chunk-events", "1024"])).unwrap(),
+            Command::Convert {
+                input: "t.rbt".into(),
+                output: "t.std".into(),
+                chunk_events: Some(1024)
+            }
+        );
+        assert!(parse_args(&args(&["convert", "t.std"])).is_err());
+        assert!(parse_args(&args(&["convert"])).is_err());
+        let err = parse_args(&args(&["convert", "a", "b", "--chunk-events", "0"])).unwrap_err();
+        assert!(err.0.contains("--chunk-events must be positive"), "{err}");
+
+        assert_eq!(
+            parse_args(&args(&["benchdiff", "BENCH_ingest.json", "fresh.json"])).unwrap(),
+            Command::BenchDiff {
+                baseline: "BENCH_ingest.json".into(),
+                fresh: "fresh.json".into(),
+                threshold: 20.0
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["benchdiff", "a.json", "b.json", "--threshold", "5"])).unwrap(),
+            Command::BenchDiff {
+                baseline: "a.json".into(),
+                fresh: "b.json".into(),
+                threshold: 5.0
+            }
+        );
+        assert!(parse_args(&args(&["benchdiff", "a.json"])).is_err());
+        assert!(parse_args(&args(&["benchdiff", "a", "b", "--threshold", "-1"])).is_err());
+        assert!(parse_args(&args(&["benchdiff", "a", "b", "--threshold", "nan"])).is_err());
+    }
+
+    #[test]
+    fn parses_compare_ingest_jobs_and_generate_out_format() {
+        assert_eq!(
+            parse_args(&args(&["compare", "t.rbt", "--ingest-jobs", "4"])).unwrap(),
+            Command::Compare {
+                path: "t.rbt".into(),
+                jobs: 0,
+                ingest_jobs: 4,
+                batch: None,
+                validate: true
+            }
+        );
+        let err = parse_args(&args(&["compare", "t.rbt", "--ingest-jobs", "0"])).unwrap_err();
+        assert!(err.0.contains("--ingest-jobs must be positive"), "{err}");
+
+        let cmd = parse_args(&args(&["generate", "o.rbt", "--out-format", "rbt"])).unwrap();
+        match cmd {
+            Command::Generate { out_format, .. } => assert_eq!(out_format, OutFormat::Rbt),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&args(&["generate", "o", "--out-format", "bogus"])).is_err());
+    }
+
+    #[test]
     fn parses_table_budget() {
         let cmd = parse_args(&args(&["table1", "--budget", "3"])).unwrap();
         assert_eq!(cmd, Command::Table { which: 1, budget: Duration::from_secs(3) });
@@ -1907,6 +2194,7 @@ mod tests {
             jobs: 0,
             corpus: None,
             batch: None,
+            out_format: OutFormat::default(),
         })
         .unwrap();
         assert!(out.contains("wrote"));
@@ -1953,6 +2241,7 @@ mod tests {
             jobs: 0,
             corpus: None,
             batch: None,
+            out_format: OutFormat::default(),
         })
         .unwrap();
         assert!(out.contains("wrote"));
@@ -1965,6 +2254,7 @@ mod tests {
             jobs: 0,
             corpus: None,
             batch: None,
+            out_format: OutFormat::default(),
         })
         .is_err());
     }
@@ -2130,6 +2420,7 @@ mod twophase_causal_tests {
                 jobs: 0,
                 corpus: None,
                 batch: None,
+                out_format: OutFormat::default(),
             })
             .unwrap();
             assert!(out.contains("wrote"), "{out}");
@@ -2299,6 +2590,270 @@ mod explore_fuzz_tests {
         let err =
             run(Command::Fuzz { path, mutants: 10, seed: 0, out: None, jobs: 1 }).unwrap_err();
         assert!(err.contains("not well-formed"), "{err}");
+    }
+}
+
+#[cfg(test)]
+mod binfmt_cli_tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> String {
+        let dir = std::env::temp_dir().join("rapid-cli-binfmt").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.to_string_lossy().into_owned()
+    }
+
+    fn generate_std(dir: &str, name: &str, events: usize) -> String {
+        let path = format!("{dir}/{name}");
+        run(Command::Generate {
+            path: path.clone(),
+            cfg: Box::new(workloads::GenConfig {
+                events,
+                violation_at: Some(0.5),
+                ..workloads::GenConfig::default()
+            }),
+            profile: None,
+            overrides: GenOverrides::default(),
+            seal: false,
+            jobs: 0,
+            corpus: None,
+            batch: None,
+            out_format: OutFormat::default(),
+        })
+        .unwrap();
+        path
+    }
+
+    fn convert(input: &str, output: &str) {
+        run(Command::Convert {
+            input: input.to_owned(),
+            output: output.to_owned(),
+            chunk_events: Some(256),
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn convert_round_trip_is_byte_exact() {
+        let dir = tmp_dir("roundtrip");
+        let std_path = generate_std(&dir, "t.std", 2_000);
+        let rbt_path = format!("{dir}/t.rbt");
+        let back_path = format!("{dir}/t-back.std");
+        convert(&std_path, &rbt_path);
+        convert(&rbt_path, &back_path);
+        let original = std::fs::read(&std_path).unwrap();
+        let back = std::fs::read(&back_path).unwrap();
+        assert_eq!(original, back, ".std -> .rbt -> .std must round-trip byte-exactly");
+        // The binary file is the compact one.
+        let rbt = std::fs::read(&rbt_path).unwrap();
+        assert!(rbt.len() < original.len(), "binary ({}) >= text ({})", rbt.len(), original.len());
+    }
+
+    #[test]
+    fn every_ingesting_subcommand_sniffs_the_binary_format() {
+        let dir = tmp_dir("sniff");
+        let std_path = generate_std(&dir, "t.std", 1_200);
+        let rbt_path = format!("{dir}/t.rbt");
+        convert(&std_path, &rbt_path);
+
+        // metainfo, validate, aerodrome, velodrome agree across encodings.
+        let info_std = run(Command::MetaInfo { path: std_path.clone(), batch: None }).unwrap();
+        let info_rbt = run(Command::MetaInfo { path: rbt_path.clone(), batch: None }).unwrap();
+        assert_eq!(info_std, info_rbt, "metainfo must not depend on the encoding");
+        for path in [&std_path, &rbt_path] {
+            let out = run(Command::Validate { path: path.clone(), batch: None }).unwrap();
+            assert!(out.contains("well-formed"), "{path}: {out}");
+            let out = run(Command::Aerodrome {
+                path: path.clone(),
+                algorithm: Algorithm::Optimized,
+                validate: true,
+                batch: None,
+            })
+            .unwrap();
+            assert!(out.contains('✗'), "{path}: {out}");
+        }
+    }
+
+    #[test]
+    fn compare_verdicts_are_identical_across_encodings_and_ingest_jobs() {
+        let dir = tmp_dir("compare");
+        let std_path = generate_std(&dir, "t.std", 3_000);
+        let rbt_path = format!("{dir}/t.rbt");
+        convert(&std_path, &rbt_path);
+        let verdicts = |out: &str| -> Vec<String> {
+            out.lines().filter(|l| l.contains('✗') || l.contains('✓')).map(str::to_owned).collect()
+        };
+        let reference = run(Command::Compare {
+            path: std_path,
+            jobs: 2,
+            ingest_jobs: 1,
+            batch: Some(257),
+            validate: true,
+        })
+        .unwrap();
+        for ingest_jobs in [1usize, 2, 4] {
+            let out = run(Command::Compare {
+                path: rbt_path.clone(),
+                jobs: 2,
+                ingest_jobs,
+                batch: Some(257),
+                validate: true,
+            })
+            .unwrap();
+            assert_eq!(
+                verdicts(&out),
+                verdicts(&reference),
+                "ingest_jobs={ingest_jobs}:\n{out}\nvs\n{reference}"
+            );
+            if ingest_jobs > 1 {
+                assert!(out.contains("chunk-parallel ingest"), "{out}");
+            }
+        }
+    }
+
+    #[test]
+    fn ingest_jobs_on_text_input_is_rejected_with_guidance() {
+        let dir = tmp_dir("reject");
+        let std_path = generate_std(&dir, "t.std", 100);
+        let err = run(Command::Compare {
+            path: std_path,
+            jobs: 1,
+            ingest_jobs: 2,
+            batch: None,
+            validate: true,
+        })
+        .unwrap_err();
+        assert!(err.contains("rapid convert"), "must point at the converter: {err}");
+    }
+
+    #[test]
+    fn seals_verify_against_both_encodings() {
+        let dir = tmp_dir("seals");
+        let std_path = generate_std(&dir, "t.std", 1_000);
+        let rbt_path = format!("{dir}/t.rbt");
+        convert(&std_path, &rbt_path);
+        // Seal both encodings: the seal text is encoding-independent, so
+        // the sidecars must be identical.
+        let std_seal = write_seal(&std_path, 1).unwrap();
+        let rbt_seal = write_seal(&rbt_path, 1).unwrap();
+        assert_eq!(std_seal, rbt_seal, "seal text must not depend on the encoding");
+        verify_seal(&std_path, 1).unwrap();
+        verify_seal(&rbt_path, 1).unwrap();
+        // batch --seal-verify walks the directory and sees BOTH files.
+        let out = run(Command::Batch {
+            path: dir,
+            jobs: 2,
+            batch: None,
+            checker: CheckerChoice::All,
+            seal_verify: true,
+            validate: true,
+        })
+        .unwrap();
+        assert!(out.contains("0 seal mismatch(es)"), "{out}");
+        assert!(out.contains("t.rbt"), "binary trace discovered: {out}");
+    }
+
+    #[test]
+    fn generate_writes_binary_directly_and_seals_it() {
+        let dir = tmp_dir("gen-rbt");
+        let path = format!("{dir}/g.rbt");
+        let out = run(Command::Generate {
+            path: path.clone(),
+            cfg: Box::new(workloads::GenConfig {
+                events: 900,
+                violation_at: Some(0.5),
+                ..workloads::GenConfig::default()
+            }),
+            profile: None,
+            overrides: GenOverrides::default(),
+            seal: true,
+            jobs: 1,
+            corpus: None,
+            batch: None,
+            out_format: OutFormat::Rbt,
+        })
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        assert!(out.contains("sealed"), "{out}");
+        let head = std::fs::read(&path).unwrap();
+        assert_eq!(&head[..8], &tracelog::binfmt::MAGIC);
+        verify_seal(&path, 1).unwrap();
+    }
+
+    #[test]
+    fn generate_writes_binary_corpora() {
+        let dir = tmp_dir("gen-corpus-rbt");
+        let cmd = parse_args(
+            &["generate", &dir, "--corpus", "4", "--events", "300", "--out-format", "rbt"]
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("wrote 4 traces"), "{out}");
+        let manifest = std::fs::read_to_string(format!("{dir}/manifest.txt")).unwrap();
+        assert!(manifest.contains(".rbt"), "{manifest}");
+        // The binary corpus checks clean through the resident runtime.
+        let report = run(Command::Batch {
+            path: dir,
+            jobs: 2,
+            batch: None,
+            checker: CheckerChoice::All,
+            seal_verify: false,
+            validate: true,
+        });
+        // Violating corpus entries make the run "fail" by design; either
+        // way every trace must ingest without error.
+        let text = report.unwrap_or_else(|e| e);
+        assert!(text.contains("0 ingest error(s)"), "{text}");
+    }
+
+    #[test]
+    fn benchdiff_end_to_end_exit_semantics() {
+        let dir = tmp_dir("benchdiff");
+        let base = format!("{dir}/base.json");
+        let fresh = format!("{dir}/fresh.json");
+        std::fs::write(
+            &base,
+            r#"{"schema":"rapid-bench-v1","bench":"ingest","entries":[
+               {"name":"ingest-1m","wall_s":1.0,"events_per_sec":1000000.0}]}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            &fresh,
+            r#"{"schema":"rapid-bench-v1","bench":"ingest","entries":[
+               {"name":"ingest-1m","wall_s":1.05,"events_per_sec":950000.0}]}"#,
+        )
+        .unwrap();
+        let out = run(Command::BenchDiff {
+            baseline: base.clone(),
+            fresh: fresh.clone(),
+            threshold: 20.0,
+        })
+        .unwrap();
+        assert!(out.contains("0 regression(s)"), "{out}");
+        // The same drift past a 3 % threshold fails with a rendered diff.
+        let err = run(Command::BenchDiff { baseline: base, fresh, threshold: 3.0 }).unwrap_err();
+        assert!(err.contains("REGRESSED"), "{err}");
+    }
+
+    /// Corrupted binary containers are attributed to chunk + record, the
+    /// way text errors are attributed to lines.
+    #[test]
+    fn corrupt_binary_attribution_names_chunk_and_record() {
+        let dir = tmp_dir("corrupt");
+        let std_path = generate_std(&dir, "t.std", 600);
+        let rbt_path = format!("{dir}/t.rbt");
+        convert(&std_path, &rbt_path);
+        let mut bytes = std::fs::read(&rbt_path).unwrap();
+        // Record 300 lives in chunk 1 (256-event chunks); stomp its tag.
+        let offset = tracelog::binfmt::HEADER_BYTES + 300 * 9;
+        bytes[offset] = 0xEE;
+        std::fs::write(&rbt_path, &bytes).unwrap();
+        let err = run(Command::MetaInfo { path: rbt_path, batch: None }).unwrap_err();
+        assert!(err.contains("record 300 (chunk 1)"), "{err}");
     }
 }
 

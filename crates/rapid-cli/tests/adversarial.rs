@@ -33,6 +33,9 @@ fn fixture_traces() -> Vec<(String, tracelog::Trace)> {
 
 /// Every sealed fixture verifies against its sidecar under 1, 2 and 4
 /// workers — the corpus is the regression net for the scenario engine.
+/// Each fixture is sealed in BOTH encodings (`.std` text and `.rbt`
+/// binary twins), so the sweep also pins verdict equality across the
+/// two ingest paths.
 #[test]
 fn sealed_corpus_verifies_at_every_worker_count() {
     for jobs in [1, 2, 4] {
@@ -45,9 +48,40 @@ fn sealed_corpus_verifies_at_every_worker_count() {
             validate: true,
         })
         .unwrap_or_else(|e| panic!("jobs={jobs}: {e}"));
+        assert!(out.contains("traces: 18"), "jobs={jobs}: both encodings expected: {out}");
         assert!(out.contains("0 seal mismatch(es)"), "jobs={jobs}: {out}");
         assert!(out.contains("0 ingest error(s)"), "jobs={jobs}: {out}");
     }
+}
+
+/// Every `.std` fixture has a sealed `.rbt` twin: same events after
+/// decoding, byte-identical `.expect` sidecar (seal text is
+/// encoding-independent), and the binary round-trips back to the exact
+/// text bytes.
+#[test]
+fn binary_fixture_twins_match_their_text_originals() {
+    let mut checked = 0;
+    for (path, trace) in fixture_traces() {
+        let rbt = path.replace(".std", ".rbt");
+        let bin = tracelog::binfmt::BinTrace::open(std::path::Path::new(&rbt))
+            .unwrap_or_else(|e| panic!("{rbt}: missing or unreadable twin: {e}"));
+        assert_eq!(bin.event_count(), trace.len() as u64, "{rbt}: event count drifted");
+        let mut source = tracelog::binfmt::MmapSource::new(std::sync::Arc::new(bin));
+        let mut text = Vec::new();
+        tracelog::stream::copy_events(&mut source, &mut text).unwrap();
+        assert_eq!(
+            String::from_utf8(text).unwrap(),
+            std::fs::read_to_string(&path).unwrap(),
+            "{rbt}: round-trip is not byte-exact"
+        );
+        assert_eq!(
+            std::fs::read_to_string(format!("{path}.expect")).unwrap(),
+            std::fs::read_to_string(format!("{rbt}.expect")).unwrap(),
+            "{rbt}: seal sidecars must be identical across encodings"
+        );
+        checked += 1;
+    }
+    assert!(checked >= 9, "twin corpus went missing: {checked} fixtures");
 }
 
 /// Pooled and clone-per-transaction checkers must be bit-identical on

@@ -40,9 +40,12 @@
 //! assert!(matches!(trace[1].op, Op::Write(v) if v == x));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one place unsafe exists is the contained
+// `binfmt::map` mmap FFI module, which opts back in explicitly.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binfmt;
 pub mod ids;
 pub mod paper_traces;
 pub mod parser;
@@ -53,6 +56,7 @@ pub mod txn;
 pub mod validate;
 pub mod wire;
 
+pub use binfmt::{AnySource, BinTrace, BinfmtError, MmapSource};
 pub use ids::{Interner, LockId, ThreadId, VarId};
 pub use parser::{parse_trace, write_trace, ParseTraceError};
 pub use stats::{MetaCollector, MetaInfo};

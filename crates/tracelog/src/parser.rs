@@ -142,7 +142,7 @@ pub fn parse_trace(src: &str) -> Result<Trace, ParseTraceError> {
             Ok(Some(event)) => events.push(event),
             Ok(None) => break,
             Err(SourceError::Parse(e)) => return Err(e),
-            Err(SourceError::Io(_) | SourceError::Malformed(_)) => {
+            Err(SourceError::Io(_) | SourceError::Malformed(_) | SourceError::Binary(_)) => {
                 unreachable!("in-memory reads cannot fail and StdReader does not validate")
             }
         }

@@ -67,6 +67,9 @@ pub enum SourceError {
     Parse(ParseTraceError),
     /// A [`Validated`] stage rejected an event as ill-formed.
     Malformed(WellFormedError),
+    /// A `.rbt` binary trace was structurally invalid
+    /// (see [`crate::binfmt`]).
+    Binary(crate::binfmt::BinfmtError),
 }
 
 impl fmt::Display for SourceError {
@@ -75,6 +78,7 @@ impl fmt::Display for SourceError {
             Self::Io(e) => write!(f, "{e}"),
             Self::Parse(e) => write!(f, "{e}"),
             Self::Malformed(e) => write!(f, "not well-formed: {e}"),
+            Self::Binary(e) => write!(f, "{e}"),
         }
     }
 }
@@ -85,6 +89,7 @@ impl std::error::Error for SourceError {
             Self::Io(e) => Some(e),
             Self::Parse(e) => Some(e),
             Self::Malformed(e) => Some(e),
+            Self::Binary(e) => Some(e),
         }
     }
 }
@@ -104,6 +109,12 @@ impl From<ParseTraceError> for SourceError {
 impl From<WellFormedError> for SourceError {
     fn from(e: WellFormedError) -> Self {
         Self::Malformed(e)
+    }
+}
+
+impl From<crate::binfmt::BinfmtError> for SourceError {
+    fn from(e: crate::binfmt::BinfmtError) -> Self {
+        Self::Binary(e)
     }
 }
 
@@ -335,6 +346,18 @@ pub trait EventSource {
     fn size_hint(&self) -> Option<u64> {
         None
     }
+
+    /// Human-readable position of a recently yielded event in the
+    /// source's own coordinates — `line N` for the text parser,
+    /// `record N (chunk C)` for the binary reader — used by consumers
+    /// that batch ahead of the checkers to attribute an event rejected
+    /// after the source already read past it. `None` when the source has
+    /// no positional notion (in-memory replays, generators) or the event
+    /// is outside the attribution window.
+    fn position_of(&self, event: crate::EventId) -> Option<String> {
+        let _ = event;
+        None
+    }
 }
 
 impl<S: EventSource + ?Sized> EventSource for &mut S {
@@ -353,6 +376,10 @@ impl<S: EventSource + ?Sized> EventSource for &mut S {
     fn size_hint(&self) -> Option<u64> {
         (**self).size_hint()
     }
+
+    fn position_of(&self, event: crate::EventId) -> Option<String> {
+        (**self).position_of(event)
+    }
 }
 
 impl<S: EventSource + ?Sized> EventSource for Box<S> {
@@ -370,6 +397,10 @@ impl<S: EventSource + ?Sized> EventSource for Box<S> {
 
     fn size_hint(&self) -> Option<u64> {
         (**self).size_hint()
+    }
+
+    fn position_of(&self, event: crate::EventId) -> Option<String> {
+        (**self).position_of(event)
     }
 }
 
@@ -546,6 +577,12 @@ impl<R: BufRead> EventSource for StdReader<R> {
 
     fn names(&self) -> SourceNames<'_> {
         SourceNames { threads: &self.threads, locks: &self.locks, vars: &self.vars }
+    }
+
+    /// Text positions are 1-based source lines: [`StdReader::line_of`]
+    /// inside the attribution window, the last line read otherwise.
+    fn position_of(&self, event: crate::EventId) -> Option<String> {
+        Some(format!("line {}", self.line_of(event).unwrap_or(self.line)))
     }
 }
 
@@ -768,6 +805,10 @@ impl<S: EventSource> EventSource for Validated<S> {
 
     fn size_hint(&self) -> Option<u64> {
         self.inner.size_hint()
+    }
+
+    fn position_of(&self, event: crate::EventId) -> Option<String> {
+        self.inner.position_of(event)
     }
 }
 

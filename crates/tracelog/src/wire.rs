@@ -195,13 +195,21 @@ pub fn decode_events(payload: &[u8], batch: &mut EventBatch) -> Result<usize, Wi
     }
     let n = payload.len() / EVENT_RECORD_BYTES;
     for record in payload.chunks_exact(EVENT_RECORD_BYTES) {
-        let tag = record[0];
-        let thread = u32::from_le_bytes(record[1..5].try_into().expect("4-byte slice"));
-        let arg = u32::from_le_bytes(record[5..9].try_into().expect("4-byte slice"));
-        let op = op_from_parts(tag, arg)?;
-        batch.push(Event::new(ThreadId::from_index(thread as usize), op));
+        batch.push(decode_record(record)?);
     }
     Ok(n)
+}
+
+/// Decodes exactly one [`EVENT_RECORD_BYTES`]-byte event record. Shared
+/// by [`decode_events`] and the `binfmt` on-disk reader, so the two
+/// decoders cannot drift.
+pub(crate) fn decode_record(record: &[u8]) -> Result<Event, WireError> {
+    debug_assert_eq!(record.len(), EVENT_RECORD_BYTES, "callers slice whole records");
+    let tag = record[0];
+    let thread = u32::from_le_bytes(record[1..5].try_into().expect("4-byte slice"));
+    let arg = u32::from_le_bytes(record[5..9].try_into().expect("4-byte slice"));
+    let op = op_from_parts(tag, arg)?;
+    Ok(Event::new(ThreadId::from_index(thread as usize), op))
 }
 
 /// Appends one encoded name record to `out`: `[kind u8][index u32 LE]

@@ -33,6 +33,7 @@ use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
+use tracelog::binfmt;
 use tracelog::stream::{copy_events, EventSource};
 
 use crate::shapes;
@@ -54,11 +55,15 @@ pub struct CorpusConfig {
     /// indices. The default of 1 injects into every generator entry:
     /// one violating trace per four.
     pub violation_every: usize,
+    /// Write entries in the binary `.rbt` encoding instead of `.std`
+    /// text. The *events* are identical either way — only the container
+    /// differs — so verdicts and seal sidecars agree across encodings.
+    pub binary: bool,
 }
 
 impl Default for CorpusConfig {
     fn default() -> Self {
-        Self { traces: 16, seed: 0xC0_2025, events: 10_000, violation_every: 1 }
+        Self { traces: 16, seed: 0xC0_2025, events: 10_000, violation_every: 1, binary: false }
     }
 }
 
@@ -127,23 +132,31 @@ pub fn entries(cfg: &CorpusConfig) -> Vec<CorpusEntry> {
         .collect()
 }
 
-/// Writes the corpus to `dir` (created if missing): one `<name>.std` per
-/// entry plus a `manifest.txt` listing them in order. Returns the trace
-/// paths. The manifest makes the corpus self-describing for `rapid
-/// batch <dir/manifest.txt>`; passing the directory itself works too.
+/// Writes the corpus to `dir` (created if missing): one `<name>.std`
+/// (or `<name>.rbt` with [`CorpusConfig::binary`]) per entry plus a
+/// `manifest.txt` listing them in order. Returns the trace paths. The
+/// manifest makes the corpus self-describing for `rapid batch
+/// <dir/manifest.txt>`; passing the directory itself works too.
 ///
 /// # Errors
 ///
 /// Propagates filesystem failures.
 pub fn write_corpus(dir: &Path, cfg: &CorpusConfig) -> io::Result<Vec<PathBuf>> {
     fs::create_dir_all(dir)?;
+    let ext = if cfg.binary { "rbt" } else { "std" };
     let mut paths = Vec::with_capacity(cfg.traces);
-    let mut manifest = String::from("# rapid corpus manifest: one .std path per line\n");
+    let mut manifest = format!("# rapid corpus manifest: one .{ext} path per line\n");
     for entry in entries(cfg) {
-        let path = dir.join(format!("{}.std", entry.name));
+        let path = dir.join(format!("{}.{ext}", entry.name));
         let mut out = BufWriter::new(File::create(&path)?);
-        copy_events(entry.source().as_mut(), &mut out).map_err(io::Error::other)?;
-        manifest.push_str(&format!("{}.std\n", entry.name));
+        if cfg.binary {
+            binfmt::write_binary(entry.source().as_mut(), &mut out, binfmt::DEFAULT_CHUNK_EVENTS)
+                .map_err(io::Error::other)?;
+        } else {
+            copy_events(entry.source().as_mut(), &mut out).map_err(io::Error::other)?;
+        }
+        out.flush()?;
+        manifest.push_str(&format!("{}.{ext}\n", entry.name));
         paths.push(path);
     }
     let mut m = File::create(dir.join("manifest.txt"))?;
@@ -200,6 +213,46 @@ mod tests {
             hash, 0xBACE_5D52_DB5A_F98A,
             "corpus byte stream drifted — regenerate sealed corpora if intentional"
         );
+    }
+
+    /// The second golden hash covers the **binary** encoding of the same
+    /// corpus: the `.rbt` container bytes are a pure function of the
+    /// event stream and the format constants, so this digest moves only
+    /// when the generator drifts (the text hash above also fails) or the
+    /// on-disk binary layout changes (a format-version event).
+    #[test]
+    fn binary_corpus_bytes_match_the_golden_hash() {
+        let cfg = CorpusConfig { traces: 8, events: 400, ..CorpusConfig::default() };
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for entry in entries(&cfg) {
+            let mut bytes = Vec::new();
+            binfmt::write_binary(entry.source().as_mut(), &mut bytes, 256).unwrap();
+            for b in entry.name.as_bytes().iter().chain(&bytes) {
+                hash ^= u64::from(*b);
+                hash = hash.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        assert_eq!(
+            hash, 0x3544_44EA_6B27_6931,
+            "binary corpus container drifted — bump FORMAT_VERSION and regenerate \
+             sealed corpora if intentional"
+        );
+    }
+
+    #[test]
+    fn write_corpus_emits_binary_traces_when_asked() {
+        let dir = std::env::temp_dir().join("workloads-corpus-test-bin");
+        let _ = fs::remove_dir_all(&dir);
+        let cfg = CorpusConfig { traces: 4, events: 300, binary: true, ..CorpusConfig::default() };
+        let paths = write_corpus(&dir, &cfg).unwrap();
+        assert_eq!(paths.len(), 4);
+        for p in &paths {
+            assert!(p.extension().is_some_and(|e| e == "rbt"), "{}", p.display());
+            let head = fs::read(p).unwrap();
+            assert_eq!(&head[..8], &binfmt::MAGIC, "{}", p.display());
+        }
+        let manifest = fs::read_to_string(dir.join("manifest.txt")).unwrap();
+        assert!(manifest.lines().filter(|l| !l.starts_with('#')).all(|l| l.ends_with(".rbt")));
     }
 
     #[test]

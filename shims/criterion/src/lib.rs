@@ -5,12 +5,15 @@
 //!
 //! The build environment has no crates.io access, so the workspace vendors
 //! this minimal implementation instead (see the workspace README). It is a
-//! real (if unsophisticated) harness: each benchmark is warmed up once,
-//! then timed in batches until the configured measurement time (capped by
-//! `CRITERION_SHIM_MAX_SECS`, default 3) or sample budget is exhausted,
-//! and the mean/min per-iteration time — plus throughput when configured —
-//! is printed in a Criterion-like format. There are no statistics, plots,
-//! or saved baselines.
+//! real (if unsophisticated) harness: each benchmark runs an untimed
+//! warm-up phase (a tenth of the budget, capped at 200 ms), then records
+//! individual timed samples until the configured measurement time (capped
+//! by `CRITERION_SHIM_MAX_SECS`, default 3) or sample budget is
+//! exhausted. Samples outside the Tukey fence (1.5 × IQR past the
+//! quartiles) are rejected as outliers, and the kept mean with a 95 %
+//! confidence interval, the minimum, and the throughput (when configured)
+//! are printed in a Criterion-like format. There are no plots or saved
+//! baselines.
 //!
 //! **Machine-readable output.** When `CRITERION_SHIM_JSON=<path>` is set
 //! (typically together with `--test` in CI), every reported benchmark is
@@ -145,26 +148,29 @@ impl BenchmarkGroup<'_> {
 
     fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
         let mut line = format!("  {:<32}", id.0);
-        match bencher.samples() {
+        match bencher.stats() {
             None => line.push_str("no samples recorded (b.iter never called?)"),
-            Some((samples, mean, min)) => {
+            Some(stats) => {
                 let _ = write!(
                     line,
-                    "mean {:>12} min {:>12} ({samples} samples)",
-                    fmt_ns(mean),
-                    fmt_ns(min)
+                    "mean {:>12} ±{:>10} min {:>12} ({} samples, {} outliers)",
+                    fmt_ns(stats.mean_ns),
+                    fmt_ns(stats.ci95_ns),
+                    fmt_ns(stats.min_ns),
+                    stats.samples,
+                    stats.outliers
                 );
                 if let Some(t) = &self.throughput {
                     let (count, unit) = match t {
                         Throughput::Elements(n) => (*n, "elem/s"),
                         Throughput::Bytes(n) => (*n, "B/s"),
                     };
-                    let per_sec = count as f64 / (mean / 1e9);
+                    let per_sec = count as f64 / (stats.mean_ns / 1e9);
                     let _ = write!(line, "  {per_sec:>12.0} {unit}");
                 }
                 if let Ok(path) = std::env::var("CRITERION_SHIM_JSON") {
                     let qualified = format!("{}/{}", self.name, id.0);
-                    dump_json(&path, json_entry(&qualified, mean, self.throughput.as_ref()));
+                    dump_json(&path, json_entry(&qualified, &stats, self.throughput.as_ref()));
                 }
             }
         }
@@ -172,27 +178,90 @@ impl BenchmarkGroup<'_> {
     }
 }
 
+/// Robust summary of one benchmark's timed samples, after outlier
+/// rejection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stats {
+    /// Timed samples recorded (before outlier rejection).
+    pub samples: u64,
+    /// Samples discarded by the Tukey fence (1.5 × IQR past the
+    /// quartiles).
+    pub outliers: u64,
+    /// Mean ns/iteration over the kept samples.
+    pub mean_ns: f64,
+    /// Fastest kept sample, ns.
+    pub min_ns: f64,
+    /// Half-width of the 95 % confidence interval of the mean (normal
+    /// approximation), ns. Zero with fewer than two kept samples.
+    pub ci95_ns: f64,
+}
+
+/// Summarises raw per-sample timings: Tukey-fence outlier rejection
+/// (1.5 × IQR, quartiles by linear interpolation), then mean / min /
+/// 95 % CI over the kept samples.
+fn summarize(samples_ns: &[f64]) -> Option<Stats> {
+    if samples_ns.is_empty() {
+        return None;
+    }
+    let mut sorted = samples_ns.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let quantile = |p: f64| -> f64 {
+        let idx = p * (sorted.len() - 1) as f64;
+        let (lo, hi) = (idx.floor() as usize, idx.ceil() as usize);
+        let frac = idx - idx.floor();
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    };
+    let (q1, q3) = (quantile(0.25), quantile(0.75));
+    let fence = 1.5 * (q3 - q1);
+    // The quartiles themselves are always inside the fence, so `kept`
+    // is never empty.
+    let kept: Vec<f64> =
+        sorted.iter().copied().filter(|&x| x >= q1 - fence && x <= q3 + fence).collect();
+    let n = kept.len() as f64;
+    let mean = kept.iter().sum::<f64>() / n;
+    let ci95 = if kept.len() < 2 {
+        0.0
+    } else {
+        let var = kept.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        1.96 * (var / n).sqrt()
+    };
+    Some(Stats {
+        samples: samples_ns.len() as u64,
+        outliers: (samples_ns.len() - kept.len()) as u64,
+        mean_ns: mean,
+        min_ns: kept[0],
+        ci95_ns: ci95,
+    })
+}
+
 /// One `rapid-bench-v1` entry for a reported benchmark: the name, the
-/// mean per-iteration wall time, and — when a throughput was configured
-/// — the per-iteration work and the derived rate.
-fn json_entry(name: &str, mean_ns: f64, throughput: Option<&Throughput>) -> String {
+/// kept-mean per-iteration wall time, the per-iteration work and derived
+/// rate when a throughput was configured, and the sampling metadata
+/// (sample/outlier counts and the relative 95 % CI half-width — unitless
+/// keys, so `rapid benchdiff` treats them as informational rather than
+/// gating on measurement noise).
+fn json_entry(name: &str, stats: &Stats, throughput: Option<&Throughput>) -> String {
     let escaped: String = name
         .chars()
         .flat_map(|c| if matches!(c, '"' | '\\') { vec!['\\', c] } else { vec![c] })
         .collect();
     let mut fields =
-        vec![format!("\"name\":\"{escaped}\""), format!("\"wall_s\":{:.9}", mean_ns / 1e9)];
+        vec![format!("\"name\":\"{escaped}\""), format!("\"wall_s\":{:.9}", stats.mean_ns / 1e9)];
     match throughput {
         Some(Throughput::Elements(n)) => {
             fields.push(format!("\"events\":{n}"));
-            fields.push(format!("\"events_per_sec\":{:.6}", *n as f64 / (mean_ns / 1e9)));
+            fields.push(format!("\"events_per_sec\":{:.6}", *n as f64 / (stats.mean_ns / 1e9)));
         }
         Some(Throughput::Bytes(n)) => {
             fields.push(format!("\"bytes\":{n}"));
-            fields.push(format!("\"bytes_per_sec\":{:.6}", *n as f64 / (mean_ns / 1e9)));
+            fields.push(format!("\"bytes_per_sec\":{:.6}", *n as f64 / (stats.mean_ns / 1e9)));
         }
         None => {}
     }
+    fields.push(format!("\"samples\":{}", stats.samples));
+    fields.push(format!("\"outliers\":{}", stats.outliers));
+    let ci95_rel = if stats.mean_ns > 0.0 { stats.ci95_ns / stats.mean_ns } else { 0.0 };
+    fields.push(format!("\"ci95_rel\":{ci95_rel:.6}"));
     format!("{{{}}}", fields.join(","))
 }
 
@@ -250,40 +319,44 @@ fn fmt_ns(ns: f64) -> String {
 pub struct Bencher {
     budget: Duration,
     sample_size: usize,
-    total_ns: f64,
-    min_ns: f64,
-    samples: u64,
+    samples_ns: Vec<f64>,
 }
 
 impl Bencher {
     fn new(budget: Duration, sample_size: usize) -> Self {
-        Bencher { budget, sample_size, total_ns: 0.0, min_ns: f64::INFINITY, samples: 0 }
+        Bencher { budget, sample_size, samples_ns: Vec::new() }
     }
 
-    /// Runs `f` repeatedly — one warm-up call, then timed samples until
-    /// the sample or time budget runs out.
+    /// Runs `f` repeatedly — an untimed warm-up phase (a tenth of the
+    /// budget, capped at 200 ms, at least one call — so caches and
+    /// allocators settle before measurement), then individual timed
+    /// samples until the sample or time budget runs out.
     pub fn iter<O, F>(&mut self, mut f: F)
     where
         F: FnMut() -> O,
     {
-        black_box(f());
+        let warmup = (self.budget / 10).min(Duration::from_millis(200));
+        let warming = Instant::now();
+        loop {
+            black_box(f());
+            if warming.elapsed() >= warmup {
+                break;
+            }
+        }
         let started = Instant::now();
         // Always record at least one sample (a zero budget is the
         // `--test` smoke mode; a slow body must still be reported).
-        while self.samples == 0
-            || (self.samples < self.sample_size as u64 && started.elapsed() < self.budget)
+        while self.samples_ns.is_empty()
+            || (self.samples_ns.len() < self.sample_size && started.elapsed() < self.budget)
         {
             let t0 = Instant::now();
             black_box(f());
-            let ns = t0.elapsed().as_secs_f64() * 1e9;
-            self.total_ns += ns;
-            self.min_ns = self.min_ns.min(ns);
-            self.samples += 1;
+            self.samples_ns.push(t0.elapsed().as_secs_f64() * 1e9);
         }
     }
 
-    fn samples(&self) -> Option<(u64, f64, f64)> {
-        (self.samples > 0).then(|| (self.samples, self.total_ns / self.samples as f64, self.min_ns))
+    fn stats(&self) -> Option<Stats> {
+        summarize(&self.samples_ns)
     }
 }
 
@@ -361,27 +434,58 @@ mod tests {
         assert!(calls >= 2, "warm-up plus at least one sample");
     }
 
+    fn exact_stats(mean_ns: f64) -> Stats {
+        Stats { samples: 12, outliers: 1, mean_ns, min_ns: mean_ns * 0.9, ci95_ns: mean_ns * 0.05 }
+    }
+
     #[test]
     fn json_entry_matches_the_rapid_bench_schema() {
-        // 2ms per iteration over 1000 elements → 500k events/s.
-        let entry = json_entry("convoy/1000", 2_000_000.0, Some(&Throughput::Elements(1000)));
+        // 2ms per iteration over 1000 elements → 500k events/s. The
+        // sampling metadata rides along under unitless keys, a
+        // schema-compatible rapid-bench-v1 extension.
+        let entry =
+            json_entry("convoy/1000", &exact_stats(2_000_000.0), Some(&Throughput::Elements(1000)));
         assert_eq!(
             entry,
             "{\"name\":\"convoy/1000\",\"wall_s\":0.002000000,\
-             \"events\":1000,\"events_per_sec\":500000.000000}"
+             \"events\":1000,\"events_per_sec\":500000.000000,\
+             \"samples\":12,\"outliers\":1,\"ci95_rel\":0.050000}"
         );
 
-        let bytes = json_entry("copy", 1e9, Some(&Throughput::Bytes(4096)));
+        let bytes = json_entry("copy", &exact_stats(1e9), Some(&Throughput::Bytes(4096)));
         assert!(bytes.contains("\"bytes\":4096"), "{bytes}");
         assert!(bytes.contains("\"bytes_per_sec\":4096.000000"), "{bytes}");
 
-        let bare = json_entry("quoted \"name\"", 5e8, None);
-        assert_eq!(bare, "{\"name\":\"quoted \\\"name\\\"\",\"wall_s\":0.500000000}");
+        let bare = json_entry("quoted \"name\"", &exact_stats(5e8), None);
+        assert!(bare.starts_with("{\"name\":\"quoted \\\"name\\\"\",\"wall_s\":0.500000000,"));
+        assert!(bare.contains("\"samples\":12,\"outliers\":1"), "{bare}");
 
         let doc = json_doc("check", &[entry.clone(), bare.clone()]);
         assert!(doc.starts_with("{\"schema\":\"rapid-bench-v1\",\"bench\":\"check\",\"entries\":["));
         assert!(doc.ends_with("]}\n"), "{doc}");
         assert!(doc.contains(&entry) && doc.contains(&bare), "{doc}");
+    }
+
+    #[test]
+    fn summarize_rejects_outliers_and_reports_a_confidence_interval() {
+        // Ten tight samples around 100ns plus one wild 10µs outlier: the
+        // Tukey fence drops it, so the mean stays near 100 and the CI is
+        // narrow rather than outlier-dominated.
+        let mut samples = vec![98.0, 99.0, 100.0, 100.0, 101.0, 102.0, 99.5, 100.5, 101.5, 98.5];
+        samples.push(10_000.0);
+        let stats = summarize(&samples).unwrap();
+        assert_eq!(stats.samples, 11);
+        assert_eq!(stats.outliers, 1);
+        assert!((stats.mean_ns - 100.0).abs() < 1.0, "{stats:?}");
+        assert!((stats.min_ns - 98.0).abs() < f64::EPSILON, "{stats:?}");
+        assert!(stats.ci95_ns > 0.0 && stats.ci95_ns < 5.0, "{stats:?}");
+
+        // Degenerate inputs stay defined.
+        assert_eq!(summarize(&[]), None);
+        let one = summarize(&[42.0]).unwrap();
+        assert_eq!((one.samples, one.outliers), (1, 0));
+        assert!((one.mean_ns - 42.0).abs() < f64::EPSILON);
+        assert!(one.ci95_ns.abs() < f64::EPSILON, "single sample has no CI");
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //!
 //! [`super::par`] parallelises *within* one trace (one ingest pass
 //! fanned out to N checkers); this module parallelises *across* traces.
-//! A [`check_corpus`] call discovers a corpus of `.std` logs (directory
-//! walk or manifest, see [`discover`]), dispatches whole traces to at
-//! most [`MultiConfig::jobs`] resident workers over a shared queue, and
+//! A [`check_corpus`] call discovers a corpus of `.std` / `.rbt` logs
+//! (directory walk or manifest, see [`discover`]), dispatches whole
+//! traces to at most [`MultiConfig::jobs`] resident workers over a
+//! shared queue, and
 //! aggregates per-trace verdicts plus corpus-level
 //! [`CheckerReport`] totals.
 //!
@@ -51,6 +52,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use aerodrome::{CheckerReport, Outcome, Violation};
+use tracelog::binfmt::MmapSource;
 use tracelog::stream::{EventBatch, StdReader, DEFAULT_BATCH_EVENTS};
 use tracelog::{EventSource, Validator};
 
@@ -202,11 +204,12 @@ impl CorpusReport {
     }
 }
 
-/// Discovers the `.std` traces of a corpus.
+/// Discovers the traces of a corpus — text `.std` and binary `.rbt`
+/// alike.
 ///
-/// * A **directory** is walked recursively; every `*.std` file is
-///   collected, sorted by path for a deterministic order.
-/// * A file named `*.std` is a single-trace corpus.
+/// * A **directory** is walked recursively; every `*.std` and `*.rbt`
+///   file is collected, sorted by path for a deterministic order.
+/// * A file named `*.std` or `*.rbt` is a single-trace corpus.
 /// * Any **other file** is read as a manifest: one trace path per line
 ///   (relative paths resolve against the manifest's directory), blank
 ///   lines and `#` comments skipped, order preserved.
@@ -219,7 +222,7 @@ pub fn discover(root: &Path) -> Result<Vec<PathBuf>, String> {
     if root.is_dir() {
         walk(root, &mut paths).map_err(|e| format!("{}: {e}", root.display()))?;
         paths.sort();
-    } else if root.extension().is_some_and(|e| e == "std") {
+    } else if root.extension().is_some_and(|e| e == "std" || e == "rbt") {
         if !root.is_file() {
             return Err(format!("{}: no such trace", root.display()));
         }
@@ -237,7 +240,7 @@ pub fn discover(root: &Path) -> Result<Vec<PathBuf>, String> {
         }
     }
     if paths.is_empty() {
-        return Err(format!("{}: no .std traces found", root.display()));
+        return Err(format!("{}: no .std or .rbt traces found", root.display()));
     }
     Ok(paths)
 }
@@ -247,11 +250,72 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
         let path = entry?.path();
         if path.is_dir() {
             walk(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "std") {
+        } else if path.extension().is_some_and(|e| e == "std" || e == "rbt") {
             out.push(path);
         }
     }
     Ok(())
+}
+
+/// Reads the first 8 bytes of `file` and rewinds, reporting whether
+/// they are the `.rbt` magic.
+fn sniff_binary(file: &mut File) -> std::io::Result<bool> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut magic = [0u8; 8];
+    let mut filled = 0;
+    while filled < magic.len() {
+        let n = file.read(&mut magic[filled..])?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+    }
+    file.seek(SeekFrom::Start(0))?;
+    Ok(filled == magic.len() && magic == tracelog::binfmt::MAGIC)
+}
+
+/// One trace's ingest-and-feed loop, shared by the text and binary
+/// paths: drains `source` batch by batch, validating (when a validator
+/// is supplied) and feeding the panel, matching `par::check_all`
+/// semantics exactly — the whole log is drained (the run certifies it)
+/// and each checker stops individually at its first violation. Returns
+/// the events ingested; failures land in `error` with the source's own
+/// position attribution (`line N` / `record N (chunk C)`).
+fn ingest_one<S: EventSource + ?Sized>(
+    source: &mut S,
+    checkers: &mut [SendChecker],
+    violations: &mut [Option<Violation>],
+    batch: &mut EventBatch,
+    mut validator: Option<&mut Validator>,
+    path: &Path,
+    error: &mut Option<String>,
+) -> u64 {
+    let mut events = 0u64;
+    loop {
+        let refill = source.next_batch(batch);
+        if let Some(v) = validator.as_deref_mut() {
+            if let Some(e) = super::validate_batch(v, batch) {
+                let pos =
+                    source.position_of(e.event()).map_or_else(String::new, |p| format!("{p}: "));
+                *error = Some(format!("{}: {pos}not well-formed: {e}", path.display()));
+            }
+        }
+        super::feed_panel(checkers, violations, batch, |_, _| {});
+        events += batch.len() as u64;
+        let exhausted = match refill {
+            // A validation failure inside the batch precedes a source
+            // failure past its end; keep the earlier one.
+            Err(e) if error.is_none() => {
+                *error = Some(format!("{}: {e}", path.display()));
+                true
+            }
+            Err(_) => true,
+            Ok(n) => n == 0 || error.is_some(),
+        };
+        if exhausted {
+            return events;
+        }
+    }
 }
 
 /// One worker's resident state: the checker panel, the reader and the
@@ -285,52 +349,68 @@ impl Session {
                 None
             }
         };
-        if let Some(file) = file {
-            // The reader session survives from the previous trace: reset
-            // keeps the interner and line-buffer capacity warm.
-            let reader = match self.reader.take() {
-                Some(mut r) => {
-                    r.reset(BufReader::new(file));
-                    r
+        if let Some(mut file) = file {
+            // Sniff the encoding by magic (not extension), as every
+            // ingesting subcommand does.
+            let binary = match sniff_binary(&mut file) {
+                Ok(b) => b,
+                Err(e) => {
+                    error = Some(format!("{}: {e}", path.display()));
+                    false
                 }
-                None => StdReader::new(BufReader::new(file)),
             };
-            self.reader = Some(reader);
-            let reader = self.reader.as_mut().expect("reader installed above");
-            // Match `par::check_all` semantics exactly: the whole log is
-            // drained (the run certifies it) and each checker stops
-            // individually at its first violation.
-            loop {
-                let refill = reader.next_batch(&mut self.batch);
-                if self.validate {
-                    if let Some(e) = super::validate_batch(&mut self.validator, &mut self.batch) {
-                        let line = reader
-                            .line_of(e.event())
-                            .map_or_else(String::new, |l| format!("line {l}: "));
-                        error = Some(format!("{}: {line}not well-formed: {e}", path.display()));
+            if error.is_some() {
+                // fall through with the open/sniff error recorded
+            } else if binary {
+                // Binary traces get a per-trace reader: opening one is a
+                // footer read, a name preload and an mmap — there is no
+                // warm parser state worth keeping resident.
+                drop(file);
+                match MmapSource::open(path) {
+                    Ok(mut source) => {
+                        events = ingest_one(
+                            &mut source,
+                            &mut self.checkers,
+                            &mut violations,
+                            &mut self.batch,
+                            self.validate.then_some(&mut self.validator),
+                            path,
+                            &mut error,
+                        );
+                        let names = source.names();
+                        (threads, locks, vars) =
+                            (names.threads.len(), names.locks.len(), names.vars.len());
                     }
+                    Err(e) => error = Some(format!("{}: {e}", path.display())),
                 }
-                super::feed_panel(&mut self.checkers, &mut violations, &self.batch, |_, _| {});
-                events += self.batch.len() as u64;
-                let exhausted = match refill {
-                    // A validation failure inside the batch precedes a
-                    // source failure past its end; keep the earlier one.
-                    Err(e) if error.is_none() => {
-                        error = Some(format!("{}: {e}", path.display()));
-                        true
+            } else {
+                // The reader session survives from the previous trace:
+                // reset keeps the interner and line-buffer capacity warm.
+                let reader = match self.reader.take() {
+                    Some(mut r) => {
+                        r.reset(BufReader::new(file));
+                        r
                     }
-                    Err(_) => true,
-                    Ok(n) => n == 0 || error.is_some(),
+                    None => StdReader::new(BufReader::new(file)),
                 };
-                if exhausted {
-                    break;
-                }
+                self.reader = Some(reader);
+                let reader = self.reader.as_mut().expect("reader installed above");
+                events = ingest_one(
+                    reader,
+                    &mut self.checkers,
+                    &mut violations,
+                    &mut self.batch,
+                    self.validate.then_some(&mut self.validator),
+                    path,
+                    &mut error,
+                );
+                // Name counts belong to THIS trace's ingest only: when
+                // the open failed, the resident reader still holds the
+                // previous trace's warm tables and must not leak into
+                // this report.
+                let names = reader.names();
+                (threads, locks, vars) = (names.threads.len(), names.locks.len(), names.vars.len());
             }
-            // Name counts belong to THIS trace's ingest only: when the
-            // open failed, the resident reader still holds the previous
-            // trace's warm tables and must not leak into this report.
-            let names = reader.names();
-            (threads, locks, vars) = (names.threads.len(), names.locks.len(), names.vars.len());
         }
 
         let runs = self

@@ -88,7 +88,7 @@ fn discovery_walks_directories_and_reads_manifests() {
 
     assert!(discover(&dir.join("nothing-here")).is_err());
     let empty = temp_dir("discovery-empty");
-    assert!(discover(&empty).unwrap_err().contains("no .std traces"));
+    assert!(discover(&empty).unwrap_err().contains("no .std or .rbt traces"));
 }
 
 #[test]
