@@ -41,6 +41,7 @@
 pub mod basic;
 pub mod optimized;
 pub mod readopt;
+pub mod shard;
 pub mod state;
 mod util;
 mod violation;

@@ -1,0 +1,1333 @@
+//! Per-trace sharded checking: one trace, N cooperating shards of the
+//! *same* checker.
+//!
+//! The parallel runtime in the umbrella crate (`pipeline::par`) scales
+//! across *checkers* — every worker still swallows the whole trace, so
+//! the slowest algorithm is a hard Amdahl wall. This module splits the
+//! *state* of a single checker instead: threads, locks and variables are
+//! partitioned across shards ([`Ownership`]), each shard owns a full
+//! [`Core`] on its own private [`vc::ClockPool`] (the zero-allocation
+//! steady state survives per shard), and events touch only the shards
+//! that own their participants:
+//!
+//! * **Shard-local events** — both the acting thread and the touched
+//!   resource live on one shard — run the exact sequential dispatch
+//!   ([`ShardChecker::process_local`] calls the same code as
+//!   [`crate::state::Engine`]) with no synchronisation at all.
+//! * **Cross-shard events** — the acting thread and the resource live on
+//!   different shards — exchange clock *values* as [`ShardMsg`]s
+//!   (encoded via [`vc::ClockMsg`], so `⊥`/epoch clocks cross without
+//!   touching the heap). One side always sends first unconditionally,
+//!   which keeps the dialogue deadlock-free.
+//! * **Outermost end events** sweep every thread's clock, so they run a
+//!   two-phase barrier: the ending shard broadcasts its transaction
+//!   snapshot, every shard votes the smallest violating local thread
+//!   ([`ShardChecker::end_vote`]), and the minimum over all votes is
+//!   exactly the thread the sequential sweep would have flagged first —
+//!   thread entries not owned by a shard are provably inert in its sweep
+//!   (they stay at their `⊥[1/u]` birth value, which the skip test
+//!   `C⊲_t ⊑ C_u` can never pass, because `C⊲_t(t) ≥ 2` for an active
+//!   transaction).
+//!
+//! Because every check compares exactly the component values the
+//! sequential engine would compare, verdicts, first-violation
+//! attribution and the event/join counters of [`crate::CheckerReport`]
+//! are **bit-identical** to the single-shard engine; only the
+//! [`vc::PoolStats`] gauges differ (values cross pools as copies where
+//! the sequential store shares a slot). The in-crate tests drive the
+//! whole protocol single-threaded against [`crate::state::Engine`]
+//! event-for-event; the threaded runtime lives in the umbrella crate's
+//! `pipeline::shard`.
+//!
+//! Only Algorithms 1 and 2 ([`crate::basic`], [`crate::readopt`]) are
+//! shardable: their read/write checks touch one variable's state plus
+//! the acting thread's clocks. Algorithm 3's lazy epoch machinery
+//! (`mark_update_sets` global scans, remote `write_source` reads) is
+//! hostile to message passing and stays single-shard.
+
+use tracelog::{Event, EventId, LockId, Op, ThreadId, VarId};
+use vc::{ClockMsg, ClockPool, Epoch, MsgPool, PoolClock, PoolStats, Time};
+
+use crate::basic::BasicRules;
+use crate::readopt::ReadOptRules;
+use crate::state::{dispatch, Core, Rules, DEFAULT_RETAINED_CLOCK_BYTES};
+use crate::util::TxnTracker;
+use crate::violation::{Violation, ViolationKind};
+
+/// Sentinel in the explicit-assignment tables: fall back to round-robin.
+const UNPINNED: u32 = u32::MAX;
+
+/// The partition of threads, locks and variables across shards.
+///
+/// Lives on the *router* (the single thread that reads the trace and
+/// tags events with `Role`s — see the umbrella crate); the shards
+/// themselves never consult it. Defaults to round-robin by index;
+/// individual ids can be pinned for tests and for exploring partition
+/// sensitivity.
+#[derive(Clone, Debug)]
+pub struct Ownership {
+    shards: u32,
+    threads: Vec<u32>,
+    locks: Vec<u32>,
+    vars: Vec<u32>,
+}
+
+/// Where an event runs, as classified by the router.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// Acting thread and touched resource on the same shard: processed
+    /// by that shard alone, through the sequential dispatch.
+    Local(usize),
+    /// Acting thread and resource on different shards: a two-sided
+    /// message dialogue (`actor != owner`).
+    Cross {
+        /// Shard owning the acting thread.
+        actor: usize,
+        /// Shard owning the touched lock/variable/peer thread.
+        owner: usize,
+    },
+    /// An outermost end: the all-shard two-phase barrier.
+    Global {
+        /// Shard owning the ending thread.
+        actor: usize,
+    },
+}
+
+impl Ownership {
+    /// Round-robin partition over `shards` shards (`id index % shards`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero or does not fit the internal `u32`
+    /// tables.
+    #[must_use]
+    pub fn round_robin(shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard");
+        let shards = u32::try_from(shards).expect("shard count fits u32");
+        assert!(shards < UNPINNED, "shard count below the sentinel");
+        Self { shards, threads: Vec::new(), locks: Vec::new(), vars: Vec::new() }
+    }
+
+    /// Number of shards this partition spreads over.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    fn pin(table: &mut Vec<u32>, index: usize, shard: usize, shards: u32) {
+        let shard = u32::try_from(shard).expect("shard index fits u32");
+        assert!(shard < shards, "shard index in range");
+        if table.len() <= index {
+            table.resize(index + 1, UNPINNED);
+        }
+        table[index] = shard;
+    }
+
+    /// Pins thread `index` to `shard`, overriding round-robin.
+    pub fn pin_thread(&mut self, index: usize, shard: usize) {
+        Self::pin(&mut self.threads, index, shard, self.shards);
+    }
+
+    /// Pins lock `index` to `shard`, overriding round-robin.
+    pub fn pin_lock(&mut self, index: usize, shard: usize) {
+        Self::pin(&mut self.locks, index, shard, self.shards);
+    }
+
+    /// Pins variable `index` to `shard`, overriding round-robin.
+    pub fn pin_var(&mut self, index: usize, shard: usize) {
+        Self::pin(&mut self.vars, index, shard, self.shards);
+    }
+
+    fn lookup(table: &[u32], index: usize, shards: u32) -> usize {
+        match table.get(index) {
+            Some(&s) if s != UNPINNED => s as usize,
+            _ => index % shards as usize,
+        }
+    }
+
+    /// The shard owning thread `index`.
+    #[must_use]
+    pub fn thread_shard(&self, index: usize) -> usize {
+        Self::lookup(&self.threads, index, self.shards)
+    }
+
+    /// The shard owning lock `index`.
+    #[must_use]
+    pub fn lock_shard(&self, index: usize) -> usize {
+        Self::lookup(&self.locks, index, self.shards)
+    }
+
+    /// The shard owning variable `index`.
+    #[must_use]
+    pub fn var_shard(&self, index: usize) -> usize {
+        Self::lookup(&self.vars, index, self.shards)
+    }
+
+    /// Classifies one event. `outermost_end` is the verdict of the
+    /// router's [`EndTracker`] for this event (`false` for non-end
+    /// events).
+    #[must_use]
+    pub fn route(&self, event: Event, outermost_end: bool) -> Route {
+        let actor = self.thread_shard(event.thread.index());
+        let owner = match event.op {
+            Op::Begin => actor,
+            Op::End => {
+                return if outermost_end { Route::Global { actor } } else { Route::Local(actor) }
+            }
+            Op::Acquire(l) | Op::Release(l) => self.lock_shard(l.index()),
+            Op::Read(x) | Op::Write(x) => self.var_shard(x.index()),
+            Op::Fork(u) | Op::Join(u) => self.thread_shard(u.index()),
+        };
+        if owner == actor {
+            Route::Local(actor)
+        } else {
+            Route::Cross { actor, owner }
+        }
+    }
+}
+
+/// Replicates the engine's transaction-nesting decisions on the router:
+/// outermost ends go through the global barrier, nested and unmatched
+/// ends stay shard-local, and the classification must match what the
+/// owning shard's own tracker will decide.
+#[derive(Debug, Default)]
+pub struct EndTracker {
+    txns: TxnTracker,
+}
+
+impl EndTracker {
+    /// A tracker with no thread state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes one event in trace order; returns `true` iff it is an
+    /// *outermost* end.
+    pub fn observe(&mut self, event: Event) -> bool {
+        match event.op {
+            Op::Begin => {
+                self.txns.on_begin(event.thread);
+                false
+            }
+            Op::End => self.txns.on_end(event.thread),
+            _ => false,
+        }
+    }
+
+    /// Forgets all nesting state (new trace).
+    pub fn reset(&mut self) {
+        self.txns.reset();
+    }
+}
+
+/// The read-table payload of a cross-shard write: what the owner knows
+/// about variable `x`'s readers, in the shape the owning algorithm keeps
+/// it.
+#[derive(Debug)]
+pub enum ReadsInfo {
+    /// Algorithm 1: the sparse non-`⊥` entries of the `R_{·,x}` row.
+    Basic {
+        /// Length of the owner's row (the actor replays indices
+        /// `0..row_len`, reconstituting absent entries as `⊥`).
+        row_len: u32,
+        /// `(thread index, clock)` pairs, ascending, the writer's own
+        /// entry excluded.
+        rows: Vec<(u32, ClockMsg)>,
+    },
+    /// Algorithm 2: the aggregated read clock pair.
+    ReadOpt {
+        /// `chR_x(t)` — the single component the epoch check reads.
+        chrx_t: Time,
+        /// `R_x`, joined into the writer's clock.
+        rx: ClockMsg,
+    },
+}
+
+/// A message between two shards of the same checker. Every variant
+/// carries plain values ([`ClockMsg`] payloads); handles never cross
+/// pools.
+#[derive(Debug)]
+pub enum ShardMsg {
+    /// Owner → actor at a cross-shard acquire: the lock's release state.
+    Lock {
+        /// `lastRelThr_ℓ == t` — the actor skips the check entirely.
+        skip: bool,
+        /// `L_ℓ` (undefined when `skip`).
+        lrel: ClockMsg,
+    },
+    /// Owner → actor at a cross-shard join: the target thread's state.
+    Thread {
+        /// Whether the joined thread ever performed an event.
+        seen: bool,
+        /// `C_u`.
+        ct: ClockMsg,
+    },
+    /// Owner → actor at a cross-shard read: the write-check inputs.
+    ReadInfo {
+        /// `lastWThr_x == t` — skip the write-clock check.
+        skip_w: bool,
+        /// `W_x` (undefined when `skip_w`).
+        wx: ClockMsg,
+    },
+    /// Owner → actor at a cross-shard write: write- and read-check
+    /// inputs.
+    WriteInfo {
+        /// `lastWThr_x == t` — skip the write-clock check.
+        skip_w: bool,
+        /// `W_x` (undefined when `skip_w`).
+        wx: ClockMsg,
+        /// The variable's read state.
+        reads: ReadsInfo,
+    },
+    /// Actor → owner: the acting thread's state after its checks. The
+    /// actor always sends this *before* surfacing its own violation, so
+    /// the owner never hangs.
+    Actor {
+        /// The actor's checks failed; the owner must not absorb.
+        violated: bool,
+        /// Whether the acting thread's transaction is active (fork
+        /// taint).
+        active: bool,
+        /// `C_t` after the actor-side joins.
+        ct: ClockMsg,
+    },
+    /// Actor → all shards at an outermost end: the ending transaction's
+    /// snapshot, opening the two-phase barrier.
+    EndBegin {
+        /// `C_t` of the ending thread.
+        ct: ClockMsg,
+        /// `C⊲_t` of the ending thread.
+        cb: ClockMsg,
+        /// `C⊲_t(t)` — the begin epoch's time component.
+        cb_epoch: Time,
+    },
+    /// Any shard → actor: this shard's end-sweep vote.
+    EndVote {
+        /// Smallest local thread index with a violating active
+        /// transaction, if any.
+        violating: Option<u32>,
+    },
+    /// Actor → all shards: no shard voted a violation; apply the end
+    /// pushes.
+    EndResolve,
+}
+
+impl ShardMsg {
+    /// Returns every buffer carried by the message to `msgs` /
+    /// `rows_free` (used when a message is consumed without processing,
+    /// e.g. while draining after a global violation).
+    pub fn recycle(self, msgs: &mut MsgPool, rows_free: &mut Vec<Vec<(u32, ClockMsg)>>) {
+        match self {
+            ShardMsg::Lock { lrel: c, .. }
+            | ShardMsg::Thread { ct: c, .. }
+            | ShardMsg::ReadInfo { wx: c, .. }
+            | ShardMsg::Actor { ct: c, .. } => c.recycle(msgs),
+            ShardMsg::WriteInfo { wx, reads, .. } => {
+                wx.recycle(msgs);
+                recycle_reads(reads, msgs, rows_free);
+            }
+            ShardMsg::EndBegin { ct, cb, .. } => {
+                ct.recycle(msgs);
+                cb.recycle(msgs);
+            }
+            ShardMsg::EndVote { .. } | ShardMsg::EndResolve => {}
+        }
+    }
+}
+
+fn recycle_reads(reads: ReadsInfo, msgs: &mut MsgPool, rows_free: &mut Vec<Vec<(u32, ClockMsg)>>) {
+    match reads {
+        ReadsInfo::Basic { mut rows, .. } => {
+            for (_, m) in rows.drain(..) {
+                m.recycle(msgs);
+            }
+            rows_free.push(rows);
+        }
+        ReadsInfo::ReadOpt { rx, .. } => rx.recycle(msgs),
+    }
+}
+
+/// The per-algorithm half of the sharding protocol: how the owner of a
+/// variable encodes its read state, how the actor replays the checks on
+/// it, and how reads and end pushes land in the owner's tables. Only
+/// implemented for the pooled Algorithms 1 and 2 (see the module docs).
+pub trait ShardRules: Rules<Store = ClockPool> + Send {
+    /// Owner-side table growth before a read/write of `x` by thread
+    /// `ti` — must mirror what the sequential `on_read`/`on_write` would
+    /// have ensured *before* its checks.
+    fn owner_ensure(&mut self, xi: usize, ti: usize);
+
+    /// Encodes variable `xi`'s read state for the actor's
+    /// write-vs-read checks ([`owner_ensure`](Self::owner_ensure) has
+    /// run).
+    fn reads_info(
+        &self,
+        core: &Core<ClockPool>,
+        xi: usize,
+        ti: usize,
+        msgs: &mut MsgPool,
+        rows_free: &mut Vec<Vec<(u32, ClockMsg)>>,
+    ) -> ReadsInfo;
+
+    /// Actor-side replay of the sequential write-vs-read checks (and the
+    /// Algorithm 2 read-clock join), bit-identical including the join
+    /// counter.
+    ///
+    /// # Errors
+    ///
+    /// The violation `checkAndGet` would have declared, if any.
+    fn write_actor_reads(
+        core: &mut Core<ClockPool>,
+        eid: EventId,
+        t: ThreadId,
+        x: VarId,
+        active: bool,
+        reads: &ReadsInfo,
+        tmp: &mut PoolClock,
+    ) -> Result<(), Violation>;
+
+    /// Owner-side absorption of a successful cross-shard read: `ct` is
+    /// the reader's clock after its checks.
+    fn absorb_read(
+        &mut self,
+        core: &mut Core<ClockPool>,
+        xi: usize,
+        ti: usize,
+        ct: &ClockMsg,
+        tmp: &mut PoolClock,
+    );
+
+    /// The per-algorithm end pushes over this shard's read tables
+    /// (`ct_t`/`cb` are the ending transaction's clocks, `ti` its
+    /// thread).
+    fn end_push(
+        &mut self,
+        store: &mut ClockPool,
+        ti: usize,
+        ct_t: &PoolClock,
+        cb: &PoolClock,
+        cb_epoch: Epoch,
+    );
+}
+
+impl ShardRules for BasicRules<ClockPool> {
+    fn owner_ensure(&mut self, xi: usize, ti: usize) {
+        self.ensure(xi, ti);
+    }
+
+    fn reads_info(
+        &self,
+        core: &Core<ClockPool>,
+        xi: usize,
+        ti: usize,
+        msgs: &mut MsgPool,
+        rows_free: &mut Vec<Vec<(u32, ClockMsg)>>,
+    ) -> ReadsInfo {
+        let row = &self.rx[xi];
+        let mut rows = rows_free.pop().unwrap_or_default();
+        for (u, clk) in row.iter().enumerate() {
+            if u == ti || matches!(clk, PoolClock::Bottom) {
+                continue;
+            }
+            rows.push((u as u32, ClockMsg::encode(&core.store, clk, msgs)));
+        }
+        ReadsInfo::Basic { row_len: row.len() as u32, rows }
+    }
+
+    fn write_actor_reads(
+        core: &mut Core<ClockPool>,
+        eid: EventId,
+        t: ThreadId,
+        x: VarId,
+        active: bool,
+        reads: &ReadsInfo,
+        tmp: &mut PoolClock,
+    ) -> Result<(), Violation> {
+        let ReadsInfo::Basic { row_len, rows } = reads else {
+            panic!("basic rules expect a sparse read row");
+        };
+        let ti = t.index();
+        // Replay the sequential row scan exactly: absent entries are the
+        // `⊥` clocks the owner skipped — their check can never fire
+        // (`C⊲_t ⊑ ⊥` fails) but their join still counts.
+        let mut k = 0usize;
+        for u in 0..(*row_len as usize) {
+            if u == ti {
+                continue;
+            }
+            let msg = if k < rows.len() && rows[k].0 as usize == u {
+                k += 1;
+                &rows[k - 1].1
+            } else {
+                &ClockMsg::Bottom
+            };
+            msg.materialize_into(&mut core.store, tmp);
+            if core.check_and_get_clk(ti, active, active, tmp, false) {
+                return Err(Violation {
+                    event: eid,
+                    thread: t,
+                    kind: ViolationKind::AtWriteVsRead(x),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn absorb_read(
+        &mut self,
+        core: &mut Core<ClockPool>,
+        xi: usize,
+        ti: usize,
+        ct: &ClockMsg,
+        _tmp: &mut PoolClock,
+    ) {
+        // R_{t,x} := C_t — the value lands directly in the table slot
+        // (a copy where the sequential store shares; same components).
+        ct.materialize_into(&mut core.store, &mut self.rx[xi][ti]);
+    }
+
+    fn end_push(
+        &mut self,
+        store: &mut ClockPool,
+        _ti: usize,
+        ct_t: &PoolClock,
+        cb: &PoolClock,
+        _cb_epoch: Epoch,
+    ) {
+        for row in &mut self.rx {
+            for r in row.iter_mut() {
+                if store.leq(cb, r) {
+                    store.join_into(r, ct_t);
+                }
+            }
+        }
+    }
+}
+
+impl ShardRules for ReadOptRules<ClockPool> {
+    fn owner_ensure(&mut self, xi: usize, _ti: usize) {
+        self.ensure(xi);
+    }
+
+    fn reads_info(
+        &self,
+        core: &Core<ClockPool>,
+        xi: usize,
+        ti: usize,
+        msgs: &mut MsgPool,
+        _rows_free: &mut Vec<Vec<(u32, ClockMsg)>>,
+    ) -> ReadsInfo {
+        ReadsInfo::ReadOpt {
+            chrx_t: core.store.component(&self.chrx[xi], ti),
+            rx: ClockMsg::encode(&core.store, &self.rx[xi], msgs),
+        }
+    }
+
+    fn write_actor_reads(
+        core: &mut Core<ClockPool>,
+        eid: EventId,
+        t: ThreadId,
+        x: VarId,
+        active: bool,
+        reads: &ReadsInfo,
+        tmp: &mut PoolClock,
+    ) -> Result<(), Violation> {
+        let ReadsInfo::ReadOpt { chrx_t, rx } = reads else {
+            panic!("readopt rules expect the aggregated read pair");
+        };
+        let ti = t.index();
+        // The epoch check `C⊲_t(t) ≤ chR_x(t)` on the shipped component.
+        if active && core.begin_epochs[ti] <= *chrx_t {
+            return Err(Violation { event: eid, thread: t, kind: ViolationKind::AtWriteVsRead(x) });
+        }
+        rx.materialize_into(&mut core.store, tmp);
+        core.join_ct_clk(ti, active, tmp);
+        Ok(())
+    }
+
+    fn absorb_read(
+        &mut self,
+        core: &mut Core<ClockPool>,
+        xi: usize,
+        ti: usize,
+        ct: &ClockMsg,
+        tmp: &mut PoolClock,
+    ) {
+        ct.materialize_into(&mut core.store, tmp);
+        let Core { store, .. } = core;
+        store.join_into(&mut self.rx[xi], tmp);
+        store.join_into_zeroed(&mut self.chrx[xi], tmp, ti);
+    }
+
+    fn end_push(
+        &mut self,
+        store: &mut ClockPool,
+        ti: usize,
+        ct_t: &PoolClock,
+        _cb: &PoolClock,
+        cb_epoch: Epoch,
+    ) {
+        for (rx, chrx) in self.rx.iter_mut().zip(&mut self.chrx) {
+            if store.contains_epoch(rx, cb_epoch) {
+                store.join_into(rx, ct_t);
+                store.join_into_zeroed(chrx, ct_t, ti);
+            }
+        }
+    }
+}
+
+/// One shard of a sharded checker: a full [`Core`] on a private
+/// [`ClockPool`] plus the owning algorithm's rule tables.
+///
+/// Tables are indexed by *global* ids — entries the shard does not own
+/// stay at their birth values (`⊥`, or `⊥[1/u]` for thread clocks),
+/// which every sweep and push condition provably skips, so no ownership
+/// filtering is needed on the hot paths. The driving runtime calls the
+/// `*_actor`/`*_owner` pairs below in the event's trace position; the
+/// in-crate tests do exactly that single-threaded.
+#[derive(Debug, Default)]
+pub struct ShardChecker<R: ShardRules> {
+    core: Core<ClockPool>,
+    rules: R,
+    msgs: MsgPool,
+    rows_free: Vec<Vec<(u32, ClockMsg)>>,
+    /// Scratch operand clock (materialised message payloads; the ending
+    /// `C_t` during an end barrier).
+    tmp: PoolClock,
+    /// Second scratch: the ending `C⊲_t` during an end barrier.
+    tmp2: PoolClock,
+    /// Pool counters at the last session reset (per-trace reporting).
+    clock_base: PoolStats,
+}
+
+impl<R: ShardRules> ShardChecker<R> {
+    /// A shard with empty state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Session reset for warm reuse across traces, mirroring
+    /// [`crate::state::Engine::reset`]: per-trace state cleared, recycled clock
+    /// buffers kept (capped at [`DEFAULT_RETAINED_CLOCK_BYTES`]) so a
+    /// warm shard performs zero clock heap allocations on the next
+    /// trace.
+    pub fn reset(&mut self) {
+        self.reset_with_limit(DEFAULT_RETAINED_CLOCK_BYTES);
+    }
+
+    /// [`ShardChecker::reset`] with an explicit retained-storage budget.
+    pub fn reset_with_limit(&mut self, max_retained_bytes: usize) {
+        self.core.reset();
+        self.core.store.trim(max_retained_bytes);
+        self.rules.reset();
+        // The store reset invalidated these handles; drop, don't release.
+        self.tmp = PoolClock::default();
+        self.tmp2 = PoolClock::default();
+        self.clock_base = self.core.store.stats();
+    }
+
+    /// The checker's name ([`Rules::NAME`]).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        R::NAME
+    }
+
+    /// Conflict-handler joins this shard performed (actor-side events
+    /// only — the sharded total is the sum over shards).
+    #[must_use]
+    pub fn clock_joins(&self) -> u64 {
+        self.core.clock_joins
+    }
+
+    /// Pool counters since the last session reset (per-trace view).
+    #[must_use]
+    pub fn clocks_delta(&self) -> PoolStats {
+        self.core.store.stats().delta_since(&self.clock_base)
+    }
+
+    /// Cumulative pool counters over the whole session.
+    #[must_use]
+    pub fn clock_stats(&self) -> PoolStats {
+        self.core.store.stats()
+    }
+
+    /// Recycles a message consumed without processing (drain mode).
+    pub fn recycle_msg(&mut self, msg: ShardMsg) {
+        msg.recycle(&mut self.msgs, &mut self.rows_free);
+    }
+
+    /// A shard-local event, through the exact sequential dispatch.
+    ///
+    /// # Errors
+    ///
+    /// The violation the sequential engine would declare at this event.
+    pub fn process_local(&mut self, eid: EventId, event: Event) -> Result<(), Violation> {
+        dispatch(&mut self.core, &mut self.rules, event, eid)
+    }
+
+    /// Every actor-side handler starts like the sequential dispatch.
+    fn begin_actor_event(&mut self, t: ThreadId) {
+        self.core.ensure_thread(t);
+        self.core.seen[t.index()] = true;
+    }
+
+    /// `C_t` after this event's actor-side joins, packaged for the
+    /// owner.
+    fn actor_msg(&mut self, t: ThreadId, violated: bool) -> ShardMsg {
+        let ti = t.index();
+        ShardMsg::Actor {
+            violated,
+            active: self.core.txns.active(t),
+            ct: ClockMsg::encode(&self.core.store, &self.core.ct[ti], &mut self.msgs),
+        }
+    }
+
+    // ---- acquire -------------------------------------------------------
+
+    /// Owner side of a cross-shard acquire: ships the lock state.
+    pub fn acquire_owner(&mut self, t: ThreadId, l: LockId) -> ShardMsg {
+        self.core.ensure_lock(l);
+        let li = l.index();
+        let skip = self.core.last_rel_thr[li] == Some(t);
+        let lrel = if skip {
+            ClockMsg::Bottom
+        } else {
+            ClockMsg::encode(&self.core.store, &self.core.lrel[li], &mut self.msgs)
+        };
+        ShardMsg::Lock { skip, lrel }
+    }
+
+    /// Actor side of a cross-shard acquire.
+    ///
+    /// # Errors
+    ///
+    /// The `AtAcquire` violation the sequential check would declare.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `msg` is not the owner's [`ShardMsg::Lock`].
+    pub fn acquire_actor(
+        &mut self,
+        eid: EventId,
+        t: ThreadId,
+        l: LockId,
+        msg: ShardMsg,
+    ) -> Result<(), Violation> {
+        let ShardMsg::Lock { skip, lrel } = msg else { panic!("acquire expects Lock") };
+        self.begin_actor_event(t);
+        let ti = t.index();
+        let mut result = Ok(());
+        if !skip {
+            let active = self.core.txns.active(t);
+            let Self { core, tmp, .. } = self;
+            lrel.materialize_into(&mut core.store, tmp);
+            if core.check_and_get_clk(ti, active, active, tmp, false) {
+                result =
+                    Err(Violation { event: eid, thread: t, kind: ViolationKind::AtAcquire(l) });
+            }
+        }
+        lrel.recycle(&mut self.msgs);
+        result
+    }
+
+    // ---- release -------------------------------------------------------
+
+    /// Actor side of a cross-shard release: ships `C_t`.
+    pub fn release_actor(&mut self, t: ThreadId) -> ShardMsg {
+        self.begin_actor_event(t);
+        self.actor_msg(t, false)
+    }
+
+    /// Owner side of a cross-shard release: `L_ℓ := C_t`,
+    /// `lastRelThr_ℓ := t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `msg` is not the actor's [`ShardMsg::Actor`].
+    pub fn release_owner(&mut self, t: ThreadId, l: LockId, msg: ShardMsg) {
+        let ShardMsg::Actor { ct, .. } = msg else { panic!("release expects Actor") };
+        self.core.ensure_lock(l);
+        let li = l.index();
+        let Core { store, lrel, last_rel_thr, .. } = &mut self.core;
+        ct.materialize_into(store, &mut lrel[li]);
+        last_rel_thr[li] = Some(t);
+        ct.recycle(&mut self.msgs);
+    }
+
+    // ---- fork ----------------------------------------------------------
+
+    /// Actor side of a cross-shard fork: ships `C_t` and the fork taint.
+    pub fn fork_actor(&mut self, t: ThreadId) -> ShardMsg {
+        self.begin_actor_event(t);
+        self.actor_msg(t, false)
+    }
+
+    /// Owner side of a cross-shard fork: `C_u := C_u ⊔ C_t` plus the GC
+    /// taint (a cross-shard fork target is always a different thread).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `msg` is not the actor's [`ShardMsg::Actor`].
+    pub fn fork_owner(&mut self, u: ThreadId, msg: ShardMsg) {
+        let ShardMsg::Actor { ct, active, .. } = msg else { panic!("fork expects Actor") };
+        self.core.ensure_thread(u);
+        let ui = u.index();
+        let Self { core, tmp, msgs, .. } = self;
+        ct.materialize_into(&mut core.store, tmp);
+        let Core { store, ct: cts, tainted, .. } = core;
+        store.join_into(&mut cts[ui], tmp);
+        if active {
+            tainted[ui] = true;
+        }
+        ct.recycle(msgs);
+    }
+
+    // ---- join ----------------------------------------------------------
+
+    /// Owner side of a cross-shard join: ships the target thread's
+    /// state.
+    pub fn join_owner(&mut self, u: ThreadId) -> ShardMsg {
+        self.core.ensure_thread(u);
+        let ui = u.index();
+        ShardMsg::Thread {
+            seen: self.core.seen[ui],
+            ct: ClockMsg::encode(&self.core.store, &self.core.ct[ui], &mut self.msgs),
+        }
+    }
+
+    /// Actor side of a cross-shard join.
+    ///
+    /// # Errors
+    ///
+    /// The `AtJoin` violation the sequential check would declare.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `msg` is not the owner's [`ShardMsg::Thread`].
+    pub fn join_actor(
+        &mut self,
+        eid: EventId,
+        t: ThreadId,
+        u: ThreadId,
+        msg: ShardMsg,
+    ) -> Result<(), Violation> {
+        let ShardMsg::Thread { seen, ct } = msg else { panic!("join expects Thread") };
+        self.begin_actor_event(t);
+        let ti = t.index();
+        let active = self.core.txns.active(t);
+        let check = active && seen;
+        let Self { core, tmp, .. } = self;
+        ct.materialize_into(&mut core.store, tmp);
+        let result = if core.check_and_get_clk(ti, check, active, tmp, false) {
+            Err(Violation { event: eid, thread: t, kind: ViolationKind::AtJoin(u) })
+        } else {
+            Ok(())
+        };
+        ct.recycle(&mut self.msgs);
+        result
+    }
+
+    // ---- read ----------------------------------------------------------
+
+    /// Owner side of a cross-shard read, phase 1: grows the tables the
+    /// sequential `on_read` would and ships the write-check inputs.
+    pub fn read_owner(&mut self, t: ThreadId, x: VarId) -> ShardMsg {
+        self.core.ensure_var(x);
+        let (ti, xi) = (t.index(), x.index());
+        self.rules.owner_ensure(xi, ti);
+        let skip_w = self.core.last_w_thr[xi] == Some(t);
+        let wx = if skip_w {
+            ClockMsg::Bottom
+        } else {
+            ClockMsg::encode(&self.core.store, &self.core.wx[xi], &mut self.msgs)
+        };
+        ShardMsg::ReadInfo { skip_w, wx }
+    }
+
+    /// Actor side of a cross-shard read: the write-clock check, then the
+    /// reply (always sent, carrying the verdict).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `msg` is not the owner's [`ShardMsg::ReadInfo`].
+    pub fn read_actor(
+        &mut self,
+        eid: EventId,
+        t: ThreadId,
+        x: VarId,
+        msg: ShardMsg,
+    ) -> (Result<(), Violation>, ShardMsg) {
+        let ShardMsg::ReadInfo { skip_w, wx } = msg else { panic!("read expects ReadInfo") };
+        self.begin_actor_event(t);
+        let ti = t.index();
+        let mut result = Ok(());
+        if !skip_w {
+            let active = self.core.txns.active(t);
+            let Self { core, tmp, .. } = self;
+            wx.materialize_into(&mut core.store, tmp);
+            if core.check_and_get_clk(ti, active, active, tmp, false) {
+                result = Err(Violation { event: eid, thread: t, kind: ViolationKind::AtRead(x) });
+            }
+        }
+        wx.recycle(&mut self.msgs);
+        let reply = self.actor_msg(t, result.is_err());
+        (result, reply)
+    }
+
+    /// Owner side of a cross-shard read, phase 2: absorbs the reader's
+    /// clock into the read tables (no-op if the actor violated).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `msg` is not the actor's [`ShardMsg::Actor`] reply.
+    pub fn read_owner_absorb(&mut self, t: ThreadId, x: VarId, msg: ShardMsg) {
+        let ShardMsg::Actor { violated, ct, .. } = msg else { panic!("absorb expects Actor") };
+        if !violated {
+            let (ti, xi) = (t.index(), x.index());
+            let Self { core, rules, tmp, .. } = self;
+            rules.absorb_read(core, xi, ti, &ct, tmp);
+        }
+        ct.recycle(&mut self.msgs);
+    }
+
+    // ---- write ---------------------------------------------------------
+
+    /// Owner side of a cross-shard write, phase 1: grows the tables and
+    /// ships write- and read-check inputs.
+    pub fn write_owner(&mut self, t: ThreadId, x: VarId) -> ShardMsg {
+        self.core.ensure_var(x);
+        let (ti, xi) = (t.index(), x.index());
+        self.rules.owner_ensure(xi, ti);
+        let skip_w = self.core.last_w_thr[xi] == Some(t);
+        let wx = if skip_w {
+            ClockMsg::Bottom
+        } else {
+            ClockMsg::encode(&self.core.store, &self.core.wx[xi], &mut self.msgs)
+        };
+        let Self { core, rules, msgs, rows_free, .. } = self;
+        let reads = rules.reads_info(core, xi, ti, msgs, rows_free);
+        ShardMsg::WriteInfo { skip_w, wx, reads }
+    }
+
+    /// Actor side of a cross-shard write: write-vs-write check, the
+    /// per-algorithm read checks, then the reply (always sent).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `msg` is not the owner's [`ShardMsg::WriteInfo`].
+    pub fn write_actor(
+        &mut self,
+        eid: EventId,
+        t: ThreadId,
+        x: VarId,
+        msg: ShardMsg,
+    ) -> (Result<(), Violation>, ShardMsg) {
+        let ShardMsg::WriteInfo { skip_w, wx, reads } = msg else {
+            panic!("write expects WriteInfo")
+        };
+        self.begin_actor_event(t);
+        let ti = t.index();
+        let active = self.core.txns.active(t);
+        let mut result = Ok(());
+        if !skip_w {
+            let Self { core, tmp, .. } = self;
+            wx.materialize_into(&mut core.store, tmp);
+            if core.check_and_get_clk(ti, active, active, tmp, false) {
+                result = Err(Violation {
+                    event: eid,
+                    thread: t,
+                    kind: ViolationKind::AtWriteVsWrite(x),
+                });
+            }
+        }
+        if result.is_ok() {
+            result = R::write_actor_reads(&mut self.core, eid, t, x, active, &reads, &mut self.tmp);
+        }
+        wx.recycle(&mut self.msgs);
+        recycle_reads(reads, &mut self.msgs, &mut self.rows_free);
+        let reply = self.actor_msg(t, result.is_err());
+        (result, reply)
+    }
+
+    /// Owner side of a cross-shard write, phase 2: `W_x := C_t`,
+    /// `lastWThr_x := t` (no-op if the actor violated).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `msg` is not the actor's [`ShardMsg::Actor`] reply.
+    pub fn write_owner_absorb(&mut self, t: ThreadId, x: VarId, msg: ShardMsg) {
+        let ShardMsg::Actor { violated, ct, .. } = msg else { panic!("absorb expects Actor") };
+        if !violated {
+            let xi = x.index();
+            let Core { store, wx, last_w_thr, .. } = &mut self.core;
+            ct.materialize_into(store, &mut wx[xi]);
+            last_w_thr[xi] = Some(t);
+        }
+        ct.recycle(&mut self.msgs);
+    }
+
+    // ---- outermost end (two-phase barrier) -----------------------------
+
+    /// Actor side of an outermost end, phase 0: consumes the end in the
+    /// nesting tracker and stages the ending transaction's `C_t`/`C⊲_t`
+    /// in the scratch clocks (O(1) shares). Returns the begin-epoch time
+    /// to broadcast.
+    pub fn end_actor_begin(&mut self, t: ThreadId) -> Time {
+        self.begin_actor_event(t);
+        let outermost = self.core.txns.on_end(t);
+        debug_assert!(outermost, "router must classify nested ends as local");
+        let ti = t.index();
+        let Self { core, tmp, tmp2, .. } = self;
+        let Core { store, ct, cbegin, begin_epochs, .. } = core;
+        store.assign(tmp, &ct[ti]);
+        store.assign(tmp2, &cbegin[ti]);
+        begin_epochs[ti]
+    }
+
+    /// Encodes one [`ShardMsg::EndBegin`] broadcast copy from the staged
+    /// snapshot (called once per peer shard).
+    pub fn end_broadcast_msg(&mut self, cb_epoch: Time) -> ShardMsg {
+        let Self { core, tmp, tmp2, msgs, .. } = self;
+        ShardMsg::EndBegin {
+            ct: ClockMsg::encode(&core.store, tmp, msgs),
+            cb: ClockMsg::encode(&core.store, tmp2, msgs),
+            cb_epoch,
+        }
+    }
+
+    /// Passive side of an outermost end: stages the broadcast snapshot
+    /// in the scratch clocks; returns the carried begin-epoch time.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `msg` is not [`ShardMsg::EndBegin`].
+    pub fn end_passive_stage(&mut self, msg: ShardMsg) -> Time {
+        let ShardMsg::EndBegin { ct, cb, cb_epoch } = msg else {
+            panic!("end stage expects EndBegin")
+        };
+        let Self { core, tmp, tmp2, msgs, .. } = self;
+        ct.materialize_into(&mut core.store, tmp);
+        cb.materialize_into(&mut core.store, tmp2);
+        ct.recycle(msgs);
+        cb.recycle(msgs);
+        cb_epoch
+    }
+
+    /// Phase 1 of the end barrier: sweeps this shard's thread clocks and
+    /// votes the smallest violating thread index, if any. Entries of
+    /// threads this shard does not own are inert (see the module docs),
+    /// so the sweep needs no ownership filter and the votes across
+    /// shards are disjoint — their minimum is the sequential sweep's
+    /// first hit.
+    #[must_use]
+    pub fn end_vote(&self, t: ThreadId) -> Option<u32> {
+        let ti = t.index();
+        let core = &self.core;
+        for u in 0..core.ct.len() {
+            if u == ti || !core.store.leq(&self.tmp2, &core.ct[u]) {
+                continue;
+            }
+            let u_id = ThreadId::from_index(u);
+            if core.txns.active(u_id) && core.store.leq(&core.cbegin[u], &self.tmp) {
+                return Some(u as u32);
+            }
+        }
+        None
+    }
+
+    /// Phase 2 of the end barrier (no shard voted a violation): joins
+    /// the ending clock into every reached thread, lock, write and read
+    /// clock of this shard. Passive pushes — the join counter is
+    /// untouched, exactly like the sequential sweep.
+    pub fn end_apply(&mut self, t: ThreadId, cb_epoch: Time) {
+        let ti = t.index();
+        let Self { core, rules, tmp, tmp2, .. } = self;
+        let Core { store, ct, lrel, wx, .. } = core;
+        for (u, c) in ct.iter_mut().enumerate() {
+            if u != ti && store.leq(tmp2, c) {
+                store.join_into(c, tmp);
+            }
+        }
+        for l in lrel.iter_mut() {
+            if store.leq(tmp2, l) {
+                store.join_into(l, tmp);
+            }
+        }
+        for w in wx.iter_mut() {
+            if store.leq(tmp2, w) {
+                store.join_into(w, tmp);
+            }
+        }
+        rules.end_push(store, ti, tmp, tmp2, Epoch::new(ti, cb_epoch));
+        // Drop the staged shares so they don't pin CoW slots.
+        store.release(std::mem::take(tmp));
+        store.release(std::mem::take(tmp2));
+    }
+}
+
+/// Algorithm 1, sharded.
+pub type BasicShard = ShardChecker<BasicRules<ClockPool>>;
+/// Algorithm 2, sharded.
+pub type ReadOptShard = ShardChecker<ReadOptRules<ClockPool>>;
+
+/// Shards and their messages move across worker threads.
+#[allow(dead_code)]
+const fn assert_send<T: Send>() {}
+const _: () = assert_send::<ShardMsg>();
+const _: () = assert_send::<BasicShard>();
+const _: () = assert_send::<ReadOptShard>();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::Engine;
+    use crate::{run_checker, Checker};
+    use tracelog::paper_traces::{rho1, rho2, rho3, rho4};
+    use tracelog::{Trace, TraceBuilder};
+
+    /// Drives the full sharding protocol single-threaded, in trace
+    /// order — the message choreography is exactly what the threaded
+    /// runtime performs, minus the channels.
+    fn drive<R: ShardRules>(
+        shards: &mut [ShardChecker<R>],
+        own: &Ownership,
+        trace: &Trace,
+    ) -> (Option<Violation>, u64, u64) {
+        let mut ends = EndTracker::new();
+        let mut violation = None;
+        let mut fed = 0u64;
+        'trace: for (seq, &event) in trace.events().iter().enumerate() {
+            let eid = EventId(seq as u64);
+            let t = event.thread;
+            let outermost = ends.observe(event);
+            fed += 1;
+            let result = match own.route(event, outermost) {
+                Route::Local(s) => shards[s].process_local(eid, event),
+                Route::Cross { actor, owner } => match event.op {
+                    Op::Acquire(l) => {
+                        let msg = shards[owner].acquire_owner(t, l);
+                        shards[actor].acquire_actor(eid, t, l, msg)
+                    }
+                    Op::Release(l) => {
+                        let msg = shards[actor].release_actor(t);
+                        shards[owner].release_owner(t, l, msg);
+                        Ok(())
+                    }
+                    Op::Fork(u) => {
+                        let msg = shards[actor].fork_actor(t);
+                        shards[owner].fork_owner(u, msg);
+                        Ok(())
+                    }
+                    Op::Join(u) => {
+                        let msg = shards[owner].join_owner(u);
+                        shards[actor].join_actor(eid, t, u, msg)
+                    }
+                    Op::Read(x) => {
+                        let info = shards[owner].read_owner(t, x);
+                        let (r, reply) = shards[actor].read_actor(eid, t, x, info);
+                        shards[owner].read_owner_absorb(t, x, reply);
+                        r
+                    }
+                    Op::Write(x) => {
+                        let info = shards[owner].write_owner(t, x);
+                        let (r, reply) = shards[actor].write_actor(eid, t, x, info);
+                        shards[owner].write_owner_absorb(t, x, reply);
+                        r
+                    }
+                    Op::Begin | Op::End => unreachable!("begin/nested end are shard-local"),
+                },
+                Route::Global { actor } => {
+                    let cbe = shards[actor].end_actor_begin(t);
+                    let peers = shards.len() - 1;
+                    let msgs: Vec<ShardMsg> =
+                        (0..peers).map(|_| shards[actor].end_broadcast_msg(cbe)).collect();
+                    let mut msgs = msgs.into_iter();
+                    for (s, shard) in shards.iter_mut().enumerate() {
+                        if s != actor {
+                            let got = shard.end_passive_stage(msgs.next().unwrap());
+                            assert_eq!(got, cbe);
+                        }
+                    }
+                    let vote = shards.iter().filter_map(|s| s.end_vote(t)).min();
+                    match vote {
+                        Some(u) => Err(Violation {
+                            event: eid,
+                            thread: ThreadId::from_index(u as usize),
+                            kind: ViolationKind::AtEnd { ending: t },
+                        }),
+                        None => {
+                            for s in shards.iter_mut() {
+                                s.end_apply(t, cbe);
+                            }
+                            Ok(())
+                        }
+                    }
+                }
+            };
+            if let Err(v) = result {
+                violation = Some(v);
+                break 'trace;
+            }
+        }
+        let joins = shards.iter().map(ShardChecker::clock_joins).sum();
+        (violation, joins, fed)
+    }
+
+    /// Runs `trace` through the sequential engine and through `n`
+    /// shards under `own`, asserting bit-identical verdict, violation
+    /// attribution, event count and join counter.
+    fn assert_matches_engine<R: ShardRules>(trace: &Trace, own: &Ownership) {
+        let mut engine = Engine::<R>::new();
+        let outcome = run_checker(&mut engine, trace);
+        let mut shards: Vec<ShardChecker<R>> =
+            (0..own.shards()).map(|_| ShardChecker::new()).collect();
+        let (violation, joins, fed) = drive(&mut shards, own, trace);
+        assert_eq!(
+            outcome.violation().cloned(),
+            violation,
+            "{} verdict over {} shards",
+            R::NAME,
+            own.shards()
+        );
+        assert_eq!(joins, engine.clock_joins(), "{} clock_joins", R::NAME);
+        assert_eq!(fed, engine.events_processed(), "{} events", R::NAME);
+    }
+
+    fn assert_all_partitions(trace: &Trace) {
+        for shards in 1..=4 {
+            let own = Ownership::round_robin(shards);
+            assert_matches_engine::<BasicRules<ClockPool>>(trace, &own);
+            assert_matches_engine::<ReadOptRules<ClockPool>>(trace, &own);
+        }
+        // A maximally skewed split: all threads on shard 0, all
+        // resources on shard 1 — every resource event is cross-shard.
+        let mut own = Ownership::round_robin(2);
+        for i in 0..64 {
+            own.pin_thread(i, 0);
+            own.pin_lock(i, 1);
+            own.pin_var(i, 1);
+        }
+        assert_matches_engine::<BasicRules<ClockPool>>(trace, &own);
+        assert_matches_engine::<ReadOptRules<ClockPool>>(trace, &own);
+    }
+
+    #[test]
+    fn paper_traces_bit_identical_across_shard_counts() {
+        for trace in [rho1(), rho2(), rho3(), rho4()] {
+            assert_all_partitions(&trace);
+        }
+    }
+
+    #[test]
+    fn lock_fork_join_traffic_bit_identical() {
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let l = tb.lock("m");
+        let x = tb.var("x");
+        tb.begin(t1).acquire(t1, l).read(t1, x).release(t1, l);
+        tb.begin(t2).acquire(t2, l).write(t2, x).release(t2, l).end(t2);
+        tb.acquire(t1, l).write(t1, x).release(t1, l).end(t1);
+        assert_all_partitions(&tb.finish());
+
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let x = tb.var("x");
+        tb.begin(t1).fork(t1, t2);
+        tb.begin(t2).write(t2, x).end(t2);
+        tb.join(t1, t2).end(t1);
+        assert_all_partitions(&tb.finish());
+    }
+
+    #[test]
+    fn serializable_mixed_workload_bit_identical() {
+        let mut tb = TraceBuilder::new();
+        let threads: Vec<_> = (0..4).map(|i| tb.thread(&format!("t{i}"))).collect();
+        let locks: Vec<_> = (0..2).map(|i| tb.lock(&format!("m{i}"))).collect();
+        let vars: Vec<_> = (0..6).map(|i| tb.var(&format!("x{i}"))).collect();
+        for round in 0..8 {
+            for (i, &t) in threads.iter().enumerate() {
+                let l = locks[(round + i) % locks.len()];
+                let x = vars[(round + i) % vars.len()];
+                tb.begin(t).acquire(t, l).read(t, x).write(t, x).release(t, l).end(t);
+            }
+        }
+        assert_all_partitions(&tb.finish());
+    }
+
+    #[test]
+    fn nested_and_unmatched_ends_stay_local() {
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let (x, y) = (tb.var("x"), tb.var("y"));
+        tb.begin(t1);
+        tb.begin(t1); // nested
+        tb.begin(t2);
+        tb.write(t1, x);
+        tb.read(t2, x);
+        tb.write(t2, y);
+        tb.end(t1); // nested: must not open a barrier
+        tb.read(t1, y);
+        tb.end(t1);
+        tb.end(t2);
+        assert_all_partitions(&tb.finish());
+
+        let mut tb = TraceBuilder::new();
+        let t1 = tb.thread("t1");
+        let x = tb.var("x");
+        tb.end(t1); // unmatched
+        tb.begin(t1).write(t1, x).end(t1);
+        assert_all_partitions(&tb.finish());
+    }
+
+    #[test]
+    fn end_vote_minimum_matches_sequential_first_hit() {
+        // Three readers in open transactions, each on a different shard
+        // under round-robin(3); the writer's end must be attributed to
+        // the smallest violating thread index, whichever shard owns it.
+        let mut tb = TraceBuilder::new();
+        let w = tb.thread("w");
+        let readers: Vec<_> = (0..3).map(|i| tb.thread(&format!("r{i}"))).collect();
+        let x = tb.var("x");
+        for &r in &readers {
+            tb.begin(r).read(r, x);
+        }
+        tb.begin(w).write(w, x).end(w);
+        assert_all_partitions(&tb.finish());
+    }
+
+    #[test]
+    fn warm_session_reuse_stays_bit_identical_and_alloc_free() {
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let l = tb.lock("m");
+        let x = tb.var("x");
+        for _ in 0..4 {
+            tb.begin(t1).acquire(t1, l).read(t1, x).write(t1, x).release(t1, l).end(t1);
+            tb.begin(t2).acquire(t2, l).read(t2, x).write(t2, x).release(t2, l).end(t2);
+        }
+        let trace = tb.finish();
+        let own = Ownership::round_robin(2);
+        let mut engine = Engine::<BasicRules<ClockPool>>::new();
+        let outcome = run_checker(&mut engine, &trace);
+        let mut shards: Vec<BasicShard> = (0..2).map(|_| ShardChecker::new()).collect();
+        for round in 0..4 {
+            let (violation, joins, _) = drive(&mut shards, &own, &trace);
+            assert_eq!(outcome.violation().cloned(), violation, "round {round}");
+            assert_eq!(joins, engine.clock_joins(), "round {round}");
+            if round >= 1 {
+                for (s, shard) in shards.iter().enumerate() {
+                    assert_eq!(
+                        shard.clocks_delta().heap_allocs(),
+                        0,
+                        "shard {s} allocated in warm round {round}"
+                    );
+                }
+            }
+            for shard in &mut shards {
+                shard.reset();
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Per-trace sharding bench: one trace, one checker, 1/2/4 cooperating
+//! shards.
+//!
+//! Two questions per workload shape. First, what does splitting one
+//! trace's event stream across shards of the *same* checker buy over
+//! the sequential engine — this is the paper's missing axis: `compare`
+//! parallelises across checkers and chunk-parallel ingest parallelises
+//! decode, but the checker itself was the serial floor. Second, how
+//! does the win scale with the cross-shard edge rate — convoy (every
+//! transaction touches the one global lock → near-total cross traffic)
+//! is the adversarial floor, fanout (disjoint ownership after the
+//! initial forks) the ceiling, nesting in between. The
+//! `CRITERION_SHIM_JSON` dump of this bench is the source of
+//! `BENCH_shard.json`, the checked-in last-known-good that the
+//! scheduled CI job diffs fresh runs against with `rapid benchdiff`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+use aerodrome::readopt::ReadOptChecker;
+use aerodrome::shard::Ownership;
+use aerodrome::{run_checker, Checker};
+use aerodrome_suite::pipeline::shard::{check_sharded, ShardAlgo, ShardConfig};
+use tracelog::Trace;
+use workloads::{shapes, GenConfig};
+
+const EVENTS: usize = 150_000;
+
+fn bench_shard(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shard");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    g.throughput(Throughput::Elements(EVENTS as u64));
+
+    for shape in shapes::SHAPE_NAMES {
+        let cfg = GenConfig { events: EVENTS, threads: 8, ..GenConfig::default() };
+        let trace: Trace = shapes::collect(shape, &cfg).unwrap();
+        let events = trace.len() as u64;
+
+        // The sequential floor: the plain ReadOpt checker, in-memory
+        // trace, no pipeline — exactly what sharding must beat.
+        g.bench_function(BenchmarkId::new(format!("{shape}/sequential"), 1), |b| {
+            b.iter(|| {
+                let mut checker = ReadOptChecker::new();
+                let outcome = run_checker(&mut checker, &trace);
+                assert_eq!(checker.report().events, events, "{outcome:?}");
+            });
+        });
+
+        for shards in [1usize, 2, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{shape}/sharded"), shards),
+                &shards,
+                |b, &shards| {
+                    let own = Ownership::round_robin(shards);
+                    let config = ShardConfig::default();
+                    b.iter(|| {
+                        let report = check_sharded(
+                            &mut trace.stream(),
+                            ShardAlgo::ReadOpt,
+                            own.clone(),
+                            &config,
+                        )
+                        .unwrap();
+                        assert_eq!(report.events, events);
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(shard_benches, bench_shard);
+criterion_main!(shard_benches);

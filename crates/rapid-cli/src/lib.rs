@@ -27,9 +27,14 @@ use std::time::{Duration, Instant};
 use aerodrome::basic::BasicChecker;
 use aerodrome::optimized::OptimizedChecker;
 use aerodrome::readopt::ReadOptChecker;
+use aerodrome::shard::Ownership;
 use aerodrome::{Checker, Outcome};
+use aerodrome_suite::pipeline::chunkpar::ChunkParSource;
 use aerodrome_suite::pipeline::multi::{self, MultiConfig};
 use aerodrome_suite::pipeline::par::{self, CheckerRun, ParConfig, SendChecker};
+use aerodrome_suite::pipeline::shard::{
+    check_sharded, check_sharded_chunked, ShardAlgo, ShardConfig, ShardReport,
+};
 use aerodrome_suite::pipeline::Pipeline;
 use tracelog::binfmt::{self, AnySource, DEFAULT_CHUNK_EVENTS};
 use tracelog::stream::{copy_events, EventBatch, EventSource, SourceNames, DEFAULT_BATCH_EVENTS};
@@ -48,7 +53,8 @@ pub enum Command {
         batch: Option<usize>,
     },
     /// `rapid aerodrome <trace.std> [--algorithm basic|readopt|optimized]
-    /// [--batch N] [--no-validate]` (alias: `rapid check`).
+    /// [--shards N] [--ingest-jobs N] [--batch N] [--no-validate]`
+    /// (alias: `rapid check`).
     Aerodrome {
         /// Path of the trace log.
         path: String,
@@ -58,6 +64,14 @@ pub enum Command {
         validate: bool,
         /// Events per ingest batch; `None` uses the default (~4096).
         batch: Option<usize>,
+        /// Cooperating shards of the one checker (default 1: the plain
+        /// sequential engine). `N ≥ 2` splits the trace's threads,
+        /// locks and variables round-robin across N shard threads —
+        /// Algorithms 1 and 2 only.
+        shards: usize,
+        /// Reader threads decoding chunks of a binary trace (default 1:
+        /// the caller thread ingests alone).
+        ingest_jobs: usize,
     },
     /// `rapid velodrome <trace.std> [--no-gc] [--pearce-kelly]
     /// [--batch N] [--no-validate]`.
@@ -87,6 +101,11 @@ pub enum Command {
         batch: Option<usize>,
         /// Run the streaming well-formedness pre-pass (default true).
         validate: bool,
+        /// With `N ≥ 2`: the sharded differential mode — Algorithms 1
+        /// and 2 each run single-shard AND split across N shards, and
+        /// the results are diffed bit for bit (exit non-zero on any
+        /// divergence).
+        shards: usize,
     },
     /// `rapid validate <trace.std> [--batch N]` — the streaming
     /// well-formedness check alone (exit 1 on the first ill-formed
@@ -403,11 +422,12 @@ rapid — atomicity checking on trace logs (AeroDrome reproduction)
 USAGE:
     rapid metainfo  <trace.std> [--batch N]
     rapid aerodrome <trace.std> [--algorithm basic|readopt|optimized]
+                    [--shards N] [--ingest-jobs N]
                     [--batch N] [--no-validate]   (alias: rapid check)
     rapid velodrome <trace.std> [--no-gc] [--pearce-kelly]
                     [--batch N] [--no-validate]
-    rapid compare   <trace.std> [--jobs N] [--ingest-jobs N] [--batch N]
-                    [--no-validate]
+    rapid compare   <trace.std> [--jobs N] [--ingest-jobs N] [--shards N]
+                    [--batch N] [--no-validate]
     rapid batch     <dir|manifest|trace.std> [--jobs N] [--batch N]
                     [--checker all|basic|readopt|optimized|velodrome]
                     [--seal-verify] [--no-validate]
@@ -445,9 +465,22 @@ with interned ids, mmap-ingested zero-copy. EVERY ingesting subcommand
 accepts either encoding, sniffed by file magic (the extension is only a
 convention); `rapid convert` transcodes between them both ways, and the
 `.std` -> `.rbt` -> `.std` round-trip is byte-exact. `.expect` seal
-sidecars record identical text for both encodings of a trace. `compare
---ingest-jobs N` (binary input only) additionally decodes the single
-file with N chunk-parallel readers feeding the worker fan-out.
+sidecars record identical text for both encodings of a trace.
+`--ingest-jobs N` (N ≥ 2, binary input only; on `compare` and
+`aerodrome`/`check`) additionally decodes the single file with N
+chunk-parallel readers feeding the analysis.
+
+`check --shards N` (N ≥ 2) splits ONE trace across N cooperating shards
+of the same checker: threads, locks and variables are partitioned
+round-robin, shard-local events (the vast majority) are checked with no
+synchronisation, and the rare cross-shard happens-before edges travel
+as clock messages — verdicts, first-violation attribution and the
+events/joins counters are bit-identical to the sequential engine at
+every shard count. Algorithms 1 and 2 only (Algorithm 3's lazy epochs
+resist partitioning; see docs/PERF.md). `compare --shards N` is the
+matching differential mode: both shardable algorithms run single-shard
+AND N-shard and the results are diffed bit for bit (non-zero exit on
+divergence).
 `benchdiff` guards the perf trajectory: it diffs two rapid-bench-v1
 JSON reports metric by metric (higher-better *_per_sec, lower-better
 wall_s/*_ms) and exits non-zero past `--threshold` percent regression.
@@ -609,6 +642,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             let mut algorithm = Algorithm::default();
             let mut validate = true;
             let mut batch = None;
+            let mut shards = 1usize;
+            let mut ingest_jobs = 1usize;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -622,13 +657,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                             }
                         };
                     }
+                    "--shards" => shards = positive_flag(args, &mut i, "--shards")?,
+                    "--ingest-jobs" => ingest_jobs = positive_flag(args, &mut i, "--ingest-jobs")?,
                     "--batch" => batch = Some(batch_flag(args, &mut i)?),
                     "--no-validate" => validate = false,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
                 i += 1;
             }
-            Ok(Command::Aerodrome { path, algorithm, validate, batch })
+            Ok(Command::Aerodrome { path, algorithm, validate, batch, shards, ingest_jobs })
         }
         "velodrome" => {
             let path = args
@@ -660,18 +697,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             let mut ingest_jobs = 1usize;
             let mut batch = None;
             let mut validate = true;
+            let mut shards = 1usize;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
                     "--jobs" => jobs = jobs_flag(args, &mut i)?,
                     "--ingest-jobs" => ingest_jobs = positive_flag(args, &mut i, "--ingest-jobs")?,
+                    "--shards" => shards = positive_flag(args, &mut i, "--shards")?,
                     "--batch" => batch = Some(batch_flag(args, &mut i)?),
                     "--no-validate" => validate = false,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
                 i += 1;
             }
-            Ok(Command::Compare { path, jobs, ingest_jobs, batch, validate })
+            Ok(Command::Compare { path, jobs, ingest_jobs, batch, validate, shards })
         }
         "convert" => {
             let input = args
@@ -1030,6 +1069,20 @@ pub fn load_trace(path: &str) -> Result<Trace, String> {
     tracelog::stream::collect_trace(&mut source).map_err(|e| format!("{path}: {e}"))
 }
 
+/// The guidance printed when chunk-parallel ingest is asked of a text
+/// log: only the binary `.rbt` container carries the chunk index the
+/// readers claim work from, so point at the exact transcode command
+/// (output path derived from the input). `--ingest-jobs 1` needs no
+/// chunk index and is accepted on either encoding.
+fn ingest_jobs_guidance(path: &str, ingest_jobs: usize) -> String {
+    let derived = Path::new(path).with_extension("rbt");
+    format!(
+        "{path}: --ingest-jobs {ingest_jobs} needs the binary .rbt encoding \
+         (transcode first: `rapid convert {path} {}`)",
+        derived.display()
+    )
+}
+
 /// Formats a pipeline error with the offending position in the source.
 /// The pipelines batch ahead of validation, so the source's *current*
 /// position may be past the ill-formed event; `position_of` recovers the
@@ -1223,6 +1276,187 @@ pub fn verify_seal(path: &str, jobs: usize) -> Result<(), String> {
     }
 }
 
+/// Maps the CLI algorithm selector onto the shardable subset, with the
+/// explanation for why Algorithm 3 is excluded.
+fn shard_algo(algorithm: Algorithm, shards: usize) -> Result<ShardAlgo, String> {
+    match algorithm {
+        Algorithm::Basic => Ok(ShardAlgo::Basic),
+        Algorithm::ReadOpt => Ok(ShardAlgo::ReadOpt),
+        Algorithm::Optimized => Err(format!(
+            "--shards {shards} supports only --algorithm basic|readopt: Algorithm 3's lazy \
+             epochs and stale-set bookkeeping couple every thread's state and resist \
+             partitioning (see docs/PERF.md)"
+        )),
+    }
+}
+
+/// One sharded check of `path` (shards ≥ 2), optionally with
+/// chunk-parallel binary ingest.
+fn check_one_sharded(
+    path: &str,
+    algo: ShardAlgo,
+    shards: usize,
+    ingest_jobs: usize,
+    config: &ShardConfig,
+) -> Result<(ShardReport, String), String> {
+    let mut source = open_source(path)?;
+    let own = Ownership::round_robin(shards);
+    let report = if ingest_jobs > 1 {
+        let AnySource::Bin(bin) = &source else {
+            return Err(ingest_jobs_guidance(path, ingest_jobs));
+        };
+        let trace = Arc::clone(bin.trace());
+        check_sharded_chunked(&trace, algo, own, config, ingest_jobs)
+    } else {
+        check_sharded(&mut source, algo, own, config)
+    }
+    .map_err(|e| source_err(path, &source, &e))?;
+    let verdict = match report.run.outcome.violation() {
+        None => "✓".to_owned(),
+        Some(v) => format!("✗ {}", v.display_with_names(&source.names())),
+    };
+    Ok((report, verdict))
+}
+
+/// `rapid check --shards N` (N ≥ 2): the trace split across N
+/// cooperating shards of one checker.
+fn run_aerodrome_sharded(
+    path: &str,
+    algorithm: Algorithm,
+    validate: bool,
+    batch: Option<usize>,
+    shards: usize,
+    ingest_jobs: usize,
+) -> Result<String, String> {
+    let algo = shard_algo(algorithm, shards)?;
+    let mut config = ShardConfig::default().validate(validate);
+    if let Some(b) = batch {
+        config = config.batch_events(b);
+    }
+    let start = Instant::now();
+    let (report, verdict) = check_one_sharded(path, algo, shards, ingest_jobs, &config)?;
+    let wall = start.elapsed();
+    let name = match algo {
+        ShardAlgo::Basic => "aerodrome (Algorithm 1)",
+        ShardAlgo::ReadOpt => "aerodrome (Algorithm 2)",
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "analysis: {name} × {shards} shards");
+    let _ = writeln!(out, "events processed: {}", report.run.report.events);
+    let _ = match report.run.outcome.violation() {
+        None => writeln!(out, "verdict: ✓ no conflict-serializability violation detected"),
+        Some(_) => writeln!(out, "verdict: {verdict}"),
+    };
+    if let Some(s) = &report.summary {
+        if !s.is_closed() && !report.run.outcome.is_violation() {
+            let _ = writeln!(
+                out,
+                "note: trace is a prefix ({} open transaction(s), {} held lock(s))",
+                s.open_transactions.len(),
+                s.held_locks.len()
+            );
+        }
+    }
+    let cr = &report.run.report;
+    let _ = writeln!(
+        out,
+        "clocks: joins={} heap_allocs={} (buffers={} grows={}) cow_copies={} shares={}",
+        cr.clock_joins,
+        cr.clocks.heap_allocs(),
+        cr.clocks.buffers_allocated,
+        cr.clocks.buffer_grows,
+        cr.clocks.cow_copies,
+        cr.clocks.shares
+    );
+    let s = &report.stats;
+    let _ = writeln!(
+        out,
+        "sharding: shards={} local={} cross={} global-ends={} step-batches={}  wall: {:.3}s",
+        s.shards,
+        s.local_events,
+        s.cross_events,
+        s.global_ends,
+        s.step_batches,
+        wall.as_secs_f64()
+    );
+    if s.ingest_readers > 0 {
+        let _ = writeln!(out, "chunk-parallel ingest: {} readers", s.ingest_readers);
+    }
+    Ok(out)
+}
+
+/// `rapid compare --shards N` (N ≥ 2): the sharded differential mode.
+/// Each shardable algorithm runs single-shard AND split across N
+/// shards; verdict, first-violation attribution, event count and join
+/// counter must match bit for bit, else the run fails.
+fn run_compare_sharded(
+    path: &str,
+    ingest_jobs: usize,
+    batch: Option<usize>,
+    validate: bool,
+    shards: usize,
+) -> Result<String, String> {
+    let mut config = ShardConfig::default().validate(validate);
+    if let Some(b) = batch {
+        config = config.batch_events(b);
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "sharded differential: {path} (1 vs {shards} shards)");
+    let _ = writeln!(
+        out,
+        "{:<18} {:>7} {:>10} {:>12} {:>12} {:>9} {:>9}  bit-identical",
+        "checker", "verdict", "events", "clock joins", "cross evts", "wall 1", "wall N"
+    );
+    let mut mismatches = 0usize;
+    for algo in [ShardAlgo::Basic, ShardAlgo::ReadOpt] {
+        let start = Instant::now();
+        let (single, verdict_1) = check_one_sharded(path, algo, 1, ingest_jobs, &config)?;
+        let wall_1 = start.elapsed();
+        let start = Instant::now();
+        let (sharded, verdict_n) = check_one_sharded(path, algo, shards, ingest_jobs, &config)?;
+        let wall_n = start.elapsed();
+        let identical = single.run.outcome == sharded.run.outcome
+            && single.run.report.events == sharded.run.report.events
+            && single.run.report.clock_joins == sharded.run.report.clock_joins;
+        let _ = writeln!(
+            out,
+            "{:<18} {:>7} {:>10} {:>12} {:>12} {:>8.3}s {:>8.3}s  {}",
+            single.run.name,
+            if single.run.outcome.is_violation() { "✗" } else { "✓" },
+            single.run.report.events,
+            single.run.report.clock_joins,
+            sharded.stats.cross_events,
+            wall_1.as_secs_f64(),
+            wall_n.as_secs_f64(),
+            if identical { "✓" } else { "✗ DIVERGED" }
+        );
+        if !identical {
+            mismatches += 1;
+            let _ = writeln!(out, "  single-shard: {verdict_1}");
+            let _ = writeln!(
+                out,
+                "  {}-shard: {verdict_n} (events {} vs {}, joins {} vs {})",
+                shards,
+                single.run.report.events,
+                sharded.run.report.events,
+                single.run.report.clock_joins,
+                sharded.run.report.clock_joins
+            );
+        }
+    }
+    let _ = match mismatches {
+        0 => {
+            writeln!(out, "differential: ✓ sharded results bit-identical to the sequential engine")
+        }
+        n => writeln!(out, "differential: ✗ {n} algorithm(s) diverged"),
+    };
+    if mismatches > 0 {
+        Err(out)
+    } else {
+        Ok(out)
+    }
+}
+
 /// Executes a parsed command, returning the text to print.
 pub fn run(command: Command) -> Result<String, String> {
     match command {
@@ -1235,8 +1469,34 @@ pub fn run(command: Command) -> Result<String, String> {
                     .map_err(|e| source_err(&path, &source, &e))?;
             Ok(info.to_string())
         }
-        Command::Aerodrome { path, algorithm, validate, batch } => {
-            let mut pipeline = Pipeline::new(open_source(&path)?)
+        Command::Aerodrome { path, algorithm, validate, batch, shards, ingest_jobs } => {
+            if shards > 1 {
+                return run_aerodrome_sharded(
+                    &path,
+                    algorithm,
+                    validate,
+                    batch,
+                    shards,
+                    ingest_jobs,
+                );
+            }
+            let source = open_source(&path)?;
+            // Chunk-parallel single-file decode (binary input only),
+            // feeding the one sequential checker.
+            let mut readers_used = 0usize;
+            let source: Box<dyn EventSource> = if ingest_jobs > 1 {
+                let AnySource::Bin(bin) = &source else {
+                    return Err(ingest_jobs_guidance(&path, ingest_jobs));
+                };
+                let trace = Arc::clone(bin.trace());
+                let chunkpar =
+                    ChunkParSource::new(trace, ingest_jobs, batch.unwrap_or(DEFAULT_BATCH_EVENTS));
+                readers_used = chunkpar.readers();
+                Box::new(chunkpar)
+            } else {
+                Box::new(source)
+            };
+            let mut pipeline = Pipeline::new(source)
                 .validate(validate)
                 .batch_events(batch.unwrap_or(DEFAULT_BATCH_EVENTS));
             let (name, mut checker): (_, Box<dyn Checker>) = match algorithm {
@@ -1267,6 +1527,9 @@ pub fn run(command: Command) -> Result<String, String> {
                 cr.clocks.cow_copies,
                 cr.clocks.shares
             );
+            if readers_used > 0 {
+                let _ = writeln!(out, "chunk-parallel ingest: {readers_used} readers");
+            }
             Ok(out)
         }
         Command::Velodrome { path, config, validate, batch } => {
@@ -1294,7 +1557,10 @@ pub fn run(command: Command) -> Result<String, String> {
             }
             Ok(out)
         }
-        Command::Compare { path, jobs, ingest_jobs, batch, validate } => {
+        Command::Compare { path, jobs, ingest_jobs, batch, validate, shards } => {
+            if shards > 1 {
+                return run_compare_sharded(&path, ingest_jobs, batch, validate, shards);
+            }
             let mut source = open_source(&path)?;
             let mut config = ParConfig::default().jobs(jobs).validate(validate);
             if let Some(b) = batch {
@@ -1305,10 +1571,7 @@ pub fn run(command: Command) -> Result<String, String> {
                 // Chunk-parallel single-file ingest needs the chunk
                 // index of the binary container.
                 let AnySource::Bin(bin) = &source else {
-                    return Err(format!(
-                        "{path}: --ingest-jobs {ingest_jobs} needs the binary .rbt encoding \
-                         (transcode with `rapid convert {path} <trace>.rbt` first)"
-                    ));
+                    return Err(ingest_jobs_guidance(&path, ingest_jobs));
                 };
                 let trace = Arc::clone(bin.trace());
                 par::check_all_chunked(&trace, par::standard_checkers(), &config, ingest_jobs)
@@ -2018,7 +2281,9 @@ mod tests {
                 path: "t.std".into(),
                 algorithm: Algorithm::Basic,
                 validate: true,
-                batch: None
+                batch: None,
+                shards: 1,
+                ingest_jobs: 1
             }
         );
         assert!(parse_args(&args(&["aerodrome", "t.std", "--algorithm", "bogus"])).is_err());
@@ -2029,7 +2294,9 @@ mod tests {
                 path: "t.std".into(),
                 algorithm: Algorithm::Optimized,
                 validate: true,
-                batch: None
+                batch: None,
+                shards: 1,
+                ingest_jobs: 1
             }
         );
         // `check` is an alias, and `--no-validate` opts out of the
@@ -2041,7 +2308,9 @@ mod tests {
                 path: "t.std".into(),
                 algorithm: Algorithm::Optimized,
                 validate: false,
-                batch: None
+                batch: None,
+                shards: 1,
+                ingest_jobs: 1
             }
         );
     }
@@ -2149,11 +2418,51 @@ mod tests {
                 jobs: 0,
                 ingest_jobs: 4,
                 batch: None,
-                validate: true
+                validate: true,
+                shards: 1
             }
         );
         let err = parse_args(&args(&["compare", "t.rbt", "--ingest-jobs", "0"])).unwrap_err();
         assert!(err.0.contains("--ingest-jobs must be positive"), "{err}");
+
+        // The sharding flags parse on check/aerodrome and compare, and
+        // `--shards 0` is a contradiction everywhere.
+        assert_eq!(
+            parse_args(&args(&[
+                "check",
+                "t.rbt",
+                "--algorithm",
+                "basic",
+                "--shards",
+                "4",
+                "--ingest-jobs",
+                "2"
+            ]))
+            .unwrap(),
+            Command::Aerodrome {
+                path: "t.rbt".into(),
+                algorithm: Algorithm::Basic,
+                validate: true,
+                batch: None,
+                shards: 4,
+                ingest_jobs: 2
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["compare", "t.rbt", "--shards", "2"])).unwrap(),
+            Command::Compare {
+                path: "t.rbt".into(),
+                jobs: 0,
+                ingest_jobs: 1,
+                batch: None,
+                validate: true,
+                shards: 2
+            }
+        );
+        for cmd in ["check", "compare"] {
+            let err = parse_args(&args(&[cmd, "t.rbt", "--shards", "0"])).unwrap_err();
+            assert!(err.0.contains("--shards must be positive"), "{cmd}: {err}");
+        }
 
         let cmd = parse_args(&args(&["generate", "o.rbt", "--out-format", "rbt"])).unwrap();
         match cmd {
@@ -2208,6 +2517,8 @@ mod tests {
                 algorithm,
                 validate: true,
                 batch: None,
+                shards: 1,
+                ingest_jobs: 1,
             })
             .unwrap();
             assert!(report.contains('✗'), "expected violation: {report}");
@@ -2389,6 +2700,8 @@ mod twophase_causal_tests {
             algorithm: Algorithm::Optimized,
             validate: true,
             batch: None,
+            shards: 1,
+            ingest_jobs: 1,
         })
         .unwrap_err();
         assert!(err.contains("not well-formed"), "{err}");
@@ -2402,6 +2715,8 @@ mod twophase_causal_tests {
             algorithm: Algorithm::Optimized,
             validate: false,
             batch: None,
+            shards: 1,
+            ingest_jobs: 1,
         })
         .unwrap();
         assert!(out.contains("analysis:"), "{out}");
@@ -2431,6 +2746,8 @@ mod twophase_causal_tests {
                 algorithm: Algorithm::Optimized,
                 validate: true,
                 batch: None,
+                shards: 1,
+                ingest_jobs: 1,
             })
             .unwrap();
             assert!(report.contains('✓'), "{name} shapes are serializable: {report}");
@@ -2669,6 +2986,8 @@ mod binfmt_cli_tests {
                 algorithm: Algorithm::Optimized,
                 validate: true,
                 batch: None,
+                shards: 1,
+                ingest_jobs: 1,
             })
             .unwrap();
             assert!(out.contains('✗'), "{path}: {out}");
@@ -2690,6 +3009,7 @@ mod binfmt_cli_tests {
             ingest_jobs: 1,
             batch: Some(257),
             validate: true,
+            shards: 1,
         })
         .unwrap();
         for ingest_jobs in [1usize, 2, 4] {
@@ -2699,6 +3019,7 @@ mod binfmt_cli_tests {
                 ingest_jobs,
                 batch: Some(257),
                 validate: true,
+                shards: 1,
             })
             .unwrap();
             assert_eq!(
@@ -2722,9 +3043,143 @@ mod binfmt_cli_tests {
             ingest_jobs: 2,
             batch: None,
             validate: true,
+            shards: 1,
         })
         .unwrap_err();
         assert!(err.contains("rapid convert"), "must point at the converter: {err}");
+        // The guidance names the EXACT command: input path plus the
+        // derived .rbt output — copy-pasteable as is.
+        let derived = std::path::Path::new(
+            &err[err.find("rapid convert").unwrap()..].split('`').next().unwrap().to_owned(),
+        )
+        .to_path_buf();
+        assert!(
+            derived.to_string_lossy().ends_with("t.rbt"),
+            "guidance must derive the .rbt path: {err}"
+        );
+        // `--ingest-jobs 1` needs no chunk index: accepted on text input.
+        let dir2 = tmp_dir("accept-one");
+        let ok_path = generate_std(&dir2, "t.std", 100);
+        run(Command::Compare {
+            path: ok_path.clone(),
+            jobs: 1,
+            ingest_jobs: 1,
+            batch: None,
+            validate: true,
+            shards: 1,
+        })
+        .unwrap();
+        run(Command::Aerodrome {
+            path: ok_path,
+            algorithm: Algorithm::Optimized,
+            validate: true,
+            batch: None,
+            shards: 1,
+            ingest_jobs: 1,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn check_ingest_jobs_decodes_chunk_parallel_with_identical_verdict() {
+        let dir = tmp_dir("check-ingest");
+        let std_path = generate_std(&dir, "t.std", 2_000);
+        let rbt_path = format!("{dir}/t.rbt");
+        convert(&std_path, &rbt_path);
+        let check = |path: &str, ingest_jobs: usize| {
+            run(Command::Aerodrome {
+                path: path.to_owned(),
+                algorithm: Algorithm::Optimized,
+                validate: true,
+                batch: Some(100),
+                shards: 1,
+                ingest_jobs,
+            })
+            .unwrap()
+        };
+        let reference = check(&std_path, 1);
+        let parallel = check(&rbt_path, 3);
+        let verdict =
+            |out: &str| out.lines().find(|l| l.starts_with("verdict:")).map(str::to_owned);
+        assert_eq!(verdict(&parallel), verdict(&reference), "{parallel}\nvs\n{reference}");
+        assert!(parallel.contains("chunk-parallel ingest"), "{parallel}");
+        // Text input with ingest_jobs > 1 gets the same guidance as compare.
+        let err = run(Command::Aerodrome {
+            path: std_path,
+            algorithm: Algorithm::Optimized,
+            validate: true,
+            batch: None,
+            shards: 1,
+            ingest_jobs: 2,
+        })
+        .unwrap_err();
+        assert!(err.contains("rapid convert"), "{err}");
+    }
+
+    #[test]
+    fn sharded_check_matches_sequential_and_rejects_optimized() {
+        let dir = tmp_dir("sharded-check");
+        let std_path = generate_std(&dir, "t.std", 3_000);
+        let rbt_path = format!("{dir}/t.rbt");
+        convert(&std_path, &rbt_path);
+        let verdict =
+            |out: &str| out.lines().find(|l| l.starts_with("verdict:")).map(str::to_owned);
+        for algorithm in [Algorithm::Basic, Algorithm::ReadOpt] {
+            let sequential = run(Command::Aerodrome {
+                path: std_path.clone(),
+                algorithm,
+                validate: true,
+                batch: None,
+                shards: 1,
+                ingest_jobs: 1,
+            })
+            .unwrap();
+            for (path, ingest_jobs) in [(&std_path, 1usize), (&rbt_path, 2)] {
+                let sharded = run(Command::Aerodrome {
+                    path: path.clone(),
+                    algorithm,
+                    validate: true,
+                    batch: None,
+                    shards: 3,
+                    ingest_jobs,
+                })
+                .unwrap();
+                assert_eq!(
+                    verdict(&sharded),
+                    verdict(&sequential),
+                    "{algorithm:?} ingest_jobs={ingest_jobs}:\n{sharded}\nvs\n{sequential}"
+                );
+                assert!(sharded.contains("sharding: shards=3"), "{sharded}");
+            }
+        }
+        let err = run(Command::Aerodrome {
+            path: std_path,
+            algorithm: Algorithm::Optimized,
+            validate: true,
+            batch: None,
+            shards: 2,
+            ingest_jobs: 1,
+        })
+        .unwrap_err();
+        assert!(err.contains("basic|readopt"), "{err}");
+    }
+
+    #[test]
+    fn compare_shards_runs_the_differential_and_reports_identical() {
+        let dir = tmp_dir("compare-shards");
+        let std_path = generate_std(&dir, "t.std", 2_000);
+        let out = run(Command::Compare {
+            path: std_path,
+            jobs: 1,
+            ingest_jobs: 1,
+            batch: Some(129),
+            validate: true,
+            shards: 4,
+        })
+        .unwrap();
+        assert!(out.contains("sharded differential"), "{out}");
+        assert!(out.contains("bit-identical to the sequential engine"), "{out}");
+        assert!(!out.contains("DIVERGED"), "{out}");
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Cross-shard clock messages.
+//!
+//! The per-trace sharded runtime (`pipeline::shard` in the umbrella
+//! crate) gives every shard its own [`ClockPool`] so the common,
+//! shard-local case keeps the zero-allocation steady state. The rare
+//! cross-shard happens-before edges then have to move clock *values*
+//! between pools — handles are meaningless outside the pool that issued
+//! them. [`ClockMsg`] is that value: the same three-way representation
+//! as [`PoolClock`] (`⊥` / single epoch / full component vector), so the
+//! dominant cases — bottom lock clocks, epoch-only thread clocks — cross
+//! the channel without touching the heap at all, and full clocks ride in
+//! a [`Vec`] recycled through a [`MsgPool`].
+//!
+//! A received message is either *materialised* into a clock of the
+//! receiving pool ([`ClockMsg::materialize_into`]) and then used through
+//! the ordinary [`ClockPool`] operations, or stored directly into a
+//! state table. Either way the component values — and therefore every
+//! `⊑` check and join computed from them — are exactly those of the
+//! sending pool's clock, which is what makes sharded verdicts
+//! bit-identical to the single-shard engine's.
+//!
+//! # Examples
+//!
+//! ```
+//! use vc::msg::{ClockMsg, MsgPool};
+//! use vc::pool::{ClockPool, PoolClock};
+//!
+//! let mut sender = ClockPool::new();
+//! let mut receiver = ClockPool::new();
+//! let mut msgs = MsgPool::default();
+//!
+//! let mut ct = PoolClock::epoch(1, 3);
+//! sender.join_into(&mut ct, &PoolClock::epoch(0, 2)); // promote to full
+//!
+//! let msg = ClockMsg::encode(&sender, &ct, &mut msgs);
+//! let mut copy = PoolClock::default();
+//! msg.materialize_into(&mut receiver, &mut copy);
+//! assert_eq!(receiver.component(&copy, 0), 2);
+//! assert_eq!(receiver.component(&copy, 1), 3);
+//! msg.recycle(&mut msgs); // the Vec is reused by the next encode
+//! ```
+
+use crate::epoch::Epoch;
+use crate::pool::{ClockPool, PoolClock};
+use crate::Time;
+
+/// A vector-clock *value* in transit between two shard-local pools.
+#[derive(Debug, Default)]
+pub enum ClockMsg {
+    /// The minimum time `⊥`.
+    #[default]
+    Bottom,
+    /// `⊥[c/t]` — exactly one non-zero component.
+    Epoch(Epoch),
+    /// A full component vector (index = thread, absent = 0).
+    Full(Vec<Time>),
+}
+
+/// A free list of component buffers for [`ClockMsg::Full`] payloads.
+///
+/// Each shard owns one: buffers of consumed incoming messages are
+/// recycled into the shard's own outgoing messages, so steady-state
+/// cross-shard traffic allocates nothing. The buffers are plain `Vec`s —
+/// not pool slots — so recycling them never perturbs [`ClockPool`]
+/// counters, and the pool's zero-allocation invariant stays assertable
+/// per shard.
+#[derive(Debug, Default)]
+pub struct MsgPool {
+    free: Vec<Vec<Time>>,
+}
+
+impl MsgPool {
+    /// Grabs a recycled buffer, or a fresh empty one when none is free.
+    #[must_use]
+    pub fn take(&mut self) -> Vec<Time> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the free list.
+    pub fn put(&mut self, mut buf: Vec<Time>) {
+        buf.clear();
+        self.free.push(buf);
+    }
+
+    /// Buffers currently on the free list.
+    #[must_use]
+    pub fn free_buffers(&self) -> usize {
+        self.free.len()
+    }
+}
+
+impl ClockMsg {
+    /// Encodes the value of `c` for transit, mirroring its
+    /// representation: `⊥` and epochs cross as scalars, full clocks copy
+    /// their components into a buffer recycled from `msgs`.
+    #[must_use]
+    pub fn encode(pool: &ClockPool, c: &PoolClock, msgs: &mut MsgPool) -> ClockMsg {
+        match *c {
+            PoolClock::Bottom => ClockMsg::Bottom,
+            PoolClock::Epoch(e) => ClockMsg::Epoch(e),
+            PoolClock::Full(_) => {
+                let mut buf = msgs.take();
+                pool.fill_components(c, &mut buf);
+                ClockMsg::Full(buf)
+            }
+        }
+    }
+
+    /// Materialises the carried value into `dst`, a clock of the
+    /// *receiving* pool. `⊥` and epochs stay buffer-free; full vectors
+    /// copy into `dst`'s own (recycled) slot via
+    /// [`ClockPool::assign_components`].
+    pub fn materialize_into(&self, pool: &mut ClockPool, dst: &mut PoolClock) {
+        match self {
+            ClockMsg::Bottom => {
+                let old = std::mem::take(dst);
+                pool.release(old);
+            }
+            ClockMsg::Epoch(e) => {
+                let old = std::mem::replace(dst, PoolClock::Epoch(*e));
+                pool.release(old);
+            }
+            ClockMsg::Full(comps) => pool.assign_components(dst, comps),
+        }
+    }
+
+    /// Reads component `t` of the carried value (absent components are
+    /// `0`) without materialising it.
+    #[must_use]
+    pub fn component(&self, t: usize) -> Time {
+        match self {
+            ClockMsg::Bottom => 0,
+            ClockMsg::Epoch(e) => {
+                if e.thread() == t {
+                    e.time()
+                } else {
+                    0
+                }
+            }
+            ClockMsg::Full(comps) => comps.get(t).copied().unwrap_or(0),
+        }
+    }
+
+    /// Returns the backing buffer (if any) to `msgs` for reuse.
+    pub fn recycle(self, msgs: &mut MsgPool) {
+        if let ClockMsg::Full(buf) = self {
+            msgs.put(buf);
+        }
+    }
+}
+
+/// Messages are moved across shard threads by the parallel runtime.
+#[allow(dead_code)]
+const fn assert_send<T: Send>() {}
+const _: () = assert_send::<ClockMsg>();
+const _: () = assert_send::<MsgPool>();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_values_cross_without_buffers() {
+        let pool = ClockPool::new();
+        let mut msgs = MsgPool::default();
+        let bottom = ClockMsg::encode(&pool, &PoolClock::Bottom, &mut msgs);
+        let epoch = ClockMsg::encode(&pool, &PoolClock::epoch(2, 7), &mut msgs);
+        assert!(matches!(bottom, ClockMsg::Bottom));
+        assert!(matches!(epoch, ClockMsg::Epoch(_)));
+        assert_eq!(epoch.component(2), 7);
+        assert_eq!(epoch.component(0), 0);
+        assert_eq!(msgs.free_buffers(), 0);
+    }
+
+    #[test]
+    fn round_trip_preserves_components_across_pools() {
+        let mut a = ClockPool::new();
+        let mut b = ClockPool::new();
+        let mut msgs = MsgPool::default();
+        let mut src = PoolClock::epoch(0, 4);
+        a.join_into(&mut src, &PoolClock::epoch(3, 9));
+        let msg = ClockMsg::encode(&a, &src, &mut msgs);
+        let mut dst = PoolClock::default();
+        msg.materialize_into(&mut b, &mut dst);
+        for t in 0..5 {
+            assert_eq!(b.component(&dst, t), a.component(&src, t), "component {t}");
+        }
+        msg.recycle(&mut msgs);
+        assert_eq!(msgs.free_buffers(), 1);
+    }
+
+    #[test]
+    fn warm_round_trips_reuse_buffers_and_slots() {
+        let mut a = ClockPool::new();
+        let mut b = ClockPool::new();
+        let mut msgs = MsgPool::default();
+        let mut src = PoolClock::epoch(0, 1);
+        a.join_into(&mut src, &PoolClock::epoch(1, 1));
+        let mut dst = PoolClock::default();
+        // Warm-up round trip allocates the message buffer and dst's slot.
+        let msg = ClockMsg::encode(&a, &src, &mut msgs);
+        msg.materialize_into(&mut b, &mut dst);
+        msg.recycle(&mut msgs);
+        let (allocs_a, allocs_b) = (a.stats().heap_allocs(), b.stats().heap_allocs());
+        for round in 0..10 {
+            a.increment(&mut src, round % 2);
+            let msg = ClockMsg::encode(&a, &src, &mut msgs);
+            msg.materialize_into(&mut b, &mut dst);
+            msg.recycle(&mut msgs);
+            assert_eq!(b.component(&dst, 0), a.component(&src, 0));
+        }
+        assert_eq!(a.stats().heap_allocs(), allocs_a, "sender pool stays flat");
+        assert_eq!(b.stats().heap_allocs(), allocs_b, "receiver pool stays flat");
+        assert_eq!(msgs.free_buffers(), 1, "one buffer cycles through");
+    }
+
+    #[test]
+    fn materialize_overwrites_previous_value_exactly() {
+        let mut a = ClockPool::new();
+        let mut b = ClockPool::new();
+        let mut msgs = MsgPool::default();
+        let mut wide = PoolClock::epoch(0, 1);
+        a.join_into(&mut wide, &PoolClock::epoch(7, 2));
+        let mut dst = PoolClock::default();
+        ClockMsg::encode(&a, &wide, &mut msgs).materialize_into(&mut b, &mut dst);
+        assert_eq!(b.component(&dst, 7), 2);
+        // A narrower value must not leak stale high components.
+        ClockMsg::Epoch(Epoch::new(1, 5)).materialize_into(&mut b, &mut dst);
+        assert_eq!(b.component(&dst, 7), 0);
+        assert_eq!(b.component(&dst, 1), 5);
+        ClockMsg::Bottom.materialize_into(&mut b, &mut dst);
+        assert_eq!(b.dim(&dst), 0);
+    }
+}

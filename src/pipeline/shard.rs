@@ -1,0 +1,1222 @@
+//! The threaded per-trace sharding runtime: one trace, N cooperating
+//! shards of the *same* checker.
+//!
+//! [`super::par`] scales across *checkers* — every worker still
+//! swallows the whole trace, so the slowest algorithm is a hard Amdahl
+//! wall. This module scales *within* one checker: the protocol layer in
+//! [`aerodrome::shard`] partitions the checker's state across shards,
+//! and this module supplies the machinery that lets those shards run on
+//! real threads:
+//!
+//! * the **router** (the calling thread) reads the trace once, tags
+//!   every event with a [`aerodrome::shard::Route`], and appends
+//!   per-shard `Step` streams. Shard-local events — the overwhelming
+//!   majority under a good partition — ride in coarse step batches over
+//!   bounded channels and are checked with no synchronisation at all;
+//! * **cross-shard events** appear in *both* involved shards' streams
+//!   (tagged actor/owner), and the shards exchange the rare clock
+//!   messages directly over per-shard unbounded channels, matched by
+//!   the event's global sequence number;
+//! * **outermost ends** appear in every stream and run the two-phase
+//!   vote barrier of [`aerodrome::shard`].
+//!
+//! Verdicts, first-violation attribution and the event/join counters of
+//! [`CheckerReport`] are **bit-identical** to the sequential engine at
+//! every shard count (the differential suites are the spec). Two pieces
+//! of machinery make that exactness cheap:
+//!
+//! * a shared monotone *candidate* (`RunFlag`) records the smallest
+//!   violating sequence number; shards skip (drain) steps past it and
+//!   waiting shards abort, so the first violation in **trace order**
+//!   wins no matter which wall-clock order detections happen in;
+//! * each shard keeps a small ring of `(seq, cumulative joins)`
+//!   checkpoints (`JoinsRing`); on a violation at `v`, rolling every
+//!   shard's join counter back to its last checkpoint `≤ v` reproduces
+//!   the sequential `clock_joins` exactly, even though fast shards ran
+//!   (boundedly — the router stalls past [`RUNAHEAD_WINDOW`]) ahead of
+//!   the violation before it was announced.
+//!
+//! The only non-identical report field is the [`PoolStats`] *gauge*
+//! block: clock values that cross shards are materialised as copies
+//! where the sequential store would share a slot, so allocation-traffic
+//! gauges differ (the per-shard zero-allocation steady state still
+//! holds, which the session tests assert per shard).
+//!
+//! Only Algorithms 1 and 2 are shardable — see [`aerodrome::shard`] on
+//! why Algorithm 3's lazy-epoch machinery resists partitioning.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use aerodrome::basic::BasicRules;
+use aerodrome::readopt::ReadOptRules;
+use aerodrome::shard::{EndTracker, Ownership, Route, ShardChecker, ShardMsg, ShardRules};
+use aerodrome::{CheckerReport, Outcome, Violation, ViolationKind};
+use tracelog::binfmt::{BinTrace, MmapSource};
+use tracelog::stream::{EventBatch, EventSource, DEFAULT_BATCH_EVENTS};
+use tracelog::{Event, EventId, Op, SourceError, ThreadId, Validator, ValiditySummary};
+use vc::{ClockPool, PoolStats};
+
+use super::chunkpar::ChunkParSource;
+use super::par::CheckerRun;
+
+/// How far (in events) the router may run ahead of the slowest shard.
+///
+/// This bounds both the work a fast shard can sink into events past an
+/// undiscovered violation and the span the `JoinsRing` must cover for
+/// the exact join-counter rollback. Large enough that the stall never
+/// engages on balanced workloads; small enough that a ring of this many
+/// checkpoints is a few hundred KiB per shard.
+pub const RUNAHEAD_WINDOW: u64 = 32 * 1024;
+
+/// The router re-checks the candidate/stall conditions every this many
+/// routed events (atomics off the hot path).
+const STALL_CHECK_EVENTS: u64 = 1024;
+
+/// Which shardable algorithm to run (see the module docs on why
+/// Algorithm 3 is absent).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardAlgo {
+    /// Algorithm 1 (`aerodrome-basic`).
+    Basic,
+    /// Algorithm 2 (`aerodrome-readopt`).
+    ReadOpt,
+}
+
+impl ShardAlgo {
+    /// The checker name this algorithm reports ([`CheckerReport::name`]).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ShardAlgo::Basic => "aerodrome-basic",
+            ShardAlgo::ReadOpt => "aerodrome-readopt",
+        }
+    }
+}
+
+/// Tuning knobs of the sharded runtime (shard *count* lives in
+/// [`Ownership`]).
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    /// Events per ingest refill and per full step batch (default
+    /// [`DEFAULT_BATCH_EVENTS`]).
+    pub batch_events: usize,
+    /// Bounded step-channel depth, in batches, per shard (default 2).
+    pub channel_batches: usize,
+    /// Run the online well-formedness validator on the router (default
+    /// `true`, matching [`super::par::ParConfig`]).
+    pub validate: bool,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self { batch_events: DEFAULT_BATCH_EVENTS, channel_batches: 2, validate: true }
+    }
+}
+
+impl ShardConfig {
+    /// Sets the per-refill batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events == 0`.
+    #[must_use]
+    pub fn batch_events(mut self, events: usize) -> Self {
+        assert!(events > 0, "batch size must be positive");
+        self.batch_events = events;
+        self
+    }
+
+    /// Sets the per-shard step-channel depth in batches (minimum 1).
+    #[must_use]
+    pub fn channel_batches(mut self, batches: usize) -> Self {
+        self.channel_batches = batches.max(1);
+        self
+    }
+
+    /// Enables or disables the router-side validator.
+    #[must_use]
+    pub fn validate(mut self, on: bool) -> Self {
+        self.validate = on;
+        self
+    }
+}
+
+/// Routing/runtime counters of a sharded run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shards the trace was split across.
+    pub shards: usize,
+    /// Events whose participants all lived on one shard (checked with
+    /// no synchronisation).
+    pub local_events: u64,
+    /// Events that crossed two shards (one message dialogue each).
+    pub cross_events: u64,
+    /// Outermost end events (all-shard barriers).
+    pub global_ends: u64,
+    /// Step batches the router flushed (including stall markers).
+    pub step_batches: u64,
+    /// Reader threads that decoded chunks in parallel
+    /// ([`check_sharded_chunked`]); `0` when the router ingested alone.
+    pub ingest_readers: usize,
+}
+
+/// The outcome of a sharded run.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// The merged result — verdict, first violation and
+    /// [`CheckerReport`] counters bit-identical to the sequential
+    /// engine (the `clocks` gauge block excepted; see module docs).
+    pub run: CheckerRun,
+    /// Events ingested by the router (≥ `run.report.events`, which
+    /// stops at the violation).
+    pub events: u64,
+    /// Validator residue; `None` when validation was disabled.
+    pub summary: Option<ValiditySummary>,
+    /// Routing counters.
+    pub stats: ShardStats,
+}
+
+/// What a shard must do with one event, as classified by the router.
+#[derive(Clone, Copy, Debug)]
+enum StepRole {
+    /// Run the sequential dispatch locally.
+    Local,
+    /// Actor side of a cross-shard dialogue with shard `peer`.
+    Actor { peer: u32 },
+    /// Owner side of a cross-shard dialogue with shard `peer`.
+    Owner { peer: u32 },
+    /// Ending side of an outermost-end barrier.
+    EndActor,
+    /// Passive side of an outermost-end barrier run by shard `actor`.
+    EndPassive { actor: u32 },
+}
+
+/// One entry of a shard's step stream.
+#[derive(Clone, Copy, Debug)]
+struct Step {
+    seq: u64,
+    event: Event,
+    role: StepRole,
+}
+
+/// A flushed span of one shard's step stream. `frontier` is the
+/// router's global position at flush time: after draining the steps the
+/// shard publishes it, so idle shards still advance the stall window.
+struct StepBatch {
+    frontier: u64,
+    steps: Vec<Step>,
+}
+
+/// Shared run state: the candidate violation and the panic latch.
+struct RunFlag {
+    /// Smallest sequence number any shard has declared a violation at;
+    /// `u64::MAX` while none. Monotonically non-increasing (CAS-min).
+    candidate: AtomicU64,
+    /// The declared violations, keyed by sequence number. The entry
+    /// matching the final candidate is the verdict.
+    slot: Mutex<Vec<(u64, Violation)>>,
+    /// Raised by a shard's drop guard when it unwinds, so waiting peers
+    /// and the router stop instead of hanging; the scope join re-raises
+    /// the original panic.
+    panicked: AtomicBool,
+}
+
+impl RunFlag {
+    fn new() -> Self {
+        Self {
+            candidate: AtomicU64::new(u64::MAX),
+            slot: Mutex::new(Vec::new()),
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    /// Declares a violation at `seq`, lowering the candidate.
+    fn report(&self, seq: u64, v: Violation) {
+        self.slot.lock().expect("violation slot").push((seq, v));
+        self.candidate.fetch_min(seq, Ordering::AcqRel);
+    }
+
+    fn candidate(&self) -> u64 {
+        self.candidate.load(Ordering::Acquire)
+    }
+}
+
+/// Sets the shared panic latch if the owning thread unwinds.
+struct PanicGuard<'a>(&'a AtomicBool);
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if thread::panicking() {
+            self.0.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// A bounded ring of `(seq, cumulative clock_joins)` checkpoints, one
+/// per processed step, used to roll a shard's join counter back to a
+/// violation cut-point it may have run (boundedly) past.
+#[derive(Debug)]
+struct JoinsRing {
+    entries: VecDeque<(u64, u64)>,
+    cap: usize,
+    /// The most recently evicted checkpoint — the predecessor fallback
+    /// when every retained entry is past the cut.
+    evicted: Option<(u64, u64)>,
+}
+
+impl JoinsRing {
+    fn new(cap: usize) -> Self {
+        Self { entries: VecDeque::with_capacity(cap.min(4096)), cap, evicted: None }
+    }
+
+    fn push(&mut self, seq: u64, joins: u64) {
+        self.entries.push_back((seq, joins));
+        if self.entries.len() > self.cap {
+            self.evicted = self.entries.pop_front();
+        }
+    }
+
+    /// The shard's cumulative joins after its last step with
+    /// `seq <= cut`. The runahead window guarantees the predecessor was
+    /// not evicted (debug-asserted).
+    fn joins_at(&self, cut: u64) -> u64 {
+        let mut best = match self.evicted {
+            Some((seq, joins)) if seq <= cut => joins,
+            Some(_) => {
+                debug_assert!(false, "joins ring evicted past the violation cut");
+                0
+            }
+            None => 0,
+        };
+        for &(seq, joins) in &self.entries {
+            if seq <= cut {
+                best = joins;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+}
+
+/// Blocks until the peer message for `seq` arrives, stashing messages
+/// for other sequence numbers.
+///
+/// Returns `None` — the caller must switch to drain mode — when an
+/// earlier violation makes the message moot (`candidate < seq`;
+/// `candidate <= seq` with `inclusive`, for the end barrier's resolve
+/// wait where the candidate may be this very event), when a peer
+/// panicked, or when every sender is gone.
+fn wait_msg(
+    rx: &Receiver<(u64, ShardMsg)>,
+    stash: &mut Vec<(u64, ShardMsg)>,
+    seq: u64,
+    inclusive: bool,
+    flag: &RunFlag,
+) -> Option<ShardMsg> {
+    // First-match scan keeps per-sender FIFO order (EndBegin before
+    // EndResolve from the same actor).
+    if let Some(i) = stash.iter().position(|(s, _)| *s == seq) {
+        return Some(stash.remove(i).1);
+    }
+    loop {
+        let candidate = flag.candidate();
+        if candidate < seq || (inclusive && candidate == seq) {
+            return None;
+        }
+        if flag.panicked.load(Ordering::SeqCst) {
+            return None;
+        }
+        match rx.recv_timeout(Duration::from_micros(200)) {
+            Ok((s, msg)) if s == seq => return Some(msg),
+            Ok(other) => stash.push(other),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return None,
+        }
+    }
+}
+
+/// One shard's worker loop: drain step batches in sequence order,
+/// running locals straight through the sequential dispatch and holding
+/// the message dialogues for cross/global steps.
+#[allow(clippy::too_many_arguments)]
+fn shard_worker<R: ShardRules>(
+    me: usize,
+    shard_count: usize,
+    checker: &mut ShardChecker<R>,
+    step_rx: &Receiver<StepBatch>,
+    peer_rx: &Receiver<(u64, ShardMsg)>,
+    peer_txs: &[Sender<(u64, ShardMsg)>],
+    position: &AtomicU64,
+    flag: &RunFlag,
+    recycle_tx: &Sender<Vec<Step>>,
+    ring_cap: usize,
+) -> JoinsRing {
+    let _guard = PanicGuard(&flag.panicked);
+    let mut stash: Vec<(u64, ShardMsg)> = Vec::new();
+    let mut ring = JoinsRing::new(ring_cap);
+    let mut draining = false;
+    for StepBatch { frontier, mut steps } in step_rx.iter() {
+        for step in steps.drain(..) {
+            let Step { seq, event, role } = step;
+            if !draining && flag.candidate() < seq {
+                // An earlier event violated: everything from here on is
+                // past the sequential engine's stopping point.
+                draining = true;
+            }
+            if draining {
+                position.store(seq + 1, Ordering::Release);
+                continue;
+            }
+            let t = event.thread;
+            match role {
+                StepRole::Local => {
+                    if let Err(v) = checker.process_local(EventId(seq), event) {
+                        flag.report(seq, v);
+                        draining = true;
+                    }
+                }
+                StepRole::Actor { peer } => {
+                    let p = peer as usize;
+                    let result = match event.op {
+                        Op::Acquire(l) => wait_msg(peer_rx, &mut stash, seq, false, flag)
+                            .map(|m| checker.acquire_actor(EventId(seq), t, l, m)),
+                        Op::Join(u) => wait_msg(peer_rx, &mut stash, seq, false, flag)
+                            .map(|m| checker.join_actor(EventId(seq), t, u, m)),
+                        Op::Release(_) => {
+                            let m = checker.release_actor(t);
+                            let _ = peer_txs[p].send((seq, m));
+                            Some(Ok(()))
+                        }
+                        Op::Fork(_) => {
+                            let m = checker.fork_actor(t);
+                            let _ = peer_txs[p].send((seq, m));
+                            Some(Ok(()))
+                        }
+                        Op::Read(x) => {
+                            wait_msg(peer_rx, &mut stash, seq, false, flag).map(|m| {
+                                let (r, reply) = checker.read_actor(EventId(seq), t, x, m);
+                                // Reply before surfacing the verdict, so
+                                // the owner at this very seq never hangs.
+                                let _ = peer_txs[p].send((seq, reply));
+                                r
+                            })
+                        }
+                        Op::Write(x) => wait_msg(peer_rx, &mut stash, seq, false, flag).map(|m| {
+                            let (r, reply) = checker.write_actor(EventId(seq), t, x, m);
+                            let _ = peer_txs[p].send((seq, reply));
+                            r
+                        }),
+                        Op::Begin | Op::End => unreachable!("begin/end never cross shards"),
+                    };
+                    match result {
+                        Some(Ok(())) => {}
+                        Some(Err(v)) => {
+                            flag.report(seq, v);
+                            draining = true;
+                        }
+                        None => draining = true,
+                    }
+                }
+                StepRole::Owner { peer } => {
+                    let p = peer as usize;
+                    match event.op {
+                        Op::Acquire(l) => {
+                            let m = checker.acquire_owner(t, l);
+                            let _ = peer_txs[p].send((seq, m));
+                        }
+                        Op::Join(u) => {
+                            let m = checker.join_owner(u);
+                            let _ = peer_txs[p].send((seq, m));
+                        }
+                        Op::Release(l) => match wait_msg(peer_rx, &mut stash, seq, false, flag) {
+                            Some(m) => checker.release_owner(t, l, m),
+                            None => draining = true,
+                        },
+                        Op::Fork(u) => match wait_msg(peer_rx, &mut stash, seq, false, flag) {
+                            Some(m) => checker.fork_owner(u, m),
+                            None => draining = true,
+                        },
+                        Op::Read(x) => {
+                            let m = checker.read_owner(t, x);
+                            let _ = peer_txs[p].send((seq, m));
+                            match wait_msg(peer_rx, &mut stash, seq, false, flag) {
+                                Some(reply) => checker.read_owner_absorb(t, x, reply),
+                                None => draining = true,
+                            }
+                        }
+                        Op::Write(x) => {
+                            let m = checker.write_owner(t, x);
+                            let _ = peer_txs[p].send((seq, m));
+                            match wait_msg(peer_rx, &mut stash, seq, false, flag) {
+                                Some(reply) => checker.write_owner_absorb(t, x, reply),
+                                None => draining = true,
+                            }
+                        }
+                        Op::Begin | Op::End => unreachable!("begin/end never cross shards"),
+                    }
+                }
+                StepRole::EndActor => {
+                    let cb_epoch = checker.end_actor_begin(t);
+                    for (p, tx) in peer_txs.iter().enumerate() {
+                        if p != me {
+                            let m = checker.end_broadcast_msg(cb_epoch);
+                            let _ = tx.send((seq, m));
+                        }
+                    }
+                    let mut vote = checker.end_vote(t);
+                    let mut aborted = false;
+                    for _ in 1..shard_count {
+                        match wait_msg(peer_rx, &mut stash, seq, false, flag) {
+                            Some(ShardMsg::EndVote { violating }) => {
+                                vote = match (vote, violating) {
+                                    (Some(a), Some(b)) => Some(a.min(b)),
+                                    (a, None) => a,
+                                    (None, b) => b,
+                                };
+                            }
+                            Some(other) => {
+                                debug_assert!(false, "end barrier expects votes");
+                                checker.recycle_msg(other);
+                            }
+                            None => {
+                                aborted = true;
+                                break;
+                            }
+                        }
+                    }
+                    if aborted {
+                        draining = true;
+                    } else if let Some(u) = vote {
+                        // Votes are disjoint across shards, so the
+                        // minimum is the sequential sweep's first hit.
+                        flag.report(
+                            seq,
+                            Violation {
+                                event: EventId(seq),
+                                thread: ThreadId::from_index(u as usize),
+                                kind: ViolationKind::AtEnd { ending: t },
+                            },
+                        );
+                        draining = true;
+                    } else {
+                        for (p, tx) in peer_txs.iter().enumerate() {
+                            if p != me {
+                                let _ = tx.send((seq, ShardMsg::EndResolve));
+                            }
+                        }
+                        checker.end_apply(t, cb_epoch);
+                    }
+                }
+                StepRole::EndPassive { actor } => {
+                    match wait_msg(peer_rx, &mut stash, seq, false, flag) {
+                        Some(msg @ ShardMsg::EndBegin { .. }) => {
+                            let cb_epoch = checker.end_passive_stage(msg);
+                            let violating = checker.end_vote(t);
+                            let _ = peer_txs[actor as usize]
+                                .send((seq, ShardMsg::EndVote { violating }));
+                            // The resolve never comes if the barrier
+                            // itself violated — hence the inclusive
+                            // candidate bound.
+                            match wait_msg(peer_rx, &mut stash, seq, true, flag) {
+                                Some(ShardMsg::EndResolve) => checker.end_apply(t, cb_epoch),
+                                Some(other) => {
+                                    debug_assert!(false, "end barrier expects resolve");
+                                    checker.recycle_msg(other);
+                                    draining = true;
+                                }
+                                None => draining = true,
+                            }
+                        }
+                        Some(other) => {
+                            debug_assert!(false, "end barrier expects stage");
+                            checker.recycle_msg(other);
+                            draining = true;
+                        }
+                        None => draining = true,
+                    }
+                }
+            }
+            // Checkpoint after every processed step — including one
+            // that just latched a violation, whose joins the sequential
+            // engine also counts.
+            ring.push(seq, checker.clock_joins());
+            position.store(seq + 1, Ordering::Release);
+        }
+        position.store(frontier, Ordering::Release);
+        let _ = recycle_tx.send(steps);
+    }
+    ring
+}
+
+/// The router: classifies events, builds per-shard step streams with a
+/// flush-involved discipline (cross/global steps are flushed the moment
+/// they are appended — the deadlock-freedom invariant: a waiting shard's
+/// partner always already has its half of the dialogue), and enforces
+/// the runahead window.
+struct Router<'a> {
+    own: &'a Ownership,
+    ends: EndTracker,
+    bufs: Vec<Vec<Step>>,
+    step_txs: Vec<SyncSender<StepBatch>>,
+    recycle_rx: Receiver<Vec<Step>>,
+    /// Frontier of the last (possibly empty) batch flushed per shard —
+    /// suppresses duplicate stall markers.
+    marker_frontier: Vec<u64>,
+    next_seq: u64,
+    since_check: u64,
+    batch_events: usize,
+    positions: &'a [AtomicU64],
+    flag: &'a RunFlag,
+    stats: ShardStats,
+}
+
+impl Router<'_> {
+    /// Routes one event. Returns `false` when ingest must stop: a
+    /// violation candidate precedes the frontier, a shard is gone, or a
+    /// peer panicked.
+    fn route_event(&mut self, event: Event) -> bool {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let outermost = self.ends.observe(event);
+        let ok = match self.own.route(event, outermost) {
+            Route::Local(s) => {
+                self.stats.local_events += 1;
+                self.bufs[s].push(Step { seq, event, role: StepRole::Local });
+                self.bufs[s].len() < self.batch_events || self.flush(s)
+            }
+            Route::Cross { actor, owner } => {
+                self.stats.cross_events += 1;
+                self.bufs[actor].push(Step {
+                    seq,
+                    event,
+                    role: StepRole::Actor { peer: owner as u32 },
+                });
+                self.bufs[owner].push(Step {
+                    seq,
+                    event,
+                    role: StepRole::Owner { peer: actor as u32 },
+                });
+                self.flush(owner) && self.flush(actor)
+            }
+            Route::Global { actor } => {
+                self.stats.global_ends += 1;
+                for s in 0..self.bufs.len() {
+                    let role = if s == actor {
+                        StepRole::EndActor
+                    } else {
+                        StepRole::EndPassive { actor: actor as u32 }
+                    };
+                    self.bufs[s].push(Step { seq, event, role });
+                }
+                self.flush_all()
+            }
+        };
+        if !ok {
+            return false;
+        }
+        self.since_check += 1;
+        if self.since_check >= STALL_CHECK_EVENTS {
+            self.since_check = 0;
+            return self.checkpoint();
+        }
+        true
+    }
+
+    /// Ships shard `s`'s buffered steps (or a bare frontier marker).
+    /// Returns `false` if the shard's receiver is gone (it panicked).
+    fn flush(&mut self, s: usize) -> bool {
+        if self.bufs[s].is_empty() && self.marker_frontier[s] == self.next_seq {
+            return true; // nothing new since the last flush
+        }
+        let fresh = self.recycle_rx.try_recv().unwrap_or_default();
+        let steps = std::mem::replace(&mut self.bufs[s], fresh);
+        self.marker_frontier[s] = self.next_seq;
+        self.stats.step_batches += 1;
+        self.step_txs[s].send(StepBatch { frontier: self.next_seq, steps }).is_ok()
+    }
+
+    /// Flushes every shard's buffer (outermost ends; end of ingest).
+    fn flush_all(&mut self) -> bool {
+        let mut ok = true;
+        for s in 0..self.bufs.len() {
+            ok &= self.flush(s);
+        }
+        ok
+    }
+
+    /// The periodic candidate / panic / runahead check. Lagging shards
+    /// get their pending steps plus a frontier marker so an *idle*
+    /// laggard can publish progress and release the stall.
+    fn checkpoint(&mut self) -> bool {
+        loop {
+            if self.flag.panicked.load(Ordering::SeqCst) {
+                return false;
+            }
+            if self.flag.candidate() < self.next_seq {
+                return false; // everything past the violation is moot
+            }
+            let min_pos = self
+                .positions
+                .iter()
+                .map(|p| p.load(Ordering::Acquire))
+                .min()
+                .unwrap_or(self.next_seq);
+            if self.next_seq.saturating_sub(min_pos) <= RUNAHEAD_WINDOW {
+                return true;
+            }
+            for s in 0..self.bufs.len() {
+                if self.positions[s].load(Ordering::Acquire).saturating_add(RUNAHEAD_WINDOW)
+                    < self.next_seq
+                    && !self.flush(s)
+                {
+                    return false;
+                }
+            }
+            thread::sleep(Duration::from_micros(100));
+        }
+    }
+}
+
+/// Runs `source` through `shards` under the partition `own`, merging
+/// the per-shard results into one sequential-equivalent report.
+///
+/// With a single shard no threads are spawned and every event runs the
+/// sequential dispatch inline — bit-identical to [`aerodrome::Engine`]
+/// including the pool gauges.
+fn run_sharded<R: ShardRules, S: EventSource + ?Sized>(
+    shards: &mut [ShardChecker<R>],
+    own: &Ownership,
+    config: &ShardConfig,
+    source: &mut S,
+) -> Result<ShardReport, SourceError> {
+    assert_eq!(shards.len(), own.shards(), "one checker shard per ownership shard");
+    if shards.len() == 1 {
+        return run_single(&mut shards[0], config, source);
+    }
+    let n = shards.len();
+    let depth = config.channel_batches.max(1);
+    let batch_events = config.batch_events.max(1);
+    // Ring coverage: the window, plus the frontier slack between two
+    // checkpoint polls, plus margin for candidate-visibility races.
+    let ring_cap = RUNAHEAD_WINDOW as usize + batch_events + STALL_CHECK_EVENTS as usize + 1024;
+
+    let flag = RunFlag::new();
+    let positions: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let mut validator = config.validate.then(Validator::new);
+    let mut events = 0u64;
+    let mut error: Option<SourceError> = None;
+    let mut stats = ShardStats { shards: n, ..ShardStats::default() };
+    let mut rings: Vec<JoinsRing> = Vec::with_capacity(n);
+
+    thread::scope(|s| {
+        let (recycle_tx, recycle_rx) = mpsc::channel::<Vec<Step>>();
+        let mut peer_txs = Vec::with_capacity(n);
+        let mut peer_rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = mpsc::channel::<(u64, ShardMsg)>();
+            peer_txs.push(tx);
+            peer_rxs.push(rx);
+        }
+        let mut step_txs = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for (i, (checker, peer_rx)) in shards.iter_mut().zip(peer_rxs).enumerate() {
+            let (tx, rx) = mpsc::sync_channel::<StepBatch>(depth);
+            step_txs.push(tx);
+            let txs = peer_txs.clone();
+            let recycle = recycle_tx.clone();
+            let (flag, position) = (&flag, &positions[i]);
+            handles.push(s.spawn(move || {
+                shard_worker(i, n, checker, &rx, &peer_rx, &txs, position, flag, &recycle, ring_cap)
+            }));
+        }
+        drop(peer_txs);
+        drop(recycle_tx);
+
+        let mut router = Router {
+            own,
+            ends: EndTracker::new(),
+            bufs: (0..n).map(|_| Vec::with_capacity(batch_events)).collect(),
+            step_txs,
+            recycle_rx,
+            marker_frontier: vec![0; n],
+            next_seq: 0,
+            since_check: 0,
+            batch_events,
+            positions: &positions,
+            flag: &flag,
+            stats,
+        };
+        let mut batch = EventBatch::with_target(batch_events);
+        'ingest: loop {
+            let refill = source.next_batch(&mut batch);
+            if let Some(v) = validator.as_mut() {
+                if let Some(e) = super::validate_batch(v, &mut batch) {
+                    error = Some(e.into());
+                }
+            }
+            let exhausted = match refill {
+                // A validation failure inside the batch precedes a
+                // source failure past its end; keep the earlier error.
+                Err(e) if error.is_none() => {
+                    error = Some(e);
+                    true
+                }
+                Err(_) => true,
+                Ok(len) => len == 0 || error.is_some(),
+            };
+            events += batch.len() as u64;
+            for &event in batch.events() {
+                if !router.route_event(event) {
+                    break 'ingest;
+                }
+            }
+            if exhausted {
+                break;
+            }
+        }
+        // Deliver the tail — steps at or before a violation candidate
+        // must still be processed for the exact join rollback.
+        let _ = router.flush_all();
+        stats = router.stats;
+        drop(router); // closes the step channels: end-of-stream
+        for handle in handles {
+            match handle.join() {
+                Ok(ring) => rings.push(ring),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+
+    let candidate = flag.candidate();
+    let violation = if candidate == u64::MAX {
+        None
+    } else {
+        let slot = flag.slot.lock().expect("violation slot");
+        let (seq, v) = slot
+            .iter()
+            .min_by_key(|(seq, _)| *seq)
+            .expect("a candidate implies a recorded violation");
+        debug_assert_eq!(*seq, candidate);
+        Some(v.clone())
+    };
+    // A violation always precedes any latched error in trace order (no
+    // event at or past an ill-formed position is ever routed), so it
+    // wins; with no violation the error surfaces as in `check_all`.
+    if violation.is_none() {
+        if let Some(e) = error {
+            return Err(e);
+        }
+    }
+    let (checker_events, clock_joins) = match &violation {
+        Some(_) => (candidate + 1, rings.iter().map(|r| r.joins_at(candidate)).sum()),
+        None => (events, shards.iter().map(|c| c.clock_joins()).sum()),
+    };
+    let mut clocks = PoolStats::default();
+    for shard in shards.iter() {
+        clocks.accumulate(&shard.clocks_delta());
+    }
+    let name = shards[0].name();
+    let report = CheckerReport { name, events: checker_events, clock_joins, clocks };
+    let outcome = violation.map_or(Outcome::Serializable, Outcome::Violation);
+    Ok(ShardReport {
+        run: CheckerRun { name, outcome, report },
+        events,
+        summary: validator.map(Validator::finish),
+        stats,
+    })
+}
+
+/// The one-shard fast path: no threads, no messages — the sequential
+/// dispatch inline, so even the pool gauges match the plain engine.
+fn run_single<R: ShardRules, S: EventSource + ?Sized>(
+    checker: &mut ShardChecker<R>,
+    config: &ShardConfig,
+    source: &mut S,
+) -> Result<ShardReport, SourceError> {
+    let mut validator = config.validate.then(Validator::new);
+    let mut events = 0u64;
+    let mut processed = 0u64;
+    let mut error: Option<SourceError> = None;
+    let mut violation: Option<Violation> = None;
+    let mut batch = EventBatch::with_target(config.batch_events.max(1));
+    'ingest: loop {
+        let refill = source.next_batch(&mut batch);
+        if let Some(v) = validator.as_mut() {
+            if let Some(e) = super::validate_batch(v, &mut batch) {
+                error = Some(e.into());
+            }
+        }
+        let exhausted = match refill {
+            Err(e) if error.is_none() => {
+                error = Some(e);
+                true
+            }
+            Err(_) => true,
+            Ok(len) => len == 0 || error.is_some(),
+        };
+        events += batch.len() as u64;
+        for &event in batch.events() {
+            let eid = EventId(processed);
+            processed += 1;
+            if let Err(v) = checker.process_local(eid, event) {
+                violation = Some(v);
+                break 'ingest;
+            }
+        }
+        if exhausted {
+            break;
+        }
+    }
+    if violation.is_none() {
+        if let Some(e) = error {
+            return Err(e);
+        }
+    }
+    let name = checker.name();
+    let report = CheckerReport {
+        name,
+        events: processed,
+        clock_joins: checker.clock_joins(),
+        clocks: checker.clocks_delta(),
+    };
+    let outcome = violation.map_or(Outcome::Serializable, Outcome::Violation);
+    Ok(ShardReport {
+        run: CheckerRun { name, outcome, report },
+        events,
+        summary: validator.map(Validator::finish),
+        stats: ShardStats { shards: 1, local_events: processed, ..ShardStats::default() },
+    })
+}
+
+/// A typed warm session: `N` shards of one algorithm, reusable across
+/// traces with per-shard zero-allocation steady state.
+#[derive(Debug)]
+pub struct TypedShardSession<R: ShardRules> {
+    shards: Vec<ShardChecker<R>>,
+    own: Ownership,
+    config: ShardConfig,
+}
+
+impl<R: ShardRules> TypedShardSession<R> {
+    /// A fresh session with one cold shard per ownership shard.
+    #[must_use]
+    pub fn new(own: Ownership, config: ShardConfig) -> Self {
+        let shards = (0..own.shards()).map(|_| ShardChecker::new()).collect();
+        Self { shards, own, config }
+    }
+
+    /// Checks one trace. Each shard is session-reset first
+    /// ([`ShardChecker::reset`]), so a warm session's per-trace verdict
+    /// and counters are bit-identical to a fresh one's — while the
+    /// retained clock buffers make the steady-state run allocation-free
+    /// per shard (assert via [`TypedShardSession::shard_clock_deltas`]).
+    ///
+    /// # Errors
+    ///
+    /// The first source or validation error in trace order, unless a
+    /// violation precedes it.
+    pub fn check<S: EventSource + ?Sized>(
+        &mut self,
+        source: &mut S,
+    ) -> Result<ShardReport, SourceError> {
+        for shard in &mut self.shards {
+            shard.reset();
+        }
+        run_sharded(&mut self.shards, &self.own, &self.config, source)
+    }
+
+    /// Shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard pool counters since the last reset — the steady-state
+    /// probe: from the second trace on, `heap_allocs()` must be 0 for
+    /// every shard.
+    #[must_use]
+    pub fn shard_clock_deltas(&self) -> Vec<PoolStats> {
+        self.shards.iter().map(ShardChecker::clocks_delta).collect()
+    }
+}
+
+/// An algorithm-erased [`TypedShardSession`], for callers that pick the
+/// algorithm at runtime (the CLI).
+#[derive(Debug)]
+pub enum ShardSession {
+    /// Algorithm 1 shards.
+    Basic(TypedShardSession<BasicRules<ClockPool>>),
+    /// Algorithm 2 shards.
+    ReadOpt(TypedShardSession<ReadOptRules<ClockPool>>),
+}
+
+impl ShardSession {
+    /// A fresh session for `algo` under the partition `own`.
+    #[must_use]
+    pub fn new(algo: ShardAlgo, own: Ownership, config: ShardConfig) -> Self {
+        match algo {
+            ShardAlgo::Basic => ShardSession::Basic(TypedShardSession::new(own, config)),
+            ShardAlgo::ReadOpt => ShardSession::ReadOpt(TypedShardSession::new(own, config)),
+        }
+    }
+
+    /// Checks one trace (see [`TypedShardSession::check`]).
+    ///
+    /// # Errors
+    ///
+    /// The first source or validation error in trace order, unless a
+    /// violation precedes it.
+    pub fn check<S: EventSource + ?Sized>(
+        &mut self,
+        source: &mut S,
+    ) -> Result<ShardReport, SourceError> {
+        match self {
+            ShardSession::Basic(s) => s.check(source),
+            ShardSession::ReadOpt(s) => s.check(source),
+        }
+    }
+
+    /// Shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        match self {
+            ShardSession::Basic(s) => s.shards(),
+            ShardSession::ReadOpt(s) => s.shards(),
+        }
+    }
+
+    /// Per-shard pool counters since the last reset.
+    #[must_use]
+    pub fn shard_clock_deltas(&self) -> Vec<PoolStats> {
+        match self {
+            ShardSession::Basic(s) => s.shard_clock_deltas(),
+            ShardSession::ReadOpt(s) => s.shard_clock_deltas(),
+        }
+    }
+}
+
+/// One-shot sharded check of `source`.
+///
+/// # Errors
+///
+/// The first source or validation error in trace order, unless a
+/// violation precedes it.
+pub fn check_sharded<S: EventSource + ?Sized>(
+    source: &mut S,
+    algo: ShardAlgo,
+    own: Ownership,
+    config: &ShardConfig,
+) -> Result<ShardReport, SourceError> {
+    ShardSession::new(algo, own, config.clone()).check(source)
+}
+
+/// [`check_sharded`] with chunk-parallel ingest of one `.rbt` trace:
+/// up to `ingest_jobs` reader threads decode chunks concurrently
+/// ([`ChunkParSource`]) and the router consumes the restitched stream —
+/// parallel decode composed with parallel checking.
+///
+/// With `ingest_jobs <= 1` (or a single-chunk trace) this is exactly
+/// [`check_sharded`] over a whole-file [`MmapSource`].
+///
+/// # Errors
+///
+/// As [`check_sharded`].
+pub fn check_sharded_chunked(
+    trace: &Arc<BinTrace>,
+    algo: ShardAlgo,
+    own: Ownership,
+    config: &ShardConfig,
+    ingest_jobs: usize,
+) -> Result<ShardReport, SourceError> {
+    let readers = ingest_jobs.min(trace.chunks().len());
+    if readers <= 1 {
+        return check_sharded(&mut MmapSource::new(Arc::clone(trace)), algo, own, config);
+    }
+    let mut source = ChunkParSource::new(Arc::clone(trace), readers, config.batch_events);
+    let readers = source.readers();
+    let mut report = check_sharded(&mut source, algo, own, config)?;
+    report.stats.ingest_readers = readers;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aerodrome::basic::BasicChecker;
+    use aerodrome::readopt::ReadOptChecker;
+    use aerodrome::{run_checker, Checker};
+    use tracelog::paper_traces::{rho1, rho2, rho3, rho4};
+    use tracelog::Trace;
+    use workloads::GenConfig;
+
+    const ALGOS: [ShardAlgo; 2] = [ShardAlgo::Basic, ShardAlgo::ReadOpt];
+
+    fn engine_baseline(algo: ShardAlgo, trace: &Trace) -> (Outcome, CheckerReport) {
+        match algo {
+            ShardAlgo::Basic => {
+                let mut c = BasicChecker::new();
+                (run_checker(&mut c, trace), c.report())
+            }
+            ShardAlgo::ReadOpt => {
+                let mut c = ReadOptChecker::new();
+                (run_checker(&mut c, trace), c.report())
+            }
+        }
+    }
+
+    fn assert_threaded_matches(trace: &Trace, config: &ShardConfig) {
+        for algo in ALGOS {
+            let (outcome, base) = engine_baseline(algo, trace);
+            for shards in 1..=4 {
+                let own = Ownership::round_robin(shards);
+                let got = check_sharded(&mut trace.stream(), algo, own, config)
+                    .expect("well-formed trace");
+                assert_eq!(
+                    got.run.outcome,
+                    outcome,
+                    "{} verdict over {shards} shards",
+                    algo.name()
+                );
+                assert_eq!(
+                    got.run.report.events,
+                    base.events,
+                    "{} events over {shards} shards",
+                    algo.name()
+                );
+                assert_eq!(
+                    got.run.report.clock_joins,
+                    base.clock_joins,
+                    "{} clock_joins over {shards} shards",
+                    algo.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_traces_bit_identical_across_threaded_shard_counts() {
+        let config = ShardConfig::default();
+        for trace in [rho1(), rho2(), rho3(), rho4()] {
+            assert_threaded_matches(&trace, &config);
+        }
+    }
+
+    #[test]
+    fn generated_workloads_bit_identical_with_small_batches() {
+        // Tiny batches + depth-1 channels stress every flush boundary
+        // and the step-batch recycle path.
+        let config = ShardConfig::default().batch_events(64).channel_batches(1);
+        for violation_at in [None, Some(0.6)] {
+            let cfg = GenConfig {
+                threads: 6,
+                vars: 48,
+                locks: 3,
+                events: 4_000,
+                violation_at,
+                ..GenConfig::default()
+            };
+            let trace = workloads::generate(&cfg);
+            assert_threaded_matches(&trace, &config);
+        }
+    }
+
+    #[test]
+    fn skewed_partition_maximizes_cross_traffic_and_still_matches() {
+        // All threads on shard 0, all resources on shard 1: every
+        // resource access is a cross-shard dialogue.
+        let cfg =
+            GenConfig { threads: 4, vars: 24, locks: 2, events: 2_000, ..GenConfig::default() };
+        let trace = workloads::generate(&cfg);
+        let mut own = Ownership::round_robin(2);
+        for i in 0..64 {
+            own.pin_thread(i, 0);
+            own.pin_lock(i, 1);
+            own.pin_var(i, 1);
+        }
+        for algo in ALGOS {
+            let (outcome, base) = engine_baseline(algo, &trace);
+            let got = check_sharded(
+                &mut trace.stream(),
+                algo,
+                own.clone(),
+                &ShardConfig::default().batch_events(128),
+            )
+            .expect("well-formed trace");
+            assert_eq!(got.run.outcome, outcome, "{} verdict", algo.name());
+            assert_eq!(got.run.report.clock_joins, base.clock_joins, "{} joins", algo.name());
+            assert!(got.stats.cross_events > 0, "the skew must generate cross traffic");
+        }
+    }
+
+    #[test]
+    fn warm_session_is_bit_identical_and_allocation_free_per_shard() {
+        let cfg =
+            GenConfig { threads: 5, vars: 32, locks: 2, events: 3_000, ..GenConfig::default() };
+        let trace = workloads::generate(&cfg);
+        let (outcome, base) = engine_baseline(ShardAlgo::Basic, &trace);
+        let mut session =
+            ShardSession::new(ShardAlgo::Basic, Ownership::round_robin(3), ShardConfig::default());
+        for round in 0..4 {
+            let got = session.check(&mut trace.stream()).expect("well-formed trace");
+            assert_eq!(got.run.outcome, outcome, "round {round} verdict");
+            assert_eq!(got.run.report.clock_joins, base.clock_joins, "round {round} joins");
+            if round >= 1 {
+                for (i, delta) in session.shard_clock_deltas().iter().enumerate() {
+                    assert_eq!(
+                        delta.heap_allocs(),
+                        0,
+                        "round {round}, shard {i}: warm shard must not allocate"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_matches_engine_pool_gauges_exactly() {
+        let cfg = GenConfig { threads: 4, vars: 16, events: 1_500, ..GenConfig::default() };
+        let trace = workloads::generate(&cfg);
+        let mut engine = BasicChecker::new();
+        let outcome = run_checker(&mut engine, &trace);
+        let got = check_sharded(
+            &mut trace.stream(),
+            ShardAlgo::Basic,
+            Ownership::round_robin(1),
+            &ShardConfig::default(),
+        )
+        .expect("well-formed trace");
+        assert_eq!(got.run.outcome, outcome);
+        let base = engine.report();
+        assert_eq!(got.run.report.clock_joins, base.clock_joins);
+        assert_eq!(got.run.report.clocks, base.clocks, "1-shard pool gauges match the engine");
+    }
+
+    #[test]
+    fn ill_formed_input_fails_unless_a_violation_precedes() {
+        use tracelog::StdReader;
+        // Ill-formed (unmatched begin nesting is fine; a bogus op is not).
+        let log = "t1|begin|0\nt1|w(x)|1\nt1|bogus|2\n";
+        let err = check_sharded(
+            &mut StdReader::new(log.as_bytes()),
+            ShardAlgo::Basic,
+            Ownership::round_robin(2),
+            &ShardConfig::default(),
+        );
+        assert!(err.is_err(), "parse failure must surface");
+        // A violation before the ill-formed tail wins at every count.
+        let mut tb = tracelog::TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let x = tb.var("x");
+        tb.begin(t1).read(t1, x);
+        tb.begin(t2).write(t2, x).end(t2);
+        tb.write(t1, x).end(t1);
+        let trace = tb.finish();
+        assert_threaded_matches(&trace, &ShardConfig::default());
+    }
+}

@@ -1,0 +1,192 @@
+//! Differential spec of the per-trace sharded runtime: for every input
+//! and every partition, `check_sharded` must be **bit-identical** to
+//! the sequential engine — same verdict, same first-violation
+//! attribution (event, thread, kind — [`aerodrome::Violation`]'s
+//! `PartialEq` covers all three), same `events` counter, same
+//! `clock_joins` counter. Both shardable algorithms (Basic, ReadOpt),
+//! shard counts 1/2/4, paper traces, every workload shape, the sealed
+//! adversarial corpus, and proptest-jittered random partitions and
+//! runtime configurations.
+
+use aerodrome::basic::BasicChecker;
+use aerodrome::readopt::ReadOptChecker;
+use aerodrome::shard::Ownership;
+use aerodrome::{run_checker, Checker, CheckerReport, Outcome};
+use aerodrome_suite::pipeline::shard::{check_sharded, ShardAlgo, ShardConfig};
+use proptest::prelude::*;
+use tracelog::Trace;
+use workloads::{generate, GenConfig};
+
+const ALGOS: [ShardAlgo; 2] = [ShardAlgo::Basic, ShardAlgo::ReadOpt];
+
+fn baseline(algo: ShardAlgo, trace: &Trace) -> (Outcome, CheckerReport) {
+    match algo {
+        ShardAlgo::Basic => {
+            let mut c = BasicChecker::new();
+            (run_checker(&mut c, trace), c.report())
+        }
+        ShardAlgo::ReadOpt => {
+            let mut c = ReadOptChecker::new();
+            (run_checker(&mut c, trace), c.report())
+        }
+    }
+}
+
+/// The bit-identity assertion: verdict (including the full violation),
+/// event counter, join counter — per algorithm, for one partition.
+fn assert_sharded_matches(name: &str, trace: &Trace, own: &Ownership, config: &ShardConfig) {
+    for algo in ALGOS {
+        let (outcome, base) = baseline(algo, trace);
+        let got = check_sharded(&mut trace.stream(), algo, own.clone(), config)
+            .unwrap_or_else(|e| panic!("{name}/{}: well-formed input failed: {e}", algo.name()));
+        assert_eq!(
+            got.run.outcome,
+            outcome,
+            "{name}/{}: verdict over {} shards",
+            algo.name(),
+            own.shards()
+        );
+        assert_eq!(
+            got.run.report.events,
+            base.events,
+            "{name}/{}: events over {} shards",
+            algo.name(),
+            own.shards()
+        );
+        assert_eq!(
+            got.run.report.clock_joins,
+            base.clock_joins,
+            "{name}/{}: clock_joins over {} shards",
+            algo.name(),
+            own.shards()
+        );
+    }
+}
+
+fn assert_all_counts(name: &str, trace: &Trace, config: &ShardConfig) {
+    for shards in [1usize, 2, 4] {
+        assert_sharded_matches(name, trace, &Ownership::round_robin(shards), config);
+    }
+}
+
+#[test]
+fn paper_traces_are_bit_identical_at_every_shard_count() {
+    use tracelog::paper_traces::{rho1, rho2, rho3, rho4};
+    let config = ShardConfig::default();
+    for (name, trace) in [("rho1", rho1()), ("rho2", rho2()), ("rho3", rho3()), ("rho4", rho4())] {
+        assert_all_counts(name, &trace, &config);
+    }
+}
+
+#[test]
+fn workload_shapes_are_bit_identical_at_every_shard_count() {
+    // Small batches so flush boundaries land mid-trace even on the
+    // 5k-event shapes.
+    let config = ShardConfig::default().batch_events(256);
+    for name in workloads::shapes::SHAPE_NAMES {
+        for threads in [2usize, 5] {
+            let cfg = GenConfig { seed: 23, threads, events: 5_000, ..GenConfig::default() };
+            let trace = workloads::shapes::collect(name, &cfg).expect("known shape");
+            assert_all_counts(name, &trace, &config);
+        }
+    }
+}
+
+/// The sealed adversarial corpus (schedule exploration + fuzzing
+/// reproducers) at shards 1/2/4: includes minimised violations and
+/// deadlock prefixes — open-transaction tails included.
+#[test]
+fn adversarial_corpus_is_bit_identical_at_every_shard_count() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/adversarial");
+    let config = ShardConfig::default().batch_events(64);
+    let mut checked = 0usize;
+    for entry in std::fs::read_dir(dir).expect("fixture corpus") {
+        let path = entry.expect("fixture entry").path();
+        if path.extension().is_none_or(|e| e != "std") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("fixture read");
+        let trace = tracelog::parse_trace(&text).expect("fixture parses");
+        assert_all_counts(&path.display().to_string(), &trace, &config);
+        checked += 1;
+    }
+    assert!(checked >= 9, "adversarial corpus went missing: {checked} fixtures");
+}
+
+#[test]
+fn generated_violating_workloads_attribute_identically() {
+    let config = ShardConfig::default().batch_events(128).channel_batches(1);
+    for seed in 0..3u64 {
+        let cfg = GenConfig {
+            seed,
+            threads: 6,
+            events: 4_000,
+            vars: 48,
+            locks: 3,
+            violation_at: Some(0.4),
+            ..GenConfig::default()
+        };
+        let trace = generate(&cfg);
+        assert_all_counts(&format!("violating seed={seed}"), &trace, &config);
+    }
+}
+
+/// Derives a pseudo-random ownership partition: every thread/lock/var
+/// index pinned to an arbitrary shard (not just round-robin), xorshift
+/// off the proptest-drawn seed.
+fn random_partition(shards: usize, seed: u64) -> Ownership {
+    let mut own = Ownership::round_robin(shards);
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state as usize % shards
+    };
+    for i in 0..64 {
+        own.pin_thread(i, next());
+        own.pin_lock(i, next());
+        own.pin_var(i, next());
+    }
+    own
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random workloads under random partitions and random runtime
+    /// configs: sharded ≡ single-shard, bit for bit.
+    #[test]
+    fn random_partitions_and_configs_are_bit_identical(
+        seed in 0u64..1_000,
+        shards in 1usize..5,
+        partition_seed in any::<u64>(),
+        batch_pow in 4u32..9,      // batches of 16..256 events
+        depth in 1usize..4,
+        threads in 2usize..7,
+        // 0 = no injected violation; 1..=100 → inject at that fraction.
+        violation_pct in 0u32..101,
+    ) {
+        let cfg = GenConfig {
+            seed,
+            threads,
+            locks: 2,
+            vars: 32,
+            events: 1_500,
+            probe_period: 30,
+            violation_at: (violation_pct > 0).then(|| f64::from(violation_pct - 1) / 100.0),
+            ..GenConfig::default()
+        };
+        let trace = generate(&cfg);
+        let own = random_partition(shards, partition_seed);
+        let config = ShardConfig::default()
+            .batch_events(1 << batch_pow)
+            .channel_batches(depth);
+        assert_sharded_matches(
+            &format!("seed={seed} shards={shards} part={partition_seed:#x}"),
+            &trace,
+            &own,
+            &config,
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! The resident sharded session contract (the `session_reuse.rs`
+//! invariants lifted to the sharded runtime): a warm [`ShardSession`]
+//! reused across a *mixed corpus* of traces stays bit-identical to a
+//! fresh one-shot sharded check — and, once every trace in the working
+//! set has been seen, re-checking the corpus performs **zero** clock
+//! heap allocations in every shard.
+
+use aerodrome::shard::Ownership;
+use aerodrome_suite::pipeline::shard::{check_sharded, ShardAlgo, ShardConfig, ShardSession};
+use workloads::{shapes, GenConfig, GenSource};
+
+fn corpus() -> Vec<(&'static str, GenConfig)> {
+    vec![
+        ("convoy", GenConfig { seed: 42, threads: 8, events: 40_000, ..GenConfig::default() }),
+        (
+            "gen",
+            GenConfig { seed: 7, threads: 8, vars: 64, events: 30_000, ..GenConfig::default() },
+        ),
+        ("nesting", GenConfig { seed: 5, threads: 6, events: 20_000, ..GenConfig::default() }),
+        (
+            "violating",
+            GenConfig {
+                seed: 11,
+                threads: 6,
+                events: 15_000,
+                violation_at: Some(0.5),
+                ..GenConfig::default()
+            },
+        ),
+    ]
+}
+
+fn source(name: &str, cfg: &GenConfig) -> Box<dyn tracelog::stream::EventSource> {
+    match name {
+        "gen" | "violating" => Box::new(GenSource::new(cfg)),
+        shape => shapes::source(shape, cfg).expect("known shape"),
+    }
+}
+
+/// Cross-trace probe: three rounds over the corpus through one session.
+/// Every round is compared against a fresh one-shot `check_sharded`
+/// (verdict, events, clock_joins), and from the second round onward the
+/// per-shard allocation delta must be flat zero — the sharded runtime's
+/// steady state, per shard, across *different* traces.
+#[test]
+fn warm_sharded_session_is_bit_identical_and_allocation_free_across_traces() {
+    for algo in [ShardAlgo::Basic, ShardAlgo::ReadOpt] {
+        let own = Ownership::round_robin(3);
+        let config = ShardConfig::default();
+        let mut session = ShardSession::new(algo, own.clone(), config.clone());
+        for round in 0..3 {
+            for (name, cfg) in &corpus() {
+                let label = format!("{}/round {round}/{name}", algo.name());
+                let warm = session
+                    .check(source(name, cfg).as_mut())
+                    .unwrap_or_else(|e| panic!("{label}: {e}"));
+                let fresh = check_sharded(source(name, cfg).as_mut(), algo, own.clone(), &config)
+                    .unwrap_or_else(|e| panic!("{label}: {e}"));
+                assert_eq!(warm.run.outcome, fresh.run.outcome, "{label}: verdict");
+                assert_eq!(warm.run.report.events, fresh.run.report.events, "{label}: events");
+                assert_eq!(
+                    warm.run.report.clock_joins, fresh.run.report.clock_joins,
+                    "{label}: clock joins"
+                );
+                if round > 0 {
+                    for (shard, delta) in session.shard_clock_deltas().iter().enumerate() {
+                        assert_eq!(
+                            delta.heap_allocs(),
+                            0,
+                            "{label}: warm shard {shard} must not allocate clock buffers \
+                             across traces ({delta:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A trace with *more* threads/vars than anything the session has seen
+/// forces a one-time pool growth; the next pass over it is again
+/// allocation-free — the working set reaches a new fixpoint instead of
+/// thrashing.
+#[test]
+fn session_pool_reaches_a_new_fixpoint_after_a_wider_trace() {
+    let own = Ownership::round_robin(2);
+    let mut session = ShardSession::new(ShardAlgo::ReadOpt, own, ShardConfig::default());
+    let narrow = GenConfig { seed: 1, threads: 4, events: 10_000, ..GenConfig::default() };
+    let wide =
+        GenConfig { seed: 2, threads: 16, vars: 128, events: 20_000, ..GenConfig::default() };
+    session.check(&mut GenSource::new(&narrow)).expect("narrow");
+    session.check(&mut GenSource::new(&wide)).expect("wide, cold");
+    session.check(&mut GenSource::new(&wide)).expect("wide, warm");
+    for (shard, delta) in session.shard_clock_deltas().iter().enumerate() {
+        assert_eq!(
+            delta.heap_allocs(),
+            0,
+            "shard {shard}: second pass over the wide trace must reuse the grown pool ({delta:?})"
+        );
+    }
+}
