@@ -45,6 +45,8 @@
 //! (`mark_update_sets` global scans, remote `write_source` reads) is
 //! hostile to message passing and stays single-shard.
 
+use std::collections::HashMap;
+
 use tracelog::{Event, EventId, LockId, Op, ThreadId, VarId};
 use vc::{ClockMsg, ClockPool, Epoch, MsgPool, PoolClock, PoolStats, Time};
 
@@ -244,9 +246,34 @@ pub enum ReadsInfo {
     },
 }
 
+/// A clock payload crossing shards, possibly memo-suppressed.
+///
+/// Each `(sender shard, receiver shard, clock identity)` edge keeps a
+/// send-side memo of the last value shipped and a receive-side cache of
+/// the last value landed. When the sender can prove the clock unchanged
+/// since the previous send (an O(1) pool-slot identity test — see
+/// `same_clock`), it sends `Cached` instead of re-encoding, and the
+/// receiver replays its cached copy. Invisible to verdicts: the value
+/// the receiver works with is bit-identical either way.
+#[derive(Debug)]
+pub enum MemoClock {
+    /// The encoded value; the receiver must refresh its cache.
+    Fresh(ClockMsg),
+    /// Unchanged since the previous `Fresh` on this edge.
+    Cached,
+}
+
+impl MemoClock {
+    fn recycle(self, msgs: &mut MsgPool) {
+        if let MemoClock::Fresh(c) = self {
+            c.recycle(msgs);
+        }
+    }
+}
+
 /// A message between two shards of the same checker. Every variant
-/// carries plain values ([`ClockMsg`] payloads); handles never cross
-/// pools.
+/// carries plain values ([`ClockMsg`] payloads, possibly memo-suppressed
+/// as [`MemoClock::Cached`]); handles never cross pools.
 #[derive(Debug)]
 pub enum ShardMsg {
     /// Owner → actor at a cross-shard acquire: the lock's release state.
@@ -254,21 +281,21 @@ pub enum ShardMsg {
         /// `lastRelThr_ℓ == t` — the actor skips the check entirely.
         skip: bool,
         /// `L_ℓ` (undefined when `skip`).
-        lrel: ClockMsg,
+        lrel: MemoClock,
     },
     /// Owner → actor at a cross-shard join: the target thread's state.
     Thread {
         /// Whether the joined thread ever performed an event.
         seen: bool,
         /// `C_u`.
-        ct: ClockMsg,
+        ct: MemoClock,
     },
     /// Owner → actor at a cross-shard read: the write-check inputs.
     ReadInfo {
         /// `lastWThr_x == t` — skip the write-clock check.
         skip_w: bool,
         /// `W_x` (undefined when `skip_w`).
-        wx: ClockMsg,
+        wx: MemoClock,
     },
     /// Owner → actor at a cross-shard write: write- and read-check
     /// inputs.
@@ -290,7 +317,7 @@ pub enum ShardMsg {
         /// taint).
         active: bool,
         /// `C_t` after the actor-side joins.
-        ct: ClockMsg,
+        ct: MemoClock,
     },
     /// Actor → all shards at an outermost end: the ending transaction's
     /// snapshot, opening the two-phase barrier.
@@ -348,6 +375,119 @@ fn recycle_reads(reads: ReadsInfo, msgs: &mut MsgPool, rows_free: &mut Vec<Vec<(
     }
 }
 
+/// The identity of a memoizable clock on a shard↔shard edge. One entry
+/// per (peer, key): the owner-side clocks keyed by the resource they
+/// guard, the actor-side `C_t` replies keyed by the acting thread.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum MemoKey {
+    /// `L_ℓ` shipped at a cross-shard acquire.
+    Lock(u32),
+    /// `C_u` shipped at a cross-shard join.
+    Thread(u32),
+    /// `W_x` shipped at a cross-shard read.
+    VarW(u32),
+    /// `C_t` shipped in an [`ShardMsg::Actor`] reply.
+    ActorCt(u32),
+}
+
+/// One peer's caches: what this shard last *sent* to it (per key) and
+/// what it last *received* from it. Entries hold [`ClockPool`] shares
+/// (`clone_ref`), which pins the slot: any mutation of the live clock
+/// CoWs to a new slot id, so slot identity ⟹ value identity.
+#[derive(Debug, Default)]
+struct PeerMemo {
+    sent: HashMap<MemoKey, PoolClock>,
+    recv: HashMap<MemoKey, PoolClock>,
+}
+
+/// Per-shard memo of unchanged-clock suppression state.
+#[derive(Debug)]
+struct MemoState {
+    peers: Vec<PeerMemo>,
+    enabled: bool,
+    hits: u64,
+}
+
+impl Default for MemoState {
+    fn default() -> Self {
+        Self { peers: Vec::new(), enabled: true, hits: 0 }
+    }
+}
+
+fn peer_memo(peers: &mut Vec<PeerMemo>, peer: usize) -> &mut PeerMemo {
+    if peers.len() <= peer {
+        peers.resize_with(peer + 1, PeerMemo::default);
+    }
+    &mut peers[peer]
+}
+
+/// O(1) "provably unchanged" test: `⊥` and epoch clocks compare by
+/// value; full clocks compare by pool-slot id. The memo's pinned share
+/// keeps the compared slot alive and CoW makes every mutation move to a
+/// fresh id, so equal ids cannot be an ABA coincidence. Distinct ids
+/// with equal values miss — a harmless resend, never a wrong hit.
+fn same_clock(a: &PoolClock, b: &PoolClock) -> bool {
+    match (a, b) {
+        (PoolClock::Bottom, PoolClock::Bottom) => true,
+        (PoolClock::Epoch(x), PoolClock::Epoch(y)) => x == y,
+        (PoolClock::Full(x), PoolClock::Full(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Sender side: encode `clock` for `peer`, or suppress it as
+/// [`MemoClock::Cached`] when unchanged since the previous send under
+/// the same `key`.
+fn send_clock(
+    store: &mut ClockPool,
+    msgs: &mut MsgPool,
+    memo: &mut MemoState,
+    peer: usize,
+    key: MemoKey,
+    clock: &PoolClock,
+) -> MemoClock {
+    let MemoState { peers, enabled, hits } = memo;
+    if *enabled {
+        let entry = peer_memo(peers, peer).sent.entry(key).or_default();
+        if same_clock(entry, clock) {
+            *hits += 1;
+            return MemoClock::Cached;
+        }
+        let pinned = store.clone_ref(clock);
+        store.release(std::mem::replace(entry, pinned));
+    }
+    MemoClock::Fresh(ClockMsg::encode(store, clock, msgs))
+}
+
+/// Receiver side: land the payload in `dst` — a fresh value refreshes
+/// the `(peer, key)` cache first, a suppressed one replays it. The two
+/// sides stay in lockstep because messages on one sender→receiver edge
+/// are produced and consumed in the same order.
+fn recv_clock(
+    store: &mut ClockPool,
+    msgs: &mut MsgPool,
+    memo: &mut MemoState,
+    peer: usize,
+    key: MemoKey,
+    m: MemoClock,
+    dst: &mut PoolClock,
+) {
+    if !memo.enabled {
+        let MemoClock::Fresh(c) = m else {
+            unreachable!("memo-suppressed payload with the memo disabled")
+        };
+        c.materialize_into(store, dst);
+        c.recycle(msgs);
+        return;
+    }
+    let cache = peer_memo(&mut memo.peers, peer).recv.entry(key).or_default();
+    if let MemoClock::Fresh(c) = m {
+        c.materialize_into(store, cache);
+        c.recycle(msgs);
+    }
+    store.assign(dst, &*cache);
+}
+
 /// The per-algorithm half of the sharding protocol: how the owner of a
 /// variable encodes its read state, how the actor replays the checks on
 /// it, and how reads and end pushes land in the owner's tables. Only
@@ -388,15 +528,9 @@ pub trait ShardRules: Rules<Store = ClockPool> + Send {
     ) -> Result<(), Violation>;
 
     /// Owner-side absorption of a successful cross-shard read: `ct` is
-    /// the reader's clock after its checks.
-    fn absorb_read(
-        &mut self,
-        core: &mut Core<ClockPool>,
-        xi: usize,
-        ti: usize,
-        ct: &ClockMsg,
-        tmp: &mut PoolClock,
-    );
+    /// the reader's clock after its checks, already landed in the
+    /// owner's pool.
+    fn absorb_read(&mut self, core: &mut Core<ClockPool>, xi: usize, ti: usize, ct: &PoolClock);
 
     /// The per-algorithm end pushes over this shard's read tables
     /// (`ct_t`/`cb` are the ending transaction's clocks, `ti` its
@@ -474,17 +608,10 @@ impl ShardRules for BasicRules<ClockPool> {
         Ok(())
     }
 
-    fn absorb_read(
-        &mut self,
-        core: &mut Core<ClockPool>,
-        xi: usize,
-        ti: usize,
-        ct: &ClockMsg,
-        _tmp: &mut PoolClock,
-    ) {
-        // R_{t,x} := C_t — the value lands directly in the table slot
-        // (a copy where the sequential store shares; same components).
-        ct.materialize_into(&mut core.store, &mut self.rx[xi][ti]);
+    fn absorb_read(&mut self, core: &mut Core<ClockPool>, xi: usize, ti: usize, ct: &PoolClock) {
+        // R_{t,x} := C_t — an O(1) share of the landed reader clock
+        // (the sequential store shares the same way; same components).
+        core.store.assign(&mut self.rx[xi][ti], ct);
     }
 
     fn end_push(
@@ -546,18 +673,10 @@ impl ShardRules for ReadOptRules<ClockPool> {
         Ok(())
     }
 
-    fn absorb_read(
-        &mut self,
-        core: &mut Core<ClockPool>,
-        xi: usize,
-        ti: usize,
-        ct: &ClockMsg,
-        tmp: &mut PoolClock,
-    ) {
-        ct.materialize_into(&mut core.store, tmp);
+    fn absorb_read(&mut self, core: &mut Core<ClockPool>, xi: usize, ti: usize, ct: &PoolClock) {
         let Core { store, .. } = core;
-        store.join_into(&mut self.rx[xi], tmp);
-        store.join_into_zeroed(&mut self.chrx[xi], tmp, ti);
+        store.join_into(&mut self.rx[xi], ct);
+        store.join_into_zeroed(&mut self.chrx[xi], ct, ti);
     }
 
     fn end_push(
@@ -597,6 +716,8 @@ pub struct ShardChecker<R: ShardRules> {
     tmp: PoolClock,
     /// Second scratch: the ending `C⊲_t` during an end barrier.
     tmp2: PoolClock,
+    /// Unchanged-clock suppression caches, one [`PeerMemo`] per peer.
+    memo: MemoState,
     /// Pool counters at the last session reset (per-trace reporting).
     clock_base: PoolStats,
 }
@@ -625,7 +746,24 @@ impl<R: ShardRules> ShardChecker<R> {
         // The store reset invalidated these handles; drop, don't release.
         self.tmp = PoolClock::default();
         self.tmp2 = PoolClock::default();
+        self.memo.peers.clear();
+        self.memo.hits = 0;
         self.clock_base = self.core.store.stats();
+    }
+
+    /// Enables or disables unchanged-clock suppression (on by default).
+    /// Must be set identically on every shard of a session *before* any
+    /// events flow — the caches on the two ends of an edge advance in
+    /// lockstep.
+    pub fn set_memo(&mut self, enabled: bool) {
+        debug_assert!(self.memo.peers.is_empty(), "set_memo before any cross-shard traffic");
+        self.memo.enabled = enabled;
+    }
+
+    /// Cross-shard clock sends this shard suppressed as unchanged.
+    #[must_use]
+    pub fn memo_hits(&self) -> u64 {
+        self.memo.hits
     }
 
     /// The checker's name ([`Rules::NAME`]).
@@ -674,32 +812,39 @@ impl<R: ShardRules> ShardChecker<R> {
     }
 
     /// `C_t` after this event's actor-side joins, packaged for the
-    /// owner.
-    fn actor_msg(&mut self, t: ThreadId, violated: bool) -> ShardMsg {
+    /// owner shard `peer` (memo-suppressed when unchanged).
+    fn actor_msg(&mut self, t: ThreadId, violated: bool, peer: usize) -> ShardMsg {
         let ti = t.index();
+        let Self { core, msgs, memo, .. } = self;
+        let Core { store, ct, txns, .. } = core;
         ShardMsg::Actor {
             violated,
-            active: self.core.txns.active(t),
-            ct: ClockMsg::encode(&self.core.store, &self.core.ct[ti], &mut self.msgs),
+            active: txns.active(t),
+            ct: send_clock(store, msgs, memo, peer, MemoKey::ActorCt(ti as u32), &ct[ti]),
         }
     }
 
     // ---- acquire -------------------------------------------------------
 
-    /// Owner side of a cross-shard acquire: ships the lock state.
-    pub fn acquire_owner(&mut self, t: ThreadId, l: LockId) -> ShardMsg {
+    /// Owner side of a cross-shard acquire: ships the lock state to
+    /// actor shard `peer`.
+    pub fn acquire_owner(&mut self, t: ThreadId, l: LockId, peer: usize) -> ShardMsg {
         self.core.ensure_lock(l);
         let li = l.index();
         let skip = self.core.last_rel_thr[li] == Some(t);
         let lrel = if skip {
-            ClockMsg::Bottom
+            // The actor never reads the clock — send an inline `⊥` and
+            // leave both ends' memo caches untouched.
+            MemoClock::Fresh(ClockMsg::Bottom)
         } else {
-            ClockMsg::encode(&self.core.store, &self.core.lrel[li], &mut self.msgs)
+            let Self { core, msgs, memo, .. } = self;
+            let Core { store, lrel, .. } = core;
+            send_clock(store, msgs, memo, peer, MemoKey::Lock(li as u32), &lrel[li])
         };
         ShardMsg::Lock { skip, lrel }
     }
 
-    /// Actor side of a cross-shard acquire.
+    /// Actor side of a cross-shard acquire (`peer` is the owner shard).
     ///
     /// # Errors
     ///
@@ -714,90 +859,97 @@ impl<R: ShardRules> ShardChecker<R> {
         t: ThreadId,
         l: LockId,
         msg: ShardMsg,
+        peer: usize,
     ) -> Result<(), Violation> {
         let ShardMsg::Lock { skip, lrel } = msg else { panic!("acquire expects Lock") };
         self.begin_actor_event(t);
         let ti = t.index();
+        let li = l.index();
         let mut result = Ok(());
-        if !skip {
+        if skip {
+            lrel.recycle(&mut self.msgs);
+        } else {
             let active = self.core.txns.active(t);
-            let Self { core, tmp, .. } = self;
-            lrel.materialize_into(&mut core.store, tmp);
+            let Self { core, tmp, msgs, memo, .. } = self;
+            recv_clock(&mut core.store, msgs, memo, peer, MemoKey::Lock(li as u32), lrel, tmp);
             if core.check_and_get_clk(ti, active, active, tmp, false) {
                 result =
                     Err(Violation { event: eid, thread: t, kind: ViolationKind::AtAcquire(l) });
             }
         }
-        lrel.recycle(&mut self.msgs);
         result
     }
 
     // ---- release -------------------------------------------------------
 
-    /// Actor side of a cross-shard release: ships `C_t`.
-    pub fn release_actor(&mut self, t: ThreadId) -> ShardMsg {
+    /// Actor side of a cross-shard release: ships `C_t` to owner shard
+    /// `peer`.
+    pub fn release_actor(&mut self, t: ThreadId, peer: usize) -> ShardMsg {
         self.begin_actor_event(t);
-        self.actor_msg(t, false)
+        self.actor_msg(t, false, peer)
     }
 
     /// Owner side of a cross-shard release: `L_ℓ := C_t`,
-    /// `lastRelThr_ℓ := t`.
+    /// `lastRelThr_ℓ := t` (`peer` is the actor shard).
     ///
     /// # Panics
     ///
     /// Panics when `msg` is not the actor's [`ShardMsg::Actor`].
-    pub fn release_owner(&mut self, t: ThreadId, l: LockId, msg: ShardMsg) {
+    pub fn release_owner(&mut self, t: ThreadId, l: LockId, msg: ShardMsg, peer: usize) {
         let ShardMsg::Actor { ct, .. } = msg else { panic!("release expects Actor") };
         self.core.ensure_lock(l);
-        let li = l.index();
-        let Core { store, lrel, last_rel_thr, .. } = &mut self.core;
-        ct.materialize_into(store, &mut lrel[li]);
+        let (ti, li) = (t.index(), l.index());
+        let Self { core, msgs, memo, .. } = self;
+        let Core { store, lrel, last_rel_thr, .. } = core;
+        recv_clock(store, msgs, memo, peer, MemoKey::ActorCt(ti as u32), ct, &mut lrel[li]);
         last_rel_thr[li] = Some(t);
-        ct.recycle(&mut self.msgs);
     }
 
     // ---- fork ----------------------------------------------------------
 
-    /// Actor side of a cross-shard fork: ships `C_t` and the fork taint.
-    pub fn fork_actor(&mut self, t: ThreadId) -> ShardMsg {
+    /// Actor side of a cross-shard fork: ships `C_t` and the fork taint
+    /// to owner shard `peer`.
+    pub fn fork_actor(&mut self, t: ThreadId, peer: usize) -> ShardMsg {
         self.begin_actor_event(t);
-        self.actor_msg(t, false)
+        self.actor_msg(t, false, peer)
     }
 
-    /// Owner side of a cross-shard fork: `C_u := C_u ⊔ C_t` plus the GC
-    /// taint (a cross-shard fork target is always a different thread).
+    /// Owner side of a cross-shard fork by thread `t` of thread `u`:
+    /// `C_u := C_u ⊔ C_t` plus the GC taint (a cross-shard fork target
+    /// is always a different thread). `peer` is the actor shard.
     ///
     /// # Panics
     ///
     /// Panics when `msg` is not the actor's [`ShardMsg::Actor`].
-    pub fn fork_owner(&mut self, u: ThreadId, msg: ShardMsg) {
+    pub fn fork_owner(&mut self, t: ThreadId, u: ThreadId, msg: ShardMsg, peer: usize) {
         let ShardMsg::Actor { ct, active, .. } = msg else { panic!("fork expects Actor") };
         self.core.ensure_thread(u);
-        let ui = u.index();
-        let Self { core, tmp, msgs, .. } = self;
-        ct.materialize_into(&mut core.store, tmp);
+        let (ti, ui) = (t.index(), u.index());
+        let Self { core, tmp, msgs, memo, .. } = self;
+        recv_clock(&mut core.store, msgs, memo, peer, MemoKey::ActorCt(ti as u32), ct, tmp);
         let Core { store, ct: cts, tainted, .. } = core;
         store.join_into(&mut cts[ui], tmp);
         if active {
             tainted[ui] = true;
         }
-        ct.recycle(msgs);
     }
 
     // ---- join ----------------------------------------------------------
 
     /// Owner side of a cross-shard join: ships the target thread's
-    /// state.
-    pub fn join_owner(&mut self, u: ThreadId) -> ShardMsg {
+    /// state to actor shard `peer`.
+    pub fn join_owner(&mut self, u: ThreadId, peer: usize) -> ShardMsg {
         self.core.ensure_thread(u);
         let ui = u.index();
+        let Self { core, msgs, memo, .. } = self;
+        let Core { store, ct, seen, .. } = core;
         ShardMsg::Thread {
-            seen: self.core.seen[ui],
-            ct: ClockMsg::encode(&self.core.store, &self.core.ct[ui], &mut self.msgs),
+            seen: seen[ui],
+            ct: send_clock(store, msgs, memo, peer, MemoKey::Thread(ui as u32), &ct[ui]),
         }
     }
 
-    /// Actor side of a cross-shard join.
+    /// Actor side of a cross-shard join (`peer` is the owner shard).
     ///
     /// # Errors
     ///
@@ -812,42 +964,45 @@ impl<R: ShardRules> ShardChecker<R> {
         t: ThreadId,
         u: ThreadId,
         msg: ShardMsg,
+        peer: usize,
     ) -> Result<(), Violation> {
         let ShardMsg::Thread { seen, ct } = msg else { panic!("join expects Thread") };
         self.begin_actor_event(t);
-        let ti = t.index();
+        let (ti, ui) = (t.index(), u.index());
         let active = self.core.txns.active(t);
         let check = active && seen;
-        let Self { core, tmp, .. } = self;
-        ct.materialize_into(&mut core.store, tmp);
-        let result = if core.check_and_get_clk(ti, check, active, tmp, false) {
+        let Self { core, tmp, msgs, memo, .. } = self;
+        recv_clock(&mut core.store, msgs, memo, peer, MemoKey::Thread(ui as u32), ct, tmp);
+        if core.check_and_get_clk(ti, check, active, tmp, false) {
             Err(Violation { event: eid, thread: t, kind: ViolationKind::AtJoin(u) })
         } else {
             Ok(())
-        };
-        ct.recycle(&mut self.msgs);
-        result
+        }
     }
 
     // ---- read ----------------------------------------------------------
 
     /// Owner side of a cross-shard read, phase 1: grows the tables the
-    /// sequential `on_read` would and ships the write-check inputs.
-    pub fn read_owner(&mut self, t: ThreadId, x: VarId) -> ShardMsg {
+    /// sequential `on_read` would and ships the write-check inputs to
+    /// actor shard `peer`.
+    pub fn read_owner(&mut self, t: ThreadId, x: VarId, peer: usize) -> ShardMsg {
         self.core.ensure_var(x);
         let (ti, xi) = (t.index(), x.index());
         self.rules.owner_ensure(xi, ti);
         let skip_w = self.core.last_w_thr[xi] == Some(t);
         let wx = if skip_w {
-            ClockMsg::Bottom
+            MemoClock::Fresh(ClockMsg::Bottom)
         } else {
-            ClockMsg::encode(&self.core.store, &self.core.wx[xi], &mut self.msgs)
+            let Self { core, msgs, memo, .. } = self;
+            let Core { store, wx, .. } = core;
+            send_clock(store, msgs, memo, peer, MemoKey::VarW(xi as u32), &wx[xi])
         };
         ShardMsg::ReadInfo { skip_w, wx }
     }
 
     /// Actor side of a cross-shard read: the write-clock check, then the
-    /// reply (always sent, carrying the verdict).
+    /// reply (always sent, carrying the verdict). `peer` is the owner
+    /// shard.
     ///
     /// # Panics
     ///
@@ -858,38 +1013,42 @@ impl<R: ShardRules> ShardChecker<R> {
         t: ThreadId,
         x: VarId,
         msg: ShardMsg,
+        peer: usize,
     ) -> (Result<(), Violation>, ShardMsg) {
         let ShardMsg::ReadInfo { skip_w, wx } = msg else { panic!("read expects ReadInfo") };
         self.begin_actor_event(t);
-        let ti = t.index();
+        let (ti, xi) = (t.index(), x.index());
         let mut result = Ok(());
-        if !skip_w {
+        if skip_w {
+            wx.recycle(&mut self.msgs);
+        } else {
             let active = self.core.txns.active(t);
-            let Self { core, tmp, .. } = self;
-            wx.materialize_into(&mut core.store, tmp);
+            let Self { core, tmp, msgs, memo, .. } = self;
+            recv_clock(&mut core.store, msgs, memo, peer, MemoKey::VarW(xi as u32), wx, tmp);
             if core.check_and_get_clk(ti, active, active, tmp, false) {
                 result = Err(Violation { event: eid, thread: t, kind: ViolationKind::AtRead(x) });
             }
         }
-        wx.recycle(&mut self.msgs);
-        let reply = self.actor_msg(t, result.is_err());
+        let reply = self.actor_msg(t, result.is_err(), peer);
         (result, reply)
     }
 
     /// Owner side of a cross-shard read, phase 2: absorbs the reader's
-    /// clock into the read tables (no-op if the actor violated).
+    /// clock into the read tables (table writes skipped if the actor
+    /// violated; the memo caches still advance). `peer` is the actor
+    /// shard.
     ///
     /// # Panics
     ///
     /// Panics when `msg` is not the actor's [`ShardMsg::Actor`] reply.
-    pub fn read_owner_absorb(&mut self, t: ThreadId, x: VarId, msg: ShardMsg) {
+    pub fn read_owner_absorb(&mut self, t: ThreadId, x: VarId, msg: ShardMsg, peer: usize) {
         let ShardMsg::Actor { violated, ct, .. } = msg else { panic!("absorb expects Actor") };
+        let (ti, xi) = (t.index(), x.index());
+        let Self { core, rules, tmp, msgs, memo, .. } = self;
+        recv_clock(&mut core.store, msgs, memo, peer, MemoKey::ActorCt(ti as u32), ct, tmp);
         if !violated {
-            let (ti, xi) = (t.index(), x.index());
-            let Self { core, rules, tmp, .. } = self;
-            rules.absorb_read(core, xi, ti, &ct, tmp);
+            rules.absorb_read(core, xi, ti, tmp);
         }
-        ct.recycle(&mut self.msgs);
     }
 
     // ---- write ---------------------------------------------------------
@@ -912,7 +1071,8 @@ impl<R: ShardRules> ShardChecker<R> {
     }
 
     /// Actor side of a cross-shard write: write-vs-write check, the
-    /// per-algorithm read checks, then the reply (always sent).
+    /// per-algorithm read checks, then the reply (always sent). `peer`
+    /// is the owner shard.
     ///
     /// # Panics
     ///
@@ -923,6 +1083,7 @@ impl<R: ShardRules> ShardChecker<R> {
         t: ThreadId,
         x: VarId,
         msg: ShardMsg,
+        peer: usize,
     ) -> (Result<(), Violation>, ShardMsg) {
         let ShardMsg::WriteInfo { skip_w, wx, reads } = msg else {
             panic!("write expects WriteInfo")
@@ -947,25 +1108,27 @@ impl<R: ShardRules> ShardChecker<R> {
         }
         wx.recycle(&mut self.msgs);
         recycle_reads(reads, &mut self.msgs, &mut self.rows_free);
-        let reply = self.actor_msg(t, result.is_err());
+        let reply = self.actor_msg(t, result.is_err(), peer);
         (result, reply)
     }
 
     /// Owner side of a cross-shard write, phase 2: `W_x := C_t`,
-    /// `lastWThr_x := t` (no-op if the actor violated).
+    /// `lastWThr_x := t` (table writes skipped if the actor violated;
+    /// the memo caches still advance). `peer` is the actor shard.
     ///
     /// # Panics
     ///
     /// Panics when `msg` is not the actor's [`ShardMsg::Actor`] reply.
-    pub fn write_owner_absorb(&mut self, t: ThreadId, x: VarId, msg: ShardMsg) {
+    pub fn write_owner_absorb(&mut self, t: ThreadId, x: VarId, msg: ShardMsg, peer: usize) {
         let ShardMsg::Actor { violated, ct, .. } = msg else { panic!("absorb expects Actor") };
+        let (ti, xi) = (t.index(), x.index());
+        let Self { core, tmp, msgs, memo, .. } = self;
+        recv_clock(&mut core.store, msgs, memo, peer, MemoKey::ActorCt(ti as u32), ct, tmp);
         if !violated {
-            let xi = x.index();
-            let Core { store, wx, last_w_thr, .. } = &mut self.core;
-            ct.materialize_into(store, &mut wx[xi]);
+            let Core { store, wx, last_w_thr, .. } = core;
+            store.assign(&mut wx[xi], tmp);
             last_w_thr[xi] = Some(t);
         }
-        ct.recycle(&mut self.msgs);
     }
 
     // ---- outermost end (two-phase barrier) -----------------------------
@@ -1107,33 +1270,33 @@ mod tests {
                 Route::Local(s) => shards[s].process_local(eid, event),
                 Route::Cross { actor, owner } => match event.op {
                     Op::Acquire(l) => {
-                        let msg = shards[owner].acquire_owner(t, l);
-                        shards[actor].acquire_actor(eid, t, l, msg)
+                        let msg = shards[owner].acquire_owner(t, l, actor);
+                        shards[actor].acquire_actor(eid, t, l, msg, owner)
                     }
                     Op::Release(l) => {
-                        let msg = shards[actor].release_actor(t);
-                        shards[owner].release_owner(t, l, msg);
+                        let msg = shards[actor].release_actor(t, owner);
+                        shards[owner].release_owner(t, l, msg, actor);
                         Ok(())
                     }
                     Op::Fork(u) => {
-                        let msg = shards[actor].fork_actor(t);
-                        shards[owner].fork_owner(u, msg);
+                        let msg = shards[actor].fork_actor(t, owner);
+                        shards[owner].fork_owner(t, u, msg, actor);
                         Ok(())
                     }
                     Op::Join(u) => {
-                        let msg = shards[owner].join_owner(u);
-                        shards[actor].join_actor(eid, t, u, msg)
+                        let msg = shards[owner].join_owner(u, actor);
+                        shards[actor].join_actor(eid, t, u, msg, owner)
                     }
                     Op::Read(x) => {
-                        let info = shards[owner].read_owner(t, x);
-                        let (r, reply) = shards[actor].read_actor(eid, t, x, info);
-                        shards[owner].read_owner_absorb(t, x, reply);
+                        let info = shards[owner].read_owner(t, x, actor);
+                        let (r, reply) = shards[actor].read_actor(eid, t, x, info, owner);
+                        shards[owner].read_owner_absorb(t, x, reply, actor);
                         r
                     }
                     Op::Write(x) => {
                         let info = shards[owner].write_owner(t, x);
-                        let (r, reply) = shards[actor].write_actor(eid, t, x, info);
-                        shards[owner].write_owner_absorb(t, x, reply);
+                        let (r, reply) = shards[actor].write_actor(eid, t, x, info, owner);
+                        shards[owner].write_owner_absorb(t, x, reply, actor);
                         r
                     }
                     Op::Begin | Op::End => unreachable!("begin/nested end are shard-local"),
@@ -1295,6 +1458,46 @@ mod tests {
         }
         tb.begin(w).write(w, x).end(w);
         assert_all_partitions(&tb.finish());
+    }
+
+    #[test]
+    fn memo_suppression_changes_stats_not_outcomes() {
+        // Repetitive cross-shard traffic with unchanged clocks: pin the
+        // threads and the resources apart so every lock/var event runs
+        // the dialogue. The repeated `⊥` write clock and stable thread
+        // clocks must hit the memo; verdict, joins and events must not
+        // move with the memo on, off, or between warm rounds.
+        let mut tb = TraceBuilder::new();
+        let (t1, t2) = (tb.thread("t1"), tb.thread("t2"));
+        let l = tb.lock("m");
+        let x = tb.var("x");
+        for _ in 0..6 {
+            tb.acquire(t1, l).read(t1, x).release(t1, l);
+            tb.acquire(t2, l).read(t2, x).release(t2, l);
+        }
+        let trace = tb.finish();
+        let mut own = Ownership::round_robin(2);
+        for i in 0..4 {
+            own.pin_thread(i, 0);
+            own.pin_lock(i, 1);
+            own.pin_var(i, 1);
+        }
+        let mut engine = Engine::<BasicRules<ClockPool>>::new();
+        let outcome = run_checker(&mut engine, &trace);
+        let mut hits = Vec::new();
+        for enabled in [true, false] {
+            let mut shards: Vec<BasicShard> = (0..2).map(|_| ShardChecker::new()).collect();
+            for s in &mut shards {
+                s.set_memo(enabled);
+            }
+            let (violation, joins, fed) = drive(&mut shards, &own, &trace);
+            assert_eq!(outcome.violation().cloned(), violation, "memo={enabled}");
+            assert_eq!(joins, engine.clock_joins(), "memo={enabled} joins");
+            assert_eq!(fed, engine.events_processed(), "memo={enabled} events");
+            hits.push(shards.iter().map(ShardChecker::memo_hits).sum::<u64>());
+        }
+        assert!(hits[0] > 0, "repetitive dialogues must hit the memo");
+        assert_eq!(hits[1], 0, "disabled memo must never count hits");
     }
 
     #[test]

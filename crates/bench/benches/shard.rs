@@ -1,7 +1,7 @@
 //! Per-trace sharding bench: one trace, one checker, 1/2/4 cooperating
-//! shards.
+//! shards, round-robin vs affinity-derived partitions.
 //!
-//! Two questions per workload shape. First, what does splitting one
+//! Three questions per workload shape. First, what does splitting one
 //! trace's event stream across shards of the *same* checker buy over
 //! the sequential engine — this is the paper's missing axis: `compare`
 //! parallelises across checkers and chunk-parallel ingest parallelises
@@ -9,10 +9,14 @@
 //! does the win scale with the cross-shard edge rate — convoy (every
 //! transaction touches the one global lock → near-total cross traffic)
 //! is the adversarial floor, fanout (disjoint ownership after the
-//! initial forks) the ceiling, nesting in between. The
-//! `CRITERION_SHIM_JSON` dump of this bench is the source of
-//! `BENCH_shard.json`, the checked-in last-known-good that the
-//! scheduled CI job diffs fresh runs against with `rapid benchdiff`.
+//! initial forks) the ceiling, nesting in between. Third, how much of
+//! that cross traffic does the `pipeline::affinity` auto-partitioner
+//! remove — the `partitioned` arms run the same sweep under the
+//! locality-minimizing plan, plus a `plan` arm timing the profiling +
+//! partitioning pass itself. The `CRITERION_SHIM_JSON` dump of this
+//! bench is the source of `BENCH_shard.json`, the checked-in
+//! last-known-good that the scheduled CI job diffs fresh runs against
+//! with `rapid benchdiff`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
@@ -20,6 +24,7 @@ use std::time::Duration;
 use aerodrome::readopt::ReadOptChecker;
 use aerodrome::shard::Ownership;
 use aerodrome::{run_checker, Checker};
+use aerodrome_suite::pipeline::affinity::profile_source;
 use aerodrome_suite::pipeline::shard::{check_sharded, ShardAlgo, ShardConfig};
 use tracelog::Trace;
 use workloads::{shapes, GenConfig};
@@ -52,6 +57,42 @@ fn bench_shard(c: &mut Criterion) {
                 &shards,
                 |b, &shards| {
                     let own = Ownership::round_robin(shards);
+                    let config = ShardConfig::default();
+                    b.iter(|| {
+                        let report = check_sharded(
+                            &mut trace.stream(),
+                            ShardAlgo::ReadOpt,
+                            own.clone(),
+                            &config,
+                        )
+                        .unwrap();
+                        assert_eq!(report.events, events);
+                    });
+                },
+            );
+        }
+
+        // The one-pass profile + partition itself: must stay cheap
+        // relative to a checking run (it is pure counting plus a few
+        // KL-style refinement passes over the affinity graph).
+        g.bench_function(BenchmarkId::new(format!("{shape}/plan"), 2), |b| {
+            b.iter(|| {
+                let profile = profile_source(&mut trace.stream(), 4096).unwrap();
+                let plan = profile.partition(2);
+                assert_eq!(plan.events, events);
+            });
+        });
+
+        // The same shard sweep under the affinity-derived plan: the
+        // spread against `sharded` IS the partitioner's win (convoy
+        // collapses onto one shard, fanout re-aligns its private vars).
+        let profile = profile_source(&mut trace.stream(), 4096).unwrap();
+        for shards in [2usize, 4] {
+            let own = profile.partition(shards).ownership();
+            g.bench_with_input(
+                BenchmarkId::new(format!("{shape}/partitioned"), shards),
+                &own,
+                |b, own| {
                     let config = ShardConfig::default();
                     b.iter(|| {
                         let report = check_sharded(

@@ -29,6 +29,7 @@ use aerodrome::optimized::OptimizedChecker;
 use aerodrome::readopt::ReadOptChecker;
 use aerodrome::shard::Ownership;
 use aerodrome::{Checker, Outcome};
+use aerodrome_suite::pipeline::affinity::{self, AffinityProfile, PartitionPlan};
 use aerodrome_suite::pipeline::chunkpar::ChunkParSource;
 use aerodrome_suite::pipeline::multi::{self, MultiConfig};
 use aerodrome_suite::pipeline::par::{self, CheckerRun, ParConfig, SendChecker};
@@ -44,16 +45,20 @@ use velodrome::{Config, Strategy, VelodromeChecker};
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
-    /// `rapid metainfo <trace.std> [--batch N]` — trace statistics
-    /// (Tables 1–2 columns 2–6).
+    /// `rapid metainfo <trace.std> [--ingest-jobs N] [--batch N]` —
+    /// trace statistics (Tables 1–2 columns 2–6).
     MetaInfo {
         /// Path of the trace log.
         path: String,
         /// Events per ingest batch; `None` uses the default (~4096).
         batch: Option<usize>,
+        /// Reader threads decoding chunks of a binary trace (default 1:
+        /// the caller thread ingests alone).
+        ingest_jobs: usize,
     },
     /// `rapid aerodrome <trace.std> [--algorithm basic|readopt|optimized]
-    /// [--shards N] [--ingest-jobs N] [--batch N] [--no-validate]`
+    /// [--shards N] [--partition auto|round-robin|plan.json]
+    /// [--ingest-jobs N] [--batch N] [--no-validate]`
     /// (alias: `rapid check`).
     Aerodrome {
         /// Path of the trace log.
@@ -66,12 +71,16 @@ pub enum Command {
         batch: Option<usize>,
         /// Cooperating shards of the one checker (default 1: the plain
         /// sequential engine). `N ≥ 2` splits the trace's threads,
-        /// locks and variables round-robin across N shard threads —
-        /// Algorithms 1 and 2 only.
+        /// locks and variables across N shard threads — Algorithms 1
+        /// and 2 only.
         shards: usize,
         /// Reader threads decoding chunks of a binary trace (default 1:
         /// the caller thread ingests alone).
         ingest_jobs: usize,
+        /// How the shard tables are derived (`--partition`, shards ≥ 2
+        /// only): blind round-robin (default), an affinity-profiled
+        /// `auto` plan, or a saved `rapid partition` plan file.
+        partition: PartitionChoice,
     },
     /// `rapid velodrome <trace.std> [--no-gc] [--pearce-kelly]
     /// [--batch N] [--no-validate]`.
@@ -106,15 +115,48 @@ pub enum Command {
         /// the results are diffed bit for bit (exit non-zero on any
         /// divergence).
         shards: usize,
+        /// How the N-shard tables are derived (`--partition`, as on
+        /// `aerodrome`/`check`), so the self-differential covers
+        /// auto-partitioned runs too.
+        partition: PartitionChoice,
     },
-    /// `rapid validate <trace.std> [--batch N]` — the streaming
-    /// well-formedness check alone (exit 1 on the first ill-formed
-    /// event).
+    /// `rapid validate <trace.std> [--ingest-jobs N] [--batch N]` — the
+    /// streaming well-formedness check alone (exit 1 on the first
+    /// ill-formed event).
     Validate {
         /// Path of the trace log.
         path: String,
         /// Events per ingest batch; `None` uses the default (~4096).
         batch: Option<usize>,
+        /// Reader threads decoding chunks of a binary trace (default 1:
+        /// the caller thread ingests alone).
+        ingest_jobs: usize,
+    },
+    /// `rapid partition <trace> [--shards N] [--balance F]
+    /// [--out plan.json] [--measure] [--ingest-jobs N] [--batch N]` —
+    /// profile the trace's thread↔lock↔variable access affinity and
+    /// derive the locality-minimizing shard plan, printing predicted
+    /// (and, with `--measure`, measured) cross-edge rates.
+    Partition {
+        /// Path of the trace log.
+        path: String,
+        /// Shards the plan spreads over (default 2).
+        shards: usize,
+        /// Soft load-balance weight of the partitioner cost (default
+        /// [`affinity::DEFAULT_BALANCE`]).
+        balance: f64,
+        /// Save the plan as versioned JSON here (feed it back via
+        /// `--partition <path>`).
+        out: Option<String>,
+        /// Additionally run the sharded checker (Algorithm 2) under the
+        /// plan and report the measured cross-edge rate next to the
+        /// prediction.
+        measure: bool,
+        /// Events per ingest batch; `None` uses the default (~4096).
+        batch: Option<usize>,
+        /// Reader threads decoding chunks of a binary trace (default 1:
+        /// the caller thread ingests alone).
+        ingest_jobs: usize,
     },
     /// `rapid batch <dir|manifest|trace.std> [--jobs N] [--batch N]
     /// [--checker NAME] [--seal-verify] [--no-validate]` — the resident
@@ -320,6 +362,34 @@ pub enum Algorithm {
     Optimized,
 }
 
+/// Shard-partition selector (the uniform `--partition` flag of
+/// `aerodrome`/`check` and `compare`).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum PartitionChoice {
+    /// Blind `index % shards` ownership tables (the default, and the
+    /// only behaviour before the affinity partitioner existed).
+    #[default]
+    RoundRobin,
+    /// Profile the trace's access affinity in a streaming pre-pass and
+    /// derive the locality-minimizing plan (`rapid partition` inline).
+    Auto,
+    /// Load a plan file saved by `rapid partition --out`.
+    Plan(String),
+}
+
+impl PartitionChoice {
+    /// Parses a `--partition` value: `round-robin`, `auto`, or a plan
+    /// file path (anything else).
+    #[must_use]
+    pub fn parse(value: &str) -> Self {
+        match value {
+            "round-robin" => Self::RoundRobin,
+            "auto" => Self::Auto,
+            path => Self::Plan(path.to_owned()),
+        }
+    }
+}
+
 /// Which checkers a `rapid batch` worker session runs per trace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum CheckerChoice {
@@ -420,19 +490,23 @@ pub const USAGE: &str = "\
 rapid — atomicity checking on trace logs (AeroDrome reproduction)
 
 USAGE:
-    rapid metainfo  <trace.std> [--batch N]
+    rapid metainfo  <trace.std> [--batch N] [--ingest-jobs N]
     rapid aerodrome <trace.std> [--algorithm basic|readopt|optimized]
-                    [--shards N] [--ingest-jobs N]
+                    [--shards N] [--partition auto|round-robin|plan.json]
+                    [--ingest-jobs N]
                     [--batch N] [--no-validate]   (alias: rapid check)
     rapid velodrome <trace.std> [--no-gc] [--pearce-kelly]
                     [--batch N] [--no-validate]
     rapid compare   <trace.std> [--jobs N] [--ingest-jobs N] [--shards N]
+                    [--partition auto|round-robin|plan.json]
                     [--batch N] [--no-validate]
     rapid batch     <dir|manifest|trace.std> [--jobs N] [--batch N]
                     [--checker all|basic|readopt|optimized|velodrome]
                     [--seal-verify] [--no-validate]
-    rapid validate  <trace.std> [--batch N]
+    rapid validate  <trace.std> [--batch N] [--ingest-jobs N]
     rapid convert   <in> <out> [--chunk-events N]
+    rapid partition <trace> [--shards N] [--balance F] [--out plan.json]
+                    [--measure] [--ingest-jobs N] [--batch N]
     rapid benchdiff <baseline.json> <fresh.json> [--threshold PCT]
     rapid generate  <out.std> [--profile NAME|convoy|fanout|nesting]
                     [--events N]
@@ -466,21 +540,27 @@ accepts either encoding, sniffed by file magic (the extension is only a
 convention); `rapid convert` transcodes between them both ways, and the
 `.std` -> `.rbt` -> `.std` round-trip is byte-exact. `.expect` seal
 sidecars record identical text for both encodings of a trace.
-`--ingest-jobs N` (N ≥ 2, binary input only; on `compare` and
-`aerodrome`/`check`) additionally decodes the single file with N
-chunk-parallel readers feeding the analysis.
+`--ingest-jobs N` (N ≥ 2, binary input only; on `metainfo`, `validate`,
+`compare`, `aerodrome`/`check` and `partition`) additionally decodes the
+single file with N chunk-parallel readers feeding the analysis.
 
 `check --shards N` (N ≥ 2) splits ONE trace across N cooperating shards
 of the same checker: threads, locks and variables are partitioned
-round-robin, shard-local events (the vast majority) are checked with no
-synchronisation, and the rare cross-shard happens-before edges travel
-as clock messages — verdicts, first-violation attribution and the
-events/joins counters are bit-identical to the sequential engine at
-every shard count. Algorithms 1 and 2 only (Algorithm 3's lazy epochs
-resist partitioning; see docs/PERF.md). `compare --shards N` is the
-matching differential mode: both shardable algorithms run single-shard
-AND N-shard and the results are diffed bit for bit (non-zero exit on
-divergence).
+(round-robin by default), shard-local events (the vast majority) are
+checked with no synchronisation, and the rare cross-shard
+happens-before edges travel as clock messages, coalesced per channel
+flush and memoized per peer — verdicts, first-violation attribution and
+the events/joins counters are bit-identical to the sequential engine at
+every shard count and under every partition. Algorithms 1 and 2 only
+(Algorithm 3's lazy epochs resist partitioning; see docs/PERF.md).
+`--partition auto` first profiles the trace's thread↔lock↔variable
+access affinity and derives the locality-minimizing tables instead;
+`--partition plan.json` replays a plan saved by `rapid partition`,
+which prints predicted (and with `--measure`, measured) cross-edge
+rates for round-robin vs auto. `compare --shards N` is the matching
+differential mode: both shardable algorithms run single-shard AND
+N-shard (honouring `--partition`) and the results are diffed bit for
+bit (non-zero exit on divergence).
 `benchdiff` guards the perf trajectory: it diffs two rapid-bench-v1
 JSON reports metric by metric (higher-better *_per_sec, lower-better
 wall_s/*_ms) and exits non-zero past `--threshold` percent regression.
@@ -624,15 +704,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 .ok_or_else(|| UsageError("metainfo requires a trace path".into()))?
                 .clone();
             let mut batch = None;
+            let mut ingest_jobs = 1usize;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
                     "--batch" => batch = Some(batch_flag(args, &mut i)?),
+                    "--ingest-jobs" => ingest_jobs = positive_flag(args, &mut i, "--ingest-jobs")?,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
                 i += 1;
             }
-            Ok(Command::MetaInfo { path, batch })
+            Ok(Command::MetaInfo { path, batch, ingest_jobs })
         }
         "aerodrome" | "check" => {
             let path = args
@@ -644,6 +726,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             let mut batch = None;
             let mut shards = 1usize;
             let mut ingest_jobs = 1usize;
+            let mut partition = PartitionChoice::default();
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -658,6 +741,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                         };
                     }
                     "--shards" => shards = positive_flag(args, &mut i, "--shards")?,
+                    "--partition" => {
+                        partition =
+                            PartitionChoice::parse(flag_value(args, &mut i, "--partition")?);
+                    }
                     "--ingest-jobs" => ingest_jobs = positive_flag(args, &mut i, "--ingest-jobs")?,
                     "--batch" => batch = Some(batch_flag(args, &mut i)?),
                     "--no-validate" => validate = false,
@@ -665,7 +752,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 }
                 i += 1;
             }
-            Ok(Command::Aerodrome { path, algorithm, validate, batch, shards, ingest_jobs })
+            if partition != PartitionChoice::RoundRobin && shards <= 1 {
+                return Err(UsageError("--partition needs --shards N (N ≥ 2)".into()));
+            }
+            Ok(Command::Aerodrome {
+                path,
+                algorithm,
+                validate,
+                batch,
+                shards,
+                ingest_jobs,
+                partition,
+            })
         }
         "velodrome" => {
             let path = args
@@ -698,19 +796,27 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
             let mut batch = None;
             let mut validate = true;
             let mut shards = 1usize;
+            let mut partition = PartitionChoice::default();
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
                     "--jobs" => jobs = jobs_flag(args, &mut i)?,
                     "--ingest-jobs" => ingest_jobs = positive_flag(args, &mut i, "--ingest-jobs")?,
                     "--shards" => shards = positive_flag(args, &mut i, "--shards")?,
+                    "--partition" => {
+                        partition =
+                            PartitionChoice::parse(flag_value(args, &mut i, "--partition")?);
+                    }
                     "--batch" => batch = Some(batch_flag(args, &mut i)?),
                     "--no-validate" => validate = false,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
                 i += 1;
             }
-            Ok(Command::Compare { path, jobs, ingest_jobs, batch, validate, shards })
+            if partition != PartitionChoice::RoundRobin && shards <= 1 {
+                return Err(UsageError("--partition needs --shards N (N ≥ 2)".into()));
+            }
+            Ok(Command::Compare { path, jobs, ingest_jobs, batch, validate, shards, partition })
         }
         "convert" => {
             let input = args
@@ -772,15 +878,51 @@ pub fn parse_args(args: &[String]) -> Result<Command, UsageError> {
                 .ok_or_else(|| UsageError("validate requires a trace path".into()))?
                 .clone();
             let mut batch = None;
+            let mut ingest_jobs = 1usize;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
                     "--batch" => batch = Some(batch_flag(args, &mut i)?),
+                    "--ingest-jobs" => ingest_jobs = positive_flag(args, &mut i, "--ingest-jobs")?,
                     other => return Err(UsageError(format!("unknown flag `{other}`"))),
                 }
                 i += 1;
             }
-            Ok(Command::Validate { path, batch })
+            Ok(Command::Validate { path, batch, ingest_jobs })
+        }
+        "partition" => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| UsageError("partition requires a trace path".into()))?
+                .clone();
+            let mut shards = 2usize;
+            let mut balance = aerodrome_suite::pipeline::affinity::DEFAULT_BALANCE;
+            let mut out = None;
+            let mut measure = false;
+            let mut batch = None;
+            let mut ingest_jobs = 1usize;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--shards" => shards = positive_flag(args, &mut i, "--shards")?,
+                    "--balance" => {
+                        let b: f64 = num_flag(args, &mut i, "--balance")?;
+                        if !b.is_finite() || b < 0.0 {
+                            return Err(UsageError(
+                                "--balance must be a finite non-negative weight".into(),
+                            ));
+                        }
+                        balance = b;
+                    }
+                    "--out" => out = Some(flag_value(args, &mut i, "--out")?.to_owned()),
+                    "--measure" => measure = true,
+                    "--batch" => batch = Some(batch_flag(args, &mut i)?),
+                    "--ingest-jobs" => ingest_jobs = positive_flag(args, &mut i, "--ingest-jobs")?,
+                    other => return Err(UsageError(format!("unknown flag `{other}`"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Partition { path, shards, balance, out, measure, batch, ingest_jobs })
         }
         "batch" => {
             let path = args
@@ -1290,17 +1432,79 @@ fn shard_algo(algorithm: Algorithm, shards: usize) -> Result<ShardAlgo, String> 
     }
 }
 
-/// One sharded check of `path` (shards ≥ 2), optionally with
-/// chunk-parallel binary ingest.
+/// Profiles `path`'s access affinity in one streaming pass
+/// (chunk-parallel for binary input when `ingest_jobs > 1`).
+fn profile_trace(
+    path: &str,
+    ingest_jobs: usize,
+    batch: Option<usize>,
+) -> Result<AffinityProfile, String> {
+    let mut source = open_source(path)?;
+    let batch_events = batch.unwrap_or(DEFAULT_BATCH_EVENTS);
+    let profile = if ingest_jobs > 1 {
+        let AnySource::Bin(bin) = &source else {
+            return Err(ingest_jobs_guidance(path, ingest_jobs));
+        };
+        let trace = Arc::clone(bin.trace());
+        affinity::profile_chunked(&trace, ingest_jobs, batch_events)
+    } else {
+        affinity::profile_source(&mut source, batch_events)
+    }
+    .map_err(|e| source_err(path, &source, &e))?;
+    Ok(profile)
+}
+
+/// Resolves `--partition` into concrete [`Ownership`] tables plus a
+/// provenance note for the report (`auto` runs the affinity pre-pass
+/// here; a plan file must have been derived for the same shard count).
+fn resolve_partition(
+    path: &str,
+    partition: &PartitionChoice,
+    shards: usize,
+    ingest_jobs: usize,
+    batch: Option<usize>,
+) -> Result<(Ownership, String), String> {
+    match partition {
+        PartitionChoice::RoundRobin => {
+            Ok((Ownership::round_robin(shards), "round-robin".to_owned()))
+        }
+        PartitionChoice::Auto => {
+            let plan = profile_trace(path, ingest_jobs, batch)?.partition(shards);
+            let note = format!(
+                "auto (predicted cross rate {:.2}%)",
+                plan.predicted().cross_rate() * 100.0
+            );
+            Ok((plan.ownership(), note))
+        }
+        PartitionChoice::Plan(file) => {
+            let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+            let plan = PartitionPlan::from_json(&text).map_err(|e| format!("{file}: {e}"))?;
+            if plan.shards != shards {
+                return Err(format!(
+                    "{file}: plan was derived for {} shard(s) but --shards {shards} was given \
+                     (re-run `rapid partition --shards {shards}`)",
+                    plan.shards
+                ));
+            }
+            let note = format!(
+                "plan {file} (predicted cross rate {:.2}%)",
+                plan.predicted().cross_rate() * 100.0
+            );
+            Ok((plan.ownership(), note))
+        }
+    }
+}
+
+/// One sharded check of `path` under the resolved `own` tables,
+/// optionally with chunk-parallel binary ingest.
 fn check_one_sharded(
     path: &str,
     algo: ShardAlgo,
-    shards: usize,
+    own: Ownership,
     ingest_jobs: usize,
     config: &ShardConfig,
 ) -> Result<(ShardReport, String), String> {
     let mut source = open_source(path)?;
-    let own = Ownership::round_robin(shards);
     let report = if ingest_jobs > 1 {
         let AnySource::Bin(bin) = &source else {
             return Err(ingest_jobs_guidance(path, ingest_jobs));
@@ -1327,14 +1531,16 @@ fn run_aerodrome_sharded(
     batch: Option<usize>,
     shards: usize,
     ingest_jobs: usize,
+    partition: &PartitionChoice,
 ) -> Result<String, String> {
     let algo = shard_algo(algorithm, shards)?;
     let mut config = ShardConfig::default().validate(validate);
     if let Some(b) = batch {
         config = config.batch_events(b);
     }
+    let (own, provenance) = resolve_partition(path, partition, shards, ingest_jobs, batch)?;
     let start = Instant::now();
-    let (report, verdict) = check_one_sharded(path, algo, shards, ingest_jobs, &config)?;
+    let (report, verdict) = check_one_sharded(path, algo, own, ingest_jobs, &config)?;
     let wall = start.elapsed();
     let name = match algo {
         ShardAlgo::Basic => "aerodrome (Algorithm 1)",
@@ -1379,6 +1585,18 @@ fn run_aerodrome_sharded(
         s.step_batches,
         wall.as_secs_f64()
     );
+    let _ = writeln!(
+        out,
+        "partition: {provenance}  measured cross-edge rate: {:.2}%",
+        s.cross_edge_rate() * 100.0
+    );
+    let batching =
+        if s.msg_flushes == 0 { 0.0 } else { s.cross_msgs as f64 / s.msg_flushes as f64 };
+    let _ = writeln!(
+        out,
+        "dialogues: msgs={} flushes={} (×{batching:.1} batched) memo-suppressed={}",
+        s.cross_msgs, s.msg_flushes, s.memo_hits
+    );
     if s.ingest_readers > 0 {
         let _ = writeln!(out, "chunk-parallel ingest: {} readers", s.ingest_readers);
     }
@@ -1395,13 +1613,15 @@ fn run_compare_sharded(
     batch: Option<usize>,
     validate: bool,
     shards: usize,
+    partition: &PartitionChoice,
 ) -> Result<String, String> {
     let mut config = ShardConfig::default().validate(validate);
     if let Some(b) = batch {
         config = config.batch_events(b);
     }
+    let (own, provenance) = resolve_partition(path, partition, shards, ingest_jobs, batch)?;
     let mut out = String::new();
-    let _ = writeln!(out, "sharded differential: {path} (1 vs {shards} shards)");
+    let _ = writeln!(out, "sharded differential: {path} (1 vs {shards} shards, {provenance})");
     let _ = writeln!(
         out,
         "{:<18} {:>7} {:>10} {:>12} {:>12} {:>9} {:>9}  bit-identical",
@@ -1410,10 +1630,12 @@ fn run_compare_sharded(
     let mut mismatches = 0usize;
     for algo in [ShardAlgo::Basic, ShardAlgo::ReadOpt] {
         let start = Instant::now();
-        let (single, verdict_1) = check_one_sharded(path, algo, 1, ingest_jobs, &config)?;
+        let (single, verdict_1) =
+            check_one_sharded(path, algo, Ownership::round_robin(1), ingest_jobs, &config)?;
         let wall_1 = start.elapsed();
         let start = Instant::now();
-        let (sharded, verdict_n) = check_one_sharded(path, algo, shards, ingest_jobs, &config)?;
+        let (sharded, verdict_n) =
+            check_one_sharded(path, algo, own.clone(), ingest_jobs, &config)?;
         let wall_n = start.elapsed();
         let identical = single.run.outcome == sharded.run.outcome
             && single.run.report.events == sharded.run.report.events
@@ -1461,15 +1683,35 @@ fn run_compare_sharded(
 pub fn run(command: Command) -> Result<String, String> {
     match command {
         Command::Help => Ok(USAGE.to_owned()),
-        Command::MetaInfo { path, batch } => {
-            // Pure statistics, computed in one streaming (batched) pass.
-            let mut source = open_source(&path)?;
-            let info =
-                MetaInfo::collect_batched(&mut source, batch.unwrap_or(DEFAULT_BATCH_EVENTS))
-                    .map_err(|e| source_err(&path, &source, &e))?;
-            Ok(info.to_string())
+        Command::MetaInfo { path, batch, ingest_jobs } => {
+            // Pure statistics, computed in one streaming (batched) pass
+            // — chunk-parallel over a binary trace with --ingest-jobs.
+            let source = open_source(&path)?;
+            let batch_events = batch.unwrap_or(DEFAULT_BATCH_EVENTS);
+            let mut readers_used = 0usize;
+            let mut source: Box<dyn EventSource> = if ingest_jobs > 1 {
+                let AnySource::Bin(bin) = &source else {
+                    return Err(ingest_jobs_guidance(&path, ingest_jobs));
+                };
+                let trace = Arc::clone(bin.trace());
+                let chunkpar = ChunkParSource::new(trace, ingest_jobs, batch_events);
+                readers_used = chunkpar.readers();
+                Box::new(chunkpar)
+            } else {
+                Box::new(source)
+            };
+            let info = MetaInfo::collect_batched(&mut source, batch_events)
+                .map_err(|e| source_err(&path, &source, &e))?;
+            let mut out = info.to_string();
+            if readers_used > 1 {
+                if !out.ends_with('\n') {
+                    out.push('\n');
+                }
+                let _ = writeln!(out, "chunk-parallel ingest: {readers_used} readers");
+            }
+            Ok(out)
         }
-        Command::Aerodrome { path, algorithm, validate, batch, shards, ingest_jobs } => {
+        Command::Aerodrome { path, algorithm, validate, batch, shards, ingest_jobs, partition } => {
             if shards > 1 {
                 return run_aerodrome_sharded(
                     &path,
@@ -1478,6 +1720,7 @@ pub fn run(command: Command) -> Result<String, String> {
                     batch,
                     shards,
                     ingest_jobs,
+                    &partition,
                 );
             }
             let source = open_source(&path)?;
@@ -1557,9 +1800,16 @@ pub fn run(command: Command) -> Result<String, String> {
             }
             Ok(out)
         }
-        Command::Compare { path, jobs, ingest_jobs, batch, validate, shards } => {
+        Command::Compare { path, jobs, ingest_jobs, batch, validate, shards, partition } => {
             if shards > 1 {
-                return run_compare_sharded(&path, ingest_jobs, batch, validate, shards);
+                return run_compare_sharded(
+                    &path,
+                    ingest_jobs,
+                    batch,
+                    validate,
+                    shards,
+                    &partition,
+                );
             }
             let mut source = open_source(&path)?;
             let mut config = ParConfig::default().jobs(jobs).validate(validate);
@@ -1754,10 +2004,25 @@ pub fn run(command: Command) -> Result<String, String> {
                 Ok(out)
             }
         }
-        Command::Validate { path, batch } => {
-            let mut source = open_source(&path)?;
+        Command::Validate { path, batch, ingest_jobs } => {
+            let source = open_source(&path)?;
+            let batch_events = batch.unwrap_or(DEFAULT_BATCH_EVENTS);
+            let mut readers_used = 0usize;
+            // Chunk-parallel decode restitches events in trace order,
+            // so the online validator sees the same stream either way.
+            let mut source: Box<dyn EventSource> = if ingest_jobs > 1 {
+                let AnySource::Bin(bin) = &source else {
+                    return Err(ingest_jobs_guidance(&path, ingest_jobs));
+                };
+                let trace = Arc::clone(bin.trace());
+                let chunkpar = ChunkParSource::new(trace, ingest_jobs, batch_events);
+                readers_used = chunkpar.readers();
+                Box::new(chunkpar)
+            } else {
+                Box::new(source)
+            };
             let mut validator = Validator::new();
-            let mut arena = EventBatch::with_target(batch.unwrap_or(DEFAULT_BATCH_EVENTS));
+            let mut arena = EventBatch::with_target(batch_events);
             'ingest: loop {
                 let refill = source.next_batch(&mut arena);
                 for &event in arena.events() {
@@ -1792,7 +2057,76 @@ pub fn run(command: Command) -> Result<String, String> {
                     summary.held_locks.len()
                 );
             }
+            if readers_used > 1 {
+                let _ = writeln!(out, "chunk-parallel ingest: {readers_used} readers");
+            }
             Ok(out)
+        }
+        Command::Partition { path, shards, balance, out, measure, batch, ingest_jobs } => {
+            let start = Instant::now();
+            let profile = profile_trace(&path, ingest_jobs, batch)?;
+            let plan = profile.partition_with_balance(shards, balance);
+            let wall = start.elapsed();
+            let auto = plan.predicted();
+            let rr = profile.evaluate(&Ownership::round_robin(shards));
+            let mut o = String::new();
+            let _ = writeln!(o, "affinity plan: {path} over {shards} shard(s)");
+            let _ = writeln!(
+                o,
+                "events: {}  threads: {}  locks: {}  vars: {}  profile wall: {:.3}s",
+                profile.events,
+                profile.thread_weight.len(),
+                plan.locks.len(),
+                plan.vars.len(),
+                wall.as_secs_f64()
+            );
+            let _ = writeln!(
+                o,
+                "{:<12} {:>12} {:>12} {:>11}",
+                "partition", "cross evts", "global ends", "cross rate"
+            );
+            for (name, p) in [("round-robin", rr), ("auto", auto)] {
+                let _ = writeln!(
+                    o,
+                    "{name:<12} {:>12} {:>12} {:>10.2}%",
+                    p.cross_events,
+                    p.global_ends,
+                    p.cross_rate() * 100.0
+                );
+            }
+            let _ = match (rr.cross_events, auto.cross_events) {
+                (_, 0) => {
+                    writeln!(o, "predicted cross-event reduction: all {} removed", rr.cross_events)
+                }
+                (base, got) => {
+                    writeln!(o, "predicted cross-event reduction: ×{:.1}", base as f64 / got as f64)
+                }
+            };
+            if measure {
+                let (got, _) = check_one_sharded(
+                    &path,
+                    ShardAlgo::ReadOpt,
+                    plan.ownership(),
+                    ingest_jobs,
+                    &ShardConfig::default(),
+                )?;
+                let s = &got.stats;
+                let agree =
+                    s.cross_events == auto.cross_events && s.global_ends == auto.global_ends;
+                let _ = writeln!(
+                    o,
+                    "measured (Algorithm 2): cross={} global-ends={} rate={:.2}% — prediction {}",
+                    s.cross_events,
+                    s.global_ends,
+                    s.cross_edge_rate() * 100.0,
+                    if agree { "exact ✓" } else { "diverged (run stopped early?)" }
+                );
+            }
+            if let Some(file) = out {
+                std::fs::write(&file, plan.to_json()).map_err(|e| format!("{file}: {e}"))?;
+                let _ = writeln!(o, "plan written: {file} (use with --partition {file})");
+            }
+            Ok(o)
         }
         Command::Generate {
             path,
@@ -2267,7 +2601,7 @@ mod tests {
     fn parses_metainfo() {
         assert_eq!(
             parse_args(&args(&["metainfo", "t.std"])).unwrap(),
-            Command::MetaInfo { path: "t.std".into(), batch: None }
+            Command::MetaInfo { path: "t.std".into(), batch: None, ingest_jobs: 1 }
         );
         assert!(parse_args(&args(&["metainfo"])).is_err());
     }
@@ -2278,6 +2612,7 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Aerodrome {
+                partition: PartitionChoice::RoundRobin,
                 path: "t.std".into(),
                 algorithm: Algorithm::Basic,
                 validate: true,
@@ -2291,6 +2626,7 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Aerodrome {
+                partition: PartitionChoice::RoundRobin,
                 path: "t.std".into(),
                 algorithm: Algorithm::Optimized,
                 validate: true,
@@ -2305,6 +2641,7 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Aerodrome {
+                partition: PartitionChoice::RoundRobin,
                 path: "t.std".into(),
                 algorithm: Algorithm::Optimized,
                 validate: false,
@@ -2319,9 +2656,80 @@ mod tests {
     fn parses_validate_subcommand() {
         assert_eq!(
             parse_args(&args(&["validate", "t.std"])).unwrap(),
-            Command::Validate { path: "t.std".into(), batch: None }
+            Command::Validate { path: "t.std".into(), batch: None, ingest_jobs: 1 }
         );
         assert!(parse_args(&args(&["validate"])).is_err());
+    }
+
+    #[test]
+    fn parses_partition_flags_and_subcommand() {
+        assert_eq!(
+            parse_args(&args(&["check", "t.std", "--shards", "2", "--partition", "auto"])).unwrap(),
+            Command::Aerodrome {
+                partition: PartitionChoice::Auto,
+                path: "t.std".into(),
+                algorithm: Algorithm::Optimized,
+                validate: true,
+                batch: None,
+                shards: 2,
+                ingest_jobs: 1
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["compare", "t.rbt", "--shards", "4", "--partition", "plan.json"]))
+                .unwrap(),
+            Command::Compare {
+                partition: PartitionChoice::Plan("plan.json".into()),
+                path: "t.rbt".into(),
+                jobs: 0,
+                ingest_jobs: 1,
+                batch: None,
+                validate: true,
+                shards: 4
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&[
+                "partition",
+                "t.rbt",
+                "--shards",
+                "4",
+                "--balance",
+                "0.1",
+                "--out",
+                "plan.json",
+                "--measure",
+                "--ingest-jobs",
+                "2",
+                "--batch",
+                "128",
+            ]))
+            .unwrap(),
+            Command::Partition {
+                path: "t.rbt".into(),
+                shards: 4,
+                balance: 0.1,
+                out: Some("plan.json".into()),
+                measure: true,
+                batch: Some(128),
+                ingest_jobs: 2
+            }
+        );
+        assert_eq!(
+            parse_args(&args(&["metainfo", "t.rbt", "--ingest-jobs", "3"])).unwrap(),
+            Command::MetaInfo { path: "t.rbt".into(), batch: None, ingest_jobs: 3 }
+        );
+        assert_eq!(
+            parse_args(&args(&["validate", "t.rbt", "--ingest-jobs", "3"])).unwrap(),
+            Command::Validate { path: "t.rbt".into(), batch: None, ingest_jobs: 3 }
+        );
+        // A non-round-robin partition without shards ≥ 2 is a
+        // contradiction, not a silent no-op.
+        assert!(parse_args(&args(&["check", "t.std", "--partition", "auto"])).is_err());
+        assert!(parse_args(&args(&["compare", "t.std", "--partition", "auto"])).is_err());
+        // An explicit round-robin at one shard stays the identity.
+        assert!(parse_args(&args(&["check", "t.std", "--partition", "round-robin"])).is_ok());
+        assert!(parse_args(&args(&["partition", "t.rbt", "--balance", "-1"])).is_err());
     }
 
     #[test]
@@ -2414,6 +2822,7 @@ mod tests {
         assert_eq!(
             parse_args(&args(&["compare", "t.rbt", "--ingest-jobs", "4"])).unwrap(),
             Command::Compare {
+                partition: PartitionChoice::RoundRobin,
                 path: "t.rbt".into(),
                 jobs: 0,
                 ingest_jobs: 4,
@@ -2440,6 +2849,7 @@ mod tests {
             ]))
             .unwrap(),
             Command::Aerodrome {
+                partition: PartitionChoice::RoundRobin,
                 path: "t.rbt".into(),
                 algorithm: Algorithm::Basic,
                 validate: true,
@@ -2451,6 +2861,7 @@ mod tests {
         assert_eq!(
             parse_args(&args(&["compare", "t.rbt", "--shards", "2"])).unwrap(),
             Command::Compare {
+                partition: PartitionChoice::RoundRobin,
                 path: "t.rbt".into(),
                 jobs: 0,
                 ingest_jobs: 1,
@@ -2508,11 +2919,13 @@ mod tests {
         .unwrap();
         assert!(out.contains("wrote"));
 
-        let info = run(Command::MetaInfo { path: path.clone(), batch: None }).unwrap();
+        let info =
+            run(Command::MetaInfo { path: path.clone(), batch: None, ingest_jobs: 1 }).unwrap();
         assert!(info.contains("events:"));
 
         for algorithm in [Algorithm::Basic, Algorithm::ReadOpt, Algorithm::Optimized] {
             let report = run(Command::Aerodrome {
+                partition: PartitionChoice::RoundRobin,
                 path: path.clone(),
                 algorithm,
                 validate: true,
@@ -2534,7 +2947,8 @@ mod tests {
         assert!(report.contains('✗'));
         assert!(report.contains("graph:"));
 
-        let report = run(Command::Validate { path: path.clone(), batch: None }).unwrap();
+        let report =
+            run(Command::Validate { path: path.clone(), batch: None, ingest_jobs: 1 }).unwrap();
         assert!(report.contains("well-formed"), "{report}");
     }
 
@@ -2696,6 +3110,7 @@ mod twophase_causal_tests {
         // semantically ill-formed.
         std::fs::write(&path, "t1|begin|0\nt1|rel(m)|1\nt1|end|2\n").unwrap();
         let err = run(Command::Aerodrome {
+            partition: PartitionChoice::RoundRobin,
             path: path.clone(),
             algorithm: Algorithm::Optimized,
             validate: true,
@@ -2706,11 +3121,12 @@ mod twophase_causal_tests {
         .unwrap_err();
         assert!(err.contains("not well-formed"), "{err}");
         assert!(err.contains("line 2"), "{err}");
-        assert!(run(Command::Validate { path: path.clone(), batch: None }).is_err());
+        assert!(run(Command::Validate { path: path.clone(), batch: None, ingest_jobs: 1 }).is_err());
 
         // The opt-out analyses the trace anyway (verdict meaningless but
         // the paper's algorithms do not crash).
         let out = run(Command::Aerodrome {
+            partition: PartitionChoice::RoundRobin,
             path: path.clone(),
             algorithm: Algorithm::Optimized,
             validate: false,
@@ -2739,9 +3155,11 @@ mod twophase_causal_tests {
             })
             .unwrap();
             assert!(out.contains("wrote"), "{out}");
-            let report = run(Command::Validate { path: path.clone(), batch: None }).unwrap();
+            let report =
+                run(Command::Validate { path: path.clone(), batch: None, ingest_jobs: 1 }).unwrap();
             assert!(report.contains("closed"), "{name}: {report}");
             let report = run(Command::Aerodrome {
+                partition: PartitionChoice::RoundRobin,
                 path,
                 algorithm: Algorithm::Optimized,
                 validate: true,
@@ -2975,13 +3393,17 @@ mod binfmt_cli_tests {
         convert(&std_path, &rbt_path);
 
         // metainfo, validate, aerodrome, velodrome agree across encodings.
-        let info_std = run(Command::MetaInfo { path: std_path.clone(), batch: None }).unwrap();
-        let info_rbt = run(Command::MetaInfo { path: rbt_path.clone(), batch: None }).unwrap();
+        let info_std =
+            run(Command::MetaInfo { path: std_path.clone(), batch: None, ingest_jobs: 1 }).unwrap();
+        let info_rbt =
+            run(Command::MetaInfo { path: rbt_path.clone(), batch: None, ingest_jobs: 1 }).unwrap();
         assert_eq!(info_std, info_rbt, "metainfo must not depend on the encoding");
         for path in [&std_path, &rbt_path] {
-            let out = run(Command::Validate { path: path.clone(), batch: None }).unwrap();
+            let out =
+                run(Command::Validate { path: path.clone(), batch: None, ingest_jobs: 1 }).unwrap();
             assert!(out.contains("well-formed"), "{path}: {out}");
             let out = run(Command::Aerodrome {
+                partition: PartitionChoice::RoundRobin,
                 path: path.clone(),
                 algorithm: Algorithm::Optimized,
                 validate: true,
@@ -3004,6 +3426,7 @@ mod binfmt_cli_tests {
             out.lines().filter(|l| l.contains('✗') || l.contains('✓')).map(str::to_owned).collect()
         };
         let reference = run(Command::Compare {
+            partition: PartitionChoice::RoundRobin,
             path: std_path,
             jobs: 2,
             ingest_jobs: 1,
@@ -3014,6 +3437,7 @@ mod binfmt_cli_tests {
         .unwrap();
         for ingest_jobs in [1usize, 2, 4] {
             let out = run(Command::Compare {
+                partition: PartitionChoice::RoundRobin,
                 path: rbt_path.clone(),
                 jobs: 2,
                 ingest_jobs,
@@ -3038,6 +3462,7 @@ mod binfmt_cli_tests {
         let dir = tmp_dir("reject");
         let std_path = generate_std(&dir, "t.std", 100);
         let err = run(Command::Compare {
+            partition: PartitionChoice::RoundRobin,
             path: std_path,
             jobs: 1,
             ingest_jobs: 2,
@@ -3061,6 +3486,7 @@ mod binfmt_cli_tests {
         let dir2 = tmp_dir("accept-one");
         let ok_path = generate_std(&dir2, "t.std", 100);
         run(Command::Compare {
+            partition: PartitionChoice::RoundRobin,
             path: ok_path.clone(),
             jobs: 1,
             ingest_jobs: 1,
@@ -3070,6 +3496,7 @@ mod binfmt_cli_tests {
         })
         .unwrap();
         run(Command::Aerodrome {
+            partition: PartitionChoice::RoundRobin,
             path: ok_path,
             algorithm: Algorithm::Optimized,
             validate: true,
@@ -3088,6 +3515,7 @@ mod binfmt_cli_tests {
         convert(&std_path, &rbt_path);
         let check = |path: &str, ingest_jobs: usize| {
             run(Command::Aerodrome {
+                partition: PartitionChoice::RoundRobin,
                 path: path.to_owned(),
                 algorithm: Algorithm::Optimized,
                 validate: true,
@@ -3105,6 +3533,7 @@ mod binfmt_cli_tests {
         assert!(parallel.contains("chunk-parallel ingest"), "{parallel}");
         // Text input with ingest_jobs > 1 gets the same guidance as compare.
         let err = run(Command::Aerodrome {
+            partition: PartitionChoice::RoundRobin,
             path: std_path,
             algorithm: Algorithm::Optimized,
             validate: true,
@@ -3126,6 +3555,7 @@ mod binfmt_cli_tests {
             |out: &str| out.lines().find(|l| l.starts_with("verdict:")).map(str::to_owned);
         for algorithm in [Algorithm::Basic, Algorithm::ReadOpt] {
             let sequential = run(Command::Aerodrome {
+                partition: PartitionChoice::RoundRobin,
                 path: std_path.clone(),
                 algorithm,
                 validate: true,
@@ -3136,6 +3566,7 @@ mod binfmt_cli_tests {
             .unwrap();
             for (path, ingest_jobs) in [(&std_path, 1usize), (&rbt_path, 2)] {
                 let sharded = run(Command::Aerodrome {
+                    partition: PartitionChoice::RoundRobin,
                     path: path.clone(),
                     algorithm,
                     validate: true,
@@ -3153,6 +3584,7 @@ mod binfmt_cli_tests {
             }
         }
         let err = run(Command::Aerodrome {
+            partition: PartitionChoice::RoundRobin,
             path: std_path,
             algorithm: Algorithm::Optimized,
             validate: true,
@@ -3169,6 +3601,7 @@ mod binfmt_cli_tests {
         let dir = tmp_dir("compare-shards");
         let std_path = generate_std(&dir, "t.std", 2_000);
         let out = run(Command::Compare {
+            partition: PartitionChoice::RoundRobin,
             path: std_path,
             jobs: 1,
             ingest_jobs: 1,
@@ -3180,6 +3613,160 @@ mod binfmt_cli_tests {
         assert!(out.contains("sharded differential"), "{out}");
         assert!(out.contains("bit-identical to the sequential engine"), "{out}");
         assert!(!out.contains("DIVERGED"), "{out}");
+    }
+
+    fn generate_fanout(dir: &str, name: &str, events: usize) -> String {
+        let path = format!("{dir}/{name}");
+        run(Command::Generate {
+            path: path.clone(),
+            cfg: Box::new(workloads::GenConfig {
+                events,
+                threads: 4,
+                ..workloads::GenConfig::default()
+            }),
+            profile: Some("fanout".into()),
+            overrides: GenOverrides::default(),
+            seal: false,
+            jobs: 0,
+            corpus: None,
+            batch: None,
+            out_format: OutFormat::default(),
+        })
+        .unwrap();
+        path
+    }
+
+    fn cross_of(out: &str) -> u64 {
+        out.lines()
+            .find(|l| l.starts_with("sharding:"))
+            .and_then(|l| l.split_whitespace().find_map(|w| w.strip_prefix("cross=")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no sharding cross count in:\n{out}"))
+    }
+
+    #[test]
+    fn partition_subcommand_plans_and_check_accepts_the_plan() {
+        let dir = tmp_dir("partition-plan");
+        let std_path = generate_fanout(&dir, "fanout.std", 4_000);
+        let rbt_path = format!("{dir}/fanout.rbt");
+        convert(&std_path, &rbt_path);
+        let plan_path = format!("{dir}/plan.json");
+
+        let out = run(Command::Partition {
+            path: rbt_path.clone(),
+            shards: 2,
+            balance: affinity::DEFAULT_BALANCE,
+            out: Some(plan_path.clone()),
+            measure: true,
+            batch: None,
+            ingest_jobs: 2,
+        })
+        .unwrap();
+        assert!(out.contains("plan written"), "{out}");
+        assert!(out.contains("exact ✓"), "prediction must match the measured run: {out}");
+
+        let check = |partition: PartitionChoice| {
+            run(Command::Aerodrome {
+                partition,
+                path: rbt_path.clone(),
+                algorithm: Algorithm::ReadOpt,
+                validate: true,
+                batch: None,
+                shards: 2,
+                ingest_jobs: 1,
+            })
+            .unwrap()
+        };
+        let verdict =
+            |out: &str| out.lines().find(|l| l.starts_with("verdict:")).map(str::to_owned);
+        let rr = check(PartitionChoice::RoundRobin);
+        let auto = check(PartitionChoice::Auto);
+        let planned = check(PartitionChoice::Plan(plan_path.clone()));
+        assert_eq!(verdict(&auto), verdict(&rr), "{auto}\nvs\n{rr}");
+        assert_eq!(verdict(&planned), verdict(&rr), "{planned}\nvs\n{rr}");
+        // The saved plan IS the auto plan: identical routing, identical cost.
+        assert_eq!(cross_of(&auto), cross_of(&planned), "{auto}\nvs\n{planned}");
+        // Fanout's private vars re-align with their workers: ≥2× fewer
+        // cross-shard events than blind round-robin.
+        assert!(
+            2 * cross_of(&auto) <= cross_of(&rr),
+            "auto={} rr={}:\n{auto}\nvs\n{rr}",
+            cross_of(&auto),
+            cross_of(&rr)
+        );
+        assert!(auto.contains("partition: auto"), "{auto}");
+        assert!(planned.contains(&format!("plan {plan_path}")), "{planned}");
+
+        // A plan is bound to its shard count; a mismatch is an error,
+        // not a silent re-derivation.
+        let err = run(Command::Aerodrome {
+            partition: PartitionChoice::Plan(plan_path),
+            path: rbt_path,
+            algorithm: Algorithm::ReadOpt,
+            validate: true,
+            batch: None,
+            shards: 3,
+            ingest_jobs: 1,
+        })
+        .unwrap_err();
+        assert!(err.contains("--shards 3"), "{err}");
+    }
+
+    #[test]
+    fn compare_accepts_auto_partition() {
+        let dir = tmp_dir("compare-auto");
+        let std_path = generate_fanout(&dir, "fanout.std", 2_000);
+        let out = run(Command::Compare {
+            partition: PartitionChoice::Auto,
+            path: std_path,
+            jobs: 1,
+            ingest_jobs: 1,
+            batch: Some(129),
+            validate: true,
+            shards: 2,
+        })
+        .unwrap();
+        assert!(out.contains("auto"), "{out}");
+        assert!(out.contains("bit-identical to the sequential engine"), "{out}");
+        assert!(!out.contains("DIVERGED"), "{out}");
+    }
+
+    #[test]
+    fn metainfo_and_validate_ingest_chunk_parallel() {
+        let dir = tmp_dir("meta-ingest");
+        let std_path = generate_std(&dir, "t.std", 2_000);
+        let rbt_path = format!("{dir}/t.rbt");
+        convert(&std_path, &rbt_path);
+        let strip = |out: &str| -> String {
+            out.lines()
+                .filter(|l| !l.contains("chunk-parallel ingest"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+
+        let meta_seq =
+            run(Command::MetaInfo { path: rbt_path.clone(), batch: None, ingest_jobs: 1 }).unwrap();
+        let meta_par =
+            run(Command::MetaInfo { path: rbt_path.clone(), batch: Some(128), ingest_jobs: 3 })
+                .unwrap();
+        assert!(meta_par.contains("chunk-parallel ingest"), "{meta_par}");
+        assert_eq!(strip(&meta_par), strip(&meta_seq), "{meta_par}\nvs\n{meta_seq}");
+
+        let val_seq =
+            run(Command::Validate { path: rbt_path.clone(), batch: None, ingest_jobs: 1 }).unwrap();
+        let val_par =
+            run(Command::Validate { path: rbt_path, batch: Some(128), ingest_jobs: 3 }).unwrap();
+        assert!(val_par.contains("chunk-parallel ingest"), "{val_par}");
+        assert_eq!(strip(&val_par), strip(&val_seq), "{val_par}\nvs\n{val_seq}");
+
+        // Text input gets the same convert guidance as the other commands.
+        for cmd in [
+            Command::MetaInfo { path: std_path.clone(), batch: None, ingest_jobs: 2 },
+            Command::Validate { path: std_path, batch: None, ingest_jobs: 2 },
+        ] {
+            let err = run(cmd).unwrap_err();
+            assert!(err.contains("rapid convert"), "{err}");
+        }
     }
 
     #[test]
@@ -3307,7 +3894,8 @@ mod binfmt_cli_tests {
         let offset = tracelog::binfmt::HEADER_BYTES + 300 * 9;
         bytes[offset] = 0xEE;
         std::fs::write(&rbt_path, &bytes).unwrap();
-        let err = run(Command::MetaInfo { path: rbt_path, batch: None }).unwrap_err();
+        let err =
+            run(Command::MetaInfo { path: rbt_path, batch: None, ingest_jobs: 1 }).unwrap_err();
         assert!(err.contains("record 300 (chunk 1)"), "{err}");
     }
 }

@@ -53,6 +53,7 @@ use velodrome::twophase::TwoPhaseReport;
 use velodrome::Config as VelodromeConfig;
 
 pub mod adversarial;
+pub mod affinity;
 pub mod chunkpar;
 pub mod multi;
 pub mod par;

@@ -14,9 +14,13 @@
 //!   majority under a good partition — ride in coarse step batches over
 //!   bounded channels and are checked with no synchronisation at all;
 //! * **cross-shard events** appear in *both* involved shards' streams
-//!   (tagged actor/owner), and the shards exchange the rare clock
-//!   messages directly over per-shard unbounded channels, matched by
-//!   the event's global sequence number;
+//!   (tagged actor/owner), and the shards exchange the clock messages
+//!   directly over per-shard unbounded channels, matched by the event's
+//!   global sequence number. Two locality optimisations keep these
+//!   dialogues cheap without touching verdicts: outgoing messages are
+//!   *batched* per channel flush (buffered in a per-shard outbox until the
+//!   shard is about to block), and unchanged clocks are *memoized* away
+//!   entirely (the [`aerodrome::shard`] send/receive caches);
 //! * **outermost ends** appear in every stream and run the two-phase
 //!   vote barrier of [`aerodrome::shard`].
 //!
@@ -110,11 +114,15 @@ pub struct ShardConfig {
     /// Run the online well-formedness validator on the router (default
     /// `true`, matching [`super::par::ParConfig`]).
     pub validate: bool,
+    /// Suppress cross-shard resends of unchanged clocks (default
+    /// `true`; see [`aerodrome::shard`] on why it is invisible to
+    /// verdicts).
+    pub memo: bool,
 }
 
 impl Default for ShardConfig {
     fn default() -> Self {
-        Self { batch_events: DEFAULT_BATCH_EVENTS, channel_batches: 2, validate: true }
+        Self { batch_events: DEFAULT_BATCH_EVENTS, channel_batches: 2, validate: true, memo: true }
     }
 }
 
@@ -144,6 +152,13 @@ impl ShardConfig {
         self.validate = on;
         self
     }
+
+    /// Enables or disables unchanged-clock suppression.
+    #[must_use]
+    pub fn memo(mut self, on: bool) -> Self {
+        self.memo = on;
+        self
+    }
 }
 
 /// Routing/runtime counters of a sharded run.
@@ -160,9 +175,34 @@ pub struct ShardStats {
     pub global_ends: u64,
     /// Step batches the router flushed (including stall markers).
     pub step_batches: u64,
+    /// Cross-shard dialogue messages produced by the shards (payload
+    /// items, whatever the channel batching).
+    pub cross_msgs: u64,
+    /// Channel sends that shipped those messages — each flush coalesces
+    /// a whole outbox buffer, so `cross_msgs / msg_flushes` is the mean
+    /// dialogue-batching factor.
+    pub msg_flushes: u64,
+    /// Clock payloads suppressed as unchanged by the send memo (these
+    /// still count in `cross_msgs`; the suppressed bytes are the win).
+    pub memo_hits: u64,
     /// Reader threads that decoded chunks in parallel
     /// ([`check_sharded_chunked`]); `0` when the router ingested alone.
     pub ingest_readers: usize,
+}
+
+impl ShardStats {
+    /// Fraction of routed events that needed any cross-shard
+    /// coordination (cross dialogues and global end barriers); `0.0`
+    /// for an empty trace. This is the number the partitioner
+    /// minimizes.
+    #[must_use]
+    pub fn cross_edge_rate(&self) -> f64 {
+        let total = self.local_events + self.cross_events + self.global_ends;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.cross_events + self.global_ends) as f64 / total as f64
+    }
 }
 
 /// The outcome of a sharded run.
@@ -304,26 +344,73 @@ impl JoinsRing {
     }
 }
 
+/// A batch of cross-shard dialogue messages shipped in one channel
+/// send, each tagged with its event's global sequence number.
+type MsgBatch = Vec<(u64, ShardMsg)>;
+
+/// Per-worker buffers of outgoing cross-shard messages, one per peer.
+///
+/// Messages accumulate while the shard still has runnable steps and are
+/// shipped in one channel send per peer the moment the shard is about
+/// to block — on a peer message, on the step channel, or at drain
+/// start. That *flush-before-block* discipline is the liveness
+/// invariant (a waiting shard's partner never sits on the message it
+/// needs), and it is what coalesces dialogues: a busy shard drains
+/// several queued step batches per flush.
+struct Outbox {
+    bufs: Vec<MsgBatch>,
+    /// Dialogue messages pushed (payload items).
+    msgs_sent: u64,
+    /// Channel sends performed (each ships one whole buffer).
+    flushes: u64,
+}
+
+impl Outbox {
+    fn new(peers: usize) -> Self {
+        Self { bufs: (0..peers).map(|_| Vec::new()).collect(), msgs_sent: 0, flushes: 0 }
+    }
+
+    fn push(&mut self, peer: usize, seq: u64, msg: ShardMsg) {
+        self.msgs_sent += 1;
+        self.bufs[peer].push((seq, msg));
+    }
+
+    /// Ships every non-empty buffer to its peer.
+    fn flush_all(&mut self, txs: &[Sender<MsgBatch>]) {
+        for (peer, buf) in self.bufs.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                self.flushes += 1;
+                let _ = txs[peer].send(std::mem::take(buf));
+            }
+        }
+    }
+}
+
 /// Blocks until the peer message for `seq` arrives, stashing messages
-/// for other sequence numbers.
+/// for other sequence numbers. Flushes the outbox first — see
+/// [`Outbox`] on why blocking with buffered messages would deadlock.
 ///
 /// Returns `None` — the caller must switch to drain mode — when an
 /// earlier violation makes the message moot (`candidate < seq`;
 /// `candidate <= seq` with `inclusive`, for the end barrier's resolve
 /// wait where the candidate may be this very event), when a peer
 /// panicked, or when every sender is gone.
+#[allow(clippy::too_many_arguments)]
 fn wait_msg(
-    rx: &Receiver<(u64, ShardMsg)>,
+    rx: &Receiver<MsgBatch>,
     stash: &mut Vec<(u64, ShardMsg)>,
     seq: u64,
     inclusive: bool,
     flag: &RunFlag,
+    outbox: &mut Outbox,
+    peer_txs: &[Sender<MsgBatch>],
 ) -> Option<ShardMsg> {
     // First-match scan keeps per-sender FIFO order (EndBegin before
     // EndResolve from the same actor).
     if let Some(i) = stash.iter().position(|(s, _)| *s == seq) {
         return Some(stash.remove(i).1);
     }
+    outbox.flush_all(peer_txs);
     loop {
         let candidate = flag.candidate();
         if candidate < seq || (inclusive && candidate == seq) {
@@ -333,41 +420,72 @@ fn wait_msg(
             return None;
         }
         match rx.recv_timeout(Duration::from_micros(200)) {
-            Ok((s, msg)) if s == seq => return Some(msg),
-            Ok(other) => stash.push(other),
+            Ok(batch) => {
+                stash.extend(batch);
+                if let Some(i) = stash.iter().position(|(s, _)| *s == seq) {
+                    return Some(stash.remove(i).1);
+                }
+            }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return None,
         }
     }
 }
 
+/// What a shard worker hands back when its step stream closes.
+struct WorkerOut {
+    ring: JoinsRing,
+    /// Dialogue messages this shard produced.
+    msgs_sent: u64,
+    /// Channel sends that shipped them (outbox flushes).
+    msg_flushes: u64,
+}
+
 /// One shard's worker loop: drain step batches in sequence order,
 /// running locals straight through the sequential dispatch and holding
-/// the message dialogues for cross/global steps.
+/// the message dialogues for cross/global steps. Outgoing messages ride
+/// the [`Outbox`]: buffered while steps keep coming, flushed whenever
+/// the worker is about to block.
 #[allow(clippy::too_many_arguments)]
 fn shard_worker<R: ShardRules>(
     me: usize,
     shard_count: usize,
     checker: &mut ShardChecker<R>,
     step_rx: &Receiver<StepBatch>,
-    peer_rx: &Receiver<(u64, ShardMsg)>,
-    peer_txs: &[Sender<(u64, ShardMsg)>],
+    peer_rx: &Receiver<MsgBatch>,
+    peer_txs: &[Sender<MsgBatch>],
     position: &AtomicU64,
     flag: &RunFlag,
     recycle_tx: &Sender<Vec<Step>>,
     ring_cap: usize,
-) -> JoinsRing {
+) -> WorkerOut {
     let _guard = PanicGuard(&flag.panicked);
     let mut stash: Vec<(u64, ShardMsg)> = Vec::new();
     let mut ring = JoinsRing::new(ring_cap);
+    let mut outbox = Outbox::new(shard_count);
     let mut draining = false;
-    for StepBatch { frontier, mut steps } in step_rx.iter() {
+    loop {
+        // Drain ready step batches without blocking; only when the
+        // queue runs dry flush the outbox and wait — the coalescing
+        // half of the flush-before-block discipline.
+        let StepBatch { frontier, mut steps } = match step_rx.try_recv() {
+            Ok(b) => b,
+            Err(mpsc::TryRecvError::Empty) => {
+                outbox.flush_all(peer_txs);
+                match step_rx.recv() {
+                    Ok(b) => b,
+                    Err(_) => break,
+                }
+            }
+            Err(mpsc::TryRecvError::Disconnected) => break,
+        };
         for step in steps.drain(..) {
             let Step { seq, event, role } = step;
             if !draining && flag.candidate() < seq {
                 // An earlier event violated: everything from here on is
                 // past the sequential engine's stopping point.
                 draining = true;
+                outbox.flush_all(peer_txs);
             }
             if draining {
                 position.store(seq + 1, Ordering::Release);
@@ -384,34 +502,44 @@ fn shard_worker<R: ShardRules>(
                 StepRole::Actor { peer } => {
                     let p = peer as usize;
                     let result = match event.op {
-                        Op::Acquire(l) => wait_msg(peer_rx, &mut stash, seq, false, flag)
-                            .map(|m| checker.acquire_actor(EventId(seq), t, l, m)),
-                        Op::Join(u) => wait_msg(peer_rx, &mut stash, seq, false, flag)
-                            .map(|m| checker.join_actor(EventId(seq), t, u, m)),
+                        Op::Acquire(l) => {
+                            wait_msg(peer_rx, &mut stash, seq, false, flag, &mut outbox, peer_txs)
+                                .map(|m| checker.acquire_actor(EventId(seq), t, l, m, p))
+                        }
+                        Op::Join(u) => {
+                            wait_msg(peer_rx, &mut stash, seq, false, flag, &mut outbox, peer_txs)
+                                .map(|m| checker.join_actor(EventId(seq), t, u, m, p))
+                        }
                         Op::Release(_) => {
-                            let m = checker.release_actor(t);
-                            let _ = peer_txs[p].send((seq, m));
+                            let m = checker.release_actor(t, p);
+                            outbox.push(p, seq, m);
                             Some(Ok(()))
                         }
                         Op::Fork(_) => {
-                            let m = checker.fork_actor(t);
-                            let _ = peer_txs[p].send((seq, m));
+                            let m = checker.fork_actor(t, p);
+                            outbox.push(p, seq, m);
                             Some(Ok(()))
                         }
                         Op::Read(x) => {
-                            wait_msg(peer_rx, &mut stash, seq, false, flag).map(|m| {
-                                let (r, reply) = checker.read_actor(EventId(seq), t, x, m);
-                                // Reply before surfacing the verdict, so
-                                // the owner at this very seq never hangs.
-                                let _ = peer_txs[p].send((seq, reply));
-                                r
-                            })
+                            wait_msg(peer_rx, &mut stash, seq, false, flag, &mut outbox, peer_txs)
+                                .map(|m| {
+                                    let (r, reply) = checker.read_actor(EventId(seq), t, x, m, p);
+                                    // Reply before surfacing the verdict,
+                                    // so the owner at this very seq never
+                                    // hangs (the drain-start flush ships
+                                    // it).
+                                    outbox.push(p, seq, reply);
+                                    r
+                                })
                         }
-                        Op::Write(x) => wait_msg(peer_rx, &mut stash, seq, false, flag).map(|m| {
-                            let (r, reply) = checker.write_actor(EventId(seq), t, x, m);
-                            let _ = peer_txs[p].send((seq, reply));
-                            r
-                        }),
+                        Op::Write(x) => {
+                            wait_msg(peer_rx, &mut stash, seq, false, flag, &mut outbox, peer_txs)
+                                .map(|m| {
+                                    let (r, reply) = checker.write_actor(EventId(seq), t, x, m, p);
+                                    outbox.push(p, seq, reply);
+                                    r
+                                })
+                        }
                         Op::Begin | Op::End => unreachable!("begin/end never cross shards"),
                     };
                     match result {
@@ -419,6 +547,7 @@ fn shard_worker<R: ShardRules>(
                         Some(Err(v)) => {
                             flag.report(seq, v);
                             draining = true;
+                            outbox.flush_all(peer_txs);
                         }
                         None => draining = true,
                     }
@@ -427,34 +556,70 @@ fn shard_worker<R: ShardRules>(
                     let p = peer as usize;
                     match event.op {
                         Op::Acquire(l) => {
-                            let m = checker.acquire_owner(t, l);
-                            let _ = peer_txs[p].send((seq, m));
+                            let m = checker.acquire_owner(t, l, p);
+                            outbox.push(p, seq, m);
                         }
                         Op::Join(u) => {
-                            let m = checker.join_owner(u);
-                            let _ = peer_txs[p].send((seq, m));
+                            let m = checker.join_owner(u, p);
+                            outbox.push(p, seq, m);
                         }
-                        Op::Release(l) => match wait_msg(peer_rx, &mut stash, seq, false, flag) {
-                            Some(m) => checker.release_owner(t, l, m),
-                            None => draining = true,
-                        },
-                        Op::Fork(u) => match wait_msg(peer_rx, &mut stash, seq, false, flag) {
-                            Some(m) => checker.fork_owner(u, m),
-                            None => draining = true,
-                        },
+                        Op::Release(l) => {
+                            match wait_msg(
+                                peer_rx,
+                                &mut stash,
+                                seq,
+                                false,
+                                flag,
+                                &mut outbox,
+                                peer_txs,
+                            ) {
+                                Some(m) => checker.release_owner(t, l, m, p),
+                                None => draining = true,
+                            }
+                        }
+                        Op::Fork(u) => {
+                            match wait_msg(
+                                peer_rx,
+                                &mut stash,
+                                seq,
+                                false,
+                                flag,
+                                &mut outbox,
+                                peer_txs,
+                            ) {
+                                Some(m) => checker.fork_owner(t, u, m, p),
+                                None => draining = true,
+                            }
+                        }
                         Op::Read(x) => {
-                            let m = checker.read_owner(t, x);
-                            let _ = peer_txs[p].send((seq, m));
-                            match wait_msg(peer_rx, &mut stash, seq, false, flag) {
-                                Some(reply) => checker.read_owner_absorb(t, x, reply),
+                            let m = checker.read_owner(t, x, p);
+                            outbox.push(p, seq, m);
+                            match wait_msg(
+                                peer_rx,
+                                &mut stash,
+                                seq,
+                                false,
+                                flag,
+                                &mut outbox,
+                                peer_txs,
+                            ) {
+                                Some(reply) => checker.read_owner_absorb(t, x, reply, p),
                                 None => draining = true,
                             }
                         }
                         Op::Write(x) => {
                             let m = checker.write_owner(t, x);
-                            let _ = peer_txs[p].send((seq, m));
-                            match wait_msg(peer_rx, &mut stash, seq, false, flag) {
-                                Some(reply) => checker.write_owner_absorb(t, x, reply),
+                            outbox.push(p, seq, m);
+                            match wait_msg(
+                                peer_rx,
+                                &mut stash,
+                                seq,
+                                false,
+                                flag,
+                                &mut outbox,
+                                peer_txs,
+                            ) {
+                                Some(reply) => checker.write_owner_absorb(t, x, reply, p),
                                 None => draining = true,
                             }
                         }
@@ -463,16 +628,17 @@ fn shard_worker<R: ShardRules>(
                 }
                 StepRole::EndActor => {
                     let cb_epoch = checker.end_actor_begin(t);
-                    for (p, tx) in peer_txs.iter().enumerate() {
+                    for p in 0..shard_count {
                         if p != me {
                             let m = checker.end_broadcast_msg(cb_epoch);
-                            let _ = tx.send((seq, m));
+                            outbox.push(p, seq, m);
                         }
                     }
                     let mut vote = checker.end_vote(t);
                     let mut aborted = false;
                     for _ in 1..shard_count {
-                        match wait_msg(peer_rx, &mut stash, seq, false, flag) {
+                        match wait_msg(peer_rx, &mut stash, seq, false, flag, &mut outbox, peer_txs)
+                        {
                             Some(ShardMsg::EndVote { violating }) => {
                                 vote = match (vote, violating) {
                                     (Some(a), Some(b)) => Some(a.min(b)),
@@ -504,26 +670,34 @@ fn shard_worker<R: ShardRules>(
                             },
                         );
                         draining = true;
+                        outbox.flush_all(peer_txs);
                     } else {
-                        for (p, tx) in peer_txs.iter().enumerate() {
+                        for p in 0..shard_count {
                             if p != me {
-                                let _ = tx.send((seq, ShardMsg::EndResolve));
+                                outbox.push(p, seq, ShardMsg::EndResolve);
                             }
                         }
                         checker.end_apply(t, cb_epoch);
                     }
                 }
                 StepRole::EndPassive { actor } => {
-                    match wait_msg(peer_rx, &mut stash, seq, false, flag) {
+                    match wait_msg(peer_rx, &mut stash, seq, false, flag, &mut outbox, peer_txs) {
                         Some(msg @ ShardMsg::EndBegin { .. }) => {
                             let cb_epoch = checker.end_passive_stage(msg);
                             let violating = checker.end_vote(t);
-                            let _ = peer_txs[actor as usize]
-                                .send((seq, ShardMsg::EndVote { violating }));
+                            outbox.push(actor as usize, seq, ShardMsg::EndVote { violating });
                             // The resolve never comes if the barrier
                             // itself violated — hence the inclusive
                             // candidate bound.
-                            match wait_msg(peer_rx, &mut stash, seq, true, flag) {
+                            match wait_msg(
+                                peer_rx,
+                                &mut stash,
+                                seq,
+                                true,
+                                flag,
+                                &mut outbox,
+                                peer_txs,
+                            ) {
                                 Some(ShardMsg::EndResolve) => checker.end_apply(t, cb_epoch),
                                 Some(other) => {
                                     debug_assert!(false, "end barrier expects resolve");
@@ -551,7 +725,11 @@ fn shard_worker<R: ShardRules>(
         position.store(frontier, Ordering::Release);
         let _ = recycle_tx.send(steps);
     }
-    ring
+    // The step stream closed with messages possibly still buffered
+    // (e.g. a reply pushed just before the router stopped): peers
+    // draining their own tails may still need them.
+    outbox.flush_all(peer_txs);
+    WorkerOut { ring, msgs_sent: outbox.msgs_sent, msg_flushes: outbox.flushes }
 }
 
 /// The router: classifies events, builds per-shard step streams with a
@@ -719,7 +897,7 @@ fn run_sharded<R: ShardRules, S: EventSource + ?Sized>(
         let mut peer_txs = Vec::with_capacity(n);
         let mut peer_rxs = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = mpsc::channel::<(u64, ShardMsg)>();
+            let (tx, rx) = mpsc::channel::<MsgBatch>();
             peer_txs.push(tx);
             peer_rxs.push(rx);
         }
@@ -787,11 +965,16 @@ fn run_sharded<R: ShardRules, S: EventSource + ?Sized>(
         drop(router); // closes the step channels: end-of-stream
         for handle in handles {
             match handle.join() {
-                Ok(ring) => rings.push(ring),
+                Ok(out) => {
+                    stats.cross_msgs += out.msgs_sent;
+                    stats.msg_flushes += out.msg_flushes;
+                    rings.push(out.ring);
+                }
                 Err(panic) => std::panic::resume_unwind(panic),
             }
         }
     });
+    stats.memo_hits = shards.iter().map(|c| c.memo_hits()).sum();
 
     let candidate = flag.candidate();
     let violation = if candidate == u64::MAX {
@@ -907,7 +1090,13 @@ impl<R: ShardRules> TypedShardSession<R> {
     /// A fresh session with one cold shard per ownership shard.
     #[must_use]
     pub fn new(own: Ownership, config: ShardConfig) -> Self {
-        let shards = (0..own.shards()).map(|_| ShardChecker::new()).collect();
+        let shards = (0..own.shards())
+            .map(|_| {
+                let mut shard = ShardChecker::new();
+                shard.set_memo(config.memo);
+                shard
+            })
+            .collect();
         Self { shards, own, config }
     }
 

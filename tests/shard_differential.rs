@@ -12,6 +12,7 @@ use aerodrome::basic::BasicChecker;
 use aerodrome::readopt::ReadOptChecker;
 use aerodrome::shard::Ownership;
 use aerodrome::{run_checker, Checker, CheckerReport, Outcome};
+use aerodrome_suite::pipeline::affinity::profile_source;
 use aerodrome_suite::pipeline::shard::{check_sharded, ShardAlgo, ShardConfig};
 use proptest::prelude::*;
 use tracelog::Trace;
@@ -63,9 +64,24 @@ fn assert_sharded_matches(name: &str, trace: &Trace, own: &Ownership, config: &S
     }
 }
 
+/// The affinity-derived ownership for `trace`, exactly as
+/// `--partition auto` would build it.
+fn auto_partition(trace: &Trace, shards: usize) -> Ownership {
+    let profile = profile_source(&mut trace.stream(), 512).expect("well-formed input profiles");
+    profile.partition(shards).ownership()
+}
+
 fn assert_all_counts(name: &str, trace: &Trace, config: &ShardConfig) {
     for shards in [1usize, 2, 4] {
         assert_sharded_matches(name, trace, &Ownership::round_robin(shards), config);
+        // The locality-minimizing plan must be just as invisible to the
+        // verdict as blind round-robin.
+        assert_sharded_matches(
+            &format!("{name}/auto"),
+            trace,
+            &auto_partition(trace, shards),
+            config,
+        );
     }
 }
 
@@ -188,5 +204,70 @@ proptest! {
             &own,
             &config,
         );
+        // And the affinity-derived plan under the same jittered runtime.
+        assert_sharded_matches(
+            &format!("seed={seed} shards={shards} auto"),
+            &trace,
+            &auto_partition(&trace, shards),
+            &config,
+        );
     }
+}
+
+/// Metamorphic check of the epoch-memo layer: suppressing resends of
+/// unchanged clocks changes the message counters and NOTHING else.
+#[test]
+fn memo_suppression_changes_stats_but_not_outcomes() {
+    let mut suppressed_somewhere = false;
+    for name in workloads::shapes::SHAPE_NAMES {
+        let cfg = GenConfig { seed: 41, threads: 5, events: 5_000, ..GenConfig::default() };
+        let trace = workloads::shapes::collect(name, &cfg).expect("known shape");
+        // Round-robin at 2 shards maximises cross-shard dialogue, the
+        // memo layer's whole habitat.
+        let own = Ownership::round_robin(2);
+        for algo in ALGOS {
+            let run = |memo: bool| {
+                check_sharded(
+                    &mut trace.stream(),
+                    algo,
+                    own.clone(),
+                    &ShardConfig::default().batch_events(256).memo(memo),
+                )
+                .expect("well-formed input")
+            };
+            let with_memo = run(true);
+            let without = run(false);
+            assert_eq!(with_memo.run.outcome, without.run.outcome, "{name}/{}", algo.name());
+            // Observable counters only: the clock-pool allocator stats
+            // legitimately shrink when fewer messages materialise.
+            assert_eq!(
+                with_memo.run.report.events,
+                without.run.report.events,
+                "{name}/{}",
+                algo.name()
+            );
+            assert_eq!(
+                with_memo.run.report.clock_joins,
+                without.run.report.clock_joins,
+                "{name}/{}",
+                algo.name()
+            );
+            assert_eq!(with_memo.events, without.events, "{name}/{}", algo.name());
+            // Routing is partition-determined, memo-independent.
+            assert_eq!(
+                with_memo.stats.cross_events,
+                without.stats.cross_events,
+                "{name}/{}",
+                algo.name()
+            );
+            assert_eq!(without.stats.memo_hits, 0, "{name}/{}", algo.name());
+            assert!(
+                with_memo.stats.cross_msgs <= without.stats.cross_msgs,
+                "{name}/{}: memo must never add messages",
+                algo.name()
+            );
+            suppressed_somewhere |= with_memo.stats.memo_hits > 0;
+        }
+    }
+    assert!(suppressed_somewhere, "no shape ever hit the memo — layer inert?");
 }
